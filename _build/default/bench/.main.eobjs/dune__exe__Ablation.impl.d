@@ -1,0 +1,1 @@
+bench/ablation.ml: Engine List Printf Query Result_set Stats String Util Xaos_core Xaos_workloads Xaos_xml

@@ -1,0 +1,1 @@
+bench/fig5.ml: Filename Fun List Printf Query Result_set Sys Unix Util Xaos_baseline Xaos_core Xaos_workloads Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+bench/fig67.ml: Item List Printf Query Result_set Util Xaos_baseline Xaos_core Xaos_workloads Xaos_xml Xaos_xpath

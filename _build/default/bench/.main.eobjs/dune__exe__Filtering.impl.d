@@ -1,0 +1,1 @@
+bench/filtering.ml: Buffer List Printf Query Query_set Result String Util Xaos_baseline Xaos_core Xaos_workloads Xaos_xpath

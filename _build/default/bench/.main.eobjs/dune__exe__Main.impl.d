@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Cmd Cmdliner Fig5 Fig67 Filtering Micro Table3 Term

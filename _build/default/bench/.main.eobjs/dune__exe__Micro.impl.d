@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Printf Query Staged Test Time Toolkit Util Xaos_baseline Xaos_core Xaos_workloads Xaos_xml Xaos_xpath

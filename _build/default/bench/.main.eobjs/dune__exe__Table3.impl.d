@@ -1,0 +1,1 @@
+bench/table3.ml: Buffer List Printf Query Stats String Util Xaos_core Xaos_workloads Xaos_xml

@@ -1,0 +1,1 @@
+bench/util.ml: Buffer Gc List Printf String Sys Unix

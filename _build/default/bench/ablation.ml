@@ -1,0 +1,67 @@
+(* Ablations of the design choices DESIGN.md calls out (both from the
+   paper's Section 5.1 and our Section 4.1 filtering):
+
+   A1 — boolean-subtree optimization: with it, output-free subtrees keep
+        only support counters and their structures can be collected; off,
+        every matching structure is retained until the end of the
+        document. Measured as structures reachable at end of document.
+   A2 — relevance filtering (the looking-for set): off, a matching
+        structure is allocated for every label match, and composition
+        alone rejects the garbage.
+   A3 — eager emission on forward-only chain queries: results stream out
+        and no structure is retained at all. *)
+
+open Xaos_core
+
+let measure config query doc_s =
+  let q = Query.compile_exn ~config query in
+  let (result, stats, retained), time =
+    Util.time (fun () ->
+        let run = Query.start q in
+        Xaos_xml.Sax.iter (Query.feed run) (Xaos_xml.Sax.of_string doc_s);
+        let result = Query.finish run in
+        (result, Query.run_stats run, Query.retained_structures run))
+  in
+  ( List.length result.Result_set.items,
+    time,
+    stats.Stats.structures_created,
+    retained )
+
+let run ~scale () =
+  Util.print_header "Ablations (XMark document)";
+  let doc_s =
+    Xaos_workloads.Xmark.to_string (Xaos_workloads.Xmark.config scale)
+  in
+  Printf.printf "document: %.2f MB\n" (Util.mb (String.length doc_s));
+  let base = Engine.default_config in
+  (* A1 needs predicate subtrees with many matches: with counters, the
+     incategory/mailbox structures under each item die immediately; with
+     pointers, every one is retained inside its item's slots. *)
+  let a1_query = "//item[incategory and mailbox]/name" in
+  (* A3 compares retention on a match-everything chain query. *)
+  let a3_query = "//description//text" in
+  let cases =
+    [ ("A1 counters on (default)", a1_query, base);
+      ("A1 counters off", a1_query, { base with boolean_subtrees = false });
+      ("A2 filter on (default)", Xaos_workloads.Xmark.paper_query, base);
+      ( "A2 filter off",
+        Xaos_workloads.Xmark.paper_query,
+        { base with relevance_filter = false } );
+      ("A3 lazy (default)", a3_query, base);
+      ("A3 eager", a3_query, { base with eager_emission = true });
+    ]
+  in
+  Util.print_table
+    ~columns:
+      [ "configuration"; "query"; "results"; "time s"; "created"; "retained" ]
+    (List.map
+       (fun (name, query, config) ->
+         let results, time, structures, retained =
+           measure config query doc_s
+         in
+         [ name; query; string_of_int results; Util.fsec time;
+           Util.fint structures; Util.fint retained ])
+       cases);
+  Util.note "A1: counters let predicate-subtree structures be collected early.";
+  Util.note "A2: the looking-for filter avoids a structure per label match.";
+  Util.note "A3: eager emission retains no matching structures at all."

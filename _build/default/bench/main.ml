@@ -1,0 +1,136 @@
+(* Benchmark harness entry point. Every table and figure of the paper's
+   evaluation (Section 6) has a subcommand that regenerates it, plus the
+   ablations and Bechamel micro-benchmarks:
+
+     dune exec bench/main.exe              # everything, laptop scale
+     dune exec bench/main.exe -- fig5      # Figure 5 only
+     dune exec bench/main.exe -- fig5 --full --budget-mb 256
+     dune exec bench/main.exe -- fig6 --runs 10 --sizes 20000,640000
+     dune exec bench/main.exe -- table3 ablation micro
+
+   Absolute numbers differ from the paper's 550 MHz Pentium III; the
+   shapes (linearity, who wins, failure modes) are what EXPERIMENTS.md
+   records. *)
+
+open Cmdliner
+
+let scales_of ~full scales_opt =
+  match scales_opt with
+  | Some scales -> scales
+  | None -> if full then Fig5.paper_scales else Fig5.default_scales
+
+let run_fig5 full budget_mb scales_opt =
+  ignore (Fig5.run ~scales:(scales_of ~full scales_opt) ~budget_mb ())
+
+let run_table3 full scales_opt =
+  ignore (Table3.run ~scales:(scales_of ~full scales_opt) ())
+
+let run_fig67 full runs sizes_opt =
+  let sizes =
+    match sizes_opt with
+    | Some sizes -> sizes
+    | None -> if full then Fig67.paper_sizes else Fig67.default_sizes
+  in
+  ignore (Fig67.run ~sizes ~runs ())
+
+let run_ablation scale = Ablation.run ~scale ()
+
+let run_filtering full =
+  let counts = if full then [ 10; 50; 250; 1000 ] else [ 10; 50; 250 ] in
+  Filtering.run ~subscription_counts:counts ~docs:(if full then 20 else 8) ()
+
+let run_micro () = Micro.run ()
+
+let run_all full =
+  run_fig5 full 48 None;
+  run_table3 full None;
+  run_fig67 full (if full then 10 else 5) None;
+  run_ablation (if full then 0.05 else 0.02);
+  run_filtering full;
+  run_micro ()
+
+(* ---------------- cmdliner plumbing ---------------- *)
+
+let full_t =
+  let doc = "Use the paper's full parameter ranges (slow)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let budget_t =
+  let doc =
+    "Baseline heap budget in MB, modelling the paper's 256 MB machine."
+  in
+  Arg.(value & opt int 48 & info [ "budget-mb" ] ~doc)
+
+let runs_t =
+  let doc = "Runs per document size (the paper used 10)." in
+  Arg.(value & opt int 5 & info [ "runs" ] ~doc)
+
+let scales_t =
+  let doc = "Comma-separated XMark scale factors." in
+  Arg.(
+    value
+    & opt (some (list ~sep:',' float)) None
+    & info [ "scales" ] ~doc)
+
+let sizes_t =
+  let doc = "Comma-separated document sizes in elements." in
+  Arg.(value & opt (some (list ~sep:',' int)) None & info [ "sizes" ] ~doc)
+
+let ablation_scale_t =
+  let doc = "XMark scale for the ablation document." in
+  Arg.(value & opt float 0.02 & info [ "scale" ] ~doc)
+
+let fig5_cmd =
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Figure 5: time vs document size, xaos vs baseline")
+    Term.(const run_fig5 $ full_t $ budget_t $ scales_t)
+
+let table3_cmd =
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Table 3: elements discarded by the filter")
+    Term.(const run_table3 $ full_t $ scales_t)
+
+let fig6_cmd =
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Figures 6 and 7: random expressions, overall and search time")
+    Term.(const run_fig67 $ full_t $ runs_t $ sizes_t)
+
+let fig7_cmd =
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Alias of fig6 (both figures come from the same runs)")
+    Term.(const run_fig67 $ full_t $ runs_t $ sizes_t)
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Ablations: counters, relevance filter, eager emission")
+    Term.(const run_ablation $ ablation_scale_t)
+
+let filtering_cmd =
+  Cmd.v
+    (Cmd.info "filtering"
+       ~doc:"Extension: publish/subscribe filtering, shared automaton vs \
+             per-query engines")
+    Term.(const run_filtering $ full_t)
+
+let micro_cmd =
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Bechamel micro-benchmarks, one per table/figure kernel")
+    Term.(const run_micro $ const ())
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment")
+    Term.(const run_all $ full_t)
+
+let default_t = Term.(const run_all $ full_t)
+
+let () =
+  let info =
+    Cmd.info "xaos-bench" ~version:"1.0"
+      ~doc:"Regenerates the tables and figures of the XAOS paper (ICDE 2003)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:default_t info
+          [ fig5_cmd; table3_cmd; fig6_cmd; fig7_cmd; ablation_cmd;
+            filtering_cmd; micro_cmd; all_cmd ]))

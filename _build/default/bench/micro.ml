@@ -1,0 +1,87 @@
+(* Bechamel micro-benchmarks: one Test.make per table/figure kernel, all
+   run from the same executable. These measure the steady-state cost of
+   each experiment's inner loop (per-run wall time via OLS against the
+   monotonic clock), complementing the end-to-end sweeps. *)
+
+open Bechamel
+open Toolkit
+open Xaos_core
+
+let make_inputs () =
+  (* one small XMark document (Figure 5 / Table 3 workload) *)
+  let xmark_s = Xaos_workloads.Xmark.to_string (Xaos_workloads.Xmark.config 0.005) in
+  let xmark_doc = Xaos_xml.Dom.of_string xmark_s in
+  let paper_q = Query.compile_exn Xaos_workloads.Xmark.paper_query in
+  let paper_path = Xaos_xpath.Parser.parse Xaos_workloads.Xmark.paper_query in
+  (* one Section 6.2 document (Figures 6 / 7 workload) *)
+  let spec = Xaos_workloads.Randgen.generate_spec ~seed:42 () in
+  let rnd_s = Xaos_workloads.Randgen.document_string spec ~seed:43 ~elements:5000 in
+  let rnd_doc = Xaos_xml.Dom.of_string rnd_s in
+  let rnd_q =
+    Query.compile_exn (Xaos_xpath.Ast.to_string spec.Xaos_workloads.Randgen.query)
+  in
+  let rnd_path = spec.Xaos_workloads.Randgen.query in
+  (xmark_s, xmark_doc, paper_q, paper_path, rnd_s, rnd_doc, rnd_q, rnd_path)
+
+let tests () =
+  let xmark_s, xmark_doc, paper_q, paper_path, rnd_s, rnd_doc, rnd_q, rnd_path =
+    make_inputs ()
+  in
+  [
+    Test.make ~name:"fig5/xaos_stream"
+      (Staged.stage (fun () -> ignore (Query.run_string paper_q xmark_s)));
+    Test.make ~name:"fig5/baseline_build_and_eval"
+      (Staged.stage (fun () ->
+           let doc = Xaos_xml.Dom.of_string xmark_s in
+           ignore (Xaos_baseline.Dom_engine.eval doc paper_path)));
+    Test.make ~name:"table3/filter_only"
+      (Staged.stage (fun () ->
+           (* relevance filtering throughput: feed every event, skip
+              result assembly *)
+           let run = Query.start paper_q in
+           Xaos_xml.Dom.iter_events (Query.feed run) xmark_doc));
+    Test.make ~name:"fig6/xaos_sax"
+      (Staged.stage (fun () -> ignore (Query.run_string rnd_q rnd_s)));
+    Test.make ~name:"fig6/xalan_overall"
+      (Staged.stage (fun () ->
+           let doc = Xaos_xml.Dom.of_string rnd_s in
+           ignore (Xaos_baseline.Dom_engine.eval doc rnd_path)));
+    Test.make ~name:"fig6/dom_build_only"
+      (Staged.stage (fun () -> ignore (Xaos_xml.Dom.of_string rnd_s)));
+    Test.make ~name:"fig7/xaos_dom_search"
+      (Staged.stage (fun () -> ignore (Query.run_doc rnd_q rnd_doc)));
+    Test.make ~name:"fig7/xalan_search"
+      (Staged.stage (fun () ->
+           ignore (Xaos_baseline.Dom_engine.eval rnd_doc rnd_path)));
+  ]
+
+let run () =
+  Util.print_header "Bechamel micro-benchmarks (per-run cost, OLS estimate)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"xaos" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.3f ms" (e /. 1e6)
+        | Some [] | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      rows := [ name; estimate; r2 ] :: !rows)
+    results;
+  Util.print_table
+    ~columns:[ "kernel"; "time/run"; "r^2" ]
+    (List.sort compare !rows)

@@ -1,0 +1,100 @@
+(* Shared benchmark plumbing: wall-clock timing, memory probes, run
+   statistics, and fixed-width table rendering. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let mean samples =
+  match samples with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. samples /. float_of_int (List.length samples)
+
+let stddev samples =
+  match samples with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean samples in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. samples
+      /. float_of_int (List.length samples - 1)
+    in
+    sqrt var
+
+(* Live heap bytes after a full collection. *)
+let live_bytes () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words * (Sys.word_size / 8)
+
+(* Run [f] while sampling the major-heap size at the end of every major
+   collection cycle; returns (result, peak heap bytes seen). This is what
+   "memory use" means for a streaming engine: retention between
+   collections, not final live data. *)
+let with_peak_heap f =
+  Gc.compact ();
+  let peak = ref (Gc.quick_stat ()).Gc.heap_words in
+  let alarm =
+    Gc.create_alarm (fun () ->
+        let w = (Gc.quick_stat ()).Gc.heap_words in
+        if w > !peak then peak := w)
+  in
+  let finish () = Gc.delete_alarm alarm in
+  let result =
+    try f ()
+    with e ->
+      finish ();
+      raise e
+  in
+  finish ();
+  let w = (Gc.quick_stat ()).Gc.heap_words in
+  if w > !peak then peak := w;
+  (result, !peak * (Sys.word_size / 8))
+
+let mb bytes = float_of_int bytes /. 1048576.
+
+(* ------------------------------------------------------------------ *)
+(* Table rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let print_header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let print_table ~columns rows =
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length col) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let fsec t = Printf.sprintf "%.3f" t
+
+let fsec_pm m s = Printf.sprintf "%.3f ± %.3f" m s
+
+let fpct x = Printf.sprintf "%.2f%%" (100. *. x)
+
+let fint n =
+  (* thousands separators for readability *)
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let note fmt = Printf.printf ("  note: " ^^ fmt ^^ "\n")

@@ -1,0 +1,409 @@
+(* xaos — command-line front end to the streaming XPath engine.
+
+     xaos eval '//listitem/ancestor::category//name' auctions.xml
+     cat doc.xml | xaos eval --stats '//a[b]/..'
+     xaos explain '//Y[U]//W[ancestor::Z/V]'
+     xaos filter subscriptions.txt doc1.xml doc2.xml
+     xaos generate xmark --scale 0.01 -o auctions.xml
+     xaos generate random --seed 7 --elements 50000 -o random.xml *)
+
+open Cmdliner
+open Xaos_core
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("xaos: " ^ msg);
+    exit 2
+
+let read_source = function
+  | None -> Xaos_xml.Sax.of_channel stdin
+  | Some file -> Xaos_xml.Sax.of_channel (open_in_bin file)
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type engine_kind =
+  | Streaming
+  | Dom
+  | Dom_dedup
+
+let config_of ~eager ~no_filter ~no_counters =
+  {
+    Engine.boolean_subtrees = not no_counters;
+    relevance_filter = not no_filter;
+    eager_emission = eager;
+  }
+
+let print_items items =
+  List.iter (fun i -> Format.printf "%a@." Item.pp i) items
+
+let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
+    count_only tuples_flag =
+  let config = config_of ~eager ~no_filter ~no_counters in
+  match engine_kind with
+  | Streaming ->
+    let q = or_die (Query.compile ~config query) in
+    let result, stats =
+      try
+        let run = Query.start q in
+        Xaos_xml.Sax.iter (Query.feed run) (read_source file);
+        (Query.finish run, Query.run_stats run)
+      with
+      | Xaos_xml.Sax.Error (pos, msg) ->
+        or_die
+          (Error (Format.asprintf "%a: %s" Xaos_xml.Sax.pp_position pos msg))
+      | Sys_error msg -> or_die (Error msg)
+    in
+    if count_only then
+      Format.printf "%d@." (List.length result.Result_set.items)
+    else print_items result.Result_set.items;
+    (if tuples_flag then
+       match result.Result_set.tuples with
+       | None -> ()
+       | Some tuples ->
+         List.iter
+           (fun tuple ->
+             Format.printf "(%a)@."
+               (Format.pp_print_array
+                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                  Item.pp)
+               tuple)
+           tuples);
+    if stats_flag then Format.eprintf "%a@." Stats.pp stats
+  | Dom | Dom_dedup ->
+    let path =
+      match Xaos_xpath.Parser.parse_result query with
+      | Ok p -> p
+      | Error msg -> or_die (Error msg)
+    in
+    let doc =
+      try Xaos_xml.Dom.of_sax (read_source file) with
+      | Xaos_xml.Sax.Error (pos, msg) ->
+        or_die
+          (Error (Format.asprintf "%a: %s" Xaos_xml.Sax.pp_position pos msg))
+      | Sys_error msg -> or_die (Error msg)
+    in
+    let dedup = engine_kind = Dom_dedup in
+    let items, counters =
+      Xaos_baseline.Dom_engine.eval_with_counters ~dedup doc path
+    in
+    if count_only then Format.printf "%d@." (List.length items)
+    else print_items items;
+    if stats_flag then
+      Format.eprintf "nodes visited: %d; predicate evaluations: %d@."
+        counters.Xaos_baseline.Dom_engine.nodes_visited
+        counters.Xaos_baseline.Dom_engine.predicate_evaluations
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd query =
+  let path =
+    match Xaos_xpath.Parser.parse_result query with
+    | Ok p -> p
+    | Error msg -> or_die (Error msg)
+  in
+  Format.printf "expression:  %s@." (Xaos_xpath.Ast.to_string path);
+  Format.printf "node tests:  %d@." (Xaos_xpath.Ast.step_count path);
+  Format.printf "backward:    %b@." (Xaos_xpath.Ast.uses_backward_axis path);
+  let disjuncts = or_die (Xaos_xpath.Dnf.expand_bounded ~limit:64 path) in
+  List.iteri
+    (fun i disjunct ->
+      if List.length disjuncts > 1 then
+        Format.printf "@.-- disjunct %d: %s@." (i + 1)
+          (Xaos_xpath.Ast.to_string disjunct);
+      let xtree = Xaos_xpath.Xtree.of_path disjunct in
+      Format.printf "@.x-tree:@.%a" Xaos_xpath.Xtree.pp xtree;
+      match Xaos_xpath.Xdag.of_xtree xtree with
+      | dag ->
+        Format.printf "@.x-dag:@.%a" Xaos_xpath.Xdag.pp dag;
+        (match Xaos_xpath.Xdag.join_points dag with
+        | [] -> Format.printf "join points: none (x-dag is a tree)@."
+        | points ->
+          Format.printf "join points: %a@."
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               Format.pp_print_int)
+            points);
+        let engine = Engine.create dag in
+        Format.printf "eager-capable: %b@." (Engine.emits_eagerly engine)
+      | exception Xaos_xpath.Xdag.Unsatisfiable ->
+        Format.printf
+          "@.unsatisfiable: reversal creates a cycle (e.g. an ancestor of \
+           the root); this disjunct never matches@.")
+    disjuncts
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd query file limit =
+  let path =
+    match Xaos_xpath.Parser.parse_result query with
+    | Ok p -> p
+    | Error msg -> or_die (Error msg)
+  in
+  let disjuncts = or_die (Xaos_xpath.Dnf.expand_bounded ~limit:16 path) in
+  let events =
+    try
+      let parser = read_source file in
+      List.rev
+        (Xaos_xml.Sax.fold (fun acc ev -> ev :: acc) [] parser)
+    with
+    | Xaos_xml.Sax.Error (pos, msg) ->
+      or_die (Error (Format.asprintf "%a: %s" Xaos_xml.Sax.pp_position pos msg))
+    | Sys_error msg -> or_die (Error msg)
+  in
+  List.iteri
+    (fun i disjunct ->
+      if List.length disjuncts > 1 then
+        Format.printf "@.-- disjunct %d: %s@.@." (i + 1)
+          (Xaos_xpath.Ast.to_string disjunct);
+      let xtree = Xaos_xpath.Xtree.of_path disjunct in
+      match Xaos_xpath.Xdag.of_xtree xtree with
+      | dag ->
+        let trace = Trace.run dag events in
+        let truncated =
+          match limit with
+          | Some n when List.length trace.Trace.steps > n ->
+            Some { trace with Trace.steps = List.filteri (fun i _ -> i < n) trace.Trace.steps }
+          | _ -> None
+        in
+        (match truncated with
+        | Some t ->
+          Format.printf "%a" (Trace.pp ~xtree) t;
+          Format.printf "... (%d more steps; raise --limit)@."
+            (List.length trace.Trace.steps - Option.get limit)
+        | None -> Format.printf "%a" (Trace.pp ~xtree) trace)
+      | exception Xaos_xpath.Xdag.Unsatisfiable ->
+        Format.printf "unsatisfiable disjunct; no trace@.")
+    disjuncts
+
+(* ------------------------------------------------------------------ *)
+(* filter (publish/subscribe)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let filter_cmd subscriptions_file docs =
+  let subscriptions =
+    let ic = open_in subscriptions_file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec loop acc =
+          match input_line ic with
+          | line ->
+            let line = String.trim line in
+            if String.length line = 0 || line.[0] = '#' then loop acc
+            else loop (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        loop [])
+  in
+  let compiled =
+    List.map (fun q -> (q, or_die (Query.compile q))) subscriptions
+  in
+  let exit_code = ref 0 in
+  List.iter
+    (fun doc_file ->
+      (* one pass over the document feeds every subscription *)
+      let runs = List.map (fun (q, c) -> (q, Query.start c)) compiled in
+      (try
+         let parser = Xaos_xml.Sax.of_channel (open_in_bin doc_file) in
+         Xaos_xml.Sax.iter
+           (fun ev -> List.iter (fun (_, run) -> Query.feed run ev) runs)
+           parser
+       with
+      | Xaos_xml.Sax.Error (pos, msg) ->
+        Format.eprintf "%s: %a: %s@." doc_file Xaos_xml.Sax.pp_position pos msg;
+        exit_code := 2
+      | Sys_error msg ->
+        Format.eprintf "%s@." msg;
+        exit_code := 2);
+      List.iter
+        (fun (q, run) ->
+          let result = Query.finish run in
+          let n = List.length result.Result_set.items in
+          Format.printf "%s\t%s\t%s@." doc_file
+            (if n > 0 then "MATCH" else "-")
+            q;
+          if n = 0 then () else ())
+        runs)
+    docs;
+  exit !exit_code
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_output output f =
+  match output with
+  | None -> f stdout
+  | Some file ->
+    let oc = open_out_bin file in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let generate_xmark scale seed output =
+  let cfg = Xaos_workloads.Xmark.config ?seed scale in
+  with_output output (fun oc ->
+      let buf = Buffer.create 65536 in
+      let count =
+        Xaos_workloads.Xmark.generate cfg (fun ev ->
+            Xaos_xml.Serialize.event_to_buffer buf ev;
+            if Buffer.length buf >= 65536 then begin
+              Buffer.output_buffer oc buf;
+              Buffer.clear buf
+            end)
+      in
+      Buffer.output_buffer oc buf;
+      Format.eprintf "generated %d elements at scale %g@." count scale)
+
+let generate_random seed elements output query_out =
+  let spec = Xaos_workloads.Randgen.generate_spec ~seed () in
+  let query = Xaos_xpath.Ast.to_string spec.Xaos_workloads.Randgen.query in
+  (match query_out with
+  | None -> Format.eprintf "query: %s@." query
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (query ^ "\n");
+    close_out oc);
+  with_output output (fun oc ->
+      let buf = Buffer.create 65536 in
+      let count =
+        Xaos_workloads.Randgen.document spec ~seed:(seed * 31) ~elements
+          (fun ev ->
+            Xaos_xml.Serialize.event_to_buffer buf ev;
+            if Buffer.length buf >= 65536 then begin
+              Buffer.output_buffer oc buf;
+              Buffer.clear buf
+            end)
+      in
+      Buffer.output_buffer oc buf;
+      Format.eprintf "generated %d elements@." count)
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner terms                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
+
+let file_arg =
+  Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE"
+         ~doc:"XML document; stdin when omitted.")
+
+let engine_arg =
+  let kinds =
+    [ ("xaos", Streaming); ("dom", Dom); ("dom-dedup", Dom_dedup) ]
+  in
+  Arg.(value & opt (enum kinds) Streaming
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"$(b,xaos) (streaming), $(b,dom) (Xalan-like baseline) or \
+                 $(b,dom-dedup) (baseline with per-step node-set merging).")
+
+let flag names doc = Arg.(value & flag & info names ~doc)
+
+let eval_term =
+  Term.(
+    const eval_cmd $ query_arg $ file_arg $ engine_arg
+    $ flag [ "eager" ] "Stream results out as soon as they are known \
+                        (forward-only chain expressions)."
+    $ flag [ "no-filter" ] "Disable the looking-for relevance filter \
+                            (ablation; results unchanged)."
+    $ flag [ "no-counters" ] "Disable the boolean-subtree optimization, \
+                              retaining all matching structures."
+    $ flag [ "stats" ] "Print engine statistics to stderr."
+    $ flag [ "count" ] "Print only the number of results."
+    $ flag [ "tuples" ] "Also print result tuples of \\$-marked \
+                         expressions.")
+
+let eval_command =
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Evaluate an XPath expression over a document in one streaming \
+             pass")
+    eval_term
+
+let explain_command =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the x-tree, x-dag and evaluation plan of an expression")
+    Term.(const explain_cmd $ query_arg)
+
+let trace_command =
+  let limit =
+    Arg.(value & opt (some int) (Some 200)
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Maximum steps to print; pass 0 for unlimited.")
+  in
+  let limit = Term.(const (function Some 0 -> None | l -> l) $ limit) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the Table 2-style event walkthrough: per event, the \
+             matched x-nodes, the looking-for set and the propagation \
+             activity")
+    Term.(const trace_cmd $ query_arg $ file_arg $ limit)
+
+let filter_command =
+  let subs =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SUBSCRIPTIONS"
+           ~doc:"File with one XPath expression per line ('#' comments).")
+  in
+  let docs =
+    Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"DOC.xml")
+  in
+  Cmd.v
+    (Cmd.info "filter"
+       ~doc:"Publish/subscribe filtering: match documents against a set of \
+             subscriptions, one pass per document")
+    Term.(const filter_cmd $ subs $ docs)
+
+let output_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout).")
+
+let generate_xmark_command =
+  let scale =
+    Arg.(value & opt float 0.01 & info [ "scale" ] ~doc:"XMark scale factor.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"PRNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "xmark" ~doc:"Generate an XMark-like auction document")
+    Term.(const generate_xmark $ scale $ seed $ output_arg)
+
+let generate_random_command =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let elements =
+    Arg.(value & opt int 10_000
+         & info [ "elements" ] ~doc:"Minimum element count.")
+  in
+  let query_out =
+    Arg.(value & opt (some string) None
+         & info [ "query-out" ] ~docv:"FILE"
+             ~doc:"Write the generated expression here (stderr otherwise).")
+  in
+  Cmd.v
+    (Cmd.info "random"
+       ~doc:"Generate a random size-6 expression and a matching document \
+             (the paper's Section 6.2 workload)")
+    Term.(const generate_random $ seed $ elements $ output_arg $ query_out)
+
+let generate_command =
+  Cmd.group
+    (Cmd.info "generate" ~doc:"Workload generators")
+    [ generate_xmark_command; generate_random_command ]
+
+let () =
+  let info =
+    Cmd.info "xaos" ~version:"1.0"
+      ~doc:"Streaming XPath with forward and backward axes (χαος, ICDE 2003)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ eval_command; explain_command; trace_command; filter_command;
+            generate_command ]))

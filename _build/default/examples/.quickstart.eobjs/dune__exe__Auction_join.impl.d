@@ -1,0 +1,1 @@
+examples/auction_join.ml: Format Item List Query Result_set String Xaos_core Xaos_workloads

@@ -1,0 +1,1 @@
+examples/pubsub_filter.ml: Format List Printf Query_set String Xaos_core Xaos_workloads

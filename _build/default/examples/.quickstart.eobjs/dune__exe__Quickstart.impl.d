@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Format Query Result_set Stats Xaos_core Xaos_xml

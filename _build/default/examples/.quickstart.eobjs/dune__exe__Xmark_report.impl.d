@@ -1,0 +1,1 @@
+examples/xmark_report.ml: Array Filename Format Fun In_channel Item List Query Result_set Stats Sys Unix Xaos_baseline Xaos_core Xaos_workloads Xaos_xml Xaos_xpath

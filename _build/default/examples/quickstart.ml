@@ -1,0 +1,52 @@
+(* Quickstart: compile an expression once, evaluate it over documents in a
+   single streaming pass each, and inspect what the engine did.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Xaos_core
+
+(* The paper's running example: Figure 2's document ... *)
+let document =
+  "<X>\
+   <Y><W/><Z><V/><V/><W><W/></W></Z><U/></Y>\
+   <Y><Z><W/></Z><U/></Y>\
+   </X>"
+
+(* ... and Figure 3's expression: W descendants of a Y (that has a U
+   child), where the W has a Z ancestor with a V child. Both backward axes
+   (ancestor) and forward axes (descendant, child) in one pass. *)
+let expression =
+  "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]"
+
+let () =
+  (* 1. compile: parse, expand 'or', build x-tree and x-dag *)
+  let query = Query.compile_exn expression in
+
+  (* 2. run: one depth-first pass over the document *)
+  let result, stats = Query.run_string_with_stats query document in
+
+  Format.printf "expression: %s@." expression;
+  Format.printf "result:     %a@." Result_set.pp result;
+  Format.printf "            (the paper's Figure 4 solution: {W7, W8})@.@.";
+
+  (* 3. the engine only stored the relevant fraction of the document *)
+  Format.printf "engine:     %a@.@." Stats.pp stats;
+
+  (* Abbreviated syntax and attribute tests also work: *)
+  let catalog =
+    "<catalog><book id=\"b1\"><title>Streams</title></book>\
+     <book><title>Trees</title></book></catalog>"
+  in
+  let titled = Query.compile_exn "//book[@id]/title" in
+  let r = Query.run_string titled catalog in
+  Format.printf "books with ids: %a@.@." Result_set.pp r;
+
+  (* The same expression can be re-run over any number of documents;
+     results arrive through a callback as soon as they are certain: *)
+  let seen = ref 0 in
+  let eager_config = { Engine.default_config with eager_emission = true } in
+  let titles = Query.compile_exn ~config:eager_config "//title" in
+  let run = Query.start ~on_match:(fun _ -> incr seen) titles in
+  Query.feed_doc run (Xaos_xml.Dom.of_string catalog);
+  ignore (Query.finish run);
+  Format.printf "streamed %d titles through the on_match callback@." !seen

@@ -1,0 +1,70 @@
+(* The paper's headline scenario (Figure 5 / Table 3): evaluate
+   //listitem/ancestor::category//name over an XMark auction document,
+   streaming from a file, and compare with the DOM baseline on the same
+   data — time, memory behaviour, and the fraction of elements the
+   relevance filter discarded.
+
+   Run with:  dune exec examples/xmark_report.exe            (default scale)
+              dune exec examples/xmark_report.exe -- 0.05    (bigger)  *)
+
+open Xaos_core
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.02
+  in
+  let file = Filename.temp_file "xmark" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let elements =
+        Xaos_workloads.Xmark.to_file (Xaos_workloads.Xmark.config scale) file
+      in
+      let size_mb =
+        float_of_int (Unix.stat file).Unix.st_size /. 1048576.
+      in
+      Format.printf "document: %s (scale %g, %.2f MB, %d elements)@.@." file
+        scale size_mb elements;
+
+      let expression = Xaos_workloads.Xmark.paper_query in
+      Format.printf "expression: %s@.@." expression;
+
+      (* χαος: stream straight from the file; memory stays flat *)
+      let query = Query.compile_exn expression in
+      let (result, stats), xaos_time =
+        time (fun () -> Query.run_file_with_stats query file)
+      in
+      Format.printf "xaos (streaming):@.";
+      Format.printf "  time:      %.3f s@." xaos_time;
+      Format.printf "  results:   %d category names@."
+        (List.length result.Result_set.items);
+      Format.printf "  filtering: %d of %d elements discarded (%.2f%%)@."
+        stats.Stats.elements_discarded stats.Stats.elements_total
+        (100. *. Stats.discarded_fraction stats);
+      Format.printf "  stored:    %d elements, %d matching structures@.@."
+        stats.Stats.elements_stored stats.Stats.structures_created;
+
+      (* baseline: materialize the whole tree first *)
+      let (doc, baseline_items), baseline_time =
+        time (fun () ->
+            let doc = Xaos_xml.Dom.of_string (In_channel.with_open_bin file In_channel.input_all) in
+            (doc, Xaos_baseline.Dom_engine.eval doc (Xaos_xpath.Parser.parse expression)))
+      in
+      Format.printf "baseline (DOM):@.";
+      Format.printf "  time:      %.3f s (%.1fx xaos)@." baseline_time
+        (baseline_time /. xaos_time);
+      Format.printf "  tree:      %d elements held in memory@."
+        doc.Xaos_xml.Dom.element_count;
+      Format.printf "  agreement: %b@."
+        (List.equal Item.equal baseline_items result.Result_set.items);
+
+      (* the first few results, in the paper's notation *)
+      Format.printf "@.first results:@.";
+      List.iteri
+        (fun i item -> if i < 5 then Format.printf "  %a@." Item.pp item)
+        result.Result_set.items)

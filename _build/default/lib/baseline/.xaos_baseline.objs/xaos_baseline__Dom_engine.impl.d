@@ -1,0 +1,1 @@
+lib/baseline/dom_engine.ml: Int List Seq String Xaos_core Xaos_xml Xaos_xpath

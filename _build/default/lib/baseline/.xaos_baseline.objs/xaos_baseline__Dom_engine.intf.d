@@ -1,0 +1,1 @@
+lib/baseline/dom_engine.mli: Xaos_core Xaos_xml Xaos_xpath

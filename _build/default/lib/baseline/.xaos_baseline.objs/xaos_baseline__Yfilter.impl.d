@@ -1,0 +1,1 @@
+lib/baseline/yfilter.ml: Array Hashtbl List Printf Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+lib/baseline/yfilter.mli: Xaos_xml Xaos_xpath

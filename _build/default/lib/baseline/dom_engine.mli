@@ -1,0 +1,45 @@
+(** Xalan-like DOM XPath engine — the paper's comparator (Section 6).
+
+    The whole document is materialized as a {!Xaos_xml.Dom.doc} before
+    evaluation, and each location step is evaluated by traversing the
+    requested axis from {e every} context node, filtering by node test and
+    predicates. Like Xalan's [SimpleXPathAPI], the engine performs no
+    cross-node memoization, so elements may be visited many times — e.g.
+    [/descendant::x/ancestor::y] revisits each [x]'s ancestor chain — with
+    worst-case time O(D{^n}) for document size D and n steps (Gottlob et
+    al., cited in the paper's introduction). This is precisely the
+    inefficiency χαος removes, and the bimodal behaviour Figure 7
+    attributes to the baseline.
+
+    Results are node sets: document order, duplicate-free. Semantics agree
+    with {!Xaos_core.Semantics} on the supported fragment (differentially
+    tested). [$] marks are ignored, as Xalan has no multi-output notion. *)
+
+type counters = {
+  mutable nodes_visited : int;
+      (** axis-traversal visits, counting repeats — the "unnecessary
+          traversals" the paper measures indirectly *)
+  mutable predicate_evaluations : int;
+}
+
+val eval :
+  ?dedup:bool -> Xaos_xml.Dom.doc -> Xaos_xpath.Ast.path -> Xaos_core.Item.t list
+(** Evaluate over a prebuilt tree. With [dedup = false] (the default, and
+    the faithful model of Xalan's behaviour) duplicate context nodes are
+    {e not} merged between steps, so subtrees are re-traversed from every
+    context that reaches them; [dedup = true] is the improved variant that
+    sorts and merges the node set after every step. Both agree on the
+    result (a sorted, duplicate-free node set). *)
+
+val eval_with_counters :
+  ?dedup:bool ->
+  Xaos_xml.Dom.doc ->
+  Xaos_xpath.Ast.path ->
+  Xaos_core.Item.t list * counters
+
+val eval_string : string -> Xaos_xpath.Ast.path -> Xaos_core.Item.t list
+(** Parse (building the full tree, as Xalan does) and evaluate.
+    @raise Xaos_xml.Sax.Error on ill-formed XML. *)
+
+val eval_query : Xaos_xml.Dom.doc -> string -> (Xaos_core.Item.t list, string) result
+(** Convenience: parse the expression too. *)

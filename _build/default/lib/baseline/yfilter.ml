@@ -1,0 +1,171 @@
+module Ast = Xaos_xpath.Ast
+
+type query_id = int
+
+let supported_step (s : Ast.step) =
+  (match s.Ast.axis with
+  | Ast.Child | Ast.Descendant -> true
+  | Ast.Parent | Ast.Ancestor | Ast.Self | Ast.Descendant_or_self
+  | Ast.Ancestor_or_self ->
+    false)
+  && s.Ast.predicates = []
+  && not s.Ast.marked
+
+let supported (p : Ast.path) =
+  p.Ast.absolute && List.for_all supported_step p.Ast.steps
+
+(* The automaton is a prefix-sharing trie whose edges carry the step's
+   (axis, test); subscriptions accepting at a node are recorded there. *)
+type node = {
+  id : int;
+  mutable edges : ((Ast.axis * Ast.node_test) * node) list;
+  mutable accepts : query_id list;
+}
+
+type t = {
+  root : node;
+  queries : int;
+  states : int;
+}
+
+let build paths =
+  let counter = ref 0 in
+  let fresh () =
+    let node = { id = !counter; edges = []; accepts = [] } in
+    incr counter;
+    node
+  in
+  let root = fresh () in
+  let rec insert node qid = function
+    | [] ->
+      node.accepts <- qid :: node.accepts;
+      ()
+    | (step : Ast.step) :: rest ->
+      let key = (step.Ast.axis, step.Ast.test) in
+      let child =
+        match List.assoc_opt key node.edges with
+        | Some child -> child
+        | None ->
+          let child = fresh () in
+          node.edges <- node.edges @ [ (key, child) ];
+          child
+      in
+      insert child qid rest
+  in
+  let rec check qid = function
+    | [] -> Ok ()
+    | p :: rest ->
+      if supported p then check (qid + 1) rest
+      else
+        Error
+          (Printf.sprintf
+             "subscription %d (%s) is outside the forward-only linear class \
+              this automaton supports"
+             qid (Ast.to_string p))
+  in
+  match check 0 paths with
+  | Error _ as e -> e
+  | Ok () ->
+    List.iteri (fun qid p -> insert root qid p.Ast.steps) paths;
+    Ok { root; queries = List.length paths; states = !counter }
+
+let query_count t = t.queries
+
+let state_count t = t.states
+
+(* Runtime: YFilter's stack of active-state sets. An activation is
+   {e fresh} when its node was reached by an edge at exactly this level —
+   its child edges fire on the element's children, its descendant edges on
+   any proper descendant. An activation {e carried} down from a shallower
+   level may only fire its descendant edges: the child edges belonged to
+   the level where it was fresh. A query accepts when its node is freshly
+   activated (the element completes the path). *)
+type activation = {
+  a_node : node;
+  a_carried : bool;
+}
+
+type run = {
+  automaton : t;
+  mutable stack : activation list list;
+  counts : int array;
+}
+
+let has_descendant_edges node =
+  List.exists (fun ((axis, _), _) -> axis = Ast.Descendant) node.edges
+
+let start automaton =
+  {
+    automaton;
+    stack = [ [ { a_node = automaton.root; a_carried = false } ] ];
+    counts = Array.make automaton.queries 0;
+  }
+
+let accept run node =
+  List.iter (fun qid -> run.counts.(qid) <- run.counts.(qid) + 1) node.accepts
+
+let step_set run current tag =
+  let next = ref [] in
+  let fresh = Hashtbl.create 8 in
+  let activate node =
+    if not (Hashtbl.mem fresh node.id) then begin
+      Hashtbl.add fresh node.id ();
+      accept run node;
+      next := { a_node = node; a_carried = false } :: !next
+    end
+  in
+  let fire (activation : activation) =
+    List.iter
+      (fun ((axis, test), child) ->
+        match axis with
+        | Ast.Child ->
+          if (not activation.a_carried) && Ast.test_matches test tag then
+            activate child
+        | Ast.Descendant -> if Ast.test_matches test tag then activate child
+        | Ast.Parent | Ast.Ancestor | Ast.Self | Ast.Descendant_or_self
+        | Ast.Ancestor_or_self ->
+          assert false)
+      activation.a_node.edges
+  in
+  List.iter fire current;
+  (* nodes with pending descendant edges survive into the deeper set;
+     a fresh copy already in [next] subsumes the carried one *)
+  List.iter
+    (fun a ->
+      if has_descendant_edges a.a_node && not (Hashtbl.mem fresh a.a_node.id)
+      then begin
+        Hashtbl.add fresh a.a_node.id ();
+        next := { a_node = a.a_node; a_carried = true } :: !next
+      end)
+    current;
+  !next
+
+let feed run event =
+  match event with
+  | Xaos_xml.Event.Start_element { name; _ } -> (
+    match run.stack with
+    | current :: _ ->
+      let next = step_set run current name in
+      run.stack <- next :: run.stack
+    | [] -> invalid_arg "Yfilter.feed: unbalanced events")
+  | Xaos_xml.Event.End_element _ -> (
+    match run.stack with
+    | _ :: (_ :: _ as rest) -> run.stack <- rest
+    | [ _ ] | [] -> invalid_arg "Yfilter.feed: unbalanced events")
+  | Xaos_xml.Event.Text _ | Xaos_xml.Event.Comment _
+  | Xaos_xml.Event.Processing_instruction _ ->
+    ()
+
+let matches run =
+  let result = ref [] in
+  for qid = Array.length run.counts - 1 downto 0 do
+    if run.counts.(qid) > 0 then result := qid :: !result
+  done;
+  !result
+
+let match_counts run = Array.copy run.counts
+
+let run_string automaton input =
+  let run = start automaton in
+  Xaos_xml.Sax.iter (feed run) (Xaos_xml.Sax.of_string input);
+  matches run

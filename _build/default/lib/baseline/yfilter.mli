@@ -1,0 +1,53 @@
+(** A YFilter-style shared automaton for {e forward-only, linear} path
+    expressions — the class of streaming system the paper improves upon
+    (Diao et al.'s YFilter, and XFilter before it, are the "related work"
+    comparators; both are restricted to forward axes).
+
+    All subscriptions are combined into one prefix-sharing automaton
+    (YFilter's NFA); a document is filtered in a single pass with a stack
+    of active state sets. Shared prefixes are evaluated once no matter how
+    many subscriptions contain them — the scalability trick of those
+    systems, reproduced here so the repository contains a faithful member
+    of the class χαος is compared against.
+
+    Supported subscriptions: absolute location paths whose steps use only
+    [child] and [descendant] axes with name or wildcard tests and no
+    predicates (XFilter's "simple XPath location path expressions").
+    Everything else — backward axes above all — is rejected by {!build}:
+    that rejection is precisely the gap the χαος algorithm closes. *)
+
+type query_id = int
+(** Index of the subscription in the list passed to {!build}. *)
+
+val supported : Xaos_xpath.Ast.path -> bool
+(** Whether the expression is in the supported class. *)
+
+type t
+(** The shared automaton. Immutable. *)
+
+val build : Xaos_xpath.Ast.path list -> (t, string) result
+(** Combine subscriptions; fails naming the first unsupported one. *)
+
+val query_count : t -> int
+
+val state_count : t -> int
+(** Number of automaton nodes — with shared prefixes, typically far fewer
+    than the total number of steps. *)
+
+(** {1 Filtering} *)
+
+type run
+
+val start : t -> run
+
+val feed : run -> Xaos_xml.Event.t -> unit
+
+val matches : run -> query_id list
+(** Subscriptions with at least one match so far (sorted, distinct).
+    Usable mid-stream: filtering decisions are made eagerly. *)
+
+val match_counts : run -> int array
+(** Per-subscription number of matching elements so far. *)
+
+val run_string : t -> string -> query_id list
+(** One-shot filtering of a document. *)

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Buffer Hashtbl Int Item List Matching Option Printf Result_set Stats String Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Item Result_set Stats Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+lib/core/item.ml: Array Format Int String Xaos_xml

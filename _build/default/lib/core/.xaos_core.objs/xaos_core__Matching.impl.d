@@ -1,0 +1,1 @@
+lib/core/matching.ml: Array Format Hashtbl Item List Option Stats

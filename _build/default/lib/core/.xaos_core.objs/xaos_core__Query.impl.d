@@ -1,0 +1,1 @@
+lib/core/query.ml: Engine Fun List Result_set Stats Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+lib/core/query.mli: Engine Item Result_set Stats Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+lib/core/query_set.ml: Hashtbl Item List Printf Query Result_set Xaos_xml

@@ -1,0 +1,1 @@
+lib/core/query_set.mli: Engine Item Query Xaos_xml

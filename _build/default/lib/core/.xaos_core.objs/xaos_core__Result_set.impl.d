@@ -1,0 +1,1 @@
+lib/core/result_set.ml: Format Item List

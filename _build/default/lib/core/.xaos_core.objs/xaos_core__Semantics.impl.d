@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Array Hashtbl Int Item List Option String Xaos_xml Xaos_xpath

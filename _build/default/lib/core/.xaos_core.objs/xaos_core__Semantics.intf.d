@@ -1,0 +1,1 @@
+lib/core/semantics.mli: Item Xaos_xml Xaos_xpath

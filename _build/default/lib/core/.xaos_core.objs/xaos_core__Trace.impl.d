@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Engine Format Item List Result_set Stats String Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Engine Format Item Result_set Stats Xaos_xml Xaos_xpath

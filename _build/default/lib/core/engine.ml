@@ -1,0 +1,674 @@
+module Ast = Xaos_xpath.Ast
+module Xtree = Xaos_xpath.Xtree
+module Xdag = Xaos_xpath.Xdag
+
+type config = {
+  boolean_subtrees : bool;
+  relevance_filter : bool;
+  eager_emission : bool;
+}
+
+let default_config =
+  { boolean_subtrees = true; relevance_filter = true; eager_emission = false }
+
+type level_requirement =
+  | Exact of int
+  | Any
+
+(* Static, per-x-node view of the query, precomputed from the x-tree and
+   x-dag so the per-event work only touches arrays. *)
+type slot_info = {
+  slot_axis : Ast.axis;
+  slot_target : int;  (* x-node id of the x-tree child *)
+}
+
+type tree_parent = {
+  up_axis : Ast.axis;
+  up_node : int;  (* x-node id of the x-tree parent *)
+  up_slot : int;  (* index of this x-node in the parent's slots *)
+}
+
+type xinfo = {
+  label : Xtree.label;
+  attr_tests : Ast.attr_test list;  (* conjunction; usually empty *)
+  text_tests : Ast.text_test list;  (* conjunction; decided at end events *)
+  dag_parents : (Xdag.kind * int) array;
+  slots : slot_info array;
+  pointer_slots : bool array;
+  tree_parent : tree_parent option;
+  output : bool;
+}
+
+(* One open document element is represented by the list of matching
+   structures created at its start event, tagged with their x-node ids;
+   they are resolved (children of the x-tree first, i.e. by descending
+   x-node id) at its end event. The common no-match element pushes just
+   the shared empty list. *)
+type frame = Matching.t list
+
+type t = {
+  dag : Xdag.t;
+  info : xinfo array;
+  config : config;
+  eager : bool;
+  ordered_resolution : bool;
+      (** whether same-element (self / or-self) dependencies exist, in
+          which case a frame's structures must resolve in descending
+          x-node id order; without them any order is correct and the sort
+          is skipped *)
+  on_match : (Item.t -> unit) option;
+  output_ids : int array;
+  mutable serial : int;
+  mutable next_id : int;
+  open_stacks : Matching.t list array;
+      (** [open_stacks.(v)]: structures of open elements matching x-node
+          [v], innermost (deepest level) first; levels strictly decrease
+          down the stack since open elements are nested *)
+  mutable frames : frame list;
+  mutable depth : int;
+  root_struct : Matching.t;
+  stats : Stats.t;
+  mutable finished : bool;
+  mutable eager_items : Item.t list;  (* reversed *)
+  has_text_tests : bool;
+  mutable text_buffers : (int * Buffer.t) list;
+      (** (level, buffer) for open elements whose structures carry text
+          tests, innermost first; character data is appended to all of
+          them, since an element's string value includes its descendants'
+          text *)
+  candidate_cache : (string, int array) Hashtbl.t;
+      (** tag -> candidate x-nodes in x-dag topological order; memoized per
+          distinct tag so a start event does not rescan every x-node *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Eager emission (Section 5.1(b)) is sound when the expression uses only
+   forward axes (so satisfaction at an end event is final: nothing is
+   optimistic), has a single output x-node, and every x-node outside the
+   output's subtree sits on the bare chain from Root to the output (so the
+   relevance filter alone certifies everything above the output, and no
+   side predicate can still be pending when the output element ends). *)
+let eager_allowed (xtree : Xtree.t) =
+  match xtree.outputs with
+  | [ out ] ->
+    let forward_only =
+      Array.for_all
+        (fun (n : Xtree.xnode) ->
+          List.for_all (fun (axis, _) -> Ast.forward axis) n.children)
+        xtree.nodes
+    in
+    let rec chain_ok (n : Xtree.xnode) =
+      (* walking up from the output: each proper ancestor must have
+         exactly one x-tree child (its chain successor) and no pending
+         constraints of its own — a text test is only decided at the
+         ancestor's end event, long after the output element closed *)
+      match n.parent_edge with
+      | None -> true
+      | Some (_, parent) ->
+        List.length parent.children = 1 && parent.texts = [] && chain_ok parent
+    in
+    forward_only && chain_ok out
+  | _ -> false
+
+let build_info config eager (dag : Xdag.t) =
+  let xtree = dag.xtree in
+  let has_output = Xtree.subtree_has_output xtree in
+  Array.map
+    (fun (node : Xtree.xnode) ->
+      let slots =
+        Array.of_list
+          (List.map
+             (fun (axis, (child : Xtree.xnode)) ->
+               { slot_axis = axis; slot_target = child.id })
+             node.children)
+      in
+      let pointer_slots =
+        Array.map
+          (fun s ->
+            (not eager)
+            && ((not config.boolean_subtrees) || has_output.(s.slot_target)))
+          slots
+      in
+      let tree_parent =
+        Option.map
+          (fun (axis, (parent : Xtree.xnode)) ->
+            let up_slot =
+              let rec index i = function
+                | [] -> assert false
+                | (_, (c : Xtree.xnode)) :: rest ->
+                  if c.id = node.id then i else index (i + 1) rest
+              in
+              index 0 parent.children
+            in
+            { up_axis = axis; up_node = parent.id; up_slot })
+          node.parent_edge
+      in
+      {
+        label = node.label;
+        attr_tests = node.attrs;
+        text_tests = node.texts;
+        dag_parents = Array.of_list dag.parents.(node.id);
+        slots;
+        pointer_slots;
+        tree_parent;
+        output = node.output;
+      })
+    xtree.nodes
+
+let create ?(config = default_config) ?on_match (dag : Xdag.t) =
+  let eager =
+    config.eager_emission && config.relevance_filter
+    && eager_allowed dag.xtree
+  in
+  let info = build_info config eager dag in
+  let root_item = { Item.id = 0; tag = Xaos_xml.Dom.root_tag; level = 0 } in
+  let root_struct =
+    Matching.create ~serial:0 ~xnode:dag.xtree.root.id ~item:root_item
+      ~pointer_slots:info.(dag.xtree.root.id).pointer_slots
+  in
+  let open_stacks = Array.make (Xtree.size dag.xtree) [] in
+  open_stacks.(dag.xtree.root.id) <- [ root_struct ];
+  let ordered_resolution =
+    Array.exists
+      (List.exists (fun (kind, _) ->
+           match kind with
+           | Xdag.Kself | Xdag.Kdescendant_or_self -> true
+           | Xdag.Kchild | Xdag.Kdescendant -> false))
+      dag.children
+  in
+  {
+    dag;
+    info;
+    config;
+    eager;
+    ordered_resolution;
+    on_match;
+    output_ids =
+      Array.of_list (List.map (fun (n : Xtree.xnode) -> n.id) dag.xtree.outputs);
+    serial = 1;
+    next_id = 1;
+    open_stacks;
+    frames = [];
+    depth = 0;
+    root_struct;
+    stats = Stats.create ();
+    finished = false;
+    eager_items = [];
+    has_text_tests =
+      Array.exists (fun (n : Xtree.xnode) -> n.texts <> []) dag.xtree.nodes;
+    text_buffers = [];
+    candidate_cache = Hashtbl.create 64;
+  }
+
+(* Candidate x-nodes for a tag, in topological order (Kself edges need
+   same-event witnesses registered first). Computed once per distinct tag;
+   the lookup is exception-based to avoid an option allocation per event. *)
+let candidates t tag =
+  match Hashtbl.find t.candidate_cache tag with
+  | arr -> arr
+  | exception Not_found ->
+    let root_id = t.dag.xtree.root.id in
+    let matching =
+      Array.to_list t.dag.topo
+      |> List.filter (fun v ->
+             v <> root_id && Xtree.label_matches t.info.(v).label tag)
+    in
+    let arr = Array.of_list matching in
+    Hashtbl.add t.candidate_cache tag arr;
+    arr
+
+let emits_eagerly t = t.eager
+
+let stats t = t.stats
+
+let depth t = t.depth
+
+(* ------------------------------------------------------------------ *)
+(* Relevance (the looking-for filtering, Section 4.1)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the x-dag parent [p], reached over an edge of [kind], have an open
+   match at a level compatible with a new element at [level]? All open
+   matches lie on the current ancestor path, so the containment part of
+   consistency is implied and only levels need checking. For [Kself], the
+   witness is the same element's own match for [p], registered earlier in
+   this very start event thanks to topological candidate order. *)
+let rec stack_satisfies kind level stack =
+  match stack with
+  | [] -> false
+  | (m : Matching.t) :: rest ->
+    let ml = m.item.level in
+    (match kind with
+    | Xdag.Kchild -> ml = level - 1
+    | Xdag.Kdescendant -> ml < level
+    | Xdag.Kself -> ml = level
+    | Xdag.Kdescendant_or_self -> ml <= level)
+    || stack_satisfies kind level rest
+
+let relevant t v ~level =
+  let parents = t.info.(v).dag_parents in
+  let n = Array.length parents in
+  let rec loop i =
+    i >= n
+    ||
+    let kind, p = parents.(i) in
+    stack_satisfies kind level t.open_stacks.(p) && loop (i + 1)
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let find_attribute attrs key =
+  let rec loop = function
+    | [] -> None
+    | { Xaos_xml.Event.attr_name; attr_value } :: rest ->
+      if String.equal attr_name key then Some attr_value else loop rest
+  in
+  loop attrs
+
+let attr_tests_ok tests attrs =
+  match tests with
+  | [] -> true
+  | _ :: _ ->
+    List.for_all
+      (fun test -> Ast.attr_test_matches test ~find:(find_attribute attrs))
+      tests
+
+let start_element t ?(attrs = []) ~tag ~level () =
+  if t.finished then invalid_arg "Engine.start_element: already finished";
+  if level <> t.depth + 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.start_element: level %d does not extend current depth %d"
+         level t.depth);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.depth <- level;
+  let st = t.stats in
+  st.elements_total <- st.elements_total + 1;
+  if level > st.max_depth then st.max_depth <- level;
+  (* Candidates come in x-dag topological order, so same-element witnesses
+     for Kself edges are registered before they are needed. This is the
+     hottest loop of the engine: written without closures, and the item
+     descriptor shared by the element's structures is allocated only when
+     a first structure is. *)
+  let cands = candidates t tag in
+  let n = Array.length cands in
+  if n = 0 then begin
+    st.elements_discarded <- st.elements_discarded + 1;
+    t.frames <- [] :: t.frames
+  end
+  else begin
+    let frame = ref [] in
+    let item = ref None in
+    for i = 0 to n - 1 do
+      let v = Array.unsafe_get cands i in
+      if
+        attr_tests_ok t.info.(v).attr_tests attrs
+        && ((not t.config.relevance_filter) || relevant t v ~level)
+      then begin
+        let item =
+          match !item with
+          | Some it -> it
+          | None ->
+            let it = { Item.id; tag; level } in
+            item := Some it;
+            it
+        in
+        let m =
+          Matching.create ~serial:t.serial ~xnode:v ~item
+            ~pointer_slots:t.info.(v).pointer_slots
+        in
+        t.serial <- t.serial + 1;
+        st.structures_created <- st.structures_created + 1;
+        t.open_stacks.(v) <- m :: t.open_stacks.(v);
+        frame := m :: !frame
+      end
+    done;
+    (match !frame with
+    | [] -> st.elements_discarded <- st.elements_discarded + 1
+    | _ :: _ ->
+      st.elements_stored <- st.elements_stored + 1;
+      if
+        t.has_text_tests
+        && List.exists
+             (fun (m : Matching.t) -> t.info.(m.xnode).text_tests <> [])
+             !frame
+      then t.text_buffers <- (level, Buffer.create 64) :: t.text_buffers);
+    t.frames <- !frame :: t.frames
+  end
+
+(* Character data: append to the buffer of every open element that is
+   waiting to decide a text test. *)
+let text_event t s =
+  if t.has_text_tests then
+    List.iter (fun (_, buf) -> Buffer.add_string buf s) t.text_buffers
+
+let place_counted t ~child ~target ~slot =
+  Matching.place ~child ~target ~slot;
+  t.stats.propagations <- t.stats.propagations + 1
+
+(* Resolve the matching structure [m] of x-node [v] at the end event of
+   its element (paper, Sections 4.2-4.3):
+   1. fill backward-axis slots by optimistically pulling every consistent
+      open candidate (they are all ancestors, still unresolved);
+   2. if all slots are filled, the structure represents a (possibly
+      optimistic) total matching: push it into the consistent open
+      structures of its x-tree parent when the connecting axis is forward
+      (backward connections were/will be pulled from the other side);
+   3. otherwise refute it, undoing any optimistic placements that already
+      involve it. *)
+(* Whether an open match at level [ml] is a consistent partner for a
+   structure at level [l] over the given axis, the structure being on the
+   descendant side for backward axes and the ancestor side for forward
+   ones. All open matches are on the current ancestor path, so only the
+   level needs checking. *)
+let level_ok axis ~l ~ml =
+  match axis with
+  | Ast.Child | Ast.Parent -> ml = l - 1
+  | Ast.Descendant | Ast.Ancestor -> ml < l
+  | Ast.Self -> ml = l
+  | Ast.Descendant_or_self -> ml <= l
+  | Ast.Ancestor_or_self -> ml < l (* the "self" case is handled apart *)
+
+let rec place_consistent t axis ~l ~target ~slot stack =
+  match stack with
+  | [] -> ()
+  | (cand : Matching.t) :: rest ->
+    if level_ok axis ~l ~ml:cand.item.level then
+      place_counted t ~child:cand ~target ~slot;
+    place_consistent t axis ~l ~target ~slot rest
+
+let rec push_consistent t axis ~l ~child ~slot stack =
+  match stack with
+  | [] -> ()
+  | (target : Matching.t) :: rest ->
+    if level_ok axis ~l ~ml:target.item.level then
+      place_counted t ~child ~target ~slot;
+    push_consistent t axis ~l ~child ~slot rest
+
+let rec same_element_match frame xnode =
+  match frame with
+  | [] -> None
+  | (m : Matching.t) :: rest ->
+    if m.xnode = xnode then Some m else same_element_match rest xnode
+
+let resolve t frame ~text (m : Matching.t) =
+  let v = m.xnode in
+  (match t.open_stacks.(v) with
+  | top :: rest when top == m -> t.open_stacks.(v) <- rest
+  | _ -> assert false);
+  let info = t.info.(v) in
+  let text_ok =
+    match info.text_tests with
+    | [] -> true
+    | tests ->
+      let value = match text with Some s -> s | None -> assert false in
+      List.for_all (fun test -> Ast.text_test_matches test value) tests
+  in
+  if not text_ok then Matching.refute ~stats:t.stats m
+  else begin
+  let l = m.item.level in
+  for i = 0 to Array.length info.slots - 1 do
+    let s = Array.unsafe_get info.slots i in
+    match s.slot_axis with
+    | Ast.Parent | Ast.Ancestor ->
+      place_consistent t s.slot_axis ~l ~target:m ~slot:i
+        t.open_stacks.(s.slot_target)
+    | Ast.Ancestor_or_self -> (
+      place_consistent t s.slot_axis ~l ~target:m ~slot:i
+        t.open_stacks.(s.slot_target);
+      (* The "or self" witness is this same element's structure for the
+         target x-node; it resolved earlier in this frame (larger id),
+         so its verdict is already known. *)
+      match same_element_match frame s.slot_target with
+      | Some same when same.state = Matching.Satisfied ->
+        place_counted t ~child:same ~target:m ~slot:i
+      | Some _ | None -> ())
+    | Ast.Child | Ast.Descendant | Ast.Self | Ast.Descendant_or_self -> ()
+  done;
+  if Matching.satisfied_now m then begin
+    m.state <- Matching.Satisfied;
+    (match info.tree_parent with
+    | None -> ()
+    | Some { up_axis; up_node; up_slot } -> (
+      match up_axis with
+      | Ast.Child | Ast.Descendant | Ast.Self | Ast.Descendant_or_self ->
+        push_consistent t up_axis ~l ~child:m ~slot:up_slot
+          t.open_stacks.(up_node)
+      | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self -> ()));
+    if t.eager && info.output then begin
+      t.eager_items <- m.item :: t.eager_items;
+      match t.on_match with
+      | Some f -> f m.item
+      | None -> ()
+    end
+  end
+  else Matching.refute ~stats:t.stats m
+  end
+
+let end_element t =
+  match t.frames with
+  | [] -> invalid_arg "Engine.end_element: no open element"
+  | frame :: rest ->
+    let closing_level = t.depth in
+    t.frames <- rest;
+    t.depth <- t.depth - 1;
+    let text =
+      match t.text_buffers with
+      | (level, buf) :: deeper when level = closing_level ->
+        t.text_buffers <- deeper;
+        Some (Buffer.contents buf)
+      | _ -> None
+    in
+    (match frame with
+    | [] -> ()
+    | [ m ] -> resolve t frame ~text m
+    | _ :: _ :: _ ->
+      (* Children of the x-tree resolve before their parents so that
+         same-element dependencies (self and or-self axes) are ready;
+         descending x-node id is exactly that order. Structures were
+         prepended in topological order, which need not be id order, so
+         sort — but only when such dependencies can exist at all. *)
+      let matches =
+        if t.ordered_resolution then
+          List.sort
+            (fun (a : Matching.t) (b : Matching.t) ->
+              Int.compare b.xnode a.xnode)
+            frame
+        else frame
+      in
+      List.iter (fun m -> resolve t matches ~text m) matches)
+
+let feed t event =
+  match event with
+  | Xaos_xml.Event.Start_element { name; attributes; level } ->
+    start_element t ~attrs:attributes ~tag:name ~level ()
+  | Xaos_xml.Event.End_element _ -> end_element t
+  | Xaos_xml.Event.Text s -> text_event t s
+  | Xaos_xml.Event.Comment _ | Xaos_xml.Event.Processing_instruction _ -> ()
+
+(* Feed a prebuilt tree directly, without materializing intermediate
+   events — the hot path of the χαος(DOM) configuration. *)
+let rec feed_nodes t nodes =
+  match nodes with
+  | [] -> ()
+  | Xaos_xml.Dom.Element e :: rest ->
+    start_element t ~attrs:e.attributes ~tag:e.tag ~level:e.level ();
+    feed_nodes t e.children;
+    end_element t;
+    feed_nodes t rest
+  | Xaos_xml.Dom.Text s :: rest ->
+    text_event t s;
+    feed_nodes t rest
+  | (Xaos_xml.Dom.Comment _ | Xaos_xml.Dom.Pi _) :: rest -> feed_nodes t rest
+
+let feed_doc t (doc : Xaos_xml.Dom.doc) = feed_nodes t doc.root.children
+
+(* ------------------------------------------------------------------ *)
+(* Finishing and results                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The matching count is only computed when the caller explicitly ran
+   with full pointer slots (boolean_subtrees = false): it is an
+   introspection artifact (the paper's Figure 4), and counting traverses
+   every retained structure, which would tax ordinary runs. *)
+let wants_matching_count t =
+  (not t.config.boolean_subtrees) && not t.eager
+
+let finish t =
+  if t.frames <> [] then
+    invalid_arg "Engine.finish: document has unclosed elements";
+  if not t.finished then begin
+    t.finished <- true;
+    let root_id = t.dag.xtree.root.id in
+    (match t.open_stacks.(root_id) with
+    | top :: rest when top == t.root_struct -> t.open_stacks.(root_id) <- rest
+    | _ -> assert false);
+    (* Root cannot have backward-axis children (that would have made the
+       x-dag cyclic), so resolution is a bare satisfaction check. *)
+    if Matching.satisfied_now t.root_struct then
+      t.root_struct.state <- Matching.Satisfied
+    else Matching.refute ~stats:t.stats t.root_struct
+  end;
+  if t.eager then
+    {
+      Result_set.items = Item.sort_dedup (List.rev t.eager_items);
+      tuples = None;
+      matching_count = None;
+    }
+  else if t.root_struct.state = Matching.Satisfied then begin
+    (* items report the first output x-node; further marks are only
+       visible through the tuples *)
+    let primary = t.output_ids.(0) in
+    let items =
+      Item.sort_dedup
+        (Matching.collect_outputs ~is_output:(fun v -> v = primary)
+           t.root_struct)
+    in
+    (match t.on_match with
+    | Some f -> List.iter f items
+    | None -> ());
+    let tuples =
+      if Array.length t.output_ids > 1 then
+        Some (Matching.enumerate_tuples ~outputs:t.output_ids t.root_struct)
+      else None
+    in
+    let matching_count =
+      if wants_matching_count t then
+        Some (Matching.count_matchings t.root_struct)
+      else None
+    in
+    { Result_set.items; tuples; matching_count }
+  end
+  else Result_set.empty
+
+let frame_matches t =
+  match t.frames with
+  | [] -> []
+  | frame :: _ -> List.map (fun (m : Matching.t) -> (m.xnode, m.item)) frame
+
+(* Number of matching structures still reachable from the root structure —
+   what the engine actually holds at end of document (counter slots retain
+   nothing; eager mode reaches nothing). *)
+let retained_structures t =
+  if t.eager then 0
+  else begin
+    let visited = Hashtbl.create 64 in
+    let count = ref 0 in
+    let rec visit (m : Matching.t) =
+      if not (Hashtbl.mem visited m.serial) then begin
+        Hashtbl.add visited m.serial ();
+        incr count;
+        Array.iter
+          (function
+            | Matching.Pointers store ->
+              for i = 0 to store.len - 1 do
+                visit store.entries.(i).e_child
+              done
+            | Matching.Counter _ -> ())
+          m.slots
+      end
+    in
+    visit t.root_struct;
+    !count - 1 (* the root structure itself is not a match *)
+  end
+
+let run_events ?config dag events =
+  let t = create ?config dag in
+  List.iter (feed t) events;
+  finish t
+
+let run_sax ?config dag parser =
+  let t = create ?config dag in
+  Xaos_xml.Sax.iter (feed t) parser;
+  finish t
+
+(* ------------------------------------------------------------------ *)
+(* The derived looking-for set (Section 4.1, Table 2)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Allowed levels for one x-node: the intersection over its x-dag parents
+   of the level sets induced by their open matches. A finite set comes
+   from child/self edges, a half-infinite ray from descendant edges. *)
+type allowed =
+  | Finite of int list  (* sorted *)
+  | Ray of int  (* all levels >= the bound *)
+
+let intersect a b =
+  match a, b with
+  | Finite xs, Finite ys -> Finite (List.filter (fun x -> List.mem x ys) xs)
+  | Finite xs, Ray r | Ray r, Finite xs -> Finite (List.filter (fun x -> x >= r) xs)
+  | Ray r1, Ray r2 -> Ray (max r1 r2)
+
+let looking_for t =
+  if t.finished then [ (t.dag.xtree.root.id, Exact 0) ]
+  else begin
+    let n = Array.length t.info in
+    let entries = ref [] in
+    for v = n - 1 downto 0 do
+      if v <> t.dag.xtree.root.id then begin
+        let info = t.info.(v) in
+        let allowed =
+          Array.fold_left
+            (fun acc (kind, p) ->
+              match acc with
+              | None -> None
+              | Some acc -> (
+                let levels =
+                  List.map (fun (m : Matching.t) -> m.item.level)
+                    t.open_stacks.(p)
+                in
+                match levels with
+                | [] -> None
+                | _ :: _ ->
+                  let contribution =
+                    match kind with
+                    | Xdag.Kchild ->
+                      Finite (List.sort Int.compare (List.map succ levels))
+                    | Xdag.Kself -> Finite (List.sort Int.compare levels)
+                    | Xdag.Kdescendant ->
+                      Ray (List.fold_left min max_int levels + 1)
+                    | Xdag.Kdescendant_or_self ->
+                      Ray (List.fold_left min max_int levels)
+                  in
+                  Some (intersect acc contribution)))
+            (Some (Ray 0)) info.dag_parents
+        in
+        match allowed with
+        | None | Some (Finite []) -> ()
+        | Some (Ray _) -> entries := (v, Any) :: !entries
+        | Some (Finite levels) ->
+          (* The paper suspends exact entries that cannot match the next
+             start event (which is necessarily at depth + 1). *)
+          if List.mem (t.depth + 1) levels then
+            entries := (v, Exact (t.depth + 1)) :: !entries
+      end
+    done;
+    !entries
+  end

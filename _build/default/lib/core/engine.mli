@@ -1,0 +1,113 @@
+(** The χαος streaming evaluation engine for one or-free Rxp (paper,
+    Section 4).
+
+    The engine consumes the element events of one document in a single
+    depth-first, document-order pass and maintains:
+
+    - per x-node stacks of {e open matches} — matching structures of
+      currently open (hence ancestor-chain) elements. These implement the
+      paper's looking-for filtering: an incoming element is {e relevant}
+      for x-node [v] iff every x-dag parent of [v] has an open match at a
+      level compatible with the edge kind (Section 4.1). The paper's
+      looking-for set is derivable from the stacks and exposed as
+      {!looking_for} for observability and tests;
+    - the matching structures themselves, composed along the {e x-tree} at
+      end-element events: backward-axis slots are filled by optimistically
+      pulling the open candidate structures (steps 13/22 of the paper's
+      Table 2 walk-through), forward-axis structures are pushed into the
+      consistent open parent structures, and refuted optimism is undone
+      recursively (step 23).
+
+    Use {!Query} for the user-facing API (parsing, [or] handling, result
+    assembly across disjuncts). *)
+
+type config = {
+  boolean_subtrees : bool;
+      (** Section 5.1(a): track output-free subtrees as support counters
+          instead of retaining child structures. On by default. *)
+  relevance_filter : bool;
+      (** the looking-for filtering; turning it off (ablation) keeps
+          results identical but stores structures for every label match *)
+  eager_emission : bool;
+      (** Section 5.1(b): when the query shape allows it (see
+          {!emits_eagerly}), report each result element at its end event
+          and retain no structures at all. *)
+}
+
+val default_config : config
+(** [boolean_subtrees = true; relevance_filter = true;
+    eager_emission = false]. *)
+
+type t
+
+val create : ?config:config -> ?on_match:(Item.t -> unit) -> Xaos_xpath.Xdag.t -> t
+(** A fresh engine over the given x-dag. [on_match] fires on each result
+    element as soon as the engine knows it is in the result — immediately
+    in eager mode, at document end otherwise. *)
+
+val emits_eagerly : t -> bool
+(** Whether eager emission is active: it was requested, the expression
+    uses forward axes only, has a single output x-node, and every x-node
+    outside the output's subtree lies on the plain chain from Root to the
+    output. Under these conditions a satisfied output element can never be
+    revoked and nothing outside the chain is pending. *)
+
+(** {1 Feeding events} *)
+
+val start_element :
+  t -> ?attrs:Xaos_xml.Event.attribute list -> tag:string -> level:int ->
+  unit -> unit
+(** @raise Invalid_argument if [level] is not [current depth + 1].
+    [attrs] feed the attribute-test extension; omitting them is fine for
+    expressions without [@]-tests. *)
+
+val end_element : t -> unit
+(** @raise Invalid_argument if no element is open. *)
+
+val feed : t -> Xaos_xml.Event.t -> unit
+(** Dispatch an element event; text/comment/PI events are ignored, as in
+    the paper's model. *)
+
+val feed_doc : t -> Xaos_xml.Dom.doc -> unit
+(** Feed the element events of a prebuilt tree directly, without
+    materializing {!Xaos_xml.Event.t} values — the χαος(DOM) replay path
+    of Figures 6–7. *)
+
+val finish : t -> Result_set.t
+(** Resolve the root structure at end of document and return the results.
+    @raise Invalid_argument if elements are still open. *)
+
+val run_events : ?config:config -> Xaos_xpath.Xdag.t -> Xaos_xml.Event.t list -> Result_set.t
+(** [create], [feed] everything, [finish]. *)
+
+val run_sax : ?config:config -> Xaos_xpath.Xdag.t -> Xaos_xml.Sax.t -> Result_set.t
+
+(** {1 Introspection} *)
+
+type level_requirement =
+  | Exact of int
+  | Any  (** the paper's [∞] *)
+
+val looking_for : t -> (int * level_requirement) list
+(** The current looking-for set, derived from the open-match stacks with
+    the paper's Table 2 conventions: an x-node is listed iff all its x-dag
+    parents have compatible open matches; exact-level entries are listed
+    only while they can match the next start event (the paper "stops
+    looking for [(U, 3)]" while inside a deeper element); Root is listed
+    as [(0, Exact 0)] before the document starts and after it ends.
+    Entries are sorted by x-node id. *)
+
+val stats : t -> Stats.t
+
+val frame_matches : t -> (int * Item.t) list
+(** (x-node id, element) pairs registered at the innermost open element —
+    the "Matches" column of the paper's Table 2. Empty when the innermost
+    element was discarded, or at depth 0. *)
+
+val retained_structures : t -> int
+(** Matching structures reachable from the root structure — the engine's
+    actual end-of-document retention. Counter slots (Section 5.1) retain
+    nothing through themselves, and an eager engine retains nothing at
+    all. Meaningful after {!finish}. *)
+
+val depth : t -> int

@@ -1,0 +1,30 @@
+type t = {
+  id : int;
+  tag : string;
+  level : int;
+}
+
+let compare a b = Int.compare a.id b.id
+
+let equal a b = a.id = b.id && a.level = b.level && String.equal a.tag b.tag
+
+let pp ppf { id; tag; level } = Format.fprintf ppf "%s(%d)@%d" tag id level
+
+let of_element (e : Xaos_xml.Dom.element) =
+  { id = e.id; tag = e.tag; level = e.level }
+
+(* Array-based sort: result sets can reach the size of the document, and
+   List.sort_uniq would allocate a cons cell per merge step. *)
+let sort_dedup items =
+  match items with
+  | [] | [ _ ] -> items
+  | _ :: _ :: _ ->
+    let arr = Array.of_list items in
+    Array.sort (fun a b -> Int.compare a.id b.id) arr;
+    let out = ref [] in
+    for i = Array.length arr - 1 downto 0 do
+      match !out with
+      | last :: _ when last.id = arr.(i).id -> ()
+      | _ -> out := arr.(i) :: !out
+    done;
+    !out

@@ -1,0 +1,26 @@
+(** A document element as reported in query results.
+
+    The streaming engine never materializes the document, so results are
+    element descriptors rather than tree nodes. Ids are assigned in
+    document order with the virtual root at 0, matching
+    {!Xaos_xml.Dom.element.id}, which lets tests compare streaming results
+    against the DOM baseline directly. *)
+
+type t = {
+  id : int;  (** document-order identifier (paper's [id]) *)
+  tag : string;
+  level : int;  (** distance from the virtual root (paper's [level]) *)
+}
+
+val compare : t -> t -> int
+(** Document order (by [id]). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** The paper's notation, e.g. [W(7)@4] for W with id 7 at level 4. *)
+
+val of_element : Xaos_xml.Dom.element -> t
+
+val sort_dedup : t list -> t list
+(** Document order, duplicates removed. *)

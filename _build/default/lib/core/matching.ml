@@ -1,0 +1,246 @@
+type state =
+  | Pending
+  | Satisfied
+  | Refuted
+
+(* A pointer slot is a growable array of entries supporting O(1) removal
+   by swap-with-last: each entry knows its current index, and the
+   placement record kept by the child points at the entry. Without this,
+   undoing optimistic propagation would rescan the whole submatching per
+   refutation — quadratic on match-rich documents. *)
+type slot_store = {
+  mutable entries : entry array;
+  mutable len : int;
+}
+
+and entry = {
+  e_child : t;
+  mutable e_index : int;
+}
+
+and slot =
+  | Pointers of slot_store
+  | Counter of int ref
+
+and t = {
+  serial : int;
+  xnode : int;
+  item : Item.t;
+  slots : slot array;
+  mutable placements : placement list;
+  mutable state : state;
+}
+
+and placement = {
+  p_target : t;
+  p_slot : int;
+  p_entry : entry option;  (* None when the slot is a counter *)
+}
+
+let create ~serial ~xnode ~item ~pointer_slots =
+  let slots =
+    Array.map
+      (fun pointer ->
+        if pointer then Pointers { entries = [||]; len = 0 }
+        else Counter (ref 0))
+      pointer_slots
+  in
+  { serial; xnode; item; slots; placements = []; state = Pending }
+
+let store_push store entry =
+  let capacity = Array.length store.entries in
+  if store.len = capacity then begin
+    let grown = Array.make (max 4 (2 * capacity)) entry in
+    Array.blit store.entries 0 grown 0 store.len;
+    store.entries <- grown
+  end;
+  store.entries.(store.len) <- entry;
+  entry.e_index <- store.len;
+  store.len <- store.len + 1
+
+let store_remove store entry =
+  let i = entry.e_index in
+  let last = store.len - 1 in
+  let moved = store.entries.(last) in
+  store.entries.(i) <- moved;
+  moved.e_index <- i;
+  store.len <- last
+
+let store_iter f store =
+  for i = 0 to store.len - 1 do
+    f store.entries.(i).e_child
+  done
+
+let store_fold f init store =
+  let acc = ref init in
+  for i = 0 to store.len - 1 do
+    acc := f !acc store.entries.(i).e_child
+  done;
+  !acc
+
+let place ~child ~target ~slot =
+  let p_entry =
+    match target.slots.(slot) with
+    | Pointers store ->
+      let entry = { e_child = child; e_index = 0 } in
+      store_push store entry;
+      Some entry
+    | Counter n ->
+      incr n;
+      None
+  in
+  child.placements <- { p_target = target; p_slot = slot; p_entry } :: child.placements
+
+let slot_filled t i =
+  match t.slots.(i) with
+  | Pointers store -> store.len > 0
+  | Counter n -> !n > 0
+
+let satisfied_now t =
+  let n = Array.length t.slots in
+  let rec loop i = i >= n || (slot_filled t i && loop (i + 1)) in
+  loop 0
+
+(* Remove the child's entry from the target slot; true if it emptied. *)
+let remove_placement { p_target; p_slot; p_entry } =
+  match p_target.slots.(p_slot), p_entry with
+  | Pointers store, Some entry ->
+    store_remove store entry;
+    store.len = 0
+  | Counter n, None ->
+    decr n;
+    !n = 0
+  | Pointers _, None | Counter _, Some _ -> assert false
+
+let refute ~stats t =
+  let rec go t =
+    if t.state <> Refuted then begin
+      t.state <- Refuted;
+      let placements = t.placements in
+      t.placements <- [];
+      List.iter
+        (fun placement ->
+          let target = placement.p_target in
+          if target.state <> Refuted then begin
+            stats.Stats.undos <- stats.Stats.undos + 1;
+            let emptied = remove_placement placement in
+            (* A pending target performs its own satisfaction check at
+               resolution time; only a satisfied one must be revoked. *)
+            if emptied && target.state = Satisfied then go target
+          end)
+        placements
+    end
+  in
+  go t
+
+let pointer_store t i =
+  match t.slots.(i) with
+  | Pointers store -> store
+  | Counter _ ->
+    invalid_arg
+      "Matching: operation requires pointer slots (disable the \
+       boolean-subtree optimization)"
+
+let count_matchings t =
+  let memo = Hashtbl.create 64 in
+  let rec count t =
+    match Hashtbl.find_opt memo t.serial with
+    | Some n -> n
+    | None ->
+      let n = ref 1 in
+      Array.iteri
+        (fun i _ ->
+          let store = pointer_store t i in
+          n := !n * store_fold (fun acc m -> acc + count m) 0 store)
+        t.slots;
+      Hashtbl.add memo t.serial !n;
+      !n
+  in
+  count t
+
+let collect_outputs ~is_output t =
+  let visited = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec visit t =
+    if not (Hashtbl.mem visited t.serial) then begin
+      Hashtbl.add visited t.serial ();
+      if is_output t.xnode then acc := t.item :: !acc;
+      Array.iter
+        (function
+          | Pointers store -> store_iter visit store
+          | Counter _ -> ())
+        t.slots
+    end
+  in
+  visit t;
+  !acc
+
+(* Partial tuples are assoc lists from output x-node id to item, kept
+   sorted by x-node id so that structural comparison dedups them. The two
+   sides always cover disjoint x-tree subtrees, so keys never collide. *)
+let rec merge_tuple a b =
+  match a, b with
+  | [], t | t, [] -> t
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+    if ka < kb then (ka, va) :: merge_tuple ta b
+    else if kb < ka then (kb, vb) :: merge_tuple a tb
+    else (ka, va) :: merge_tuple ta tb
+
+let enumerate_tuples ~outputs t =
+  let output_set = Hashtbl.create 8 in
+  Array.iter (fun id -> Hashtbl.replace output_set id ()) outputs;
+  let memo = Hashtbl.create 64 in
+  (* tuples t = the output projections of all matchings rooted here *)
+  let rec tuples t =
+    match Hashtbl.find_opt memo t.serial with
+    | Some ts -> ts
+    | None ->
+      let own =
+        if Hashtbl.mem output_set t.xnode then [ [ (t.xnode, t.item) ] ]
+        else [ [] ]
+      in
+      let acc = ref own in
+      Array.iteri
+        (fun i _slot ->
+          let store = pointer_store t i in
+          let slot_tuples =
+            store_fold (fun acc m -> List.rev_append (tuples m) acc) [] store
+          in
+          acc :=
+            List.concat_map
+              (fun partial ->
+                List.map (fun st -> merge_tuple partial st) slot_tuples)
+              !acc)
+        t.slots;
+      let result = List.sort_uniq compare !acc in
+      Hashtbl.add memo t.serial result;
+      result
+  in
+  let complete = tuples t in
+  let order = Array.mapi (fun i id -> (id, i)) outputs in
+  List.filter_map
+    (fun tuple ->
+      if List.length tuple <> Array.length outputs then None
+      else begin
+        let arr = Array.make (Array.length outputs) None in
+        List.iter
+          (fun (xnode, item) ->
+            Array.iter
+              (fun (id, i) -> if id = xnode then arr.(i) <- Some item)
+              order)
+          tuple;
+        if Array.for_all Option.is_some arr then
+          Some (Array.map Option.get arr)
+        else None
+      end)
+    complete
+  |> List.sort_uniq compare
+
+let pp ppf t =
+  let state =
+    match t.state with
+    | Pending -> "pending"
+    | Satisfied -> "sat"
+    | Refuted -> "refuted"
+  in
+  Format.fprintf ppf "M(%a : x%d) %s" Item.pp t.item t.xnode state

@@ -1,0 +1,91 @@
+(** Matching structures (paper, Section 4.2).
+
+    A matching structure [M(v, e)] compactly represents the set of
+    matchings at x-node [v] in which [v] is mapped to document element
+    [e]. It holds one {e submatching slot} per x-tree child of [v]; a slot
+    is a set of matching structures of that child ({!Pointers}), or — the
+    Section 5.1 optimization — a bare support count ({!Counter}) when the
+    child's subtree contains no output x-node, in which case the child
+    structures do not need to be retained for the output traversal and can
+    be reclaimed by the GC.
+
+    Every placement of a structure into a slot is recorded in the placed
+    structure so that it can be revoked later: propagation across backward
+    axes is {e optimistic} (paper steps 13 and 22) and {!refute} performs
+    the recursive cleanup of step 23. *)
+
+type state =
+  | Pending  (** the element is still open, or being resolved *)
+  | Satisfied  (** a total matching at this x-node (possibly optimistic) *)
+  | Refuted  (** conclusively no total matching *)
+
+(** A pointer slot is a growable array with O(1) swap-with-last removal;
+    each entry records its index and each placement points at its entry,
+    so undoing one optimistic propagation never rescans a submatching. *)
+type slot_store = {
+  mutable entries : entry array;
+  mutable len : int;
+}
+
+and entry = {
+  e_child : t;
+  mutable e_index : int;
+}
+
+and slot =
+  | Pointers of slot_store
+  | Counter of int ref
+
+and t = {
+  serial : int;  (** unique per engine run; used as a visited key *)
+  xnode : int;
+  item : Item.t;
+  slots : slot array;
+      (** indexed like the x-node's [Xtree.children] list *)
+  mutable placements : placement list;
+      (** where this structure has been placed; consulted by {!refute} *)
+  mutable state : state;
+}
+
+and placement = {
+  p_target : t;
+  p_slot : int;
+  p_entry : entry option;  (** [None] when the slot is a counter *)
+}
+
+val create : serial:int -> xnode:int -> item:Item.t -> pointer_slots:bool array -> t
+(** [pointer_slots.(i)] selects {!Pointers} (vs {!Counter}) for slot [i]. *)
+
+val place : child:t -> target:t -> slot:int -> unit
+(** Add [child] to [target]'s slot and record the placement in [child]. *)
+
+val slot_filled : t -> int -> bool
+
+val satisfied_now : t -> bool
+(** All slots non-empty. *)
+
+val refute : stats:Stats.t -> t -> unit
+(** Mark the structure [Refuted] and undo all its placements; if removing
+    it from a previously [Satisfied] target empties one of the target's
+    slots, the target is refuted recursively. *)
+
+val count_matchings : t -> int
+(** Number of distinct total matchings represented (the paper's Figure 4
+    counts 4 for the running example). Memoized over the shared DAG.
+    Requires all slots to be [Pointers] (i.e. the Section 5.1 counter
+    optimization disabled). *)
+
+val collect_outputs : is_output:(int -> bool) -> t -> Item.t list
+(** The output projection of all represented matchings: traverses the
+    structure once (visited set on serials) emitting the element of every
+    reached structure whose x-node is an output — the paper's Section 4.4
+    emission. Unsorted, duplicate-free by construction of the visit. *)
+
+val enumerate_tuples : outputs:int array -> t -> Item.t array list
+(** Multi-output result tuples (Section 5.3): one tuple per distinct
+    output-projection of a total matching, each array indexed like
+    [outputs]. Materializes the cross products — intended for result sets
+    of sane size; see {!count_matchings} for a cheap cardinality. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary, e.g. [M(W(7)@4 : x3) sat]. *)

@@ -1,0 +1,119 @@
+module Ast = Xaos_xpath.Ast
+
+type t = {
+  path : Ast.path;
+  config : Engine.config;
+  dags : Xaos_xpath.Xdag.t list;
+}
+
+let compile_path ?(config = Engine.default_config) ?(or_limit = 64) path =
+  match Xaos_xpath.Dnf.expand_bounded ~limit:or_limit path with
+  | Error msg -> Error msg
+  | Ok disjuncts ->
+    let dags =
+      List.filter_map
+        (fun disjunct ->
+          let xtree = Xaos_xpath.Xtree.of_path disjunct in
+          match Xaos_xpath.Xdag.of_xtree xtree with
+          | dag -> Some dag
+          | exception Xaos_xpath.Xdag.Unsatisfiable -> None)
+        disjuncts
+    in
+    Ok { path; config; dags }
+
+let compile ?config ?or_limit input =
+  match Xaos_xpath.Parser.parse_result input with
+  | Error msg -> Error msg
+  | Ok path -> compile_path ?config ?or_limit path
+
+let compile_exn ?config ?or_limit input =
+  match compile ?config ?or_limit input with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Query.compile_exn: " ^ msg)
+
+let path q = q.path
+
+let disjuncts q = q.dags
+
+let uses_backward_axes q = Ast.uses_backward_axis q.path
+
+type run = {
+  engines : Engine.t list;
+  mutable result : Result_set.t option;
+}
+
+let start ?on_match q =
+  let engines =
+    List.map (fun dag -> Engine.create ~config:q.config ?on_match dag) q.dags
+  in
+  { engines; result = None }
+
+let feed run event = List.iter (fun e -> Engine.feed e event) run.engines
+
+let finish run =
+  match run.result with
+  | Some r -> r
+  | None ->
+    let r =
+      match List.map Engine.finish run.engines with
+      | [] -> Result_set.empty
+      | first :: rest -> List.fold_left Result_set.union first rest
+    in
+    run.result <- Some r;
+    r
+
+let run_stats run =
+  List.fold_left
+    (fun acc e -> Stats.add acc (Engine.stats e))
+    (Stats.create ()) run.engines
+
+let retained_structures run =
+  List.fold_left (fun acc e -> acc + Engine.retained_structures e) 0 run.engines
+
+let run_events q events =
+  let r = start q in
+  List.iter (feed r) events;
+  finish r
+
+let run_sax q parser =
+  let r = start q in
+  Xaos_xml.Sax.iter (feed r) parser;
+  finish r
+
+let run_string q input = run_sax q (Xaos_xml.Sax.of_string input)
+
+let run_file q file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> run_sax q (Xaos_xml.Sax.of_channel ic))
+
+let feed_doc run doc =
+  List.iter (fun e -> Engine.feed_doc e doc) run.engines
+
+let run_doc q doc =
+  let r = start q in
+  feed_doc r doc;
+  finish r
+
+let with_stats runner q input =
+  let r = start q in
+  runner r input;
+  let result = finish r in
+  (result, run_stats r)
+
+let run_string_with_stats q input =
+  with_stats
+    (fun r input -> Xaos_xml.Sax.iter (feed r) (Xaos_xml.Sax.of_string input))
+    q input
+
+let run_doc_with_stats q doc = with_stats feed_doc q doc
+
+let run_file_with_stats q file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      with_stats
+        (fun r ic -> Xaos_xml.Sax.iter (feed r) (Xaos_xml.Sax.of_channel ic))
+        q ic)

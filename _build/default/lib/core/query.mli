@@ -1,0 +1,77 @@
+(** User-facing query API: compile an XPath expression once, run it over
+    any number of documents in a single streaming pass each.
+
+    Compilation parses the expression, expands [or] into disjuncts
+    (Section 5.2), and builds the x-tree and x-dag of each disjunct. A run
+    instantiates one {!Engine} per disjunct, feeds every event to all of
+    them (still one pass over the document), and unions the results.
+
+    {[
+      let q = Query.compile_exn "//listitem/ancestor::category//name" in
+      let result = Query.run_file q "auctions.xml" in
+      List.iter (Format.printf "%a@." Item.pp) result.Result_set.items
+    ]} *)
+
+type t
+(** A compiled query. Immutable; reusable across runs and threads. *)
+
+val compile :
+  ?config:Engine.config -> ?or_limit:int -> string -> (t, string) result
+(** Parse and compile. [or_limit] bounds the DNF expansion (default 64
+    disjuncts). Unsatisfiable disjuncts (see {!Xaos_xpath.Xdag.Unsatisfiable})
+    are compiled away; a query all of whose disjuncts are unsatisfiable is
+    valid and returns empty results. *)
+
+val compile_exn : ?config:Engine.config -> ?or_limit:int -> string -> t
+(** @raise Invalid_argument on a syntax error or expansion overflow. *)
+
+val compile_path : ?config:Engine.config -> ?or_limit:int -> Xaos_xpath.Ast.path -> (t, string) result
+(** Compile an already-parsed expression. *)
+
+val path : t -> Xaos_xpath.Ast.path
+(** The original expression. *)
+
+val disjuncts : t -> Xaos_xpath.Xdag.t list
+(** The compiled representations (satisfiable disjuncts only). *)
+
+val uses_backward_axes : t -> bool
+
+(** {1 Running} *)
+
+type run
+(** An in-flight evaluation over one document. *)
+
+val start : ?on_match:(Item.t -> unit) -> t -> run
+
+val feed : run -> Xaos_xml.Event.t -> unit
+
+val feed_doc : run -> Xaos_xml.Dom.doc -> unit
+(** Feed a prebuilt tree's element events directly (see
+    {!Engine.feed_doc}). *)
+
+val finish : run -> Result_set.t
+val run_stats : run -> Stats.t
+(** Aggregated over disjunct engines; meaningful after {!finish} too. *)
+
+val retained_structures : run -> int
+(** Matching structures reachable at end of document, summed over the
+    disjunct engines (see {!Engine.retained_structures}). *)
+
+(** {1 One-shot helpers} *)
+
+val run_events : t -> Xaos_xml.Event.t list -> Result_set.t
+val run_sax : t -> Xaos_xml.Sax.t -> Result_set.t
+val run_string : t -> string -> Result_set.t
+(** Streaming evaluation over an XML document held in a string.
+    @raise Xaos_xml.Sax.Error on ill-formed XML. *)
+
+val run_file : t -> string -> Result_set.t
+(** Streaming evaluation over a file; the document is never materialized. *)
+
+val run_doc : t -> Xaos_xml.Dom.doc -> Result_set.t
+(** Replay events from a prebuilt DOM tree — the paper's χαος(DOM)
+    configuration used to factor out parsing costs in Figures 6–7. *)
+
+val run_string_with_stats : t -> string -> Result_set.t * Stats.t
+val run_doc_with_stats : t -> Xaos_xml.Dom.doc -> Result_set.t * Stats.t
+val run_file_with_stats : t -> string -> Result_set.t * Stats.t

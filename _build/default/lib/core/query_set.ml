@@ -1,0 +1,64 @@
+type t = {
+  queries : (string * Query.t) list;
+}
+
+let of_queries queries =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then
+        invalid_arg ("Query_set.of_queries: duplicate name " ^ name);
+      Hashtbl.add seen name ())
+    queries;
+  { queries }
+
+let compile ?config pairs =
+  let rec loop acc = function
+    | [] -> Ok (of_queries (List.rev acc))
+    | (name, expression) :: rest -> (
+      match Query.compile ?config expression with
+      | Ok q -> loop ((name, q) :: acc) rest
+      | Error msg -> Error (Printf.sprintf "%s: %s" name msg))
+  in
+  loop [] pairs
+
+let names t = List.map fst t.queries
+
+let size t = List.length t.queries
+
+type outcome = {
+  query_name : string;
+  items : Item.t list;
+}
+
+let start_all t = List.map (fun (name, q) -> (name, Query.start q)) t.queries
+
+let finish_all runs =
+  List.map
+    (fun (query_name, run) ->
+      { query_name; items = (Query.finish run).Result_set.items })
+    runs
+
+let run_events t events =
+  let runs = start_all t in
+  List.iter (fun ev -> List.iter (fun (_, run) -> Query.feed run ev) runs) events;
+  finish_all runs
+
+let run_sax t parser =
+  let runs = start_all t in
+  Xaos_xml.Sax.iter
+    (fun ev -> List.iter (fun (_, run) -> Query.feed run ev) runs)
+    parser;
+  finish_all runs
+
+let run_string t input = run_sax t (Xaos_xml.Sax.of_string input)
+
+let run_doc t doc =
+  let runs = start_all t in
+  List.iter (fun (_, run) -> Query.feed_doc run doc) runs;
+  finish_all runs
+
+let matching_names outcomes =
+  List.filter_map
+    (fun o -> match o.items with [] -> None | _ :: _ -> Some o.query_name)
+    outcomes

@@ -1,0 +1,45 @@
+(** Evaluate many compiled queries over one document in a single pass —
+    the publish/subscribe arrangement of the filtering systems the paper
+    compares against (XFilter/YFilter), with χαος's extra capability:
+    subscriptions may use backward axes.
+
+    Every query gets its own engines (no cross-query sharing of automaton
+    states as in YFilter — an avenue the paper leaves open); what is
+    shared is the single parse of the document, which in practice
+    dominates the cost of filtering small messages. *)
+
+type t
+(** An immutable set of named compiled queries. *)
+
+val of_queries : (string * Query.t) list -> t
+(** Build from (name, query) pairs. Names must be unique.
+    @raise Invalid_argument on a duplicate name. *)
+
+val compile :
+  ?config:Engine.config -> (string * string) list -> (t, string) result
+(** Compile (name, expression) pairs; fails with the first offending
+    expression's error, prefixed by its name. *)
+
+val names : t -> string list
+
+val size : t -> int
+
+(** {1 Matching} *)
+
+type outcome = {
+  query_name : string;
+  items : Item.t list;  (** document order, duplicate-free *)
+}
+
+val run_events : t -> Xaos_xml.Event.t list -> outcome list
+(** One pass; outcomes in query order, including empty ones. *)
+
+val run_sax : t -> Xaos_xml.Sax.t -> outcome list
+
+val run_string : t -> string -> outcome list
+
+val run_doc : t -> Xaos_xml.Dom.doc -> outcome list
+
+val matching_names : outcome list -> string list
+(** Names of the queries with at least one result — the routing decision
+    of a filtering broker. *)

@@ -1,0 +1,31 @@
+type t = {
+  items : Item.t list;
+  tuples : Item.t array list option;
+  matching_count : int option;
+}
+
+let empty = { items = []; tuples = None; matching_count = None }
+
+let union a b =
+  {
+    items = Item.sort_dedup (a.items @ b.items);
+    tuples =
+      (match a.tuples, b.tuples with
+      | None, t | t, None -> t
+      | Some x, Some y -> Some (List.sort_uniq compare (x @ y)));
+    matching_count =
+      (match a.matching_count, b.matching_count with
+      | Some x, Some y -> Some (x + y)
+      | _, _ -> None);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Item.pp)
+    t.items;
+  match t.tuples with
+  | None -> ()
+  | Some tuples ->
+    Format.fprintf ppf " tuples: %d" (List.length tuples)

@@ -1,0 +1,26 @@
+(** Results of evaluating one expression on one document. *)
+
+type t = {
+  items : Item.t list;
+      (** the selected elements, in document order, duplicate-free; for a
+          multi-output expression these are the elements of the first
+          output node *)
+  tuples : Item.t array list option;
+      (** [Some _] for [$]-marked multi-output expressions (Section 5.3):
+          one array per distinct result tuple, indexed by mark order;
+          [None] for ordinary single-output expressions *)
+  matching_count : int option;
+      (** number of total matchings at Root (the paper's Figure 4 counts
+          4 for the running example); [None] when the engine ran with the
+          counter optimization or eagerly, which discard the information *)
+}
+
+val empty : t
+
+val union : t -> t -> t
+(** Result union across [or]-disjuncts: items are merged in document
+    order; tuple lists are concatenated and deduplicated; matching counts
+    are summed when both present (disjuncts may overlap, so the sum is an
+    upper bound and is dropped unless both sides carry counts). *)
+
+val pp : Format.formatter -> t -> unit

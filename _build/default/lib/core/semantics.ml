@@ -1,0 +1,118 @@
+module Ast = Xaos_xpath.Ast
+module Xtree = Xaos_xpath.Xtree
+module Dom = Xaos_xml.Dom
+
+let consistent axis (d1 : Dom.element) (d2 : Dom.element) =
+  match axis with
+  | Ast.Child -> (match d2.parent with Some p -> p == d1 | None -> false)
+  | Ast.Descendant -> Dom.is_ancestor d1 d2
+  | Ast.Parent -> (match d1.parent with Some p -> p == d2 | None -> false)
+  | Ast.Ancestor -> Dom.is_ancestor d2 d1
+  | Ast.Self -> d1 == d2
+  | Ast.Descendant_or_self -> d1 == d2 || Dom.is_ancestor d1 d2
+  | Ast.Ancestor_or_self -> d1 == d2 || Dom.is_ancestor d2 d1
+
+let axis_elements _doc axis (d : Dom.element) =
+  match axis with
+  | Ast.Child -> Dom.element_children d
+  | Ast.Descendant -> List.of_seq (Dom.descendants d)
+  | Ast.Parent -> (match d.parent with Some p -> [ p ] | None -> [])
+  | Ast.Ancestor -> List.sort (fun (a : Dom.element) b -> Int.compare a.id b.id) (Dom.ancestors d)
+  | Ast.Self -> [ d ]
+  | Ast.Descendant_or_self -> List.of_seq (Dom.self_and_descendants d)
+  | Ast.Ancestor_or_self ->
+    List.sort
+      (fun (a : Dom.element) b -> Int.compare a.id b.id)
+      (d :: Dom.ancestors d)
+
+(* All total matchings at x-node [v] mapping [v] to [d], as sorted
+   assignment lists. Memoized on (x-node, element id): the same subproblem
+   recurs whenever an element is reachable over several axis paths. *)
+let matchings_at (xtree : Xtree.t) doc =
+  let memo = Hashtbl.create 256 in
+  let rec at (v : Xtree.xnode) (d : Dom.element) =
+    let key = (v.id, d.id) in
+    match Hashtbl.find_opt memo key with
+    | Some ms -> ms
+    | None ->
+      let find key =
+        List.find_map
+          (fun { Xaos_xml.Event.attr_name; attr_value } ->
+            if String.equal attr_name key then Some attr_value else None)
+          d.attributes
+      in
+      let ms =
+        if
+          not
+            (Xtree.label_matches v.label d.tag
+            && Xtree.attrs_match v ~find
+            && List.for_all
+                 (fun test ->
+                   Ast.text_test_matches test (Dom.text_content d))
+                 v.texts)
+        then []
+        else
+          List.fold_left
+            (fun acc (axis, (w : Xtree.xnode)) ->
+              match acc with
+              | [] -> []
+              | acc ->
+                let sub =
+                  List.concat_map (at w) (axis_elements doc axis d)
+                in
+                List.concat_map
+                  (fun partial -> List.map (fun s -> merge partial s) sub)
+                  acc)
+            [ [ (v.id, d) ] ]
+            v.children
+      in
+      Hashtbl.add memo key ms;
+      ms
+  (* Assignments cover disjoint x-node sets (distinct subtrees), so a
+     plain keyed merge keeps them sorted. *)
+  and merge a b =
+    match a, b with
+    | [], t | t, [] -> t
+    | (ka, va) :: ta, (kb, vb) :: tb ->
+      if ka < kb then (ka, va) :: merge ta b
+      else if kb < ka then (kb, vb) :: merge a tb
+      else (ka, va) :: merge ta tb
+  in
+  at xtree.root doc.Dom.root
+
+let total_matchings xtree doc =
+  List.sort_uniq
+    (fun a b -> compare (List.map (fun (k, (d : Dom.element)) -> (k, d.id)) a)
+        (List.map (fun (k, (d : Dom.element)) -> (k, d.id)) b))
+    (matchings_at xtree doc)
+
+let eval (xtree : Xtree.t) doc =
+  let out =
+    match xtree.outputs with
+    | o :: _ -> o.id
+    | [] -> invalid_arg "Semantics.eval: x-tree has no output"
+  in
+  matchings_at xtree doc
+  |> List.filter_map (fun m ->
+         Option.map Item.of_element (List.assoc_opt out m))
+  |> Item.sort_dedup
+
+let eval_tuples (xtree : Xtree.t) doc =
+  let outputs = List.map (fun (o : Xtree.xnode) -> o.id) xtree.outputs in
+  matchings_at xtree doc
+  |> List.filter_map (fun m ->
+         let items =
+           List.map (fun o -> Option.map Item.of_element (List.assoc_opt o m)) outputs
+         in
+         if List.for_all Option.is_some items then
+           Some (Array.of_list (List.map Option.get items))
+         else None)
+  |> List.sort_uniq compare
+
+(* Unsatisfiable disjuncts (e.g. /parent::x) need no special casing: the
+   enumeration finds no witness and contributes nothing. *)
+let eval_path path doc =
+  Xaos_xpath.Dnf.expand path
+  |> List.concat_map (fun disjunct ->
+         eval (Xaos_xpath.Xtree.of_path disjunct) doc)
+  |> Item.sort_dedup

@@ -1,0 +1,43 @@
+(** Executable matching semantics (paper, Section 3.3) — the reference
+    oracle for the test suite.
+
+    A matching for x-tree [T] is a partial map from x-nodes to document
+    elements whose mapped vertices satisfy their node tests and whose
+    mapped edges satisfy their axis relations; a document element is in
+    the result of the Rxp iff some {e total} matching at Root maps the
+    output x-node to it. This module enumerates total matchings directly
+    over a DOM tree by structural recursion — exponential in the number of
+    matchings and intended for small test documents only. The streaming
+    engine and the DOM baseline are both checked against it. *)
+
+val consistent :
+  Xaos_xpath.Ast.axis -> Xaos_xml.Dom.element -> Xaos_xml.Dom.element -> bool
+(** [consistent axis d1 d2]: does the pair satisfy the axis relation,
+    i.e. is [d2] in [axis(d1)]? *)
+
+val axis_elements :
+  Xaos_xml.Dom.doc ->
+  Xaos_xpath.Ast.axis ->
+  Xaos_xml.Dom.element ->
+  Xaos_xml.Dom.element list
+(** The elements reached from a context element over an axis, in document
+    order. The virtual root is reachable only over backward axes. *)
+
+val total_matchings :
+  Xaos_xpath.Xtree.t ->
+  Xaos_xml.Dom.doc ->
+  (int * Xaos_xml.Dom.element) list list
+(** All total matchings at Root: each is an assignment of every x-node id
+    to a document element, sorted by x-node id. Duplicate-free. *)
+
+val eval : Xaos_xpath.Xtree.t -> Xaos_xml.Dom.doc -> Item.t list
+(** Output projection of {!total_matchings} for the (first) output x-node:
+    document order, duplicate-free. *)
+
+val eval_tuples :
+  Xaos_xpath.Xtree.t -> Xaos_xml.Dom.doc -> Item.t array list
+(** Multi-output projection, deduplicated, sorted. *)
+
+val eval_path : Xaos_xpath.Ast.path -> Xaos_xml.Dom.doc -> Item.t list
+(** [or]-expansion followed by {!eval} on each disjunct, results unioned.
+    Unsatisfiable disjuncts contribute nothing. *)

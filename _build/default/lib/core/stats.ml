@@ -1,0 +1,43 @@
+type t = {
+  mutable elements_total : int;
+  mutable elements_stored : int;
+  mutable elements_discarded : int;
+  mutable structures_created : int;
+  mutable propagations : int;
+  mutable undos : int;
+  mutable max_depth : int;
+}
+
+let create () =
+  {
+    elements_total = 0;
+    elements_stored = 0;
+    elements_discarded = 0;
+    structures_created = 0;
+    propagations = 0;
+    undos = 0;
+    max_depth = 0;
+  }
+
+let discarded_fraction t =
+  if t.elements_total = 0 then 0.
+  else float_of_int t.elements_discarded /. float_of_int t.elements_total
+
+let add a b =
+  {
+    elements_total = a.elements_total + b.elements_total;
+    elements_stored = a.elements_stored + b.elements_stored;
+    elements_discarded = a.elements_discarded + b.elements_discarded;
+    structures_created = a.structures_created + b.structures_created;
+    propagations = a.propagations + b.propagations;
+    undos = a.undos + b.undos;
+    max_depth = max a.max_depth b.max_depth;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "elements: %d total, %d stored, %d discarded (%.2f%%); structures: %d; \
+     propagations: %d; undos: %d; max depth: %d"
+    t.elements_total t.elements_stored t.elements_discarded
+    (100. *. discarded_fraction t)
+    t.structures_created t.propagations t.undos t.max_depth

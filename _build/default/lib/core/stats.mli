@@ -1,0 +1,31 @@
+(** Execution counters of the streaming engine.
+
+    [elements_discarded] / [elements_total] is the quantity reported in the
+    paper's Table 3: the fraction of document elements filtered out as not
+    relevant (and therefore never stored). *)
+
+type t = {
+  mutable elements_total : int;
+      (** document elements seen (start events), virtual root excluded *)
+  mutable elements_stored : int;
+      (** elements found relevant for at least one x-node *)
+  mutable elements_discarded : int;  (** the rest *)
+  mutable structures_created : int;  (** matching structures allocated *)
+  mutable propagations : int;
+      (** placements of a matching into a submatching slot, both confirmed
+          pushes and optimistic pulls *)
+  mutable undos : int;
+      (** placements removed by the optimistic-propagation cleanup *)
+  mutable max_depth : int;  (** deepest open-element nesting reached *)
+}
+
+val create : unit -> t
+
+val discarded_fraction : t -> float
+(** [elements_discarded / elements_total]; [0.] on an empty document. *)
+
+val add : t -> t -> t
+(** Pointwise sum ([max] for [max_depth]): aggregates the per-disjunct
+    engines of an [or] query. *)
+
+val pp : Format.formatter -> t -> unit

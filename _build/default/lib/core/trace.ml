@@ -1,0 +1,111 @@
+type step = {
+  index : int;
+  event : Xaos_xml.Event.t;
+  matches : (int * Item.t) list;
+  looking_for : (int * Engine.level_requirement) list;
+  propagations : int;
+  undos : int;
+  discarded : bool;
+}
+
+type t = {
+  steps : step list;
+  result : Result_set.t;
+  stats : Stats.t;
+}
+
+let run ?config dag events =
+  let engine = Engine.create ?config dag in
+  let steps = ref [] in
+  let index = ref 1 (* the paper's step 1 is the virtual Root start *) in
+  List.iter
+    (fun event ->
+      match event with
+      | Xaos_xml.Event.Start_element _ ->
+        let stats = Engine.stats engine in
+        let props0 = stats.Stats.propagations and undos0 = stats.Stats.undos in
+        Engine.feed engine event;
+        incr index;
+        let matches = Engine.frame_matches engine in
+        steps :=
+          {
+            index = !index;
+            event;
+            matches;
+            looking_for = Engine.looking_for engine;
+            propagations = stats.Stats.propagations - props0;
+            undos = stats.Stats.undos - undos0;
+            discarded = matches = [];
+          }
+          :: !steps
+      | Xaos_xml.Event.End_element _ ->
+        (* the structures about to be resolved belong to the innermost
+           open element: capture before feeding *)
+        let matches = Engine.frame_matches engine in
+        let stats = Engine.stats engine in
+        let props0 = stats.Stats.propagations and undos0 = stats.Stats.undos in
+        Engine.feed engine event;
+        incr index;
+        steps :=
+          {
+            index = !index;
+            event;
+            matches;
+            looking_for = Engine.looking_for engine;
+            propagations = stats.Stats.propagations - props0;
+            undos = stats.Stats.undos - undos0;
+            discarded = matches = [];
+          }
+          :: !steps
+      | Xaos_xml.Event.Text _ | Xaos_xml.Event.Comment _
+      | Xaos_xml.Event.Processing_instruction _ ->
+        Engine.feed engine event)
+    events;
+  let result = Engine.finish engine in
+  { steps = List.rev !steps; result; stats = Engine.stats engine }
+
+let run_string ?config dag input =
+  run ?config dag (Xaos_xml.Sax.events_of_string input)
+
+let label_of (xtree : Xaos_xpath.Xtree.t) v =
+  Format.asprintf "%a" Xaos_xpath.Xtree.pp_label
+    xtree.Xaos_xpath.Xtree.nodes.(v).Xaos_xpath.Xtree.label
+
+let pp_looking_for ~xtree ppf entries =
+  Format.pp_print_char ppf '{';
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (v, req) ->
+      match req with
+      | Engine.Exact l -> Format.fprintf ppf "(%s,%d)" (label_of xtree v) l
+      | Engine.Any -> Format.fprintf ppf "(%s,inf)" (label_of xtree v))
+    ppf entries;
+  Format.pp_print_char ppf '}'
+
+let pp_step ~xtree ppf step =
+  let event = Format.asprintf "%a" Xaos_xml.Event.pp step.event in
+  let matches =
+    if step.matches = [] then
+      match step.event with
+      | Xaos_xml.Event.Start_element _ -> "discarded"
+      | _ -> "-"
+    else
+      String.concat ","
+        (List.map (fun (v, _) -> label_of xtree v) step.matches)
+  in
+  let activity =
+    match step.propagations, step.undos with
+    | 0, 0 -> ""
+    | p, 0 -> Format.sprintf "  +%d prop" p
+    | 0, u -> Format.sprintf "  -%d undo" u
+    | p, u -> Format.sprintf "  +%d prop -%d undo" p u
+  in
+  Format.fprintf ppf "%3d  %-12s %-12s %a%s" step.index event matches
+    (pp_looking_for ~xtree) step.looking_for activity
+
+let pp ~xtree ppf t =
+  Format.fprintf ppf "%3s  %-12s %-12s %s@." "#" "event" "matches"
+    "looking-for set after the event";
+  List.iter (fun step -> Format.fprintf ppf "%a@." (pp_step ~xtree) step) t.steps;
+  Format.fprintf ppf "result: %a@." Result_set.pp t.result;
+  Format.fprintf ppf "stats:  %a@." Stats.pp t.stats

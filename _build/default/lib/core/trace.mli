@@ -1,0 +1,46 @@
+(** Execution tracing: reproduce the paper's Table 2 walkthrough for any
+    expression and document.
+
+    Each element event becomes one trace step recording which x-nodes the
+    element matched (the table's "Matches" column), the looking-for set
+    after the event, and the propagation/undo activity the event caused.
+    Intended for debugging, teaching and the test suite; the [xaos trace]
+    CLI command renders it. Works on or-free expressions (one engine):
+    expand with {!Xaos_xpath.Dnf} and trace disjuncts separately. *)
+
+type step = {
+  index : int;  (** 1-based; the paper numbers the virtual Root start 1,
+                    so real element events start at 2 *)
+  event : Xaos_xml.Event.t;  (** the element event *)
+  matches : (int * Item.t) list;
+      (** x-nodes the element matched (start: just registered; end: about
+          to be resolved) *)
+  looking_for : (int * Engine.level_requirement) list;
+      (** the derived looking-for set {e after} the event *)
+  propagations : int;  (** placements performed by this event *)
+  undos : int;  (** optimistic placements revoked by this event *)
+  discarded : bool;  (** start events only: the element was not relevant *)
+}
+
+type t = {
+  steps : step list;
+  result : Result_set.t;
+  stats : Stats.t;
+}
+
+val run :
+  ?config:Engine.config -> Xaos_xpath.Xdag.t -> Xaos_xml.Event.t list -> t
+(** Evaluate while recording; text/comment events contribute to text
+    tests but produce no steps, as in the paper. *)
+
+val run_string :
+  ?config:Engine.config -> Xaos_xpath.Xdag.t -> string -> t
+(** Parse and trace. @raise Xaos_xml.Sax.Error on ill-formed input. *)
+
+val pp_step :
+  xtree:Xaos_xpath.Xtree.t -> Format.formatter -> step -> unit
+(** One table row, e.g.
+    [5  E:W@3             -            {(Y,inf), (Z,inf), (U,3)}]. *)
+
+val pp : xtree:Xaos_xpath.Xtree.t -> Format.formatter -> t -> unit
+(** The whole table plus the result line. *)

@@ -1,0 +1,1 @@
+lib/workloads/deepgen.ml: Array Buffer Emitter List Prng Xaos_xml

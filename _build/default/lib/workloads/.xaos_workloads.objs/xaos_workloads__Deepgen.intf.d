@@ -1,0 +1,1 @@
+lib/workloads/deepgen.mli: Xaos_xml

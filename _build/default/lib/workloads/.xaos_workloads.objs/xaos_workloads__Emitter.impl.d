@@ -1,0 +1,1 @@
+lib/workloads/emitter.ml: List String Xaos_xml

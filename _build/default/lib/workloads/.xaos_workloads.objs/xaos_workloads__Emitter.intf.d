@@ -1,0 +1,1 @@
+lib/workloads/emitter.mli: Xaos_xml

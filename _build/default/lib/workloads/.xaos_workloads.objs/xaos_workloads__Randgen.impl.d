@@ -1,0 +1,1 @@
+lib/workloads/randgen.ml: Array Buffer Char Emitter List Printf Prng Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+lib/workloads/randgen.mli: Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+lib/workloads/xmark.ml: Array Buffer Emitter Fun List Printf Prng String Xaos_xml

@@ -1,0 +1,60 @@
+type config = {
+  seed : int;
+  target_elements : int;
+  max_depth : int;
+}
+
+let config ?(seed = 7) ?(max_depth = 120) target_elements =
+  if max_depth < 2 then invalid_arg "Deepgen.config: max_depth must be >= 2";
+  { seed; target_elements; max_depth }
+
+let tags = [| "s"; "np"; "vp"; "pp"; "n"; "v"; "det"; "adj" |]
+
+(* Phrase-structure-ish productions: nonterminals expand into sequences
+   that recurse through [s]/[np]/[vp]/[pp]; leaves carry a word. *)
+let productions tag =
+  match tag with
+  | "s" -> [| [ "np"; "vp" ]; [ "s"; "pp" ]; [ "vp" ] |]
+  | "np" -> [| [ "det"; "n" ]; [ "np"; "pp" ]; [ "adj"; "np" ]; [ "n" ] |]
+  | "vp" -> [| [ "v"; "np" ]; [ "vp"; "pp" ]; [ "v"; "s" ]; [ "v" ] |]
+  | "pp" -> [| [ "det"; "np" ]; [ "pp"; "np" ] |]
+  | _ -> [||]
+
+let words =
+  [| "time"; "flies"; "like"; "an"; "arrow"; "fruit"; "banana"; "old";
+     "man"; "boat"; "saw"; "telescope"; "park"; "walked"; "quick" |]
+
+let generate cfg sink =
+  let rng = Prng.create cfg.seed in
+  let em = Emitter.create sink in
+  (* The grammar's expected branching exceeds 1, so recursion is bounded
+     both by [max_depth] and by a global element budget: once either is
+     hit, nodes become leaves. Depth-first order means the leftmost spine
+     still reaches [max_depth] long before the budget runs out. *)
+  let budget = ref cfg.target_elements in
+  let rec node tag depth =
+    Emitter.element em tag (fun () ->
+        decr budget;
+        let expansions = productions tag in
+        if Array.length expansions = 0 || depth >= cfg.max_depth || !budget <= 0
+        then Emitter.text em (Prng.pick rng words)
+        else begin
+          let expansion = Prng.pick rng expansions in
+          List.iter (fun child -> node child (depth + 1)) expansion
+        end)
+  in
+  Emitter.element em "treebank" (fun () ->
+      while Emitter.element_count em < cfg.target_elements do
+        node "s" 1
+      done);
+  Emitter.element_count em
+
+let to_string cfg =
+  let buf = Buffer.create (cfg.target_elements * 12) in
+  let _n = generate cfg (Xaos_xml.Serialize.event_to_buffer buf) in
+  Buffer.contents buf
+
+let to_doc cfg =
+  let events = ref [] in
+  let _n = generate cfg (fun ev -> events := ev :: !events) in
+  Xaos_xml.Dom.of_events (List.rev !events)

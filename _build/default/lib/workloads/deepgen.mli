@@ -1,0 +1,28 @@
+(** Deeply recursive documents, in the spirit of the Treebank corpus that
+    streaming-XPath papers use to stress recursion: parse-tree-like
+    nesting where the same tags recur at many levels, so ancestor- and
+    descendant-axis expressions have many overlapping witnesses and open
+    stacks grow deep.
+
+    (XMark is wide and shallow — max depth ~12; this generator reaches
+    depths in the hundreds.) *)
+
+type config = {
+  seed : int;
+  target_elements : int;  (** minimum element count *)
+  max_depth : int;  (** deepest nesting to generate (≥ 2) *)
+}
+
+val config : ?seed:int -> ?max_depth:int -> int -> config
+(** [config target_elements], default seed 7, default max depth 120. *)
+
+val generate : config -> (Xaos_xml.Event.t -> unit) -> int
+(** Stream the document; returns the element count. Deterministic. *)
+
+val to_string : config -> string
+
+val to_doc : config -> Xaos_xml.Dom.doc
+
+val tags : string array
+(** The grammar alphabet used ([s], [np], [vp], [pp], [n], [v], [det],
+    [adj]) — useful for writing queries against the output. *)

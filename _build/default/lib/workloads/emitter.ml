@@ -1,0 +1,31 @@
+type t = {
+  sink : Xaos_xml.Event.t -> unit;
+  mutable depth : int;
+  mutable elements : int;
+}
+
+let create sink = { sink; depth = 0; elements = 0 }
+
+let attributes attrs =
+  List.map
+    (fun (attr_name, attr_value) -> { Xaos_xml.Event.attr_name; attr_value })
+    attrs
+
+let element t ?(attrs = []) tag body =
+  t.depth <- t.depth + 1;
+  t.elements <- t.elements + 1;
+  let level = t.depth in
+  t.sink
+    (Xaos_xml.Event.Start_element
+       { name = tag; attributes = attributes attrs; level });
+  body ();
+  t.sink (Xaos_xml.Event.End_element { name = tag; level });
+  t.depth <- t.depth - 1
+
+let text t s = if String.length s > 0 then t.sink (Xaos_xml.Event.Text s)
+
+let leaf t ?attrs tag content = element t ?attrs tag (fun () -> text t content)
+
+let level t = t.depth
+
+let element_count t = t.elements

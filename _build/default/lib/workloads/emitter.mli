@@ -1,0 +1,22 @@
+(** Helper for generating well-formed event streams without materializing
+    a tree: tracks levels and balances start/end events by construction. *)
+
+type t
+
+val create : (Xaos_xml.Event.t -> unit) -> t
+
+val element :
+  t -> ?attrs:(string * string) list -> string -> (unit -> unit) -> unit
+(** [element t tag body] emits the start event, runs [body] to produce the
+    content, then emits the end event. *)
+
+val leaf : t -> ?attrs:(string * string) list -> string -> string -> unit
+(** An element containing only text (omitted when empty). *)
+
+val text : t -> string -> unit
+
+val level : t -> int
+(** Level the next start event would get minus one (current depth). *)
+
+val element_count : t -> int
+(** Number of elements emitted so far. *)

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers for workload generation
+    (splitmix64). Self-contained so generated benchmark documents are
+    bit-identical across OCaml versions and platforms, which
+    [Stdlib.Random] does not promise. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from the current state; the parent
+    advances. Lets sibling subtrees be generated independently of each
+    other's consumption. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** Uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a nonempty array. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)

@@ -1,0 +1,262 @@
+module Ast = Xaos_xpath.Ast
+
+type fragment = {
+  tag : string;
+  children : fragment list;
+}
+
+type t = {
+  query : Ast.path;
+  fragment : fragment;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fragments                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tag_of_index i = Printf.sprintf "%c" (Char.chr (Char.code 'a' + i))
+
+let rec random_fragment rng ~alphabet ~budget ~depth =
+  let tag = tag_of_index (Prng.int rng alphabet) in
+  let children =
+    if depth >= 5 || !budget <= 0 then []
+    else begin
+      let n = Prng.int rng 4 in
+      List.init n (fun _ -> ())
+      |> List.filter_map (fun () ->
+             if !budget > 0 then begin
+               decr budget;
+               Some (random_fragment rng ~alphabet ~budget ~depth:(depth + 1))
+             end
+             else None)
+    end
+  in
+  { tag; children }
+
+(* Indexed view of a fragment for the pattern walk. *)
+type fnode = {
+  index : int;
+  ftag : string;
+  parent : int;  (* -1 for the fragment root *)
+  depth : int;
+  mutable kids : int list;
+}
+
+let index_fragment fragment =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let rec walk parent depth f =
+    let index = !count in
+    incr count;
+    let node = { index; ftag = f.tag; parent; depth; kids = [] } in
+    nodes := node :: !nodes;
+    let kid_ids = List.map (walk index (depth + 1)) f.children in
+    node.kids <- kid_ids;
+    index
+  in
+  ignore (walk (-1) 0 fragment);
+  let arr = Array.make !count (List.hd !nodes) in
+  List.iter (fun n -> arr.(n.index) <- n) !nodes;
+  arr
+
+let descendants_of arr i =
+  let acc = ref [] in
+  let rec walk j =
+    List.iter
+      (fun k ->
+        acc := k :: !acc;
+        walk k)
+      arr.(j).kids
+  in
+  walk i;
+  !acc
+
+let ancestors_of arr i =
+  let acc = ref [] in
+  let rec walk j =
+    let p = arr.(j).parent in
+    if p >= 0 then begin
+      acc := p :: !acc;
+      walk p
+    end
+  in
+  walk i;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Pattern sampling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type pattern = {
+  pnode : int;  (* fragment node this pattern node is anchored to *)
+  in_axis : Ast.axis;
+  mutable branches : pattern list;
+}
+
+(* The paper's four axes. Recursive axes are weighted heavier: XPath in
+   the wild (and the paper's own examples) is dominated by [//] and
+   [ancestor::] steps, and those are exactly the expressions on which the
+   engines differ. *)
+let axis_pool =
+  [| Ast.Child; Ast.Descendant; Ast.Descendant; Ast.Descendant; Ast.Parent;
+     Ast.Ancestor; Ast.Ancestor |]
+
+(* One random axis move from fragment node [i]; None if the axis has no
+   target there (e.g. child of a leaf). *)
+let random_move rng arr i =
+  match Prng.pick rng axis_pool with
+  | Ast.Child -> (
+    match arr.(i).kids with
+    | [] -> None
+    | kids -> Some (Ast.Child, List.nth kids (Prng.int rng (List.length kids))))
+  | Ast.Descendant -> (
+    match descendants_of arr i with
+    | [] -> None
+    | ds -> Some (Ast.Descendant, List.nth ds (Prng.int rng (List.length ds))))
+  | Ast.Parent ->
+    if arr.(i).parent >= 0 then Some (Ast.Parent, arr.(i).parent) else None
+  | Ast.Ancestor -> (
+    match ancestors_of arr i with
+    | [] -> None
+    | ancs -> Some (Ast.Ancestor, List.nth ancs (Prng.int rng (List.length ancs))))
+  | Ast.Self | Ast.Descendant_or_self | Ast.Ancestor_or_self -> None
+
+let sample_pattern rng arr ~size =
+  let start = Prng.int rng (Array.length arr) in
+  let root = { pnode = start; in_axis = Ast.Descendant; branches = [] } in
+  let all = ref [ root ] in
+  let remaining = ref (size - 1) in
+  let attempts = ref 0 in
+  while !remaining > 0 && !attempts < 1000 do
+    incr attempts;
+    (* extend mostly from the most recent node; sometimes branch off an
+       earlier one, which turns into a predicate *)
+    let source =
+      match !all with
+      | last :: _ when not (Prng.chance rng 0.25) -> last
+      | nodes -> List.nth nodes (Prng.int rng (List.length nodes))
+    in
+    match random_move rng arr source.pnode with
+    | None -> ()
+    | Some (axis, target) ->
+      let node = { pnode = target; in_axis = axis; branches = [] } in
+      source.branches <- source.branches @ [ node ];
+      all := node :: !all;
+      decr remaining
+  done;
+  root
+
+(* The pattern tree is an x-tree shape; turn it back into an expression:
+   the main path threads through each node's last branch, earlier branches
+   become predicates. *)
+let rec path_of_pattern arr root =
+  { Ast.absolute = true; steps = steps_of arr root }
+
+and steps_of arr (p : pattern) =
+  let step_of branches =
+    {
+      Ast.axis = p.in_axis;
+      test = Ast.Name arr.(p.pnode).ftag;
+      predicates =
+        List.map (fun b -> Ast.Path { Ast.absolute = false; steps = steps_of arr b }) branches;
+      marked = false;
+    }
+  in
+  match List.rev p.branches with
+  | [] -> [ step_of [] ]
+  | continuation :: preds -> step_of (List.rev preds) :: steps_of arr continuation
+
+let generate_spec ?(size = 6) ?(alphabet = 5) ~seed () =
+  let rng = Prng.create seed in
+  let rec try_once attempt =
+    let budget = ref (Prng.range rng 8 14) in
+    let fragment = random_fragment rng ~alphabet ~budget ~depth:0 in
+    let arr = index_fragment fragment in
+    let pattern = sample_pattern rng arr ~size in
+    let query = path_of_pattern arr pattern in
+    (* tiny fragments can fail to host a size-6 walk; retry *)
+    if Ast.step_count query = size || attempt > 50 then { query; fragment }
+    else try_once (attempt + 1)
+  in
+  try_once 0
+
+(* ------------------------------------------------------------------ *)
+(* Documents                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Emit a fragment instance; with small probability a full instance is
+   re-embedded inside a node, producing nested (overlapping) matches —
+   this is what makes descendant/ancestor steps expensive for a
+   per-context-node DOM engine, which rescans the shared subtrees from
+   every match. *)
+let rec emit_instance em rng ~recursion f =
+  Emitter.element em f.tag (fun () ->
+      List.iter (emit_instance em rng ~recursion) f.children;
+      if recursion > 0 && Prng.chance rng 0.1 then
+        emit_instance em rng ~recursion:(recursion - 1) f)
+
+(* A near match: one node's tag replaced by a tag outside the alphabet. *)
+let rec mutate rng f =
+  if Prng.chance rng 0.3 || f.children = [] then { f with tag = "zz" }
+  else begin
+    let i = Prng.int rng (List.length f.children) in
+    {
+      f with
+      children = List.mapi (fun j c -> if j = i then mutate rng c else c) f.children;
+    }
+  end
+
+let rec emit_noise em rng ~alphabet ~depth =
+  let tag = tag_of_index (Prng.int rng alphabet) in
+  Emitter.element em tag (fun () ->
+      if depth < 10 then
+        for _ = 1 to Prng.int rng 3 do
+          emit_noise em rng ~alphabet ~depth:(depth + 1)
+        done)
+
+let emit_fragment em f =
+  let rng = Prng.create 0 in
+  emit_instance em rng ~recursion:0 f
+
+let document t ~seed ~elements sink =
+  let rng = Prng.create seed in
+  let em = Emitter.create sink in
+  let alphabet = 5 in
+  Emitter.element em "doc" (fun () ->
+      while Emitter.element_count em < elements do
+        (* instances are nested under noise chains of varying depth so
+           matches occur at many levels of the tree *)
+        let rec nest levels body =
+          if levels = 0 then body ()
+          else
+            Emitter.element em (tag_of_index (Prng.int rng alphabet)) (fun () ->
+                nest (levels - 1) body)
+        in
+        let choice = Prng.int rng 10 in
+        if choice < 4 then
+          nest (Prng.int rng 12) (fun () ->
+              emit_instance em rng ~recursion:3 t.fragment)
+        else if choice < 7 then
+          nest (Prng.int rng 12) (fun () ->
+              emit_instance em rng ~recursion:1 (mutate rng t.fragment))
+        else emit_noise em rng ~alphabet ~depth:0
+      done);
+  Emitter.element_count em
+
+let document_string t ~seed ~elements =
+  let buf = Buffer.create (elements * 8) in
+  let _count =
+    document t ~seed ~elements (Xaos_xml.Serialize.event_to_buffer buf)
+  in
+  Buffer.contents buf
+
+let document_doc t ~seed ~elements =
+  let events = ref [] in
+  let _count = document t ~seed ~elements (fun ev -> events := ev :: !events) in
+  Xaos_xml.Dom.of_events (List.rev !events)
+
+let fragment_string fragment =
+  let buf = Buffer.create 256 in
+  let em = Emitter.create (Xaos_xml.Serialize.event_to_buffer buf) in
+  emit_fragment em fragment;
+  Buffer.contents buf

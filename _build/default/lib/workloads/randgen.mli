@@ -1,0 +1,46 @@
+(** Random XPath expressions with matching documents — the paper's custom
+    generator (Section 6.2, Figures 6 and 7).
+
+    The paper: "We use a custom XPath generator to generate a set of
+    random XPath expressions (of size 6 — six node tests in the
+    expression), and for each XPath expression, we generate a random XML
+    document based on the XPath expression. The generated XML document has
+    the characteristic that, for large document sizes, the XPath
+    expression will have many matches (and near matches)."
+
+    Mechanism: a random document {e fragment} is generated first; a size-6
+    pattern is then sampled by walking the fragment with random axis moves
+    (child / descendant / parent / ancestor, possibly branching into
+    predicates), which guarantees the derived expression matches the
+    fragment. The benchmark document is a stream of verbatim fragment
+    instances (matches), single-tag mutations (near matches) and random
+    noise subtrees, nested at varying depths, so match count grows
+    linearly with document size. *)
+
+type fragment = {
+  tag : string;
+  children : fragment list;
+}
+
+type t = {
+  query : Xaos_xpath.Ast.path;
+      (** size-[size] expression; uses the paper's four axes *)
+  fragment : fragment;  (** a witness: embedding it yields a match *)
+}
+
+val generate_spec : ?size:int -> ?alphabet:int -> seed:int -> unit -> t
+(** A (query, fragment) pair. [size] is the number of node tests
+    (default 6, as in the paper); [alphabet] the number of distinct tags
+    in fragments (default 5). Deterministic in all parameters. *)
+
+val document :
+  t -> seed:int -> elements:int -> (Xaos_xml.Event.t -> unit) -> int
+(** Stream a document of at least [elements] elements built around the
+    spec's fragment; returns the exact element count. *)
+
+val document_string : t -> seed:int -> elements:int -> string
+
+val document_doc : t -> seed:int -> elements:int -> Xaos_xml.Dom.doc
+
+val fragment_string : fragment -> string
+(** Serialization of one fragment instance (for debugging). *)

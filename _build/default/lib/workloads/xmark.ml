@@ -1,0 +1,280 @@
+type config = {
+  scale : float;
+  seed : int;
+}
+
+let config ?(seed = 20030310) scale = { scale; seed }
+
+type counts = {
+  categories : int;
+  items : int;
+  persons : int;
+  open_auctions : int;
+  closed_auctions : int;
+}
+
+(* Entity counts at scale 1.0 follow the original XMark generator. *)
+let counts { scale; _ } =
+  let at base = max 1 (int_of_float (float_of_int base *. scale)) in
+  {
+    categories = at 1000;
+    items = at 21750;
+    persons = at 25500;
+    open_auctions = at 12000;
+    closed_auctions = at 9750;
+  }
+
+let paper_query = "//listitem/ancestor::category//name"
+
+let words =
+  [|
+    "auction"; "bidder"; "price"; "reserve"; "lot"; "gallery"; "estate";
+    "vintage"; "rare"; "mint"; "condition"; "shipping"; "payment"; "credit";
+    "silver"; "golden"; "antique"; "modern"; "classic"; "original"; "signed";
+    "limited"; "edition"; "collector"; "museum"; "quality"; "restored";
+    "working"; "boxed"; "sealed"; "graded"; "certified"; "authentic";
+    "provenance"; "catalogue"; "appraisal"; "estimate"; "hammer"; "premium";
+    "consignment"; "viewing"; "preview"; "closing"; "opening"; "increment";
+    "porcelain"; "ceramic"; "bronze"; "marble"; "walnut"; "mahogany"; "oak";
+    "silk"; "linen"; "leather"; "crystal"; "amber"; "ivory"; "pearl"; "jade";
+  |]
+
+let regions =
+  [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let sentence rng n =
+  let buf = Buffer.create (n * 8) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Prng.pick rng words)
+  done;
+  Buffer.contents buf
+
+let date rng =
+  Printf.sprintf "%02d/%02d/%04d" (Prng.range rng 1 12) (Prng.range rng 1 28)
+    (Prng.range rng 1998 2003)
+
+let time rng =
+  Printf.sprintf "%02d:%02d:%02d" (Prng.range rng 0 23) (Prng.range rng 0 59)
+    (Prng.range rng 0 59)
+
+let person_name rng =
+  Printf.sprintf "%s %s"
+    (String.capitalize_ascii (Prng.pick rng words))
+    (String.capitalize_ascii (Prng.pick rng words))
+
+(* Recursive parlist/listitem nesting — the structure the Figure 5 query
+   targets. Depth is bounded as in the original generator. *)
+let rec parlist em rng depth =
+  Emitter.element em "parlist" (fun () ->
+      for _ = 1 to Prng.range rng 2 5 do
+        Emitter.element em "listitem" (fun () ->
+            if depth < 2 && Prng.chance rng 0.2 then parlist em rng (depth + 1)
+            else Emitter.leaf em "text" (sentence rng (Prng.range rng 4 12)))
+      done)
+
+let description em rng =
+  Emitter.element em "description" (fun () ->
+      if Prng.chance rng 0.3 then parlist em rng 0
+      else Emitter.leaf em "text" (sentence rng (Prng.range rng 8 30)))
+
+let category em rng index =
+  Emitter.element em "category"
+    ~attrs:[ ("id", Printf.sprintf "category%d" index) ]
+    (fun () ->
+      Emitter.leaf em "name" (sentence rng 2);
+      description em rng)
+
+let item em rng counts index =
+  Emitter.element em "item"
+    ~attrs:[ ("id", Printf.sprintf "item%d" index) ]
+    (fun () ->
+      Emitter.leaf em "location" (Prng.pick rng regions);
+      Emitter.leaf em "quantity" (string_of_int (Prng.range rng 1 10));
+      Emitter.leaf em "name" (sentence rng 3);
+      Emitter.element em "payment" (fun () ->
+          Emitter.text em "Cash, Creditcard");
+      description em rng;
+      Emitter.element em "shipping" (fun () ->
+          Emitter.text em "Will ship internationally");
+      for _ = 1 to Prng.range rng 1 3 do
+        Emitter.leaf em "incategory"
+          ~attrs:
+            [ ("category",
+               Printf.sprintf "category%d" (Prng.int rng counts.categories)) ]
+          ""
+      done;
+      Emitter.element em "mailbox" (fun () ->
+          for _ = 1 to Prng.int rng 3 do
+            Emitter.element em "mail" (fun () ->
+                Emitter.leaf em "from" (person_name rng);
+                Emitter.leaf em "to" (person_name rng);
+                Emitter.leaf em "date" (date rng);
+                Emitter.leaf em "text" (sentence rng (Prng.range rng 5 20)))
+          done))
+
+let person em rng counts index =
+  ignore counts;
+  Emitter.element em "person"
+    ~attrs:[ ("id", Printf.sprintf "person%d" index) ]
+    (fun () ->
+      Emitter.leaf em "name" (person_name rng);
+      Emitter.leaf em "emailaddress"
+        (Printf.sprintf "mailto:%s@%s.example" (Prng.pick rng words)
+           (Prng.pick rng words));
+      if Prng.chance rng 0.5 then
+        Emitter.leaf em "phone"
+          (Printf.sprintf "+%d (%d) %d" (Prng.range rng 1 99)
+             (Prng.range rng 100 999) (Prng.range rng 1000000 9999999));
+      if Prng.chance rng 0.4 then
+        Emitter.element em "address" (fun () ->
+            Emitter.leaf em "street"
+              (Printf.sprintf "%d %s St" (Prng.range rng 1 99)
+                 (String.capitalize_ascii (Prng.pick rng words)));
+            Emitter.leaf em "city" (String.capitalize_ascii (Prng.pick rng words));
+            Emitter.leaf em "country" "United States";
+            Emitter.leaf em "zipcode" (string_of_int (Prng.range rng 10000 99999)));
+      if Prng.chance rng 0.3 then
+        Emitter.leaf em "creditcard"
+          (Printf.sprintf "%d %d %d %d" (Prng.range rng 1000 9999)
+             (Prng.range rng 1000 9999) (Prng.range rng 1000 9999)
+             (Prng.range rng 1000 9999));
+      Emitter.element em "watches" (fun () ->
+          for _ = 1 to Prng.int rng 3 do
+            Emitter.leaf em "watch"
+              ~attrs:
+                [ ("open_auction",
+                   Printf.sprintf "open_auction%d" (Prng.int rng 1000)) ]
+              ""
+          done))
+
+let open_auction em rng counts index =
+  Emitter.element em "open_auction"
+    ~attrs:[ ("id", Printf.sprintf "open_auction%d" index) ]
+    (fun () ->
+      Emitter.leaf em "initial"
+        (Printf.sprintf "%d.%02d" (Prng.range rng 1 300) (Prng.range rng 0 99));
+      for _ = 1 to Prng.int rng 6 do
+        Emitter.element em "bidder" (fun () ->
+            Emitter.leaf em "date" (date rng);
+            Emitter.leaf em "time" (time rng);
+            Emitter.leaf em "personref"
+              ~attrs:
+                [ ("person",
+                   Printf.sprintf "person%d" (Prng.int rng counts.persons)) ]
+              "";
+            Emitter.leaf em "increase"
+              (Printf.sprintf "%d.%02d" (Prng.range rng 1 20)
+                 (Prng.range rng 0 99)))
+      done;
+      Emitter.leaf em "current"
+        (Printf.sprintf "%d.%02d" (Prng.range rng 1 500) (Prng.range rng 0 99));
+      Emitter.leaf em "itemref"
+        ~attrs:
+          [ ("item", Printf.sprintf "item%d" (Prng.int rng counts.items)) ]
+        "";
+      Emitter.leaf em "seller"
+        ~attrs:
+          [ ("person", Printf.sprintf "person%d" (Prng.int rng counts.persons)) ]
+        "";
+      Emitter.element em "annotation" (fun () ->
+          Emitter.leaf em "author" (person_name rng);
+          description em rng;
+          Emitter.leaf em "happiness" (string_of_int (Prng.range rng 1 10)));
+      Emitter.leaf em "quantity" (string_of_int (Prng.range rng 1 10));
+      Emitter.leaf em "type" "Regular";
+      Emitter.element em "interval" (fun () ->
+          Emitter.leaf em "start" (date rng);
+          Emitter.leaf em "end" (date rng)))
+
+let closed_auction em rng counts index =
+  ignore index;
+  Emitter.element em "closed_auction" (fun () ->
+      Emitter.leaf em "seller"
+        ~attrs:
+          [ ("person", Printf.sprintf "person%d" (Prng.int rng counts.persons)) ]
+        "";
+      Emitter.leaf em "buyer"
+        ~attrs:
+          [ ("person", Printf.sprintf "person%d" (Prng.int rng counts.persons)) ]
+        "";
+      Emitter.leaf em "itemref"
+        ~attrs:
+          [ ("item", Printf.sprintf "item%d" (Prng.int rng counts.items)) ]
+        "";
+      Emitter.leaf em "price"
+        (Printf.sprintf "%d.%02d" (Prng.range rng 1 500) (Prng.range rng 0 99));
+      Emitter.leaf em "date" (date rng);
+      Emitter.leaf em "quantity" (string_of_int (Prng.range rng 1 10));
+      Emitter.leaf em "type" "Regular";
+      Emitter.element em "annotation" (fun () ->
+          Emitter.leaf em "author" (person_name rng);
+          description em rng))
+
+let generate cfg sink =
+  let rng = Prng.create cfg.seed in
+  let em = Emitter.create sink in
+  let c = counts cfg in
+  Emitter.element em "site" (fun () ->
+      Emitter.element em "regions" (fun () ->
+          let per_region = max 1 (c.items / Array.length regions) in
+          Array.iteri
+            (fun r region ->
+              Emitter.element em region (fun () ->
+                  for i = 0 to per_region - 1 do
+                    item em rng c ((r * per_region) + i)
+                  done))
+            regions);
+      Emitter.element em "categories" (fun () ->
+          for i = 0 to c.categories - 1 do
+            category em rng i
+          done);
+      Emitter.element em "catgraph" (fun () ->
+          for _ = 1 to c.categories do
+            Emitter.leaf em "edge"
+              ~attrs:
+                [ ("from", Printf.sprintf "category%d" (Prng.int rng c.categories));
+                  ("to", Printf.sprintf "category%d" (Prng.int rng c.categories));
+                ]
+              ""
+          done);
+      Emitter.element em "people" (fun () ->
+          for i = 0 to c.persons - 1 do
+            person em rng c i
+          done);
+      Emitter.element em "open_auctions" (fun () ->
+          for i = 0 to c.open_auctions - 1 do
+            open_auction em rng c i
+          done);
+      Emitter.element em "closed_auctions" (fun () ->
+          for i = 0 to c.closed_auctions - 1 do
+            closed_auction em rng c i
+          done));
+  Emitter.element_count em
+
+let to_string cfg =
+  let buf = Buffer.create (1 lsl 20) in
+  let _count = generate cfg (Xaos_xml.Serialize.event_to_buffer buf) in
+  Buffer.contents buf
+
+let to_file cfg file =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      let count =
+        generate cfg (fun ev ->
+            Xaos_xml.Serialize.event_to_buffer buf ev;
+            if Buffer.length buf >= 65536 then begin
+              Buffer.output_buffer oc buf;
+              Buffer.clear buf
+            end)
+      in
+      Buffer.output_buffer oc buf;
+      count)
+
+let to_doc cfg =
+  let events = ref [] in
+  let _count = generate cfg (fun ev -> events := ev :: !events) in
+  Xaos_xml.Dom.of_events (List.rev !events)

@@ -1,0 +1,60 @@
+(** XMark-like auction-site document generator (Section 6.1 workload).
+
+    The real XMark generator (Schmidt et al., CWI) is a C program that is
+    not available in this environment; this module is a deterministic
+    synthetic reimplementation of its document {e shape} — the auction
+    site with regions/items, categories whose descriptions contain
+    recursively nested [parlist]/[listitem] structures, people, and open
+    and closed auctions — with entity counts in the original's proportions
+    (at scale 1.0: 1000 categories, 21750 items, 25500 persons, 12000 open
+    and 9750 closed auctions).
+
+    What the paper's experiments need from XMark is preserved:
+    - [listitem] elements occur in the descriptions of items, auctions
+      {e and} categories, but only the ones under a [category] have a
+      [category] ancestor, so the Figure 5 query
+      [//listitem/ancestor::category//name] stores only a tiny fraction of
+      the document (Table 3 reports < 0.2 %);
+    - document size grows linearly with the scale factor;
+    - nesting is recursive ([parlist] inside [listitem] inside [parlist]),
+      exercising the engine on recursive documents.
+
+    Generation is streaming: events are pushed to a sink and the document
+    need never exist in memory, so multi-hundred-MB inputs can be produced
+    and consumed in constant space. *)
+
+type config = {
+  scale : float;  (** XMark scale factor; 1.0 ≈ 10{^6}-element document *)
+  seed : int;
+}
+
+val config : ?seed:int -> float -> config
+(** [config scale] with the default seed 20030310. *)
+
+type counts = {
+  categories : int;
+  items : int;
+  persons : int;
+  open_auctions : int;
+  closed_auctions : int;
+}
+
+val counts : config -> counts
+(** The planned top-level entity counts for a scale factor. *)
+
+val generate : config -> (Xaos_xml.Event.t -> unit) -> int
+(** Push the document's events to the sink; returns the number of
+    elements generated. Deterministic in [config]. *)
+
+val to_string : config -> string
+(** Serialize to an XML string (document must fit in memory). *)
+
+val to_file : config -> string -> int
+(** Write the XML to a file; returns the element count. *)
+
+val to_doc : config -> Xaos_xml.Dom.doc
+(** Materialize as a DOM tree (for the baseline engine). *)
+
+val paper_query : string
+(** The Figure 5 / Table 3 expression:
+    [//listitem/ancestor::category//name]. *)

@@ -1,0 +1,1 @@
+lib/xml/dom.mli: Event Format Sax Seq

@@ -1,0 +1,1 @@
+lib/xml/sax.ml: Buffer Bytes Char Event Format List String

@@ -1,0 +1,193 @@
+type element = {
+  id : int;
+  tag : string;
+  level : int;
+  attributes : Event.attribute list;
+  mutable parent : element option;
+  mutable children : node list;
+  mutable exit_id : int;
+}
+
+and node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+type doc = {
+  root : element;
+  element_count : int;
+}
+
+let root_tag = "#root"
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable next_id : int;
+  mutable open_stack : (element * node list ref) list;
+  (* (element, reversed children accumulated so far) *)
+  virtual_root : element;
+  root_children : node list ref;
+}
+
+let new_element ~id ~tag ~level ~attributes =
+  { id; tag; level; attributes; parent = None; children = []; exit_id = id }
+
+let builder_create () =
+  let virtual_root =
+    new_element ~id:0 ~tag:root_tag ~level:0 ~attributes:[]
+  in
+  let root_children = ref [] in
+  {
+    next_id = 1;
+    open_stack = [ (virtual_root, root_children) ];
+    virtual_root;
+    root_children;
+  }
+
+let builder_push b event =
+  match event with
+  | Event.Start_element { name; attributes; level } ->
+    let id = b.next_id in
+    b.next_id <- id + 1;
+    let elem = new_element ~id ~tag:name ~level ~attributes in
+    (match b.open_stack with
+    | (parent, _) :: _ -> elem.parent <- Some parent
+    | [] -> invalid_arg "Dom.of_events: unbalanced stream");
+    b.open_stack <- (elem, ref []) :: b.open_stack
+  | Event.End_element _ -> (
+    match b.open_stack with
+    | (elem, children) :: ((_, parent_children) :: _ as rest) ->
+      elem.children <- List.rev !children;
+      elem.exit_id <- b.next_id - 1;
+      parent_children := Element elem :: !parent_children;
+      b.open_stack <- rest
+    | _ -> invalid_arg "Dom.of_events: unbalanced stream")
+  | Event.Text s -> (
+    match b.open_stack with
+    | (_, children) :: _ -> children := Text s :: !children
+    | [] -> invalid_arg "Dom.of_events: unbalanced stream")
+  | Event.Comment s -> (
+    match b.open_stack with
+    | (_, children) :: _ -> children := Comment s :: !children
+    | [] -> invalid_arg "Dom.of_events: unbalanced stream")
+  | Event.Processing_instruction { target; content } -> (
+    match b.open_stack with
+    | (_, children) :: _ -> children := Pi (target, content) :: !children
+    | [] -> invalid_arg "Dom.of_events: unbalanced stream")
+
+let builder_finish b =
+  match b.open_stack with
+  | [ (root, children) ] ->
+    root.children <- List.rev !children;
+    root.exit_id <- b.next_id - 1;
+    { root; element_count = b.next_id }
+  | _ -> invalid_arg "Dom.of_events: unbalanced stream"
+
+let of_events events =
+  let b = builder_create () in
+  List.iter (builder_push b) events;
+  builder_finish b
+
+let of_sax parser =
+  let b = builder_create () in
+  Sax.iter (builder_push b) parser;
+  builder_finish b
+
+let of_string s = of_sax (Sax.of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Navigation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let element_children e =
+  List.filter_map (function Element c -> Some c | _ -> None) e.children
+
+let parent e = e.parent
+
+let ancestors e =
+  let rec loop acc e =
+    match e.parent with
+    | None -> List.rev acc
+    | Some p -> loop (p :: acc) p
+  in
+  loop [] e
+
+let rec descendants_of_nodes nodes () =
+  match nodes with
+  | [] -> Seq.Nil
+  | Element e :: rest ->
+    Seq.Cons (e, fun () -> Seq.append (descendants_of_nodes e.children) (descendants_of_nodes rest) ())
+  | _ :: rest -> descendants_of_nodes rest ()
+
+let descendants e = descendants_of_nodes e.children
+
+let self_and_descendants e = Seq.cons e (descendants e)
+
+let is_ancestor a d = a.id < d.id && d.id <= a.exit_id
+
+let iter_elements f doc =
+  let rec walk e =
+    f e;
+    List.iter (function Element c -> walk c | _ -> ()) e.children
+  in
+  walk doc.root
+
+let element_by_id doc id =
+  let found = ref None in
+  (try
+     iter_elements
+       (fun e -> if e.id = id then begin found := Some e; raise Exit end)
+       doc
+   with Exit -> ());
+  !found
+
+let text_content e =
+  let buf = Buffer.create 64 in
+  let rec walk nodes =
+    List.iter
+      (function
+        | Text s -> Buffer.add_string buf s
+        | Element c -> walk c.children
+        | Comment _ | Pi _ -> ())
+      nodes
+  in
+  walk e.children;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let iter_events f doc =
+  let rec walk_nodes nodes =
+    List.iter
+      (function
+        | Element e ->
+          f (Event.Start_element
+               { name = e.tag; attributes = e.attributes; level = e.level });
+          walk_nodes e.children;
+          f (Event.End_element { name = e.tag; level = e.level })
+        | Text s -> f (Event.Text s)
+        | Comment s -> f (Event.Comment s)
+        | Pi (target, content) ->
+          f (Event.Processing_instruction { target; content }))
+      nodes
+  in
+  walk_nodes doc.root.children
+
+let events doc =
+  let acc = ref [] in
+  iter_events (fun ev -> acc := ev :: !acc) doc;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let subtree_size e = e.exit_id - e.id + 1
+
+let pp_element ppf e = Format.fprintf ppf "%s(%d)@%d" e.tag e.id e.level

@@ -1,0 +1,95 @@
+(** In-memory document tree (DOM-like).
+
+    The tree follows the paper's model (Section 2.1): it is rooted at a
+    virtual element [Root] with [id = 0] and [level = 0] that contains the
+    document element. Element ids are assigned in document (pre-) order, so
+    the document element has [id = 1], exactly as in the paper's Figure 2.
+
+    This is the substrate for the Xalan-like baseline engine, and for the
+    χαος(DOM) configuration of Figures 6–7 where events are replayed from a
+    prebuilt tree. *)
+
+type element = {
+  id : int;  (** document-order identifier; the virtual root has id 0 *)
+  tag : string;
+  level : int;  (** distance from the virtual root (root = 0) *)
+  attributes : Event.attribute list;
+  mutable parent : element option;  (** [None] only for the virtual root *)
+  mutable children : node list;  (** in document order *)
+  mutable exit_id : int;
+      (** largest element id in this element's subtree; together with [id]
+          this gives O(1) ancestor/descendant tests *)
+}
+
+and node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+type doc = {
+  root : element;  (** the virtual root *)
+  element_count : int;  (** number of elements including the virtual root *)
+}
+
+val root_tag : string
+(** Tag of the virtual root element (["#root"]); no real element can carry
+    it since ['#'] is not a name character. *)
+
+(** {1 Construction} *)
+
+val of_events : Event.t list -> doc
+(** Build a tree from a complete event stream (element events only are
+    significant for structure; text/comments/PIs are kept as leaves).
+    @raise Invalid_argument on an unbalanced stream. *)
+
+val of_sax : Sax.t -> doc
+(** Drain a SAX parser into a tree. *)
+
+val of_string : string -> doc
+(** Parse and build. @raise Sax.Error on ill-formed input. *)
+
+(** {1 Navigation} *)
+
+val element_children : element -> element list
+
+val parent : element -> element option
+(** Parent element; [None] for the virtual root. *)
+
+val ancestors : element -> element list
+(** Proper ancestors, nearest first, ending with the virtual root. *)
+
+val descendants : element -> element Seq.t
+(** Proper descendant elements, in document order. *)
+
+val self_and_descendants : element -> element Seq.t
+
+val is_ancestor : element -> element -> bool
+(** [is_ancestor a d] iff [a] is a proper ancestor of [d]. O(1). *)
+
+val iter_elements : (element -> unit) -> doc -> unit
+(** All elements in document order, including the virtual root. *)
+
+val element_by_id : doc -> int -> element option
+(** Linear scan; intended for tests. *)
+
+val text_content : element -> string
+(** Concatenated text descendants, in document order. *)
+
+(** {1 Replay} *)
+
+val events : doc -> Event.t list
+(** The event stream of the document below the virtual root — the stream a
+    SAX parse of the same document would produce (modulo text coalescing). *)
+
+val iter_events : (Event.t -> unit) -> doc -> unit
+(** Like {!events} but without building the list: used by the χαος(DOM)
+    configuration to replay a prebuilt tree through the streaming engine. *)
+
+(** {1 Statistics} *)
+
+val subtree_size : element -> int
+(** Number of elements in the subtree rooted at the element, inclusive. *)
+
+val pp_element : Format.formatter -> element -> unit
+(** Prints the paper's [T_{i,l}] notation, e.g. [W(7)@4]. *)

@@ -1,0 +1,60 @@
+type attribute = {
+  attr_name : string;
+  attr_value : string;
+}
+
+type t =
+  | Start_element of { name : string; attributes : attribute list; level : int }
+  | End_element of { name : string; level : int }
+  | Text of string
+  | Comment of string
+  | Processing_instruction of { target : string; content : string }
+
+let name = function
+  | Start_element { name; _ } | End_element { name; _ } -> Some name
+  | Text _ | Comment _ | Processing_instruction _ -> None
+
+let level = function
+  | Start_element { level; _ } | End_element { level; _ } -> Some level
+  | Text _ | Comment _ | Processing_instruction _ -> None
+
+let is_element_event = function
+  | Start_element _ | End_element _ -> true
+  | Text _ | Comment _ | Processing_instruction _ -> false
+
+let attribute key = function
+  | Start_element { attributes; _ } ->
+    let rec find = function
+      | [] -> None
+      | { attr_name; attr_value } :: rest ->
+        if String.equal attr_name key then Some attr_value else find rest
+    in
+    find attributes
+  | End_element _ | Text _ | Comment _ | Processing_instruction _ -> None
+
+let pp ppf = function
+  | Start_element { name; level; _ } -> Format.fprintf ppf "S:%s@%d" name level
+  | End_element { name; level } -> Format.fprintf ppf "E:%s@%d" name level
+  | Text s -> Format.fprintf ppf "T:%S" s
+  | Comment s -> Format.fprintf ppf "C:%S" s
+  | Processing_instruction { target; content } ->
+    Format.fprintf ppf "PI:%s %S" target content
+
+let equal_attribute a b =
+  String.equal a.attr_name b.attr_name && String.equal a.attr_value b.attr_value
+
+let equal a b =
+  match a, b with
+  | Start_element a, Start_element b ->
+    String.equal a.name b.name
+    && a.level = b.level
+    && List.length a.attributes = List.length b.attributes
+    && List.for_all2 equal_attribute a.attributes b.attributes
+  | End_element a, End_element b -> String.equal a.name b.name && a.level = b.level
+  | Text a, Text b | Comment a, Comment b -> String.equal a b
+  | Processing_instruction a, Processing_instruction b ->
+    String.equal a.target b.target && String.equal a.content b.content
+  | ( ( Start_element _ | End_element _ | Text _ | Comment _
+      | Processing_instruction _ ),
+      _ ) ->
+    false

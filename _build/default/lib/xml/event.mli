@@ -1,0 +1,45 @@
+(** Parsing events produced by the streaming XML parser.
+
+    The event stream is equivalent to a depth-first, pre-order traversal of
+    the document tree (paper, Section 2.2): for each element a
+    [Start_element] is generated, then its content in document order, and
+    finally an [End_element].
+
+    Levels follow the paper's convention: the virtual [Root] element has
+    level 0, so the document element has level 1. *)
+
+type attribute = {
+  attr_name : string;
+  attr_value : string;
+}
+
+type t =
+  | Start_element of { name : string; attributes : attribute list; level : int }
+      (** Start tag. [level] is the distance from the virtual root. *)
+  | End_element of { name : string; level : int }
+      (** End tag (also generated for empty-element tags). *)
+  | Text of string
+      (** Character data, with entity and character references resolved.
+          Adjacent runs (e.g. around a CDATA section) may arrive as several
+          [Text] events. *)
+  | Comment of string  (** [<!-- ... -->], content without the delimiters. *)
+  | Processing_instruction of { target : string; content : string }
+      (** [<?target content?>]. *)
+
+val name : t -> string option
+(** Element name for start/end events, [None] otherwise. *)
+
+val level : t -> int option
+(** Level for start/end events, [None] otherwise. *)
+
+val is_element_event : t -> bool
+(** [true] on [Start_element] and [End_element]. The χαος engine consumes
+    only element events. *)
+
+val attribute : string -> t -> string option
+(** [attribute k e] is the value of attribute [k] on a start event. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer, e.g. [S:foo@2]. *)
+
+val equal : t -> t -> bool

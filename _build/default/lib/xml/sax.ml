@@ -1,0 +1,505 @@
+type position = {
+  line : int;
+  column : int;
+  offset : int;
+}
+
+exception Error of position * string
+
+(* Parsing proceeds through three phases: the prolog (before the root
+   element), the content of the root element, and the epilog (after it).
+   [stack] holds the open element names; its length is the current depth. *)
+type phase =
+  | Prolog
+  | Content
+  | Epilog
+  | Done
+
+type t = {
+  refill : bytes -> int -> int;
+  buf : bytes;
+  mutable pos : int;  (* next unread byte in [buf] *)
+  mutable len : int;  (* number of valid bytes in [buf] *)
+  mutable eof : bool;
+  mutable line : int;
+  mutable column : int;
+  mutable offset : int;
+  mutable stack : string list;
+  mutable depth : int;
+  mutable phase : phase;
+  mutable pending : Event.t list;  (* queued events, e.g. End after <a/> *)
+  scratch : Buffer.t;
+  scratch2 : Buffer.t;
+}
+
+let buffer_size = 65536
+
+let make refill =
+  {
+    refill;
+    buf = Bytes.create buffer_size;
+    pos = 0;
+    len = 0;
+    eof = false;
+    line = 1;
+    column = 1;
+    offset = 0;
+    stack = [];
+    depth = 0;
+    phase = Prolog;
+    pending = [];
+    scratch = Buffer.create 256;
+    scratch2 = Buffer.create 64;
+  }
+
+let of_function refill = make refill
+
+let of_channel ic = make (fun buf n -> input ic buf 0 n)
+
+let of_string s =
+  let consumed = ref 0 in
+  let refill buf n =
+    let remaining = String.length s - !consumed in
+    let count = min n remaining in
+    Bytes.blit_string s !consumed buf 0 count;
+    consumed := !consumed + count;
+    count
+  in
+  make refill
+
+let position p = { line = p.line; column = p.column; offset = p.offset }
+
+let depth p = p.depth
+
+let pp_position ppf ({ line; column; offset } : position) =
+  Format.fprintf ppf "line %d, column %d (byte %d)" line column offset
+
+let error p msg = raise (Error (position p, msg))
+
+let errorf p fmt = Format.kasprintf (fun msg -> error p msg) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Character-level input                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ensure p =
+  if p.pos >= p.len && not p.eof then begin
+    let count = p.refill p.buf buffer_size in
+    p.pos <- 0;
+    p.len <- count;
+    if count = 0 then p.eof <- true
+  end
+
+(* Peek at the next byte without consuming it; '\000' at end of input
+   (NUL is not legal in XML, so the sentinel is unambiguous). *)
+let peek p =
+  ensure p;
+  if p.pos >= p.len then '\000' else Bytes.unsafe_get p.buf p.pos
+
+let advance p =
+  ensure p;
+  if p.pos < p.len then begin
+    let c = Bytes.unsafe_get p.buf p.pos in
+    p.pos <- p.pos + 1;
+    p.offset <- p.offset + 1;
+    if Char.equal c '\n' then begin
+      p.line <- p.line + 1;
+      p.column <- 1
+    end
+    else p.column <- p.column + 1
+  end
+
+let next_char p =
+  let c = peek p in
+  if Char.equal c '\000' then error p "unexpected end of input";
+  advance p;
+  c
+
+let expect p expected =
+  let c = next_char p in
+  if not (Char.equal c expected) then
+    errorf p "expected %C but found %C" expected c
+
+let expect_string p s = String.iter (fun c -> expect p c) s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space p =
+  while is_space (peek p) do
+    advance p
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80 (* permissive: any non-ASCII byte *)
+
+let is_name_char c =
+  is_name_start c || (match c with '0' .. '9' | '-' | '.' -> true | _ -> false)
+
+let read_name p =
+  let c = peek p in
+  if not (is_name_start c) then errorf p "expected a name but found %C" c;
+  Buffer.clear p.scratch2;
+  while is_name_char (peek p) do
+    Buffer.add_char p.scratch2 (next_char p)
+  done;
+  Buffer.contents p.scratch2
+
+(* ------------------------------------------------------------------ *)
+(* References                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Add the UTF-8 encoding of the Unicode scalar value [u] to [buf]. *)
+let add_utf8 p buf u =
+  if u < 0 || u > 0x10FFFF || (u >= 0xD800 && u <= 0xDFFF) then
+    errorf p "invalid character reference U+%X" u;
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex_value p = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | c -> errorf p "invalid hexadecimal digit %C" c
+
+(* Read a reference after the '&' has been consumed, appending the
+   replacement text to [buf]. *)
+let read_reference p buf =
+  if Char.equal (peek p) '#' then begin
+    advance p;
+    let value = ref 0 in
+    let digits = ref 0 in
+    let hex = Char.equal (peek p) 'x' in
+    if hex then advance p;
+    let rec loop () =
+      match peek p with
+      | ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') as c
+        when hex || (c >= '0' && c <= '9') ->
+        value := (!value * if hex then 16 else 10) + hex_value p c;
+        incr digits;
+        advance p;
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    if !digits = 0 then error p "empty character reference";
+    expect p ';';
+    add_utf8 p buf !value
+  end
+  else begin
+    let name = read_name p in
+    expect p ';';
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "apos" -> Buffer.add_char buf '\''
+    | "quot" -> Buffer.add_char buf '"'
+    | other -> errorf p "unknown entity reference &%s;" other
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Markup                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_attribute_value p =
+  let quote = next_char p in
+  if not (Char.equal quote '"' || Char.equal quote '\'') then
+    error p "attribute value must be quoted";
+  Buffer.clear p.scratch;
+  let rec loop () =
+    let c = peek p in
+    if Char.equal c quote then advance p
+    else
+      match c with
+      | '\000' -> error p "unexpected end of input in attribute value"
+      | '<' -> error p "'<' is not allowed in attribute values"
+      | '&' ->
+        advance p;
+        read_reference p p.scratch;
+        loop ()
+      | c ->
+        advance p;
+        Buffer.add_char p.scratch c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents p.scratch
+
+let read_attributes p =
+  let rec loop acc =
+    skip_space p;
+    match peek p with
+    | '>' | '/' -> List.rev acc
+    | c when is_name_start c ->
+      let attr_name = read_name p in
+      skip_space p;
+      expect p '=';
+      skip_space p;
+      let attr_value = read_attribute_value p in
+      if List.exists (fun a -> String.equal a.Event.attr_name attr_name) acc
+      then errorf p "duplicate attribute %s" attr_name;
+      loop ({ Event.attr_name; attr_value } :: acc)
+    | c -> errorf p "unexpected %C in tag" c
+  in
+  loop []
+
+(* "<!-" consumed; consume the second '-' and the comment body. A literal
+   "--" inside a comment is ill-formed per the XML spec. *)
+let read_comment p =
+  expect p '-';
+  Buffer.clear p.scratch;
+  let rec loop () =
+    let c = next_char p in
+    if Char.equal c '-' && Char.equal (peek p) '-' then begin
+      advance p;
+      expect p '>'
+    end
+    else begin
+      Buffer.add_char p.scratch c;
+      loop ()
+    end
+  in
+  loop ();
+  Event.Comment (Buffer.contents p.scratch)
+
+(* "<![" consumed; expect "CDATA[" then scan to "]]>". [brackets] counts the
+   run of ']' characters read but not yet emitted: the final two belong to
+   the terminator, any excess is literal content ("]]]>" => "]" ^ end). *)
+let read_cdata p =
+  expect_string p "CDATA[";
+  Buffer.clear p.scratch;
+  let rec loop brackets =
+    match next_char p with
+    | ']' -> loop (brackets + 1)
+    | '>' when brackets >= 2 ->
+      for _ = 1 to brackets - 2 do
+        Buffer.add_char p.scratch ']'
+      done
+    | c ->
+      for _ = 1 to brackets do
+        Buffer.add_char p.scratch ']'
+      done;
+      Buffer.add_char p.scratch c;
+      loop 0
+  in
+  loop 0;
+  Event.Text (Buffer.contents p.scratch)
+
+(* "<?" consumed. *)
+let read_pi p =
+  let target = read_name p in
+  skip_space p;
+  Buffer.clear p.scratch;
+  let rec loop () =
+    let c = next_char p in
+    if Char.equal c '?' && Char.equal (peek p) '>' then advance p
+    else begin
+      Buffer.add_char p.scratch c;
+      loop ()
+    end
+  in
+  loop ();
+  (target, Buffer.contents p.scratch)
+
+(* "<!D" dispatched; skip the whole declaration, including an internal
+   subset in square brackets and quoted system/public literals. *)
+let skip_doctype p =
+  expect_string p "DOCTYPE";
+  let rec loop bracket_depth =
+    match next_char p with
+    | '[' -> loop (bracket_depth + 1)
+    | ']' -> loop (bracket_depth - 1)
+    | '>' when bracket_depth = 0 -> ()
+    | '"' ->
+      let rec str () = if not (Char.equal (next_char p) '"') then str () in
+      str ();
+      loop bracket_depth
+    | '\'' ->
+      let rec str () = if not (Char.equal (next_char p) '\'') then str () in
+      str ();
+      loop bracket_depth
+    | _ -> loop bracket_depth
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let read_text p =
+  Buffer.clear p.scratch;
+  let rec loop () =
+    match peek p with
+    | '<' | '\000' -> ()
+    | '&' ->
+      advance p;
+      read_reference p p.scratch;
+      loop ()
+    | c ->
+      advance p;
+      Buffer.add_char p.scratch c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents p.scratch
+
+(* The '<' and the first name character are still unread. *)
+let start_element p =
+  let name = read_name p in
+  let attributes = read_attributes p in
+  skip_space p;
+  match next_char p with
+  | '>' ->
+    p.stack <- name :: p.stack;
+    p.depth <- p.depth + 1;
+    if p.phase = Prolog then p.phase <- Content;
+    Event.Start_element { name; attributes; level = p.depth }
+  | '/' ->
+    expect p '>';
+    (* Self-closing: emit Start now, queue the matching End. Depth is left
+       unchanged since the element opens and closes atomically. *)
+    let level = p.depth + 1 in
+    p.pending <- Event.End_element { name; level } :: p.pending;
+    if p.phase = Prolog then p.phase <- Epilog;
+    Event.Start_element { name; attributes; level }
+  | c -> errorf p "unexpected %C at end of start tag" c
+
+let end_element p =
+  let name = read_name p in
+  skip_space p;
+  expect p '>';
+  match p.stack with
+  | [] -> errorf p "unmatched end tag </%s>" name
+  | top :: rest ->
+    if not (String.equal top name) then
+      errorf p "mismatched end tag: expected </%s> but found </%s>" top name;
+    let level = p.depth in
+    p.stack <- rest;
+    p.depth <- p.depth - 1;
+    if p.depth = 0 then p.phase <- Epilog;
+    Event.End_element { name; level }
+
+let rec next p =
+  match p.pending with
+  | ev :: rest ->
+    p.pending <- rest;
+    Some ev
+  | [] -> (
+    match p.phase with
+    | Done -> None
+    | Epilog ->
+      skip_space p;
+      (match peek p with
+      | '\000' ->
+        p.phase <- Done;
+        None
+      | '<' -> (
+        advance p;
+        match peek p with
+        | '!' -> (
+          advance p;
+          match peek p with
+          | '-' ->
+            advance p;
+            Some (read_comment p)
+          | c -> errorf p "unexpected declaration %C after the root element" c)
+        | '?' ->
+          advance p;
+          let target, content = read_pi p in
+          Some (Event.Processing_instruction { target; content })
+        | _ -> error p "only one root element is allowed")
+      | _ -> error p "text content is not allowed after the root element")
+    | Prolog -> (
+      skip_space p;
+      match peek p with
+      | '\000' -> error p "empty document: no root element"
+      | '<' -> (
+        advance p;
+        match peek p with
+        | '!' -> (
+          advance p;
+          match peek p with
+          | '-' ->
+            advance p;
+            Some (read_comment p)
+          | 'D' ->
+            skip_doctype p;
+            next p
+          | c -> errorf p "unexpected declaration starting with %C" c)
+        | '?' ->
+          advance p;
+          let target, content = read_pi p in
+          if String.equal (String.lowercase_ascii target) "xml" then
+            (* XML declaration: consume silently. *)
+            next p
+          else Some (Event.Processing_instruction { target; content })
+        | '/' -> error p "end tag before any start tag"
+        | _ -> Some (start_element p))
+      | _ -> error p "text content is not allowed before the root element")
+    | Content -> (
+      match peek p with
+      | '\000' ->
+        errorf p "unexpected end of input: %d element(s) still open" p.depth
+      | '<' -> (
+        advance p;
+        match peek p with
+        | '/' ->
+          advance p;
+          Some (end_element p)
+        | '!' -> (
+          advance p;
+          match peek p with
+          | '-' ->
+            advance p;
+            Some (read_comment p)
+          | '[' ->
+            advance p;
+            (match read_cdata p with
+            | Event.Text "" -> next p
+            | other -> Some other)
+          | c -> errorf p "unexpected declaration starting with %C" c)
+        | '?' ->
+          advance p;
+          let target, content = read_pi p in
+          Some (Event.Processing_instruction { target; content })
+        | _ -> Some (start_element p))
+      | _ ->
+        let text = read_text p in
+        if String.length text = 0 then next p else Some (Event.Text text)))
+
+let iter f p =
+  let rec loop () =
+    match next p with
+    | None -> ()
+    | Some ev ->
+      f ev;
+      loop ()
+  in
+  loop ()
+
+let fold f init p =
+  let rec loop acc =
+    match next p with
+    | None -> acc
+    | Some ev -> loop (f acc ev)
+  in
+  loop init
+
+let events_of_string s =
+  let p = of_string s in
+  List.rev (fold (fun acc ev -> ev :: acc) [] p)

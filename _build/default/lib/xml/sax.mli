@@ -1,0 +1,62 @@
+(** Streaming (SAX-style) XML parser.
+
+    This is the event source of the paper's Figure 1. The parser is a pull
+    parser: {!next} returns the next {!Event.t} of the depth-first pre-order
+    traversal of the document, without ever materializing the tree. Memory
+    use is bounded by the input buffer plus the open-element stack, so
+    arbitrarily large documents can be processed.
+
+    Supported XML: elements, attributes, character data, entity references
+    ([&lt; &gt; &amp; &apos; &quot;]) and character references ([&#n;] /
+    [&#xh;]), CDATA sections, comments, processing instructions, the XML
+    declaration, and (skipped) DOCTYPE declarations including an internal
+    subset. Namespaces are not interpreted: a qualified name is just a tag
+    string, as in the paper's data model. DTD-defined entities are not
+    expanded.
+
+    Well-formedness is enforced: one root element, properly nested matching
+    tags, quoted attribute values, no duplicate attributes, no ['<'] in
+    attribute values, no content after the root element. *)
+
+type position = {
+  line : int;  (** 1-based *)
+  column : int;  (** 1-based, in bytes *)
+  offset : int;  (** 0-based byte offset *)
+}
+
+exception Error of position * string
+(** Raised by {!next} on ill-formed input. *)
+
+type t
+(** A parser over one document. *)
+
+val of_string : string -> t
+
+val of_channel : in_channel -> t
+
+val of_function : (bytes -> int -> int) -> t
+(** [of_function refill]: [refill buf n] must write at most [n] bytes into
+    [buf] starting at offset 0 and return how many were written; [0] means
+    end of input. *)
+
+val next : t -> Event.t option
+(** The next event, or [None] once the document has been fully consumed.
+    After [None], subsequent calls keep returning [None].
+    @raise Error on ill-formed input. *)
+
+val position : t -> position
+(** Current position, for error reporting and progress tracking. *)
+
+val depth : t -> int
+(** Number of currently open elements. The level of the next start event
+    would be [depth t + 1]. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+(** Push-style driver: applies the callback to every remaining event. *)
+
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+
+val events_of_string : string -> Event.t list
+(** Parse a complete document held in memory. Convenient for tests. *)
+
+val pp_position : Format.formatter -> position -> unit

@@ -1,0 +1,79 @@
+let escape_into buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' when not attr -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attribute s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf ~attr:true s;
+  Buffer.contents buf
+
+let start_tag_to_buffer buf name attributes =
+  Buffer.add_char buf '<';
+  Buffer.add_string buf name;
+  List.iter
+    (fun { Event.attr_name; attr_value } ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf attr_name;
+      Buffer.add_string buf "=\"";
+      escape_into buf ~attr:true attr_value;
+      Buffer.add_char buf '"')
+    attributes;
+  Buffer.add_char buf '>'
+
+let event_to_buffer buf = function
+  | Event.Start_element { name; attributes; _ } ->
+    start_tag_to_buffer buf name attributes
+  | Event.End_element { name; _ } ->
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  | Event.Text s -> escape_into buf ~attr:false s
+  | Event.Comment s ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Event.Processing_instruction { target; content } ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf target;
+    if String.length content > 0 then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf content
+    end;
+    Buffer.add_string buf "?>"
+
+let doc_to_buffer buf doc =
+  Dom.iter_events (event_to_buffer buf) doc
+
+let to_string doc =
+  let buf = Buffer.create 4096 in
+  doc_to_buffer buf doc;
+  Buffer.contents buf
+
+let to_channel oc doc =
+  let buf = Buffer.create 65536 in
+  Dom.iter_events
+    (fun ev ->
+      event_to_buffer buf ev;
+      if Buffer.length buf >= 65536 then begin
+        Buffer.output_buffer oc buf;
+        Buffer.clear buf
+      end)
+    doc;
+  Buffer.output_buffer oc buf
+
+let events_to_string events =
+  let buf = Buffer.create 4096 in
+  List.iter (event_to_buffer buf) events;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** XML output: escaping, event-stream and tree serialization.
+
+    Serialization inverts parsing: [Sax.events_of_string (to_string doc)]
+    yields the same element structure (text may be re-coalesced). Used by
+    the workload generators to materialize benchmark documents and by the
+    tests for roundtrip properties. *)
+
+val escape_text : string -> string
+(** Escape ['<'], ['>'] and ['&'] for character-data context. *)
+
+val escape_attribute : string -> string
+(** Escape ['<'], ['&'] and ['"'] for double-quoted attribute context. *)
+
+val event_to_buffer : Buffer.t -> Event.t -> unit
+(** Append the markup of one event. Start and end events produce start and
+    end tags; no self-closing form is emitted. *)
+
+val doc_to_buffer : Buffer.t -> Dom.doc -> unit
+(** Serialize the document below the virtual root. *)
+
+val to_string : Dom.doc -> string
+
+val to_channel : out_channel -> Dom.doc -> unit
+
+val events_to_string : Event.t list -> string

@@ -1,0 +1,1 @@
+lib/xpath/ast.ml: Char Format List Option String

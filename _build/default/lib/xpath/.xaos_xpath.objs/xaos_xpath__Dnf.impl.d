@@ -1,0 +1,1 @@
+lib/xpath/dnf.ml: Ast List Printf

@@ -1,0 +1,1 @@
+lib/xpath/lexer.ml: Char List Printf String

@@ -1,0 +1,1 @@
+lib/xpath/xdag.ml: Array Ast Format Hashtbl List Option Printf Queue Xtree

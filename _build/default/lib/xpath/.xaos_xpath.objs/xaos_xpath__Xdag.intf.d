@@ -1,0 +1,1 @@
+lib/xpath/xdag.mli: Ast Format Hashtbl Xtree

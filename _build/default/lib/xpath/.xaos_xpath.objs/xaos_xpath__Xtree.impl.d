@@ -1,0 +1,1 @@
+lib/xpath/xtree.ml: Array Ast Format List String

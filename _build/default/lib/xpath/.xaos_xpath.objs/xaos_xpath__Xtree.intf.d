@@ -1,0 +1,1 @@
+lib/xpath/xtree.mli: Ast Format

@@ -1,0 +1,203 @@
+type axis =
+  | Child
+  | Descendant
+  | Parent
+  | Ancestor
+  | Self
+  | Descendant_or_self
+  | Ancestor_or_self
+
+type node_test =
+  | Name of string
+  | Wildcard
+
+type attr_test = {
+  attr_key : string;
+  attr_value : string option;
+}
+
+type text_op =
+  | Text_equals
+  | Text_contains
+
+type text_test = {
+  text_op : text_op;
+  text_value : string;
+}
+
+type step = {
+  axis : axis;
+  test : node_test;
+  predicates : predicate list;
+  marked : bool;
+}
+
+and predicate =
+  | Path of path
+  | Attr of attr_test
+  | Text of text_test
+  | And of predicate * predicate
+  | Or of predicate * predicate
+
+and path = {
+  absolute : bool;
+  steps : step list;
+}
+
+let forward = function
+  | Child | Descendant | Self | Descendant_or_self -> true
+  | Parent | Ancestor | Ancestor_or_self -> false
+
+let backward axis = not (forward axis)
+
+let reverse_axis = function
+  | Child -> Parent
+  | Descendant -> Ancestor
+  | Parent -> Child
+  | Ancestor -> Descendant
+  | Self -> Self
+  | Descendant_or_self -> Ancestor_or_self
+  | Ancestor_or_self -> Descendant_or_self
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Self -> "self"
+  | Descendant_or_self -> "descendant-or-self"
+  | Ancestor_or_self -> "ancestor-or-self"
+
+let attr_test_matches { attr_key; attr_value } ~find =
+  match find attr_key, attr_value with
+  | None, _ -> false
+  | Some _, None -> true
+  | Some actual, Some expected -> String.equal actual expected
+
+(* Naive substring search; test values are short. *)
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else begin
+    let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+    at 0
+  end
+
+let text_test_matches { text_op; text_value } s =
+  match text_op with
+  | Text_equals -> String.equal s text_value
+  | Text_contains -> contains ~needle:text_value s
+
+let test_matches test tag =
+  (* '#' is not a name character, so the virtual root's "#root" tag can be
+     recognized and excluded from wildcard matches. *)
+  match test with
+  | Name n -> String.equal n tag
+  | Wildcard -> String.length tag = 0 || not (Char.equal tag.[0] '#')
+
+let rec path_exists_step f { steps; _ } = List.exists (step_exists f) steps
+
+and step_exists f step =
+  f step || List.exists (predicate_exists f) step.predicates
+
+and predicate_exists f = function
+  | Path p -> path_exists_step f p
+  | Attr _ | Text _ -> false
+  | And (a, b) | Or (a, b) -> predicate_exists f a || predicate_exists f b
+
+let uses_backward_axis path = path_exists_step (fun s -> backward s.axis) path
+
+let has_marks path = path_exists_step (fun s -> s.marked) path
+
+let rec path_steps { steps; _ } =
+  List.fold_left (fun acc s -> acc + step_size s) 0 steps
+
+and step_size step =
+  1 + List.fold_left (fun acc p -> acc + predicate_size p) 0 step.predicates
+
+and predicate_size = function
+  | Path p -> path_steps p
+  | Attr _ | Text _ -> 0
+  | And (a, b) | Or (a, b) -> predicate_size a + predicate_size b
+
+let step_count = path_steps
+
+let pp_axis ppf axis = Format.pp_print_string ppf (axis_name axis)
+
+let pp_node_test ppf = function
+  | Name n -> Format.pp_print_string ppf n
+  | Wildcard -> Format.pp_print_char ppf '*'
+
+let rec pp_step ppf { axis; test; predicates; marked } =
+  if marked then Format.pp_print_char ppf '$';
+  Format.fprintf ppf "%a::%a" pp_axis axis pp_node_test test;
+  List.iter (fun p -> Format.fprintf ppf "[%a]" pp_predicate p) predicates
+
+(* Parenthesization preserves the tree exactly: [or] binds looser than
+   [and], both parse left-associatively, so an [or] under an [and], and
+   any right operand built with the same operator, need parentheses. *)
+and pp_predicate ppf = function
+  | Path p -> pp ppf p
+  | Attr { attr_key; attr_value } -> (
+    Format.fprintf ppf "@%s" attr_key;
+    match attr_value with
+    | None -> ()
+    | Some v -> Format.fprintf ppf "=%a" pp_quoted v)
+  | Text { text_op; text_value } -> (
+    match text_op with
+    | Text_equals -> Format.fprintf ppf "text()=%a" pp_quoted text_value
+    | Text_contains ->
+      Format.fprintf ppf "contains(text(),%a)" pp_quoted text_value)
+  | And (a, b) ->
+    let left ppf = function
+      | (Path _ | Attr _ | Text _ | And _) as p -> pp_predicate ppf p
+      | Or _ as p -> pp_parens ppf p
+    and right ppf = function
+      | (Path _ | Attr _ | Text _) as p -> pp_predicate ppf p
+      | (And _ | Or _) as p -> pp_parens ppf p
+    in
+    Format.fprintf ppf "%a and %a" left a right b
+  | Or (a, b) ->
+    let right ppf = function
+      | (Path _ | Attr _ | Text _ | And _) as p -> pp_predicate ppf p
+      | Or _ as p -> pp_parens ppf p
+    in
+    Format.fprintf ppf "%a or %a" pp_predicate a right b
+
+and pp_parens ppf p = Format.fprintf ppf "(%a)" pp_predicate p
+
+and pp_quoted ppf v =
+  if String.contains v '\'' then Format.fprintf ppf "\"%s\"" v
+  else Format.fprintf ppf "'%s'" v
+
+and pp ppf { absolute; steps } =
+  if absolute then Format.pp_print_char ppf '/';
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '/')
+    pp_step ppf steps
+
+let to_string path = Format.asprintf "%a" pp path
+
+let rec equal a b =
+  a.absolute = b.absolute
+  && List.length a.steps = List.length b.steps
+  && List.for_all2 equal_step a.steps b.steps
+
+and equal_step a b =
+  a.axis = b.axis
+  && a.test = b.test
+  && a.marked = b.marked
+  && List.length a.predicates = List.length b.predicates
+  && List.for_all2 equal_predicate a.predicates b.predicates
+
+and equal_predicate a b =
+  match a, b with
+  | Path a, Path b -> equal a b
+  | Attr a, Attr b ->
+    String.equal a.attr_key b.attr_key
+    && Option.equal String.equal a.attr_value b.attr_value
+  | Text a, Text b ->
+    a.text_op = b.text_op && String.equal a.text_value b.text_value
+  | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) ->
+    equal_predicate a1 b1 && equal_predicate a2 b2
+  | (Path _ | Attr _ | Text _ | And _ | Or _), _ -> false

@@ -1,0 +1,119 @@
+(** Abstract syntax of the XPath subset.
+
+    The grammar is the paper's Restricted XPath (Rxp, Table 1) —
+    location paths over the axes [child], [descendant], [parent],
+    [ancestor] with conjunctive predicates — extended with:
+
+    - the [self], [descendant-or-self] and [ancestor-or-self] axes
+      (the paper notes χαος "is extensible to handle all thirteen axis
+      specifiers"; these three fit the same containment-order framework);
+    - the wildcard node test [*];
+    - [or] in predicate expressions (Section 5.2 of the paper);
+    - [$]-marked output nodes for multiple outputs (Section 5.3);
+    - abbreviated syntax ([//], bare names, [..], [.]), which desugars
+      onto the axes above. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Parent
+  | Ancestor
+  | Self
+  | Descendant_or_self
+  | Ancestor_or_self
+
+type node_test =
+  | Name of string
+  | Wildcard  (** [*]: any element; does not match the virtual root *)
+
+type attr_test = {
+  attr_key : string;
+  attr_value : string option;
+      (** [None]: existence test [@key]; [Some v]: equality [@key='v'] *)
+}
+
+type text_op =
+  | Text_equals  (** [text()='v'] *)
+  | Text_contains  (** [contains(text(),'v')] *)
+
+type text_test = {
+  text_op : text_op;
+  text_value : string;
+}
+
+type step = {
+  axis : axis;
+  test : node_test;
+  predicates : predicate list;  (** conjunction of bracketed predicates *)
+  marked : bool;  (** [$]-marked output node (extended XPath, Section 5.3) *)
+}
+
+and predicate =
+  | Path of path
+  | Attr of attr_test
+      (** extension: attribute existence/equality test on the context
+          element. Attributes arrive on start events, so these are pure
+          filters for the streaming engine — no matching structure is
+          involved. *)
+  | Text of text_test
+      (** extension: test on the element's {e string value} (concatenated
+          text content, as in XPath's [string(.)]); [text()='v'] tests
+          equality, [contains(text(),'v')] substring containment. The
+          string value is only known at the element's end event, so the
+          streaming engine buffers text for elements whose x-node carries
+          such a test and decides at resolution time. *)
+  | And of predicate * predicate
+  | Or of predicate * predicate
+
+and path = {
+  absolute : bool;
+      (** [true] for [/...] paths, evaluated from the root regardless of
+          context *)
+  steps : step list;  (** nonempty *)
+}
+
+val forward : axis -> bool
+(** [child], [descendant], [self], [descendant-or-self]. *)
+
+val backward : axis -> bool
+(** [parent], [ancestor], [ancestor-or-self]. *)
+
+val reverse_axis : axis -> axis
+(** The axis naming the inverse relation, e.g.
+    [reverse_axis Ancestor = Descendant]. Used to build the x-dag. *)
+
+val axis_name : axis -> string
+
+val test_matches : node_test -> string -> bool
+(** Whether a document element with the given tag satisfies the node test.
+    The virtual root's reserved tag is matched by neither constructor. *)
+
+val attr_test_matches : attr_test -> find:(string -> string option) -> bool
+(** Whether an element whose attribute lookup is [find] satisfies the
+    test. *)
+
+val text_test_matches : text_test -> string -> bool
+(** Whether a string value satisfies the test. *)
+
+val uses_backward_axis : path -> bool
+(** Whether any step, including inside predicates, uses a backward axis.
+    Queries without backward axes are the fragment handled by prior
+    streaming systems (XFilter/YFilter/XTrie/TurboXPath). *)
+
+val has_marks : path -> bool
+(** Whether any [$] mark appears (switches result arity to tuples). *)
+
+val step_count : path -> int
+(** Number of steps including those in predicates — the paper's notion of
+    expression size (Section 6.2 uses size-6 expressions). *)
+
+val pp_axis : Format.formatter -> axis -> unit
+val pp_node_test : Format.formatter -> node_test -> unit
+val pp_step : Format.formatter -> step -> unit
+val pp_predicate : Format.formatter -> predicate -> unit
+val pp : Format.formatter -> path -> unit
+(** Prints unabbreviated syntax, re-parsable by {!Parser.parse}. *)
+
+val to_string : path -> string
+
+val equal : path -> path -> bool

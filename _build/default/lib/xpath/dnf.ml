@@ -1,0 +1,55 @@
+(* Cross product accumulating in left-to-right order. *)
+let cross (xs : 'a list) (ys : 'b list) (combine : 'a -> 'b -> 'c) : 'c list =
+  List.concat_map (fun x -> List.map (fun y -> combine x y) ys) xs
+
+let rec expand_path (path : Ast.path) : Ast.path list =
+  List.map
+    (fun steps -> { path with Ast.steps })
+    (expand_steps path.Ast.steps)
+
+and expand_steps = function
+  | [] -> [ [] ]
+  | step :: rest ->
+    cross (expand_step step) (expand_steps rest) (fun s ss -> s :: ss)
+
+and expand_step (step : Ast.step) : Ast.step list =
+  let rec expand_preds = function
+    | [] -> [ [] ]
+    | pred :: rest ->
+      cross (expand_predicate pred) (expand_preds rest) (fun p ps -> p :: ps)
+  in
+  List.map
+    (fun predicates -> { step with Ast.predicates })
+    (expand_preds step.Ast.predicates)
+
+(* Each result is an or-free predicate (a conjunction of paths). *)
+and expand_predicate = function
+  | Ast.Path p -> List.map (fun p -> Ast.Path p) (expand_path p)
+  | (Ast.Attr _ | Ast.Text _) as atom -> [ atom ]
+  | Ast.And (a, b) ->
+    cross (expand_predicate a) (expand_predicate b) (fun x y -> Ast.And (x, y))
+  | Ast.Or (a, b) -> expand_predicate a @ expand_predicate b
+
+let expand path =
+  match expand_path path with
+  | [ single ] -> [ (if Ast.equal single path then path else single) ]
+  | many -> many
+
+let expand_bounded ~limit path =
+  (* Count before materializing to avoid building a huge list first. *)
+  let rec count_path (p : Ast.path) =
+    List.fold_left (fun acc s -> acc * count_step s) 1 p.Ast.steps
+  and count_step (s : Ast.step) =
+    List.fold_left (fun acc p -> acc * count_pred p) 1 s.Ast.predicates
+  and count_pred = function
+    | Ast.Path p -> count_path p
+    | Ast.Attr _ | Ast.Text _ -> 1
+    | Ast.And (a, b) -> count_pred a * count_pred b
+    | Ast.Or (a, b) -> count_pred a + count_pred b
+  in
+  let total = count_path path in
+  if total > limit then
+    Error
+      (Printf.sprintf "or-expansion would produce %d disjuncts (limit %d)"
+         total limit)
+  else Ok (expand path)

@@ -1,0 +1,19 @@
+(** Disjunctive-normal-form expansion of [or] predicates (paper,
+    Section 5.2).
+
+    χαος evaluates conjunctive expressions; an expression with [or] is
+    rewritten into an equivalent disjunction of or-free expressions, and
+    each disjunct is evaluated independently (the engine runs all of them
+    in the same single pass; the result is the union). The expansion can
+    be exponential in the number of [or]s, which the paper deems
+    acceptable since XPath expressions are small; {!expand_bounded}
+    guards against pathological inputs. *)
+
+val expand : Ast.path -> Ast.path list
+(** The list of or-free disjuncts, in left-to-right order. The result is
+    a singleton iff the input had no [or] (the input is then returned
+    unchanged). *)
+
+val expand_bounded : limit:int -> Ast.path -> (Ast.path list, string) result
+(** Like {!expand} but fails once more than [limit] disjuncts would be
+    produced. *)

@@ -1,0 +1,152 @@
+type token =
+  | Slash
+  | Double_slash
+  | Axis_sep
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Dollar
+  | Star
+  | Dot
+  | Dot_dot
+  | At
+  | Equals
+  | Comma
+  | Literal of string
+  | Name of string
+  | End
+
+exception Lex_error of int * string
+
+type t = {
+  input : string;
+  mutable offset : int;  (* next unread byte *)
+  mutable lookahead : (token * int) list;  (* tokens already scanned *)
+  mutable last_pos : int;
+}
+
+let create input = { input; offset = 0; lookahead = []; last_pos = 0 }
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | _ -> false
+
+let is_name_char c =
+  is_name_start c || (match c with '0' .. '9' | '-' -> true | _ -> false)
+
+let scan t =
+  let n = String.length t.input in
+  let i = ref t.offset in
+  while !i < n && (match t.input.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+    incr i
+  done;
+  let start = !i in
+  if start >= n then begin
+    t.offset <- start;
+    (End, start)
+  end
+  else begin
+    let tok =
+      match t.input.[start] with
+      | '/' ->
+        if start + 1 < n && Char.equal t.input.[start + 1] '/' then begin
+          i := start + 2;
+          Double_slash
+        end
+        else begin
+          i := start + 1;
+          Slash
+        end
+      | ':' ->
+        if start + 1 < n && Char.equal t.input.[start + 1] ':' then begin
+          i := start + 2;
+          Axis_sep
+        end
+        else raise (Lex_error (start, "expected '::'"))
+      | '[' ->
+        i := start + 1;
+        Lbracket
+      | ']' ->
+        i := start + 1;
+        Rbracket
+      | '(' ->
+        i := start + 1;
+        Lparen
+      | ')' ->
+        i := start + 1;
+        Rparen
+      | '$' ->
+        i := start + 1;
+        Dollar
+      | '*' ->
+        i := start + 1;
+        Star
+      | '@' ->
+        i := start + 1;
+        At
+      | '=' ->
+        i := start + 1;
+        Equals
+      | ',' ->
+        i := start + 1;
+        Comma
+      | ('\'' | '"') as quote ->
+        let j = ref (start + 1) in
+        while !j < n && not (Char.equal t.input.[!j] quote) do
+          incr j
+        done;
+        if !j >= n then raise (Lex_error (start, "unterminated string literal"));
+        i := !j + 1;
+        Literal (String.sub t.input (start + 1) (!j - start - 1))
+      | '.' ->
+        if start + 1 < n && Char.equal t.input.[start + 1] '.' then begin
+          i := start + 2;
+          Dot_dot
+        end
+        else begin
+          i := start + 1;
+          Dot
+        end
+      | c when is_name_start c ->
+        let j = ref (start + 1) in
+        while !j < n && is_name_char t.input.[!j] do
+          incr j
+        done;
+        i := !j;
+        Name (String.sub t.input start (!j - start))
+      | c -> raise (Lex_error (start, Printf.sprintf "unexpected character %C" c))
+    in
+    t.offset <- !i;
+    (tok, start)
+  end
+
+let fill t count =
+  while List.length t.lookahead < count do
+    t.lookahead <- t.lookahead @ [ scan t ]
+  done
+
+let peek t =
+  fill t 1;
+  match t.lookahead with
+  | (tok, pos) :: _ ->
+    t.last_pos <- pos;
+    tok
+  | [] -> assert false
+
+let peek2 t =
+  fill t 2;
+  match t.lookahead with
+  | _ :: (tok, _) :: _ -> tok
+  | _ -> assert false
+
+let next t =
+  fill t 1;
+  match t.lookahead with
+  | (tok, pos) :: rest ->
+    t.lookahead <- rest;
+    t.last_pos <- pos;
+    tok
+  | [] -> assert false
+
+let pos t = t.last_pos

@@ -1,0 +1,38 @@
+(** Tokenizer for XPath expressions. *)
+
+type token =
+  | Slash  (** [/] *)
+  | Double_slash  (** [//] *)
+  | Axis_sep  (** [::] *)
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Dollar  (** [$] output mark *)
+  | Star  (** [*] *)
+  | Dot  (** [.] *)
+  | Dot_dot  (** [..] *)
+  | At  (** [@], introduces an attribute test *)
+  | Equals  (** [=] inside an attribute or text test *)
+  | Comma  (** [,] inside a [contains(...)] call *)
+  | Literal of string  (** quoted string, ['...'] or ["..."] *)
+  | Name of string
+      (** Names cover tags, axis names and the [and]/[or] keywords; the
+          parser disambiguates by position, as XPath requires. *)
+  | End
+
+exception Lex_error of int * string
+(** Byte position and message. *)
+
+type t
+
+val create : string -> t
+
+val peek : t -> token
+val peek2 : t -> token
+(** One more token of lookahead, needed to tell [name::...] (an axis) from
+    [name] (a child step). *)
+
+val next : t -> token
+val pos : t -> int
+(** Byte position of the token returned by the last [next]/[peek]. *)

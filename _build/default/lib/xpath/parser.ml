@@ -1,0 +1,231 @@
+exception Parse_error of int * string
+
+let fail lx msg = raise (Parse_error (Lexer.pos lx, msg))
+
+let failf lx fmt = Format.kasprintf (fun msg -> fail lx msg) fmt
+
+let axis_of_name = function
+  | "child" -> Some Ast.Child
+  | "descendant" -> Some Ast.Descendant
+  | "parent" -> Some Ast.Parent
+  | "ancestor" -> Some Ast.Ancestor
+  | "self" -> Some Ast.Self
+  | "descendant-or-self" -> Some Ast.Descendant_or_self
+  | "ancestor-or-self" -> Some Ast.Ancestor_or_self
+  | _ -> None
+
+(* A step, with [default_axis] supplied by the preceding separator:
+   [Child] after '/', [Descendant] after '//'. *)
+let rec parse_step lx ~default_axis =
+  match Lexer.peek lx with
+  | Lexer.Dollar ->
+    ignore (Lexer.next lx);
+    let step = parse_step lx ~default_axis in
+    if step.Ast.marked then fail lx "duplicate '$' mark";
+    { step with Ast.marked = true }
+  | Lexer.Dot ->
+    ignore (Lexer.next lx);
+    if default_axis <> Ast.Child then
+      fail lx "'.' cannot follow '//'; write 'descendant-or-self::*'";
+    finish_step lx Ast.Self Ast.Wildcard
+  | Lexer.Dot_dot ->
+    ignore (Lexer.next lx);
+    if default_axis <> Ast.Child then
+      fail lx "'..' cannot follow '//'";
+    finish_step lx Ast.Parent Ast.Wildcard
+  | Lexer.Star ->
+    ignore (Lexer.next lx);
+    finish_step lx default_axis Ast.Wildcard
+  | Lexer.Name name -> (
+    match Lexer.peek2 lx with
+    | Lexer.Axis_sep -> (
+      ignore (Lexer.next lx);
+      ignore (Lexer.next lx);
+      match axis_of_name name with
+      | None -> failf lx "unknown axis %s" name
+      | Some axis ->
+        if default_axis = Ast.Descendant then
+          fail lx "'//' cannot precede an explicit axis; spell the step out";
+        let test = parse_node_test lx in
+        finish_step lx axis test)
+    | _ ->
+      ignore (Lexer.next lx);
+      finish_step lx default_axis (Ast.Name name))
+  | tok -> failf lx "expected a step but found %s" (describe tok)
+
+and parse_node_test lx =
+  match Lexer.next lx with
+  | Lexer.Name name -> Ast.Name name
+  | Lexer.Star -> Ast.Wildcard
+  | tok -> failf lx "expected a node test but found %s" (describe tok)
+
+and finish_step lx axis test =
+  let predicates = parse_predicates lx [] in
+  { Ast.axis; test; predicates; marked = false }
+
+and parse_predicates lx acc =
+  match Lexer.peek lx with
+  | Lexer.Lbracket ->
+    ignore (Lexer.next lx);
+    let pred = parse_or lx in
+    (match Lexer.next lx with
+    | Lexer.Rbracket -> parse_predicates lx (pred :: acc)
+    | tok -> failf lx "expected ']' but found %s" (describe tok))
+  | _ -> List.rev acc
+
+(* or-expression: term ('or' term)*, left-associative, binds loosest. *)
+and parse_or lx =
+  let rec loop left =
+    match Lexer.peek lx with
+    | Lexer.Name "or" ->
+      ignore (Lexer.next lx);
+      loop (Ast.Or (left, parse_and lx))
+    | _ -> left
+  in
+  loop (parse_and lx)
+
+and parse_and lx =
+  let rec loop left =
+    match Lexer.peek lx with
+    | Lexer.Name "and" ->
+      ignore (Lexer.next lx);
+      loop (Ast.And (left, parse_factor lx))
+    | _ -> left
+  in
+  loop (parse_factor lx)
+
+and parse_factor lx =
+  match Lexer.peek lx with
+  | Lexer.Lparen ->
+    ignore (Lexer.next lx);
+    let inner = parse_or lx in
+    (match Lexer.next lx with
+    | Lexer.Rparen -> inner
+    | tok -> failf lx "expected ')' but found %s" (describe tok))
+  | Lexer.At -> Ast.Attr (parse_attr_test lx)
+  | Lexer.Name "text" when Lexer.peek2 lx = Lexer.Lparen ->
+    (* text() = 'v' *)
+    ignore (Lexer.next lx);
+    ignore (Lexer.next lx);
+    expect lx Lexer.Rparen "')'";
+    expect lx Lexer.Equals "'='";
+    let text_value = parse_literal lx in
+    Ast.Text { Ast.text_op = Ast.Text_equals; text_value }
+  | Lexer.Name "contains" when Lexer.peek2 lx = Lexer.Lparen ->
+    (* contains(text(), 'v') *)
+    ignore (Lexer.next lx);
+    ignore (Lexer.next lx);
+    (match Lexer.next lx with
+    | Lexer.Name "text" -> ()
+    | tok -> failf lx "contains() only supports text(); found %s" (describe tok));
+    expect lx Lexer.Lparen "'('";
+    expect lx Lexer.Rparen "')'";
+    expect lx Lexer.Comma "','";
+    let text_value = parse_literal lx in
+    expect lx Lexer.Rparen "')'";
+    Ast.Text { Ast.text_op = Ast.Text_contains; text_value }
+  | _ -> Ast.Path (parse_path lx)
+
+and expect lx expected_tok what =
+  let tok = Lexer.next lx in
+  if tok <> expected_tok then
+    failf lx "expected %s but found %s" what (describe tok)
+
+and parse_literal lx =
+  match Lexer.next lx with
+  | Lexer.Literal v -> v
+  | tok -> failf lx "expected a string literal but found %s" (describe tok)
+
+(* The '@' is still unread. *)
+and parse_attr_test lx =
+  (match Lexer.next lx with
+  | Lexer.At -> ()
+  | tok -> failf lx "expected '@' but found %s" (describe tok));
+  let attr_key =
+    match Lexer.next lx with
+    | Lexer.Name name -> name
+    | tok -> failf lx "expected an attribute name but found %s" (describe tok)
+  in
+  match Lexer.peek lx with
+  | Lexer.Equals -> (
+    ignore (Lexer.next lx);
+    match Lexer.next lx with
+    | Lexer.Literal value -> { Ast.attr_key; attr_value = Some value }
+    | tok -> failf lx "expected a string literal but found %s" (describe tok))
+  | _ -> { Ast.attr_key; attr_value = None }
+
+(* A location path: absolute if it starts with '/' or '//'. *)
+and parse_path lx =
+  match Lexer.peek lx with
+  | Lexer.Slash ->
+    ignore (Lexer.next lx);
+    let steps = parse_relative lx ~default_axis:Ast.Child in
+    { Ast.absolute = true; steps }
+  | Lexer.Double_slash ->
+    ignore (Lexer.next lx);
+    let steps = parse_relative lx ~default_axis:Ast.Descendant in
+    { Ast.absolute = true; steps }
+  | _ ->
+    let steps = parse_relative lx ~default_axis:Ast.Child in
+    { Ast.absolute = false; steps }
+
+and parse_relative lx ~default_axis =
+  let first = parse_step lx ~default_axis in
+  (* A trailing attribute step — [.../@key] inside a predicate —
+     desugars onto the preceding element step: [a/@k] means "an [a] child
+     that has attribute [k]", i.e. [a[@k]]. *)
+  let attach_attr acc =
+    let test = parse_attr_test lx in
+    match acc with
+    | step :: rest ->
+      { step with Ast.predicates = step.Ast.predicates @ [ Ast.Attr test ] }
+      :: rest
+    | [] -> assert false
+  in
+  let rec loop acc =
+    match Lexer.peek lx with
+    | Lexer.Slash -> (
+      ignore (Lexer.next lx);
+      match Lexer.peek lx with
+      | Lexer.At -> List.rev (attach_attr acc)
+      | _ -> loop (parse_step lx ~default_axis:Ast.Child :: acc))
+    | Lexer.Double_slash ->
+      ignore (Lexer.next lx);
+      loop (parse_step lx ~default_axis:Ast.Descendant :: acc)
+    | _ -> List.rev acc
+  in
+  loop [ first ]
+
+and describe = function
+  | Lexer.Slash -> "'/'"
+  | Lexer.Double_slash -> "'//'"
+  | Lexer.Axis_sep -> "'::'"
+  | Lexer.Lbracket -> "'['"
+  | Lexer.Rbracket -> "']'"
+  | Lexer.Lparen -> "'('"
+  | Lexer.Rparen -> "')'"
+  | Lexer.Dollar -> "'$'"
+  | Lexer.Star -> "'*'"
+  | Lexer.Dot -> "'.'"
+  | Lexer.Dot_dot -> "'..'"
+  | Lexer.At -> "'@'"
+  | Lexer.Equals -> "'='"
+  | Lexer.Comma -> "','"
+  | Lexer.Literal s -> Printf.sprintf "string %S" s
+  | Lexer.Name n -> Printf.sprintf "name %S" n
+  | Lexer.End -> "end of input"
+
+let parse input =
+  let lx = Lexer.create input in
+  try
+    let path = parse_path lx in
+    match Lexer.next lx with
+    | Lexer.End -> path
+    | tok -> failf lx "trailing %s after the expression" (describe tok)
+  with Lexer.Lex_error (pos, msg) -> raise (Parse_error (pos, msg))
+
+let parse_result input =
+  match parse input with
+  | path -> Ok path
+  | exception Parse_error (pos, msg) ->
+    Error (Printf.sprintf "position %d: %s" pos msg)

@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the XPath subset.
+
+    Accepts both the paper's unabbreviated Rxp syntax
+    (e.g. [/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]])
+    and abbreviated syntax
+    (e.g. [//listitem/ancestor::category//name], [a/b[.//c]/..]).
+
+    Abbreviations desugar as follows:
+    - a leading [/] makes the path absolute; a leading [//x] is
+      [/descendant::x];
+    - [a//b] is [a/descendant::b] (equivalent to the XPath 1.0 expansion
+      for element node tests);
+    - a bare name [x] is [child::x], and [*] is [child::*];
+    - [.] is [self::*] (with a wildcard that matches any element) and [..]
+      is [parent::*];
+    - [$] before a step marks it as an output node (Section 5.3).
+
+    [or] binds looser than [and], both are left-associative, and
+    parentheses group, as in XPath 1.0. *)
+
+exception Parse_error of int * string
+(** Byte position in the input and message. *)
+
+val parse : string -> Ast.path
+(** @raise Parse_error on syntax errors. *)
+
+val parse_result : string -> (Ast.path, string) result
+(** Like {!parse}, with the error rendered as ["position N: message"]. *)

@@ -1,0 +1,134 @@
+type kind =
+  | Kchild
+  | Kdescendant
+  | Kself
+  | Kdescendant_or_self
+
+exception Unsatisfiable
+
+type t = {
+  xtree : Xtree.t;
+  parents : (kind * int) list array;
+  children : (kind * int) list array;
+  topo : int array;
+  tree_order : int array;
+  by_tag : (string, int list) Hashtbl.t;
+  wildcard_nodes : int list;
+}
+
+let kind_of_axis = function
+  | Ast.Child -> Kchild
+  | Ast.Descendant -> Kdescendant
+  | Ast.Self -> Kself
+  | Ast.Descendant_or_self -> Kdescendant_or_self
+  | (Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self) as axis ->
+    invalid_arg
+      (Printf.sprintf "Xdag.kind_of_axis: backward axis %s"
+         (Ast.axis_name axis))
+
+(* Kahn's algorithm; a leftover node means a cycle, which can only arise
+   from edge reversal (e.g. /parent::x) and always includes a strict
+   containment edge, so the expression is unsatisfiable. *)
+let topological_sort n children =
+  let indegree = Array.make n 0 in
+  Array.iter
+    (List.iter (fun (_, target) -> indegree.(target) <- indegree.(target) + 1))
+    children;
+  let queue = Queue.create () in
+  Array.iteri (fun id d -> if d = 0 then Queue.add id queue) indegree;
+  let order = Array.make n (-1) in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order.(!count) <- id;
+    incr count;
+    List.iter
+      (fun (_, target) ->
+        indegree.(target) <- indegree.(target) - 1;
+        if indegree.(target) = 0 then Queue.add target queue)
+      children.(id)
+  done;
+  if !count < n then raise Unsatisfiable;
+  order
+
+let of_xtree (xtree : Xtree.t) =
+  let n = Xtree.size xtree in
+  let parents = Array.make n [] in
+  let children = Array.make n [] in
+  let add_edge kind source target =
+    children.(source) <- (kind, target) :: children.(source);
+    parents.(target) <- (kind, source) :: parents.(target)
+  in
+  (* Rules 1 and 2: keep forward edges, reverse backward ones. *)
+  Array.iter
+    (fun (node : Xtree.xnode) ->
+      List.iter
+        (fun (axis, (child : Xtree.xnode)) ->
+          match axis with
+          | Ast.Child | Ast.Descendant | Ast.Self | Ast.Descendant_or_self ->
+            add_edge (kind_of_axis axis) node.id child.id
+          | Ast.Parent -> add_edge Kchild child.id node.id
+          | Ast.Ancestor -> add_edge Kdescendant child.id node.id
+          | Ast.Ancestor_or_self ->
+            add_edge Kdescendant_or_self child.id node.id)
+        node.children)
+    xtree.nodes;
+  (* Rule 3: connect orphaned x-nodes to Root with a descendant edge. *)
+  Array.iter
+    (fun (node : Xtree.xnode) ->
+      if node.id <> xtree.root.id && parents.(node.id) = [] then
+        add_edge Kdescendant xtree.root.id node.id)
+    xtree.nodes;
+  let topo = topological_sort n children in
+  (* End events resolve an element's matches children-before-parents of
+     the x-tree; ids increase from parent to child, so descending id order
+     is exactly that, and it also respects same-element (Kself /
+     or-self) dependencies, which always point from an x-tree parent to
+     its child. *)
+  let tree_order = Array.init n (fun i -> n - 1 - i) in
+  let by_tag = Hashtbl.create 16 in
+  let wildcard_nodes = ref [] in
+  (* Iterate downward so the per-tag lists come out in ascending id order. *)
+  for i = n - 1 downto 0 do
+    match xtree.nodes.(i).label with
+    | Xtree.Root -> ()
+    | Xtree.Test (Ast.Name tag) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_tag tag) in
+      Hashtbl.replace by_tag tag (i :: existing)
+    | Xtree.Test Ast.Wildcard -> wildcard_nodes := i :: !wildcard_nodes
+  done;
+  { xtree; parents; children; topo; tree_order; by_tag;
+    wildcard_nodes = !wildcard_nodes }
+
+let candidates t tag =
+  let named = Option.value ~default:[] (Hashtbl.find_opt t.by_tag tag) in
+  if Ast.test_matches Ast.Wildcard tag then named @ t.wildcard_nodes
+  else named
+
+let join_points t =
+  let result = ref [] in
+  for i = Array.length t.parents - 1 downto 0 do
+    match t.parents.(i) with
+    | _ :: _ :: _ -> result := i :: !result
+    | [] | [ _ ] -> ()
+  done;
+  !result
+
+let is_tree t = join_points t = []
+
+let pp_kind ppf = function
+  | Kchild -> Format.pp_print_string ppf "child"
+  | Kdescendant -> Format.pp_print_string ppf "descendant"
+  | Kself -> Format.pp_print_string ppf "self"
+  | Kdescendant_or_self -> Format.pp_print_string ppf "descendant-or-self"
+
+let pp ppf t =
+  Array.iter
+    (fun (node : Xtree.xnode) ->
+      Format.fprintf ppf "%d %a:" node.id Xtree.pp_label node.label;
+      List.iter
+        (fun (kind, target) ->
+          Format.fprintf ppf " -%a-> %d" pp_kind kind target)
+        t.children.(node.id);
+      Format.pp_print_newline ppf ())
+    t.xtree.nodes

@@ -1,0 +1,68 @@
+(** The x-dag representation (paper, Section 3.2).
+
+    The x-dag is derived from the x-tree by reformulating every backward
+    constraint as a forward one — the key step that makes streaming
+    processing possible:
+
+    + [child] and [descendant] x-tree edges are kept;
+    + [parent] edges are reversed and relabeled [child]; [ancestor] edges
+      are reversed and relabeled [descendant] (and, for our axis
+      extensions, [ancestor-or-self] reverses to [descendant-or-self]
+      while [self] keeps its orientation);
+    + every non-root x-node left without an incoming edge receives a
+      [descendant] edge from [Root].
+
+    All x-dag edges therefore point downward in document-containment
+    order. The engine uses the x-dag to decide *relevance* of incoming
+    elements (the looking-for set). *)
+
+(** Forward edge kinds after reformulation. *)
+type kind =
+  | Kchild  (** target is a child of the source's match *)
+  | Kdescendant  (** proper descendant *)
+  | Kself  (** the same element *)
+  | Kdescendant_or_self
+
+exception Unsatisfiable
+(** Raised by {!of_xtree} when reversal creates a cycle through a strict
+    edge (e.g. [/parent::x], which asks for an element strictly above the
+    root): no document can satisfy the expression. *)
+
+type t = {
+  xtree : Xtree.t;
+  parents : (kind * int) list array;
+      (** incoming x-dag edges of each x-node, by x-node id *)
+  children : (kind * int) list array;  (** outgoing x-dag edges *)
+  topo : int array;
+      (** all x-node ids in a topological order of the x-dag, Root first *)
+  tree_order : int array;
+      (** x-node ids ordered children-before-parents w.r.t. the {e x-tree},
+          refined so that same-element (self-edge) dependencies of the
+          x-dag are respected; the engine resolves an element's matches in
+          this order at end events *)
+  by_tag : (string, int list) Hashtbl.t;
+      (** tag -> x-node ids whose label is exactly that name *)
+  wildcard_nodes : int list;  (** x-node ids with a wildcard label *)
+}
+
+val kind_of_axis : Ast.axis -> kind
+(** The forward kind of a forward axis. @raise Invalid_argument on a
+    backward axis (those are reversed, not mapped). *)
+
+val of_xtree : Xtree.t -> t
+(** @raise Unsatisfiable — see above. *)
+
+val candidates : t -> string -> int list
+(** X-node ids whose label matches the given element tag (named nodes
+    first, then wildcards); never includes Root. *)
+
+val join_points : t -> int list
+(** X-nodes with more than one incoming x-dag edge (paper, Section 4):
+    shared by several sub-dags, the reason composition works on the x-tree
+    rather than the x-dag. *)
+
+val is_tree : t -> bool
+(** No join points: the Rxp used no backward axis and the x-dag coincides
+    with the x-tree (the simple case of Section 4). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+type label =
+  | Root
+  | Test of Ast.node_test
+
+type xnode = {
+  id : int;
+  label : label;
+  parent_edge : (Ast.axis * xnode) option;
+  mutable children : (Ast.axis * xnode) list;
+  mutable output : bool;
+  mutable attrs : Ast.attr_test list;
+  mutable texts : Ast.text_test list;
+}
+
+type t = {
+  root : xnode;
+  nodes : xnode array;
+  outputs : xnode list;
+}
+
+type builder = {
+  mutable rev_nodes : xnode list;
+  mutable count : int;
+  mutable rev_marks : xnode list;
+}
+
+let fresh b label parent_edge =
+  let node =
+    { id = b.count; label; parent_edge; children = []; output = false;
+      attrs = []; texts = [] }
+  in
+  b.count <- b.count + 1;
+  b.rev_nodes <- node :: b.rev_nodes;
+  (match parent_edge with
+  | Some (axis, parent) -> parent.children <- parent.children @ [ (axis, node) ]
+  | None -> ());
+  node
+
+(* Appendix A, specialized: a path extends a chain from its context node
+   (from Root when absolute); predicates recurse with the step's x-node as
+   context. Returns the x-node of the last step. *)
+let rec add_path b ~root ~context (path : Ast.path) =
+  let start = if path.absolute then root else context in
+  List.fold_left (add_step b ~root) start path.steps
+
+and add_step b ~root context (step : Ast.step) =
+  let node = fresh b (Test step.test) (Some (step.axis, context)) in
+  if step.marked then begin
+    node.output <- true;
+    b.rev_marks <- node :: b.rev_marks
+  end;
+  List.iter (add_predicate b ~root ~context:node) step.predicates;
+  node
+
+and add_predicate b ~root ~context = function
+  | Ast.Path p -> ignore (add_path b ~root ~context p)
+  | Ast.Attr test -> context.attrs <- context.attrs @ [ test ]
+  | Ast.Text test -> context.texts <- context.texts @ [ test ]
+  | Ast.And (x, y) ->
+    add_predicate b ~root ~context x;
+    add_predicate b ~root ~context y
+  | Ast.Or _ ->
+    invalid_arg "Xtree.of_path: 'or' must be expanded first (see Dnf)"
+
+let of_path path =
+  let b = { rev_nodes = []; count = 0; rev_marks = [] } in
+  let root = fresh b Root None in
+  let last = add_path b ~root ~context:root path in
+  let outputs =
+    match List.rev b.rev_marks with
+    | [] ->
+      last.output <- true;
+      [ last ]
+    | marks -> marks
+  in
+  let nodes = Array.of_list (List.rev b.rev_nodes) in
+  { root; nodes; outputs }
+
+let size t = Array.length t.nodes
+
+let attrs_match node ~find =
+  List.for_all (fun test -> Ast.attr_test_matches test ~find) node.attrs
+
+let label_matches label tag =
+  match label with
+  | Root -> String.equal tag "#root"
+  | Test test -> Ast.test_matches test tag
+
+let subtree_has_output t =
+  let has = Array.make (size t) false in
+  (* Children have larger ids than parents, so one reverse sweep
+     propagates the flag bottom-up. *)
+  for i = Array.length t.nodes - 1 downto 0 do
+    let node = t.nodes.(i) in
+    has.(i) <-
+      node.output
+      || List.exists (fun (_, child) -> has.(child.id)) node.children
+  done;
+  has
+
+let pp_label ppf = function
+  | Root -> Format.pp_print_string ppf "Root"
+  | Test test -> Ast.pp_node_test ppf test
+
+let pp ppf t =
+  Array.iter
+    (fun node ->
+      Format.fprintf ppf "%d %a" node.id pp_label node.label;
+      (match node.parent_edge with
+      | Some (axis, parent) ->
+        Format.fprintf ppf " <-%a- %d" Ast.pp_axis axis parent.id
+      | None -> ());
+      if node.output then Format.pp_print_string ppf " [output]";
+      Format.pp_print_newline ppf ())
+    t.nodes

@@ -1,0 +1,65 @@
+(** The x-tree representation of an Rxp (paper, Section 3.1 and Appendix A).
+
+    An x-tree is a rooted tree with an x-node per node test of the
+    expression plus a [Root] x-node; each non-root x-node has a unique
+    incoming edge labeled with its step's axis. One or more x-nodes are
+    designated output nodes ([$] marks, or by default the rightmost node
+    test not contained in a predicate).
+
+    The construction follows the Appendix A rules, specialized to the
+    grammar: the main path grows a chain from [Root]; each predicate path
+    grows a subtree from its context node (or a fresh chain from [Root]
+    when absolute). [or] is not representable — expand with {!Dnf} first. *)
+
+type label =
+  | Root
+  | Test of Ast.node_test
+
+type xnode = {
+  id : int;  (** dense index; [Root] has id 0; parents have smaller ids *)
+  label : label;
+  parent_edge : (Ast.axis * xnode) option;  (** [None] only for [Root] *)
+  mutable children : (Ast.axis * xnode) list;
+      (** outgoing x-tree edges, in construction order *)
+  mutable output : bool;
+  mutable attrs : Ast.attr_test list;
+      (** conjunction of attribute tests from the step's predicates
+          (extension); checked together with the label *)
+  mutable texts : Ast.text_test list;
+      (** conjunction of string-value tests (extension); decidable only at
+          the element's end event *)
+}
+
+type t = {
+  root : xnode;
+  nodes : xnode array;  (** indexed by id; topologically ordered (parents first) *)
+  outputs : xnode list;  (** in expression order; nonempty *)
+}
+
+val of_path : Ast.path -> t
+(** Build the x-tree. The top-level path is evaluated from the root (the
+    Rxp grammar only derives absolute top-level paths; a relative one is
+    accepted and treated as absolute).
+    @raise Invalid_argument if the path contains [or] — see {!Dnf}. *)
+
+val size : t -> int
+(** Number of x-nodes including [Root]. *)
+
+val label_matches : label -> string -> bool
+(** Whether a document element tag satisfies an x-node's label. [Root]
+    matches only the virtual root's reserved tag. *)
+
+val attrs_match : xnode -> find:(string -> string option) -> bool
+(** Whether an element's attributes (accessed through [find]) satisfy all
+    of the x-node's attribute tests. *)
+
+val subtree_has_output : t -> bool array
+(** [has.(v)] iff the x-tree subtree rooted at x-node [v] contains an
+    output node — the Section 5.1 criterion for which x-nodes need full
+    matching structures rather than booleans. *)
+
+val pp_label : Format.formatter -> label -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line dump: one line per x-node with its incoming axis, e.g.
+    [2 W <-descendant- 1 [output]]. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Buffer Item List Printf Semantics Xaos_baseline Xaos_core Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+test/test_deepgen.ml: Alcotest Array Item List Printf Query Result_set Stats String Xaos_baseline Xaos_core Xaos_workloads Xaos_xml Xaos_xpath

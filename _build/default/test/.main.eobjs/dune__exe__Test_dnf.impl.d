@@ -1,0 +1,1 @@
+test/test_dnf.ml: Alcotest List Xaos_xpath

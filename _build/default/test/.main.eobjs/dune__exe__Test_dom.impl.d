@@ -1,0 +1,1 @@
+test/test_dom.ml: Alcotest Fun List Option Printf Xaos_xml

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Format Item List Printf Query Result_set Stats Xaos_core Xaos_xml Xaos_xpath

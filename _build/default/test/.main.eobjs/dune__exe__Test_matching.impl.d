@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Item List Matching Printf Stats Xaos_core

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Buffer Engine Item List Query Result_set Stats Xaos_core Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+test/test_properties.ml: Engine Format Fun Item List Printf QCheck QCheck_alcotest Query Result_set Semantics Stats String Xaos_baseline Xaos_core Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Engine Filename Fun Item List Query Query_set Result_set Stats String Sys Xaos_core Xaos_xml

@@ -1,0 +1,1 @@
+test/test_sax.ml: Alcotest Buffer Bytes List String Xaos_xml

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Item List Semantics Xaos_core Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Filename Fun List Sys Xaos_xml

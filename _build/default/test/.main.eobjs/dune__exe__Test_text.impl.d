@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Engine Item List Query Result_set Semantics Xaos_baseline Xaos_core Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Format Item List Printf Result_set Stats String Trace Xaos_core Xaos_xpath

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printf Query Result_set Stats String Xaos_core Xaos_workloads Xaos_xml Xaos_xpath

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest List Printf Xaos_xpath

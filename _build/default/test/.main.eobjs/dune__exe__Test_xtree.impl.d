@@ -1,0 +1,1 @@
+test/test_xtree.ml: Alcotest Array Format List Printf String Xaos_xpath

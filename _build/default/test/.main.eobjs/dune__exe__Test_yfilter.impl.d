@@ -1,0 +1,1 @@
+test/test_yfilter.ml: Alcotest List Query Result_set String Xaos_baseline Xaos_core Xaos_xml Xaos_xpath

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Integration tests for the xaos command-line tool. Invoked by dune with
+# the binary's path as $1; any failed assertion aborts the run.
+set -eu
+
+XAOS="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "cli_test: $*" >&2; exit 1; }
+
+expect() { # expect <description> <expected> <actual>
+  if [ "$2" != "$3" ]; then
+    fail "$1: expected [$2], got [$3]"
+  fi
+}
+
+# --- eval over a file, paper example --------------------------------------
+cat > "$WORK/fig2.xml" <<'EOF'
+<X><Y><W/><Z><V/><V/><W><W/></W></Z><U/></Y><Y><Z><W/></Z><U/></Y></X>
+EOF
+OUT=$("$XAOS" eval '/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]' "$WORK/fig2.xml")
+expect "paper solution" "W(7)@4
+W(8)@5" "$OUT"
+
+# --- eval from stdin, count ------------------------------------------------
+OUT=$(echo '<a><b/><c><b/></c></a>' | "$XAOS" eval --count '//b')
+expect "count from stdin" "2" "$OUT"
+
+# --- dom engine agrees -----------------------------------------------------
+OUT=$("$XAOS" eval --engine dom --count '//W[ancestor::Z]' "$WORK/fig2.xml")
+expect "dom engine" "3" "$OUT"
+OUT=$("$XAOS" eval --engine dom-dedup --count '//W[ancestor::Z]' "$WORK/fig2.xml")
+expect "dom-dedup engine" "3" "$OUT"
+
+# --- tuples ----------------------------------------------------------------
+OUT=$(echo '<a><b/><b/></a>' | "$XAOS" eval --tuples '/$a/$b' | tail -2)
+expect "tuples" "(a(1)@1, b(2)@2)
+(a(1)@1, b(3)@2)" "$OUT"
+
+# --- attribute and text extensions ----------------------------------------
+OUT=$(echo '<m><i k="1">x</i><i>y</i></m>' | "$XAOS" eval --count '//i[@k]')
+expect "attribute test" "1" "$OUT"
+OUT=$(echo "<m><i>ab</i><i>cd</i></m>" | "$XAOS" eval --count "//i[contains(text(),'c')]")
+expect "text test" "1" "$OUT"
+
+# --- explain ---------------------------------------------------------------
+OUT=$("$XAOS" explain '//listitem/ancestor::category//name' | grep -c 'x-dag')
+expect "explain shows x-dag" "1" "$OUT"
+OUT=$("$XAOS" explain '/parent::q' | grep -c 'unsatisfiable')
+expect "explain flags unsatisfiable" "1" "$OUT"
+
+# --- trace -------------------------------------------------------------------
+OUT=$("$XAOS" trace '/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]' "$WORK/fig2.xml" | grep -c 'undo$')
+expect "trace shows the undo" "1" "$OUT"
+
+# --- parse errors exit nonzero ----------------------------------------------
+if echo '<a/>' | "$XAOS" eval '/a[' 2>/dev/null; then
+  fail "bad query should fail"
+fi
+if echo '<a><b></a>' | "$XAOS" eval '/a' 2>/dev/null; then
+  fail "ill-formed XML should fail"
+fi
+
+# --- generate + filter -----------------------------------------------------
+"$XAOS" generate xmark --scale 0.002 -o "$WORK/xm.xml" 2>/dev/null
+test -s "$WORK/xm.xml" || fail "xmark output missing"
+printf '//person[@id]\n# comment\n//no_such_thing\n' > "$WORK/subs.txt"
+OUT=$("$XAOS" filter "$WORK/subs.txt" "$WORK/xm.xml" | awk '{print $2}' | tr '\n' ' ')
+expect "filter verdicts" "MATCH - " "$OUT"
+
+# --- generate random is deterministic ---------------------------------------
+"$XAOS" generate random --seed 5 --elements 500 -o "$WORK/r1.xml" --query-out "$WORK/q1" 2>/dev/null
+"$XAOS" generate random --seed 5 --elements 500 -o "$WORK/r2.xml" --query-out "$WORK/q2" 2>/dev/null
+cmp -s "$WORK/r1.xml" "$WORK/r2.xml" || fail "random docs differ across runs"
+cmp -s "$WORK/q1" "$WORK/q2" || fail "random queries differ across runs"
+QUERY=$(cat "$WORK/q1")
+"$XAOS" eval --count "$QUERY" "$WORK/r1.xml" > /dev/null || fail "generated query fails on its document"
+
+echo "cli_test: all assertions passed"

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "xaos"
+    [
+      ("sax", Test_sax.suite);
+      ("dom", Test_dom.suite);
+      ("serialize", Test_serialize.suite);
+      ("xpath", Test_xpath.suite);
+      ("xtree-xdag", Test_xtree.suite);
+      ("dnf", Test_dnf.suite);
+      ("matching", Test_matching.suite);
+      ("engine", Test_engine.suite);
+      ("attributes", Test_attributes.suite);
+      ("text", Test_text.suite);
+      ("query", Test_query.suite);
+      ("trace", Test_trace.suite);
+      ("baseline", Test_baseline.suite);
+      ("yfilter", Test_yfilter.suite);
+      ("semantics", Test_semantics.suite);
+      ("workloads", Test_workloads.suite);
+      ("deepgen", Test_deepgen.suite);
+      ("misc", Test_misc.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,113 @@
+(* Attribute-test extension: [@key], [@key='value'], trailing /@key steps —
+   parsed, represented on x-nodes, and agreed on by all three engines. *)
+
+open Xaos_core
+module Ast = Xaos_xpath.Ast
+module Parser = Xaos_xpath.Parser
+module Xtree = Xaos_xpath.Xtree
+
+let item = Alcotest.testable Item.pp Item.equal
+
+let doc =
+  "<shop><item id=\"i1\" cat=\"tools\"><name>axe</name></item>\
+   <item id=\"i2\"><name>saw</name></item>\
+   <item id=\"i3\" cat=\"toys\"><name>kite</name></item></shop>"
+(* ids: shop=1 item=2 name=3 item=4 name=5 item=6 name=7 *)
+
+let it id tag level = { Item.id; tag; level }
+
+let run ?config q = (Query.run_string (Query.compile_exn ?config q) doc).Result_set.items
+
+let check msg expected q = Alcotest.check (Alcotest.list item) msg expected (run q)
+
+let test_parse_and_print () =
+  let roundtrip input printed =
+    match Parser.parse_result input with
+    | Error e -> Alcotest.failf "%s: %s" input e
+    | Ok p ->
+      Alcotest.(check string) input printed (Ast.to_string p);
+      (match Parser.parse_result printed with
+      | Ok p2 -> Alcotest.(check bool) "fixpoint" true (Ast.equal p p2)
+      | Error e -> Alcotest.failf "%s does not reparse: %s" printed e)
+  in
+  roundtrip "//item[@cat]" "/descendant::item[@cat]";
+  roundtrip "//item[@cat='tools']" "/descendant::item[@cat='tools']";
+  roundtrip "//item[@cat=\"to'ols\"]" "/descendant::item[@cat=\"to'ols\"]";
+  roundtrip "//item[@a and @b='2' or c]"
+    "/descendant::item[@a and @b='2' or child::c]";
+  roundtrip "//name[../@cat]" "/descendant::name[parent::*[@cat]]"
+
+let test_parse_errors () =
+  List.iter
+    (fun input ->
+      match Parser.parse_result input with
+      | Error _ -> ()
+      | Ok p -> Alcotest.failf "%s parsed as %s" input (Ast.to_string p))
+    [ "//item[@]"; "//item[@cat=]"; "//item[@cat=tools]"; "//item[@cat='x]";
+      "//@cat"; "/a/@cat/b" ]
+
+let test_existence () =
+  check "existence" [ it 2 "item" 2; it 6 "item" 2 ] "//item[@cat]"
+
+let test_equality () =
+  check "equality" [ it 2 "item" 2 ] "//item[@cat='tools']";
+  check "no match" [] "//item[@cat='nope']"
+
+let test_missing_attribute () =
+  check "missing" [] "//item[@missing]";
+  check "equality on missing" [] "//item[@missing='x']"
+
+let test_boolean_combinations () =
+  check "and" [ it 6 "item" 2 ] "//item[@cat and @id='i3']";
+  check "or" [ it 2 "item" 2; it 4 "item" 2 ] "//item[@cat='tools' or @id='i2']";
+  check "attr and path" [ it 2 "item" 2; it 6 "item" 2 ] "//item[@cat and name]"
+
+let test_trailing_attr_step () =
+  check "parent attr" [ it 3 "name" 3; it 7 "name" 3 ] "//name[../@cat]";
+  check "parent attr value" [ it 7 "name" 3 ] "//name[../@cat='toys']"
+
+let test_attr_with_backward_axes () =
+  check "ancestor with attr" [ it 3 "name" 3 ]
+    "//name/ancestor::item[@cat='tools']/name"
+
+let test_xtree_carries_attrs () =
+  let t = Xtree.of_path (Parser.parse "//item[@cat='tools'][@id]") in
+  let node = t.Xtree.nodes.(1) in
+  Alcotest.(check int) "two attr tests" 2 (List.length node.Xtree.attrs)
+
+let test_all_engines_agree () =
+  let d = Xaos_xml.Dom.of_string doc in
+  List.iter
+    (fun q ->
+      let path = Parser.parse q in
+      let oracle = Semantics.eval_path path d in
+      let baseline =
+        Xaos_baseline.Dom_engine.eval d path |> List.sort_uniq Item.compare
+      in
+      let streaming = run q in
+      Alcotest.check (Alcotest.list item) (q ^ " baseline") oracle baseline;
+      Alcotest.check (Alcotest.list item) (q ^ " engine") oracle streaming)
+    [ "//item[@cat]"; "//item[@cat='toys']"; "//name[../@id='i2']";
+      "//item[@cat or @id]"; "/shop[@x]"; "//*[@id='i1']/name" ]
+
+let test_eager_with_attrs () =
+  (* attribute tests are pure filters: they do not break eager mode *)
+  let config = { Engine.default_config with eager_emission = true } in
+  Alcotest.check (Alcotest.list item) "eager attr filter"
+    [ it 2 "item" 2 ]
+    (run ~config "//item[@cat='tools']")
+
+let suite =
+  [
+    ("parse and print", `Quick, test_parse_and_print);
+    ("parse errors", `Quick, test_parse_errors);
+    ("existence", `Quick, test_existence);
+    ("equality", `Quick, test_equality);
+    ("missing attribute", `Quick, test_missing_attribute);
+    ("boolean combinations", `Quick, test_boolean_combinations);
+    ("trailing attribute step", `Quick, test_trailing_attr_step);
+    ("with backward axes", `Quick, test_attr_with_backward_axes);
+    ("x-tree carries attrs", `Quick, test_xtree_carries_attrs);
+    ("engines agree", `Quick, test_all_engines_agree);
+    ("eager with attrs", `Quick, test_eager_with_attrs);
+  ]

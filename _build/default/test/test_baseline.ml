@@ -1,0 +1,126 @@
+(* The Xalan-like DOM baseline: semantics and the traversal-counting
+   behaviour the paper attributes to Xalan. *)
+
+open Xaos_core
+module Dom = Xaos_xml.Dom
+module Dom_engine = Xaos_baseline.Dom_engine
+module Parser = Xaos_xpath.Parser
+
+let item = Alcotest.testable Item.pp Item.equal
+
+let eval doc query = Dom_engine.eval doc (Parser.parse query)
+
+let it id tag level = { Item.id; tag; level }
+
+let fig2 = "<X><Y><W/><Z><V/><V/><W><W/></W></Z><U/></Y><Y><Z><W/></Z><U/></Y></X>"
+
+let test_paper_example () =
+  let doc = Dom.of_string fig2 in
+  Alcotest.check (Alcotest.list item) "paper solution"
+    [ it 7 "W" 4; it 8 "W" 5 ]
+    (eval doc "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]")
+
+let test_node_set_semantics () =
+  (* duplicates across context nodes collapse; order is document order *)
+  let doc = Dom.of_string "<a><b><c/></b><b><c/></b></a>" in
+  Alcotest.check (Alcotest.list item) "dedup and order"
+    [ it 1 "a" 1 ]
+    (eval doc "//c/ancestor::a")
+
+let test_backward_axes () =
+  let doc = Dom.of_string "<a><b><x/></b><x/></a>" in
+  Alcotest.check (Alcotest.list item) "parent" [ it 2 "b" 2 ]
+    (eval doc "//x/parent::b");
+  Alcotest.check (Alcotest.list item) "ancestor chain"
+    [ it 1 "a" 1; it 2 "b" 2 ]
+    (eval doc "//x/ancestor::*")
+
+let test_predicates () =
+  let doc = Dom.of_string "<a><b><c/></b><b/></a>" in
+  Alcotest.check (Alcotest.list item) "predicate" [ it 2 "b" 2 ]
+    (eval doc "/a/b[c]");
+  Alcotest.check (Alcotest.list item) "and"
+    []
+    (eval doc "/a/b[c and d]");
+  Alcotest.check (Alcotest.list item) "or"
+    [ it 2 "b" 2 ]
+    (eval doc "/a/b[c or d]");
+  Alcotest.check (Alcotest.list item) "absolute predicate"
+    [ it 2 "b" 2; it 4 "b" 2 ]
+    (eval doc "/a/b[/a]")
+
+let test_repeated_traversals_counted () =
+  (* /descendant::x/ancestor::y revisits the ancestors of every x: the
+     counter must exceed a single scan of the document. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<y>";
+  for _ = 1 to 50 do
+    Buffer.add_string buf "<m><x/></m>"
+  done;
+  Buffer.add_string buf "</y>";
+  let doc = Dom.of_string (Buffer.contents buf) in
+  let _, counters =
+    Dom_engine.eval_with_counters doc (Parser.parse "//x/ancestor::y")
+  in
+  (* descendant scan = 101 visits; then each of the 50 x's walks 3
+     ancestors: the total must show the re-visiting. *)
+  Alcotest.(check bool) "revisits happen" true
+    (counters.Dom_engine.nodes_visited > doc.Dom.element_count + 100)
+
+let test_bimodal_visit_counts () =
+  (* The paper's Figure 7 explanation: on "bad" expressions the
+     step-at-a-time engine re-traverses subtrees from every context node,
+     so visits grow super-linearly in the document, while on "good"
+     (selective child path) expressions they stay proportional. *)
+  let nested n =
+    let buf = Buffer.create (n * 8) in
+    for _ = 1 to n do
+      Buffer.add_string buf "<a><b>"
+    done;
+    for _ = 1 to n do
+      Buffer.add_string buf "</b></a>"
+    done;
+    Dom.of_string (Buffer.contents buf)
+  in
+  let doc = nested 40 in
+  let visits query =
+    let _, c = Dom_engine.eval_with_counters doc (Parser.parse query) in
+    c.Dom_engine.nodes_visited
+  in
+  let cheap = visits "/a/b/a/b" in
+  let expensive = visits "//a//b//a//b" in
+  Alcotest.(check bool)
+    (Printf.sprintf "descendant chain revisits (%d) >> child chain (%d)"
+       expensive cheap)
+    true
+    (expensive > 10 * doc.Dom.element_count && cheap < 2 * doc.Dom.element_count)
+
+let test_eval_query_parse_error () =
+  let doc = Dom.of_string "<a/>" in
+  match Dom_engine.eval_query doc "/a[" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_agrees_with_oracle_on_axes () =
+  let doc = Dom.of_string "<a><b><c/><b><c/></b></b><c/></a>" in
+  List.iter
+    (fun query ->
+      let path = Parser.parse query in
+      let expected = Semantics.eval_path path doc in
+      let got = List.sort_uniq Item.compare (Dom_engine.eval doc path) in
+      Alcotest.check (Alcotest.list item) query expected got)
+    [ "//c"; "//b//c"; "//c/ancestor::b"; "//b[c]/parent::*";
+      "/a/descendant-or-self::b"; "//c/ancestor-or-self::c";
+      "//b[self::b][c]"; "//*[parent::b]" ]
+
+let suite =
+  [
+    ("paper example", `Quick, test_paper_example);
+    ("node-set semantics", `Quick, test_node_set_semantics);
+    ("backward axes", `Quick, test_backward_axes);
+    ("predicates", `Quick, test_predicates);
+    ("repeated traversals counted", `Quick, test_repeated_traversals_counted);
+    ("bimodal visit counts", `Quick, test_bimodal_visit_counts);
+    ("parse error", `Quick, test_eval_query_parse_error);
+    ("agrees with oracle", `Quick, test_agrees_with_oracle_on_axes);
+  ]

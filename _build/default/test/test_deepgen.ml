@@ -1,0 +1,77 @@
+(* Deep-recursion generator and engine behaviour on deeply nested input. *)
+
+open Xaos_core
+module Deepgen = Xaos_workloads.Deepgen
+module Dom = Xaos_xml.Dom
+
+let max_depth_of doc =
+  let deepest = ref 0 in
+  Dom.iter_elements
+    (fun e -> if e.Dom.level > !deepest then deepest := e.Dom.level)
+    doc;
+  !deepest
+
+let test_reaches_depth () =
+  let doc = Deepgen.to_doc (Deepgen.config ~max_depth:80 20_000) in
+  Alcotest.(check bool) "enough elements" true (doc.Dom.element_count > 20_000);
+  let d = max_depth_of doc in
+  Alcotest.(check bool)
+    (Printf.sprintf "deep nesting (%d)" d)
+    true
+    (d >= 60)
+
+let test_depth_capped () =
+  let doc = Deepgen.to_doc (Deepgen.config ~max_depth:10 5_000) in
+  Alcotest.(check bool) "cap respected" true (max_depth_of doc <= 11)
+
+let test_deterministic () =
+  let a = Deepgen.to_string (Deepgen.config 2_000) in
+  let b = Deepgen.to_string (Deepgen.config 2_000) in
+  Alcotest.(check bool) "equal" true (String.equal a b)
+
+let test_well_formed_and_tags () =
+  let doc = Deepgen.to_doc (Deepgen.config 3_000) in
+  Dom.iter_elements
+    (fun e ->
+      if e.Dom.id > 1 && not (Array.mem e.Dom.tag Deepgen.tags) then
+        Alcotest.failf "unexpected tag %s" e.Dom.tag)
+    doc
+
+let test_engines_agree_on_deep_recursion () =
+  let doc_s = Deepgen.to_string (Deepgen.config ~max_depth:100 15_000) in
+  let doc = Dom.of_string doc_s in
+  List.iter
+    (fun query ->
+      let path = Xaos_xpath.Parser.parse query in
+      let streaming =
+        (Query.run_string (Query.compile_exn query) doc_s).Result_set.items
+      in
+      let baseline =
+        Xaos_baseline.Dom_engine.eval doc path |> List.sort_uniq Item.compare
+      in
+      Alcotest.(check int)
+        (query ^ " sizes")
+        (List.length baseline) (List.length streaming);
+      Alcotest.(check bool) (query ^ " agree") true
+        (List.equal Item.equal baseline streaming))
+    [ "//np//np//np//np"; "//v/ancestor::vp/ancestor::vp";
+      "//pp[np]/parent::np"; "//s[vp[v]]//n"; "//np/ancestor::s[pp]" ]
+
+let test_deep_open_stacks () =
+  (* a query whose open stacks grow with nesting must not misbehave *)
+  let doc_s = Deepgen.to_string (Deepgen.config ~max_depth:120 10_000) in
+  let q = Query.compile_exn "//s//s" in
+  let result, stats = Query.run_string_with_stats q doc_s in
+  Alcotest.(check bool) "found nested sentences" true
+    (List.length result.Result_set.items > 10);
+  Alcotest.(check bool) "stack depth tracked" true (stats.Stats.max_depth > 60)
+
+let suite =
+  [
+    ("reaches depth", `Quick, test_reaches_depth);
+    ("depth capped", `Quick, test_depth_capped);
+    ("deterministic", `Quick, test_deterministic);
+    ("well-formed tags", `Quick, test_well_formed_and_tags);
+    ("engines agree on deep recursion", `Slow, test_engines_agree_on_deep_recursion);
+    ("deep open stacks", `Quick, test_deep_open_stacks);
+  ]

@@ -1,0 +1,65 @@
+(* DNF expansion of or-predicates (paper, Section 5.2). *)
+
+module Ast = Xaos_xpath.Ast
+module Parser = Xaos_xpath.Parser
+module Dnf = Xaos_xpath.Dnf
+
+let expand input =
+  List.map Ast.to_string (Dnf.expand (Parser.parse input))
+
+let check input expected = Alcotest.(check (list string)) input expected (expand input)
+
+let test_no_or_is_identity () =
+  let p = Parser.parse "/a[b and c]/d" in
+  match Dnf.expand p with
+  | [ only ] -> Alcotest.(check bool) "same path" true (Ast.equal p only)
+  | other -> Alcotest.failf "expected singleton, got %d" (List.length other)
+
+let test_simple_or () =
+  check "/a[b or c]"
+    [ "/child::a[child::b]"; "/child::a[child::c]" ]
+
+let test_or_under_and () =
+  check "/a[x and (b or c)]"
+    [ "/child::a[child::x and child::b]"; "/child::a[child::x and child::c]" ]
+
+let test_nested_or () =
+  check "/a[b or c or d]"
+    [ "/child::a[child::b]"; "/child::a[child::c]"; "/child::a[child::d]" ]
+
+let test_or_in_two_steps_multiplies () =
+  Alcotest.(check int) "2x2 disjuncts" 4
+    (List.length (expand "/a[b or c]/d[e or f]"))
+
+let test_or_inside_nested_path () =
+  check "/a[b[c or d]]"
+    [ "/child::a[child::b[child::c]]"; "/child::a[child::b[child::d]]" ]
+
+let test_expansion_preserves_marks () =
+  let disjuncts = Dnf.expand (Parser.parse "/$a[b or c]") in
+  List.iter
+    (fun d -> Alcotest.(check bool) "marked" true (Ast.has_marks d))
+    disjuncts
+
+let test_bounded_ok () =
+  match Dnf.expand_bounded ~limit:4 (Parser.parse "/a[b or c]/d[e or f]") with
+  | Ok l -> Alcotest.(check int) "4 fits" 4 (List.length l)
+  | Error e -> Alcotest.fail e
+
+let test_bounded_overflow () =
+  match Dnf.expand_bounded ~limit:3 (Parser.parse "/a[b or c]/d[e or f]") with
+  | Ok _ -> Alcotest.fail "expected overflow"
+  | Error _ -> ()
+
+let suite =
+  [
+    ("no or is identity", `Quick, test_no_or_is_identity);
+    ("simple or", `Quick, test_simple_or);
+    ("or under and", `Quick, test_or_under_and);
+    ("three-way or", `Quick, test_nested_or);
+    ("or in two steps", `Quick, test_or_in_two_steps_multiplies);
+    ("or inside nested path", `Quick, test_or_inside_nested_path);
+    ("marks preserved", `Quick, test_expansion_preserves_marks);
+    ("bounded ok", `Quick, test_bounded_ok);
+    ("bounded overflow", `Quick, test_bounded_overflow);
+  ]

@@ -1,0 +1,134 @@
+(* DOM construction, navigation, ids/levels matching the paper's Figure 2,
+   and event replay. *)
+
+module Dom = Xaos_xml.Dom
+module Event = Xaos_xml.Event
+
+(* The paper's Figure 2 document. *)
+let fig2 = "<X><Y><W/><Z><V/><V/><W><W/></W></Z><U/></Y><Y><Z><W/></Z><U/></Y></X>"
+
+let fig2_doc () = Dom.of_string fig2
+
+let test_figure2_ids () =
+  (* Figure 2(b) assigns: Root=0, X=1, Y=2, W=3, Z=4, V=5, V=6, W=7, W=8,
+     U=9, Y=10, Z=11, W=12, U=13. *)
+  let doc = fig2_doc () in
+  Alcotest.(check int) "element count" 14 doc.Dom.element_count;
+  let expected =
+    [ (0, "#root", 0); (1, "X", 1); (2, "Y", 2); (3, "W", 3); (4, "Z", 3);
+      (5, "V", 4); (6, "V", 4); (7, "W", 4); (8, "W", 5); (9, "U", 3);
+      (10, "Y", 2); (11, "Z", 3); (12, "W", 4); (13, "U", 3) ]
+  in
+  List.iter
+    (fun (id, tag, level) ->
+      match Dom.element_by_id doc id with
+      | None -> Alcotest.failf "element %d missing" id
+      | Some e ->
+        Alcotest.(check string) (Printf.sprintf "tag of %d" id) tag e.Dom.tag;
+        Alcotest.(check int) (Printf.sprintf "level of %d" id) level e.Dom.level)
+    expected
+
+let get doc id =
+  match Dom.element_by_id doc id with
+  | Some e -> e
+  | None -> Alcotest.failf "element %d missing" id
+
+let test_parent_children () =
+  let doc = fig2_doc () in
+  let z4 = get doc 4 in
+  Alcotest.(check (list int))
+    "children of Z4" [ 5; 6; 7 ]
+    (List.map (fun (e : Dom.element) -> e.id) (Dom.element_children z4));
+  Alcotest.(check (option int))
+    "parent of Z4" (Some 2)
+    (Option.map (fun (e : Dom.element) -> e.id) (Dom.parent z4))
+
+let test_ancestors () =
+  let doc = fig2_doc () in
+  let w8 = get doc 8 in
+  Alcotest.(check (list int))
+    "ancestors of W8, nearest first" [ 7; 4; 2; 1; 0 ]
+    (List.map (fun (e : Dom.element) -> e.id) (Dom.ancestors w8))
+
+let test_descendants_in_document_order () =
+  let doc = fig2_doc () in
+  let y2 = get doc 2 in
+  Alcotest.(check (list int))
+    "descendants of Y2" [ 3; 4; 5; 6; 7; 8; 9 ]
+    (List.map (fun (e : Dom.element) -> e.id) (List.of_seq (Dom.descendants y2)))
+
+let test_is_ancestor () =
+  let doc = fig2_doc () in
+  let check a d expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "is_ancestor %d %d" a d)
+      expected
+      (Dom.is_ancestor (get doc a) (get doc d))
+  in
+  check 2 8 true;
+  check 4 7 true;
+  check 8 7 false;
+  check 7 7 false;
+  check 10 8 false;
+  check 0 13 true
+
+let test_subtree_size () =
+  let doc = fig2_doc () in
+  Alcotest.(check int) "subtree of Y2" 8 (Dom.subtree_size (get doc 2));
+  Alcotest.(check int) "subtree of root" 14 (Dom.subtree_size doc.Dom.root);
+  Alcotest.(check int) "leaf" 1 (Dom.subtree_size (get doc 13))
+
+let test_event_replay_roundtrip () =
+  let evs = Xaos_xml.Sax.events_of_string fig2 in
+  let doc = Dom.of_events evs in
+  let replayed = Dom.events doc in
+  Alcotest.(check int) "same length" (List.length evs) (List.length replayed);
+  List.iter2
+    (fun a b ->
+      if not (Event.equal a b) then
+        Alcotest.failf "replay mismatch: %a vs %a" (fun _ -> ignore) a
+          (fun _ -> ignore) b)
+    evs replayed
+
+let test_text_content () =
+  let doc = Dom.of_string "<a>one<b>two</b><c><d>three</d></c>four</a>" in
+  let a = get doc 1 in
+  Alcotest.(check string) "concatenated text" "onetwothreefour"
+    (Dom.text_content a)
+
+let test_unbalanced_streams_rejected () =
+  let open Event in
+  let cases =
+    [ [ Start_element { name = "a"; attributes = []; level = 1 } ];
+      [ End_element { name = "a"; level = 1 } ];
+      [ Start_element { name = "a"; attributes = []; level = 1 };
+        End_element { name = "a"; level = 1 };
+        End_element { name = "b"; level = 1 } ] ]
+  in
+  List.iter
+    (fun events ->
+      match Dom.of_events events with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    cases
+
+let test_iter_elements_order () =
+  let doc = fig2_doc () in
+  let ids = ref [] in
+  Dom.iter_elements (fun e -> ids := e.Dom.id :: !ids) doc;
+  Alcotest.(check (list int))
+    "document order" (List.init 14 Fun.id) (List.rev !ids)
+
+let suite =
+  [
+    ("figure 2 ids and levels", `Quick, test_figure2_ids);
+    ("parent and children", `Quick, test_parent_children);
+    ("ancestors", `Quick, test_ancestors);
+    ("descendants order", `Quick, test_descendants_in_document_order);
+    ("is_ancestor", `Quick, test_is_ancestor);
+    ("subtree size", `Quick, test_subtree_size);
+    ("event replay roundtrip", `Quick, test_event_replay_roundtrip);
+    ("text content", `Quick, test_text_content);
+    ("unbalanced streams rejected", `Quick, test_unbalanced_streams_rejected);
+    ("iter order", `Quick, test_iter_elements_order);
+  ]

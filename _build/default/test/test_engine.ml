@@ -1,0 +1,423 @@
+(* The χαος engine against the paper's full worked example (Figure 2
+   document, Figure 3 expression, Table 2 trace, Figure 4 result), plus
+   targeted behavioural tests: optimistic propagation and undo, recursive
+   documents, eager emission, configuration ablations. *)
+
+open Xaos_core
+module Parser = Xaos_xpath.Parser
+module Xtree = Xaos_xpath.Xtree
+module Xdag = Xaos_xpath.Xdag
+module Sax = Xaos_xml.Sax
+
+let fig2 = "<X><Y><W/><Z><V/><V/><W><W/></W></Z><U/></Y><Y><Z><W/></Z><U/></Y></X>"
+let fig3 = "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]"
+
+let item = Alcotest.testable Item.pp Item.equal
+
+let items_of_run ?config query doc =
+  let q = Query.compile_exn ?config query in
+  (Query.run_string q doc).Result_set.items
+
+let check_result ?config msg expected query doc =
+  let got = items_of_run ?config query doc in
+  Alcotest.check (Alcotest.list item) msg expected got
+
+let it id tag level = { Item.id; tag; level }
+
+(* ------------------------------------------------------------------ *)
+(* Paper walk-through                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_result () =
+  (* Figure 4: Solution = {W7,4 , W8,5} *)
+  check_result "paper solution" [ it 7 "W" 4; it 8 "W" 5 ] fig3 fig2
+
+let test_paper_matching_count () =
+  (* Figure 4 lists exactly 4 total matchings at Root. The count requires
+     full pointer slots (Section 5.1 counters discard it). *)
+  let config = { Engine.default_config with boolean_subtrees = false } in
+  let q = Query.compile_exn ~config fig3 in
+  let r = Query.run_string q fig2 in
+  Alcotest.(check (option int)) "4 total matchings" (Some 4)
+    r.Result_set.matching_count
+
+(* Table 2: the looking-for set after every event. The paper's step 1 is
+   the virtual Root start (our engine's initial state); steps 2-27 are the
+   real element events; step 28 (Root end) is the finished engine.
+
+   Note two internal inconsistencies in the paper's table, documented in
+   EXPERIMENTS.md: the "Matches" column of step 19 says (Z,inf) where the
+   element matches Y, and step 25 omits (U,3) although the situation is
+   identical to step 17 (Y 10,2 is still open at level 2). We assert the
+   self-consistent trace. *)
+let table2_expected =
+  (* x-node ids: 0 Root, 1 Y, 2 U, 3 W, 4 Z, 5 V *)
+  let y = (1, Engine.Any)
+  and z = (4, Engine.Any)
+  and w = (3, Engine.Any)
+  and u l = (2, Engine.Exact l)
+  and v l = (5, Engine.Exact l) in
+  [
+    (* after event #: expected looking-for set, sorted by x-node id *)
+    [ y; z ] (* 2  S:X1 *);
+    [ y; u 3; z ] (* 3  S:Y2 *);
+    [ y; z ] (* 4  S:W3 *);
+    [ y; u 3; z ] (* 5  E:W3 *);
+    [ y; w; z; v 4 ] (* 6  S:Z4 *);
+    [ y; w; z ] (* 7  S:V5 *);
+    [ y; w; z; v 4 ] (* 8  E:V5 *);
+    [ y; w; z ] (* 9  S:V6 *);
+    [ y; w; z; v 4 ] (* 10 E:V6 *);
+    [ y; w; z ] (* 11 S:W7 *);
+    [ y; w; z ] (* 12 S:W8 *);
+    [ y; w; z ] (* 13 E:W8 *);
+    [ y; w; z; v 4 ] (* 14 E:W7 *);
+    [ y; u 3; z ] (* 15 E:Z4 *);
+    [ y; z ] (* 16 S:U9 *);
+    [ y; u 3; z ] (* 17 E:U9 *);
+    [ y; z ] (* 18 E:Y2 *);
+    [ y; u 3; z ] (* 19 S:Y10 *);
+    [ y; w; z; v 4 ] (* 20 S:Z11 *);
+    [ y; w; z ] (* 21 S:W12 *);
+    [ y; w; z; v 4 ] (* 22 E:W12 *);
+    [ y; u 3; z ] (* 23 E:Z11 *);
+    [ y; z ] (* 24 S:U13 *);
+    [ y; u 3; z ] (* 25 E:U13  (paper omits (U,3) here; see note) *);
+    [ y; z ] (* 26 E:Y10 *);
+    [ y; z ] (* 27 E:X1 *);
+  ]
+
+let pp_req ppf = function
+  | Engine.Exact l -> Format.fprintf ppf "%d" l
+  | Engine.Any -> Format.pp_print_string ppf "inf"
+
+let lf_entry =
+  Alcotest.testable
+    (fun ppf (v, req) -> Format.fprintf ppf "(%d,%a)" v pp_req req)
+    ( = )
+
+let test_table2_trace () =
+  let dag = Xdag.of_xtree (Xtree.of_path (Parser.parse fig3)) in
+  let engine = Engine.create dag in
+  (* step 1 (S:Root): initial state *)
+  Alcotest.check
+    (Alcotest.list lf_entry)
+    "step 1" [ (1, Engine.Any); (4, Engine.Any) ]
+    (Engine.looking_for engine);
+  let events = Sax.events_of_string fig2 in
+  List.iteri
+    (fun i ev ->
+      Engine.feed engine ev;
+      let expected = List.nth table2_expected i in
+      Alcotest.check
+        (Alcotest.list lf_entry)
+        (Printf.sprintf "step %d" (i + 2))
+        expected (Engine.looking_for engine))
+    events;
+  let result = Engine.finish engine in
+  (* step 28 (E:Root): {(Root, 0)} *)
+  Alcotest.check
+    (Alcotest.list lf_entry)
+    "step 28" [ (0, Engine.Exact 0) ]
+    (Engine.looking_for engine);
+  Alcotest.check (Alcotest.list item) "solution"
+    [ it 7 "W" 4; it 8 "W" 5 ]
+    result.Result_set.items
+
+let test_paper_discard () =
+  (* X1 and W3 are the two discarded elements in the walk-through. *)
+  let q = Query.compile_exn fig3 in
+  let _, stats = Query.run_string_with_stats q fig2 in
+  Alcotest.(check int) "total" 13 stats.Stats.elements_total;
+  Alcotest.(check int) "discarded" 2 stats.Stats.elements_discarded;
+  Alcotest.(check int) "stored" 11 stats.Stats.elements_stored
+
+let test_paper_undo_happens () =
+  (* Steps 22-23: M(Z11) is optimistically assumed at W12's end and undone
+     at Z11's end. *)
+  let q = Query.compile_exn fig3 in
+  let _, stats = Query.run_string_with_stats q fig2 in
+  Alcotest.(check bool) "undos occurred" true (stats.Stats.undos > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Axis semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let doc1 = "<a><b><c/><d><c/></d></b><c/></a>"
+(* ids: a=1 b=2 c=3 d=4 c=5 c=6 *)
+
+let test_child () =
+  check_result "child" [ it 2 "b" 2 ] "/a/b" doc1;
+  check_result "child two deep" [ it 3 "c" 3 ] "/a/b/c" doc1;
+  check_result "no match" [] "/b" doc1
+
+let test_descendant () =
+  check_result "descendant" [ it 3 "c" 3; it 5 "c" 4; it 6 "c" 2 ] "//c" doc1;
+  check_result "descendant below b" [ it 3 "c" 3; it 5 "c" 4 ] "/a/b//c" doc1
+
+let test_parent () =
+  check_result "parent" [ it 1 "a" 1; it 2 "b" 2; it 4 "d" 3 ] "//c/.." doc1;
+  check_result "parent with test" [ it 4 "d" 3 ] "//c/parent::d" doc1
+
+let test_ancestor () =
+  check_result "ancestor" [ it 1 "a" 1; it 2 "b" 2; it 4 "d" 3 ]
+    "//c/ancestor::*" doc1;
+  check_result "ancestor named" [ it 2 "b" 2 ] "//c/ancestor::b" doc1
+
+let test_self () =
+  check_result "self narrowing" [ it 3 "c" 3; it 5 "c" 4; it 6 "c" 2 ]
+    "//*[self::c]" doc1;
+  check_result "self mismatch" [] "//c/self::d" doc1
+
+let test_descendant_or_self () =
+  check_result "dos" [ it 2 "b" 2; it 3 "c" 3; it 4 "d" 3; it 5 "c" 4 ]
+    "/a/b/descendant-or-self::*" doc1
+
+let test_ancestor_or_self () =
+  check_result "aos"
+    [ it 2 "b" 2; it 3 "c" 3; it 4 "d" 3; it 5 "c" 4; it 6 "c" 2 ]
+    "//c/ancestor-or-self::*[ancestor::a]" doc1
+
+let test_predicates_restrict () =
+  check_result "predicate keeps d-parents" [ it 4 "d" 3 ] "//d[c]" doc1;
+  check_result "predicate on ancestor" [ it 5 "c" 4 ] "//c[ancestor::d]" doc1;
+  check_result "two predicates" [ it 2 "b" 2 ] "//b[c][d]" doc1
+
+let test_wildcard () =
+  check_result "wildcard step" [ it 3 "c" 3; it 6 "c" 2 ]
+    "/a/*/c/ancestor::*/c" doc1
+
+(* ------------------------------------------------------------------ *)
+(* Optimism and undo                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimism_refuted () =
+  (* W closes before we know whether its Z ancestor will acquire a V
+     child. Here it never does: the optimistic propagation must be undone
+     and the result must be empty. *)
+  check_result "undone optimism" []
+    "//W[ancestor::Z/child::V]" "<Z><W/><U/></Z>";
+  (* ... and here the V arrives after the W closed: the optimism is
+     confirmed. *)
+  check_result "confirmed optimism" [ it 2 "W" 2 ]
+    "//W[ancestor::Z/child::V]" "<Z><W/><V/></Z>"
+
+let test_undo_cascade () =
+  (* The refutation of an inner structure must cascade: Y's satisfaction
+     depended on W which depended optimistically on Z[V]. *)
+  check_result "cascading undo" []
+    "//Y[descendant::W[ancestor::Z/child::V]]" "<Y><Z><W/></Z></Y>";
+  check_result "cascade control" [ it 1 "Y" 1 ]
+    "//Y[descendant::W[ancestor::Z/child::V]]" "<Y><Z><W/><V/></Z></Y>"
+
+let test_parent_axis_optimism () =
+  check_result "parent pending at child end" [ it 2 "w" 2 ]
+    "//w[../v]" "<p><w/><v/></p>";
+  check_result "parent refuted" [] "//w[../v]" "<p><w/><u/></p>"
+
+(* ------------------------------------------------------------------ *)
+(* Recursive documents                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_recursive_document () =
+  let doc = "<a><a><b/><a><b/></a></a></a>" in
+  (* ids: a1 a2 b3 a4 b5 *)
+  check_result "nested a with b child"
+    [ it 2 "a" 2; it 4 "a" 3 ]
+    "//a[b]" doc;
+  check_result "a under a" [ it 2 "a" 2; it 4 "a" 3 ] "//a//a" doc;
+  check_result "b with two a ancestors"
+    [ it 3 "b" 3; it 5 "b" 4 ]
+    "//a//a/b" doc;
+  check_result "triple nesting" [ it 4 "a" 3 ] "/a/a/a" doc
+
+let test_recursive_ancestors () =
+  let doc = "<a><a><c/></a><c/></a>" in
+  (* ids: a1 a2 c3 c4 *)
+  check_result "ancestor a of c" [ it 1 "a" 1; it 2 "a" 2 ]
+    "//c/ancestor::a" doc
+
+(* ------------------------------------------------------------------ *)
+(* Configurations                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let configs =
+  [
+    ("default", Engine.default_config);
+    ("no boolean", { Engine.default_config with boolean_subtrees = false });
+    ("no filter", { Engine.default_config with relevance_filter = false });
+    ("eager", { Engine.default_config with eager_emission = true });
+    ( "no filter, no boolean",
+      { Engine.default_config with relevance_filter = false; boolean_subtrees = false } );
+  ]
+
+let test_configs_agree () =
+  let cases =
+    [ (fig3, fig2); ("//a[b]", "<a><a><b/></a></a>"); ("//c", doc1);
+      ("/a/b//c[ancestor::b]", doc1); ("//W[ancestor::Z/child::V]", fig2) ]
+  in
+  List.iter
+    (fun (query, doc) ->
+      let reference = items_of_run query doc in
+      List.iter
+        (fun (name, config) ->
+          let got = items_of_run ~config query doc in
+          Alcotest.check (Alcotest.list item)
+            (Printf.sprintf "%s on %s" name query)
+            reference got)
+        configs)
+    cases
+
+let test_eager_mode_activates () =
+  let check_eager query expected =
+    let config = { Engine.default_config with eager_emission = true } in
+    let dag =
+      Xdag.of_xtree (Xtree.of_path (Parser.parse query))
+    in
+    let engine = Engine.create ~config dag in
+    Alcotest.(check bool) query expected (Engine.emits_eagerly engine)
+  in
+  check_eager "/a/b//c" true;
+  check_eager "//c[d]" true;
+  (* predicate on a chain node other than the output: not eager *)
+  check_eager "/a[x]/b" false;
+  (* backward axis: not eager *)
+  check_eager "//c/ancestor::a" false;
+  (* multiple outputs: not eager *)
+  check_eager "/$a/$b" false
+
+let test_eager_streams_matches () =
+  let config = { Engine.default_config with eager_emission = true } in
+  let seen = ref [] in
+  let q = Query.compile_exn ~config "//b" in
+  let run = Query.start ~on_match:(fun i -> seen := i :: !seen) q in
+  let events = Sax.events_of_string "<a><b/><c><b/></c></a>" in
+  (* the first match must be reported before the document ends *)
+  let rec feed_until_first = function
+    | [] -> Alcotest.fail "no match reported"
+    | ev :: rest ->
+      Query.feed run ev;
+      if !seen = [] then feed_until_first rest else rest
+  in
+  let remaining = feed_until_first events in
+  Alcotest.(check bool) "reported mid-stream" true (remaining <> []);
+  List.iter (Query.feed run) remaining;
+  let r = Query.finish run in
+  Alcotest.(check int) "both matches" 2 (List.length r.Result_set.items);
+  Alcotest.(check int) "both streamed" 2 (List.length !seen)
+
+let test_multiple_matches_same_element_dedup () =
+  (* b(id 3) is reachable both via a/b and via //b: still reported once *)
+  check_result "dedup" [ it 2 "b" 2; it 3 "b" 3 ] "//b" "<a><b><b/></b></a>"
+
+(* ------------------------------------------------------------------ *)
+(* Multiple outputs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_tuples () =
+  let q = Query.compile_exn "/$a/$b" in
+  let r = Query.run_string q "<a><b/><b/></a>" in
+  match r.Result_set.tuples with
+  | None -> Alcotest.fail "expected tuples"
+  | Some tuples ->
+    Alcotest.(check int) "two pairs" 2 (List.length tuples);
+    List.iter
+      (fun tuple ->
+        Alcotest.(check int) "arity" 2 (Array.length tuple);
+        Alcotest.(check string) "first is a" "a" tuple.(0).Item.tag;
+        Alcotest.(check string) "second is b" "b" tuple.(1).Item.tag)
+      tuples
+
+let test_tuples_join () =
+  (* Section 5.4: //Y[$U]//$W joined over shared W with //Z[$V]//$W; we
+     express the intersection directly on the paper example. *)
+  let q = Query.compile_exn "//Y[$child::U]//$W[ancestor::Z/$child::V]" in
+  let r = Query.run_string q fig2 in
+  match r.Result_set.tuples with
+  | None -> Alcotest.fail "expected tuples"
+  | Some tuples ->
+    (* Figure 4's four total matchings project to (U,W,V) tuples:
+       U9 x {W7,W8} x {V5,V6} = 4 tuples *)
+    Alcotest.(check int) "four tuples" 4 (List.length tuples)
+
+let test_tuple_items_are_first_output () =
+  let q = Query.compile_exn "/$a/$b" in
+  let r = Query.run_string q "<a><b/></a>" in
+  Alcotest.check (Alcotest.list item) "items = first mark" [ it 1 "a" 1 ]
+    r.Result_set.items
+
+(* ------------------------------------------------------------------ *)
+(* Or expressions                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_or_union () =
+  check_result "or" [ it 2 "b" 2; it 3 "c" 2 ] "/a/*[self::b or self::c]"
+    "<a><b/><c/><d/></a>";
+  check_result "or with overlap dedups" [ it 2 "b" 2 ]
+    "/a/b[c or c/d]" "<a><b><c><d/></c></b></a>"
+
+let test_or_with_backward () =
+  check_result "or across axes" [ it 3 "x" 3; it 4 "x" 2 ]
+    "//x[ancestor::b or parent::a]" "<a><b><x/></b><x/></a>"
+
+(* ------------------------------------------------------------------ *)
+(* Engine protocol errors                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_errors () =
+  let dag = Xdag.of_xtree (Xtree.of_path (Parser.parse "/a")) in
+  let engine = Engine.create dag in
+  (match Engine.end_element engine with
+  | _ -> Alcotest.fail "end without start"
+  | exception Invalid_argument _ -> ());
+  (match Engine.start_element engine ~tag:"a" ~level:5 () with
+  | _ -> Alcotest.fail "level jump"
+  | exception Invalid_argument _ -> ());
+  Engine.start_element engine ~tag:"a" ~level:1 ();
+  (match Engine.finish engine with
+  | _ -> Alcotest.fail "finish with open element"
+  | exception Invalid_argument _ -> ())
+
+let test_empty_document_equivalent () =
+  (* a document whose root matches nothing *)
+  check_result "no matches at all" [] "//zzz" fig2
+
+let test_root_level_queries () =
+  check_result "absolute single step" [ it 1 "X" 1 ] "/X" fig2;
+  check_result "wrong root name" [] "/Y" fig2;
+  check_result "root wildcard" [ it 1 "X" 1 ] "/*" fig2
+
+let suite =
+  [
+    ("paper: result", `Quick, test_paper_result);
+    ("paper: matching count", `Quick, test_paper_matching_count);
+    ("paper: table 2 trace", `Quick, test_table2_trace);
+    ("paper: discard counts", `Quick, test_paper_discard);
+    ("paper: undo happens", `Quick, test_paper_undo_happens);
+    ("axis: child", `Quick, test_child);
+    ("axis: descendant", `Quick, test_descendant);
+    ("axis: parent", `Quick, test_parent);
+    ("axis: ancestor", `Quick, test_ancestor);
+    ("axis: self", `Quick, test_self);
+    ("axis: descendant-or-self", `Quick, test_descendant_or_self);
+    ("axis: ancestor-or-self", `Quick, test_ancestor_or_self);
+    ("predicates restrict", `Quick, test_predicates_restrict);
+    ("wildcard", `Quick, test_wildcard);
+    ("optimism refuted and confirmed", `Quick, test_optimism_refuted);
+    ("undo cascade", `Quick, test_undo_cascade);
+    ("parent axis optimism", `Quick, test_parent_axis_optimism);
+    ("recursive document", `Quick, test_recursive_document);
+    ("recursive ancestors", `Quick, test_recursive_ancestors);
+    ("configs agree", `Quick, test_configs_agree);
+    ("eager mode activates", `Quick, test_eager_mode_activates);
+    ("eager streams matches", `Quick, test_eager_streams_matches);
+    ("same element dedup", `Quick, test_multiple_matches_same_element_dedup);
+    ("tuples", `Quick, test_tuples);
+    ("tuples join", `Quick, test_tuples_join);
+    ("tuple items", `Quick, test_tuple_items_are_first_output);
+    ("or union", `Quick, test_or_union);
+    ("or with backward axes", `Quick, test_or_with_backward);
+    ("protocol errors", `Quick, test_protocol_errors);
+    ("no matches", `Quick, test_empty_document_equivalent);
+    ("root level queries", `Quick, test_root_level_queries);
+  ]

@@ -1,0 +1,198 @@
+(* Unit tests of the matching-structure machinery in isolation: slot
+   stores with O(1) removal, placement bookkeeping, the recursive refute
+   cascade, counting and traversal. *)
+
+open Xaos_core
+
+let item id = { Item.id; tag = "t"; level = 1 }
+
+let mk ?(serial = ref 0) ?(pointer_slots = [||]) xnode =
+  incr serial;
+  Matching.create ~serial:!serial ~xnode ~item:(item !serial) ~pointer_slots
+
+let stats () = Stats.create ()
+
+let test_empty_structure_satisfied () =
+  let m = mk 1 in
+  Alcotest.(check bool) "no slots = satisfied" true (Matching.satisfied_now m)
+
+let test_slot_filling () =
+  let serial = ref 0 in
+  let parent = mk ~serial ~pointer_slots:[| true; false |] 1 in
+  Alcotest.(check bool) "both empty" false (Matching.satisfied_now parent);
+  Alcotest.(check bool) "slot 0 empty" false (Matching.slot_filled parent 0);
+  let child_a = mk ~serial 2 in
+  Matching.place ~child:child_a ~target:parent ~slot:0;
+  Alcotest.(check bool) "slot 0 filled" true (Matching.slot_filled parent 0);
+  Alcotest.(check bool) "still not satisfied" false (Matching.satisfied_now parent);
+  let child_b = mk ~serial 3 in
+  Matching.place ~child:child_b ~target:parent ~slot:1;
+  Alcotest.(check bool) "counter slot filled" true (Matching.slot_filled parent 1);
+  Alcotest.(check bool) "satisfied" true (Matching.satisfied_now parent)
+
+let test_placements_recorded () =
+  let serial = ref 0 in
+  let p1 = mk ~serial ~pointer_slots:[| true |] 1 in
+  let p2 = mk ~serial ~pointer_slots:[| true |] 1 in
+  let child = mk ~serial 2 in
+  Matching.place ~child ~target:p1 ~slot:0;
+  Matching.place ~child ~target:p2 ~slot:0;
+  Alcotest.(check int) "two placements" 2 (List.length child.Matching.placements)
+
+let test_refute_removes_from_targets () =
+  let serial = ref 0 in
+  let parent = mk ~serial ~pointer_slots:[| true |] 1 in
+  let a = mk ~serial 2 in
+  let b = mk ~serial 2 in
+  Matching.place ~child:a ~target:parent ~slot:0;
+  Matching.place ~child:b ~target:parent ~slot:0;
+  Matching.refute ~stats:(stats ()) a;
+  Alcotest.(check bool) "a refuted" true (a.Matching.state = Matching.Refuted);
+  Alcotest.(check bool) "slot still filled by b" true
+    (Matching.slot_filled parent 0);
+  Matching.refute ~stats:(stats ()) b;
+  Alcotest.(check bool) "slot empty" false (Matching.slot_filled parent 0)
+
+let test_refute_cascades_through_satisfied () =
+  let serial = ref 0 in
+  let grandparent = mk ~serial ~pointer_slots:[| true |] 1 in
+  let parent = mk ~serial ~pointer_slots:[| true |] 2 in
+  let child = mk ~serial 3 in
+  Matching.place ~child ~target:parent ~slot:0;
+  parent.Matching.state <- Matching.Satisfied;
+  Matching.place ~child:parent ~target:grandparent ~slot:0;
+  grandparent.Matching.state <- Matching.Satisfied;
+  let st = stats () in
+  Matching.refute ~stats:st child;
+  Alcotest.(check bool) "parent revoked" true
+    (parent.Matching.state = Matching.Refuted);
+  Alcotest.(check bool) "grandparent revoked" true
+    (grandparent.Matching.state = Matching.Refuted);
+  Alcotest.(check int) "two undos" 2 st.Stats.undos
+
+let test_refute_does_not_cascade_through_pending () =
+  let serial = ref 0 in
+  let parent = mk ~serial ~pointer_slots:[| true |] 1 in
+  let child = mk ~serial 2 in
+  Matching.place ~child ~target:parent ~slot:0;
+  (* parent still pending: removal only, no revocation *)
+  Matching.refute ~stats:(stats ()) child;
+  Alcotest.(check bool) "parent untouched" true
+    (parent.Matching.state = Matching.Pending);
+  Alcotest.(check bool) "slot empty" false (Matching.slot_filled parent 0)
+
+let test_refute_idempotent () =
+  let serial = ref 0 in
+  let parent = mk ~serial ~pointer_slots:[| false |] 1 in
+  let child = mk ~serial 2 in
+  Matching.place ~child ~target:parent ~slot:0;
+  let st = stats () in
+  Matching.refute ~stats:st child;
+  Matching.refute ~stats:st child;
+  (* counter must not go negative from a double refute *)
+  Alcotest.(check bool) "counter empty exactly once" false
+    (Matching.slot_filled parent 0);
+  Alcotest.(check int) "one undo" 1 st.Stats.undos
+
+let test_counter_slots () =
+  let serial = ref 0 in
+  let parent = mk ~serial ~pointer_slots:[| false |] 1 in
+  let kids = List.init 5 (fun _ -> mk ~serial 2) in
+  List.iter (fun child -> Matching.place ~child ~target:parent ~slot:0) kids;
+  Alcotest.(check bool) "filled" true (Matching.slot_filled parent 0);
+  List.iteri
+    (fun i child ->
+      Matching.refute ~stats:(stats ()) child;
+      Alcotest.(check bool)
+        (Printf.sprintf "after %d removals" (i + 1))
+        (i < 4)
+        (Matching.slot_filled parent 0))
+    kids
+
+let test_swap_remove_many () =
+  (* removing in arbitrary order must keep the store consistent *)
+  let serial = ref 0 in
+  let parent = mk ~serial ~pointer_slots:[| true |] 1 in
+  let kids = Array.init 20 (fun _ -> mk ~serial 2) in
+  Array.iter (fun child -> Matching.place ~child ~target:parent ~slot:0) kids;
+  let order = [ 10; 0; 19; 5; 5 (* no-op: already refuted *); 7; 3 ] in
+  List.iter (fun i -> Matching.refute ~stats:(stats ()) kids.(i)) order;
+  let remaining =
+    Matching.collect_outputs ~is_output:(fun x -> x = 2) parent
+  in
+  Alcotest.(check int) "14 left" 14 (List.length remaining)
+
+let test_count_matchings () =
+  (* parent with two slots, 2 and 3 children: 6 combinations *)
+  let serial = ref 0 in
+  let parent = mk ~serial ~pointer_slots:[| true; true |] 1 in
+  for _ = 1 to 2 do
+    Matching.place ~child:(mk ~serial 2) ~target:parent ~slot:0
+  done;
+  for _ = 1 to 3 do
+    Matching.place ~child:(mk ~serial 3) ~target:parent ~slot:1
+  done;
+  Alcotest.(check int) "2*3" 6 (Matching.count_matchings parent)
+
+let test_count_matchings_shared_dag () =
+  (* a child shared by two parents counts once per reference, memoized *)
+  let serial = ref 0 in
+  let root = mk ~serial ~pointer_slots:[| true |] 0 in
+  let p1 = mk ~serial ~pointer_slots:[| true |] 1 in
+  let p2 = mk ~serial ~pointer_slots:[| true |] 1 in
+  let shared = mk ~serial ~pointer_slots:[||] 2 in
+  Matching.place ~child:shared ~target:p1 ~slot:0;
+  Matching.place ~child:shared ~target:p2 ~slot:0;
+  Matching.place ~child:p1 ~target:root ~slot:0;
+  Matching.place ~child:p2 ~target:root ~slot:0;
+  Alcotest.(check int) "two matchings" 2 (Matching.count_matchings root)
+
+let test_count_requires_pointers () =
+  let serial = ref 0 in
+  let parent = mk ~serial ~pointer_slots:[| false |] 1 in
+  Matching.place ~child:(mk ~serial 2) ~target:parent ~slot:0;
+  match Matching.count_matchings parent with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_collect_outputs_dedups_structures () =
+  let serial = ref 0 in
+  let root = mk ~serial ~pointer_slots:[| true; true |] 0 in
+  let shared = mk ~serial 7 in
+  Matching.place ~child:shared ~target:root ~slot:0;
+  Matching.place ~child:shared ~target:root ~slot:1;
+  let outputs = Matching.collect_outputs ~is_output:(fun x -> x = 7) root in
+  Alcotest.(check int) "visited once" 1 (List.length outputs)
+
+let test_enumerate_tuples () =
+  let serial = ref 0 in
+  let root = mk ~serial ~pointer_slots:[| true; true |] 0 in
+  for _ = 1 to 2 do
+    Matching.place ~child:(mk ~serial 1) ~target:root ~slot:0
+  done;
+  for _ = 1 to 2 do
+    Matching.place ~child:(mk ~serial 2) ~target:root ~slot:1
+  done;
+  let tuples = Matching.enumerate_tuples ~outputs:[| 1; 2 |] root in
+  Alcotest.(check int) "cross product" 4 (List.length tuples);
+  List.iter
+    (fun tuple -> Alcotest.(check int) "arity" 2 (Array.length tuple))
+    tuples
+
+let suite =
+  [
+    ("empty structure satisfied", `Quick, test_empty_structure_satisfied);
+    ("slot filling", `Quick, test_slot_filling);
+    ("placements recorded", `Quick, test_placements_recorded);
+    ("refute removes", `Quick, test_refute_removes_from_targets);
+    ("refute cascades", `Quick, test_refute_cascades_through_satisfied);
+    ("refute stops at pending", `Quick, test_refute_does_not_cascade_through_pending);
+    ("refute idempotent", `Quick, test_refute_idempotent);
+    ("counter slots", `Quick, test_counter_slots);
+    ("swap-remove many", `Quick, test_swap_remove_many);
+    ("count matchings", `Quick, test_count_matchings);
+    ("count with sharing", `Quick, test_count_matchings_shared_dag);
+    ("count requires pointers", `Quick, test_count_requires_pointers);
+    ("collect dedups", `Quick, test_collect_outputs_dedups_structures);
+    ("enumerate tuples", `Quick, test_enumerate_tuples);
+  ]

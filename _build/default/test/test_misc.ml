@@ -1,0 +1,150 @@
+(* Small supporting modules: Item ordering, Stats arithmetic, Result_set
+   union, and engine behaviour on degenerate inputs. *)
+
+open Xaos_core
+
+let item = Alcotest.testable Item.pp Item.equal
+
+let it id tag level = { Item.id; tag; level }
+
+let test_item_order_and_dedup () =
+  let shuffled = [ it 5 "c" 2; it 1 "a" 1; it 5 "c" 2; it 3 "b" 2; it 1 "a" 1 ] in
+  Alcotest.check (Alcotest.list item) "sorted unique"
+    [ it 1 "a" 1; it 3 "b" 2; it 5 "c" 2 ]
+    (Item.sort_dedup shuffled);
+  Alcotest.check (Alcotest.list item) "empty" [] (Item.sort_dedup []);
+  Alcotest.check (Alcotest.list item) "singleton" [ it 2 "x" 1 ]
+    (Item.sort_dedup [ it 2 "x" 1 ])
+
+let test_item_of_element () =
+  let doc = Xaos_xml.Dom.of_string "<a><b/></a>" in
+  match Xaos_xml.Dom.element_by_id doc 2 with
+  | Some e ->
+    Alcotest.check item "conversion" (it 2 "b" 2) (Item.of_element e)
+  | None -> Alcotest.fail "missing element"
+
+let test_stats_add () =
+  let a = Stats.create () and b = Stats.create () in
+  a.Stats.elements_total <- 10;
+  a.Stats.elements_stored <- 3;
+  a.Stats.max_depth <- 5;
+  b.Stats.elements_total <- 20;
+  b.Stats.elements_discarded <- 20;
+  b.Stats.max_depth <- 2;
+  let sum = Stats.add a b in
+  Alcotest.(check int) "total" 30 sum.Stats.elements_total;
+  Alcotest.(check int) "stored" 3 sum.Stats.elements_stored;
+  Alcotest.(check int) "discarded" 20 sum.Stats.elements_discarded;
+  Alcotest.(check int) "max of depths" 5 sum.Stats.max_depth
+
+let test_discarded_fraction () =
+  let s = Stats.create () in
+  Alcotest.(check (float 1e-9)) "empty" 0. (Stats.discarded_fraction s);
+  s.Stats.elements_total <- 4;
+  s.Stats.elements_discarded <- 3;
+  Alcotest.(check (float 1e-9)) "3/4" 0.75 (Stats.discarded_fraction s)
+
+let test_result_set_union () =
+  let a =
+    { Result_set.items = [ it 1 "a" 1; it 3 "b" 2 ]; tuples = None;
+      matching_count = Some 2 }
+  in
+  let b =
+    { Result_set.items = [ it 3 "b" 2; it 5 "c" 2 ]; tuples = None;
+      matching_count = Some 1 }
+  in
+  let u = Result_set.union a b in
+  Alcotest.check (Alcotest.list item) "merged"
+    [ it 1 "a" 1; it 3 "b" 2; it 5 "c" 2 ]
+    u.Result_set.items;
+  Alcotest.(check (option int)) "counts sum" (Some 3) u.Result_set.matching_count;
+  let c = { b with Result_set.matching_count = None } in
+  Alcotest.(check (option int)) "unknown poisons" None
+    (Result_set.union a c).Result_set.matching_count
+
+let test_engine_empty_stream () =
+  (* no events at all: legal through the direct API; nothing matches *)
+  let dag =
+    Xaos_xpath.Xdag.of_xtree
+      (Xaos_xpath.Xtree.of_path (Xaos_xpath.Parser.parse "/a"))
+  in
+  let engine = Engine.create dag in
+  let r = Engine.finish engine in
+  Alcotest.(check int) "empty" 0 (List.length r.Result_set.items)
+
+let test_engine_finish_twice () =
+  let dag =
+    Xaos_xpath.Xdag.of_xtree
+      (Xaos_xpath.Xtree.of_path (Xaos_xpath.Parser.parse "//b"))
+  in
+  let engine = Engine.create dag in
+  List.iter (Engine.feed engine) (Xaos_xml.Sax.events_of_string "<a><b/></a>");
+  let r1 = Engine.finish engine in
+  let r2 = Engine.finish engine in
+  Alcotest.(check int) "same" (List.length r1.Result_set.items)
+    (List.length r2.Result_set.items)
+
+let test_engine_max_depth_stat () =
+  let q = Query.compile_exn "//x" in
+  let _, stats = Query.run_string_with_stats q "<a><b><c><d/></c></b></a>" in
+  Alcotest.(check int) "depth 4" 4 stats.Stats.max_depth
+
+let test_very_deep_chain () =
+  (* 2000 levels of nesting through the whole stack: parser, engine,
+     resolution *)
+  let n = 2000 in
+  let buf = Buffer.create (n * 8) in
+  for _ = 1 to n do
+    Buffer.add_string buf "<d>"
+  done;
+  Buffer.add_string buf "<leaf/>";
+  for _ = 1 to n do
+    Buffer.add_string buf "</d>"
+  done;
+  let q = Query.compile_exn "//leaf/ancestor::d" in
+  let r = Query.run_string q (Buffer.contents buf) in
+  Alcotest.(check int) "all ancestors" n (List.length r.Result_set.items)
+
+let test_many_siblings () =
+  let n = 5000 in
+  let buf = Buffer.create (n * 8) in
+  Buffer.add_string buf "<r>";
+  for i = 1 to n do
+    Buffer.add_string buf
+      (if i mod 2 = 0 then "<x><y/></x>" else "<x/>")
+  done;
+  Buffer.add_string buf "</r>";
+  let q = Query.compile_exn "//x[y]" in
+  let r = Query.run_string q (Buffer.contents buf) in
+  Alcotest.(check int) "half match" (n / 2) (List.length r.Result_set.items)
+
+let test_looking_for_without_filter () =
+  (* with the relevance filter off, the derived looking-for set is still
+     computed from the (now unfiltered) open stacks without crashing *)
+  let config = { Engine.default_config with relevance_filter = false } in
+  let dag =
+    Xaos_xpath.Xdag.of_xtree
+      (Xaos_xpath.Xtree.of_path
+         (Xaos_xpath.Parser.parse "//a/ancestor::b"))
+  in
+  let engine = Engine.create ~config dag in
+  Engine.start_element engine ~tag:"a" ~level:1 ();
+  let entries = Engine.looking_for engine in
+  Alcotest.(check bool) "derivable" true (List.length entries >= 1);
+  Engine.end_element engine;
+  ignore (Engine.finish engine)
+
+let suite =
+  [
+    ("item order and dedup", `Quick, test_item_order_and_dedup);
+    ("item of element", `Quick, test_item_of_element);
+    ("stats add", `Quick, test_stats_add);
+    ("discarded fraction", `Quick, test_discarded_fraction);
+    ("result set union", `Quick, test_result_set_union);
+    ("engine empty stream", `Quick, test_engine_empty_stream);
+    ("finish twice", `Quick, test_engine_finish_twice);
+    ("max depth stat", `Quick, test_engine_max_depth_stat);
+    ("very deep chain", `Quick, test_very_deep_chain);
+    ("many siblings", `Quick, test_many_siblings);
+    ("looking-for without filter", `Quick, test_looking_for_without_filter);
+  ]

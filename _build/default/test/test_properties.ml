@@ -1,0 +1,336 @@
+(* Property-based tests (qcheck, registered as alcotest cases):
+   - XML serialize/parse roundtrip;
+   - XPath pretty-print/parse fixpoint;
+   - the central differential property: on random (document, query)
+     pairs, the streaming engine in every configuration, the DOM
+     baseline, and the executable Section 3.3 semantics all agree;
+   - engine invariants (stats conservation, matching-count agreement). *)
+
+open Xaos_core
+module Ast = Xaos_xpath.Ast
+module Gen = QCheck.Gen
+
+(* ---------------- document generator ---------------- *)
+
+type tree = T of string * (string * string) list * string * tree list
+(* tag, attributes, leading text, children *)
+
+let tags = [| "a"; "b"; "c" |]
+
+let attr_keys = [| "k"; "m" |]
+
+let words = [| ""; "foo"; "bar"; "foo bar" |]
+
+let gen_tag = Gen.oneofa tags
+
+let gen_attrs =
+  Gen.frequency
+    [ (3, Gen.pure []);
+      (1,
+        Gen.map2
+          (fun k v -> [ (k, v) ])
+          (Gen.oneofa attr_keys)
+          (Gen.oneofa [| "1"; "2" |])) ]
+
+let gen_tree : tree Gen.t =
+  Gen.sized_size (Gen.int_range 1 25)
+    (Gen.fix (fun self n ->
+         if n <= 1 then
+           Gen.map3 (fun t attrs text -> T (t, attrs, text, []))
+             gen_tag gen_attrs (Gen.oneofa words)
+         else
+           Gen.map4
+             (fun t attrs text kids -> T (t, attrs, text, kids))
+             gen_tag gen_attrs (Gen.oneofa words)
+             (Gen.list_size (Gen.int_range 0 3) (self (n / 2)))))
+
+let rec tree_to_string (T (tag, attrs, text, kids)) =
+  Printf.sprintf "<%s%s>%s%s</%s>" tag
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k v) attrs))
+    text
+    (String.concat "" (List.map tree_to_string kids))
+    tag
+
+let gen_doc = Gen.map tree_to_string gen_tree
+
+(* ---------------- expression generator ---------------- *)
+
+let gen_axis =
+  Gen.oneofl
+    [ Ast.Child; Ast.Descendant; Ast.Parent; Ast.Ancestor; Ast.Self;
+      Ast.Descendant_or_self; Ast.Ancestor_or_self ]
+
+let gen_test =
+  Gen.frequency
+    [ (6, Gen.map (fun t -> Ast.Name t) gen_tag); (1, Gen.pure Ast.Wildcard) ]
+
+let ( let* ) x f = Gen.( >>= ) x f
+
+let rec gen_steps depth n =
+  if n <= 1 then Gen.map (fun s -> [ s ]) (gen_step depth 1)
+  else
+    let* split = Gen.int_range 1 n in
+    if split >= n then Gen.map (fun s -> [ s ]) (gen_step depth n)
+    else
+      let* first = gen_step depth split in
+      let* rest = gen_steps depth (n - split) in
+      Gen.pure (first :: rest)
+
+and gen_step depth budget =
+  let* axis = gen_axis in
+  let* test = gen_test in
+  let* predicates =
+    if depth >= 2 || budget <= 1 then Gen.pure []
+    else
+      Gen.frequency
+        [ (3, Gen.pure []);
+          (1, Gen.map (fun p -> [ p ]) (gen_predicate (depth + 1) (budget - 1)))
+        ]
+  in
+  Gen.pure { Ast.axis; test; predicates; marked = false }
+
+and gen_predicate depth budget =
+  let* choice = Gen.int_bound 7 in
+  match choice with
+  | 6 ->
+    let* attr_key = Gen.oneofa attr_keys in
+    let* attr_value =
+      Gen.oneofl [ None; Some "1"; Some "2"; Some "zz" ]
+    in
+    Gen.pure (Ast.Attr { Ast.attr_key; attr_value })
+  | 7 ->
+    let* text_op = Gen.oneofl [ Ast.Text_equals; Ast.Text_contains ] in
+    let* text_value = Gen.oneofa [| "foo"; "bar"; "zz"; "" |] in
+    Gen.pure (Ast.Text { Ast.text_op; text_value })
+  | 0 when budget >= 2 ->
+    let* a = gen_predicate (depth + 1) (budget / 2) in
+    let* b = gen_predicate (depth + 1) (budget - (budget / 2)) in
+    Gen.pure (Ast.And (a, b))
+  | 1 when budget >= 2 ->
+    let* a = gen_predicate (depth + 1) (budget / 2) in
+    let* b = gen_predicate (depth + 1) (budget - (budget / 2)) in
+    Gen.pure (Ast.Or (a, b))
+  | _ ->
+    let* absolute = Gen.frequency [ (5, Gen.pure false); (1, Gen.pure true) ] in
+    let* steps = gen_steps depth (min budget 3) in
+    Gen.pure (Ast.Path { Ast.absolute; steps })
+
+let gen_path : Ast.path Gen.t =
+  let* n = Gen.int_range 1 5 in
+  let* steps = gen_steps 0 n in
+  Gen.pure { Ast.absolute = true; steps }
+
+let arb_doc = QCheck.make ~print:Fun.id gen_doc
+
+let arb_path = QCheck.make ~print:Ast.to_string gen_path
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (d, p) -> Printf.sprintf "%s on %s" (Ast.to_string p) d)
+    (Gen.pair gen_doc gen_path)
+
+(* ---------------- properties ---------------- *)
+
+let count = 500
+
+let xml_roundtrip =
+  QCheck.Test.make ~name:"xml: serialize/parse roundtrip" ~count arb_doc
+    (fun doc_s ->
+      let doc = Xaos_xml.Dom.of_string doc_s in
+      let out = Xaos_xml.Serialize.to_string doc in
+      let doc2 = Xaos_xml.Dom.of_string out in
+      let ids d =
+        let acc = ref [] in
+        Xaos_xml.Dom.iter_elements
+          (fun e -> acc := (e.Xaos_xml.Dom.id, e.Xaos_xml.Dom.tag, e.Xaos_xml.Dom.level) :: !acc)
+          d;
+        !acc
+      in
+      ids doc = ids doc2)
+
+let xpath_print_parse =
+  QCheck.Test.make ~name:"xpath: print/parse fixpoint" ~count arb_path
+    (fun path ->
+      let printed = Ast.to_string path in
+      match Xaos_xpath.Parser.parse_result printed with
+      | Error msg -> QCheck.Test.fail_reportf "%s does not reparse: %s" printed msg
+      | Ok reparsed -> Ast.equal path reparsed)
+
+let items_equal a b = List.equal Item.equal a b
+
+let show_items items =
+  String.concat "," (List.map (fun i -> Format.asprintf "%a" Item.pp i) items)
+
+let differential =
+  QCheck.Test.make ~name:"differential: engine = baseline = semantics" ~count
+    arb_case (fun (doc_s, path) ->
+      let doc = Xaos_xml.Dom.of_string doc_s in
+      let oracle = Semantics.eval_path path doc in
+      let baseline =
+        Xaos_baseline.Dom_engine.eval doc path |> List.sort_uniq Item.compare
+      in
+      if not (items_equal oracle baseline) then
+        QCheck.Test.fail_reportf "baseline %s <> oracle %s"
+          (show_items baseline) (show_items oracle)
+      else begin
+        let configs =
+          [ Engine.default_config;
+            { Engine.default_config with boolean_subtrees = false };
+            { Engine.default_config with relevance_filter = false };
+            { Engine.default_config with eager_emission = true } ]
+        in
+        List.for_all
+          (fun config ->
+            match Query.compile_path ~config path with
+            | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+            | Ok q ->
+              let got = (Query.run_string q doc_s).Result_set.items in
+              if items_equal oracle got then true
+              else
+                QCheck.Test.fail_reportf "engine %s <> oracle %s"
+                  (show_items got) (show_items oracle))
+          configs
+      end)
+
+let dom_replay_equals_sax =
+  QCheck.Test.make ~name:"engine: DOM replay = SAX streaming" ~count arb_case
+    (fun (doc_s, path) ->
+      match Query.compile_path path with
+      | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+      | Ok q ->
+        let via_sax = (Query.run_string q doc_s).Result_set.items in
+        let via_dom =
+          (Query.run_doc q (Xaos_xml.Dom.of_string doc_s)).Result_set.items
+        in
+        items_equal via_sax via_dom)
+
+let stats_conservation =
+  QCheck.Test.make ~name:"engine: stored + discarded = total" ~count arb_case
+    (fun (doc_s, path) ->
+      match Query.compile_path path with
+      | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+      | Ok q ->
+        let _, stats = Query.run_string_with_stats q doc_s in
+        (* one engine per satisfiable disjunct sees the whole stream *)
+        let engines = List.length (Query.disjuncts q) in
+        let doc = Xaos_xml.Dom.of_string doc_s in
+        stats.Stats.elements_stored + stats.Stats.elements_discarded
+        = stats.Stats.elements_total
+        && stats.Stats.elements_total
+           = engines * (doc.Xaos_xml.Dom.element_count - 1))
+
+let matching_count_agrees =
+  QCheck.Test.make ~name:"engine: matching count = |total matchings|"
+    ~count:300 arb_case (fun (doc_s, path) ->
+      (* restrict to or-free so the oracle's and the engine's disjunct
+         structures coincide *)
+      match Xaos_xpath.Dnf.expand path with
+      | [ _ ] -> (
+        let config = { Engine.default_config with boolean_subtrees = false } in
+        match Query.compile_path ~config path with
+        | Error _ -> true
+        | Ok q -> (
+          let r = Query.run_string q doc_s in
+          let doc = Xaos_xml.Dom.of_string doc_s in
+          let oracle_count =
+            List.length
+              (Semantics.total_matchings (Xaos_xpath.Xtree.of_path path) doc)
+          in
+          match r.Result_set.matching_count with
+          | Some n ->
+            if n = oracle_count then true
+            else
+              QCheck.Test.fail_reportf "engine says %d, oracle %d" n
+                oracle_count
+          | None -> oracle_count = 0))
+      | _ -> QCheck.assume_fail ())
+
+let filter_only_reduces_storage =
+  QCheck.Test.make ~name:"engine: relevance filter never stores more"
+    ~count:300 arb_case (fun (doc_s, path) ->
+      let run config =
+        match Query.compile_path ~config path with
+        | Error _ -> None
+        | Ok q -> Some (snd (Query.run_string_with_stats q doc_s))
+      in
+      match
+        ( run Engine.default_config,
+          run { Engine.default_config with relevance_filter = false } )
+      with
+      | Some filtered, Some unfiltered ->
+        filtered.Stats.structures_created
+        <= unfiltered.Stats.structures_created
+      | _, _ -> true)
+
+(* forward-only linear subscriptions: the YFilter-supported class *)
+let gen_linear_path : Ast.path Gen.t =
+  let* n = Gen.int_range 1 4 in
+  let* steps =
+    Gen.flatten_l
+      (List.init n (fun _ ->
+           let* axis = Gen.oneofl [ Ast.Child; Ast.Descendant ] in
+           let* test = gen_test in
+           Gen.pure { Ast.axis; test; predicates = []; marked = false }))
+  in
+  Gen.pure { Ast.absolute = true; steps }
+
+let arb_filtering_case =
+  QCheck.make
+    ~print:(fun (d, ps) ->
+      Printf.sprintf "%s on %s"
+        (String.concat " ; " (List.map Ast.to_string ps))
+        d)
+    (Gen.pair gen_doc (Gen.list_size (Gen.int_range 1 6) gen_linear_path))
+
+let yfilter_agrees =
+  QCheck.Test.make ~name:"yfilter: shared automaton = per-query engines"
+    ~count:300 arb_filtering_case (fun (doc_s, paths) ->
+      match Xaos_baseline.Yfilter.build paths with
+      | Error msg -> QCheck.Test.fail_reportf "build failed: %s" msg
+      | Ok nfa ->
+        let yf = Xaos_baseline.Yfilter.run_string nfa doc_s in
+        let expected =
+          List.concat
+            (List.mapi
+               (fun qi path ->
+                 match Query.compile_path path with
+                 | Error msg -> QCheck.Test.fail_reportf "compile: %s" msg
+                 | Ok q ->
+                   if (Query.run_string q doc_s).Result_set.items <> [] then
+                     [ qi ]
+                   else [])
+               paths)
+        in
+        if yf = expected then true
+        else
+          QCheck.Test.fail_reportf "yfilter [%s] <> xaos [%s]"
+            (String.concat "," (List.map string_of_int yf))
+            (String.concat "," (List.map string_of_int expected)))
+
+let dnf_size_formula =
+  QCheck.Test.make ~name:"dnf: expansion is or-free and complete" ~count
+    arb_path (fun path ->
+      let disjuncts = Xaos_xpath.Dnf.expand path in
+      disjuncts <> []
+      && List.for_all
+           (fun d ->
+             (* or-free: expanding again is the identity *)
+             match Xaos_xpath.Dnf.expand d with
+             | [ only ] -> Ast.equal only d
+             | _ -> false)
+           disjuncts)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      xml_roundtrip;
+      xpath_print_parse;
+      differential;
+      dom_replay_equals_sax;
+      stats_conservation;
+      matching_count_agrees;
+      filter_only_reduces_storage;
+      yfilter_agrees;
+      dnf_size_formula;
+    ]

@@ -1,0 +1,182 @@
+(* The Query front-end: compilation, run protocol, one-shot helpers, the
+   Query_set broker, and the retention introspection. *)
+
+open Xaos_core
+
+let item = Alcotest.testable Item.pp Item.equal
+
+let it id tag level = { Item.id; tag; level }
+
+let test_compile_errors () =
+  (match Query.compile "/a[" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected syntax error");
+  match Query.compile_exn "///" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_or_limit () =
+  (* 2^7 = 128 disjuncts > default-ish small limit *)
+  let q = "/a[b or c]/d[e or f]/g[h or i]/j[k or l]/m[n or o]/p[q or r]/s[t or u]" in
+  (match Query.compile ~or_limit:64 q with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected or-limit error");
+  match Query.compile ~or_limit:128 q with
+  | Ok compiled ->
+    Alcotest.(check int) "128 disjuncts" 128 (List.length (Query.disjuncts compiled))
+  | Error e -> Alcotest.fail e
+
+let test_unsatisfiable_compiles_to_empty () =
+  let q = Query.compile_exn "/parent::x" in
+  Alcotest.(check int) "no engines" 0 (List.length (Query.disjuncts q));
+  let r = Query.run_string q "<a/>" in
+  Alcotest.(check int) "no results" 0 (List.length r.Result_set.items)
+
+let test_partial_unsatisfiable_or () =
+  (* [/parent::q] asks for an element strictly above the root: that
+     disjunct is structurally unsatisfiable and compiled away *)
+  let q = Query.compile_exn "/a[/parent::q or b]" in
+  Alcotest.(check int) "one engine" 1 (List.length (Query.disjuncts q));
+  let r = Query.run_string q "<a><b/></a>" in
+  Alcotest.check (Alcotest.list item) "result" [ it 1 "a" 1 ] r.Result_set.items;
+  (* [parent::q] from a level-1 element names the virtual root, which no
+     node test matches: satisfiable structurally, empty on every document *)
+  let q2 = Query.compile_exn "/a[parent::q or b]" in
+  Alcotest.(check int) "two engines" 2 (List.length (Query.disjuncts q2));
+  let r2 = Query.run_string q2 "<a><b/></a>" in
+  Alcotest.check (Alcotest.list item) "same result" [ it 1 "a" 1 ]
+    r2.Result_set.items
+
+let test_query_reusable () =
+  let q = Query.compile_exn "//b" in
+  let r1 = Query.run_string q "<a><b/></a>" in
+  let r2 = Query.run_string q "<c><b/><b/></c>" in
+  Alcotest.(check int) "first run" 1 (List.length r1.Result_set.items);
+  Alcotest.(check int) "second run" 2 (List.length r2.Result_set.items)
+
+let test_finish_idempotent () =
+  let q = Query.compile_exn "//b" in
+  let run = Query.start q in
+  List.iter (Query.feed run) (Xaos_xml.Sax.events_of_string "<a><b/></a>");
+  let r1 = Query.finish run in
+  let r2 = Query.finish run in
+  Alcotest.(check bool) "same result object" true (r1 == r2)
+
+let test_run_file () =
+  let file = Filename.temp_file "xaos_test" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "<a><b/><c><b/></c></a>";
+      close_out oc;
+      let q = Query.compile_exn "//b" in
+      let r = Query.run_file q file in
+      Alcotest.(check int) "two" 2 (List.length r.Result_set.items))
+
+let test_stats_accumulate_across_disjuncts () =
+  let q = Query.compile_exn "//a[b or c]" in
+  let _, stats = Query.run_string_with_stats q "<a><b/></a>" in
+  (* two engines saw 2 elements each *)
+  Alcotest.(check int) "4 total" 4 stats.Stats.elements_total
+
+let test_retained_structures () =
+  let q = Query.compile_exn "//b" in
+  let run = Query.start q in
+  List.iter (Query.feed run) (Xaos_xml.Sax.events_of_string "<a><b/><b/></a>");
+  ignore (Query.finish run);
+  Alcotest.(check int) "two b structures retained" 2
+    (Query.retained_structures run);
+  (* eager retains nothing *)
+  let config = { Engine.default_config with eager_emission = true } in
+  let qe = Query.compile_exn ~config "//b" in
+  let rune = Query.start qe in
+  List.iter (Query.feed rune) (Xaos_xml.Sax.events_of_string "<a><b/><b/></a>");
+  ignore (Query.finish rune);
+  Alcotest.(check int) "eager retains none" 0 (Query.retained_structures rune)
+
+let test_on_match_fires_once_per_item () =
+  let seen = ref [] in
+  let q = Query.compile_exn "//b" in
+  let run = Query.start ~on_match:(fun i -> seen := i :: !seen) q in
+  List.iter (Query.feed run)
+    (Xaos_xml.Sax.events_of_string "<a><b><b/></b></a>");
+  ignore (Query.finish run);
+  Alcotest.(check int) "two callbacks" 2 (List.length !seen)
+
+(* ---------------- Query_set ---------------- *)
+
+let test_query_set_basic () =
+  let set =
+    match
+      Query_set.compile
+        [ ("bees", "//b"); ("cees", "//c"); ("none", "//zzz") ]
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "three queries" 3 (Query_set.size set);
+  let outcomes = Query_set.run_string set "<a><b/><c/><b/></a>" in
+  Alcotest.(check (list string))
+    "matching names" [ "bees"; "cees" ]
+    (Query_set.matching_names outcomes);
+  let bees = List.find (fun o -> o.Query_set.query_name = "bees") outcomes in
+  Alcotest.(check int) "two bees" 2 (List.length bees.Query_set.items)
+
+let test_query_set_duplicate_names () =
+  match Query_set.compile [ ("x", "//a"); ("x", "//b") ] with
+  | exception Invalid_argument _ -> ()
+  | Ok _ -> Alcotest.fail "expected duplicate-name failure"
+  | Error _ -> Alcotest.fail "expected Invalid_argument, not compile error"
+
+let test_query_set_compile_error_names_query () =
+  match Query_set.compile [ ("good", "//a"); ("bad", "//[") ] with
+  | Error msg ->
+    Alcotest.(check bool) "mentions the name" true
+      (String.length msg >= 3 && String.sub msg 0 3 = "bad")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_query_set_backward_axes_subscription () =
+  let set =
+    match Query_set.compile [ ("anc", "//w/ancestor::y") ] with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let outcomes = Query_set.run_string set "<y><x><w/></x></y>" in
+  Alcotest.(check (list string)) "matches" [ "anc" ]
+    (Query_set.matching_names outcomes)
+
+let test_query_set_doc_replay_agrees () =
+  let set =
+    match Query_set.compile [ ("q1", "//b[c]"); ("q2", "//c/..") ] with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let doc_s = "<a><b><c/></b><b/></a>" in
+  let via_string = Query_set.run_string set doc_s in
+  let via_doc = Query_set.run_doc set (Xaos_xml.Dom.of_string doc_s) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "name" a.Query_set.query_name b.Query_set.query_name;
+      Alcotest.check (Alcotest.list item) "items" a.Query_set.items
+        b.Query_set.items)
+    via_string via_doc
+
+let suite =
+  [
+    ("compile errors", `Quick, test_compile_errors);
+    ("or limit", `Quick, test_or_limit);
+    ("unsatisfiable", `Quick, test_unsatisfiable_compiles_to_empty);
+    ("partially unsatisfiable or", `Quick, test_partial_unsatisfiable_or);
+    ("query reusable", `Quick, test_query_reusable);
+    ("finish idempotent", `Quick, test_finish_idempotent);
+    ("run file", `Quick, test_run_file);
+    ("stats across disjuncts", `Quick, test_stats_accumulate_across_disjuncts);
+    ("retained structures", `Quick, test_retained_structures);
+    ("on_match per item", `Quick, test_on_match_fires_once_per_item);
+    ("query set basics", `Quick, test_query_set_basic);
+    ("query set duplicate names", `Quick, test_query_set_duplicate_names);
+    ("query set error naming", `Quick, test_query_set_compile_error_names_query);
+    ("query set backward axes", `Quick, test_query_set_backward_axes_subscription);
+    ("query set doc replay", `Quick, test_query_set_doc_replay_agrees);
+  ]

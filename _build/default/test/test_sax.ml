@@ -1,0 +1,215 @@
+(* Streaming XML parser tests: event correctness, levels, markup corners,
+   references, and failure injection on ill-formed input. *)
+
+module Sax = Xaos_xml.Sax
+module Event = Xaos_xml.Event
+
+let event = Alcotest.testable Event.pp Event.equal
+
+let events = Alcotest.list event
+
+let parse = Sax.events_of_string
+
+let start ?(attrs = []) name level =
+  Event.Start_element
+    {
+      name;
+      attributes =
+        List.map (fun (n, v) -> { Event.attr_name = n; attr_value = v }) attrs;
+      level;
+    }
+
+let stop name level = Event.End_element { name; level }
+
+let check_events msg expected input =
+  Alcotest.check events msg expected (parse input)
+
+let fails msg input =
+  match parse input with
+  | _ -> Alcotest.failf "%s: expected Sax.Error on %S" msg input
+  | exception Sax.Error _ -> ()
+
+let test_single_element () =
+  check_events "one element" [ start "a" 1; stop "a" 1 ] "<a></a>"
+
+let test_self_closing () =
+  check_events "self-closing" [ start "a" 1; stop "a" 1 ] "<a/>";
+  check_events "self-closing with space" [ start "a" 1; stop "a" 1 ] "<a />"
+
+let test_nesting_levels () =
+  check_events "levels count from 1"
+    [ start "a" 1; start "b" 2; start "c" 3; stop "c" 3; stop "b" 2;
+      start "b" 2; stop "b" 2; stop "a" 1 ]
+    "<a><b><c></c></b><b/></a>"
+
+let test_recursive_same_tag () =
+  check_events "recursive nesting"
+    [ start "a" 1; start "a" 2; start "a" 3; stop "a" 3; stop "a" 2; stop "a" 1 ]
+    "<a><a><a/></a></a>"
+
+let test_attributes () =
+  check_events "attributes"
+    [ start ~attrs:[ ("x", "1"); ("y", "two words") ] "a" 1; stop "a" 1 ]
+    "<a x=\"1\" y='two words'/>"
+
+let test_attribute_references () =
+  check_events "entity refs in attribute"
+    [ start ~attrs:[ ("x", "a<b&c\"d") ] "a" 1; stop "a" 1 ]
+    "<a x=\"a&lt;b&amp;c&quot;d\"/>"
+
+let test_text_and_references () =
+  check_events "text with references"
+    [ start "a" 1; Event.Text "x < y & z > w 'q' \"p\""; stop "a" 1 ]
+    "<a>x &lt; y &amp; z &gt; w &apos;q&apos; &quot;p&quot;</a>"
+
+let test_character_references () =
+  check_events "decimal and hex character references"
+    [ start "a" 1; Event.Text "A B \xe2\x82\xac"; stop "a" 1 ]
+    "<a>&#65; &#x42; &#x20AC;</a>"
+
+let test_cdata () =
+  check_events "cdata"
+    [ start "a" 1; Event.Text "if (a<b && c>d) {}"; stop "a" 1 ]
+    "<a><![CDATA[if (a<b && c>d) {}]]></a>";
+  check_events "cdata with lone brackets"
+    [ start "a" 1; Event.Text "x]y]]z"; stop "a" 1 ]
+    "<a><![CDATA[x]y]]z]]></a>"
+
+let test_comments () =
+  check_events "comments"
+    [ start "a" 1; Event.Comment " hello "; stop "a" 1 ]
+    "<a><!-- hello --></a>"
+
+let test_processing_instruction () =
+  check_events "pi"
+    [ start "a" 1;
+      Event.Processing_instruction { target = "php"; content = "echo 1;" };
+      stop "a" 1 ]
+    "<a><?php echo 1;?></a>"
+
+let test_xml_declaration_skipped () =
+  check_events "xml decl is consumed silently"
+    [ start "a" 1; stop "a" 1 ]
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>"
+
+let test_doctype_skipped () =
+  check_events "doctype with internal subset"
+    [ start "a" 1; stop "a" 1 ]
+    "<!DOCTYPE a [<!ELEMENT a ANY> <!ATTLIST a x CDATA \"y>z\">]><a/>"
+
+let test_prolog_and_epilog_comments () =
+  check_events "comments around the root"
+    [ Event.Comment "pre"; start "a" 1; stop "a" 1; Event.Comment "post" ]
+    "<!--pre--><a/><!--post-->"
+
+let test_whitespace_around_root () =
+  check_events "whitespace in prolog/epilog ignored"
+    [ start "a" 1; stop "a" 1 ]
+    "  \n <a></a> \t\n"
+
+let test_whitespace_text_kept_in_content () =
+  check_events "whitespace inside the root is text"
+    [ start "a" 1; Event.Text " "; stop "a" 1 ]
+    "<a> </a>"
+
+let test_mismatched_tags () =
+  fails "mismatched" "<a></b>";
+  fails "extra close" "<a></a></a>";
+  fails "unclosed" "<a><b></b>";
+  fails "nothing" "";
+  fails "only text" "hello"
+
+let test_malformed_markup () =
+  fails "bare ampersand" "<a>&</a>";
+  fails "unknown entity" "<a>&nbsp;</a>";
+  fails "unquoted attribute" "<a x=1/>";
+  fails "lt in attribute" "<a x=\"<\"/>";
+  fails "duplicate attribute" "<a x=\"1\" x=\"2\"/>";
+  fails "double dash in comment" "<a><!-- a -- b --></a>";
+  fails "second root" "<a/><b/>";
+  fails "text after root" "<a/>oops";
+  fails "eof in tag" "<a";
+  fails "eof in attribute" "<a x=\"1";
+  fails "eof in comment" "<a><!-- ";
+  fails "eof in cdata" "<a><![CDATA[x";
+  fails "empty char ref" "<a>&#;</a>";
+  fails "surrogate char ref" "<a>&#xD800;</a>"
+
+let test_error_positions () =
+  match parse "<a>\n  <b></c></a>" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Sax.Error (pos, _) ->
+    Alcotest.(check int) "line" 2 pos.Sax.line
+
+let test_depth_tracking () =
+  let p = Sax.of_string "<a><b/></a>" in
+  Alcotest.(check int) "initial depth" 0 (Sax.depth p);
+  ignore (Sax.next p);
+  Alcotest.(check int) "after <a>" 1 (Sax.depth p)
+
+let test_streaming_chunks () =
+  (* feed the document one byte at a time through of_function *)
+  let doc = "<a x=\"1\"><b>text</b><!--c--></a>" in
+  let i = ref 0 in
+  let refill buf n =
+    if !i >= String.length doc || n = 0 then 0
+    else begin
+      Bytes.set buf 0 doc.[!i];
+      incr i;
+      1
+    end
+  in
+  let p = Sax.of_function refill in
+  let collected = List.rev (Sax.fold (fun acc e -> e :: acc) [] p) in
+  Alcotest.check events "chunked = whole" (parse doc) collected
+
+let test_large_flat_document () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<r>";
+  for _ = 1 to 1000 do
+    Buffer.add_string buf "<x/>"
+  done;
+  Buffer.add_string buf "</r>";
+  let evs = parse (Buffer.contents buf) in
+  Alcotest.(check int) "event count" 2002 (List.length evs)
+
+let test_deep_document () =
+  let buf = Buffer.create 4096 in
+  for _ = 1 to 500 do
+    Buffer.add_string buf "<d>"
+  done;
+  for _ = 1 to 500 do
+    Buffer.add_string buf "</d>"
+  done;
+  let evs = parse (Buffer.contents buf) in
+  Alcotest.(check int) "count" 1000 (List.length evs);
+  match List.nth evs 499 with
+  | Event.Start_element { level; _ } -> Alcotest.(check int) "level" 500 level
+  | _ -> Alcotest.fail "expected start"
+
+let suite =
+  [
+    ("single element", `Quick, test_single_element);
+    ("self-closing", `Quick, test_self_closing);
+    ("nesting levels", `Quick, test_nesting_levels);
+    ("recursive same tag", `Quick, test_recursive_same_tag);
+    ("attributes", `Quick, test_attributes);
+    ("attribute references", `Quick, test_attribute_references);
+    ("text references", `Quick, test_text_and_references);
+    ("character references", `Quick, test_character_references);
+    ("cdata", `Quick, test_cdata);
+    ("comments", `Quick, test_comments);
+    ("processing instruction", `Quick, test_processing_instruction);
+    ("xml declaration", `Quick, test_xml_declaration_skipped);
+    ("doctype", `Quick, test_doctype_skipped);
+    ("prolog/epilog comments", `Quick, test_prolog_and_epilog_comments);
+    ("whitespace around root", `Quick, test_whitespace_around_root);
+    ("whitespace in content", `Quick, test_whitespace_text_kept_in_content);
+    ("mismatched tags", `Quick, test_mismatched_tags);
+    ("malformed markup", `Quick, test_malformed_markup);
+    ("error positions", `Quick, test_error_positions);
+    ("depth tracking", `Quick, test_depth_tracking);
+    ("streaming chunks", `Quick, test_streaming_chunks);
+    ("large flat document", `Quick, test_large_flat_document);
+    ("deep document", `Quick, test_deep_document);
+  ]

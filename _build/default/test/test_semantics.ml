@@ -1,0 +1,102 @@
+(* The executable matching semantics of Section 3.3 (the oracle itself):
+   consistency relation, matching enumeration, Figure 4's count. *)
+
+open Xaos_core
+module Ast = Xaos_xpath.Ast
+module Dom = Xaos_xml.Dom
+module Parser = Xaos_xpath.Parser
+module Xtree = Xaos_xpath.Xtree
+
+let fig2 = "<X><Y><W/><Z><V/><V/><W><W/></W></Z><U/></Y><Y><Z><W/></Z><U/></Y></X>"
+let fig3 = "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]"
+
+let get doc id =
+  match Dom.element_by_id doc id with
+  | Some e -> e
+  | None -> Alcotest.failf "missing element %d" id
+
+let test_consistency_relation () =
+  let doc = Dom.of_string fig2 in
+  let d i = get doc i in
+  (* (v1,d1) consistent with (v2,d2) over edge axis means d2 in axis(d1) *)
+  Alcotest.(check bool) "Z4 ancestor of W7" true
+    (Semantics.consistent Ast.Ancestor (d 7) (d 4));
+  Alcotest.(check bool) "W7 not ancestor of Z4" false
+    (Semantics.consistent Ast.Ancestor (d 4) (d 7));
+  Alcotest.(check bool) "V5 child of Z4" true
+    (Semantics.consistent Ast.Child (d 4) (d 5));
+  Alcotest.(check bool) "W8 descendant of Y2" true
+    (Semantics.consistent Ast.Descendant (d 2) (d 8));
+  Alcotest.(check bool) "self" true (Semantics.consistent Ast.Self (d 3) (d 3));
+  Alcotest.(check bool) "parent" true
+    (Semantics.consistent Ast.Parent (d 8) (d 7))
+
+let test_axis_elements () =
+  let doc = Dom.of_string fig2 in
+  let ids axis i =
+    List.map
+      (fun (e : Dom.element) -> e.id)
+      (Semantics.axis_elements doc axis (get doc i))
+  in
+  Alcotest.(check (list int)) "children of Y2" [ 3; 4; 9 ] (ids Ast.Child 2);
+  Alcotest.(check (list int)) "ancestors of W8" [ 0; 1; 2; 4; 7 ]
+    (ids Ast.Ancestor 8);
+  Alcotest.(check (list int)) "descendants of Z4" [ 5; 6; 7; 8 ]
+    (ids Ast.Descendant 4)
+
+let test_figure4_matchings () =
+  (* Figure 4 lists the four total matchings at Root:
+     [Root, Y2, U9, W7|W8, Z4, V5|V6] *)
+  let doc = Dom.of_string fig2 in
+  let xtree = Xtree.of_path (Parser.parse fig3) in
+  let ms = Semantics.total_matchings xtree doc in
+  Alcotest.(check int) "four matchings" 4 (List.length ms);
+  let projections =
+    List.map
+      (fun m -> List.map (fun (v, (e : Dom.element)) -> (v, e.id)) m)
+      ms
+    |> List.sort compare
+  in
+  (* x-nodes: 0 Root, 1 Y, 2 U, 3 W, 4 Z, 5 V *)
+  let expected =
+    [ [ (0, 0); (1, 2); (2, 9); (3, 7); (4, 4); (5, 5) ];
+      [ (0, 0); (1, 2); (2, 9); (3, 7); (4, 4); (5, 6) ];
+      [ (0, 0); (1, 2); (2, 9); (3, 8); (4, 4); (5, 5) ];
+      [ (0, 0); (1, 2); (2, 9); (3, 8); (4, 4); (5, 6) ] ]
+  in
+  Alcotest.(check (list (list (pair int int)))) "figure 4" expected projections
+
+let test_eval_projection () =
+  let doc = Dom.of_string fig2 in
+  let xtree = Xtree.of_path (Parser.parse fig3) in
+  Alcotest.(check (list int)) "solution ids" [ 7; 8 ]
+    (List.map (fun (i : Item.t) -> i.id) (Semantics.eval xtree doc))
+
+let test_eval_tuples () =
+  let doc = Dom.of_string "<a><b/><b/></a>" in
+  let xtree = Xtree.of_path (Parser.parse "/$a/$b") in
+  let tuples = Semantics.eval_tuples xtree doc in
+  Alcotest.(check int) "two tuples" 2 (List.length tuples)
+
+let test_unsatisfiable_path_empty () =
+  let doc = Dom.of_string "<a/>" in
+  Alcotest.(check int) "no matchings for /parent::x" 0
+    (List.length (Semantics.eval_path (Parser.parse "/parent::x") doc))
+
+let test_or_path () =
+  let doc = Dom.of_string "<a><b/><c/></a>" in
+  Alcotest.(check (list int)) "or union" [ 2; 3 ]
+    (List.map
+       (fun (i : Item.t) -> i.id)
+       (Semantics.eval_path (Parser.parse "/a/*[self::b or self::c]") doc))
+
+let suite =
+  [
+    ("consistency relation", `Quick, test_consistency_relation);
+    ("axis elements", `Quick, test_axis_elements);
+    ("figure 4 matchings", `Quick, test_figure4_matchings);
+    ("eval projection", `Quick, test_eval_projection);
+    ("eval tuples", `Quick, test_eval_tuples);
+    ("unsatisfiable path", `Quick, test_unsatisfiable_path_empty);
+    ("or path", `Quick, test_or_path);
+  ]

@@ -1,0 +1,78 @@
+(* Serializer escaping and parse/serialize roundtrips. *)
+
+module Dom = Xaos_xml.Dom
+module Serialize = Xaos_xml.Serialize
+module Sax = Xaos_xml.Sax
+
+let test_escape_text () =
+  Alcotest.(check string) "text" "a&lt;b&gt;c&amp;d\"e'f"
+    (Serialize.escape_text "a<b>c&d\"e'f")
+
+let test_escape_attribute () =
+  Alcotest.(check string) "attr" "a&lt;b>c&amp;d&quot;e'f"
+    (Serialize.escape_attribute "a<b>c&d\"e'f")
+
+let roundtrip input =
+  let doc = Dom.of_string input in
+  let out = Serialize.to_string doc in
+  let doc2 = Dom.of_string out in
+  Alcotest.(check string) "stable after one roundtrip" out
+    (Serialize.to_string doc2)
+
+let test_roundtrip_structure () =
+  roundtrip "<a x=\"1\"><b>t&amp;u</b><c/><!--k--><?pi data?></a>"
+
+let test_roundtrip_preserves_elements () =
+  let input = "<a><b><c/></b><b/></a>" in
+  let doc = Dom.of_string input in
+  let reparsed = Dom.of_string (Serialize.to_string doc) in
+  Alcotest.(check int) "element count" doc.Dom.element_count
+    reparsed.Dom.element_count
+
+let test_special_characters_roundtrip () =
+  let input = "<a k=\"&quot;&lt;&amp;\">x&lt;y&amp;z&gt;w</a>" in
+  let doc = Dom.of_string input in
+  let reparsed = Dom.of_string (Serialize.to_string doc) in
+  let get (d : Dom.doc) =
+    match Dom.element_by_id d 1 with
+    | Some e -> (Dom.text_content e, e.Dom.attributes)
+    | None -> Alcotest.fail "missing root element"
+  in
+  let text1, attrs1 = get doc in
+  let text2, attrs2 = get reparsed in
+  Alcotest.(check string) "text preserved" text1 text2;
+  Alcotest.(check int) "attrs preserved" (List.length attrs1) (List.length attrs2);
+  Alcotest.(check string) "attr value" "\"<&"
+    (List.hd attrs2).Xaos_xml.Event.attr_value
+
+let test_events_to_string () =
+  let events = Sax.events_of_string "<a><b>x</b></a>" in
+  Alcotest.(check string) "rendering" "<a><b>x</b></a>"
+    (Serialize.events_to_string events)
+
+let test_to_channel_matches_to_string () =
+  let doc = Dom.of_string "<a><b>one</b><c d=\"2\"/></a>" in
+  let file = Filename.temp_file "xaos" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out_bin file in
+      Serialize.to_channel oc doc;
+      close_out oc;
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let contents = really_input_string ic n in
+      close_in ic;
+      Alcotest.(check string) "channel = string" (Serialize.to_string doc)
+        contents)
+
+let suite =
+  [
+    ("escape text", `Quick, test_escape_text);
+    ("escape attribute", `Quick, test_escape_attribute);
+    ("roundtrip structure", `Quick, test_roundtrip_structure);
+    ("roundtrip element count", `Quick, test_roundtrip_preserves_elements);
+    ("special characters", `Quick, test_special_characters_roundtrip);
+    ("events to string", `Quick, test_events_to_string);
+    ("to_channel", `Quick, test_to_channel_matches_to_string);
+  ]

@@ -1,0 +1,151 @@
+(* String-value (text) predicate extension: [text()='v'] and
+   [contains(text(),'v')], decided at end events via per-element text
+   buffers. *)
+
+open Xaos_core
+module Ast = Xaos_xpath.Ast
+module Parser = Xaos_xpath.Parser
+
+let item = Alcotest.testable Item.pp Item.equal
+
+let it id tag level = { Item.id; tag; level }
+
+let doc =
+  "<lib><book><title>OCaml in Action</title></book>\
+   <book><title>Streaming XML</title></book>\
+   <note>read OCaml</note></lib>"
+(* ids: lib=1 book=2 title=3 book=4 title=5 note=6 *)
+
+let run ?config q =
+  (Query.run_string (Query.compile_exn ?config q) doc).Result_set.items
+
+let check msg expected q = Alcotest.check (Alcotest.list item) msg expected (run q)
+
+let test_parse_and_print () =
+  let roundtrip input printed =
+    match Parser.parse_result input with
+    | Error e -> Alcotest.failf "%s: %s" input e
+    | Ok p ->
+      Alcotest.(check string) input printed (Ast.to_string p);
+      (match Parser.parse_result printed with
+      | Ok p2 -> Alcotest.(check bool) "fixpoint" true (Ast.equal p p2)
+      | Error e -> Alcotest.failf "%s: %s" printed e)
+  in
+  roundtrip "//a[text()='x']" "/descendant::a[text()='x']";
+  roundtrip "//a[contains(text(),'x y')]" "/descendant::a[contains(text(),'x y')]";
+  roundtrip "//a[text()=\"d'oh\"]" "/descendant::a[text()=\"d'oh\"]";
+  roundtrip "//a[@k and text()='v' or b]"
+    "/descendant::a[@k and text()='v' or child::b]";
+  (* 'text' and 'contains' remain usable as plain element names *)
+  roundtrip "//text/contains" "/descendant::text/child::contains"
+
+let test_parse_errors () =
+  List.iter
+    (fun input ->
+      match Parser.parse_result input with
+      | Error _ -> ()
+      | Ok p -> Alcotest.failf "%s parsed as %s" input (Ast.to_string p))
+    [ "//a[text()]"; "//a[text()=]"; "//a[text()=x]"; "//a[contains(b,'x')]";
+      "//a[contains(text())]"; "//a[contains(text(),'x']" ]
+
+let test_equality () =
+  check "exact" [ it 5 "title" 3 ] "//title[text()='Streaming XML']";
+  check "no match" [] "//title[text()='Streaming']"
+
+let test_contains () =
+  check "substring" [ it 3 "title" 3 ] "//title[contains(text(),'OCaml')]";
+  (* string values include descendants' text, so lib and the first book
+     match as well *)
+  check "ancestors too"
+    [ it 1 "lib" 1; it 2 "book" 2; it 3 "title" 3; it 6 "note" 2 ]
+    "//*[contains(text(),'OCaml')]"
+
+let test_string_value_includes_descendants () =
+  (* lib's string value concatenates all text below it *)
+  check "ancestor sees nested text" [ it 1 "lib" 1 ]
+    "/lib[contains(text(),'Action')]";
+  check "book sees title text" [ it 2 "book" 2 ]
+    "//book[contains(text(),'Action')]"
+
+let test_split_text_runs () =
+  (* CDATA splits character data into several Text events; the buffered
+     string value must still concatenate *)
+  let doc = "<a>one<![CDATA[ two ]]>three</a>" in
+  let r = Query.run_string (Query.compile_exn "/a[text()='one two three']") doc in
+  Alcotest.(check int) "joined" 1 (List.length r.Result_set.items)
+
+let test_text_with_backward_axes () =
+  check "ancestor with text test" [ it 3 "title" 3 ]
+    "//title/ancestor::book[contains(text(),'OCaml')]/title";
+  check "combined with attr-free predicates" [ it 2 "book" 2 ]
+    "//title[text()='OCaml in Action']/.."
+
+let test_refutes_optimism () =
+  (* W closes before its ancestor Z's text is known; the text test fails
+     at Z's end, so the optimistic propagation must be undone *)
+  let doc = "<Z><W/>oops</Z>" in
+  let q = "//W[ancestor::Z[text()='fine']]" in
+  let r = Query.run_string (Query.compile_exn q) doc in
+  Alcotest.(check int) "undone" 0 (List.length r.Result_set.items);
+  let doc2 = "<Z><W/>fine</Z>" in
+  let r2 = Query.run_string (Query.compile_exn q) doc2 in
+  Alcotest.(check int) "confirmed" 1 (List.length r2.Result_set.items)
+
+let test_eager_not_used_for_chain_text () =
+  (* a text test on a chain ancestor forbids eager emission... *)
+  let config = { Engine.default_config with eager_emission = true } in
+  let dag q =
+    Xaos_xpath.Xdag.of_xtree (Xaos_xpath.Xtree.of_path (Parser.parse q))
+  in
+  let e1 = Engine.create ~config (dag "/a[text()='x']/b") in
+  Alcotest.(check bool) "not eager" false (Engine.emits_eagerly e1);
+  (* ... but one on the output node itself is fine *)
+  let e2 = Engine.create ~config (dag "/a/b[text()='x']") in
+  Alcotest.(check bool) "eager ok" true (Engine.emits_eagerly e2);
+  (* and results agree either way *)
+  let d = "<a><b>x</b><b>y</b></a>" in
+  let r_eager =
+    (Query.run_string (Query.compile_exn ~config "/a/b[text()='x']") d)
+      .Result_set.items
+  in
+  let r_lazy =
+    (Query.run_string (Query.compile_exn "/a/b[text()='x']") d)
+      .Result_set.items
+  in
+  Alcotest.check (Alcotest.list item) "agree" r_lazy r_eager
+
+let test_all_engines_agree () =
+  let d = Xaos_xml.Dom.of_string doc in
+  List.iter
+    (fun q ->
+      let path = Parser.parse q in
+      let oracle = Semantics.eval_path path d in
+      let baseline =
+        Xaos_baseline.Dom_engine.eval d path |> List.sort_uniq Item.compare
+      in
+      let streaming = run q in
+      Alcotest.check (Alcotest.list item) (q ^ " baseline") oracle baseline;
+      Alcotest.check (Alcotest.list item) (q ^ " engine") oracle streaming)
+    [ "//title[text()='Streaming XML']"; "//book[contains(text(),'OCaml')]";
+      "//*[text()='read OCaml']"; "//book[title[text()='Streaming XML']]";
+      "//note[text()='read OCaml' or contains(text(),'zzz')]";
+      "//title[contains(text(),'')]" ]
+
+let test_empty_needle_matches_everything () =
+  check "empty contains" [ it 3 "title" 3; it 5 "title" 3 ]
+    "//title[contains(text(),'')]"
+
+let suite =
+  [
+    ("parse and print", `Quick, test_parse_and_print);
+    ("parse errors", `Quick, test_parse_errors);
+    ("equality", `Quick, test_equality);
+    ("contains", `Quick, test_contains);
+    ("string value includes descendants", `Quick, test_string_value_includes_descendants);
+    ("split text runs", `Quick, test_split_text_runs);
+    ("with backward axes", `Quick, test_text_with_backward_axes);
+    ("refutes optimism", `Quick, test_refutes_optimism);
+    ("eager interaction", `Quick, test_eager_not_used_for_chain_text);
+    ("engines agree", `Quick, test_all_engines_agree);
+    ("empty needle", `Quick, test_empty_needle_matches_everything);
+  ]

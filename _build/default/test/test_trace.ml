@@ -1,0 +1,89 @@
+(* The execution tracer against the paper's Table 2 walkthrough. *)
+
+open Xaos_core
+module Parser = Xaos_xpath.Parser
+module Xtree = Xaos_xpath.Xtree
+module Xdag = Xaos_xpath.Xdag
+
+let fig2 = "<X><Y><W/><Z><V/><V/><W><W/></W></Z><U/></Y><Y><Z><W/></Z><U/></Y></X>"
+let fig3 = "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]"
+
+let trace_fig () =
+  let xtree = Xtree.of_path (Parser.parse fig3) in
+  (xtree, Trace.run_string (Xdag.of_xtree xtree) fig2)
+
+let test_step_numbering () =
+  let _, t = trace_fig () in
+  (* 26 element events, numbered 2..27 as in the paper (Root is step 1) *)
+  Alcotest.(check int) "26 steps" 26 (List.length t.Trace.steps);
+  Alcotest.(check int) "first index" 2 (List.hd t.Trace.steps).Trace.index;
+  Alcotest.(check int) "last index" 27
+    (List.nth t.Trace.steps 25).Trace.index
+
+let test_matches_column () =
+  let _, t = trace_fig () in
+  (* x-node ids: 0 Root, 1 Y, 2 U, 3 W, 4 Z, 5 V. Table 2's Matches
+     column (with its step-19 typo corrected: Y 10,2 matches Y). *)
+  let expected =
+    [ []; [ 1 ]; []; []; [ 4 ]; [ 5 ]; [ 5 ]; [ 5 ]; [ 5 ]; [ 3 ]; [ 3 ];
+      [ 3 ]; [ 3 ]; [ 4 ]; [ 2 ]; [ 2 ]; [ 1 ]; [ 1 ]; [ 4 ]; [ 3 ]; [ 3 ];
+      [ 4 ]; [ 2 ]; [ 2 ]; [ 1 ]; [] ]
+  in
+  List.iteri
+    (fun i step ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "step %d" (i + 2))
+        (List.nth expected i)
+        (List.map fst step.Trace.matches))
+    t.Trace.steps
+
+let test_discard_flags () =
+  let _, t = trace_fig () in
+  let discarded_steps =
+    List.filter_map
+      (fun s -> if s.Trace.discarded then Some s.Trace.index else None)
+      t.Trace.steps
+  in
+  (* X's start and end, W3's start and end *)
+  Alcotest.(check (list int)) "discarded" [ 2; 4; 5; 27 ] discarded_steps
+
+let test_paper_undo_at_step_23 () =
+  let _, t = trace_fig () in
+  let step23 = List.find (fun s -> s.Trace.index = 23) t.Trace.steps in
+  Alcotest.(check bool) "undo happened at E:Z11" true (step23.Trace.undos > 0);
+  let step22 = List.find (fun s -> s.Trace.index = 22) t.Trace.steps in
+  Alcotest.(check bool) "optimistic propagation at E:W12" true
+    (step22.Trace.propagations > 0)
+
+let test_trace_result_matches_run () =
+  let _, t = trace_fig () in
+  Alcotest.(check (list int)) "solution" [ 7; 8 ]
+    (List.map (fun (i : Item.t) -> i.Item.id) t.Trace.result.Result_set.items)
+
+let test_propagation_totals_consistent () =
+  let _, t = trace_fig () in
+  let props =
+    List.fold_left (fun acc s -> acc + s.Trace.propagations) 0 t.Trace.steps
+  in
+  let undos =
+    List.fold_left (fun acc s -> acc + s.Trace.undos) 0 t.Trace.steps
+  in
+  Alcotest.(check int) "propagations" t.Trace.stats.Stats.propagations props;
+  Alcotest.(check int) "undos" t.Trace.stats.Stats.undos undos
+
+let test_pp_renders () =
+  let xtree, t = trace_fig () in
+  let rendered = Format.asprintf "%a" (Trace.pp ~xtree) t in
+  Alcotest.(check bool) "mentions result" true
+    (String.length rendered > 200)
+
+let suite =
+  [
+    ("step numbering", `Quick, test_step_numbering);
+    ("matches column", `Quick, test_matches_column);
+    ("discard flags", `Quick, test_discard_flags);
+    ("step 22/23 optimism", `Quick, test_paper_undo_at_step_23);
+    ("result matches", `Quick, test_trace_result_matches_run);
+    ("totals consistent", `Quick, test_propagation_totals_consistent);
+    ("pp renders", `Quick, test_pp_renders);
+  ]

@@ -1,0 +1,185 @@
+(* Workload generators: determinism, well-formedness, scaling, and the
+   match-richness properties the benchmarks rely on. *)
+
+open Xaos_core
+module Xmark = Xaos_workloads.Xmark
+module Randgen = Xaos_workloads.Randgen
+module Prng = Xaos_workloads.Prng
+module Dom = Xaos_xml.Dom
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    if x < 0 || x >= 10 then Alcotest.failf "out of range: %d" x;
+    let y = Prng.range rng 5 7 in
+    if y < 5 || y > 7 then Alcotest.failf "range violated: %d" y;
+    let f = Prng.float rng 2.0 in
+    if f < 0. || f >= 2.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_split_independent () =
+  let rng = Prng.create 9 in
+  let child = Prng.split rng in
+  (* consuming the child must not change the parent's continuation *)
+  let rng2 = Prng.create 9 in
+  let _child2 = Prng.split rng2 in
+  for _ = 1 to 10 do
+    ignore (Prng.int child 100)
+  done;
+  Alcotest.(check int) "parent unaffected by child use" (Prng.int rng2 1000)
+    (Prng.int rng 1000)
+
+let test_xmark_well_formed () =
+  let s = Xmark.to_string (Xmark.config 0.005) in
+  let doc = Dom.of_string s in
+  Alcotest.(check bool) "has elements" true (doc.Dom.element_count > 500);
+  Alcotest.(check string) "root is site" "site"
+    (match Dom.element_children doc.Dom.root with
+    | [ site ] -> site.Dom.tag
+    | _ -> "?")
+
+let test_xmark_deterministic () =
+  let a = Xmark.to_string (Xmark.config 0.002) in
+  let b = Xmark.to_string (Xmark.config 0.002) in
+  Alcotest.(check bool) "same string" true (String.equal a b);
+  let c = Xmark.to_string (Xmark.config ~seed:99 0.002) in
+  Alcotest.(check bool) "different seed differs" true (not (String.equal a c))
+
+let test_xmark_scaling () =
+  let count scale =
+    let n = ref 0 in
+    ignore (Xmark.generate (Xmark.config scale) (fun _ -> incr n));
+    !n
+  in
+  let small = count 0.002 and big = count 0.008 in
+  (* event count (hence element count) should scale roughly linearly *)
+  let ratio = float_of_int big /. float_of_int small in
+  Alcotest.(check bool)
+    (Printf.sprintf "scales linearly (ratio %.2f)" ratio)
+    true
+    (ratio > 2.8 && ratio < 5.5)
+
+let test_xmark_counts () =
+  let c = Xmark.counts (Xmark.config 1.0) in
+  Alcotest.(check int) "categories" 1000 c.Xmark.categories;
+  Alcotest.(check int) "items" 21750 c.Xmark.items;
+  Alcotest.(check int) "persons" 25500 c.Xmark.persons
+
+let test_xmark_generate_matches_to_string () =
+  let cfg = Xmark.config 0.002 in
+  let via_string = Xmark.to_string cfg in
+  let events = ref [] in
+  let n = Xmark.generate cfg (fun ev -> events := ev :: !events) in
+  let via_events =
+    Xaos_xml.Serialize.events_to_string (List.rev !events)
+  in
+  Alcotest.(check string) "same output" via_string via_events;
+  let doc = Dom.of_string via_string in
+  Alcotest.(check int) "count = elements (excluding virtual root)"
+    (doc.Dom.element_count - 1) n
+
+let test_xmark_paper_query_selectivity () =
+  let s = Xmark.to_string (Xmark.config 0.01) in
+  let q = Query.compile_exn Xmark.paper_query in
+  let result, stats = Query.run_string_with_stats q s in
+  (* Table 3: over 99.5% of elements are discarded as irrelevant. *)
+  Alcotest.(check bool) "over 99.5% discarded" true
+    (Stats.discarded_fraction stats > 0.995);
+  Alcotest.(check bool) "some results exist" true
+    (result.Result_set.items <> [])
+
+let test_xmark_has_listitems_outside_categories () =
+  (* the selectivity of Figure 5's query depends on most listitems NOT
+     having a category ancestor *)
+  let s = Xmark.to_string (Xmark.config 0.02) in
+  let all = Query.compile_exn "//listitem" in
+  let under_cat = Query.compile_exn "//category//listitem" in
+  let n_all = List.length (Query.run_string all s).Result_set.items in
+  let n_cat = List.length (Query.run_string under_cat s).Result_set.items in
+  Alcotest.(check bool)
+    (Printf.sprintf "listitems mostly outside categories (%d vs %d)" n_all n_cat)
+    true
+    (n_all > 4 * n_cat && n_cat > 0)
+
+let test_randgen_spec_size () =
+  for seed = 1 to 20 do
+    let spec = Randgen.generate_spec ~seed () in
+    Alcotest.(check int)
+      (Printf.sprintf "size 6 (seed %d)" seed)
+      6
+      (Xaos_xpath.Ast.step_count spec.Randgen.query)
+  done
+
+let test_randgen_fragment_matches () =
+  (* embedding just the fragment as the document must yield a match *)
+  for seed = 1 to 20 do
+    let spec = Randgen.generate_spec ~seed () in
+    let doc_s = Randgen.fragment_string spec.Randgen.fragment in
+    let q = Query.compile_exn (Xaos_xpath.Ast.to_string spec.Randgen.query) in
+    let r = Query.run_string q doc_s in
+    Alcotest.(check bool)
+      (Printf.sprintf "witness matches (seed %d)" seed)
+      true
+      (r.Result_set.items <> [])
+  done
+
+let test_randgen_documents_have_many_matches () =
+  let spec = Randgen.generate_spec ~seed:5 () in
+  let q = Query.compile_exn (Xaos_xpath.Ast.to_string spec.Randgen.query) in
+  let small = Randgen.document_string spec ~seed:1 ~elements:1000 in
+  let large = Randgen.document_string spec ~seed:1 ~elements:4000 in
+  let n_small = List.length (Query.run_string q small).Result_set.items in
+  let n_large = List.length (Query.run_string q large).Result_set.items in
+  Alcotest.(check bool)
+    (Printf.sprintf "matches grow with size (%d -> %d)" n_small n_large)
+    true
+    (n_small > 0 && n_large > 2 * n_small)
+
+let test_randgen_document_element_count () =
+  let spec = Randgen.generate_spec ~seed:2 () in
+  let events = ref [] in
+  let n = Randgen.document spec ~seed:3 ~elements:500 (fun e -> events := e :: !events) in
+  Alcotest.(check bool) "at least the requested size" true (n >= 500);
+  let doc = Dom.of_events (List.rev !events) in
+  Alcotest.(check int) "count consistent" (doc.Dom.element_count - 1) n
+
+let test_randgen_deterministic () =
+  let spec1 = Randgen.generate_spec ~seed:11 () in
+  let spec2 = Randgen.generate_spec ~seed:11 () in
+  Alcotest.(check bool) "same query" true
+    (Xaos_xpath.Ast.equal spec1.Randgen.query spec2.Randgen.query);
+  let d1 = Randgen.document_string spec1 ~seed:4 ~elements:300 in
+  let d2 = Randgen.document_string spec2 ~seed:4 ~elements:300 in
+  Alcotest.(check bool) "same document" true (String.equal d1 d2)
+
+let suite =
+  [
+    ("prng determinism", `Quick, test_prng_determinism);
+    ("prng bounds", `Quick, test_prng_bounds);
+    ("prng split", `Quick, test_prng_split_independent);
+    ("xmark well-formed", `Quick, test_xmark_well_formed);
+    ("xmark deterministic", `Quick, test_xmark_deterministic);
+    ("xmark scaling", `Quick, test_xmark_scaling);
+    ("xmark counts", `Quick, test_xmark_counts);
+    ("xmark generate/to_string", `Quick, test_xmark_generate_matches_to_string);
+    ("xmark selectivity", `Slow, test_xmark_paper_query_selectivity);
+    ("xmark listitem distribution", `Slow, test_xmark_has_listitems_outside_categories);
+    ("randgen spec size", `Quick, test_randgen_spec_size);
+    ("randgen witness matches", `Quick, test_randgen_fragment_matches);
+    ("randgen match growth", `Quick, test_randgen_documents_have_many_matches);
+    ("randgen element count", `Quick, test_randgen_document_element_count);
+    ("randgen deterministic", `Quick, test_randgen_deterministic);
+  ]

@@ -1,0 +1,136 @@
+(* XPath lexing/parsing, pretty-printing, and the abbreviation desugaring. *)
+
+module Ast = Xaos_xpath.Ast
+module Parser = Xaos_xpath.Parser
+
+let parses_to expected input =
+  match Parser.parse_result input with
+  | Error msg -> Alcotest.failf "parse %S failed: %s" input msg
+  | Ok path -> Alcotest.(check string) input expected (Ast.to_string path)
+
+let fails input =
+  match Parser.parse_result input with
+  | Error _ -> ()
+  | Ok path ->
+    Alcotest.failf "expected %S to fail, parsed as %s" input
+      (Ast.to_string path)
+
+let test_paper_expressions () =
+  parses_to "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]"
+    "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]";
+  parses_to "/descendant::listitem/ancestor::category/descendant::name"
+    "//listitem/ancestor::category//name";
+  parses_to "/descendant::chapter[ancestor::book and child::table]"
+    "//chapter[ancestor::book and child::table]"
+
+let test_abbreviations () =
+  parses_to "/child::a/child::b" "/a/b";
+  parses_to "/descendant::a" "//a";
+  parses_to "/child::a/descendant::b" "/a//b";
+  parses_to "/child::a/parent::*" "/a/..";
+  parses_to "/child::a/self::*" "/a/.";
+  parses_to "/child::*" "/*";
+  parses_to "/child::a[self::*/descendant::b]" "/a[.//b]"
+
+let test_relative_paths () =
+  parses_to "child::a/child::b" "a/b";
+  parses_to "descendant::a" "descendant::a"
+
+let test_axes () =
+  List.iter
+    (fun axis -> parses_to ("/" ^ axis ^ "::x") ("/" ^ axis ^ "::x"))
+    [ "child"; "descendant"; "parent"; "ancestor"; "self";
+      "descendant-or-self"; "ancestor-or-self" ]
+
+let test_predicates () =
+  parses_to "/child::a[child::b]" "/a[b]";
+  parses_to "/child::a[child::b][child::c]" "/a[b][c]";
+  parses_to "/child::a[child::b and child::c]" "/a[b and c]";
+  parses_to "/child::a[child::b or child::c]" "/a[b or c]";
+  parses_to "/child::a[child::b and child::c or child::d]" "/a[b and c or d]";
+  parses_to "/child::a[child::b and (child::c or child::d)]"
+    "/a[b and (c or d)]";
+  parses_to "/child::a[/descendant::b]" "/a[//b]";
+  parses_to "/child::a[/child::b/child::c]" "/a[/b/c]"
+
+let test_operator_precedence () =
+  (* or binds looser than and: a or b and c == a or (b and c) *)
+  match Parser.parse "/x[a or b and c]" with
+  | { Ast.steps = [ { predicates = [ Ast.Or (_, Ast.And _) ]; _ } ]; _ } -> ()
+  | p -> Alcotest.failf "wrong precedence: %s" (Ast.to_string p)
+
+let test_and_or_as_names () =
+  (* 'and' and 'or' are plain tag names outside operator position *)
+  parses_to "/child::and/child::or" "/and/or";
+  parses_to "/child::x[child::and]" "/x[and]"
+
+let test_marks () =
+  parses_to "/$child::a/$child::b" "/$a/$b";
+  let p = Parser.parse "/$a/b/$c" in
+  Alcotest.(check bool) "has marks" true (Ast.has_marks p);
+  let q = Parser.parse "/a/b" in
+  Alcotest.(check bool) "no marks" false (Ast.has_marks q)
+
+let test_step_count () =
+  let count input = Ast.step_count (Parser.parse input) in
+  Alcotest.(check int) "plain" 3 (count "/a/b/c");
+  Alcotest.(check int) "predicates counted" 6
+    (count "/a[b/c]/d[e]//f");
+  Alcotest.(check int) "paper example" 5
+    (count "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]")
+
+let test_uses_backward () =
+  let uses input = Ast.uses_backward_axis (Parser.parse input) in
+  Alcotest.(check bool) "forward only" false (uses "/a//b[c]");
+  Alcotest.(check bool) "parent" true (uses "/a/..");
+  Alcotest.(check bool) "inside predicate" true (uses "/a[b/ancestor::c]")
+
+let test_syntax_errors () =
+  fails "";
+  fails "/";
+  fails "//";
+  fails "/a/";
+  fails "/a[";
+  fails "/a[]";
+  fails "/a]";
+  fails "/a[b";
+  fails "/unknownaxis::a";
+  fails "/a b";
+  fails "/$$a";
+  fails "/..::a";
+  fails "/a[(b]";
+  fails "/a[b and]";
+  fails "/a[and b]";
+  fails "//..";
+  fails "//parent::a";
+  fails "/a::";
+  fails "/:a"
+
+let test_pretty_print_reparses () =
+  List.iter
+    (fun input ->
+      let p = Parser.parse input in
+      let printed = Ast.to_string p in
+      let reparsed = Parser.parse printed in
+      Alcotest.(check bool)
+        (Printf.sprintf "fixpoint for %s" input)
+        true
+        (Ast.equal p reparsed))
+    [ "/a[b or c and d]/..//$e[.//f]"; "//x[ancestor::y/parent::z]";
+      "/descendant-or-self::a/ancestor-or-self::b" ]
+
+let suite =
+  [
+    ("paper expressions", `Quick, test_paper_expressions);
+    ("abbreviations", `Quick, test_abbreviations);
+    ("relative paths", `Quick, test_relative_paths);
+    ("axes", `Quick, test_axes);
+    ("predicates", `Quick, test_predicates);
+    ("operator precedence", `Quick, test_operator_precedence);
+    ("and/or as names", `Quick, test_and_or_as_names);
+    ("output marks", `Quick, test_marks);
+    ("step count", `Quick, test_step_count);
+    ("uses backward", `Quick, test_uses_backward);
+    ("syntax errors", `Quick, test_syntax_errors);
+    ("pretty-print fixpoint", `Quick, test_pretty_print_reparses);
+  ]

@@ -1,0 +1,177 @@
+(* X-tree and x-dag construction: the paper's Figure 3 and the Appendix A
+   building rules. *)
+
+module Ast = Xaos_xpath.Ast
+module Parser = Xaos_xpath.Parser
+module Xtree = Xaos_xpath.Xtree
+module Xdag = Xaos_xpath.Xdag
+
+let xtree_of input = Xtree.of_path (Parser.parse input)
+
+let node_summary (t : Xtree.t) =
+  Array.to_list t.nodes
+  |> List.map (fun (n : Xtree.xnode) ->
+         let label = Format.asprintf "%a" Xtree.pp_label n.label in
+         let parent =
+           match n.parent_edge with
+           | None -> "-"
+           | Some (axis, p) -> Printf.sprintf "%s:%d" (Ast.axis_name axis) p.id
+         in
+         Printf.sprintf "%d:%s<%s%s" n.id label parent
+           (if n.output then "!" else ""))
+
+let check_tree input expected =
+  Alcotest.(check (list string)) input expected (node_summary (xtree_of input))
+
+let test_figure3_xtree () =
+  (* Figure 3(a): /descendant::Y[child::U]/descendant::W[ancestor::Z/child::V] *)
+  check_tree "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]"
+    [ "0:Root<-"; "1:Y<descendant:0"; "2:U<child:1"; "3:W<descendant:1!";
+      "4:Z<ancestor:3"; "5:V<child:4" ]
+
+let test_default_output_is_main_path_end () =
+  check_tree "/a[b]/c[d]"
+    [ "0:Root<-"; "1:a<child:0"; "2:b<child:1"; "3:c<child:1!";
+      "4:d<child:3" ]
+
+let test_absolute_predicate_roots_at_root () =
+  (* AbsLocPath inside a predicate merges with Root (Appendix A). *)
+  check_tree "/a[/b/c]"
+    [ "0:Root<-"; "1:a<child:0!"; "2:b<child:0"; "3:c<child:2" ]
+
+let test_conjunction_of_predicates () =
+  check_tree "//chapter[ancestor::book and child::table]"
+    [ "0:Root<-"; "1:chapter<descendant:0!"; "2:book<ancestor:1";
+      "3:table<child:1" ]
+
+let test_marked_outputs () =
+  let t = xtree_of "/$a/b/$c" in
+  Alcotest.(check (list int))
+    "outputs in mark order" [ 1; 3 ]
+    (List.map (fun (n : Xtree.xnode) -> n.id) t.outputs)
+
+let test_subtree_has_output () =
+  let t = xtree_of "/a[b]/c[d]" in
+  Alcotest.(check (list bool))
+    "only the root chain and c"
+    [ true; true; false; true; false ]
+    (Array.to_list (Xtree.subtree_has_output t))
+
+let test_or_rejected () =
+  match Xtree.of_path (Parser.parse "/a[b or c]") with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- x-dag ---------------- *)
+
+let dag_of input = Xdag.of_xtree (xtree_of input)
+
+let edge_summary (dag : Xdag.t) =
+  Array.to_list
+    (Array.mapi
+       (fun v children ->
+         let kids =
+           List.map
+             (fun (kind, target) ->
+               let k =
+                 match kind with
+                 | Xdag.Kchild -> "c"
+                 | Xdag.Kdescendant -> "d"
+                 | Xdag.Kself -> "s"
+                 | Xdag.Kdescendant_or_self -> "ds"
+               in
+               Printf.sprintf "%s%d" k target)
+             children
+         in
+         Printf.sprintf "%d>%s" v (String.concat "," (List.sort compare kids)))
+       dag.children)
+
+let check_dag input expected =
+  Alcotest.(check (list string)) input expected (edge_summary (dag_of input))
+
+let test_figure3_xdag () =
+  (* Figure 3(b): parent/ancestor edges reversed; Root gains descendant
+     edges to the orphaned Y and Z. *)
+  check_dag "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]"
+    [ "0>d1,d4"; "1>c2,d3"; "2>"; "3>"; "4>c5,d3"; "5>" ]
+
+let test_backward_query_dag () =
+  (* //listitem/ancestor::category//name *)
+  check_dag "//listitem/ancestor::category//name"
+    [ "0>d1,d2"; "1>"; "2>d1,d3"; "3>" ]
+
+let test_forward_only_dag_is_tree () =
+  let dag = dag_of "/a[b]//c" in
+  Alcotest.(check bool) "is tree" true (Xdag.is_tree dag);
+  Alcotest.(check (list int)) "no join points" [] (Xdag.join_points dag)
+
+let test_join_points () =
+  let dag = dag_of "//Y[U]//W[ancestor::Z/V]" in
+  Alcotest.(check bool) "not a tree" false (Xdag.is_tree dag);
+  (* W is shared by the sub-dags of Y and Z (paper, Section 4). *)
+  Alcotest.(check (list int)) "join points" [ 3 ] (Xdag.join_points dag)
+
+let test_topological_order () =
+  let dag = dag_of "//listitem/ancestor::category//name" in
+  let position = Array.make (Array.length dag.topo) 0 in
+  Array.iteri (fun i v -> position.(v) <- i) dag.topo;
+  Array.iteri
+    (fun v children ->
+      List.iter
+        (fun (_, w) ->
+          if position.(v) >= position.(w) then
+            Alcotest.failf "edge %d->%d violates topo order" v w)
+        children)
+    dag.children
+
+let test_unsatisfiable_cycles () =
+  List.iter
+    (fun input ->
+      match dag_of input with
+      | _ -> Alcotest.failf "expected Unsatisfiable for %s" input
+      | exception Xdag.Unsatisfiable -> ())
+    [ "/parent::x"; "/ancestor::x"; "/a[/parent::x]" ]
+
+let test_candidates_by_tag () =
+  let dag = dag_of "//a[b]/ancestor::a//*" in
+  (* the wildcard x-node also matches tag a, after the named nodes *)
+  Alcotest.(check (list int)) "a nodes" [ 1; 3; 4 ] (Xdag.candidates dag "a");
+  (* wildcard node also matches tag a and b *)
+  Alcotest.(check (list int)) "b nodes + wildcard" [ 2; 4 ]
+    (List.sort compare (Xdag.candidates dag "b"));
+  Alcotest.(check (list int)) "unknown tag hits only wildcard" [ 4 ]
+    (Xdag.candidates dag "zzz");
+  Alcotest.(check (list int)) "virtual root tag matches nothing" []
+    (Xdag.candidates dag "#root")
+
+let test_self_axis_edges () =
+  let dag = dag_of "/a/self::b" in
+  (* self keeps its orientation as a Kself edge *)
+  Alcotest.(check (list string)) "self edge"
+    [ "0>c1"; "1>s2"; "2>" ]
+    (edge_summary dag)
+
+let test_or_self_reversal () =
+  (* b's tree edge reverses to a descendant-or-self edge b->a, leaving b
+     orphaned, so rule 3 also adds Root -descendant-> b *)
+  check_dag "/a/ancestor-or-self::b" [ "0>c1,d2"; "1>"; "2>ds1" ]
+
+let suite =
+  [
+    ("figure 3 x-tree", `Quick, test_figure3_xtree);
+    ("default output", `Quick, test_default_output_is_main_path_end);
+    ("absolute predicate", `Quick, test_absolute_predicate_roots_at_root);
+    ("predicate conjunction", `Quick, test_conjunction_of_predicates);
+    ("marked outputs", `Quick, test_marked_outputs);
+    ("subtree_has_output", `Quick, test_subtree_has_output);
+    ("or rejected", `Quick, test_or_rejected);
+    ("figure 3 x-dag", `Quick, test_figure3_xdag);
+    ("backward query dag", `Quick, test_backward_query_dag);
+    ("forward-only dag is tree", `Quick, test_forward_only_dag_is_tree);
+    ("join points", `Quick, test_join_points);
+    ("topological order", `Quick, test_topological_order);
+    ("unsatisfiable cycles", `Quick, test_unsatisfiable_cycles);
+    ("candidates by tag", `Quick, test_candidates_by_tag);
+    ("self axis edges", `Quick, test_self_axis_edges);
+    ("or-self reversal", `Quick, test_or_self_reversal);
+  ]

@@ -1,0 +1,136 @@
+(* The YFilter-style shared automaton: construction, prefix sharing, the
+   stack-of-state-sets runtime, and its deliberate restriction to the
+   forward-only class. *)
+
+module Yfilter = Xaos_baseline.Yfilter
+module Parser = Xaos_xpath.Parser
+open Xaos_core
+
+let build queries =
+  match Yfilter.build (List.map Parser.parse queries) with
+  | Ok nfa -> nfa
+  | Error e -> Alcotest.fail e
+
+let test_supported_class () =
+  let ok = [ "/a"; "//a"; "/a/b//c"; "//*/a"; "/a//*" ] in
+  let bad =
+    [ "//a/ancestor::b"; "/a/.."; "//a[b]"; "/$a"; "/a/self::a";
+      "//a[@k]"; "a/b" (* relative *) ]
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) q true (Yfilter.supported (Parser.parse q)))
+    ok;
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) q false (Yfilter.supported (Parser.parse q)))
+    bad
+
+let test_build_rejects_unsupported () =
+  match Yfilter.build [ Parser.parse "/a"; Parser.parse "//b/parent::c" ] with
+  | Error msg ->
+    Alcotest.(check bool) "names the subscription" true
+      (String.length msg > 0 && String.contains msg '1')
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_prefix_sharing () =
+  (* /a/b/c, /a/b/d, /a/b share the /a/b prefix: root + a + b + c + d *)
+  let nfa = build [ "/a/b/c"; "/a/b/d"; "/a/b" ] in
+  Alcotest.(check int) "five states" 5 (Yfilter.state_count nfa);
+  Alcotest.(check int) "three queries" 3 (Yfilter.query_count nfa)
+
+let test_basic_matching () =
+  let nfa = build [ "/r/a"; "/r/b"; "//c"; "/r/a/c" ] in
+  Alcotest.(check (list int))
+    "matches" [ 0; 2; 3 ]
+    (Yfilter.run_string nfa "<r><a><c/></a></r>")
+
+let test_child_vs_descendant () =
+  let nfa = build [ "/r/x"; "//x" ] in
+  (* x at depth 3: child query misses, descendant hits *)
+  Alcotest.(check (list int)) "deep x" [ 1 ]
+    (Yfilter.run_string nfa "<r><m><x/></m></r>");
+  Alcotest.(check (list int)) "shallow x" [ 0; 1 ]
+    (Yfilter.run_string nfa "<r><x/></r>")
+
+let test_child_edge_does_not_refire_deeper () =
+  (* //a/b: b must be a DIRECT child of an a *)
+  let nfa = build [ "//a/b" ] in
+  Alcotest.(check (list int)) "direct" [ 0 ]
+    (Yfilter.run_string nfa "<r><a><b/></a></r>");
+  Alcotest.(check (list int)) "indirect misses" []
+    (Yfilter.run_string nfa "<r><a><m><b/></m></a></r>")
+
+let test_descendant_fires_at_any_depth () =
+  let nfa = build [ "//a//b" ] in
+  List.iter
+    (fun doc ->
+      Alcotest.(check (list int)) doc [ 0 ] (Yfilter.run_string nfa doc))
+    [ "<a><b/></a>"; "<a><m><b/></m></a>"; "<r><a><m><n><b/></n></m></a></r>" ]
+
+let test_wildcards () =
+  let nfa = build [ "/*/b"; "//*" ] in
+  Alcotest.(check (list int)) "wildcards" [ 0; 1 ]
+    (Yfilter.run_string nfa "<r><b/></r>")
+
+let test_recursive_document () =
+  let nfa = build [ "//a/a/a" ] in
+  Alcotest.(check (list int)) "triple nesting" [ 0 ]
+    (Yfilter.run_string nfa "<a><a><a/></a></a>");
+  Alcotest.(check (list int)) "double only" []
+    (Yfilter.run_string nfa "<a><a><b/></a></a>")
+
+let test_match_counts () =
+  let nfa = build [ "//b"; "/r/zzz" ] in
+  let run = Yfilter.start nfa in
+  Xaos_xml.Sax.iter (Yfilter.feed run)
+    (Xaos_xml.Sax.of_string "<r><b/><c><b/></c></r>");
+  Alcotest.(check (array int)) "counts" [| 2; 0 |] (Yfilter.match_counts run)
+
+let test_mid_stream_decisions () =
+  let nfa = build [ "//b" ] in
+  let run = Yfilter.start nfa in
+  let events = Xaos_xml.Sax.events_of_string "<r><b/><c/></r>" in
+  (* after the second event (<b>), the decision is already made *)
+  List.iteri (fun i ev -> if i < 2 then Yfilter.feed run ev) events;
+  Alcotest.(check (list int)) "eager decision" [ 0 ] (Yfilter.matches run)
+
+let test_agrees_with_xaos () =
+  let queries = [ "/r/a/b"; "//a//b"; "//b/c"; "/r//c"; "//*/*/*/*" ] in
+  let docs =
+    [ "<r><a><b><c/></b></a></r>"; "<r><c/></r>"; "<b><c/></b>";
+      "<r><a><a><b/></a></a></r>" ]
+  in
+  let nfa = build queries in
+  List.iter
+    (fun doc ->
+      let yf = Yfilter.run_string nfa doc in
+      let expected =
+        List.concat
+          (List.mapi
+             (fun qi q ->
+               if
+                 (Query.run_string (Query.compile_exn q) doc).Result_set.items
+                 <> []
+               then [ qi ]
+               else [])
+             queries)
+      in
+      Alcotest.(check (list int)) doc expected yf)
+    docs
+
+let suite =
+  [
+    ("supported class", `Quick, test_supported_class);
+    ("rejects unsupported", `Quick, test_build_rejects_unsupported);
+    ("prefix sharing", `Quick, test_prefix_sharing);
+    ("basic matching", `Quick, test_basic_matching);
+    ("child vs descendant", `Quick, test_child_vs_descendant);
+    ("child edge depth", `Quick, test_child_edge_does_not_refire_deeper);
+    ("descendant any depth", `Quick, test_descendant_fires_at_any_depth);
+    ("wildcards", `Quick, test_wildcards);
+    ("recursive document", `Quick, test_recursive_document);
+    ("match counts", `Quick, test_match_counts);
+    ("mid-stream decisions", `Quick, test_mid_stream_decisions);
+    ("agrees with xaos", `Quick, test_agrees_with_xaos);
+  ]
