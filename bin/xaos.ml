@@ -2,23 +2,102 @@
 
      xaos eval '//listitem/ancestor::category//name' auctions.xml
      cat doc.xml | xaos eval --stats '//a[b]/..'
+     xaos eval --lenient --partial-ok '//item//name' hostile.xml
      xaos explain '//Y[U]//W[ancestor::Z/V]'
      xaos filter subscriptions.txt doc1.xml doc2.xml
      xaos generate xmark --scale 0.01 -o auctions.xml
-     xaos generate random --seed 7 --elements 50000 -o random.xml *)
+     xaos generate random --seed 7 --elements 50000 -o random.xml
+
+   Exit codes: 0 success (including --partial-ok degradation), 1 query
+   error, 2 I/O error, 3 ill-formed input, 4 resource limit tripped. *)
 
 open Cmdliner
 open Xaos_core
 
-let or_die = function
-  | Ok v -> v
-  | Error msg ->
-    prerr_endline ("xaos: " ^ msg);
-    exit 2
+let exit_query_error = 1
 
-let read_source = function
-  | None -> Xaos_xml.Sax.of_channel stdin
-  | Some file -> Xaos_xml.Sax.of_channel (open_in_bin file)
+let exit_io_error = 2
+
+let exit_ill_formed = 3
+
+let exit_limit = 4
+
+let die code msg =
+  prerr_endline ("xaos: " ^ msg);
+  exit code
+
+let or_die_query = function
+  | Ok v -> v
+  | Error msg -> die exit_query_error msg
+
+let sax_error_message pos msg =
+  Format.asprintf "%a: %s" Xaos_xml.Sax.pp_position pos msg
+
+let limit_message pos kind bound =
+  Format.asprintf "%a: input exceeds %s = %d" Xaos_xml.Sax.pp_position pos
+    (Xaos_xml.Sax.limit_kind_name kind)
+    bound
+
+(* Open the document source, hand the parser to [f], and close the channel
+   on every path. A missing or unreadable file is an I/O error (exit 2),
+   not an uncaught Sys_error backtrace. *)
+let with_source ?limits ?mode ?on_fault file f =
+  match file with
+  | None -> f (Xaos_xml.Sax.of_channel ?limits ?mode ?on_fault stdin)
+  | Some path ->
+    let ic =
+      try open_in_bin path with Sys_error msg -> die exit_io_error msg
+    in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> f (Xaos_xml.Sax.of_channel ?limits ?mode ?on_fault ic))
+
+(* ------------------------------------------------------------------ *)
+(* Hardening options shared by eval and filter                         *)
+(* ------------------------------------------------------------------ *)
+
+type hardening = {
+  lenient : bool;
+  partial_ok : bool;
+  limits : Xaos_xml.Sax.limits;
+  budget : int option;
+}
+
+let make_hardening lenient partial_ok max_depth max_bytes max_structures =
+  let limits =
+    {
+      Xaos_xml.Sax.default_limits with
+      max_depth =
+        Option.value max_depth
+          ~default:Xaos_xml.Sax.default_limits.Xaos_xml.Sax.max_depth;
+      max_input_bytes =
+        Option.value max_bytes
+          ~default:Xaos_xml.Sax.default_limits.Xaos_xml.Sax.max_input_bytes;
+    }
+  in
+  { lenient; partial_ok; limits; budget = max_structures }
+
+let parse_mode h = if h.lenient then Xaos_xml.Sax.Lenient else Xaos_xml.Sax.Strict
+
+(* Outcome of streaming one document through a query run. *)
+type stream_outcome =
+  | Complete
+  | Failed of int * string  (* exit code, message *)
+
+let stream_document run parser =
+  try
+    Xaos_xml.Sax.iter (Query.feed run) parser;
+    Complete
+  with
+  | Xaos_xml.Sax.Error (pos, msg) ->
+    Failed (exit_ill_formed, sax_error_message pos msg)
+  | Xaos_xml.Sax.Limit_exceeded (pos, kind, bound) ->
+    Failed (exit_limit, limit_message pos kind bound)
+  | Engine.Budget_exceeded { live; budget } ->
+    Failed
+      ( exit_limit,
+        Printf.sprintf "engine budget exceeded: %d live structures (cap %d)"
+          live budget )
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                *)
@@ -40,21 +119,29 @@ let print_items items =
   List.iter (fun i -> Format.printf "%a@." Item.pp i) items
 
 let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
-    count_only tuples_flag =
+    count_only tuples_flag hardening =
+  let h = hardening in
   let config = config_of ~eager ~no_filter ~no_counters in
   match engine_kind with
   | Streaming ->
-    let q = or_die (Query.compile ~config query) in
-    let result, stats =
-      try
-        let run = Query.start q in
-        Xaos_xml.Sax.iter (Query.feed run) (read_source file);
-        (Query.finish run, Query.run_stats run)
-      with
-      | Xaos_xml.Sax.Error (pos, msg) ->
-        or_die
-          (Error (Format.asprintf "%a: %s" Xaos_xml.Sax.pp_position pos msg))
-      | Sys_error msg -> or_die (Error msg)
+    let q = or_die_query (Query.compile ~config query) in
+    let faults = ref 0 in
+    let run = Query.start ?budget:h.budget q in
+    let outcome =
+      with_source ~limits:h.limits ~mode:(parse_mode h)
+        ~on_fault:(fun _ -> incr faults)
+        file
+        (fun parser -> stream_document run parser)
+    in
+    let result =
+      match outcome with
+      | Complete -> Query.finish run
+      | Failed (code, msg) ->
+        if h.partial_ok then begin
+          Format.eprintf "xaos: %s; reporting partial results@." msg;
+          Query.finish_partial run
+        end
+        else die code msg
     in
     if count_only then
       Format.printf "%d@." (List.length result.Result_set.items)
@@ -71,19 +158,24 @@ let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
                   Item.pp)
                tuple)
            tuples);
-    if stats_flag then Format.eprintf "%a@." Stats.pp stats
+    if stats_flag then begin
+      let stats = Query.run_stats run in
+      stats.Stats.parse_faults <- !faults;
+      Format.eprintf "%a@." Stats.pp stats
+    end
   | Dom | Dom_dedup ->
     let path =
       match Xaos_xpath.Parser.parse_result query with
       | Ok p -> p
-      | Error msg -> or_die (Error msg)
+      | Error msg -> die exit_query_error msg
     in
     let doc =
-      try Xaos_xml.Dom.of_sax (read_source file) with
-      | Xaos_xml.Sax.Error (pos, msg) ->
-        or_die
-          (Error (Format.asprintf "%a: %s" Xaos_xml.Sax.pp_position pos msg))
-      | Sys_error msg -> or_die (Error msg)
+      with_source ~limits:h.limits ~mode:(parse_mode h) file (fun parser ->
+          try Xaos_xml.Dom.of_sax parser with
+          | Xaos_xml.Sax.Error (pos, msg) ->
+            die exit_ill_formed (sax_error_message pos msg)
+          | Xaos_xml.Sax.Limit_exceeded (pos, kind, bound) ->
+            die exit_limit (limit_message pos kind bound))
     in
     let dedup = engine_kind = Dom_dedup in
     let items, counters =
@@ -104,12 +196,14 @@ let explain_cmd query =
   let path =
     match Xaos_xpath.Parser.parse_result query with
     | Ok p -> p
-    | Error msg -> or_die (Error msg)
+    | Error msg -> die exit_query_error msg
   in
   Format.printf "expression:  %s@." (Xaos_xpath.Ast.to_string path);
   Format.printf "node tests:  %d@." (Xaos_xpath.Ast.step_count path);
   Format.printf "backward:    %b@." (Xaos_xpath.Ast.uses_backward_axis path);
-  let disjuncts = or_die (Xaos_xpath.Dnf.expand_bounded ~limit:64 path) in
+  let disjuncts =
+    or_die_query (Xaos_xpath.Dnf.expand_bounded ~limit:64 path)
+  in
   List.iteri
     (fun i disjunct ->
       if List.length disjuncts > 1 then
@@ -144,18 +238,19 @@ let trace_cmd query file limit =
   let path =
     match Xaos_xpath.Parser.parse_result query with
     | Ok p -> p
-    | Error msg -> or_die (Error msg)
+    | Error msg -> die exit_query_error msg
   in
-  let disjuncts = or_die (Xaos_xpath.Dnf.expand_bounded ~limit:16 path) in
+  let disjuncts =
+    or_die_query (Xaos_xpath.Dnf.expand_bounded ~limit:16 path)
+  in
   let events =
-    try
-      let parser = read_source file in
-      List.rev
-        (Xaos_xml.Sax.fold (fun acc ev -> ev :: acc) [] parser)
-    with
-    | Xaos_xml.Sax.Error (pos, msg) ->
-      or_die (Error (Format.asprintf "%a: %s" Xaos_xml.Sax.pp_position pos msg))
-    | Sys_error msg -> or_die (Error msg)
+    with_source file (fun parser ->
+        try List.rev (Xaos_xml.Sax.fold (fun acc ev -> ev :: acc) [] parser)
+        with
+        | Xaos_xml.Sax.Error (pos, msg) ->
+          die exit_ill_formed (sax_error_message pos msg)
+        | Xaos_xml.Sax.Limit_exceeded (pos, kind, bound) ->
+          die exit_limit (limit_message pos kind bound))
   in
   List.iteri
     (fun i disjunct ->
@@ -186,9 +281,13 @@ let trace_cmd query file limit =
 (* filter (publish/subscribe)                                          *)
 (* ------------------------------------------------------------------ *)
 
-let filter_cmd subscriptions_file docs =
+let filter_cmd subscriptions_file docs hardening =
+  let h = hardening in
   let subscriptions =
-    let ic = open_in subscriptions_file in
+    let ic =
+      try open_in subscriptions_file
+      with Sys_error msg -> die exit_io_error msg
+    in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
@@ -203,33 +302,67 @@ let filter_cmd subscriptions_file docs =
         loop [])
   in
   let compiled =
-    List.map (fun q -> (q, or_die (Query.compile q))) subscriptions
+    List.map (fun q -> (q, or_die_query (Query.compile q))) subscriptions
   in
   let exit_code = ref 0 in
   List.iter
     (fun doc_file ->
       (* one pass over the document feeds every subscription *)
-      let runs = List.map (fun (q, c) -> (q, Query.start c)) compiled in
-      (try
-         let parser = Xaos_xml.Sax.of_channel (open_in_bin doc_file) in
-         Xaos_xml.Sax.iter
-           (fun ev -> List.iter (fun (_, run) -> Query.feed run ev) runs)
-           parser
-       with
-      | Xaos_xml.Sax.Error (pos, msg) ->
-        Format.eprintf "%s: %a: %s@." doc_file Xaos_xml.Sax.pp_position pos msg;
-        exit_code := 2
-      | Sys_error msg ->
-        Format.eprintf "%s@." msg;
-        exit_code := 2);
+      let runs =
+        List.map (fun (q, c) -> (q, Query.start ?budget:h.budget c)) compiled
+      in
+      (* unlike eval, a failing document must not abort the whole batch:
+         report it, pick the right exit code, move on *)
+      let outcome =
+        match open_in_bin doc_file with
+        | exception Sys_error msg -> Failed (exit_io_error, msg)
+        | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let parser =
+                Xaos_xml.Sax.of_channel ~limits:h.limits ~mode:(parse_mode h)
+                  ic
+              in
+              try
+                Xaos_xml.Sax.iter
+                  (fun ev ->
+                    List.iter (fun (_, run) -> Query.feed run ev) runs)
+                  parser;
+                Complete
+              with
+              | Xaos_xml.Sax.Error (pos, msg) ->
+                Failed (exit_ill_formed, sax_error_message pos msg)
+              | Xaos_xml.Sax.Limit_exceeded (pos, kind, bound) ->
+                Failed (exit_limit, limit_message pos kind bound)
+              | Engine.Budget_exceeded { live; budget } ->
+                Failed
+                  ( exit_limit,
+                    Printf.sprintf
+                      "engine budget exceeded: %d live structures (cap %d)"
+                      live budget ))
+      in
+      let finish_run =
+        match outcome with
+        | Complete -> Query.finish
+        | Failed (code, msg) ->
+          if h.partial_ok then begin
+            Format.eprintf "%s: %s; using partial verdicts@." doc_file msg;
+            Query.finish_partial
+          end
+          else begin
+            Format.eprintf "%s: %s@." doc_file msg;
+            if !exit_code = 0 then exit_code := code;
+            Query.finish_partial
+          end
+      in
       List.iter
         (fun (q, run) ->
-          let result = Query.finish run in
+          let result = finish_run run in
           let n = List.length result.Result_set.items in
           Format.printf "%s\t%s\t%s@." doc_file
             (if n > 0 then "MATCH" else "-")
-            q;
-          if n = 0 then () else ())
+            q)
         runs)
     docs;
   exit !exit_code
@@ -242,7 +375,9 @@ let with_output output f =
   match output with
   | None -> f stdout
   | Some file ->
-    let oc = open_out_bin file in
+    let oc =
+      try open_out_bin file with Sys_error msg -> die exit_io_error msg
+    in
     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
 
 let generate_xmark scale seed output =
@@ -266,7 +401,9 @@ let generate_random seed elements output query_out =
   (match query_out with
   | None -> Format.eprintf "query: %s@." query
   | Some file ->
-    let oc = open_out file in
+    let oc =
+      try open_out file with Sys_error msg -> die exit_io_error msg
+    in
     output_string oc (query ^ "\n");
     close_out oc);
   with_output output (fun oc ->
@@ -291,7 +428,7 @@ let query_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
 
 let file_arg =
-  Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE"
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE"
          ~doc:"XML document; stdin when omitted.")
 
 let engine_arg =
@@ -305,6 +442,38 @@ let engine_arg =
 
 let flag names doc = Arg.(value & flag & info names ~doc)
 
+let hardening_term =
+  let lenient =
+    flag [ "lenient" ]
+      "Recover from ill-formed XML (auto-close mismatched tags, drop \
+       duplicate attributes, skip stray markup) instead of failing; \
+       recoveries are counted in --stats."
+  in
+  let partial_ok =
+    flag [ "partial-ok" ]
+      "On truncated or limit-tripping input, exit 0 with the results \
+       already certain at the failure point instead of a nonzero exit."
+  in
+  let max_depth =
+    Arg.(value & opt (some int) None
+         & info [ "max-depth" ] ~docv:"N"
+             ~doc:"Maximum element nesting depth (default 10000).")
+  in
+  let max_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "max-bytes" ] ~docv:"N"
+             ~doc:"Maximum input bytes to consume (default unlimited).")
+  in
+  let max_structures =
+    Arg.(value & opt (some int) None
+         & info [ "max-structures" ] ~docv:"N"
+             ~doc:"Cap on live matching structures per disjunct engine \
+                   (default unlimited).")
+  in
+  Term.(
+    const make_hardening $ lenient $ partial_ok $ max_depth $ max_bytes
+    $ max_structures)
+
 let eval_term =
   Term.(
     const eval_cmd $ query_arg $ file_arg $ engine_arg
@@ -317,7 +486,8 @@ let eval_term =
     $ flag [ "stats" ] "Print engine statistics to stderr."
     $ flag [ "count" ] "Print only the number of results."
     $ flag [ "tuples" ] "Also print result tuples of \\$-marked \
-                         expressions.")
+                         expressions."
+    $ hardening_term)
 
 let eval_command =
   Cmd.v
@@ -348,17 +518,17 @@ let trace_command =
 
 let filter_command =
   let subs =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"SUBSCRIPTIONS"
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SUBSCRIPTIONS"
            ~doc:"File with one XPath expression per line ('#' comments).")
   in
   let docs =
-    Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"DOC.xml")
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"DOC.xml")
   in
   Cmd.v
     (Cmd.info "filter"
        ~doc:"Publish/subscribe filtering: match documents against a set of \
              subscriptions, one pass per document")
-    Term.(const filter_cmd $ subs $ docs)
+    Term.(const filter_cmd $ subs $ docs $ hardening_term)
 
 let output_arg =
   Arg.(value & opt (some string) None

@@ -11,6 +11,8 @@ type config = {
 let default_config =
   { boolean_subtrees = true; relevance_filter = true; eager_emission = false }
 
+exception Budget_exceeded of { live : int; budget : int }
+
 type level_requirement =
   | Exact of int
   | Any
@@ -50,6 +52,9 @@ type t = {
   dag : Xdag.t;
   info : xinfo array;
   config : config;
+  budget : int;
+      (** cap on live (created - refuted) matching structures; exceeding it
+          raises {!Budget_exceeded} instead of growing without bound *)
   eager : bool;
   ordered_resolution : bool;
       (** whether same-element (self / or-self) dependencies exist, in
@@ -69,6 +74,9 @@ type t = {
   root_struct : Matching.t;
   stats : Stats.t;
   mutable finished : bool;
+  mutable aborting : bool;
+      (** set by {!abort}: elements being closed virtually have incomplete
+          string values, so non-monotone text tests must refute *)
   mutable eager_items : Item.t list;  (* reversed *)
   has_text_tests : bool;
   mutable text_buffers : (int * Buffer.t) list;
@@ -158,7 +166,8 @@ let build_info config eager (dag : Xdag.t) =
       })
     xtree.nodes
 
-let create ?(config = default_config) ?on_match (dag : Xdag.t) =
+let create ?(config = default_config) ?(budget = max_int) ?on_match
+    (dag : Xdag.t) =
   let eager =
     config.eager_emission && config.relevance_filter
     && eager_allowed dag.xtree
@@ -183,6 +192,7 @@ let create ?(config = default_config) ?on_match (dag : Xdag.t) =
     dag;
     info;
     config;
+    budget;
     eager;
     ordered_resolution;
     on_match;
@@ -196,6 +206,7 @@ let create ?(config = default_config) ?on_match (dag : Xdag.t) =
     root_struct;
     stats = Stats.create ();
     finished = false;
+    aborting = false;
     eager_items = [];
     has_text_tests =
       Array.exists (fun (n : Xtree.xnode) -> n.texts <> []) dag.xtree.nodes;
@@ -340,7 +351,11 @@ let start_element t ?(attrs = []) ~tag ~level () =
              (fun (m : Matching.t) -> t.info.(m.xnode).text_tests <> [])
              !frame
       then t.text_buffers <- (level, Buffer.create 64) :: t.text_buffers);
-    t.frames <- !frame :: t.frames
+    t.frames <- !frame :: t.frames;
+    let live = st.structures_created - st.structures_refuted in
+    if live > st.live_peak then st.live_peak <- live;
+    if live > t.budget then
+      raise (Budget_exceeded { live; budget = t.budget })
   end
 
 (* Character data: append to the buffer of every open element that is
@@ -409,7 +424,15 @@ let resolve t frame ~text (m : Matching.t) =
     | [] -> true
     | tests ->
       let value = match text with Some s -> s | None -> assert false in
-      List.for_all (fun test -> Ast.text_test_matches test value) tests
+      (* A virtually-closed element has an incomplete string value:
+         [contains] is monotone under extension so a positive verdict is
+         final, but [text()='v'] could be revoked by more text — refute. *)
+      (not
+         (t.aborting
+         && List.exists
+              (fun (tt : Ast.text_test) -> tt.text_op = Ast.Text_equals)
+              tests))
+      && List.for_all (fun test -> Ast.text_test_matches test value) tests
   in
   if not text_ok then Matching.refute ~stats:t.stats m
   else begin
@@ -567,6 +590,21 @@ let finish t =
     { Result_set.items; tuples; matching_count }
   end
   else Result_set.empty
+
+(* Graceful degradation on truncated input: virtually close every open
+   element, then finish. Resolution at the virtual end events sees exactly
+   the content streamed so far; ancestor/descendant relations among prefix
+   elements are final and [contains] text tests are monotone under
+   document extension, while the non-monotone [text()='v'] tests refute on
+   virtually-closed elements (see [resolve]). Every reported item is
+   therefore already certain — the full document could only add results,
+   never revoke these. *)
+let abort t =
+  t.aborting <- true;
+  while t.frames <> [] do
+    end_element t
+  done;
+  finish t
 
 let frame_matches t =
   match t.frames with

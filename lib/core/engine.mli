@@ -38,12 +38,22 @@ val default_config : config
 (** [boolean_subtrees = true; relevance_filter = true;
     eager_emission = false]. *)
 
+exception Budget_exceeded of { live : int; budget : int }
+(** The engine's live matching structures ([created - refuted]) exceeded
+    the configured budget. A typed resource trip instead of an OOM kill:
+    the engine is still consistent, so {!abort} can extract the results
+    certain so far. *)
+
 type t
 
-val create : ?config:config -> ?on_match:(Item.t -> unit) -> Xaos_xpath.Xdag.t -> t
+val create :
+  ?config:config -> ?budget:int -> ?on_match:(Item.t -> unit) ->
+  Xaos_xpath.Xdag.t -> t
 (** A fresh engine over the given x-dag. [on_match] fires on each result
     element as soon as the engine knows it is in the result — immediately
-    in eager mode, at document end otherwise. *)
+    in eager mode, at document end otherwise. [budget] caps the number of
+    live matching structures (default unlimited); see
+    {!Budget_exceeded}. *)
 
 val emits_eagerly : t -> bool
 (** Whether eager emission is active: it was requested, the expression
@@ -76,6 +86,15 @@ val feed_doc : t -> Xaos_xml.Dom.doc -> unit
 val finish : t -> Result_set.t
 (** Resolve the root structure at end of document and return the results.
     @raise Invalid_argument if elements are still open. *)
+
+val abort : t -> Result_set.t
+(** Graceful degradation on truncated input: virtually close every open
+    element and return the results already {e certain} at the truncation
+    point — a subset of what the full document would have produced
+    (constraints of the query language are monotone under document
+    extension; the one non-monotone construct, [text()='v'] on an element
+    still open at truncation, conservatively refutes). Safe to call after
+    {!Budget_exceeded} too. *)
 
 val run_events : ?config:config -> Xaos_xpath.Xdag.t -> Xaos_xml.Event.t list -> Result_set.t
 (** [create], [feed] everything, [finish]. *)

@@ -116,6 +116,7 @@ let refute ~stats t =
   let rec go t =
     if t.state <> Refuted then begin
       t.state <- Refuted;
+      stats.Stats.structures_refuted <- stats.Stats.structures_refuted + 1;
       let placements = t.placements in
       t.placements <- [];
       List.iter

@@ -42,9 +42,11 @@ type run = {
   mutable result : Result_set.t option;
 }
 
-let start ?on_match q =
+let start ?on_match ?budget q =
   let engines =
-    List.map (fun dag -> Engine.create ~config:q.config ?on_match dag) q.dags
+    List.map
+      (fun dag -> Engine.create ~config:q.config ?budget ?on_match dag)
+      q.dags
   in
   { engines; result = None }
 
@@ -56,6 +58,18 @@ let finish run =
   | None ->
     let r =
       match List.map Engine.finish run.engines with
+      | [] -> Result_set.empty
+      | first :: rest -> List.fold_left Result_set.union first rest
+    in
+    run.result <- Some r;
+    r
+
+let finish_partial run =
+  match run.result with
+  | Some r -> r
+  | None ->
+    let r =
+      match List.map Engine.abort run.engines with
       | [] -> Result_set.empty
       | first :: rest -> List.fold_left Result_set.union first rest
     in

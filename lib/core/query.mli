@@ -41,7 +41,10 @@ val uses_backward_axes : t -> bool
 type run
 (** An in-flight evaluation over one document. *)
 
-val start : ?on_match:(Item.t -> unit) -> t -> run
+val start : ?on_match:(Item.t -> unit) -> ?budget:int -> t -> run
+(** [budget] caps live matching structures per disjunct engine; a feed
+    that would exceed it raises {!Engine.Budget_exceeded} (after which
+    {!finish_partial} still works). *)
 
 val feed : run -> Xaos_xml.Event.t -> unit
 
@@ -50,6 +53,15 @@ val feed_doc : run -> Xaos_xml.Dom.doc -> unit
     {!Engine.feed_doc}). *)
 
 val finish : run -> Result_set.t
+
+val finish_partial : run -> Result_set.t
+(** Results already certain at this point of the stream, even if the
+    document is incomplete: virtually closes still-open elements in every
+    disjunct engine (see {!Engine.abort}) and unions. Use when the stream
+    died mid-document (truncation, {!Xaos_xml.Sax.Limit_exceeded},
+    {!Engine.Budget_exceeded}); the answer is a subset of the
+    full-document result set. *)
+
 val run_stats : run -> Stats.t
 (** Aggregated over disjunct engines; meaningful after {!finish} too. *)
 

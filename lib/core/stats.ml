@@ -3,9 +3,12 @@ type t = {
   mutable elements_stored : int;
   mutable elements_discarded : int;
   mutable structures_created : int;
+  mutable structures_refuted : int;
+  mutable live_peak : int;
   mutable propagations : int;
   mutable undos : int;
   mutable max_depth : int;
+  mutable parse_faults : int;
 }
 
 let create () =
@@ -14,9 +17,12 @@ let create () =
     elements_stored = 0;
     elements_discarded = 0;
     structures_created = 0;
+    structures_refuted = 0;
+    live_peak = 0;
     propagations = 0;
     undos = 0;
     max_depth = 0;
+    parse_faults = 0;
   }
 
 let discarded_fraction t =
@@ -29,15 +35,22 @@ let add a b =
     elements_stored = a.elements_stored + b.elements_stored;
     elements_discarded = a.elements_discarded + b.elements_discarded;
     structures_created = a.structures_created + b.structures_created;
+    structures_refuted = a.structures_refuted + b.structures_refuted;
+    (* disjunct engines hold their structures simultaneously, so the sum
+       is the faithful pressure figure *)
+    live_peak = a.live_peak + b.live_peak;
     propagations = a.propagations + b.propagations;
     undos = a.undos + b.undos;
     max_depth = max a.max_depth b.max_depth;
+    parse_faults = a.parse_faults + b.parse_faults;
   }
 
 let pp ppf t =
   Format.fprintf ppf
-    "elements: %d total, %d stored, %d discarded (%.2f%%); structures: %d; \
-     propagations: %d; undos: %d; max depth: %d"
+    "elements: %d total, %d stored, %d discarded (%.2f%%); structures: %d \
+     created, %d refuted, %d live peak; propagations: %d; undos: %d; max \
+     depth: %d; parse faults: %d"
     t.elements_total t.elements_stored t.elements_discarded
     (100. *. discarded_fraction t)
-    t.structures_created t.propagations t.undos t.max_depth
+    t.structures_created t.structures_refuted t.live_peak t.propagations
+    t.undos t.max_depth t.parse_faults

@@ -11,12 +11,22 @@ type t = {
       (** elements found relevant for at least one x-node *)
   mutable elements_discarded : int;  (** the rest *)
   mutable structures_created : int;  (** matching structures allocated *)
+  mutable structures_refuted : int;
+      (** structures conclusively refuted (and hence reclaimable) *)
+  mutable live_peak : int;
+      (** largest [created - refuted] observed — peak count of matching
+          structures alive at once; what {!Engine}'s structure budget
+          guards *)
   mutable propagations : int;
       (** placements of a matching into a submatching slot, both confirmed
           pushes and optimistic pulls *)
   mutable undos : int;
       (** placements removed by the optimistic-propagation cleanup *)
   mutable max_depth : int;  (** deepest open-element nesting reached *)
+  mutable parse_faults : int;
+      (** well-formedness faults recovered by a lenient parse feeding this
+          engine; filled in by the front end (the engine itself never sees
+          malformed markup) *)
 }
 
 val create : unit -> t
@@ -26,6 +36,7 @@ val discarded_fraction : t -> float
 
 val add : t -> t -> t
 (** Pointwise sum ([max] for [max_depth]): aggregates the per-disjunct
-    engines of an [or] query. *)
+    engines of an [or] query. [live_peak] is summed too — disjunct engines
+    hold their structures simultaneously. *)
 
 val pp : Format.formatter -> t -> unit

@@ -14,9 +14,30 @@
     string, as in the paper's data model. DTD-defined entities are not
     expanded.
 
-    Well-formedness is enforced: one root element, properly nested matching
-    tags, quoted attribute values, no duplicate attributes, no ['<'] in
-    attribute values, no content after the root element. *)
+    {2 Hardening}
+
+    Two orthogonal mechanisms protect the process from hostile input:
+
+    - {b Resource limits} ({!limits}): hard caps on nesting depth, token
+      sizes, attribute counts, reference expansions, recovery attempts and
+      total input bytes. A tripped limit raises {!Limit_exceeded} in
+      {e both} modes — limits are resource guards, not well-formedness
+      opinions, so they are never "recovered".
+    - {b Lenient recovery mode} ([~mode:Lenient]): well-formedness faults
+      are repaired instead of raised, each one reported through the
+      [on_fault] callback. Per-error-class policies: mismatched end tags
+      auto-close the elements opened above the match; end tags matching
+      nothing are dropped; duplicate attributes are dropped; malformed
+      references become literal text; stray markup and out-of-place text
+      are skipped to the next tag boundary; truncated input auto-closes
+      every open element. A lenient parse therefore always produces a
+      balanced event stream ({!Dom.of_events} accepts it), and never raises
+      {!Error} — only {!Limit_exceeded} can interrupt it.
+
+    In the default strict mode, well-formedness is enforced: one root
+    element, properly nested matching tags, quoted attribute values, no
+    duplicate attributes, no ['<'] in attribute values, no content after
+    the root element. *)
 
 type position = {
   line : int;  (** 1-based *)
@@ -25,16 +46,72 @@ type position = {
 }
 
 exception Error of position * string
-(** Raised by {!next} on ill-formed input. *)
+(** Raised by {!next} on ill-formed input (strict mode only). *)
+
+(** {1 Resource limits} *)
+
+type limit_kind =
+  | Max_depth  (** element-nesting depth (depth bombs) *)
+  | Max_name_bytes  (** bytes in one element/attribute/entity name *)
+  | Max_attr_value_bytes  (** bytes in one attribute value *)
+  | Max_text_bytes  (** bytes in one text/CDATA/comment/PI token *)
+  | Max_attr_count  (** attributes on one element *)
+  | Max_ref_expansions  (** character/entity references per document *)
+  | Max_input_bytes  (** total input consumed *)
+  | Max_faults  (** lenient-mode recovery attempts per document *)
+
+exception Limit_exceeded of position * limit_kind * int
+(** [Limit_exceeded (pos, kind, bound)]: the limit [kind], configured at
+    [bound], tripped at [pos]. Raised in both strict and lenient mode. *)
+
+type limits = {
+  max_depth : int;
+  max_name_bytes : int;
+  max_attr_value_bytes : int;
+  max_text_bytes : int;
+  max_attr_count : int;
+  max_ref_expansions : int;
+  max_input_bytes : int;
+  max_faults : int;
+}
+
+val default_limits : limits
+(** Generous production defaults: depth 10{_k}, names 4 KiB, attribute
+    values 1 MiB, text tokens 16 MiB, 1024 attributes, 10{^6} reference
+    expansions, unlimited input bytes, 10{_k} recovery attempts. *)
+
+val unlimited : limits
+(** Every field [max_int] — the historic unguarded behaviour. *)
+
+val limit_kind_name : limit_kind -> string
+(** Stable kebab-case name, e.g. ["max-depth"]. *)
+
+val pp_limit_kind : Format.formatter -> limit_kind -> unit
+
+(** {1 Modes and faults} *)
+
+type mode =
+  | Strict  (** raise {!Error} on the first well-formedness violation *)
+  | Lenient  (** repair and report; see the module header *)
+
+type fault = {
+  fault_position : position;
+  fault_message : string;
+}
+(** One recovered well-formedness violation (lenient mode). *)
 
 type t
 (** A parser over one document. *)
 
-val of_string : string -> t
+val of_string :
+  ?limits:limits -> ?mode:mode -> ?on_fault:(fault -> unit) -> string -> t
 
-val of_channel : in_channel -> t
+val of_channel :
+  ?limits:limits -> ?mode:mode -> ?on_fault:(fault -> unit) -> in_channel -> t
 
-val of_function : (bytes -> int -> int) -> t
+val of_function :
+  ?limits:limits -> ?mode:mode -> ?on_fault:(fault -> unit) ->
+  (bytes -> int -> int) -> t
 (** [of_function refill]: [refill buf n] must write at most [n] bytes into
     [buf] starting at offset 0 and return how many were written; [0] means
     end of input. *)
@@ -42,7 +119,8 @@ val of_function : (bytes -> int -> int) -> t
 val next : t -> Event.t option
 (** The next event, or [None] once the document has been fully consumed.
     After [None], subsequent calls keep returning [None].
-    @raise Error on ill-formed input. *)
+    @raise Error on ill-formed input in strict mode.
+    @raise Limit_exceeded when a resource limit trips (both modes). *)
 
 val position : t -> position
 (** Current position, for error reporting and progress tracking. *)
@@ -51,12 +129,24 @@ val depth : t -> int
 (** Number of currently open elements. The level of the next start event
     would be [depth t + 1]. *)
 
+val fault_count : t -> int
+(** Well-formedness faults recovered so far (lenient mode; [0] in strict
+    mode). *)
+
+val ref_expansions : t -> int
+(** Character/entity references expanded so far. *)
+
+val bytes_read : t -> int
+(** Input bytes consumed so far (equals [position t].offset). *)
+
 val iter : (Event.t -> unit) -> t -> unit
 (** Push-style driver: applies the callback to every remaining event. *)
 
 val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
 
-val events_of_string : string -> Event.t list
+val events_of_string :
+  ?limits:limits -> ?mode:mode -> ?on_fault:(fault -> unit) -> string ->
+  Event.t list
 (** Parse a complete document held in memory. Convenient for tests. *)
 
 val pp_position : Format.formatter -> position -> unit

@@ -54,13 +54,37 @@ expect "explain flags unsatisfiable" "1" "$OUT"
 OUT=$("$XAOS" trace '/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]' "$WORK/fig2.xml" | grep -c 'undo$')
 expect "trace shows the undo" "1" "$OUT"
 
-# --- parse errors exit nonzero ----------------------------------------------
-if echo '<a/>' | "$XAOS" eval '/a[' 2>/dev/null; then
-  fail "bad query should fail"
-fi
-if echo '<a><b></a>' | "$XAOS" eval '/a' 2>/dev/null; then
-  fail "ill-formed XML should fail"
-fi
+# --- exit-code taxonomy ------------------------------------------------------
+# 0 ok, 1 query error, 2 I/O error, 3 ill-formed input, 4 limit tripped
+code() { # code <expected> <cmd...>
+  local expected="$1"; shift
+  set +e
+  "$@" >/dev/null 2>&1 </dev/null
+  local actual=$?
+  set -e
+  expect "exit code of: $*" "$expected" "$actual"
+}
+echo '<a><b/></a>' > "$WORK/small.xml"
+echo '<a><b></a>'  > "$WORK/bad.xml"
+code 1 "$XAOS" eval '/a[' "$WORK/small.xml"
+code 2 "$XAOS" eval '/a' "$WORK/no_such_file.xml"
+code 3 "$XAOS" eval '/a' "$WORK/bad.xml"
+code 4 "$XAOS" eval --max-depth 1 '/a' "$WORK/small.xml"
+code 4 "$XAOS" eval --max-bytes 4 '/a' "$WORK/small.xml"
+code 2 "$XAOS" filter "$WORK/no_such_subs.txt" "$WORK/small.xml"
+code 3 "$XAOS" filter <(echo '//b') "$WORK/bad.xml"
+
+# --- lenient recovery --------------------------------------------------------
+OUT=$("$XAOS" eval --lenient --count '//b' "$WORK/bad.xml")
+expect "lenient repairs and matches" "1" "$OUT"
+OUT=$("$XAOS" eval --lenient --stats '//b' "$WORK/bad.xml" 2>&1 >/dev/null | grep -c 'parse faults: 1')
+expect "lenient counts faults in stats" "1" "$OUT"
+
+# --- partial results on truncated input -------------------------------------
+printf '<a><b/><b/><c>unterminated' > "$WORK/trunc.xml"
+OUT=$("$XAOS" eval --partial-ok --count '//b' "$WORK/trunc.xml" 2>/dev/null)
+expect "partial-ok exits 0 with certain results" "2" "$OUT"
+code 3 "$XAOS" eval '//b' "$WORK/trunc.xml"
 
 # --- generate + filter -----------------------------------------------------
 "$XAOS" generate xmark --scale 0.002 -o "$WORK/xm.xml" 2>/dev/null
@@ -68,6 +92,14 @@ test -s "$WORK/xm.xml" || fail "xmark output missing"
 printf '//person[@id]\n# comment\n//no_such_thing\n' > "$WORK/subs.txt"
 OUT=$("$XAOS" filter "$WORK/subs.txt" "$WORK/xm.xml" | awk '{print $2}' | tr '\n' ' ')
 expect "filter verdicts" "MATCH - " "$OUT"
+
+# truncated XMark: --partial-ok reports a subset of the full result, exit 0
+FULL=$("$XAOS" eval --count '//listitem/ancestor::category//name' "$WORK/xm.xml")
+head -c $(( $(wc -c < "$WORK/xm.xml") / 2 )) "$WORK/xm.xml" > "$WORK/xm_trunc.xml"
+code 3 "$XAOS" eval '//name' "$WORK/xm_trunc.xml"
+PART=$("$XAOS" eval --partial-ok --count '//listitem/ancestor::category//name' "$WORK/xm_trunc.xml" 2>/dev/null) \
+  || fail "partial-ok on truncated xmark should exit 0"
+[ "$PART" -le "$FULL" ] || fail "partial count $PART exceeds full count $FULL"
 
 # --- generate random is deterministic ---------------------------------------
 "$XAOS" generate random --seed 5 --elements 500 -o "$WORK/r1.xml" --query-out "$WORK/q1" 2>/dev/null

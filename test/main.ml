@@ -20,4 +20,6 @@ let () =
       ("deepgen", Test_deepgen.suite);
       ("misc", Test_misc.suite);
       ("properties", Test_properties.suite);
+      ("hardening", Test_hardening.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

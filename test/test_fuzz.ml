@@ -1,0 +1,148 @@
+(* Mutation fuzzing of the SAX parser.
+
+   Base documents come from the Randgen workload; each is corrupted by a
+   handful of byte-level mutations (flips, deletions, insertions of
+   markup-significant bytes, truncations, slice duplication). The
+   contracts under test:
+
+   - strict mode may reject input only with [Sax.Error] or
+     [Sax.Limit_exceeded] — any other exception is a parser bug;
+   - lenient mode never rejects: it must return an event list for every
+     input, and that list must be balanced ([Dom.of_events] accepts it). *)
+
+module Sax = Xaos_xml.Sax
+module Dom = Xaos_xml.Dom
+module Prng = Xaos_workloads.Prng
+module Randgen = Xaos_workloads.Randgen
+
+(* bytes that steer the parser into interesting states *)
+let hostile =
+  [| '<'; '>'; '&'; ';'; '"'; '\''; '='; '/'; '!'; '?'; '-'; ']'; '\000';
+     ' '; 'a'; '\xff' |]
+
+let mutate rng doc =
+  let len = String.length doc in
+  if len = 0 then doc
+  else
+    match Prng.int rng 6 with
+    | 0 ->
+      (* flip one byte to an arbitrary value *)
+      let b = Bytes.of_string doc in
+      Bytes.set b (Prng.int rng len) (Char.chr (Prng.int rng 256));
+      Bytes.to_string b
+    | 1 ->
+      (* delete a short slice *)
+      let i = Prng.int rng len in
+      let n = min (len - i) (1 + Prng.int rng 8) in
+      String.sub doc 0 i ^ String.sub doc (i + n) (len - i - n)
+    | 2 ->
+      (* insert a burst of markup-significant bytes *)
+      let i = Prng.int rng (len + 1) in
+      let burst =
+        String.init (1 + Prng.int rng 6) (fun _ -> Prng.pick rng hostile)
+      in
+      String.sub doc 0 i ^ burst ^ String.sub doc i (len - i)
+    | 3 ->
+      (* truncate *)
+      String.sub doc 0 (Prng.int rng len)
+    | 4 ->
+      (* duplicate a slice in place *)
+      let i = Prng.int rng len in
+      let n = min (len - i) (1 + Prng.int rng 16) in
+      String.sub doc 0 (i + n) ^ String.sub doc i (len - i)
+    | _ ->
+      (* swap two bytes *)
+      let b = Bytes.of_string doc in
+      let i = Prng.int rng len and j = Prng.int rng len in
+      let ci = Bytes.get b i in
+      Bytes.set b i (Bytes.get b j);
+      Bytes.set b j ci;
+      Bytes.to_string b
+
+let check_strict doc =
+  match Sax.events_of_string doc with
+  | _ -> ()
+  | exception Sax.Error _ -> ()
+  | exception Sax.Limit_exceeded _ -> ()
+  | exception e ->
+    Alcotest.failf "strict parser leaked %s on %S" (Printexc.to_string e)
+      doc
+
+let check_lenient doc =
+  match Sax.events_of_string ~mode:Sax.Lenient doc with
+  | events -> (
+    match Dom.of_events events with
+    | _ -> ()
+    | exception e ->
+      Alcotest.failf "lenient stream unbalanced (%s) on %S"
+        (Printexc.to_string e) doc)
+  | exception Sax.Limit_exceeded _ -> ()
+  | exception e ->
+    Alcotest.failf "lenient parser raised %s on %S" (Printexc.to_string e)
+      doc
+
+let mutants_per_doc = 24
+
+let base_docs = 25
+
+let fuzz_mutated () =
+  for seed = 1 to base_docs do
+    let spec = Randgen.generate_spec ~seed () in
+    let doc = Randgen.document_string spec ~seed:(seed * 7) ~elements:120 in
+    let rng = Prng.create (seed * 1000003) in
+    for _ = 1 to mutants_per_doc do
+      let mutated = mutate rng doc in
+      check_strict mutated;
+      check_lenient mutated
+    done
+  done
+
+let fuzz_garbage () =
+  (* pure noise, not derived from any document *)
+  let rng = Prng.create 0xdead in
+  for _ = 1 to 200 do
+    let s =
+      String.init
+        (Prng.int rng 64)
+        (fun _ ->
+          if Prng.bool rng then Prng.pick rng hostile
+          else Char.chr (Prng.int rng 256))
+    in
+    check_strict s;
+    check_lenient s
+  done
+
+let lenient_levels_consistent () =
+  (* recovered streams must still carry well-formed levels: a start at
+     level [d] is followed by events at depth >= d, and its end event
+     comes back at level [d] *)
+  let rng = Prng.create 42 in
+  let spec = Randgen.generate_spec ~seed:3 () in
+  let doc = Randgen.document_string spec ~seed:21 ~elements:120 in
+  for _ = 1 to 50 do
+    let mutated = mutate rng doc in
+    match Sax.events_of_string ~mode:Sax.Lenient mutated with
+    | exception Sax.Limit_exceeded _ -> ()
+    | events ->
+      let depth = ref 0 in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Xaos_xml.Event.Start_element { level; _ } ->
+            incr depth;
+            Alcotest.(check int) "start level" !depth level
+          | Xaos_xml.Event.End_element { level; _ } ->
+            Alcotest.(check int) "end level" !depth level;
+            decr depth
+          | _ -> ())
+        events;
+      Alcotest.(check int) "balanced at end" 0 !depth
+  done
+
+let suite =
+  [
+    Alcotest.test_case "mutated documents" `Quick fuzz_mutated;
+    Alcotest.test_case "garbage strings" `Quick fuzz_garbage;
+    Alcotest.test_case "lenient levels consistent" `Quick
+      lenient_levels_consistent;
+  ]

@@ -1,0 +1,258 @@
+(* Resource limits, lenient recovery policies, and graceful degradation
+   on truncated input (Engine.abort / Query.finish_partial). *)
+
+module Sax = Xaos_xml.Sax
+module Event = Xaos_xml.Event
+module Prng = Xaos_workloads.Prng
+open Xaos_core
+
+let start name level =
+  Event.Start_element { name; attributes = []; level }
+
+let end_ name level = Event.End_element { name; level }
+
+let check_events = Alcotest.(check (list (testable Event.pp Event.equal)))
+
+let expect_limit kind f =
+  match f () with
+  | _ -> Alcotest.failf "expected Limit_exceeded %s" (Sax.limit_kind_name kind)
+  | exception Sax.Limit_exceeded (_, k, _) ->
+    Alcotest.(check string)
+      "limit kind" (Sax.limit_kind_name kind) (Sax.limit_kind_name k)
+
+(* an infinite input stream built from a repeated chunk, so limit trips
+   must happen without ever reaching end of input *)
+let endless chunk =
+  let pos = ref 0 in
+  Sax.of_function (fun buf n ->
+      let written = ref 0 in
+      while !written < n do
+        Bytes.set buf !written chunk.[!pos mod String.length chunk];
+        incr pos;
+        incr written
+      done;
+      n)
+
+let depth_bomb () =
+  (* an unbounded <a><a><a>… nest must trip max-depth, not blow the heap *)
+  expect_limit Sax.Max_depth (fun () -> Sax.iter ignore (endless "<a>"))
+
+let entity_flood () =
+  (* one root, then an unbounded run of entity references *)
+  let first = ref true in
+  let p =
+    Sax.of_function (fun buf n ->
+        let chunk = if !first then "<a>" else "&amp;" in
+        first := false;
+        let len = min n (String.length chunk) in
+        Bytes.blit_string chunk 0 buf 0 len;
+        len)
+  in
+  expect_limit Sax.Max_ref_expansions (fun () -> Sax.iter ignore p)
+
+let giant_name () =
+  let doc = "<" ^ String.make 100_000 'x' ^ "/>" in
+  expect_limit Sax.Max_name_bytes (fun () -> Sax.events_of_string doc)
+
+let attribute_flood () =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "<a";
+  for i = 1 to 2000 do
+    Buffer.add_string buf (Printf.sprintf " x%d=\"v\"" i)
+  done;
+  Buffer.add_string buf "/>";
+  expect_limit Sax.Max_attr_count (fun () ->
+      Sax.events_of_string (Buffer.contents buf))
+
+let input_byte_cap () =
+  let limits = { Sax.default_limits with Sax.max_input_bytes = 16 } in
+  expect_limit Sax.Max_input_bytes (fun () ->
+      Sax.events_of_string ~limits "<a><b>some text longer than the cap</b></a>")
+
+let fault_cap () =
+  (* the recovery-attempt budget is itself a limit: endless junk in
+     lenient mode must not loop forever *)
+  let limits = { Sax.default_limits with Sax.max_faults = 10 } in
+  expect_limit Sax.Max_faults (fun () ->
+      Sax.iter ignore
+        (Sax.of_string ~limits ~mode:Sax.Lenient
+           (String.concat "" (List.init 100 (fun _ -> "<a></b>")))))
+
+(* --- lenient recovery policies ---------------------------------------- *)
+
+let lenient ?on_fault doc = Sax.events_of_string ~mode:Sax.Lenient ?on_fault doc
+
+let auto_close_mismatch () =
+  let faults = ref 0 in
+  let events = lenient ~on_fault:(fun _ -> incr faults) "<a><b></a>" in
+  check_events "auto-closed"
+    [ start "a" 1; start "b" 2; end_ "b" 2; end_ "a" 1 ]
+    events;
+  Alcotest.(check int) "one fault" 1 !faults
+
+let drop_stray_end () =
+  let events = lenient "<a></b></a>" in
+  check_events "stray end dropped" [ start "a" 1; end_ "a" 1 ] events
+
+let drop_duplicate_attribute () =
+  let events = lenient {|<a x="1" x="2"/>|} in
+  match events with
+  | Event.Start_element { attributes; _ } :: _ ->
+    Alcotest.(check (list (pair string string)))
+      "first wins"
+      [ ("x", "1") ]
+      (List.map
+         (fun (a : Event.attribute) -> (a.attr_name, a.attr_value))
+         attributes)
+  | _ -> Alcotest.fail "expected a start event"
+
+let unknown_entity_literal () =
+  let events = lenient "<a>&nbsp;</a>" in
+  check_events "literal entity"
+    [ start "a" 1; Event.Text "&nbsp;"; end_ "a" 1 ]
+    events
+
+let close_at_eof () =
+  let events = lenient "<a><b>" in
+  check_events "closed at eof"
+    [ start "a" 1; start "b" 2; end_ "b" 2; end_ "a" 1 ]
+    events
+
+let multiple_roots () =
+  let events = lenient "<a/><b/>" in
+  check_events "document sequence"
+    [ start "a" 1; end_ "a" 1; start "b" 1; end_ "b" 1 ]
+    events
+
+let strict_still_strict () =
+  (* the same inputs must keep failing in the default mode *)
+  List.iter
+    (fun doc ->
+      match Sax.events_of_string doc with
+      | _ -> Alcotest.failf "strict mode accepted %S" doc
+      | exception Sax.Error _ -> ())
+    [ "<a><b></a>"; "<a></b></a>"; {|<a x="1" x="2"/>|}; "<a>&nbsp;</a>";
+      "<a><b>"; "<a/><b/>" ]
+
+(* --- graceful degradation --------------------------------------------- *)
+
+let budget_trip () =
+  let q = Query.compile_exn "//a" in
+  let run = Query.start ~budget:3 q in
+  let tripped =
+    try
+      for level = 1 to 10 do
+        Query.feed run (start "a" level)
+      done;
+      false
+    with Engine.Budget_exceeded { live; budget } ->
+      Alcotest.(check int) "budget" 3 budget;
+      Alcotest.(check bool) "live above budget" true (live > 3);
+      true
+  in
+  Alcotest.(check bool) "tripped" true tripped;
+  (* the engine is still consistent: partial results are available *)
+  let partial = Query.finish_partial run in
+  Alcotest.(check bool)
+    "partial nonempty" true
+    (List.length partial.Result_set.items > 0)
+
+let abort_subset_of_full ~query ~events ~cuts ~seed =
+  let q = Query.compile_exn query in
+  let full = Query.run_events q events in
+  let arr = Array.of_list events in
+  let rng = Prng.create seed in
+  for _ = 1 to cuts do
+    let cut = Prng.int rng (Array.length arr + 1) in
+    let run = Query.start q in
+    for i = 0 to cut - 1 do
+      Query.feed run arr.(i)
+    done;
+    let partial = Query.finish_partial run in
+    List.iter
+      (fun item ->
+        if not (List.exists (Item.equal item) full.Result_set.items) then
+          Alcotest.failf "cut %d: %s not in the full result" cut
+            (Format.asprintf "%a" Item.pp item))
+      partial.Result_set.items
+  done;
+  full
+
+let truncated_xmark_partial () =
+  let events = ref [] in
+  let _ =
+    Xaos_workloads.Xmark.generate
+      (Xaos_workloads.Xmark.config 0.002)
+      (fun ev -> events := ev :: !events)
+  in
+  let events = List.rev !events in
+  let full =
+    abort_subset_of_full ~query:Xaos_workloads.Xmark.paper_query ~events
+      ~cuts:20 ~seed:7
+  in
+  (* a cut after the last event must lose nothing *)
+  let q = Query.compile_exn Xaos_workloads.Xmark.paper_query in
+  let run = Query.start q in
+  List.iter (Query.feed run) events;
+  let partial = Query.finish_partial run in
+  Alcotest.(check int)
+    "no loss at full length"
+    (List.length full.Result_set.items)
+    (List.length partial.Result_set.items)
+
+let truncated_backward_axis_partial () =
+  (* backward axes exercise the optimistic-matching undo path on abort *)
+  let spec = Xaos_workloads.Randgen.generate_spec ~seed:11 () in
+  let events = ref [] in
+  let _ =
+    Xaos_workloads.Randgen.document spec ~seed:77 ~elements:300 (fun ev ->
+        events := ev :: !events)
+  in
+  let query = Xaos_xpath.Ast.to_string spec.Xaos_workloads.Randgen.query in
+  ignore
+    (abort_subset_of_full ~query ~events:(List.rev !events) ~cuts:15 ~seed:13)
+
+let text_equality_not_certain () =
+  (* text()='v' is not monotone under document extension, so an element
+     still open at the truncation point must not be reported *)
+  let q = Query.compile_exn "//a[text()='v']" in
+  let run = Query.start q in
+  Query.feed run (start "a" 1);
+  Query.feed run (Event.Text "v");
+  let partial = Query.finish_partial run in
+  Alcotest.(check int) "withheld" 0 (List.length partial.Result_set.items);
+  (* whereas a closed element is certain *)
+  let run2 = Query.start q in
+  Query.feed run2 (start "a" 1);
+  Query.feed run2 (Event.Text "v");
+  Query.feed run2 (end_ "a" 1);
+  let partial2 = Query.finish_partial run2 in
+  Alcotest.(check int) "certain" 1 (List.length partial2.Result_set.items)
+
+let suite =
+  [
+    Alcotest.test_case "depth bomb" `Quick depth_bomb;
+    Alcotest.test_case "entity flood" `Quick entity_flood;
+    Alcotest.test_case "giant name" `Quick giant_name;
+    Alcotest.test_case "attribute flood" `Quick attribute_flood;
+    Alcotest.test_case "input byte cap" `Quick input_byte_cap;
+    Alcotest.test_case "fault cap" `Quick fault_cap;
+    Alcotest.test_case "lenient: auto-close mismatch" `Quick
+      auto_close_mismatch;
+    Alcotest.test_case "lenient: drop stray end" `Quick drop_stray_end;
+    Alcotest.test_case "lenient: drop duplicate attribute" `Quick
+      drop_duplicate_attribute;
+    Alcotest.test_case "lenient: unknown entity literal" `Quick
+      unknown_entity_literal;
+    Alcotest.test_case "lenient: close at eof" `Quick close_at_eof;
+    Alcotest.test_case "lenient: multiple roots" `Quick multiple_roots;
+    Alcotest.test_case "strict rejects what lenient repairs" `Quick
+      strict_still_strict;
+    Alcotest.test_case "engine budget trips" `Quick budget_trip;
+    Alcotest.test_case "truncated xmark: partial subset" `Quick
+      truncated_xmark_partial;
+    Alcotest.test_case "truncated randgen: partial subset" `Quick
+      truncated_backward_axis_partial;
+    Alcotest.test_case "text equality withheld on abort" `Quick
+      text_equality_not_certain;
+  ]
