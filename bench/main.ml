@@ -19,35 +19,49 @@ let scales_of ~full scales_opt =
   | Some scales -> scales
   | None -> if full then Fig5.paper_scales else Fig5.default_scales
 
-let run_fig5 full budget_mb scales_opt =
-  ignore (Fig5.run ~scales:(scales_of ~full scales_opt) ~budget_mb ())
+(* Every subcommand accumulates its tables and scalars through Util and
+   flushes them into one JSON run report at the end. *)
+let reporting report f =
+  Util.set_report_path report;
+  f ();
+  Util.write_report ()
 
-let run_table3 full scales_opt =
-  ignore (Table3.run ~scales:(scales_of ~full scales_opt) ())
+let run_fig5 report full budget_mb scales_opt =
+  reporting report (fun () ->
+      ignore (Fig5.run ~scales:(scales_of ~full scales_opt) ~budget_mb ()))
 
-let run_fig67 full runs sizes_opt =
+let run_table3 report full scales_opt =
+  reporting report (fun () ->
+      ignore (Table3.run ~scales:(scales_of ~full scales_opt) ()))
+
+let run_fig67 report full runs sizes_opt =
   let sizes =
     match sizes_opt with
     | Some sizes -> sizes
     | None -> if full then Fig67.paper_sizes else Fig67.default_sizes
   in
-  ignore (Fig67.run ~sizes ~runs ())
+  reporting report (fun () -> ignore (Fig67.run ~sizes ~runs ()))
 
-let run_ablation scale = Ablation.run ~scale ()
+let run_ablation report scale =
+  reporting report (fun () -> Ablation.run ~scale ())
 
-let run_filtering full =
+let run_filtering report full =
   let counts = if full then [ 10; 50; 250; 1000 ] else [ 10; 50; 250 ] in
-  Filtering.run ~subscription_counts:counts ~docs:(if full then 20 else 8) ()
+  reporting report (fun () ->
+      Filtering.run ~subscription_counts:counts ~docs:(if full then 20 else 8) ())
 
-let run_micro () = Micro.run ()
+let run_micro report = reporting report (fun () -> Micro.run ())
 
-let run_all full =
-  run_fig5 full 48 None;
-  run_table3 full None;
-  run_fig67 full (if full then 10 else 5) None;
-  run_ablation (if full then 0.05 else 0.02);
-  run_filtering full;
-  run_micro ()
+let run_all report full =
+  reporting report (fun () ->
+      ignore (Fig5.run ~scales:(scales_of ~full None) ~budget_mb:48 ());
+      ignore (Table3.run ~scales:(scales_of ~full None) ());
+      let sizes = if full then Fig67.paper_sizes else Fig67.default_sizes in
+      ignore (Fig67.run ~sizes ~runs:(if full then 10 else 5) ());
+      Ablation.run ~scale:(if full then 0.05 else 0.02) ();
+      let counts = if full then [ 10; 50; 250; 1000 ] else [ 10; 50; 250 ] in
+      Filtering.run ~subscription_counts:counts ~docs:(if full then 20 else 8) ();
+      Micro.run ())
 
 (* ---------------- cmdliner plumbing ---------------- *)
 
@@ -80,49 +94,56 @@ let ablation_scale_t =
   let doc = "XMark scale for the ablation document." in
   Arg.(value & opt float 0.02 & info [ "scale" ] ~doc)
 
+let report_t =
+  let doc = "Write results as a versioned JSON run report to $(docv)." in
+  Arg.(
+    value
+    & opt string "BENCH_PR2.json"
+    & info [ "report" ] ~docv:"FILE" ~doc)
+
 let fig5_cmd =
   Cmd.v
     (Cmd.info "fig5" ~doc:"Figure 5: time vs document size, xaos vs baseline")
-    Term.(const run_fig5 $ full_t $ budget_t $ scales_t)
+    Term.(const run_fig5 $ report_t $ full_t $ budget_t $ scales_t)
 
 let table3_cmd =
   Cmd.v
     (Cmd.info "table3" ~doc:"Table 3: elements discarded by the filter")
-    Term.(const run_table3 $ full_t $ scales_t)
+    Term.(const run_table3 $ report_t $ full_t $ scales_t)
 
 let fig6_cmd =
   Cmd.v
     (Cmd.info "fig6" ~doc:"Figures 6 and 7: random expressions, overall and search time")
-    Term.(const run_fig67 $ full_t $ runs_t $ sizes_t)
+    Term.(const run_fig67 $ report_t $ full_t $ runs_t $ sizes_t)
 
 let fig7_cmd =
   Cmd.v
     (Cmd.info "fig7" ~doc:"Alias of fig6 (both figures come from the same runs)")
-    Term.(const run_fig67 $ full_t $ runs_t $ sizes_t)
+    Term.(const run_fig67 $ report_t $ full_t $ runs_t $ sizes_t)
 
 let ablation_cmd =
   Cmd.v
     (Cmd.info "ablation" ~doc:"Ablations: counters, relevance filter, eager emission")
-    Term.(const run_ablation $ ablation_scale_t)
+    Term.(const run_ablation $ report_t $ ablation_scale_t)
 
 let filtering_cmd =
   Cmd.v
     (Cmd.info "filtering"
        ~doc:"Extension: publish/subscribe filtering, shared automaton vs \
              per-query engines")
-    Term.(const run_filtering $ full_t)
+    Term.(const run_filtering $ report_t $ full_t)
 
 let micro_cmd =
   Cmd.v
     (Cmd.info "micro" ~doc:"Bechamel micro-benchmarks, one per table/figure kernel")
-    Term.(const run_micro $ const ())
+    Term.(const run_micro $ report_t)
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run_all $ full_t)
+    Term.(const run_all $ report_t $ full_t)
 
-let default_t = Term.(const run_all $ full_t)
+let default_t = Term.(const run_all $ report_t $ full_t)
 
 let () =
   let info =

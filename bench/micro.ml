@@ -72,7 +72,9 @@ let run () =
     (fun name ols_result ->
       let estimate =
         match Analyze.OLS.estimates ols_result with
-        | Some (e :: _) -> Printf.sprintf "%.3f ms" (e /. 1e6)
+        | Some (e :: _) ->
+          Util.record ("micro/" ^ name ^ "/ms") (e /. 1e6);
+          Printf.sprintf "%.3f ms" (e /. 1e6)
         | Some [] | None -> "n/a"
       in
       let r2 =

@@ -1,5 +1,11 @@
 (* Shared benchmark plumbing: wall-clock timing, memory probes, run
-   statistics, and fixed-width table rendering. *)
+   statistics, fixed-width table rendering — and, since the telemetry
+   layer landed, report accumulation: everything printed as a table or
+   recorded as a scalar also lands in a versioned JSON run report
+   (BENCH_PR2.json by default) via {!write_report}. *)
+
+module Report = Xaos_obs.Report
+module Json = Xaos_obs.Json
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -30,37 +36,56 @@ let live_bytes () =
 (* Run [f] while sampling the major-heap size at the end of every major
    collection cycle; returns (result, peak heap bytes seen). This is what
    "memory use" means for a streaming engine: retention between
-   collections, not final live data. *)
+   collections, not final live data. The probe itself lives in the
+   telemetry layer (which reports words); benches keep talking bytes. *)
 let with_peak_heap f =
-  Gc.compact ();
-  let peak = ref (Gc.quick_stat ()).Gc.heap_words in
-  let alarm =
-    Gc.create_alarm (fun () ->
-        let w = (Gc.quick_stat ()).Gc.heap_words in
-        if w > !peak then peak := w)
-  in
-  let finish () = Gc.delete_alarm alarm in
-  let result =
-    try f ()
-    with e ->
-      finish ();
-      raise e
-  in
-  finish ();
-  let w = (Gc.quick_stat ()).Gc.heap_words in
-  if w > !peak then peak := w;
-  (result, !peak * (Sys.word_size / 8))
+  let result, peak_words = Xaos_obs.Telemetry.with_peak_heap f in
+  (result, peak_words * (Sys.word_size / 8))
 
 let mb bytes = float_of_int bytes /. 1048576.
+
+(* ------------------------------------------------------------------ *)
+(* Report accumulation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Tables and scalars accumulate here as the experiments print them; a
+   single [write_report] at the end of the run emits them through the
+   same schema the CLI's [--report] uses. *)
+
+let section = ref "bench"
+let tables : Report.table list ref = ref []
+let scalars : (string * float) list ref = ref []
+let report_path = ref "BENCH_PR2.json"
+
+let set_report_path path = report_path := path
+
+let record name value = scalars := (name, value) :: !scalars
+
+let write_report () =
+  let config =
+    [
+      ("argv", Json.List (Array.to_list (Array.map (fun s -> Json.String s) Sys.argv)));
+      ("word_size", Json.Int Sys.word_size);
+      ("ocaml_version", Json.String Sys.ocaml_version);
+    ]
+  in
+  let report =
+    Report.make ~kind:"bench" ~config ~stats:(List.rev !scalars)
+      ~tables:(List.rev !tables) ~gc:(Report.gc_now ()) ()
+  in
+  Report.write !report_path report;
+  Printf.printf "\nreport: %s\n" !report_path
 
 (* ------------------------------------------------------------------ *)
 (* Table rendering                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let print_header title =
+  section := title;
   Printf.printf "\n=== %s ===\n" title
 
 let print_table ~columns rows =
+  tables := { Report.title = !section; columns; rows } :: !tables;
   let widths =
     List.mapi
       (fun i col ->

@@ -13,6 +13,7 @@
 
 open Cmdliner
 open Xaos_core
+module Tel = Xaos_obs.Telemetry
 
 let exit_query_error = 1
 
@@ -84,20 +85,54 @@ type stream_outcome =
   | Complete
   | Failed of int * string  (* exit code, message *)
 
-let stream_document run parser =
-  try
-    Xaos_xml.Sax.iter (Query.feed run) parser;
-    Complete
-  with
-  | Xaos_xml.Sax.Error (pos, msg) ->
-    Failed (exit_ill_formed, sax_error_message pos msg)
-  | Xaos_xml.Sax.Limit_exceeded (pos, kind, bound) ->
-    Failed (exit_limit, limit_message pos kind bound)
-  | Engine.Budget_exceeded { live; budget } ->
-    Failed
-      ( exit_limit,
-        Printf.sprintf "engine budget exceeded: %d live structures (cap %d)"
-          live budget )
+(* Whole-run wall clock, shared by --stats, --report and --metrics. *)
+let span_run =
+  Tel.span ~help:"wall-clock time of the whole streaming run"
+    "xaos_run_seconds"
+
+(* Stream every event into the run. With [series], also record a
+   snapshot time series over document bytes: a cheap due-check per event,
+   plus one final point on every outcome so the series is never empty. *)
+let stream_document ?series run parser =
+  let events = ref 0 in
+  let sample s =
+    Xaos_obs.Snapshot.sample s
+      ~bytes:(Xaos_xml.Sax.bytes_read parser)
+      ~events:!events
+      ~depth:(Xaos_xml.Sax.depth parser)
+      ~live:(Query.live_structures run)
+      ~looking_for:(Query.looking_for_size run)
+  in
+  let outcome =
+    try
+      (match series with
+      | None -> Xaos_xml.Sax.iter (Query.feed run) parser
+      | Some s ->
+        let rec loop () =
+          match Xaos_xml.Sax.next parser with
+          | None -> ()
+          | Some ev ->
+            Query.feed run ev;
+            incr events;
+            if Xaos_obs.Snapshot.due s ~bytes:(Xaos_xml.Sax.bytes_read parser)
+            then sample s;
+            loop ()
+        in
+        loop ());
+      Complete
+    with
+    | Xaos_xml.Sax.Error (pos, msg) ->
+      Failed (exit_ill_formed, sax_error_message pos msg)
+    | Xaos_xml.Sax.Limit_exceeded (pos, kind, bound) ->
+      Failed (exit_limit, limit_message pos kind bound)
+    | Engine.Budget_exceeded { live; budget } ->
+      Failed
+        ( exit_limit,
+          Printf.sprintf "engine budget exceeded: %d live structures (cap %d)"
+            live budget )
+  in
+  (match series with Some s -> sample s | None -> ());
+  outcome
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                *)
@@ -118,21 +153,94 @@ let config_of ~eager ~no_filter ~no_counters =
 let print_items items =
   List.iter (fun i -> Format.printf "%a@." Item.pp i) items
 
+let write_text_file path contents =
+  let oc =
+    try open_out path with Sys_error msg -> die exit_io_error msg
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let eval_report ~query ~file ~h ~eager ~no_filter ~no_counters ~stats ~result
+    ~run ~series ~wall_s ~peak_heap_words path =
+  let open Xaos_obs in
+  let config =
+    [
+      ("query", Json.String query);
+      ("file", match file with Some f -> Json.String f | None -> Json.Null);
+      ("engine", Json.String "xaos");
+      ("eager", Json.Bool eager);
+      ("no_filter", Json.Bool no_filter);
+      ("no_counters", Json.Bool no_counters);
+      ("lenient", Json.Bool h.lenient);
+      ("partial_ok", Json.Bool h.partial_ok);
+      ("max_depth", Json.Int h.limits.Xaos_xml.Sax.max_depth);
+      ( "max_input_bytes",
+        Json.Int h.limits.Xaos_xml.Sax.max_input_bytes );
+      ( "budget",
+        match h.budget with Some b -> Json.Int b | None -> Json.Null );
+    ]
+  in
+  let stats_fields =
+    List.map (fun (k, v) -> (k, float_of_int v)) (Stats.to_fields stats)
+    @ [
+        ("discarded_fraction", Stats.discarded_fraction stats);
+        ("results", float_of_int (List.length result.Result_set.items));
+        ( "retained_structures",
+          float_of_int (Query.retained_structures run) );
+        ("wall_s", wall_s);
+        ("peak_heap_words", float_of_int peak_heap_words);
+      ]
+  in
+  let report =
+    Report.make ~kind:"eval" ~config ~stats:stats_fields
+      ~spans:(Tel.span_summaries ())
+      ~snapshots:(Snapshot.points series)
+      ~gc:(Report.gc_now ()) ()
+  in
+  try Report.write path report with Sys_error msg -> die exit_io_error msg
+
 let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
-    count_only tuples_flag hardening =
+    count_only tuples_flag report metrics hardening =
   let h = hardening in
   let config = config_of ~eager ~no_filter ~no_counters in
+  (match engine_kind, report, metrics with
+  | (Dom | Dom_dedup), Some _, _ | (Dom | Dom_dedup), _, Some _ ->
+    die exit_query_error
+      "--report and --metrics require the streaming engine (--engine xaos)"
+  | _ -> ());
   match engine_kind with
   | Streaming ->
+    (* --stats, --report and --metrics all draw from the telemetry sink;
+       plain runs leave it disabled (the hook points are no-ops). *)
+    let telemetry = stats_flag || report <> None || metrics <> None in
+    if telemetry then begin
+      Tel.reset ();
+      Tel.enable ()
+    end;
     let q = or_die_query (Query.compile ~config query) in
     let faults = ref 0 in
     let run = Query.start ?budget:h.budget q in
-    let outcome =
-      with_source ~limits:h.limits ~mode:(parse_mode h)
-        ~on_fault:(fun _ -> incr faults)
-        file
-        (fun parser -> stream_document run parser)
+    let series =
+      match report with
+      | Some _ -> Some (Xaos_obs.Snapshot.create ())
+      | None -> None
     in
+    let stream () =
+      Tel.enter span_run;
+      let outcome =
+        with_source ~limits:h.limits ~mode:(parse_mode h)
+          ~on_fault:(fun _ -> incr faults)
+          file
+          (fun parser -> stream_document ?series run parser)
+      in
+      Tel.leave span_run;
+      outcome
+    in
+    let outcome, peak_heap_words =
+      if telemetry then Tel.with_peak_heap stream else (stream (), 0)
+    in
+    let wall_s = (Tel.span_summary span_run).Tel.total_s in
     let result =
       match outcome with
       | Complete -> Query.finish run
@@ -158,11 +266,24 @@ let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
                   Item.pp)
                tuple)
            tuples);
-    if stats_flag then begin
-      let stats = Query.run_stats run in
-      stats.Stats.parse_faults <- !faults;
-      Format.eprintf "%a@." Stats.pp stats
-    end
+    let stats = Query.run_stats run in
+    stats.Stats.parse_faults <- !faults;
+    if stats_flag then
+      Format.eprintf "%a; wall: %.3f s; peak heap: %d words@." Stats.pp stats
+        wall_s peak_heap_words;
+    (match report with
+    | None -> ()
+    | Some path ->
+      let series = Option.get series in
+      eval_report ~query ~file ~h ~eager ~no_filter ~no_counters ~stats
+        ~result ~run ~series ~wall_s ~peak_heap_words path);
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      let buf = Buffer.create 4096 in
+      Tel.expose buf;
+      if String.equal path "-" then print_string (Buffer.contents buf)
+      else write_text_file path (Buffer.contents buf))
   | Dom | Dom_dedup ->
     let path =
       match Xaos_xpath.Parser.parse_result query with
@@ -234,6 +355,8 @@ let explain_cmd query =
 (* trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let default_trace_limit = 200
+
 let trace_cmd query file limit =
   let path =
     match Xaos_xpath.Parser.parse_result query with
@@ -270,8 +393,12 @@ let trace_cmd query file limit =
         (match truncated with
         | Some t ->
           Format.printf "%a" (Trace.pp ~xtree) t;
-          Format.printf "... (%d more steps; raise --limit)@."
-            (List.length trace.Trace.steps - Option.get limit)
+          let lim = Option.get limit in
+          Format.printf
+            "... (%d more steps not shown; --limit is %d, default %d; \
+             raise it or pass --limit 0 for all)@."
+            (List.length trace.Trace.steps - lim)
+            lim default_trace_limit
         | None -> Format.printf "%a" (Trace.pp ~xtree) trace)
       | exception Xaos_xpath.Xdag.Unsatisfiable ->
         Format.printf "unsatisfiable disjunct; no trace@.")
@@ -366,6 +493,54 @@ let filter_cmd subscriptions_file docs hardening =
         runs)
     docs;
   exit !exit_code
+
+(* ------------------------------------------------------------------ *)
+(* report (inspect/validate machine-readable run reports)              *)
+(* ------------------------------------------------------------------ *)
+
+let report_validate_cmd path =
+  let contents =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | contents -> contents
+    | exception Sys_error msg -> die exit_io_error msg
+  in
+  let json =
+    match Xaos_obs.Json.parse contents with
+    | Ok json -> json
+    | Error msg -> die exit_ill_formed (path ^ ": " ^ msg)
+  in
+  match Xaos_obs.Report.validate json with
+  | Error msg -> die exit_ill_formed (path ^ ": " ^ msg)
+  | Ok () ->
+    (* validate implies of_json succeeds *)
+    let r = Result.get_ok (Xaos_obs.Report.of_json json) in
+    Format.printf
+      "%s: valid run report (schema v%d, kind %s, %d stats, %d spans, %d \
+       snapshots, %d tables)@."
+      path r.Xaos_obs.Report.version r.Xaos_obs.Report.kind
+      (List.length r.Xaos_obs.Report.stats)
+      (List.length r.Xaos_obs.Report.spans)
+      (List.length r.Xaos_obs.Report.snapshots)
+      (List.length r.Xaos_obs.Report.tables)
+
+let report_command =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REPORT.json")
+  in
+  Cmd.group
+    (Cmd.info "report" ~doc:"Machine-readable run reports")
+    [
+      Cmd.v
+        (Cmd.info "validate"
+           ~doc:"Check that a file is a well-formed run report of the \
+                 current schema (exit 0 if valid, 3 otherwise)")
+        Term.(const report_validate_cmd $ path);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -474,6 +649,20 @@ let hardening_term =
     const make_hardening $ lenient $ partial_ok $ max_depth $ max_bytes
     $ max_structures)
 
+let report_arg =
+  Arg.(value & opt (some string) None
+       & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write a versioned machine-readable JSON run report \
+                 (config, stats, span timings, stream snapshot series, \
+                 GC summary) to $(docv). Streaming engine only; check a \
+                 report with $(b,xaos report validate).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write Prometheus-style text metrics to $(docv) after \
+                 the run ($(b,-) for stdout). Streaming engine only.")
+
 let eval_term =
   Term.(
     const eval_cmd $ query_arg $ file_arg $ engine_arg
@@ -483,10 +672,12 @@ let eval_term =
                             (ablation; results unchanged)."
     $ flag [ "no-counters" ] "Disable the boolean-subtree optimization, \
                               retaining all matching structures."
-    $ flag [ "stats" ] "Print engine statistics to stderr."
+    $ flag [ "stats" ] "Print engine statistics (plus wall-clock time \
+                        and peak heap words) to stderr."
     $ flag [ "count" ] "Print only the number of results."
     $ flag [ "tuples" ] "Also print result tuples of \\$-marked \
                          expressions."
+    $ report_arg $ metrics_arg
     $ hardening_term)
 
 let eval_command =
@@ -504,9 +695,12 @@ let explain_command =
 
 let trace_command =
   let limit =
-    Arg.(value & opt (some int) (Some 200)
+    Arg.(value & opt (some int) (Some default_trace_limit)
          & info [ "limit" ] ~docv:"N"
-             ~doc:"Maximum steps to print; pass 0 for unlimited.")
+             ~doc:(Printf.sprintf
+                     "Maximum steps to print (default %d); pass 0 for \
+                      unlimited."
+                     default_trace_limit))
   in
   let limit = Term.(const (function Some 0 -> None | l -> l) $ limit) in
   Cmd.v
@@ -576,4 +770,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ eval_command; explain_command; trace_command; filter_command;
-            generate_command ]))
+            generate_command; report_command ]))

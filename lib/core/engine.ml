@@ -2,6 +2,45 @@ module Ast = Xaos_xpath.Ast
 module Xtree = Xaos_xpath.Xtree
 module Xdag = Xaos_xpath.Xdag
 
+(* Telemetry hook points, process-global across engines (per-run figures
+   stay in the per-engine {!Stats.t}). Every operation below is a
+   flag-guarded no-op unless a sink is installed. *)
+module Tel = Xaos_obs.Telemetry
+
+let span_start_element =
+  Tel.span ~help:"time handling element start events"
+    "xaos_engine_start_element_seconds"
+
+let span_end_element =
+  Tel.span ~help:"time handling element end events (resolution)"
+    "xaos_engine_end_element_seconds"
+
+let counter_elements =
+  Tel.counter ~help:"element start events fed to engines"
+    "xaos_engine_elements_total"
+
+let counter_stored =
+  Tel.counter ~help:"elements found relevant and stored"
+    "xaos_engine_elements_stored_total"
+
+let counter_structures =
+  Tel.counter ~help:"matching structures allocated"
+    "xaos_engine_structures_created_total"
+
+let counter_propagations =
+  Tel.counter ~help:"matching placements, confirmed pushes and optimistic pulls"
+    "xaos_engine_propagations_total"
+
+let gauge_live =
+  Tel.gauge ~help:"live matching structures (created - refuted)"
+    "xaos_engine_live_structures"
+
+let hist_lifetime =
+  Tel.histogram
+    ~help:"elements opened during a matching structure's lifetime, \
+           recorded when the structure resolves"
+    "xaos_engine_structure_lifetime_elements"
+
 type config = {
   boolean_subtrees : bool;
   relevance_filter : bool;
@@ -297,6 +336,8 @@ let start_element t ?(attrs = []) ~tag ~level () =
       (Printf.sprintf
          "Engine.start_element: level %d does not extend current depth %d"
          level t.depth);
+  Tel.enter span_start_element;
+  Tel.incr counter_elements;
   let id = t.next_id in
   t.next_id <- id + 1;
   t.depth <- level;
@@ -312,7 +353,8 @@ let start_element t ?(attrs = []) ~tag ~level () =
   let n = Array.length cands in
   if n = 0 then begin
     st.elements_discarded <- st.elements_discarded + 1;
-    t.frames <- [] :: t.frames
+    t.frames <- [] :: t.frames;
+    Tel.leave span_start_element
   end
   else begin
     let frame = ref [] in
@@ -337,6 +379,7 @@ let start_element t ?(attrs = []) ~tag ~level () =
         in
         t.serial <- t.serial + 1;
         st.structures_created <- st.structures_created + 1;
+        Tel.incr counter_structures;
         t.open_stacks.(v) <- m :: t.open_stacks.(v);
         frame := m :: !frame
       end
@@ -345,6 +388,7 @@ let start_element t ?(attrs = []) ~tag ~level () =
     | [] -> st.elements_discarded <- st.elements_discarded + 1
     | _ :: _ ->
       st.elements_stored <- st.elements_stored + 1;
+      Tel.incr counter_stored;
       if
         t.has_text_tests
         && List.exists
@@ -354,6 +398,8 @@ let start_element t ?(attrs = []) ~tag ~level () =
     t.frames <- !frame :: t.frames;
     let live = st.structures_created - st.structures_refuted in
     if live > st.live_peak then st.live_peak <- live;
+    Tel.set_gauge gauge_live live;
+    Tel.leave span_start_element;
     if live > t.budget then
       raise (Budget_exceeded { live; budget = t.budget })
   end
@@ -366,7 +412,8 @@ let text_event t s =
 
 let place_counted t ~child ~target ~slot =
   Matching.place ~child ~target ~slot;
-  t.stats.propagations <- t.stats.propagations + 1
+  t.stats.propagations <- t.stats.propagations + 1;
+  Tel.incr counter_propagations
 
 (* Resolve the matching structure [m] of x-node [v] at the end event of
    its element (paper, Sections 4.2-4.3):
@@ -414,6 +461,12 @@ let rec same_element_match frame xnode =
     if m.xnode = xnode then Some m else same_element_match rest xnode
 
 let resolve t frame ~text (m : Matching.t) =
+  (* structure lifetime in elements: how many elements started while it
+     was open; [m.item.id] is the element id at creation. The [enabled]
+     guard keeps the disabled path free of the float boxing a direct
+     [observe] call would do. *)
+  if Tel.enabled () then
+    Tel.observe_int hist_lifetime (t.next_id - m.item.id);
   let v = m.xnode in
   (match t.open_stacks.(v) with
   | top :: rest when top == m -> t.open_stacks.(v) <- rest
@@ -479,6 +532,7 @@ let end_element t =
   match t.frames with
   | [] -> invalid_arg "Engine.end_element: no open element"
   | frame :: rest ->
+    Tel.enter span_end_element;
     let closing_level = t.depth in
     t.frames <- rest;
     t.depth <- t.depth - 1;
@@ -506,7 +560,8 @@ let end_element t =
             frame
         else frame
       in
-      List.iter (fun m -> resolve t matches ~text m) matches)
+      List.iter (fun m -> resolve t matches ~text m) matches);
+    Tel.leave span_end_element
 
 let feed t event =
   match event with

@@ -3,6 +3,18 @@ type state =
   | Satisfied
   | Refuted
 
+(* Telemetry hook points; flag-guarded no-ops unless a sink is
+   installed. Refutation and undo live here rather than in [Engine]
+   because the recursive undo cascade never surfaces there. *)
+let counter_refuted =
+  Xaos_obs.Telemetry.counter ~help:"matching structures conclusively refuted"
+    "xaos_engine_structures_refuted_total"
+
+let counter_undos =
+  Xaos_obs.Telemetry.counter
+    ~help:"optimistic placements removed by the refutation cascade"
+    "xaos_engine_undos_total"
+
 (* A pointer slot is a growable array of entries supporting O(1) removal
    by swap-with-last: each entry knows its current index, and the
    placement record kept by the child points at the entry. Without this,
@@ -117,6 +129,7 @@ let refute ~stats t =
     if t.state <> Refuted then begin
       t.state <- Refuted;
       stats.Stats.structures_refuted <- stats.Stats.structures_refuted + 1;
+      Xaos_obs.Telemetry.incr counter_refuted;
       let placements = t.placements in
       t.placements <- [];
       List.iter
@@ -124,6 +137,7 @@ let refute ~stats t =
           let target = placement.p_target in
           if target.state <> Refuted then begin
             stats.Stats.undos <- stats.Stats.undos + 1;
+            Xaos_obs.Telemetry.incr counter_undos;
             let emptied = remove_placement placement in
             (* A pending target performs its own satisfaction check at
                resolution time; only a satisfied one must be revoked. *)

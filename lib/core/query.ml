@@ -1,4 +1,15 @@
 module Ast = Xaos_xpath.Ast
+module Tel = Xaos_obs.Telemetry
+
+let span_compile =
+  Tel.span ~help:"time compiling expressions (parse, DNF, x-tree, x-dag)"
+    "xaos_query_compile_seconds"
+
+let counter_compiled =
+  Tel.counter ~help:"queries compiled" "xaos_query_compiled_total"
+
+let counter_runs =
+  Tel.counter ~help:"query runs started" "xaos_query_runs_total"
 
 type t = {
   path : Ast.path;
@@ -7,19 +18,21 @@ type t = {
 }
 
 let compile_path ?(config = Engine.default_config) ?(or_limit = 64) path =
-  match Xaos_xpath.Dnf.expand_bounded ~limit:or_limit path with
-  | Error msg -> Error msg
-  | Ok disjuncts ->
-    let dags =
-      List.filter_map
-        (fun disjunct ->
-          let xtree = Xaos_xpath.Xtree.of_path disjunct in
-          match Xaos_xpath.Xdag.of_xtree xtree with
-          | dag -> Some dag
-          | exception Xaos_xpath.Xdag.Unsatisfiable -> None)
-        disjuncts
-    in
-    Ok { path; config; dags }
+  Tel.time span_compile (fun () ->
+      match Xaos_xpath.Dnf.expand_bounded ~limit:or_limit path with
+      | Error msg -> Error msg
+      | Ok disjuncts ->
+        let dags =
+          List.filter_map
+            (fun disjunct ->
+              let xtree = Xaos_xpath.Xtree.of_path disjunct in
+              match Xaos_xpath.Xdag.of_xtree xtree with
+              | dag -> Some dag
+              | exception Xaos_xpath.Xdag.Unsatisfiable -> None)
+            disjuncts
+        in
+        Tel.incr counter_compiled;
+        Ok { path; config; dags })
 
 let compile ?config ?or_limit input =
   match Xaos_xpath.Parser.parse_result input with
@@ -43,6 +56,7 @@ type run = {
 }
 
 let start ?on_match ?budget q =
+  Tel.incr counter_runs;
   let engines =
     List.map
       (fun dag -> Engine.create ~config:q.config ?budget ?on_match dag)
@@ -83,6 +97,18 @@ let run_stats run =
 
 let retained_structures run =
   List.fold_left (fun acc e -> acc + Engine.retained_structures e) 0 run.engines
+
+let live_structures run =
+  List.fold_left
+    (fun acc e ->
+      let s = Engine.stats e in
+      acc + (s.Stats.structures_created - s.Stats.structures_refuted))
+    0 run.engines
+
+let looking_for_size run =
+  List.fold_left
+    (fun acc e -> acc + List.length (Engine.looking_for e))
+    0 run.engines
 
 let run_events q events =
   let r = start q in

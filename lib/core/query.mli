@@ -69,6 +69,17 @@ val retained_structures : run -> int
 (** Matching structures reachable at end of document, summed over the
     disjunct engines (see {!Engine.retained_structures}). *)
 
+val live_structures : run -> int
+(** Currently live (created - refuted) matching structures, summed over
+    the disjunct engines. Cheap (counter arithmetic); what the
+    {!Xaos_obs.Snapshot} sampler records mid-stream. *)
+
+val looking_for_size : run -> int
+(** Size of the combined looking-for set — entries summed over the
+    disjunct engines. Derives the set ({!Engine.looking_for}), so it
+    costs O(x-nodes · open matches): fine at snapshot cadence, not per
+    event. *)
+
 (** {1 One-shot helpers} *)
 
 val run_events : t -> Xaos_xml.Event.t list -> Result_set.t

@@ -2,6 +2,14 @@ type t = {
   queries : (string * Query.t) list;
 }
 
+let gauge_subscriptions =
+  Xaos_obs.Telemetry.gauge ~help:"subscriptions in the last compiled set"
+    "xaos_filter_subscriptions"
+
+let counter_documents =
+  Xaos_obs.Telemetry.counter ~help:"documents run through a query set"
+    "xaos_filter_documents_total"
+
 let of_queries queries =
   let seen = Hashtbl.create 16 in
   List.iter
@@ -10,6 +18,7 @@ let of_queries queries =
         invalid_arg ("Query_set.of_queries: duplicate name " ^ name);
       Hashtbl.add seen name ())
     queries;
+  Xaos_obs.Telemetry.set_gauge gauge_subscriptions (List.length queries);
   { queries }
 
 let compile ?config pairs =
@@ -31,7 +40,9 @@ type outcome = {
   items : Item.t list;
 }
 
-let start_all t = List.map (fun (name, q) -> (name, Query.start q)) t.queries
+let start_all t =
+  Xaos_obs.Telemetry.incr counter_documents;
+  List.map (fun (name, q) -> (name, Query.start q)) t.queries
 
 let finish_all runs =
   List.map

@@ -45,6 +45,20 @@ let add a b =
     parse_faults = a.parse_faults + b.parse_faults;
   }
 
+let to_fields t =
+  [
+    ("elements_total", t.elements_total);
+    ("elements_stored", t.elements_stored);
+    ("elements_discarded", t.elements_discarded);
+    ("structures_created", t.structures_created);
+    ("structures_refuted", t.structures_refuted);
+    ("live_peak", t.live_peak);
+    ("propagations", t.propagations);
+    ("undos", t.undos);
+    ("max_depth", t.max_depth);
+    ("parse_faults", t.parse_faults);
+  ]
+
 let pp ppf t =
   Format.fprintf ppf
     "elements: %d total, %d stored, %d discarded (%.2f%%); structures: %d \

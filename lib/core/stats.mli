@@ -39,4 +39,9 @@ val add : t -> t -> t
     engines of an [or] query. [live_peak] is summed too — disjunct engines
     hold their structures simultaneously. *)
 
+val to_fields : t -> (string * int) list
+(** Every counter under a stable snake_case name — the [stats] section of
+    a {!Xaos_obs.Report}. [discarded_fraction] is derivable and not
+    included. *)
+
 val pp : Format.formatter -> t -> unit

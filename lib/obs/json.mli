@@ -1,0 +1,40 @@
+(** Minimal JSON tree, printer and parser.
+
+    Just enough JSON for the telemetry run reports ({!Report}): no
+    streaming, no schema system, no external dependency (the container
+    ships no JSON library). Floats are printed with enough digits to
+    round-trip exactly through {!parse}, so a report can be re-read and
+    compared structurally. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order is preserved *)
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] pretty-prints with two-space indentation (default [true]). *)
+
+val to_buffer : ?indent:bool -> Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing garbage is an error. Numbers
+    without [.], [e] or [E] parse as [Int], the rest as [Float]. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+(** [Int n], or a [Float] with integral value. *)
+
+val to_float : t -> float option
+(** Any number. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

@@ -1,0 +1,335 @@
+let schema_version = 1
+
+type table = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+}
+
+type gc_summary = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+  top_heap_words : int;
+}
+
+let gc_now () =
+  let s = Gc.quick_stat () in
+  {
+    minor_words = s.Gc.minor_words;
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+    heap_words = s.Gc.heap_words;
+    top_heap_words = s.Gc.top_heap_words;
+  }
+
+type t = {
+  version : int;
+  kind : string;
+  created_at : float;
+  config : (string * Json.t) list;
+  stats : (string * float) list;
+  spans : Telemetry.span_summary list;
+  snapshots : Snapshot.point list;
+  tables : table list;
+  gc : gc_summary option;
+}
+
+let make ?(config = []) ?(stats = []) ?(spans = []) ?(snapshots = [])
+    ?(tables = []) ?gc ~kind () =
+  {
+    version = schema_version;
+    kind;
+    created_at = Telemetry.now ();
+    config;
+    stats;
+    spans;
+    snapshots;
+    tables;
+    gc;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let span_to_json (s : Telemetry.span_summary) =
+  Json.Obj
+    [
+      ("name", Json.String s.Telemetry.span_name);
+      ("count", Json.Int s.Telemetry.count);
+      ("total_s", Json.Float s.Telemetry.total_s);
+      ("min_s", Json.Float s.Telemetry.min_s);
+      ("max_s", Json.Float s.Telemetry.max_s);
+    ]
+
+let point_to_json (p : Snapshot.point) =
+  Json.Obj
+    [
+      ("bytes", Json.Int p.Snapshot.sn_bytes);
+      ("events", Json.Int p.Snapshot.sn_events);
+      ("depth", Json.Int p.Snapshot.sn_depth);
+      ("live_structures", Json.Int p.Snapshot.sn_live);
+      ("looking_for", Json.Int p.Snapshot.sn_looking_for);
+      ("elapsed_s", Json.Float p.Snapshot.sn_elapsed_s);
+      ("bytes_per_sec", Json.Float p.Snapshot.sn_bytes_per_sec);
+      ("heap_words", Json.Int p.Snapshot.sn_heap_words);
+    ]
+
+let table_to_json t =
+  Json.Obj
+    [
+      ("title", Json.String t.title);
+      ("columns", Json.List (List.map (fun c -> Json.String c) t.columns));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map (fun c -> Json.String c) row))
+             t.rows) );
+    ]
+
+let gc_to_json g =
+  Json.Obj
+    [
+      ("minor_words", Json.Float g.minor_words);
+      ("promoted_words", Json.Float g.promoted_words);
+      ("major_words", Json.Float g.major_words);
+      ("minor_collections", Json.Int g.minor_collections);
+      ("major_collections", Json.Int g.major_collections);
+      ("compactions", Json.Int g.compactions);
+      ("heap_words", Json.Int g.heap_words);
+      ("top_heap_words", Json.Int g.top_heap_words);
+    ]
+
+let to_json r =
+  Json.Obj
+    ([
+       ("schema_version", Json.Int r.version);
+       ("kind", Json.String r.kind);
+       ("created_at", Json.Float r.created_at);
+       ("config", Json.Obj r.config);
+       ( "stats",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.stats) );
+       ("spans", Json.List (List.map span_to_json r.spans));
+       ("snapshots", Json.List (List.map point_to_json r.snapshots));
+       ("tables", Json.List (List.map table_to_json r.tables));
+     ]
+    @ match r.gc with None -> [] | Some g -> [ ("gc", gc_to_json g) ])
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Tiny result-returning field combinators; [path] makes errors name the
+   offending field. *)
+let ( let* ) r f = Result.bind r f
+
+let field path key json =
+  match Json.member key json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" path key)
+
+let req path key conv json =
+  let* v = field path key json in
+  match conv v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "%s: field %S has the wrong type" path key)
+
+let decode_list path conv items =
+  let rec loop i acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest -> (
+      match conv (Printf.sprintf "%s[%d]" path i) item with
+      | Ok x -> loop (i + 1) (x :: acc) rest
+      | Error _ as e -> e)
+  in
+  loop 0 [] items
+
+let span_of_json path json =
+  let* span_name = req path "name" Json.to_str json in
+  let* count = req path "count" Json.to_int json in
+  let* total_s = req path "total_s" Json.to_float json in
+  let* min_s = req path "min_s" Json.to_float json in
+  let* max_s = req path "max_s" Json.to_float json in
+  Ok { Telemetry.span_name; count; total_s; min_s; max_s }
+
+let point_of_json path json =
+  let* sn_bytes = req path "bytes" Json.to_int json in
+  let* sn_events = req path "events" Json.to_int json in
+  let* sn_depth = req path "depth" Json.to_int json in
+  let* sn_live = req path "live_structures" Json.to_int json in
+  let* sn_looking_for = req path "looking_for" Json.to_int json in
+  let* sn_elapsed_s = req path "elapsed_s" Json.to_float json in
+  let* sn_bytes_per_sec = req path "bytes_per_sec" Json.to_float json in
+  let* sn_heap_words = req path "heap_words" Json.to_int json in
+  Ok
+    {
+      Snapshot.sn_bytes;
+      sn_events;
+      sn_depth;
+      sn_live;
+      sn_looking_for;
+      sn_elapsed_s;
+      sn_bytes_per_sec;
+      sn_heap_words;
+    }
+
+let table_of_json path json =
+  let* title = req path "title" Json.to_str json in
+  let* column_values = req path "columns" Json.to_list json in
+  let* columns =
+    decode_list (path ^ ".columns")
+      (fun p v ->
+        match Json.to_str v with
+        | Some s -> Ok s
+        | None -> Error (p ^ ": expected string"))
+      column_values
+  in
+  let* row_values = req path "rows" Json.to_list json in
+  let* rows =
+    decode_list (path ^ ".rows")
+      (fun p v ->
+        match Json.to_list v with
+        | None -> Error (p ^ ": expected array")
+        | Some cells ->
+          decode_list p
+            (fun pc c ->
+              match Json.to_str c with
+              | Some s -> Ok s
+              | None -> Error (pc ^ ": expected string"))
+            cells)
+      row_values
+  in
+  Ok { title; columns; rows }
+
+let gc_of_json path json =
+  let* minor_words = req path "minor_words" Json.to_float json in
+  let* promoted_words = req path "promoted_words" Json.to_float json in
+  let* major_words = req path "major_words" Json.to_float json in
+  let* minor_collections = req path "minor_collections" Json.to_int json in
+  let* major_collections = req path "major_collections" Json.to_int json in
+  let* compactions = req path "compactions" Json.to_int json in
+  let* heap_words = req path "heap_words" Json.to_int json in
+  let* top_heap_words = req path "top_heap_words" Json.to_int json in
+  Ok
+    {
+      minor_words;
+      promoted_words;
+      major_words;
+      minor_collections;
+      major_collections;
+      compactions;
+      heap_words;
+      top_heap_words;
+    }
+
+let of_json json =
+  let path = "report" in
+  let* version = req path "schema_version" Json.to_int json in
+  if version <> schema_version then
+    Error
+      (Printf.sprintf "report: unsupported schema_version %d (this build reads %d)"
+         version schema_version)
+  else
+    let* kind = req path "kind" Json.to_str json in
+    let* created_at = req path "created_at" Json.to_float json in
+    let* config = req path "config" Json.to_obj json in
+    let* stats_fields = req path "stats" Json.to_obj json in
+    let* stats =
+      decode_list (path ^ ".stats")
+        (fun p (k, v) ->
+          match Json.to_float v with
+          | Some x -> Ok (k, x)
+          | None -> Error (Printf.sprintf "%s: field %S is not a number" p k))
+        stats_fields
+    in
+    let* span_values = req path "spans" Json.to_list json in
+    let* spans = decode_list (path ^ ".spans") span_of_json span_values in
+    let* point_values = req path "snapshots" Json.to_list json in
+    let* snapshots =
+      decode_list (path ^ ".snapshots") point_of_json point_values
+    in
+    let* table_values = req path "tables" Json.to_list json in
+    let* tables = decode_list (path ^ ".tables") table_of_json table_values in
+    let* gc =
+      match Json.member "gc" json with
+      | None | Some Json.Null -> Ok None
+      | Some g -> Result.map Option.some (gc_of_json (path ^ ".gc") g)
+    in
+    Ok
+      {
+        version;
+        kind;
+        created_at;
+        config;
+        stats;
+        spans;
+        snapshots;
+        tables;
+        gc;
+      }
+
+let validate json =
+  let* r = of_json json in
+  let* () =
+    let rec monotone last = function
+      | [] -> Ok ()
+      | (p : Snapshot.point) :: rest ->
+        if p.Snapshot.sn_bytes < last then
+          Error
+            (Printf.sprintf
+               "report.snapshots: bytes regress (%d after %d) — not a valid \
+                progress curve"
+               p.Snapshot.sn_bytes last)
+        else monotone p.Snapshot.sn_bytes rest
+    in
+    monotone (-1) r.snapshots
+  in
+  let rec spans_ok = function
+    | [] -> Ok ()
+    | (s : Telemetry.span_summary) :: rest ->
+      if s.Telemetry.count <= 0 then
+        Error
+          (Printf.sprintf "report.spans: span %S has non-positive count"
+             s.Telemetry.span_name)
+      else if s.Telemetry.total_s < 0. then
+        Error
+          (Printf.sprintf "report.spans: span %S has negative total"
+             s.Telemetry.span_name)
+      else spans_ok rest
+  in
+  spans_ok r.spans
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let to_string r = Json.to_string (to_json r)
+
+let write path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string r);
+      output_char oc '\n')
+
+let read path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Json.parse contents with
+    | Error msg -> Error msg
+    | Ok json -> of_json json)

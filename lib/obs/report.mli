@@ -1,0 +1,79 @@
+(** Versioned, machine-readable run reports.
+
+    One schema serves every producer — [xaos eval --report], the bench
+    harness's [BENCH_*.json], CI smoke runs — so a "before/after" diff of
+    two runs is always a diff of two documents with the same shape.
+
+    Schema policy: [schema_version] is bumped on any
+    backwards-incompatible change (field removal, type change, meaning
+    change); adding optional fields is compatible and does not bump it.
+    {!validate} accepts exactly the current version. *)
+
+val schema_version : int
+(** Currently [1]. *)
+
+type table = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+}
+(** A rendered result table (the bench harness records every table it
+    prints). Cells are strings — presentation data; numeric series belong
+    in [stats] or [snapshots]. *)
+
+type gc_summary = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+  top_heap_words : int;
+}
+
+val gc_now : unit -> gc_summary
+(** Snapshot of {!Gc.quick_stat}. *)
+
+type t = {
+  version : int;
+  kind : string;  (** producer: ["eval"], ["bench"], … *)
+  created_at : float;  (** Unix seconds *)
+  config : (string * Json.t) list;  (** what was run, and how *)
+  stats : (string * float) list;  (** scalar results, by stable name *)
+  spans : Telemetry.span_summary list;
+  snapshots : Snapshot.point list;
+  tables : table list;
+  gc : gc_summary option;
+}
+
+val make :
+  ?config:(string * Json.t) list ->
+  ?stats:(string * float) list ->
+  ?spans:Telemetry.span_summary list ->
+  ?snapshots:Snapshot.point list ->
+  ?tables:table list ->
+  ?gc:gc_summary ->
+  kind:string ->
+  unit ->
+  t
+(** A report stamped with {!schema_version} and the current time. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Strict decode: missing required fields, wrong types, or an
+    unsupported [version] are errors. *)
+
+val validate : Json.t -> (unit, string) result
+(** {!of_json} plus semantic checks: snapshot series monotone in bytes,
+    span counts positive. What the CI smoke-bench job runs. *)
+
+val to_string : t -> string
+
+val write : string -> t -> unit
+(** Write to a file, trailing newline included.
+    @raise Sys_error on I/O failure. *)
+
+val read : string -> (t, string) result
+(** Read and decode; I/O errors are returned as [Error]. *)

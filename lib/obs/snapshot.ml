@@ -1,0 +1,59 @@
+type point = {
+  sn_bytes : int;
+  sn_events : int;
+  sn_depth : int;
+  sn_live : int;
+  sn_looking_for : int;
+  sn_elapsed_s : float;
+  sn_bytes_per_sec : float;
+  sn_heap_words : int;
+}
+
+type series = {
+  interval : int;
+  t0 : float;
+  mutable next_at : int;
+  mutable last_bytes : int;
+  mutable rev_points : point list;
+  mutable n : int;
+}
+
+let create ?(interval_bytes = 65536) () =
+  if interval_bytes <= 0 then
+    invalid_arg "Snapshot.create: interval_bytes must be positive";
+  {
+    interval = interval_bytes;
+    t0 = Telemetry.now ();
+    next_at = 0;
+    last_bytes = -1;
+    rev_points = [];
+    n = 0;
+  }
+
+let due s ~bytes = bytes >= s.next_at
+
+let sample s ~bytes ~events ~depth ~live ~looking_for =
+  if bytes >= s.last_bytes then begin
+    let elapsed = Telemetry.now () -. s.t0 in
+    let rate = if elapsed > 0. then float_of_int bytes /. elapsed else 0. in
+    let point =
+      {
+        sn_bytes = bytes;
+        sn_events = events;
+        sn_depth = depth;
+        sn_live = live;
+        sn_looking_for = looking_for;
+        sn_elapsed_s = elapsed;
+        sn_bytes_per_sec = rate;
+        sn_heap_words = (Gc.quick_stat ()).Gc.heap_words;
+      }
+    in
+    s.last_bytes <- bytes;
+    s.next_at <- bytes + s.interval;
+    s.rev_points <- point :: s.rev_points;
+    s.n <- s.n + 1
+  end
+
+let points s = List.rev s.rev_points
+
+let length s = s.n

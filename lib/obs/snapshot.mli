@@ -1,0 +1,45 @@
+(** Periodic stream snapshots: a time series, over document bytes, of
+    the quantities the paper reasons about — live matching structures
+    (the "store only the relevant fraction" claim), the looking-for set
+    size (the filtering claim), open-element depth, throughput, and GC
+    heap size.
+
+    The driver of the event loop owns the sampling cadence: per event it
+    calls the cheap {!due} check and, when it fires, gathers the engine
+    quantities and calls {!sample}. The series enforces monotonicity in
+    [bytes] — a regressing sample is dropped, so a recorded series is
+    always a valid progress curve. *)
+
+type point = {
+  sn_bytes : int;  (** input bytes consumed when the sample was taken *)
+  sn_events : int;  (** events fed so far *)
+  sn_depth : int;  (** open-element depth *)
+  sn_live : int;  (** live matching structures (created - refuted) *)
+  sn_looking_for : int;  (** size of the looking-for set *)
+  sn_elapsed_s : float;  (** seconds since {!create} *)
+  sn_bytes_per_sec : float;  (** [sn_bytes / sn_elapsed_s]; 0 at t=0 *)
+  sn_heap_words : int;  (** major-heap size ({!Gc.quick_stat}) *)
+}
+
+type series
+
+val create : ?interval_bytes:int -> unit -> series
+(** A fresh series; the first sample is due immediately, then every
+    [interval_bytes] (default 65536) of stream progress. Uses
+    {!Telemetry.now} as its clock. *)
+
+val due : series -> bytes:int -> bool
+(** Whether the next sample is due — two loads and a compare, cheap
+    enough for a per-event call. *)
+
+val sample :
+  series -> bytes:int -> events:int -> depth:int -> live:int ->
+  looking_for:int -> unit
+(** Record a point (unconditionally — pair with {!due} for cadence).
+    Elapsed time, throughput and heap size are captured here. Samples
+    with [bytes] below the last recorded point are dropped. *)
+
+val points : series -> point list
+(** Chronological. *)
+
+val length : series -> int

@@ -1,0 +1,364 @@
+(* The update path is deliberately branch-and-store only: [on] is the
+   single sink flag every operation checks before touching its cell. *)
+
+let on = ref false
+
+let clock = ref Unix.gettimeofday
+
+let now () = !clock ()
+
+let set_clock f = clock := f
+
+let enable () = on := true
+
+let disable () = on := false
+
+let enabled () = !on
+
+(* ------------------------------------------------------------------ *)
+(* Metric cells                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; c_help : string; mutable c_value : int }
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  mutable g_value : int;
+  mutable g_max : int;
+}
+
+let bucket_count = 22 (* upper bounds 2^0 .. 2^20, then +inf *)
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  mutable hc_count : int;
+  mutable hc_sum : float;
+  mutable hc_min : float;
+  mutable hc_max : float;
+  hc_buckets : int array;  (* non-cumulative; cumulated on drain *)
+}
+
+type span = {
+  sp_name : string;
+  sp_help : string;
+  mutable sp_count : int;
+  mutable sp_total : float;
+  mutable sp_min : float;
+  mutable sp_max : float;
+  mutable sp_t0 : float;  (* negative = no open occurrence *)
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Span of span
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+(* registration order, for stable exposition and reports *)
+let order : metric list ref = ref []
+
+let register name m =
+  Hashtbl.add registry name m;
+  order := m :: !order;
+  m
+
+let find_or_register name make expect =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+    match expect m with
+    | Some cell -> cell
+    | None -> invalid_arg ("Telemetry: metric kind mismatch for " ^ name))
+  | None -> (
+    match expect (register name (make ())) with
+    | Some cell -> cell
+    | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counter ?(help = "") name =
+  find_or_register name
+    (fun () -> Counter { c_name = name; c_help = help; c_value = 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = if !on then c.c_value <- c.c_value + 1
+
+let add c n = if !on then c.c_value <- c.c_value + n
+
+let counter_value c = c.c_value
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gauge ?(help = "") name =
+  find_or_register name
+    (fun () -> Gauge { g_name = name; g_help = help; g_value = 0; g_max = 0 })
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v =
+  if !on then begin
+    g.g_value <- v;
+    if v > g.g_max then g.g_max <- v
+  end
+
+let gauge_value g = g.g_value
+
+let gauge_max g = g.g_max
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let histogram ?(help = "") name =
+  find_or_register name
+    (fun () ->
+      Histogram
+        {
+          h_name = name;
+          h_help = help;
+          hc_count = 0;
+          hc_sum = 0.;
+          hc_min = infinity;
+          hc_max = neg_infinity;
+          hc_buckets = Array.make bucket_count 0;
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+let bucket_bound i =
+  if i >= bucket_count - 1 then infinity else Float.of_int (1 lsl i)
+
+let bucket_index x =
+  let rec loop i = if i >= bucket_count - 1 || x <= bucket_bound i then i else loop (i + 1) in
+  loop 0
+
+let observe h x =
+  if !on then begin
+    h.hc_count <- h.hc_count + 1;
+    h.hc_sum <- h.hc_sum +. x;
+    if x < h.hc_min then h.hc_min <- x;
+    if x > h.hc_max then h.hc_max <- x;
+    let i = bucket_index x in
+    h.hc_buckets.(i) <- h.hc_buckets.(i) + 1
+  end
+
+let observe_int h n = observe h (float_of_int n)
+
+type histogram_summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+let histogram_summary h =
+  let cumulative = ref 0 in
+  let buckets =
+    List.init bucket_count (fun i ->
+        cumulative := !cumulative + h.hc_buckets.(i);
+        (bucket_bound i, !cumulative))
+  in
+  {
+    h_count = h.hc_count;
+    h_sum = h.hc_sum;
+    h_min = (if h.hc_count = 0 then 0. else h.hc_min);
+    h_max = (if h.hc_count = 0 then 0. else h.hc_max);
+    h_buckets = buckets;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let span ?(help = "") name =
+  find_or_register name
+    (fun () ->
+      Span
+        {
+          sp_name = name;
+          sp_help = help;
+          sp_count = 0;
+          sp_total = 0.;
+          sp_min = infinity;
+          sp_max = neg_infinity;
+          sp_t0 = -1.;
+        })
+    (function Span s -> Some s | _ -> None)
+
+let enter s = if !on then s.sp_t0 <- !clock ()
+
+let leave s =
+  if !on && s.sp_t0 >= 0. then begin
+    let d = !clock () -. s.sp_t0 in
+    let d = if d < 0. then 0. else d in
+    s.sp_t0 <- -1.;
+    s.sp_count <- s.sp_count + 1;
+    s.sp_total <- s.sp_total +. d;
+    if d < s.sp_min then s.sp_min <- d;
+    if d > s.sp_max then s.sp_max <- d
+  end
+
+let time s f =
+  enter s;
+  match f () with
+  | result ->
+    leave s;
+    result
+  | exception e ->
+    leave s;
+    raise e
+
+type span_summary = {
+  span_name : string;
+  count : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+}
+
+let span_summary s =
+  {
+    span_name = s.sp_name;
+    count = s.sp_count;
+    total_s = s.sp_total;
+    min_s = (if s.sp_count = 0 then 0. else s.sp_min);
+    max_s = (if s.sp_count = 0 then 0. else s.sp_max);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registry-wide operations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  List.iter
+    (function
+      | Counter c -> c.c_value <- 0
+      | Gauge g ->
+        g.g_value <- 0;
+        g.g_max <- 0
+      | Histogram h ->
+        h.hc_count <- 0;
+        h.hc_sum <- 0.;
+        h.hc_min <- infinity;
+        h.hc_max <- neg_infinity;
+        Array.fill h.hc_buckets 0 bucket_count 0
+      | Span s ->
+        s.sp_count <- 0;
+        s.sp_total <- 0.;
+        s.sp_min <- infinity;
+        s.sp_max <- neg_infinity;
+        s.sp_t0 <- -1.)
+    !order
+
+let in_order () = List.rev !order
+
+let counters () =
+  List.filter_map
+    (function
+      | Counter c when c.c_value <> 0 -> Some (c.c_name, c.c_value)
+      | _ -> None)
+    (in_order ())
+
+let gauges () =
+  List.filter_map
+    (function
+      | Gauge g when g.g_value <> 0 || g.g_max <> 0 ->
+        Some (g.g_name, g.g_value)
+      | _ -> None)
+    (in_order ())
+
+let span_summaries () =
+  List.filter_map
+    (function
+      | Span s when s.sp_count > 0 -> Some (span_summary s)
+      | _ -> None)
+    (in_order ())
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let preamble buf name help kind =
+  if help <> "" then begin
+    Buffer.add_string buf "# HELP ";
+    Buffer.add_string buf name;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf help;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf "# TYPE ";
+  Buffer.add_string buf name;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf kind;
+  Buffer.add_char buf '\n'
+
+let sample buf name value =
+  Buffer.add_string buf name;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let fnum x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    string_of_int (int_of_float x)
+  else Printf.sprintf "%.9g" x
+
+let expose buf =
+  List.iter
+    (function
+      | Counter c ->
+        preamble buf c.c_name c.c_help "counter";
+        sample buf c.c_name (string_of_int c.c_value)
+      | Gauge g ->
+        preamble buf g.g_name g.g_help "gauge";
+        sample buf g.g_name (string_of_int g.g_value);
+        sample buf (g.g_name ^ "_max") (string_of_int g.g_max)
+      | Histogram h ->
+        preamble buf h.h_name h.h_help "histogram";
+        let s = histogram_summary h in
+        List.iter
+          (fun (bound, cumulative) ->
+            let le =
+              if bound = infinity then "+Inf" else fnum bound
+            in
+            sample buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"}" h.h_name le)
+              (string_of_int cumulative))
+          s.h_buckets;
+        sample buf (h.h_name ^ "_sum") (fnum s.h_sum);
+        sample buf (h.h_name ^ "_count") (string_of_int s.h_count)
+      | Span s ->
+        preamble buf s.sp_name s.sp_help "summary";
+        sample buf (s.sp_name ^ "_count") (string_of_int s.sp_count);
+        sample buf (s.sp_name ^ "_sum") (fnum s.sp_total))
+    (in_order ())
+
+(* ------------------------------------------------------------------ *)
+(* GC probes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_peak_heap f =
+  Gc.compact ();
+  let peak = ref (Gc.quick_stat ()).Gc.heap_words in
+  let alarm =
+    Gc.create_alarm (fun () ->
+        let w = (Gc.quick_stat ()).Gc.heap_words in
+        if w > !peak then peak := w)
+  in
+  let finish () = Gc.delete_alarm alarm in
+  let result =
+    try f ()
+    with e ->
+      finish ();
+      raise e
+  in
+  finish ();
+  let w = (Gc.quick_stat ()).Gc.heap_words in
+  if w > !peak then peak := w;
+  (result, !peak)

@@ -6,6 +6,27 @@ type position = {
 
 exception Error of position * string
 
+(* Telemetry hook points (no-ops unless a sink is installed): bytes are
+   counted per refill, not per character, so the disabled cost sits on
+   the buffer-fill path rather than the per-byte hot loop. *)
+module Tel = Xaos_obs.Telemetry
+
+let counter_bytes =
+  Tel.counter ~help:"input bytes consumed by the SAX parser"
+    "xaos_sax_bytes_total"
+
+let counter_events =
+  Tel.counter ~help:"events produced by the SAX parser"
+    "xaos_sax_events_total"
+
+let counter_refs =
+  Tel.counter ~help:"character/entity references expanded"
+    "xaos_sax_ref_expansions_total"
+
+let counter_faults =
+  Tel.counter ~help:"well-formedness faults recovered in lenient mode"
+    "xaos_sax_faults_total"
+
 (* ------------------------------------------------------------------ *)
 (* Resource limits                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -183,6 +204,7 @@ let lenient p = p.mode = Lenient
    hostile as a depth bomb. *)
 let fault_at p pos msg =
   p.faults <- p.faults + 1;
+  Tel.incr counter_faults;
   if p.faults > p.limits.max_faults then
     raise (Limit_exceeded (pos, Max_faults, p.limits.max_faults));
   p.on_fault { fault_position = pos; fault_message = msg }
@@ -200,7 +222,7 @@ let ensure p =
     let count = p.refill p.buf buffer_size in
     p.pos <- 0;
     p.len <- count;
-    if count = 0 then p.eof <- true
+    if count = 0 then p.eof <- true else Tel.add counter_bytes count
   end
 
 (* Peek at the next byte without consuming it; '\000' at end of input
@@ -312,6 +334,7 @@ let expand_entity = function
    recovered by appending its raw text instead of raising. *)
 let read_reference p buf =
   p.refs <- p.refs + 1;
+  Tel.incr counter_refs;
   if p.refs > p.limits.max_ref_expansions then
     limit_error p Max_ref_expansions p.limits.max_ref_expansions;
   if Char.equal (peek p) '#' then begin
@@ -869,7 +892,7 @@ let rec next_raw p =
    '<' before it can fail, so the retry is guaranteed to advance.
    [Limit_exceeded] is a resource guard, not a recoverable fault: it
    propagates in both modes. *)
-let rec next p =
+let rec next_mode p =
   match p.mode with
   | Strict -> next_raw p
   | Lenient -> (
@@ -882,7 +905,14 @@ let rec next p =
       do
         advance p
       done;
-      next p)
+      next_mode p)
+
+let next p =
+  match next_mode p with
+  | Some _ as result ->
+    Tel.incr counter_events;
+    result
+  | None -> None
 
 let iter f p =
   let rec loop () =

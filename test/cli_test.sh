@@ -101,6 +101,33 @@ PART=$("$XAOS" eval --partial-ok --count '//listitem/ancestor::category//name' "
   || fail "partial-ok on truncated xmark should exit 0"
 [ "$PART" -le "$FULL" ] || fail "partial count $PART exceeds full count $FULL"
 
+# --- telemetry: --report, report validate, --metrics ------------------------
+"$XAOS" eval --count --report "$WORK/run.json" \
+  '//listitem/ancestor::category//name' "$WORK/xm.xml" > /dev/null
+test -s "$WORK/run.json" || fail "--report wrote nothing"
+OUT=$(grep -c '"schema_version": 1' "$WORK/run.json")
+expect "report carries schema version" "1" "$OUT"
+OUT=$(grep -c '"snapshots"' "$WORK/run.json")
+expect "report carries snapshot series" "1" "$OUT"
+"$XAOS" report validate "$WORK/run.json" > /dev/null \
+  || fail "report validate rejected a fresh report"
+echo '{"schema_version": 999, "kind": "eval"}' > "$WORK/future.json"
+code 3 "$XAOS" report validate "$WORK/future.json"
+code 2 "$XAOS" report validate "$WORK/no_such_report.json"
+OUT=$("$XAOS" eval --count --metrics - '//b' "$WORK/small.xml" | grep -c '^xaos_sax_events_total')
+expect "metrics exposition has sax counter" "1" "$OUT"
+# --report needs the streaming engine
+code 1 "$XAOS" eval --engine dom --report "$WORK/r2.json" '//b' "$WORK/small.xml"
+# --stats now includes wall-clock and peak heap
+OUT=$("$XAOS" eval --stats '//b' "$WORK/small.xml" 2>&1 >/dev/null | grep -c 'peak heap:')
+expect "--stats reports peak heap" "1" "$OUT"
+
+# --- trace truncation message states the limit -------------------------------
+OUT=$("$XAOS" trace --limit 1 '//b' "$WORK/small.xml" | grep -c -- '--limit is 1, default 200')
+expect "trace truncation states current limit and default" "1" "$OUT"
+OUT=$("$XAOS" trace --help=plain 2>/dev/null | grep -c 'default 200')
+expect "trace --help documents the default limit" "1" "$OUT"
+
 # --- generate random is deterministic ---------------------------------------
 "$XAOS" generate random --seed 5 --elements 500 -o "$WORK/r1.xml" --query-out "$WORK/q1" 2>/dev/null
 "$XAOS" generate random --seed 5 --elements 500 -o "$WORK/r2.xml" --query-out "$WORK/q2" 2>/dev/null

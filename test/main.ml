@@ -19,6 +19,8 @@ let () =
       ("workloads", Test_workloads.suite);
       ("deepgen", Test_deepgen.suite);
       ("misc", Test_misc.suite);
+      ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
       ("hardening", Test_hardening.suite);
       ("fuzz", Test_fuzz.suite);

@@ -1,0 +1,302 @@
+(* Telemetry layer: disabled path is inert, enabled path counts, spans
+   time with an injected clock, JSON round-trips exactly, and run
+   reports survive serialise -> parse -> of_json. *)
+
+module Tel = Xaos_obs.Telemetry
+module Json = Xaos_obs.Json
+module Report = Xaos_obs.Report
+module Snapshot = Xaos_obs.Snapshot
+
+(* Each test starts from a clean slate; cells persist (process-global
+   registry) but their values reset. *)
+let fresh () =
+  Tel.reset ();
+  Tel.disable ()
+
+(* ---------------- telemetry ---------------- *)
+
+let test_disabled_is_noop () =
+  fresh ();
+  let c = Tel.counter "test_noop_total" in
+  Tel.incr c;
+  Tel.add c 41;
+  Alcotest.(check int) "counter untouched" 0 (Tel.counter_value c);
+  let g = Tel.gauge "test_noop_gauge" in
+  Tel.set_gauge g 7;
+  Alcotest.(check int) "gauge untouched" 0 (Tel.gauge_value g)
+
+let test_enabled_counts () =
+  fresh ();
+  Tel.enable ();
+  let c = Tel.counter "test_count_total" in
+  Tel.incr c;
+  Tel.add c 41;
+  Alcotest.(check int) "counter" 42 (Tel.counter_value c);
+  let g = Tel.gauge "test_count_gauge" in
+  Tel.set_gauge g 7;
+  Tel.set_gauge g 3;
+  Alcotest.(check int) "gauge holds last value" 3 (Tel.gauge_value g);
+  Alcotest.(check int) "gauge high-water" 7 (Tel.gauge_max g);
+  Tel.reset ();
+  Alcotest.(check int) "reset clears" 0 (Tel.counter_value c)
+
+let test_registry_dedups () =
+  fresh ();
+  let a = Tel.counter "test_dedup_total" in
+  let b = Tel.counter "test_dedup_total" in
+  Tel.enable ();
+  Tel.incr a;
+  Tel.incr b;
+  Alcotest.(check int) "same cell" 2 (Tel.counter_value a);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Telemetry: metric kind mismatch for test_dedup_total")
+    (fun () -> ignore (Tel.gauge "test_dedup_total"))
+
+let test_span_with_injected_clock () =
+  fresh ();
+  Tel.enable ();
+  let t = ref 0. in
+  Tel.set_clock (fun () -> !t);
+  let sp = Tel.span "test_span_seconds" in
+  Tel.enter sp;
+  t := 1.5;
+  Tel.leave sp;
+  Tel.enter sp;
+  t := 2.0;
+  Tel.leave sp;
+  (* unmatched leave must be ignored, not crash or double-count *)
+  Tel.leave sp;
+  let s = Tel.span_summary sp in
+  Tel.set_clock (fun () -> Unix.gettimeofday ());
+  Alcotest.(check int) "count" 2 s.Tel.count;
+  Alcotest.(check (float 1e-9)) "total" 2.0 s.Tel.total_s;
+  Alcotest.(check (float 1e-9)) "min" 0.5 s.Tel.min_s;
+  Alcotest.(check (float 1e-9)) "max" 1.5 s.Tel.max_s
+
+let test_time_is_exception_safe () =
+  fresh ();
+  Tel.enable ();
+  let sp = Tel.span "test_time_seconds" in
+  (try Tel.time sp (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "span closed despite raise" 1
+    (Tel.span_summary sp).Tel.count
+
+let test_histogram_summary () =
+  fresh ();
+  Tel.enable ();
+  let h = Tel.histogram "test_hist" in
+  List.iter (Tel.observe h) [ 1.; 3.; 100. ];
+  let s = Tel.histogram_summary h in
+  Alcotest.(check int) "count" 3 s.Tel.h_count;
+  Alcotest.(check (float 1e-9)) "sum" 104. s.Tel.h_sum;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Tel.h_min;
+  Alcotest.(check (float 1e-9)) "max" 100. s.Tel.h_max;
+  (* cumulative buckets end with +inf holding everything *)
+  let _, last = List.nth s.Tel.h_buckets (List.length s.Tel.h_buckets - 1) in
+  Alcotest.(check int) "inf bucket" 3 last
+
+let test_expose_mentions_metrics () =
+  fresh ();
+  Tel.enable ();
+  let c = Tel.counter ~help:"a test counter" "test_expose_total" in
+  Tel.add c 5;
+  let buf = Buffer.create 256 in
+  Tel.expose buf;
+  let text = Buffer.contents buf in
+  let contains needle =
+    let n = String.length needle and len = String.length text in
+    let rec at i = i + n <= len && (String.sub text i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "sample line" true (contains "test_expose_total 5");
+  Alcotest.(check bool) "help line" true
+    (contains "# HELP test_expose_total a test counter");
+  Alcotest.(check bool) "type line" true
+    (contains "# TYPE test_expose_total counter")
+
+(* ---------------- json ---------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("i", Json.Int 42);
+        ("f", Json.Float 0.1);
+        ("tiny", Json.Float 5.9604644775390625e-06);
+        ("s", Json.String "he said \"hi\"\n\ttab");
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Error e -> Alcotest.fail e
+  | Ok v' ->
+    (* structural equality must hold exactly, floats included *)
+    Alcotest.(check bool) "round trip" true (v = v')
+
+let test_json_parse_errors () =
+  let bad = [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    bad
+
+let test_json_accessors () =
+  match Json.parse {|{"a": {"b": [10, 2.5]}, "s": "x"}|} with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    let open Json in
+    (match member "a" v with
+    | Some a -> (
+      match member "b" a with
+      | Some (List [ i; f ]) ->
+        Alcotest.(check (option int)) "int" (Some 10) (to_int i);
+        Alcotest.(check (option (float 0.))) "float" (Some 2.5) (to_float f)
+      | _ -> Alcotest.fail "b not a 2-list")
+    | None -> Alcotest.fail "missing a");
+    Alcotest.(check bool) "absent member" true (member "zz" v = None)
+
+(* ---------------- snapshot ---------------- *)
+
+let test_snapshot_series () =
+  fresh ();
+  let t = ref 0. in
+  Tel.set_clock (fun () -> !t);
+  let s = Snapshot.create ~interval_bytes:100 () in
+  Alcotest.(check bool) "first sample due immediately" true
+    (Snapshot.due s ~bytes:0);
+  Snapshot.sample s ~bytes:0 ~events:0 ~depth:0 ~live:0 ~looking_for:1;
+  Alcotest.(check bool) "not due before interval" false
+    (Snapshot.due s ~bytes:99);
+  t := 1.0;
+  Snapshot.sample s ~bytes:200 ~events:10 ~depth:3 ~live:5 ~looking_for:2;
+  (* a regressing byte offset must be dropped, keeping the series
+     monotone *)
+  Snapshot.sample s ~bytes:150 ~events:11 ~depth:3 ~live:5 ~looking_for:2;
+  Tel.set_clock (fun () -> Unix.gettimeofday ());
+  let pts = Snapshot.points s in
+  Alcotest.(check int) "two points" 2 (List.length pts);
+  let bytes = List.map (fun p -> p.Snapshot.sn_bytes) pts in
+  Alcotest.(check (list int)) "monotone bytes" [ 0; 200 ] bytes;
+  let last = List.nth pts 1 in
+  Alcotest.(check (float 1e-9)) "elapsed" 1.0 last.Snapshot.sn_elapsed_s;
+  Alcotest.(check (float 1e-6)) "rate" 200. last.Snapshot.sn_bytes_per_sec
+
+(* ---------------- report ---------------- *)
+
+let sample_report () =
+  fresh ();
+  Tel.enable ();
+  let t = ref 0. in
+  Tel.set_clock (fun () -> !t);
+  let sp = Tel.span "test_report_seconds" in
+  Tel.enter sp;
+  t := 0.25;
+  Tel.leave sp;
+  let snap = Snapshot.create ~interval_bytes:10 () in
+  Snapshot.sample snap ~bytes:0 ~events:0 ~depth:0 ~live:0 ~looking_for:1;
+  t := 0.5;
+  Snapshot.sample snap ~bytes:50 ~events:9 ~depth:2 ~live:3 ~looking_for:2;
+  Tel.set_clock (fun () -> Unix.gettimeofday ());
+  Report.make ~kind:"test"
+    ~config:[ ("query", Json.String "//a"); ("eager", Json.Bool false) ]
+    ~stats:[ ("elements_total", 12.); ("wall_s", 0.5) ]
+    ~spans:[ Tel.span_summary sp ]
+    ~snapshots:(Snapshot.points snap)
+    ~tables:
+      [ { Report.title = "t"; columns = [ "a"; "b" ]; rows = [ [ "1"; "2" ] ] } ]
+    ~gc:(Report.gc_now ()) ()
+
+let test_report_round_trip () =
+  let r = sample_report () in
+  let text = Report.to_string r in
+  match Json.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok json -> (
+    match Report.of_json json with
+    | Error e -> Alcotest.fail e
+    | Ok r' ->
+      Alcotest.(check int) "version" Report.schema_version r'.Report.version;
+      Alcotest.(check string) "kind" "test" r'.Report.kind;
+      Alcotest.(check bool) "config" true (r.Report.config = r'.Report.config);
+      Alcotest.(check bool) "stats" true (r.Report.stats = r'.Report.stats);
+      Alcotest.(check bool) "spans" true (r.Report.spans = r'.Report.spans);
+      Alcotest.(check bool) "snapshots" true
+        (r.Report.snapshots = r'.Report.snapshots);
+      Alcotest.(check bool) "tables" true (r.Report.tables = r'.Report.tables);
+      Alcotest.(check bool) "gc" true (r.Report.gc = r'.Report.gc))
+
+let test_report_validate () =
+  let r = sample_report () in
+  (match Report.validate (Report.to_json r) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid report rejected: %s" e);
+  (* an unsupported schema version must be rejected, not guessed at *)
+  let bump = function
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "schema_version", _ -> ("schema_version", Json.Int 999)
+             | kv -> kv)
+           fields)
+    | j -> j
+  in
+  (match Report.validate (bump (Report.to_json r)) with
+  | Ok () -> Alcotest.fail "future schema version accepted"
+  | Error _ -> ());
+  (* snapshots out of byte order are a malformed series *)
+  let scramble = function
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "snapshots", Json.List [ a; b ] ->
+               ("snapshots", Json.List [ b; a ])
+             | kv -> kv)
+           fields)
+    | j -> j
+  in
+  match Report.validate (scramble (Report.to_json r)) with
+  | Ok () -> Alcotest.fail "non-monotone snapshots accepted"
+  | Error _ -> ()
+
+let test_report_write_read () =
+  let r = sample_report () in
+  let path = Filename.temp_file "xaos_report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Report.write path r;
+      match Report.read path with
+      | Error e -> Alcotest.fail e
+      | Ok r' ->
+        Alcotest.(check bool) "file round trip" true
+          (r.Report.stats = r'.Report.stats
+          && r.Report.snapshots = r'.Report.snapshots))
+
+let suite =
+  [
+    Alcotest.test_case "disabled telemetry is a no-op" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "enabled telemetry counts" `Quick test_enabled_counts;
+    Alcotest.test_case "registry dedups by name" `Quick test_registry_dedups;
+    Alcotest.test_case "span timing with injected clock" `Quick
+      test_span_with_injected_clock;
+    Alcotest.test_case "time closes span on raise" `Quick
+      test_time_is_exception_safe;
+    Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+    Alcotest.test_case "prometheus exposition" `Quick
+      test_expose_mentions_metrics;
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "snapshot series monotone" `Quick test_snapshot_series;
+    Alcotest.test_case "report round trip" `Quick test_report_round_trip;
+    Alcotest.test_case "report validation" `Quick test_report_validate;
+    Alcotest.test_case "report write/read" `Quick test_report_write_read;
+  ]

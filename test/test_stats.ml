@@ -1,0 +1,94 @@
+(* Stats aggregation semantics: how per-disjunct engine counters combine
+   into the figure a user sees, and the edge cases of the Table 3
+   discarded fraction. *)
+
+open Xaos_core
+
+let filled a b c d e f g h i j =
+  let s = Stats.create () in
+  s.Stats.elements_total <- a;
+  s.Stats.elements_stored <- b;
+  s.Stats.elements_discarded <- c;
+  s.Stats.structures_created <- d;
+  s.Stats.structures_refuted <- e;
+  s.Stats.live_peak <- f;
+  s.Stats.propagations <- g;
+  s.Stats.undos <- h;
+  s.Stats.max_depth <- i;
+  s.Stats.parse_faults <- j;
+  s
+
+let test_add_sums_and_maxes () =
+  let a = filled 10 3 7 4 1 3 9 2 5 1 in
+  let b = filled 20 5 15 6 2 4 11 3 2 2 in
+  let sum = Stats.add a b in
+  Alcotest.(check int) "elements_total summed" 30 sum.Stats.elements_total;
+  Alcotest.(check int) "elements_stored summed" 8 sum.Stats.elements_stored;
+  Alcotest.(check int) "elements_discarded summed" 22 sum.Stats.elements_discarded;
+  Alcotest.(check int) "structures_created summed" 10 sum.Stats.structures_created;
+  Alcotest.(check int) "structures_refuted summed" 3 sum.Stats.structures_refuted;
+  (* disjunct engines hold their structures simultaneously: peaks add *)
+  Alcotest.(check int) "live_peak summed" 7 sum.Stats.live_peak;
+  Alcotest.(check int) "propagations summed" 20 sum.Stats.propagations;
+  Alcotest.(check int) "undos summed" 5 sum.Stats.undos;
+  (* both engines see the same document: depth is a max, not a sum *)
+  Alcotest.(check int) "max_depth maxed" 5 sum.Stats.max_depth;
+  Alcotest.(check int) "parse_faults summed" 3 sum.Stats.parse_faults
+
+let test_add_identity () =
+  let a = filled 10 3 7 4 1 3 9 2 5 1 in
+  let z = Stats.create () in
+  let sum = Stats.add a z in
+  List.iter2
+    (fun (name, expected) (name', got) ->
+      Alcotest.(check string) "field order" name name';
+      Alcotest.(check int) name expected got)
+    (Stats.to_fields a) (Stats.to_fields sum)
+
+let test_discarded_fraction_empty () =
+  (* no elements seen at all: the fraction is defined as 0, not NaN *)
+  let s = Stats.create () in
+  Alcotest.(check (float 0.)) "empty doc" 0. (Stats.discarded_fraction s)
+
+let test_discarded_fraction_all_discarded () =
+  (* a query matching nothing discards every element *)
+  let q = Query.compile_exn "//zzz" in
+  let result, s = Query.run_string_with_stats q "<a><b/><c><d/></c></a>" in
+  Alcotest.(check int) "no results" 0 (List.length result.Result_set.items);
+  Alcotest.(check int) "all elements seen" 4 s.Stats.elements_total;
+  Alcotest.(check (float 0.)) "all discarded" 1. (Stats.discarded_fraction s)
+
+let test_discarded_fraction_partial () =
+  let s = Stats.create () in
+  s.Stats.elements_total <- 8;
+  s.Stats.elements_discarded <- 6;
+  Alcotest.(check (float 1e-9)) "three quarters" 0.75
+    (Stats.discarded_fraction s)
+
+let test_to_fields_covers_all_counters () =
+  let fields = Stats.to_fields (filled 1 2 3 4 5 6 7 8 9 10) in
+  Alcotest.(check int) "ten counters" 10 (List.length fields);
+  let names = List.map fst fields in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (List.mem n names))
+    [
+      "elements_total"; "elements_stored"; "elements_discarded";
+      "structures_created"; "structures_refuted"; "live_peak";
+      "propagations"; "undos"; "max_depth"; "parse_faults";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "add sums counters, maxes depth" `Quick
+      test_add_sums_and_maxes;
+    Alcotest.test_case "add with zero is identity" `Quick test_add_identity;
+    Alcotest.test_case "discarded_fraction on empty doc" `Quick
+      test_discarded_fraction_empty;
+    Alcotest.test_case "discarded_fraction when all discarded" `Quick
+      test_discarded_fraction_all_discarded;
+    Alcotest.test_case "discarded_fraction partial" `Quick
+      test_discarded_fraction_partial;
+    Alcotest.test_case "to_fields covers every counter" `Quick
+      test_to_fields_covers_all_counters;
+  ]
