@@ -45,10 +45,16 @@ let run_fig67 report full runs sizes_opt =
 let run_ablation report scale =
   reporting report (fun () -> Ablation.run ~scale ())
 
-let run_filtering report full =
-  let counts = if full then [ 10; 50; 250; 1000 ] else [ 10; 50; 250 ] in
+let filtering_counts ~full counts_opt =
+  match counts_opt with
+  | Some counts -> counts
+  | None -> if full then [ 10; 100; 1000; 10000 ] else [ 10; 100; 1000 ]
+
+let run_filtering report full counts_opt =
   reporting report (fun () ->
-      Filtering.run ~subscription_counts:counts ~docs:(if full then 20 else 8) ())
+      Filtering.run
+        ~subscription_counts:(filtering_counts ~full counts_opt)
+        ~docs:(if full then 12 else 8) ())
 
 let run_micro report = reporting report (fun () -> Micro.run ())
 
@@ -59,8 +65,9 @@ let run_all report full =
       let sizes = if full then Fig67.paper_sizes else Fig67.default_sizes in
       ignore (Fig67.run ~sizes ~runs:(if full then 10 else 5) ());
       Ablation.run ~scale:(if full then 0.05 else 0.02) ();
-      let counts = if full then [ 10; 50; 250; 1000 ] else [ 10; 50; 250 ] in
-      Filtering.run ~subscription_counts:counts ~docs:(if full then 20 else 8) ();
+      Filtering.run
+        ~subscription_counts:(filtering_counts ~full None)
+        ~docs:(if full then 12 else 8) ();
       Micro.run ())
 
 (* ---------------- cmdliner plumbing ---------------- *)
@@ -98,8 +105,12 @@ let report_t =
   let doc = "Write results as a versioned JSON run report to $(docv)." in
   Arg.(
     value
-    & opt string "BENCH_PR2.json"
+    & opt string "BENCH_PR3.json"
     & info [ "report" ] ~docv:"FILE" ~doc)
+
+let counts_t =
+  let doc = "Comma-separated subscription-set sizes for the filtering sweep." in
+  Arg.(value & opt (some (list ~sep:',' int)) None & info [ "counts" ] ~doc)
 
 let fig5_cmd =
   Cmd.v
@@ -129,9 +140,10 @@ let ablation_cmd =
 let filtering_cmd =
   Cmd.v
     (Cmd.info "filtering"
-       ~doc:"Extension: publish/subscribe filtering, shared automaton vs \
-             per-query engines")
-    Term.(const run_filtering $ report_t $ full_t)
+       ~doc:"Extension: publish/subscribe filtering — yfilter's shared \
+             automaton vs the naive per-query loop vs the shared dispatch \
+             index")
+    Term.(const run_filtering $ report_t $ full_t $ counts_t)
 
 let micro_cmd =
   Cmd.v

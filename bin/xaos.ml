@@ -408,7 +408,7 @@ let trace_cmd query file limit =
 (* filter (publish/subscribe)                                          *)
 (* ------------------------------------------------------------------ *)
 
-let filter_cmd subscriptions_file docs hardening =
+let filter_cmd subscriptions_file docs shared hardening =
   let h = hardening in
   let subscriptions =
     let ic =
@@ -428,18 +428,25 @@ let filter_cmd subscriptions_file docs hardening =
         in
         loop [])
   in
-  let compiled =
-    List.map (fun q -> (q, or_die_query (Query.compile q))) subscriptions
+  (* names must be unique (the same expression may be subscribed twice),
+     so queries are named by position; compile errors carry both *)
+  let set =
+    or_die_query
+      (Query_set.compile
+         (List.mapi
+            (fun i q -> (Printf.sprintf "#%d (%s)" (i + 1) q, q))
+            subscriptions))
   in
+  let dispatch = if shared then Query_set.Shared else Query_set.Naive in
   let exit_code = ref 0 in
   List.iter
     (fun doc_file ->
       (* one pass over the document feeds every subscription *)
-      let runs =
-        List.map (fun (q, c) -> (q, Query.start ?budget:h.budget c)) compiled
-      in
+      let session = Query_set.start ?budget:h.budget ~dispatch set in
       (* unlike eval, a failing document must not abort the whole batch:
-         report it, pick the right exit code, move on *)
+         report it, pick the right exit code, move on. A budget trip is
+         not a document failure at all any more — the session isolates it
+         to the offending run *)
       let outcome =
         match open_in_bin doc_file with
         | exception Sys_error msg -> Failed (exit_io_error, msg)
@@ -452,45 +459,47 @@ let filter_cmd subscriptions_file docs hardening =
                   ic
               in
               try
-                Xaos_xml.Sax.iter
-                  (fun ev ->
-                    List.iter (fun (_, run) -> Query.feed run ev) runs)
-                  parser;
+                Xaos_xml.Sax.iter (Query_set.feed session) parser;
                 Complete
               with
               | Xaos_xml.Sax.Error (pos, msg) ->
                 Failed (exit_ill_formed, sax_error_message pos msg)
               | Xaos_xml.Sax.Limit_exceeded (pos, kind, bound) ->
-                Failed (exit_limit, limit_message pos kind bound)
-              | Engine.Budget_exceeded { live; budget } ->
-                Failed
-                  ( exit_limit,
-                    Printf.sprintf
-                      "engine budget exceeded: %d live structures (cap %d)"
-                      live budget ))
+                Failed (exit_limit, limit_message pos kind bound))
       in
-      let finish_run =
+      let outcomes =
         match outcome with
-        | Complete -> Query.finish
+        | Complete ->
+          let outcomes = Query_set.finish session in
+          List.iter
+            (fun (o : Query_set.outcome) ->
+              if o.aborted then
+                if h.partial_ok then
+                  Format.eprintf
+                    "%s: %s: engine budget exceeded; using partial verdict@."
+                    doc_file o.query_name
+                else begin
+                  Format.eprintf "%s: %s: engine budget exceeded@." doc_file
+                    o.query_name;
+                  if !exit_code = 0 then exit_code := exit_limit
+                end)
+            outcomes;
+          outcomes
         | Failed (code, msg) ->
-          if h.partial_ok then begin
-            Format.eprintf "%s: %s; using partial verdicts@." doc_file msg;
-            Query.finish_partial
-          end
+          if h.partial_ok then
+            Format.eprintf "%s: %s; using partial verdicts@." doc_file msg
           else begin
             Format.eprintf "%s: %s@." doc_file msg;
-            if !exit_code = 0 then exit_code := code;
-            Query.finish_partial
-          end
+            if !exit_code = 0 then exit_code := code
+          end;
+          Query_set.finish_partial session
       in
-      List.iter
-        (fun (q, run) ->
-          let result = finish_run run in
-          let n = List.length result.Result_set.items in
+      List.iter2
+        (fun q (o : Query_set.outcome) ->
           Format.printf "%s\t%s\t%s@." doc_file
-            (if n > 0 then "MATCH" else "-")
+            (if o.items <> [] then "MATCH" else "-")
             q)
-        runs)
+        subscriptions outcomes)
     docs;
   exit !exit_code
 
@@ -718,11 +727,27 @@ let filter_command =
   let docs =
     Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"DOC.xml")
   in
+  let shared =
+    Arg.(value
+         & vflag true
+             [
+               ( true,
+                 info [ "shared" ]
+                   ~doc:"Route events through the shared dispatch index \
+                         (default): each element event reaches only the \
+                         subscriptions whose looking-for frontier can match \
+                         it." );
+               ( false,
+                 info [ "no-shared" ]
+                   ~doc:"Feed every event to every subscription (the naive \
+                         loop); the differential baseline for --shared." );
+             ])
+  in
   Cmd.v
     (Cmd.info "filter"
        ~doc:"Publish/subscribe filtering: match documents against a set of \
              subscriptions, one pass per document")
-    Term.(const filter_cmd $ subs $ docs $ hardening_term)
+    Term.(const filter_cmd $ subs $ docs $ shared $ hardening_term)
 
 let output_arg =
   Arg.(value & opt (some string) None

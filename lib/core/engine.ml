@@ -83,9 +83,34 @@ type xinfo = {
 (* One open document element is represented by the list of matching
    structures created at its start event, tagged with their x-node ids;
    they are resolved (children of the x-tree first, i.e. by descending
-   x-node id) at its end event. The common no-match element pushes just
-   the shared empty list. *)
-type frame = Matching.t list
+   x-node id) at its end event. The frame records the element's document
+   level so that an engine fed a dispatch-filtered (sparse) event stream
+   still closes text buffers and restores its depth correctly. *)
+type frame = {
+  f_level : int;
+  f_matches : Matching.t list;
+}
+
+(* Tag-interest notifications for shared multi-query dispatch: the engine
+   reports when the set of element names its looking-for frontier can
+   match changes. A callback fires only on 0 <-> nonzero transitions of a
+   tag's active x-node count, so a subscriber maintains an exact tag ->
+   interested-engines index with O(1) amortized work per transition. *)
+type interest_listener = {
+  on_tag : string -> bool -> unit;
+  on_wildcard : bool -> unit;
+}
+
+type interest_state = {
+  listener : interest_listener;
+  blocked : int array;
+      (** per x-node: number of x-dag parents whose open-match stack is
+          empty; the node is {e active} (its tag is looked for, levels
+          ignored) iff the count is 0 *)
+  tag_active : (string, int ref) Hashtbl.t;
+      (** tag -> number of active x-nodes carrying that name test *)
+  mutable wildcard_active : int;
+}
 
 type t = {
   dag : Xdag.t;
@@ -116,6 +141,11 @@ type t = {
   mutable aborting : bool;
       (** set by {!abort}: elements being closed virtually have incomplete
           string values, so non-monotone text tests must refute *)
+  mutable sparse : bool;
+      (** set by {!subscribe_interest}: the engine accepts event streams
+          with suppressed (start, end) pairs — levels must still nest but
+          need not be contiguous *)
+  mutable interest : interest_state option;
   mutable eager_items : Item.t list;  (* reversed *)
   has_text_tests : bool;
   mutable text_buffers : (int * Buffer.t) list;
@@ -246,6 +276,8 @@ let create ?(config = default_config) ?(budget = max_int) ?on_match
     stats = Stats.create ();
     finished = false;
     aborting = false;
+    sparse = false;
+    interest = None;
     eager_items = [];
     has_text_tests =
       Array.exists (fun (n : Xtree.xnode) -> n.texts <> []) dag.xtree.nodes;
@@ -275,6 +307,96 @@ let emits_eagerly t = t.eager
 let stats t = t.stats
 
 let depth t = t.depth
+
+(* ------------------------------------------------------------------ *)
+(* Tag-interest tracking (shared dispatch support)                     *)
+(* ------------------------------------------------------------------ *)
+
+let interest_activate s dag v =
+  match Xdag.tag_of dag v with
+  | Some tag ->
+    let c =
+      match Hashtbl.find_opt s.tag_active tag with
+      | Some c -> c
+      | None ->
+        let c = ref 0 in
+        Hashtbl.add s.tag_active tag c;
+        c
+    in
+    incr c;
+    if !c = 1 then s.listener.on_tag tag true
+  | None ->
+    if Xdag.is_wildcard dag v then begin
+      s.wildcard_active <- s.wildcard_active + 1;
+      if s.wildcard_active = 1 then s.listener.on_wildcard true
+    end
+
+let interest_deactivate s dag v =
+  match Xdag.tag_of dag v with
+  | Some tag ->
+    let c = Hashtbl.find s.tag_active tag in
+    decr c;
+    if !c = 0 then s.listener.on_tag tag false
+  | None ->
+    if Xdag.is_wildcard dag v then begin
+      s.wildcard_active <- s.wildcard_active - 1;
+      if s.wildcard_active = 0 then s.listener.on_wildcard false
+    end
+
+(* The open-match stack of x-node [p] went empty -> nonempty: every x-dag
+   child of [p] loses one blocker; a child reaching zero blockers becomes
+   active (its tag joins the interest set). The converse on
+   nonempty -> empty. Both are no-ops without a subscriber. *)
+let stack_became_nonempty t p =
+  match t.interest with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun ((_ : Xdag.kind), c) ->
+        let b = s.blocked.(c) - 1 in
+        s.blocked.(c) <- b;
+        if b = 0 then interest_activate s t.dag c)
+      t.dag.children.(p)
+
+let stack_became_empty t p =
+  match t.interest with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun ((_ : Xdag.kind), c) ->
+        if s.blocked.(c) = 0 then interest_deactivate s t.dag c;
+        s.blocked.(c) <- s.blocked.(c) + 1)
+      t.dag.children.(p)
+
+let subscribe_interest t listener =
+  (match t.interest with
+  | Some _ -> invalid_arg "Engine.subscribe_interest: already subscribed"
+  | None -> ());
+  t.sparse <- true;
+  let n = Array.length t.info in
+  let blocked = Array.make n 0 in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun ((_ : Xdag.kind), p) ->
+        if t.open_stacks.(p) = [] then blocked.(v) <- blocked.(v) + 1)
+      t.info.(v).dag_parents
+  done;
+  let s =
+    { listener; blocked; tag_active = Hashtbl.create 16; wildcard_active = 0 }
+  in
+  t.interest <- Some s;
+  let root_id = t.dag.xtree.root.id in
+  for v = 0 to n - 1 do
+    if v <> root_id && blocked.(v) = 0 then interest_activate s t.dag v
+  done
+
+let wants_text t = t.has_text_tests && t.text_buffers <> []
+
+(* Under sparse feeding the engine no longer sees every start event, so
+   its element counter would drift from document ids; the dispatcher owns
+   the document-order counter and syncs it in before each delivered start
+   event, keeping reported items identical to a full feed. *)
+let sync_next_id t id = t.next_id <- id
 
 (* ------------------------------------------------------------------ *)
 (* Relevance (the looking-for filtering, Section 4.1)                  *)
@@ -331,7 +453,15 @@ let attr_tests_ok tests attrs =
 
 let start_element t ?(attrs = []) ~tag ~level () =
   if t.finished then invalid_arg "Engine.start_element: already finished";
-  if level <> t.depth + 1 then
+  if t.sparse then begin
+    if level <= t.depth then
+      invalid_arg
+        (Printf.sprintf
+           "Engine.start_element: level %d does not nest inside current \
+            depth %d"
+           level t.depth)
+  end
+  else if level <> t.depth + 1 then
     invalid_arg
       (Printf.sprintf
          "Engine.start_element: level %d does not extend current depth %d"
@@ -353,7 +483,7 @@ let start_element t ?(attrs = []) ~tag ~level () =
   let n = Array.length cands in
   if n = 0 then begin
     st.elements_discarded <- st.elements_discarded + 1;
-    t.frames <- [] :: t.frames;
+    t.frames <- { f_level = level; f_matches = [] } :: t.frames;
     Tel.leave span_start_element
   end
   else begin
@@ -380,7 +510,11 @@ let start_element t ?(attrs = []) ~tag ~level () =
         t.serial <- t.serial + 1;
         st.structures_created <- st.structures_created + 1;
         Tel.incr counter_structures;
-        t.open_stacks.(v) <- m :: t.open_stacks.(v);
+        (match t.open_stacks.(v) with
+        | [] ->
+          t.open_stacks.(v) <- [ m ];
+          stack_became_nonempty t v
+        | _ :: _ as stack -> t.open_stacks.(v) <- m :: stack);
         frame := m :: !frame
       end
     done;
@@ -395,7 +529,7 @@ let start_element t ?(attrs = []) ~tag ~level () =
              (fun (m : Matching.t) -> t.info.(m.xnode).text_tests <> [])
              !frame
       then t.text_buffers <- (level, Buffer.create 64) :: t.text_buffers);
-    t.frames <- !frame :: t.frames;
+    t.frames <- { f_level = level; f_matches = !frame } :: t.frames;
     let live = st.structures_created - st.structures_refuted in
     if live > st.live_peak then st.live_peak <- live;
     Tel.set_gauge gauge_live live;
@@ -469,7 +603,9 @@ let resolve t frame ~text (m : Matching.t) =
     Tel.observe_int hist_lifetime (t.next_id - m.item.id);
   let v = m.xnode in
   (match t.open_stacks.(v) with
-  | top :: rest when top == m -> t.open_stacks.(v) <- rest
+  | top :: rest when top == m ->
+    t.open_stacks.(v) <- rest;
+    (match rest with [] -> stack_became_empty t v | _ :: _ -> ())
   | _ -> assert false);
   let info = t.info.(v) in
   let text_ok =
@@ -531,11 +667,12 @@ let resolve t frame ~text (m : Matching.t) =
 let end_element t =
   match t.frames with
   | [] -> invalid_arg "Engine.end_element: no open element"
-  | frame :: rest ->
+  | { f_level = closing_level; f_matches = frame } :: rest ->
     Tel.enter span_end_element;
-    let closing_level = t.depth in
     t.frames <- rest;
-    t.depth <- t.depth - 1;
+    (* under sparse feeding the enclosing *delivered* element need not sit
+       at [closing_level - 1]; the next outer frame knows its level *)
+    t.depth <- (match rest with [] -> 0 | outer :: _ -> outer.f_level);
     let text =
       match t.text_buffers with
       | (level, buf) :: deeper when level = closing_level ->
@@ -606,7 +743,9 @@ let finish t =
     t.finished <- true;
     let root_id = t.dag.xtree.root.id in
     (match t.open_stacks.(root_id) with
-    | top :: rest when top == t.root_struct -> t.open_stacks.(root_id) <- rest
+    | top :: rest when top == t.root_struct ->
+      t.open_stacks.(root_id) <- rest;
+      (match rest with [] -> stack_became_empty t root_id | _ :: _ -> ())
     | _ -> assert false);
     (* Root cannot have backward-axis children (that would have made the
        x-dag cyclic), so resolution is a bare satisfaction check. *)
@@ -664,7 +803,8 @@ let abort t =
 let frame_matches t =
   match t.frames with
   | [] -> []
-  | frame :: _ -> List.map (fun (m : Matching.t) -> (m.xnode, m.item)) frame
+  | frame :: _ ->
+    List.map (fun (m : Matching.t) -> (m.xnode, m.item)) frame.f_matches
 
 (* Number of matching structures still reachable from the root structure —
    what the engine actually holds at end of document (counter slots retain

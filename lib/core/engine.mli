@@ -67,7 +67,8 @@ val emits_eagerly : t -> bool
 val start_element :
   t -> ?attrs:Xaos_xml.Event.attribute list -> tag:string -> level:int ->
   unit -> unit
-(** @raise Invalid_argument if [level] is not [current depth + 1].
+(** @raise Invalid_argument if [level] is not [current depth + 1] (after
+    {!subscribe_interest}, if it does not nest: [level <= depth]).
     [attrs] feed the attribute-test extension; omitting them is fine for
     expressions without [@]-tests. *)
 
@@ -117,6 +118,51 @@ val looking_for : t -> (int * level_requirement) list
     Entries are sorted by x-node id. *)
 
 val stats : t -> Stats.t
+
+(** {1 Tag-interest notifications (shared multi-query dispatch)} *)
+
+(** Callbacks fired when the set of element names the engine's
+    looking-for frontier can match changes. [on_tag tag on] fires when
+    [tag] enters ([on = true]) or leaves ([on = false]) the interest
+    set; [on_wildcard] likewise when a wildcard x-node becomes or stops
+    being reachable. Transitions are exact (0 <-> nonzero counts), so a
+    subscriber can maintain a tag -> interested-engines index with O(1)
+    bucket updates per transition. *)
+type interest_listener = {
+  on_tag : string -> bool -> unit;
+  on_wildcard : bool -> unit;
+}
+
+val subscribe_interest : t -> interest_listener -> unit
+(** Attach the listener and immediately fire [on_tag _ true] /
+    [on_wildcard true] for the current interest set (the initial
+    looking-for frontier on a fresh engine). The interest set is the
+    level-free projection of the paper's looking-for set: an x-node
+    counts as interesting when every x-dag parent has an open match,
+    levels ignored — a superset of {!looking_for}, which is what makes
+    suppressing non-interesting events sound.
+
+    Subscribing also switches the engine to {e sparse} feeding: start
+    events need only nest ([level > depth]) rather than extend depth by
+    exactly one, so a dispatcher may suppress whole (start, end) event
+    pairs the engine is not interested in. Suppressed pairs must be
+    matched: deliver an end event iff its start event was delivered.
+    Character data must be delivered whenever {!wants_text} holds,
+    regardless of the enclosing element's routing.
+
+    @raise Invalid_argument if already subscribed. *)
+
+val wants_text : t -> bool
+(** Whether a text event right now would be recorded: some open matched
+    element is waiting to decide a text test. Cheap; intended as the
+    per-event routing check for character data under shared dispatch. *)
+
+val sync_next_id : t -> int -> unit
+(** Set the document-order id the next start event will carry. A sparse
+    dispatcher must call this before each delivered start event (ids
+    normally advance one per start event seen, which under-counts when
+    events are suppressed); results then stay byte-identical to a full
+    feed. *)
 
 val frame_matches : t -> (int * Item.t) list
 (** (x-node id, element) pairs registered at the innermost open element —

@@ -6,7 +6,11 @@ type t = {
 
 let compare a b = Int.compare a.id b.id
 
-let equal a b = a.id = b.id && a.level = b.level && String.equal a.tag b.tag
+(* Ids are document-order element identifiers, unique per document, so id
+   equality IS item identity; tag and level are derived attributes of the
+   same element. Checking them here would make [equal] disagree with
+   [compare] (which drives {!sort_dedup} and result-set merging). *)
+let equal a b = a.id = b.id
 
 let pp ppf { id; tag; level } = Format.fprintf ppf "%s(%d)@%d" tag id level
 

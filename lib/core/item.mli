@@ -16,6 +16,9 @@ val compare : t -> t -> int
 (** Document order (by [id]). *)
 
 val equal : t -> t -> bool
+(** Same element: id equality. Ids are unique per document (they are
+    document-order element identifiers), so [equal] agrees with
+    [compare] — two items never compare equal while being [not equal]. *)
 
 val pp : Format.formatter -> t -> unit
 (** The paper's notation, e.g. [W(7)@4] for W with id 7 at level 4. *)

@@ -66,6 +66,56 @@ let start ?on_match ?budget q =
 
 let feed run event = List.iter (fun e -> Engine.feed e event) run.engines
 
+(* Interest aggregation across disjunct engines: the run is interested in
+   a tag iff any engine is, so per-engine transitions are counted and the
+   listener only sees run-level 0 <-> nonzero changes. The single-disjunct
+   common case subscribes the listener directly. *)
+let subscribe_interest run (listener : Engine.interest_listener) =
+  match run.engines with
+  | [] -> ()
+  | [ e ] -> Engine.subscribe_interest e listener
+  | engines ->
+    let tag_counts = Hashtbl.create 16 in
+    let wildcard = ref 0 in
+    let aggregated =
+      {
+        Engine.on_tag =
+          (fun tag on ->
+            let c =
+              match Hashtbl.find_opt tag_counts tag with
+              | Some c -> c
+              | None ->
+                let c = ref 0 in
+                Hashtbl.add tag_counts tag c;
+                c
+            in
+            if on then begin
+              incr c;
+              if !c = 1 then listener.Engine.on_tag tag true
+            end
+            else begin
+              decr c;
+              if !c = 0 then listener.Engine.on_tag tag false
+            end);
+        on_wildcard =
+          (fun on ->
+            if on then begin
+              incr wildcard;
+              if !wildcard = 1 then listener.Engine.on_wildcard true
+            end
+            else begin
+              decr wildcard;
+              if !wildcard = 0 then listener.Engine.on_wildcard false
+            end);
+      }
+    in
+    List.iter (fun e -> Engine.subscribe_interest e aggregated) engines
+
+let wants_text run = List.exists Engine.wants_text run.engines
+
+let sync_next_id run id =
+  List.iter (fun e -> Engine.sync_next_id e id) run.engines
+
 let finish run =
   match run.result with
   | Some r -> r

@@ -48,6 +48,22 @@ val start : ?on_match:(Item.t -> unit) -> ?budget:int -> t -> run
 
 val feed : run -> Xaos_xml.Event.t -> unit
 
+val subscribe_interest : run -> Engine.interest_listener -> unit
+(** Attach a tag-interest listener to every disjunct engine, aggregated
+    so the listener sees run-level transitions only (the run wants a tag
+    iff any disjunct does). Switches the engines to sparse feeding; see
+    {!Engine.subscribe_interest} for the suppression contract. Used by
+    {!Query_set}'s shared dispatch index. *)
+
+val wants_text : run -> bool
+(** Whether a text event right now must be delivered to this run: some
+    disjunct engine has an open element waiting on a text test. *)
+
+val sync_next_id : run -> int -> unit
+(** Propagate the dispatcher's document-order element counter to every
+    disjunct engine (see {!Engine.sync_next_id}); required before each
+    start event delivered sparsely so result items keep document ids. *)
+
 val feed_doc : run -> Xaos_xml.Dom.doc -> unit
 (** Feed a prebuilt tree's element events directly (see
     {!Engine.feed_doc}). *)

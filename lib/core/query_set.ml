@@ -10,6 +10,17 @@ let counter_documents =
   Xaos_obs.Telemetry.counter ~help:"documents run through a query set"
     "xaos_filter_documents_total"
 
+let counter_dispatched =
+  Xaos_obs.Telemetry.counter
+    ~help:"(element event, run) deliveries performed by query sets"
+    "xaos_filter_events_dispatched_total"
+
+let counter_suppressed =
+  Xaos_obs.Telemetry.counter
+    ~help:"(element event, run) deliveries suppressed by the shared \
+           dispatch index"
+    "xaos_filter_events_suppressed_total"
+
 let of_queries queries =
   let seen = Hashtbl.create 16 in
   List.iter
@@ -22,14 +33,31 @@ let of_queries queries =
   { queries }
 
 let compile ?config pairs =
-  let rec loop acc = function
-    | [] -> Ok (of_queries (List.rev acc))
-    | (name, expression) :: rest -> (
-      match Query.compile ?config expression with
-      | Ok q -> loop ((name, q) :: acc) rest
-      | Error msg -> Error (Printf.sprintf "%s: %s" name msg))
+  (* accumulate every failing query: a large subscription set should need
+     one round-trip to fix, not one per broken expression *)
+  let compiled =
+    List.map (fun (name, expression) -> (name, Query.compile ?config expression))
+      pairs
   in
-  loop [] pairs
+  let errors =
+    List.filter_map
+      (function
+        | name, Error msg -> Some (Printf.sprintf "%s: %s" name msg)
+        | _, Ok _ -> None)
+      compiled
+  in
+  match errors with
+  | [] ->
+    Ok
+      (of_queries
+         (List.map
+            (fun (name, result) -> (name, Result.get_ok result))
+            compiled))
+  | [ e ] -> Error e
+  | es ->
+    Error
+      (Printf.sprintf "%d queries failed to compile:\n%s" (List.length es)
+         (String.concat "\n" es))
 
 let names t = List.map fst t.queries
 
@@ -38,36 +66,265 @@ let size t = List.length t.queries
 type outcome = {
   query_name : string;
   items : Item.t list;
+  aborted : bool;
 }
 
-let start_all t =
+type dispatch =
+  | Shared
+  | Naive
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type run_state = {
+  rs_id : int;
+  rs_name : string;
+  rs_run : Query.run;
+  mutable rs_aborted : bool;
+  mutable rs_stamp : int;
+      (** last event stamp this run was collected for; dedupes a run
+          reached through both its tag bucket and the wildcard bucket *)
+}
+
+type session = {
+  mode : dispatch;
+  runs : run_state array;
+  buckets : (string, (int, run_state) Hashtbl.t) Hashtbl.t;
+      (** tag -> runs whose current looking-for frontier contains an
+          x-node with that name test (keyed by [rs_id]) *)
+  wildcard : (int, run_state) Hashtbl.t;
+      (** runs whose frontier contains a wildcard x-node: interested in
+          every element tag *)
+  text_interested : (int, run_state) Hashtbl.t;
+      (** runs with an open text-test buffer; recomputed after each
+          delivered element event, the only points where it can change *)
+  mutable delivery_stack : run_state list list;
+      (** per open element (innermost first): the runs its start event
+          was delivered to — its end event goes to exactly those *)
+  mutable stamp : int;
+  mutable next_id : int;
+      (** document-order element counter, synced into delivered runs so
+          suppressed events do not shift the ids of reported items *)
+  mutable live : int;  (** runs not yet aborted *)
+  mutable dispatched : int;
+  mutable suppressed : int;
+}
+
+let bucket_add s tag rs =
+  let bucket =
+    match Hashtbl.find_opt s.buckets tag with
+    | Some b -> b
+    | None ->
+      let b = Hashtbl.create 8 in
+      Hashtbl.add s.buckets tag b;
+      b
+  in
+  Hashtbl.replace bucket rs.rs_id rs
+
+let bucket_remove s tag rs =
+  match Hashtbl.find_opt s.buckets tag with
+  | None -> ()
+  | Some b -> Hashtbl.remove b rs.rs_id
+
+let start ?budget ?(dispatch = Shared) t =
   Xaos_obs.Telemetry.incr counter_documents;
-  List.map (fun (name, q) -> (name, Query.start q)) t.queries
+  let runs =
+    Array.of_list
+      (List.mapi
+         (fun i (name, q) ->
+           {
+             rs_id = i;
+             rs_name = name;
+             rs_run = Query.start ?budget q;
+             rs_aborted = false;
+             rs_stamp = -1;
+           })
+         t.queries)
+  in
+  let s =
+    {
+      mode = dispatch;
+      runs;
+      buckets = Hashtbl.create 64;
+      wildcard = Hashtbl.create 16;
+      text_interested = Hashtbl.create 16;
+      delivery_stack = [];
+      stamp = 0;
+      next_id = 1;
+      live = Array.length runs;
+      dispatched = 0;
+      suppressed = 0;
+    }
+  in
+  (match dispatch with
+  | Naive -> ()
+  | Shared ->
+    Array.iter
+      (fun rs ->
+        Query.subscribe_interest rs.rs_run
+          {
+            Engine.on_tag =
+              (fun tag on ->
+                if on then bucket_add s tag rs else bucket_remove s tag rs);
+            on_wildcard =
+              (fun on ->
+                if on then Hashtbl.replace s.wildcard rs.rs_id rs
+                else Hashtbl.remove s.wildcard rs.rs_id);
+          })
+      runs);
+  s
 
-let finish_all runs =
-  List.map
-    (fun (query_name, run) ->
-      { query_name; items = (Query.finish run).Result_set.items })
-    runs
+(* Feed one event to one run; a budget trip aborts that run only. The
+   partial result is extracted (and memoized) immediately, and the abort
+   unwinds the run's open matches, which drains its dispatch buckets
+   through the interest callbacks. *)
+let feed_run s rs ev =
+  if not rs.rs_aborted then begin
+    try Query.feed rs.rs_run ev
+    with Engine.Budget_exceeded _ ->
+      rs.rs_aborted <- true;
+      s.live <- s.live - 1;
+      Hashtbl.remove s.text_interested rs.rs_id;
+      ignore (Query.finish_partial rs.rs_run)
+  end
 
-let run_events t events =
-  let runs = start_all t in
-  List.iter (fun ev -> List.iter (fun (_, run) -> Query.feed run ev) runs) events;
-  finish_all runs
+(* After a delivered element event, the run's text interest may have
+   changed (a text-test buffer opened or closed). *)
+let refresh_text_interest s rs =
+  if not rs.rs_aborted then begin
+    if Query.wants_text rs.rs_run then
+      Hashtbl.replace s.text_interested rs.rs_id rs
+    else Hashtbl.remove s.text_interested rs.rs_id
+  end
 
-let run_sax t parser =
-  let runs = start_all t in
-  Xaos_xml.Sax.iter
-    (fun ev -> List.iter (fun (_, run) -> Query.feed run ev) runs)
-    parser;
-  finish_all runs
+let collect_bucket acc stamp bucket =
+  Hashtbl.fold
+    (fun _ rs acc ->
+      if rs.rs_stamp = stamp || rs.rs_aborted then acc
+      else begin
+        rs.rs_stamp <- stamp;
+        rs :: acc
+      end)
+    bucket acc
 
-let run_string t input = run_sax t (Xaos_xml.Sax.of_string input)
+let feed_shared s ev =
+  match ev with
+  | Xaos_xml.Event.Start_element { name; _ } ->
+    s.stamp <- s.stamp + 1;
+    (* snapshot the interested runs before delivering: feeding a run can
+       mutate the buckets (interest callbacks, budget aborts) *)
+    let interested =
+      let acc =
+        match Hashtbl.find_opt s.buckets name with
+        | Some bucket -> collect_bucket [] s.stamp bucket
+        | None -> []
+      in
+      collect_bucket acc s.stamp s.wildcard
+    in
+    let id = s.next_id in
+    s.next_id <- id + 1;
+    let delivered = List.length interested in
+    s.dispatched <- s.dispatched + delivered;
+    s.suppressed <- s.suppressed + (s.live - delivered);
+    Xaos_obs.Telemetry.add counter_dispatched delivered;
+    Xaos_obs.Telemetry.add counter_suppressed (s.live - delivered);
+    List.iter
+      (fun rs ->
+        Query.sync_next_id rs.rs_run id;
+        feed_run s rs ev;
+        refresh_text_interest s rs)
+      interested;
+    s.delivery_stack <- interested :: s.delivery_stack
+  | Xaos_xml.Event.End_element _ -> (
+    match s.delivery_stack with
+    | [] -> invalid_arg "Query_set.feed: end event without open element"
+    | interested :: rest ->
+      s.delivery_stack <- rest;
+      s.dispatched <- s.dispatched + List.length interested;
+      Xaos_obs.Telemetry.add counter_dispatched (List.length interested);
+      List.iter
+        (fun rs ->
+          feed_run s rs ev;
+          refresh_text_interest s rs)
+        interested)
+  | Xaos_xml.Event.Text _ ->
+    (* string values include descendant text, so routing follows the open
+       text-test buffers, not the element that owns the event *)
+    if Hashtbl.length s.text_interested > 0 then begin
+      let interested =
+        Hashtbl.fold (fun _ rs acc -> rs :: acc) s.text_interested []
+      in
+      List.iter (fun rs -> feed_run s rs ev) interested
+    end
+  | Xaos_xml.Event.Comment _ | Xaos_xml.Event.Processing_instruction _ -> ()
 
-let run_doc t doc =
-  let runs = start_all t in
-  List.iter (fun (_, run) -> Query.feed_doc run doc) runs;
-  finish_all runs
+let feed_naive s ev =
+  (match ev with
+  | Xaos_xml.Event.Start_element _ ->
+    s.dispatched <- s.dispatched + s.live;
+    Xaos_obs.Telemetry.add counter_dispatched s.live
+  | _ -> ());
+  Array.iter (fun rs -> feed_run s rs ev) s.runs
+
+let feed s ev =
+  match s.mode with Shared -> feed_shared s ev | Naive -> feed_naive s ev
+
+let finish s =
+  Array.to_list s.runs
+  |> List.map (fun rs ->
+         let result =
+           if rs.rs_aborted then Query.finish_partial rs.rs_run
+           else Query.finish rs.rs_run
+         in
+         {
+           query_name = rs.rs_name;
+           items = result.Result_set.items;
+           aborted = rs.rs_aborted;
+         })
+
+let finish_partial s =
+  Array.to_list s.runs
+  |> List.map (fun rs ->
+         let result = Query.finish_partial rs.rs_run in
+         {
+           query_name = rs.rs_name;
+           items = result.Result_set.items;
+           aborted = true;
+         })
+
+let dispatch_stats s = (s.dispatched, s.suppressed)
+
+(* ------------------------------------------------------------------ *)
+(* One-shot helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_events ?budget ?dispatch t events =
+  let s = start ?budget ?dispatch t in
+  List.iter (feed s) events;
+  finish s
+
+let run_sax ?budget ?dispatch t parser =
+  let s = start ?budget ?dispatch t in
+  Xaos_xml.Sax.iter (feed s) parser;
+  finish s
+
+let run_string ?budget ?dispatch t input =
+  run_sax ?budget ?dispatch t (Xaos_xml.Sax.of_string input)
+
+let run_doc ?budget t doc =
+  (* DOM replay bypasses the event stream, so dispatch stays per-run;
+     budget trips are still isolated per run *)
+  let s = start ?budget ~dispatch:Naive t in
+  Array.iter
+    (fun rs ->
+      try Query.feed_doc rs.rs_run doc
+      with Engine.Budget_exceeded _ ->
+        rs.rs_aborted <- true;
+        s.live <- s.live - 1;
+        ignore (Query.finish_partial rs.rs_run))
+    s.runs;
+  finish s
 
 let matching_names outcomes =
   List.filter_map

@@ -4,9 +4,18 @@
     subscriptions may use backward axes.
 
     Every query gets its own engines (no cross-query sharing of automaton
-    states as in YFilter — an avenue the paper leaves open); what is
-    shared is the single parse of the document, which in practice
-    dominates the cost of filtering small messages. *)
+    states as in YFilter); what is shared is the single parse of the
+    document and, under {!Shared} dispatch, one tag-keyed {e dispatch
+    index} merged from every engine's x-dag looking-for frontier. A
+    start/end element event is delivered only to the runs whose current
+    frontier can match its tag (plus the wildcard bucket); everything
+    else is suppressed without touching the run at all. The index is
+    maintained incrementally through {!Engine.subscribe_interest}
+    notifications as each run's frontier evolves with the stream, so
+    suppression is sound: a suppressed event could not have created a
+    matching structure in that run. Outcomes are identical to the
+    {!Naive} loop on every document — the differential oracle the test
+    suite exercises. *)
 
 type t
 (** An immutable set of named compiled queries. *)
@@ -17,8 +26,10 @@ val of_queries : (string * Query.t) list -> t
 
 val compile :
   ?config:Engine.config -> (string * string) list -> (t, string) result
-(** Compile (name, expression) pairs; fails with the first offending
-    expression's error, prefixed by its name. *)
+(** Compile (name, expression) pairs. All failures are accumulated: the
+    error message lists every offending expression (prefixed by its
+    name, one per line), so a large subscription set is debugged in one
+    round-trip. *)
 
 val names : t -> string list
 
@@ -29,16 +40,64 @@ val size : t -> int
 type outcome = {
   query_name : string;
   items : Item.t list;  (** document order, duplicate-free *)
+  aborted : bool;
+      (** the outcome is partial: this run tripped the structure budget
+          mid-stream (or the whole session was finished via
+          {!finish_partial}); [items] are the results already certain at
+          the abort point *)
 }
 
-val run_events : t -> Xaos_xml.Event.t list -> outcome list
+type dispatch =
+  | Shared  (** route events through the shared dispatch index *)
+  | Naive  (** deliver every event to every run (the reference loop) *)
+
+(** {2 Sessions}
+
+    A session is one document streamed through the whole set. Feed it
+    the document's events, then {!finish}. A run that raises
+    {!Engine.Budget_exceeded} is aborted {e individually}: its partial
+    outcome is captured and the remaining runs keep going. *)
+
+type session
+
+val start : ?budget:int -> ?dispatch:dispatch -> t -> session
+(** Fresh runs for one document. [budget] caps live matching structures
+    per disjunct engine of every run. [dispatch] defaults to
+    {!Shared}. *)
+
+val feed : session -> Xaos_xml.Event.t -> unit
+(** Route one event. Under {!Shared} dispatch, element events reach only
+    the interested runs; text is delivered to runs with an open
+    text-test buffer; comments and PIs are dropped. *)
+
+val finish : session -> outcome list
+(** Outcomes in query order, including empty ones. *)
+
+val finish_partial : session -> outcome list
+(** The document died mid-stream (truncation, parse error, limit): every
+    live run is finished via {!Query.finish_partial} and all outcomes
+    are flagged [aborted]. *)
+
+val dispatch_stats : session -> int * int
+(** [(dispatched, suppressed)] (start-event, run) delivery counts so far
+    — the A/B observability for the dispatch index. Suppressed is always
+    0 under {!Naive}. *)
+
+(** {2 One-shot helpers} *)
+
+val run_events :
+  ?budget:int -> ?dispatch:dispatch -> t -> Xaos_xml.Event.t list ->
+  outcome list
 (** One pass; outcomes in query order, including empty ones. *)
 
-val run_sax : t -> Xaos_xml.Sax.t -> outcome list
+val run_sax : ?budget:int -> ?dispatch:dispatch -> t -> Xaos_xml.Sax.t -> outcome list
 
-val run_string : t -> string -> outcome list
+val run_string : ?budget:int -> ?dispatch:dispatch -> t -> string -> outcome list
 
-val run_doc : t -> Xaos_xml.Dom.doc -> outcome list
+val run_doc : ?budget:int -> t -> Xaos_xml.Dom.doc -> outcome list
+(** DOM replay feeds each run directly (no event stream to dispatch), so
+    it always uses the per-run loop; budget trips still abort runs
+    individually. *)
 
 val matching_names : outcome list -> string list
 (** Names of the queries with at least one result — the routing decision

@@ -6,13 +6,31 @@ type t = {
 
 let empty = { items = []; tuples = None; matching_count = None }
 
+(* Lexicographic, length first, elementwise by {!Item.compare} (ids are
+   unique element identifiers, so id order is exact tuple identity). An
+   explicit monomorphic comparison: the polymorphic [compare] it replaces
+   would silently change meaning if the payload type ever grows fields
+   that must not participate in identity. *)
+let tuple_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let rec loop i =
+      if i = la then 0
+      else
+        let c = Item.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+  end
+
 let union a b =
   {
     items = Item.sort_dedup (a.items @ b.items);
     tuples =
       (match a.tuples, b.tuples with
       | None, t | t, None -> t
-      | Some x, Some y -> Some (List.sort_uniq compare (x @ y)));
+      | Some x, Some y -> Some (List.sort_uniq tuple_compare (x @ y)));
     matching_count =
       (match a.matching_count, b.matching_count with
       | Some x, Some y -> Some (x + y)

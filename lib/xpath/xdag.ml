@@ -100,6 +100,20 @@ let of_xtree (xtree : Xtree.t) =
   { xtree; parents; children; topo; tree_order; by_tag;
     wildcard_nodes = !wildcard_nodes }
 
+let tag_of t v =
+  match t.xtree.nodes.(v).label with
+  | Xtree.Test (Ast.Name tag) -> Some tag
+  | Xtree.Root | Xtree.Test Ast.Wildcard -> None
+
+let is_wildcard t v =
+  match t.xtree.nodes.(v).label with
+  | Xtree.Test Ast.Wildcard -> true
+  | Xtree.Root | Xtree.Test (Ast.Name _) -> false
+
+let tags t = Hashtbl.fold (fun tag _ acc -> tag :: acc) t.by_tag []
+
+let has_wildcard t = t.wildcard_nodes <> []
+
 let candidates t tag =
   let named = Option.value ~default:[] (Hashtbl.find_opt t.by_tag tag) in
   if Ast.test_matches Ast.Wildcard tag then named @ t.wildcard_nodes

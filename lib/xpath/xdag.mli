@@ -52,6 +52,24 @@ val kind_of_axis : Ast.axis -> kind
 val of_xtree : Xtree.t -> t
 (** @raise Unsatisfiable — see above. *)
 
+val tag_of : t -> int -> string option
+(** The element name an x-node looks for: [Some tag] for a named node
+    test, [None] for Root and wildcard nodes. The static half of the
+    looking-for set — {!Xaos_core.Engine.subscribe_interest} layers the
+    dynamic (open-match driven) half on top. *)
+
+val is_wildcard : t -> int -> bool
+(** Whether the x-node carries a wildcard node test. *)
+
+val tags : t -> string list
+(** The distinct element names appearing as node tests — every tag this
+    expression could ever look for (unordered). *)
+
+val has_wildcard : t -> bool
+(** Whether any x-node is a wildcard: such an expression can look for
+    elements of any tag, so tag-keyed dispatch must route it through a
+    wildcard bucket. *)
+
 val candidates : t -> string -> int list
 (** X-node ids whose label matches the given element tag (named nodes
     first, then wildcards); never includes Root. *)

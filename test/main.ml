@@ -12,6 +12,7 @@ let () =
       ("attributes", Test_attributes.suite);
       ("text", Test_text.suite);
       ("query", Test_query.suite);
+      ("query-set", Test_query_set.suite);
       ("trace", Test_trace.suite);
       ("baseline", Test_baseline.suite);
       ("yfilter", Test_yfilter.suite);

@@ -1,0 +1,328 @@
+(* The Query_set shared dispatch index (PR 3).
+
+   The load-bearing property is differential: on any document and any
+   query set, Shared dispatch must produce outcomes identical to the
+   Naive feed-everyone loop. Exercised on hand-picked cases covering
+   wildcards, backward axes and predicates, on randomized Randgen
+   query/document pairs, on lenient-parsed mutated documents, and on
+   truncated streams finished with [finish_partial].
+
+   Also here: the satellite correctness fixes — id-based [Item.equal]
+   agreeing with [Item.compare], monomorphic tuple merging in
+   [Result_set.union], accumulated compile errors, and per-run budget
+   abort isolation. *)
+
+module Sax = Xaos_xml.Sax
+module Event = Xaos_xml.Event
+module Ast = Xaos_xpath.Ast
+module Prng = Xaos_workloads.Prng
+module Randgen = Xaos_workloads.Randgen
+open Xaos_core
+
+let item = Alcotest.testable Item.pp Item.equal
+
+let it id tag level = { Item.id; tag; level }
+
+let outcome_str (o : Query_set.outcome) =
+  Printf.sprintf "%s%s: [%s]" o.query_name
+    (if o.aborted then " (aborted)" else "")
+    (String.concat "; "
+       (List.map (fun i -> Format.asprintf "%a" Item.pp i) o.items))
+
+let check_outcomes msg expected actual =
+  Alcotest.(check (list string))
+    msg
+    (List.map outcome_str expected)
+    (List.map outcome_str actual)
+
+let compile_exn pairs =
+  match Query_set.compile pairs with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "Query_set.compile: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Satellite fixes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_item_equal_is_id_based () =
+  (* ids are unique document-order identifiers; equal must agree with
+     compare (which orders by id) or dedup in Result_set.union is
+     inconsistent *)
+  let a = it 7 "a" 2 and b = it 7 "b" 5 in
+  Alcotest.(check bool) "same id equal" true (Item.equal a b);
+  Alcotest.(check int) "same id compare" 0 (Item.compare a b);
+  Alcotest.(check bool) "diff id" false (Item.equal a (it 8 "a" 2))
+
+let test_union_dedup_regression () =
+  (* regression: with field-sensitive equal, two results for the same
+     element id coming from different disjuncts survived the union *)
+  let x =
+    { Result_set.items = [ it 3 "a" 1 ]; tuples = None; matching_count = None }
+  in
+  let y =
+    {
+      Result_set.items = [ it 3 "a" 1; it 5 "b" 2 ];
+      tuples = None;
+      matching_count = None;
+    }
+  in
+  let u = Result_set.union x y in
+  Alcotest.(check (list item)) "deduped" [ it 3 "a" 1; it 5 "b" 2 ] u.items
+
+let test_union_tuples_monomorphic () =
+  (* tuple merge must not use polymorphic compare on Item.t arrays *)
+  let t1 = [| it 1 "a" 1; it 2 "b" 2 |] in
+  let t2 = [| it 1 "a" 1; it 3 "c" 2 |] in
+  let x =
+    {
+      Result_set.items = [ it 1 "a" 1 ];
+      tuples = Some [ t1 ];
+      matching_count = None;
+    }
+  in
+  let y =
+    {
+      Result_set.items = [ it 1 "a" 1 ];
+      tuples = Some [ t1; t2 ];
+      matching_count = None;
+    }
+  in
+  let u = Result_set.union x y in
+  match u.tuples with
+  | None -> Alcotest.fail "expected tuples"
+  | Some ts ->
+    Alcotest.(check int) "tuple count" 2 (List.length ts);
+    (* same-id-different-metadata duplicates also merge *)
+    let t1' = [| it 1 "a" 9; it 2 "z" 9 |] in
+    let z =
+      { Result_set.items = []; tuples = Some [ t1' ]; matching_count = None }
+    in
+    let u2 = Result_set.union x z in
+    Alcotest.(check int)
+      "id-based tuple dedup" 1
+      (List.length (Option.get u2.tuples))
+
+let test_compile_errors_accumulate () =
+  match
+    Query_set.compile
+      [ ("ok", "//a"); ("first-bad", "//["); ("second-bad", "///") ]
+  with
+  | Ok _ -> Alcotest.fail "expected compile failure"
+  | Error msg ->
+    let contains needle =
+      let n = String.length needle and m = String.length msg in
+      let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+      Alcotest.(check bool) (needle ^ " mentioned") true (go 0)
+    in
+    contains "2 queries failed";
+    contains "first-bad";
+    contains "second-bad"
+
+(* ------------------------------------------------------------------ *)
+(* Shared dispatch: unit tests                                         *)
+(* ------------------------------------------------------------------ *)
+
+let events_of s = Sax.events_of_string s
+
+let run_both ?budget t events =
+  let shared = Query_set.run_events ?budget ~dispatch:Shared t events in
+  let naive = Query_set.run_events ?budget ~dispatch:Naive t events in
+  check_outcomes "shared = naive" naive shared;
+  shared
+
+let test_looking_for_update_path () =
+  (* //a//b: before any <a> opens, only "a" is interesting; the top-level
+     <b>s must be suppressed, the one under <a> delivered *)
+  let t = compile_exn [ ("q", "//a//b") ] in
+  let events = events_of "<r><b/><a><b/></a><b/></r>" in
+  let s = Query_set.start t in
+  List.iter (Query_set.feed s) events;
+  let outcomes = Query_set.finish s in
+  let dispatched, suppressed = Query_set.dispatch_stats s in
+  (* starts: r,b,a,b,b -> only a and the inner b delivered (2 starts +
+     2 ends); r and the outer b's suppressed *)
+  Alcotest.(check int) "dispatched" 4 dispatched;
+  Alcotest.(check int) "suppressed" 3 suppressed;
+  (match outcomes with
+  | [ o ] ->
+    Alcotest.(check (list item)) "items" [ it 4 "b" 3 ] o.items;
+    Alcotest.(check bool) "not aborted" false o.aborted
+  | _ -> Alcotest.fail "one outcome expected");
+  ignore (run_both t events)
+
+let test_wildcard_bucket () =
+  (* a wildcard frontier must receive every element event *)
+  let t = compile_exn [ ("all", "//*"); ("b", "//b") ] in
+  let events = events_of "<a><b/><z/></a>" in
+  let s = Query_set.start t in
+  List.iter (Query_set.feed s) events;
+  let outcomes = Query_set.finish s in
+  let _, suppressed = Query_set.dispatch_stats s in
+  (* only "b" skips things: <a> and <z> starts *)
+  Alcotest.(check int) "suppressed" 2 suppressed;
+  (match outcomes with
+  | [ all; b ] ->
+    Alcotest.(check (list item))
+      "wildcard items"
+      [ it 1 "a" 1; it 2 "b" 2; it 3 "z" 2 ]
+      all.items;
+    Alcotest.(check (list item)) "named items" [ it 2 "b" 2 ] b.items
+  | _ -> Alcotest.fail "two outcomes expected");
+  ignore (run_both t events)
+
+let test_engine_interest_transitions () =
+  (* the raw engine-level notification protocol behind the index *)
+  let dag =
+    match Query.compile "//a/b" with
+    | Ok q -> (match Query.disjuncts q with [ d ] -> d | _ -> assert false)
+    | Error msg -> Alcotest.failf "compile: %s" msg
+  in
+  let log = ref [] in
+  let e = Engine.create dag in
+  Engine.subscribe_interest e
+    {
+      Engine.on_tag = (fun tag on -> log := (tag, on) :: !log);
+      on_wildcard = (fun _ -> Alcotest.fail "no wildcard in //a/b");
+    };
+  Alcotest.(check (list (pair string bool)))
+    "initial frontier"
+    [ ("a", true) ]
+    (List.rev !log);
+  Engine.start_element e ~tag:"a" ~level:1 ();
+  Engine.start_element e ~tag:"b" ~level:2 ();
+  Engine.end_element e;
+  Engine.end_element e;
+  ignore (Engine.finish e);
+  Alcotest.(check (list (pair string bool)))
+    "transitions"
+    [ ("a", true); ("b", true); ("b", false); ("a", false) ]
+    (List.rev !log)
+
+let test_budget_abort_isolation () =
+  (* one run tripping its budget must not take the others down *)
+  let t = compile_exn [ ("heavy", "//a"); ("light", "//r") ] in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<r>";
+  for _ = 1 to 100 do
+    Buffer.add_string buf "<a/>"
+  done;
+  Buffer.add_string buf "</r>";
+  let events = events_of (Buffer.contents buf) in
+  let check_mode dispatch =
+    let outcomes = Query_set.run_events ~budget:50 ~dispatch t events in
+    match outcomes with
+    | [ heavy; light ] ->
+      Alcotest.(check bool) "heavy aborted" true heavy.aborted;
+      Alcotest.(check bool) "heavy partial nonempty" true (heavy.items <> []);
+      Alcotest.(check bool)
+        "heavy partial strict subset" true
+        (List.length heavy.items < 100);
+      Alcotest.(check bool) "light completed" false light.aborted;
+      Alcotest.(check (list item)) "light items" [ it 1 "r" 1 ] light.items
+    | _ -> Alcotest.fail "two outcomes expected"
+  in
+  check_mode Query_set.Shared;
+  check_mode Query_set.Naive;
+  ignore (run_both ~budget:50 t events)
+
+let test_fixed_differential_cases () =
+  let doc =
+    "<site><people><person><name>alice</name><age>30</age></person>\
+     <person><name>bob</name></person></people>\
+     <items><item><name>rock</name></item></items></site>"
+  in
+  let events = events_of doc in
+  let sets =
+    [
+      [ ("q1", "//person/name"); ("q2", "//item//name"); ("q3", "/site/items") ];
+      [ ("w", "//*"); ("deep", "//person/*"); ("none", "//missing") ];
+      [
+        ("anc", "//name/ancestor::person");
+        ("par", "//name/parent::item");
+        ("pred", "//person[age]");
+      ];
+      [
+        ("text", "//name[text()='bob']");
+        ("contains", "//name[contains(text(),'oc')]");
+        ("attr", "//person[@id]");
+      ];
+    ]
+  in
+  List.iter (fun pairs -> ignore (run_both (compile_exn pairs) events)) sets
+
+let test_partial_differential () =
+  (* truncated streams: feed a prefix, finish_partial, compare modes *)
+  let doc =
+    "<site><a><b><c/></b><b/></a><a><b><d/><c/></b></a><e><b/></e></site>"
+  in
+  let events = events_of doc in
+  let t =
+    compile_exn
+      [ ("q1", "//a//c"); ("q2", "//b/ancestor::a"); ("q3", "//e") ]
+  in
+  let n = List.length events in
+  List.iter
+    (fun k ->
+      let prefix = List.filteri (fun i _ -> i < k) events in
+      let run dispatch =
+        let s = Query_set.start ~dispatch t in
+        List.iter (Query_set.feed s) prefix;
+        Query_set.finish_partial s
+      in
+      check_outcomes
+        (Printf.sprintf "partial at %d" k)
+        (run Query_set.Naive) (run Query_set.Shared))
+    [ n / 4; n / 2; (3 * n) / 4; n ]
+
+let test_randomized_differential () =
+  (* randomized query sets over Randgen documents; also replays each
+     document through lenient parses of mutated bytes (PR-1 fuzz
+     generators) so recovery streams hit the index too *)
+  let rng = Prng.create 0x5e7 in
+  for seed = 1 to 8 do
+    let specs =
+      List.init 3 (fun i ->
+          Randgen.generate_spec ~size:4 ~seed:((seed * 13) + i) ())
+    in
+    let pairs =
+      ("wild", "//*")
+      :: List.mapi
+           (fun i spec ->
+             (Printf.sprintf "q%d" i, Ast.to_string spec.Randgen.query))
+           specs
+    in
+    let t = compile_exn pairs in
+    let doc =
+      Randgen.document_string (List.hd specs) ~seed:(seed * 31) ~elements:150
+    in
+    ignore (run_both t (events_of doc));
+    (* mutated + lenient-recovered variant *)
+    let mutated = Test_fuzz.mutate rng doc in
+    match Sax.events_of_string ~mode:Sax.Lenient mutated with
+    | events -> ignore (run_both t events)
+    | exception Sax.Limit_exceeded _ -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "item equal is id-based" `Quick
+      test_item_equal_is_id_based;
+    Alcotest.test_case "union dedup regression" `Quick
+      test_union_dedup_regression;
+    Alcotest.test_case "union tuples monomorphic" `Quick
+      test_union_tuples_monomorphic;
+    Alcotest.test_case "compile errors accumulate" `Quick
+      test_compile_errors_accumulate;
+    Alcotest.test_case "looking-for update path" `Quick
+      test_looking_for_update_path;
+    Alcotest.test_case "wildcard bucket" `Quick test_wildcard_bucket;
+    Alcotest.test_case "engine interest transitions" `Quick
+      test_engine_interest_transitions;
+    Alcotest.test_case "budget abort isolation" `Quick
+      test_budget_abort_isolation;
+    Alcotest.test_case "fixed differential cases" `Quick
+      test_fixed_differential_cases;
+    Alcotest.test_case "partial differential" `Quick test_partial_differential;
+    Alcotest.test_case "randomized differential" `Slow
+      test_randomized_differential;
+  ]
