@@ -58,6 +58,14 @@ let run_filtering report full counts_opt =
 
 let run_micro report = reporting report (fun () -> Micro.run ())
 
+let run_relevance report full scales_opt =
+  let scales =
+    match scales_opt with
+    | Some scales -> scales
+    | None -> if full then [ 0.005; 0.01; 0.02; 0.05 ] else [ 0.005; 0.01; 0.02 ]
+  in
+  reporting report (fun () -> Relevance.run ~scales ())
+
 let run_all report full =
   reporting report (fun () ->
       ignore (Fig5.run ~scales:(scales_of ~full None) ~budget_mb:48 ());
@@ -68,6 +76,7 @@ let run_all report full =
       Filtering.run
         ~subscription_counts:(filtering_counts ~full None)
         ~docs:(if full then 12 else 8) ();
+      Relevance.run ();
       Micro.run ())
 
 (* ---------------- cmdliner plumbing ---------------- *)
@@ -105,7 +114,7 @@ let report_t =
   let doc = "Write results as a versioned JSON run report to $(docv)." in
   Arg.(
     value
-    & opt string "BENCH_PR3.json"
+    & opt string "BENCH_PR4.json"
     & info [ "report" ] ~docv:"FILE" ~doc)
 
 let counts_t =
@@ -150,6 +159,13 @@ let micro_cmd =
     (Cmd.info "micro" ~doc:"Bechamel micro-benchmarks, one per table/figure kernel")
     Term.(const run_micro $ report_t)
 
+let relevance_cmd =
+  Cmd.v
+    (Cmd.info "relevance"
+       ~doc:"Relevance-ratio sweep: peak retained bytes over bytes seen, \
+             three selectivities per workload")
+    Term.(const run_relevance $ report_t $ full_t $ scales_t)
+
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment")
@@ -166,4 +182,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_t info
           [ fig5_cmd; table3_cmd; fig6_cmd; fig7_cmd; ablation_cmd;
-            filtering_cmd; micro_cmd; all_cmd ]))
+            filtering_cmd; relevance_cmd; micro_cmd; all_cmd ]))

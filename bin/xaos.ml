@@ -14,6 +14,7 @@
 open Cmdliner
 open Xaos_core
 module Tel = Xaos_obs.Telemetry
+module Trc = Xaos_obs.Tracer
 
 let exit_query_error = 1
 
@@ -52,6 +53,23 @@ let with_source ?limits ?mode ?on_fault file f =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> f (Xaos_xml.Sax.of_channel ?limits ?mode ?on_fault ic))
+
+(* Read the whole document as an event list, each event stamped with the
+   parser position just past its token — shared by trace and why, which
+   replay the same events once per disjunct. *)
+let collect_positioned_events ?limits ?mode ?on_fault file =
+  with_source ?limits ?mode ?on_fault file (fun parser ->
+      let rec loop acc =
+        match Xaos_xml.Sax.next parser with
+        | None -> List.rev acc
+        | Some ev ->
+          loop ((ev, Some (Xaos_xml.Sax.position parser)) :: acc)
+        | exception Xaos_xml.Sax.Error (pos, msg) ->
+          die exit_ill_formed (sax_error_message pos msg)
+        | exception Xaos_xml.Sax.Limit_exceeded (pos, kind, bound) ->
+          die exit_limit (limit_message pos kind bound)
+      in
+      loop [])
 
 (* ------------------------------------------------------------------ *)
 (* Hardening options shared by eval and filter                         *)
@@ -92,8 +110,11 @@ let span_run =
 
 (* Stream every event into the run. With [series], also record a
    snapshot time series over document bytes: a cheap due-check per event,
-   plus one final point on every outcome so the series is never empty. *)
+   plus one final point on every outcome so the series is never empty.
+   When the provenance tracer is on, each event's parser position is
+   threaded in first so lifecycle events carry document offsets. *)
 let stream_document ?series run parser =
+  let tracing = Xaos_obs.Tracer.enabled () in
   let events = ref 0 in
   let sample s =
     Xaos_obs.Snapshot.sample s
@@ -102,20 +123,30 @@ let stream_document ?series run parser =
       ~depth:(Xaos_xml.Sax.depth parser)
       ~live:(Query.live_structures run)
       ~looking_for:(Query.looking_for_size run)
+      ~retained_bytes:(Query.retained_bytes run)
   in
   let outcome =
     try
       (match series with
-      | None -> Xaos_xml.Sax.iter (Query.feed run) parser
-      | Some s ->
+      | None when not tracing -> Xaos_xml.Sax.iter (Query.feed run) parser
+      | _ ->
         let rec loop () =
           match Xaos_xml.Sax.next parser with
           | None -> ()
           | Some ev ->
+            if tracing then begin
+              let p = Xaos_xml.Sax.position parser in
+              Xaos_obs.Tracer.set_position ~byte:p.Xaos_xml.Sax.offset
+                ~line:p.Xaos_xml.Sax.line
+            end;
             Query.feed run ev;
             incr events;
-            if Xaos_obs.Snapshot.due s ~bytes:(Xaos_xml.Sax.bytes_read parser)
-            then sample s;
+            (match series with
+            | Some s
+              when Xaos_obs.Snapshot.due s
+                     ~bytes:(Xaos_xml.Sax.bytes_read parser) ->
+              sample s
+            | Some _ | None -> ());
             loop ()
         in
         loop ());
@@ -153,16 +184,8 @@ let config_of ~eager ~no_filter ~no_counters =
 let print_items items =
   List.iter (fun i -> Format.printf "%a@." Item.pp i) items
 
-let write_text_file path contents =
-  let oc =
-    try open_out path with Sys_error msg -> die exit_io_error msg
-  in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents)
-
 let eval_report ~query ~file ~h ~eager ~no_filter ~no_counters ~stats ~result
-    ~run ~series ~wall_s ~peak_heap_words path =
+    ~run ~series ~wall_s ~peak_heap_words ~bytes_seen path =
   let open Xaos_obs in
   let config =
     [
@@ -192,48 +215,92 @@ let eval_report ~query ~file ~h ~eager ~no_filter ~no_counters ~stats ~result
         ("peak_heap_words", float_of_int peak_heap_words);
       ]
   in
+  let relevance =
+    Report.relevance_of ~bytes_seen
+      ~retained_bytes:stats.Stats.retained_bytes
+      ~retained_peak_bytes:stats.Stats.retained_peak_bytes
+      ~elements_total:stats.Stats.elements_total
+      ~elements_stored:stats.Stats.elements_stored
+  in
   let report =
     Report.make ~kind:"eval" ~config ~stats:stats_fields
       ~spans:(Tel.span_summaries ())
       ~snapshots:(Snapshot.points series)
-      ~gc:(Report.gc_now ()) ()
+      ~gc:(Report.gc_now ()) ~relevance ()
   in
   try Report.write path report with Sys_error msg -> die exit_io_error msg
 
 let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
-    count_only tuples_flag report metrics hardening =
+    count_only tuples_flag report metrics trace_out trace_capacity
+    snapshot_interval hardening =
   let h = hardening in
   let config = config_of ~eager ~no_filter ~no_counters in
-  (match engine_kind, report, metrics with
-  | (Dom | Dom_dedup), Some _, _ | (Dom | Dom_dedup), _, Some _ ->
+  (match engine_kind, report, metrics, trace_out with
+  | (Dom | Dom_dedup), Some _, _, _
+  | (Dom | Dom_dedup), _, Some _, _
+  | (Dom | Dom_dedup), _, _, Some _ ->
     die exit_query_error
-      "--report and --metrics require the streaming engine (--engine xaos)"
+      "--report, --metrics and --trace-out require the streaming engine \
+       (--engine xaos)"
   | _ -> ());
   match engine_kind with
   | Streaming ->
     (* --stats, --report and --metrics all draw from the telemetry sink;
-       plain runs leave it disabled (the hook points are no-ops). *)
+       plain runs leave it disabled (the hook points are no-ops). The
+       provenance tracer is a separate ring, enabled only by --trace-out. *)
     let telemetry = stats_flag || report <> None || metrics <> None in
     if telemetry then begin
       Tel.reset ();
       Tel.enable ()
     end;
+    if trace_out <> None then Trc.enable ~capacity:trace_capacity ();
+    Trc.phase_begin "compile";
     let q = or_die_query (Query.compile ~config query) in
+    Trc.phase_end "compile";
     let faults = ref 0 in
     let run = Query.start ?budget:h.budget q in
-    let series =
-      match report with
-      | Some _ -> Some (Xaos_obs.Snapshot.create ())
+    (* --metrics streams each snapshot point as one NDJSON line during
+       the run, then appends the Prometheus exposition at exit — so the
+       sink is opened before streaming starts. *)
+    let metrics_sink =
+      match metrics with
       | None -> None
+      | Some path when String.equal path "-" -> Some (stdout, false)
+      | Some path -> (
+        try Some (open_out path, true)
+        with Sys_error msg -> die exit_io_error msg)
     in
+    let series =
+      match report, metrics_sink with
+      | None, None -> None
+      | _ ->
+        let on_point =
+          Option.map
+            (fun (oc, _) (p : Xaos_obs.Snapshot.point) ->
+              output_string oc
+                (Xaos_obs.Json.to_string ~indent:false
+                   (Xaos_obs.Report.point_to_json p));
+              output_char oc '\n')
+            metrics_sink
+        in
+        Some
+          (Xaos_obs.Snapshot.create ~interval_bytes:snapshot_interval
+             ?on_point ())
+    in
+    let bytes_seen = ref 0 in
     let stream () =
       Tel.enter span_run;
+      Trc.phase_begin "stream";
       let outcome =
         with_source ~limits:h.limits ~mode:(parse_mode h)
           ~on_fault:(fun _ -> incr faults)
           file
-          (fun parser -> stream_document ?series run parser)
+          (fun parser ->
+            let outcome = stream_document ?series run parser in
+            bytes_seen := Xaos_xml.Sax.bytes_read parser;
+            outcome)
       in
+      Trc.phase_end "stream";
       Tel.leave span_run;
       outcome
     in
@@ -241,6 +308,7 @@ let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
       if telemetry then Tel.with_peak_heap stream else (stream (), 0)
     in
     let wall_s = (Tel.span_summary span_run).Tel.total_s in
+    Trc.phase_begin "finish";
     let result =
       match outcome with
       | Complete -> Query.finish run
@@ -251,6 +319,7 @@ let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
         end
         else die code msg
     in
+    Trc.phase_end "finish";
     if count_only then
       Format.printf "%d@." (List.length result.Result_set.items)
     else print_items result.Result_set.items;
@@ -276,14 +345,20 @@ let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
     | Some path ->
       let series = Option.get series in
       eval_report ~query ~file ~h ~eager ~no_filter ~no_counters ~stats
-        ~result ~run ~series ~wall_s ~peak_heap_words path);
-    (match metrics with
+        ~result ~run ~series ~wall_s ~peak_heap_words
+        ~bytes_seen:!bytes_seen path);
+    (match metrics_sink with
     | None -> ()
-    | Some path ->
+    | Some (oc, close) ->
       let buf = Buffer.create 4096 in
       Tel.expose buf;
-      if String.equal path "-" then print_string (Buffer.contents buf)
-      else write_text_file path (Buffer.contents buf))
+      output_string oc (Buffer.contents buf);
+      if close then close_out_noerr oc else flush oc);
+    (match trace_out with
+    | None -> ()
+    | Some path -> (
+      Trc.disable ();
+      try Trc.write_chrome path with Sys_error msg -> die exit_io_error msg))
   | Dom | Dom_dedup ->
     let path =
       match Xaos_xpath.Parser.parse_result query with
@@ -366,15 +441,7 @@ let trace_cmd query file limit =
   let disjuncts =
     or_die_query (Xaos_xpath.Dnf.expand_bounded ~limit:16 path)
   in
-  let events =
-    with_source file (fun parser ->
-        try List.rev (Xaos_xml.Sax.fold (fun acc ev -> ev :: acc) [] parser)
-        with
-        | Xaos_xml.Sax.Error (pos, msg) ->
-          die exit_ill_formed (sax_error_message pos msg)
-        | Xaos_xml.Sax.Limit_exceeded (pos, kind, bound) ->
-          die exit_limit (limit_message pos kind bound))
-  in
+  let events = collect_positioned_events file in
   List.iteri
     (fun i disjunct ->
       if List.length disjuncts > 1 then
@@ -383,7 +450,7 @@ let trace_cmd query file limit =
       let xtree = Xaos_xpath.Xtree.of_path disjunct in
       match Xaos_xpath.Xdag.of_xtree xtree with
       | dag ->
-        let trace = Trace.run dag events in
+        let trace = Trace.run_positioned dag events in
         let truncated =
           match limit with
           | Some n when List.length trace.Trace.steps > n ->
@@ -402,6 +469,122 @@ let trace_cmd query file limit =
         | None -> Format.printf "%a" (Trace.pp ~xtree) trace)
       | exception Xaos_xpath.Xdag.Unsatisfiable ->
         Format.printf "unsatisfiable disjunct; no trace@.")
+    disjuncts
+
+(* ------------------------------------------------------------------ *)
+(* why (causal provenance of result items)                             *)
+(* ------------------------------------------------------------------ *)
+
+let label_of (xtree : Xaos_xpath.Xtree.t) v =
+  if v < 0 || v >= Array.length xtree.Xaos_xpath.Xtree.nodes then "?"
+  else
+    Format.asprintf "%a" Xaos_xpath.Xtree.pp_label
+      xtree.Xaos_xpath.Xtree.nodes.(v).Xaos_xpath.Xtree.label
+
+(* Render one provenance chain, emission first, climbing the surviving
+   placements toward the root. *)
+let print_chain xtree (item : Item.t) =
+  match Trc.provenance ~item_id:item.Item.id with
+  | [] ->
+    Format.printf
+      "%a: no retained provenance (raise the ring capacity?)@." Item.pp item
+  | chain ->
+    Format.printf "%a@." Item.pp item;
+    List.iter
+      (fun (e : Trc.event) ->
+        let pos ppf () =
+          if e.Trc.byte >= 0 then
+            Format.fprintf ppf " at byte %d (line %d)" e.Trc.byte e.Trc.line
+        in
+        match e.Trc.kind with
+        | Trc.Emitted _ ->
+          Format.printf "  emitted%a by structure #%d@." pos () e.Trc.serial
+        | Trc.Created { parent_serial } ->
+          let witness =
+            if parent_serial = 0 then ", witnessed by the root"
+            else if parent_serial > 0 then
+              Printf.sprintf ", witnessed by #%d" parent_serial
+            else ""
+          in
+          let survived =
+            match Trc.undos_survived ~serial:e.Trc.serial with
+            | 0 -> ""
+            | 1 -> ", survived 1 undo"
+            | n -> Printf.sprintf ", survived %d undos" n
+          in
+          Format.printf "  structure #%d at x-node %s created%a for %s@%d%s%s@."
+            e.Trc.serial
+            (label_of xtree e.Trc.xnode)
+            pos () e.Trc.tag e.Trc.level witness survived
+        | Trc.Propagated { target_serial; optimistic } ->
+          let target =
+            if target_serial = 0 then "the root structure"
+            else
+              match Trc.creation ~serial:target_serial with
+              | Some c ->
+                Printf.sprintf "#%d at %s" target_serial
+                  (label_of xtree c.Trc.xnode)
+              | None -> Printf.sprintf "#%d" target_serial
+          in
+          Format.printf "  #%d propagated%s into %s%a@." e.Trc.serial
+            (if optimistic then " optimistically" else "")
+            target pos ()
+        | Trc.Undone _ | Trc.Refuted | Trc.Phase _ -> ())
+      chain
+
+let why_cmd query file item_sel =
+  let path =
+    match Xaos_xpath.Parser.parse_result query with
+    | Ok p -> p
+    | Error msg -> die exit_query_error msg
+  in
+  let disjuncts =
+    or_die_query (Xaos_xpath.Dnf.expand_bounded ~limit:16 path)
+  in
+  let events = collect_positioned_events (Some file) in
+  List.iteri
+    (fun i disjunct ->
+      if List.length disjuncts > 1 then
+        Format.printf "@.-- disjunct %d: %s@." (i + 1)
+          (Xaos_xpath.Ast.to_string disjunct);
+      let xtree = Xaos_xpath.Xtree.of_path disjunct in
+      match Xaos_xpath.Xdag.of_xtree xtree with
+      | exception Xaos_xpath.Xdag.Unsatisfiable ->
+        Format.printf "unsatisfiable disjunct; nothing to explain@."
+      | dag ->
+        (* serials and causal ids are per engine run, so each disjunct
+           gets a fresh ring *)
+        Trc.enable ();
+        let engine = Engine.create dag in
+        let result =
+          Fun.protect
+            ~finally:(fun () -> Trc.disable ())
+            (fun () ->
+              List.iter
+                (fun (ev, pos) ->
+                  (match pos with
+                  | Some (p : Xaos_xml.Sax.position) ->
+                    Trc.set_position ~byte:p.Xaos_xml.Sax.offset
+                      ~line:p.Xaos_xml.Sax.line
+                  | None -> ());
+                  Engine.feed engine ev)
+                events;
+              Engine.finish engine)
+        in
+        let items =
+          match item_sel with
+          | None -> result.Result_set.items
+          | Some id ->
+            List.filter
+              (fun (it : Item.t) -> it.Item.id = id)
+              result.Result_set.items
+        in
+        if items = [] then
+          Format.printf "no result items%s@."
+            (match item_sel with
+            | Some id -> Printf.sprintf " with element id %d" id
+            | None -> "")
+        else List.iter (print_chain xtree) items)
     disjuncts
 
 (* ------------------------------------------------------------------ *)
@@ -537,9 +720,84 @@ let report_validate_cmd path =
       (List.length r.Xaos_obs.Report.snapshots)
       (List.length r.Xaos_obs.Report.tables)
 
+(* Stats where a larger value is a regression: timings, space, GC churn.
+   Monotone work counters (events, propagations) legitimately grow with
+   the workload and are reported but never fail the diff. *)
+let worse_when_larger name =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+    at 0
+  in
+  String.ends_with ~suffix:"_s" name
+  || String.ends_with ~suffix:"_bytes" name
+  || String.ends_with ~suffix:"_words" name
+  || contains name "peak"
+
+let report_diff_cmd old_path new_path threshold_pct =
+  let load path =
+    match Xaos_obs.Report.read path with
+    | Ok r -> r
+    | Error msg -> die exit_ill_formed (path ^ ": " ^ msg)
+  in
+  let old_r = load old_path and new_r = load new_path in
+  if old_r.Xaos_obs.Report.version <> new_r.Xaos_obs.Report.version then
+    Format.printf "note: comparing schema v%d against v%d@."
+      old_r.Xaos_obs.Report.version new_r.Xaos_obs.Report.version;
+  let old_stats = old_r.Xaos_obs.Report.stats
+  and new_stats = new_r.Xaos_obs.Report.stats in
+  let regressions = ref [] in
+  Format.printf "%-28s %14s %14s %10s@." "stat" "old" "new" "delta";
+  List.iter
+    (fun (name, ov) ->
+      match List.assoc_opt name new_stats with
+      | None -> Format.printf "%-28s %14g %14s@." name ov "(dropped)"
+      | Some nv ->
+        let pct =
+          if ov <> 0. then Some ((nv -. ov) /. Float.abs ov *. 100.)
+          else None
+        in
+        let regressed =
+          worse_when_larger name
+          &&
+          match pct with
+          | Some pct -> pct > threshold_pct
+          | None -> nv > 0.
+        in
+        if regressed then regressions := name :: !regressions;
+        Format.printf "%-28s %14g %14g %9s%%%s@." name ov nv
+          (match pct with
+          | Some pct -> Printf.sprintf "%+.1f" pct
+          | None -> "n/a")
+          (if regressed then "  !" else ""))
+    old_stats;
+  List.iter
+    (fun (name, nv) ->
+      if not (List.mem_assoc name old_stats) then
+        Format.printf "%-28s %14s %14g@." name "(new)" nv)
+    new_stats;
+  match !regressions with
+  | [] -> Format.printf "no regressions above %g%%@." threshold_pct
+  | names ->
+    Format.printf "REGRESSION (> %g%%): %s@." threshold_pct
+      (String.concat ", " (List.rev names));
+    exit 1
+
 let report_command =
   let path =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"REPORT.json")
+  in
+  let old_path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json")
+  in
+  let new_path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json")
+  in
+  let threshold =
+    Arg.(value & opt float 10.
+         & info [ "threshold-pct" ] ~docv:"PCT"
+             ~doc:"Regression tolerance: fail when a timing/space stat \
+                   grows by more than $(docv) percent (default 10).")
   in
   Cmd.group
     (Cmd.info "report" ~doc:"Machine-readable run reports")
@@ -549,6 +807,12 @@ let report_command =
            ~doc:"Check that a file is a well-formed run report of the \
                  current schema (exit 0 if valid, 3 otherwise)")
         Term.(const report_validate_cmd $ path);
+      Cmd.v
+        (Cmd.info "diff"
+           ~doc:"Compare the stats of two run reports (any readable \
+                 schema versions); exit 1 when a timing or space stat \
+                 regressed beyond --threshold-pct")
+        Term.(const report_diff_cmd $ old_path $ new_path $ threshold);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -669,8 +933,28 @@ let report_arg =
 let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics" ] ~docv:"FILE"
-           ~doc:"Write Prometheus-style text metrics to $(docv) after \
-                 the run ($(b,-) for stdout). Streaming engine only.")
+           ~doc:"Stream snapshot points to $(docv) as NDJSON during the \
+                 run, then append Prometheus-style text metrics at exit \
+                 ($(b,-) for stdout). Streaming engine only.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Record matching-structure lifecycle events and write \
+                 them as Chrome trace-event JSON to $(docv) — loadable in \
+                 ui.perfetto.dev. Streaming engine only.")
+
+let trace_capacity_arg =
+  Arg.(value & opt int 65536
+       & info [ "trace-capacity" ] ~docv:"N"
+           ~doc:"Ring-buffer capacity of --trace-out in events (default \
+                 65536); at capacity the oldest events are dropped.")
+
+let snapshot_interval_arg =
+  Arg.(value & opt int 65536
+       & info [ "snapshot-interval" ] ~docv:"BYTES"
+           ~doc:"Document bytes between stream snapshot points recorded \
+                 by --report / --metrics (default 65536).")
 
 let eval_term =
   Term.(
@@ -686,8 +970,8 @@ let eval_term =
     $ flag [ "count" ] "Print only the number of results."
     $ flag [ "tuples" ] "Also print result tuples of \\$-marked \
                          expressions."
-    $ report_arg $ metrics_arg
-    $ hardening_term)
+    $ report_arg $ metrics_arg $ trace_out_arg $ trace_capacity_arg
+    $ snapshot_interval_arg $ hardening_term)
 
 let eval_command =
   Cmd.v
@@ -718,6 +1002,23 @@ let trace_command =
              matched x-nodes, the looking-for set and the propagation \
              activity")
     Term.(const trace_cmd $ query_arg $ file_arg $ limit)
+
+let why_command =
+  let file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE"
+           ~doc:"XML document (required: provenance needs byte positions).")
+  in
+  let item =
+    Arg.(value & opt (some int) None
+         & info [ "item" ] ~docv:"ID"
+             ~doc:"Explain only the result item with element id $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:"Explain each result item: walk the causal chain of \
+             matching-structure events (created, propagated, undone, \
+             emitted) that produced it, with document positions")
+    Term.(const why_cmd $ query_arg $ file $ item)
 
 let filter_command =
   let subs =
@@ -794,5 +1095,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ eval_command; explain_command; trace_command; filter_command;
-            generate_command; report_command ]))
+          [ eval_command; explain_command; trace_command; why_command;
+            filter_command; generate_command; report_command ]))

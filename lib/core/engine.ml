@@ -6,6 +6,7 @@ module Xdag = Xaos_xpath.Xdag
    stay in the per-engine {!Stats.t}). Every operation below is a
    flag-guarded no-op unless a sink is installed. *)
 module Tel = Xaos_obs.Telemetry
+module Trc = Xaos_obs.Tracer
 
 let span_start_element =
   Tel.span ~help:"time handling element start events"
@@ -34,6 +35,10 @@ let counter_propagations =
 let gauge_live =
   Tel.gauge ~help:"live matching structures (created - refuted)"
     "xaos_engine_live_structures"
+
+let gauge_retained_bytes =
+  Tel.gauge ~help:"estimated bytes held in live matching structures"
+    "xaos_engine_retained_bytes"
 
 let hist_lifetime =
   Tel.histogram
@@ -451,6 +456,35 @@ let attr_tests_ok tests attrs =
       (fun test -> Ast.attr_test_matches test ~find:(find_attribute attrs))
       tests
 
+(* The open witness that made x-node [v] relevant at [level]: the
+   innermost level-consistent open match of the first x-dag parent that
+   has one. Recorded as the parent cause of a Created trace event; only
+   evaluated when the tracer is on, never on the production hot path. *)
+let witness_serial t v ~level =
+  let parents = t.info.(v).dag_parents in
+  let n = Array.length parents in
+  let rec loop i =
+    if i >= n then -1
+    else begin
+      let kind, p = parents.(i) in
+      let rec scan = function
+        | [] -> loop (i + 1)
+        | (m : Matching.t) :: rest ->
+          let ml = m.item.level in
+          let ok =
+            match kind with
+            | Xdag.Kchild -> ml = level - 1
+            | Xdag.Kdescendant -> ml < level
+            | Xdag.Kself -> ml = level
+            | Xdag.Kdescendant_or_self -> ml <= level
+          in
+          if ok then m.serial else scan rest
+      in
+      scan t.open_stacks.(p)
+    end
+  in
+  loop 0
+
 let start_element t ?(attrs = []) ~tag ~level () =
   if t.finished then invalid_arg "Engine.start_element: already finished";
   if t.sparse then begin
@@ -507,8 +541,14 @@ let start_element t ?(attrs = []) ~tag ~level () =
           Matching.create ~serial:t.serial ~xnode:v ~item
             ~pointer_slots:t.info.(v).pointer_slots
         in
+        if Trc.enabled () then
+          Trc.created ~serial:t.serial ~xnode:v ~item_id:id ~tag ~level
+            ~parent_serial:(witness_serial t v ~level);
         t.serial <- t.serial + 1;
         st.structures_created <- st.structures_created + 1;
+        st.retained_bytes <- st.retained_bytes + Matching.approx_bytes m;
+        if st.retained_bytes > st.retained_peak_bytes then
+          st.retained_peak_bytes <- st.retained_bytes;
         Tel.incr counter_structures;
         (match t.open_stacks.(v) with
         | [] ->
@@ -533,6 +573,7 @@ let start_element t ?(attrs = []) ~tag ~level () =
     let live = st.structures_created - st.structures_refuted in
     if live > st.live_peak then st.live_peak <- live;
     Tel.set_gauge gauge_live live;
+    Tel.set_gauge gauge_retained_bytes st.retained_bytes;
     Tel.leave span_start_element;
     if live > t.budget then
       raise (Budget_exceeded { live; budget = t.budget })
@@ -544,10 +585,13 @@ let text_event t s =
   if t.has_text_tests then
     List.iter (fun (_, buf) -> Buffer.add_string buf s) t.text_buffers
 
-let place_counted t ~child ~target ~slot =
+let place_counted t ~optimistic ~child ~target ~slot =
   Matching.place ~child ~target ~slot;
   t.stats.propagations <- t.stats.propagations + 1;
-  Tel.incr counter_propagations
+  Tel.incr counter_propagations;
+  if Trc.enabled () then
+    Trc.propagated ~optimistic ~child:child.Matching.serial
+      ~target:target.Matching.serial
 
 (* Resolve the matching structure [m] of x-node [v] at the end event of
    its element (paper, Sections 4.2-4.3):
@@ -576,8 +620,10 @@ let rec place_consistent t axis ~l ~target ~slot stack =
   match stack with
   | [] -> ()
   | (cand : Matching.t) :: rest ->
+    (* the pulled candidates are still-open ancestors: their own
+       matchings are unresolved, so this placement is optimistic *)
     if level_ok axis ~l ~ml:cand.item.level then
-      place_counted t ~child:cand ~target ~slot;
+      place_counted t ~optimistic:true ~child:cand ~target ~slot;
     place_consistent t axis ~l ~target ~slot rest
 
 let rec push_consistent t axis ~l ~child ~slot stack =
@@ -585,7 +631,7 @@ let rec push_consistent t axis ~l ~child ~slot stack =
   | [] -> ()
   | (target : Matching.t) :: rest ->
     if level_ok axis ~l ~ml:target.item.level then
-      place_counted t ~child ~target ~slot;
+      place_counted t ~optimistic:false ~child ~target ~slot;
     push_consistent t axis ~l ~child ~slot rest
 
 let rec same_element_match frame xnode =
@@ -640,7 +686,7 @@ let resolve t frame ~text (m : Matching.t) =
          so its verdict is already known. *)
       match same_element_match frame s.slot_target with
       | Some same when same.state = Matching.Satisfied ->
-        place_counted t ~child:same ~target:m ~slot:i
+        place_counted t ~optimistic:false ~child:same ~target:m ~slot:i
       | Some _ | None -> ())
     | Ast.Child | Ast.Descendant | Ast.Self | Ast.Descendant_or_self -> ()
   done;
@@ -655,6 +701,8 @@ let resolve t frame ~text (m : Matching.t) =
           t.open_stacks.(up_node)
       | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self -> ()));
     if t.eager && info.output then begin
+      if Trc.enabled () then
+        Trc.emitted ~serial:m.serial ~item_id:m.item.id;
       t.eager_items <- m.item :: t.eager_items;
       match t.on_match with
       | Some f -> f m.item

@@ -59,6 +59,15 @@ let create ~serial ~xnode ~item ~pointer_slots =
   in
   { serial; xnode; item; slots; placements = []; state = Pending }
 
+(* Rough heap footprint of one structure in bytes: the record and item,
+   the slot array with one store header (or counter ref) per slot, an
+   amortized placement cell per slot, plus the tag string. An estimate,
+   not an exact measurement — its job is to scale with what the engine
+   retains so the relevance ratio can be tracked per run. *)
+let approx_bytes t =
+  let words = 12 + (3 * Array.length t.slots) in
+  (Sys.word_size / 8 * words) + String.length t.item.Item.tag
+
 let store_push store entry =
   let capacity = Array.length store.entries in
   if store.len = capacity then begin
@@ -129,7 +138,11 @@ let refute ~stats t =
     if t.state <> Refuted then begin
       t.state <- Refuted;
       stats.Stats.structures_refuted <- stats.Stats.structures_refuted + 1;
+      stats.Stats.retained_bytes <-
+        stats.Stats.retained_bytes - approx_bytes t;
       Xaos_obs.Telemetry.incr counter_refuted;
+      if Xaos_obs.Tracer.enabled () then
+        Xaos_obs.Tracer.refuted ~serial:t.serial;
       let placements = t.placements in
       t.placements <- [];
       List.iter
@@ -138,6 +151,8 @@ let refute ~stats t =
           if target.state <> Refuted then begin
             stats.Stats.undos <- stats.Stats.undos + 1;
             Xaos_obs.Telemetry.incr counter_undos;
+            if Xaos_obs.Tracer.enabled () then
+              Xaos_obs.Tracer.undone ~child:t.serial ~target:target.serial;
             let emptied = remove_placement placement in
             (* A pending target performs its own satisfaction check at
                resolution time; only a satisfied one must be revoked. *)
@@ -179,7 +194,11 @@ let collect_outputs ~is_output t =
   let rec visit t =
     if not (Hashtbl.mem visited t.serial) then begin
       Hashtbl.add visited t.serial ();
-      if is_output t.xnode then acc := t.item :: !acc;
+      if is_output t.xnode then begin
+        acc := t.item :: !acc;
+        if Xaos_obs.Tracer.enabled () then
+          Xaos_obs.Tracer.emitted ~serial:t.serial ~item_id:t.item.Item.id
+      end;
       Array.iter
         (function
           | Pointers store -> store_iter visit store

@@ -56,6 +56,11 @@ and placement = {
 val create : serial:int -> xnode:int -> item:Item.t -> pointer_slots:bool array -> t
 (** [pointer_slots.(i)] selects {!Pointers} (vs {!Counter}) for slot [i]. *)
 
+val approx_bytes : t -> int
+(** Rough heap footprint of this structure in bytes (record, slots, tag
+    string) — summed into {!Stats.t.retained_bytes} by the engine so the
+    relevance ratio (retained vs document bytes) can be reported. *)
+
 val place : child:t -> target:t -> slot:int -> unit
 (** Add [child] to [target]'s slot and record the placement in [child]. *)
 

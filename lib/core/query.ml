@@ -148,6 +148,11 @@ let run_stats run =
 let retained_structures run =
   List.fold_left (fun acc e -> acc + Engine.retained_structures e) 0 run.engines
 
+let retained_bytes run =
+  List.fold_left
+    (fun acc e -> acc + (Engine.stats e).Stats.retained_bytes)
+    0 run.engines
+
 let live_structures run =
   List.fold_left
     (fun acc e ->

@@ -85,6 +85,11 @@ val retained_structures : run -> int
 (** Matching structures reachable at end of document, summed over the
     disjunct engines (see {!Engine.retained_structures}). *)
 
+val retained_bytes : run -> int
+(** Estimated bytes currently held in live matching structures, summed
+    over the disjunct engines — the numerator of the relevance ratio
+    (against the parser's bytes read). Counter arithmetic, snapshot-safe. *)
+
 val live_structures : run -> int
 (** Currently live (created - refuted) matching structures, summed over
     the disjunct engines. Cheap (counter arithmetic); what the

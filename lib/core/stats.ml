@@ -9,6 +9,8 @@ type t = {
   mutable undos : int;
   mutable max_depth : int;
   mutable parse_faults : int;
+  mutable retained_bytes : int;
+  mutable retained_peak_bytes : int;
 }
 
 let create () =
@@ -23,6 +25,8 @@ let create () =
     undos = 0;
     max_depth = 0;
     parse_faults = 0;
+    retained_bytes = 0;
+    retained_peak_bytes = 0;
   }
 
 let discarded_fraction t =
@@ -43,6 +47,8 @@ let add a b =
     undos = a.undos + b.undos;
     max_depth = max a.max_depth b.max_depth;
     parse_faults = a.parse_faults + b.parse_faults;
+    retained_bytes = a.retained_bytes + b.retained_bytes;
+    retained_peak_bytes = a.retained_peak_bytes + b.retained_peak_bytes;
   }
 
 let to_fields t =
@@ -57,14 +63,16 @@ let to_fields t =
     ("undos", t.undos);
     ("max_depth", t.max_depth);
     ("parse_faults", t.parse_faults);
+    ("retained_bytes", t.retained_bytes);
+    ("retained_peak_bytes", t.retained_peak_bytes);
   ]
 
 let pp ppf t =
   Format.fprintf ppf
     "elements: %d total, %d stored, %d discarded (%.2f%%); structures: %d \
      created, %d refuted, %d live peak; propagations: %d; undos: %d; max \
-     depth: %d; parse faults: %d"
+     depth: %d; parse faults: %d; retained bytes: %d (peak %d)"
     t.elements_total t.elements_stored t.elements_discarded
     (100. *. discarded_fraction t)
     t.structures_created t.structures_refuted t.live_peak t.propagations
-    t.undos t.max_depth t.parse_faults
+    t.undos t.max_depth t.parse_faults t.retained_bytes t.retained_peak_bytes

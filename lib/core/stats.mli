@@ -27,6 +27,12 @@ type t = {
       (** well-formedness faults recovered by a lenient parse feeding this
           engine; filled in by the front end (the engine itself never sees
           malformed markup) *)
+  mutable retained_bytes : int;
+      (** estimated bytes currently held in live matching structures
+          ({!Matching.approx_bytes} summed over created minus refuted) —
+          the numerator of the relevance ratio *)
+  mutable retained_peak_bytes : int;
+      (** largest [retained_bytes] observed during the run *)
 }
 
 val create : unit -> t

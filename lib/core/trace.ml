@@ -1,6 +1,7 @@
 type step = {
   index : int;
   event : Xaos_xml.Event.t;
+  pos : Xaos_xml.Sax.position option;
   matches : (int * Item.t) list;
   looking_for : (int * Engine.level_requirement) list;
   propagations : int;
@@ -14,49 +15,41 @@ type t = {
   stats : Stats.t;
 }
 
-let run ?config dag events =
+(* One element-event step: bracket the feed with activity deltas. The
+   matches column reads the innermost frame — after the feed for a start
+   event (the structures just registered), before it for an end event
+   (the structures about to be resolved). *)
+let capture engine ~index ~pos event =
+  let stats = Engine.stats engine in
+  let props0 = stats.Stats.propagations and undos0 = stats.Stats.undos in
+  let matches_before = Engine.frame_matches engine in
+  Engine.feed engine event;
+  let matches =
+    match event with
+    | Xaos_xml.Event.Start_element _ -> Engine.frame_matches engine
+    | _ -> matches_before
+  in
+  {
+    index;
+    event;
+    pos;
+    matches;
+    looking_for = Engine.looking_for engine;
+    propagations = stats.Stats.propagations - props0;
+    undos = stats.Stats.undos - undos0;
+    discarded = matches = [];
+  }
+
+let run_positioned ?config dag events =
   let engine = Engine.create ?config dag in
   let steps = ref [] in
   let index = ref 1 (* the paper's step 1 is the virtual Root start *) in
   List.iter
-    (fun event ->
+    (fun (event, pos) ->
       match event with
-      | Xaos_xml.Event.Start_element _ ->
-        let stats = Engine.stats engine in
-        let props0 = stats.Stats.propagations and undos0 = stats.Stats.undos in
-        Engine.feed engine event;
+      | Xaos_xml.Event.Start_element _ | Xaos_xml.Event.End_element _ ->
         incr index;
-        let matches = Engine.frame_matches engine in
-        steps :=
-          {
-            index = !index;
-            event;
-            matches;
-            looking_for = Engine.looking_for engine;
-            propagations = stats.Stats.propagations - props0;
-            undos = stats.Stats.undos - undos0;
-            discarded = matches = [];
-          }
-          :: !steps
-      | Xaos_xml.Event.End_element _ ->
-        (* the structures about to be resolved belong to the innermost
-           open element: capture before feeding *)
-        let matches = Engine.frame_matches engine in
-        let stats = Engine.stats engine in
-        let props0 = stats.Stats.propagations and undos0 = stats.Stats.undos in
-        Engine.feed engine event;
-        incr index;
-        steps :=
-          {
-            index = !index;
-            event;
-            matches;
-            looking_for = Engine.looking_for engine;
-            propagations = stats.Stats.propagations - props0;
-            undos = stats.Stats.undos - undos0;
-            discarded = matches = [];
-          }
-          :: !steps
+        steps := capture engine ~index:!index ~pos event :: !steps
       | Xaos_xml.Event.Text _ | Xaos_xml.Event.Comment _
       | Xaos_xml.Event.Processing_instruction _ ->
         Engine.feed engine event)
@@ -64,8 +57,25 @@ let run ?config dag events =
   let result = Engine.finish engine in
   { steps = List.rev !steps; result; stats = Engine.stats engine }
 
+let run ?config dag events =
+  run_positioned ?config dag (List.map (fun e -> (e, None)) events)
+
+(* Pull events with the parser position just past each token — the byte
+   offset the rendered row reports. *)
+let positioned_events parser =
+  let rec loop acc =
+    match Xaos_xml.Sax.next parser with
+    | None -> List.rev acc
+    | Some event ->
+      loop ((event, Some (Xaos_xml.Sax.position parser)) :: acc)
+  in
+  loop []
+
+let run_sax ?config dag parser =
+  run_positioned ?config dag (positioned_events parser)
+
 let run_string ?config dag input =
-  run ?config dag (Xaos_xml.Sax.events_of_string input)
+  run_sax ?config dag (Xaos_xml.Sax.of_string input)
 
 let label_of (xtree : Xaos_xpath.Xtree.t) v =
   Format.asprintf "%a" Xaos_xpath.Xtree.pp_label
@@ -84,6 +94,11 @@ let pp_looking_for ~xtree ppf entries =
 
 let pp_step ~xtree ppf step =
   let event = Format.asprintf "%a" Xaos_xml.Event.pp step.event in
+  let offset =
+    match step.pos with
+    | Some p -> Printf.sprintf "@%d" p.Xaos_xml.Sax.offset
+    | None -> ""
+  in
   let matches =
     if step.matches = [] then
       match step.event with
@@ -100,11 +115,13 @@ let pp_step ~xtree ppf step =
     | 0, u -> Format.sprintf "  -%d undo" u
     | p, u -> Format.sprintf "  +%d prop -%d undo" p u
   in
-  Format.fprintf ppf "%3d  %-12s %-12s %a%s" step.index event matches
-    (pp_looking_for ~xtree) step.looking_for activity
+  Format.fprintf ppf "%3d %6s  %-12s %-12s %a%s" step.index offset event
+    matches
+    (pp_looking_for ~xtree)
+    step.looking_for activity
 
 let pp ~xtree ppf t =
-  Format.fprintf ppf "%3s  %-12s %-12s %s@." "#" "event" "matches"
+  Format.fprintf ppf "%3s %6s  %-12s %-12s %s@." "#" "byte" "event" "matches"
     "looking-for set after the event";
   List.iter (fun step -> Format.fprintf ppf "%a@." (pp_step ~xtree) step) t.steps;
   Format.fprintf ppf "result: %a@." Result_set.pp t.result;

@@ -12,6 +12,9 @@ type step = {
   index : int;  (** 1-based; the paper numbers the virtual Root start 1,
                     so real element events start at 2 *)
   event : Xaos_xml.Event.t;  (** the element event *)
+  pos : Xaos_xml.Sax.position option;
+      (** document position just past the event's token — the row's byte
+          offset; [None] when tracing a bare event list *)
   matches : (int * Item.t) list;
       (** x-nodes the element matched (start: just registered; end: about
           to be resolved) *)
@@ -31,11 +34,23 @@ type t = {
 val run :
   ?config:Engine.config -> Xaos_xpath.Xdag.t -> Xaos_xml.Event.t list -> t
 (** Evaluate while recording; text/comment events contribute to text
-    tests but produce no steps, as in the paper. *)
+    tests but produce no steps, as in the paper. Steps carry no
+    positions — see {!run_positioned}/{!run_sax} for offsets. *)
+
+val run_positioned :
+  ?config:Engine.config -> Xaos_xpath.Xdag.t ->
+  (Xaos_xml.Event.t * Xaos_xml.Sax.position option) list -> t
+(** As {!run}, with a document position attached to each event. *)
+
+val run_sax : ?config:Engine.config -> Xaos_xpath.Xdag.t -> Xaos_xml.Sax.t -> t
+(** Pull events from a parser, stamping each step with the parser
+    position — what [xaos trace] runs.
+    @raise Xaos_xml.Sax.Error on ill-formed input. *)
 
 val run_string :
   ?config:Engine.config -> Xaos_xpath.Xdag.t -> string -> t
-(** Parse and trace. @raise Xaos_xml.Sax.Error on ill-formed input. *)
+(** {!run_sax} over an in-memory document.
+    @raise Xaos_xml.Sax.Error on ill-formed input. *)
 
 val pp_step :
   xtree:Xaos_xpath.Xtree.t -> Format.formatter -> step -> unit

@@ -1,4 +1,6 @@
-let schema_version = 1
+let schema_version = 2
+
+let min_schema_version = 1
 
 type table = {
   title : string;
@@ -30,6 +32,29 @@ let gc_now () =
     top_heap_words = s.Gc.top_heap_words;
   }
 
+type relevance = {
+  rel_bytes_seen : int;
+  rel_retained_bytes : int;
+  rel_retained_peak_bytes : int;
+  rel_elements_total : int;
+  rel_elements_stored : int;
+  rel_ratio : float;
+}
+
+let relevance_of ~bytes_seen ~retained_bytes ~retained_peak_bytes
+    ~elements_total ~elements_stored =
+  {
+    rel_bytes_seen = bytes_seen;
+    rel_retained_bytes = retained_bytes;
+    rel_retained_peak_bytes = retained_peak_bytes;
+    rel_elements_total = elements_total;
+    rel_elements_stored = elements_stored;
+    rel_ratio =
+      (if bytes_seen > 0 then
+         float_of_int retained_peak_bytes /. float_of_int bytes_seen
+       else 0.);
+  }
+
 type t = {
   version : int;
   kind : string;
@@ -40,10 +65,11 @@ type t = {
   snapshots : Snapshot.point list;
   tables : table list;
   gc : gc_summary option;
+  relevance : relevance option;
 }
 
 let make ?(config = []) ?(stats = []) ?(spans = []) ?(snapshots = [])
-    ?(tables = []) ?gc ~kind () =
+    ?(tables = []) ?gc ?relevance ~kind () =
   {
     version = schema_version;
     kind;
@@ -54,6 +80,7 @@ let make ?(config = []) ?(stats = []) ?(spans = []) ?(snapshots = [])
     snapshots;
     tables;
     gc;
+    relevance;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -78,9 +105,21 @@ let point_to_json (p : Snapshot.point) =
       ("depth", Json.Int p.Snapshot.sn_depth);
       ("live_structures", Json.Int p.Snapshot.sn_live);
       ("looking_for", Json.Int p.Snapshot.sn_looking_for);
+      ("retained_bytes", Json.Int p.Snapshot.sn_retained_bytes);
       ("elapsed_s", Json.Float p.Snapshot.sn_elapsed_s);
       ("bytes_per_sec", Json.Float p.Snapshot.sn_bytes_per_sec);
       ("heap_words", Json.Int p.Snapshot.sn_heap_words);
+    ]
+
+let relevance_to_json r =
+  Json.Obj
+    [
+      ("bytes_seen", Json.Int r.rel_bytes_seen);
+      ("retained_bytes", Json.Int r.rel_retained_bytes);
+      ("retained_peak_bytes", Json.Int r.rel_retained_peak_bytes);
+      ("elements_total", Json.Int r.rel_elements_total);
+      ("elements_stored", Json.Int r.rel_elements_stored);
+      ("ratio", Json.Float r.rel_ratio);
     ]
 
 let table_to_json t =
@@ -121,7 +160,11 @@ let to_json r =
        ("snapshots", Json.List (List.map point_to_json r.snapshots));
        ("tables", Json.List (List.map table_to_json r.tables));
      ]
-    @ match r.gc with None -> [] | Some g -> [ ("gc", gc_to_json g) ])
+    @ (match r.gc with None -> [] | Some g -> [ ("gc", gc_to_json g) ])
+    @
+    match r.relevance with
+    | None -> []
+    | Some rel -> [ ("relevance", relevance_to_json rel) ])
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -152,6 +195,17 @@ let decode_list path conv items =
   in
   loop 0 [] items
 
+(* Optional field with a default: absent is fine (v1 documents lack the
+   v2 additions), present-but-mistyped is still an error. *)
+let opt path key conv ~default json =
+  match Json.member key json with
+  | None -> Ok default
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok x
+    | None ->
+      Error (Printf.sprintf "%s: field %S has the wrong type" path key))
+
 let span_of_json path json =
   let* span_name = req path "name" Json.to_str json in
   let* count = req path "count" Json.to_int json in
@@ -166,6 +220,10 @@ let point_of_json path json =
   let* sn_depth = req path "depth" Json.to_int json in
   let* sn_live = req path "live_structures" Json.to_int json in
   let* sn_looking_for = req path "looking_for" Json.to_int json in
+  (* added in schema v2; v1 snapshots decode with 0 *)
+  let* sn_retained_bytes =
+    opt path "retained_bytes" Json.to_int ~default:0 json
+  in
   let* sn_elapsed_s = req path "elapsed_s" Json.to_float json in
   let* sn_bytes_per_sec = req path "bytes_per_sec" Json.to_float json in
   let* sn_heap_words = req path "heap_words" Json.to_int json in
@@ -176,9 +234,29 @@ let point_of_json path json =
       sn_depth;
       sn_live;
       sn_looking_for;
+      sn_retained_bytes;
       sn_elapsed_s;
       sn_bytes_per_sec;
       sn_heap_words;
+    }
+
+let relevance_of_json path json =
+  let* rel_bytes_seen = req path "bytes_seen" Json.to_int json in
+  let* rel_retained_bytes = req path "retained_bytes" Json.to_int json in
+  let* rel_retained_peak_bytes =
+    req path "retained_peak_bytes" Json.to_int json
+  in
+  let* rel_elements_total = req path "elements_total" Json.to_int json in
+  let* rel_elements_stored = req path "elements_stored" Json.to_int json in
+  let* rel_ratio = req path "ratio" Json.to_float json in
+  Ok
+    {
+      rel_bytes_seen;
+      rel_retained_bytes;
+      rel_retained_peak_bytes;
+      rel_elements_total;
+      rel_elements_stored;
+      rel_ratio;
     }
 
 let table_of_json path json =
@@ -233,10 +311,11 @@ let gc_of_json path json =
 let of_json json =
   let path = "report" in
   let* version = req path "schema_version" Json.to_int json in
-  if version <> schema_version then
+  if version < min_schema_version || version > schema_version then
     Error
-      (Printf.sprintf "report: unsupported schema_version %d (this build reads %d)"
-         version schema_version)
+      (Printf.sprintf
+         "report: unsupported schema_version %d (this build reads %d-%d)"
+         version min_schema_version schema_version)
   else
     let* kind = req path "kind" Json.to_str json in
     let* created_at = req path "created_at" Json.to_float json in
@@ -263,6 +342,12 @@ let of_json json =
       | None | Some Json.Null -> Ok None
       | Some g -> Result.map Option.some (gc_of_json (path ^ ".gc") g)
     in
+    let* relevance =
+      match Json.member "relevance" json with
+      | None | Some Json.Null -> Ok None
+      | Some r ->
+        Result.map Option.some (relevance_of_json (path ^ ".relevance") r)
+    in
     Ok
       {
         version;
@@ -274,6 +359,7 @@ let of_json json =
         snapshots;
         tables;
         gc;
+        relevance;
       }
 
 let validate json =
@@ -292,20 +378,36 @@ let validate json =
     in
     monotone (-1) r.snapshots
   in
-  let rec spans_ok = function
-    | [] -> Ok ()
-    | (s : Telemetry.span_summary) :: rest ->
-      if s.Telemetry.count <= 0 then
-        Error
-          (Printf.sprintf "report.spans: span %S has non-positive count"
-             s.Telemetry.span_name)
-      else if s.Telemetry.total_s < 0. then
-        Error
-          (Printf.sprintf "report.spans: span %S has negative total"
-             s.Telemetry.span_name)
-      else spans_ok rest
+  let* () =
+    let rec spans_ok = function
+      | [] -> Ok ()
+      | (s : Telemetry.span_summary) :: rest ->
+        if s.Telemetry.count <= 0 then
+          Error
+            (Printf.sprintf "report.spans: span %S has non-positive count"
+               s.Telemetry.span_name)
+        else if s.Telemetry.total_s < 0. then
+          Error
+            (Printf.sprintf "report.spans: span %S has negative total"
+               s.Telemetry.span_name)
+        else spans_ok rest
+    in
+    spans_ok r.spans
   in
-  spans_ok r.spans
+  match r.relevance with
+  | None -> Ok ()
+  | Some rel ->
+    if
+      rel.rel_bytes_seen < 0 || rel.rel_retained_bytes < 0
+      || rel.rel_retained_peak_bytes < 0 || rel.rel_elements_total < 0
+      || rel.rel_elements_stored < 0
+    then Error "report.relevance: negative quantity"
+    else if rel.rel_retained_bytes > rel.rel_retained_peak_bytes then
+      Error "report.relevance: retained_bytes above its recorded peak"
+    else if rel.rel_elements_stored > rel.rel_elements_total then
+      Error "report.relevance: more elements stored than seen"
+    else if rel.rel_ratio < 0. then Error "report.relevance: negative ratio"
+    else Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)

@@ -7,10 +7,16 @@
     Schema policy: [schema_version] is bumped on any
     backwards-incompatible change (field removal, type change, meaning
     change); adding optional fields is compatible and does not bump it.
-    {!validate} accepts exactly the current version. *)
+    v2 added the [relevance] section and [retained_bytes] on snapshot
+    points — both optional on read, so {!of_json} and {!validate} accept
+    every version from {!min_schema_version} up to the current one;
+    {!make} always stamps the current version. *)
 
 val schema_version : int
-(** Currently [1]. *)
+(** Currently [2]. *)
+
+val min_schema_version : int
+(** Oldest version this build still reads ([1]). *)
 
 type table = {
   title : string;
@@ -35,6 +41,25 @@ type gc_summary = {
 val gc_now : unit -> gc_summary
 (** Snapshot of {!Gc.quick_stat}. *)
 
+type relevance = {
+  rel_bytes_seen : int;  (** document bytes consumed by the parse *)
+  rel_retained_bytes : int;
+      (** estimated bytes in live matching structures at end of run *)
+  rel_retained_peak_bytes : int;  (** largest retained figure observed *)
+  rel_elements_total : int;
+  rel_elements_stored : int;
+  rel_ratio : float;
+      (** [retained_peak_bytes / bytes_seen] — the paper's
+          relevant-fraction space claim, measured *)
+}
+(** Relevance-ratio accounting (schema v2): how much of the document the
+    engine actually held, against how much streamed past. *)
+
+val relevance_of :
+  bytes_seen:int -> retained_bytes:int -> retained_peak_bytes:int ->
+  elements_total:int -> elements_stored:int -> relevance
+(** Build a section, deriving [rel_ratio] ([0.] when [bytes_seen = 0]). *)
+
 type t = {
   version : int;
   kind : string;  (** producer: ["eval"], ["bench"], … *)
@@ -45,6 +70,7 @@ type t = {
   snapshots : Snapshot.point list;
   tables : table list;
   gc : gc_summary option;
+  relevance : relevance option;
 }
 
 val make :
@@ -54,6 +80,7 @@ val make :
   ?snapshots:Snapshot.point list ->
   ?tables:table list ->
   ?gc:gc_summary ->
+  ?relevance:relevance ->
   kind:string ->
   unit ->
   t
@@ -61,13 +88,19 @@ val make :
 
 val to_json : t -> Json.t
 
+val point_to_json : Snapshot.point -> Json.t
+(** One snapshot point as the same object that appears in [snapshots] —
+    reused by the CLI to stream points as NDJSON during a run. *)
+
 val of_json : Json.t -> (t, string) result
 (** Strict decode: missing required fields, wrong types, or an
-    unsupported [version] are errors. *)
+    unsupported [version] are errors. Versions older than the current
+    one decode with the later optional sections absent/zeroed. *)
 
 val validate : Json.t -> (unit, string) result
 (** {!of_json} plus semantic checks: snapshot series monotone in bytes,
-    span counts positive. What the CI smoke-bench job runs. *)
+    span counts positive, relevance quantities consistent. What the CI
+    smoke-bench job runs. *)
 
 val to_string : t -> string
 

@@ -4,6 +4,7 @@ type point = {
   sn_depth : int;
   sn_live : int;
   sn_looking_for : int;
+  sn_retained_bytes : int;
   sn_elapsed_s : float;
   sn_bytes_per_sec : float;
   sn_heap_words : int;
@@ -12,18 +13,20 @@ type point = {
 type series = {
   interval : int;
   t0 : float;
+  on_point : (point -> unit) option;
   mutable next_at : int;
   mutable last_bytes : int;
   mutable rev_points : point list;
   mutable n : int;
 }
 
-let create ?(interval_bytes = 65536) () =
+let create ?(interval_bytes = 65536) ?on_point () =
   if interval_bytes <= 0 then
     invalid_arg "Snapshot.create: interval_bytes must be positive";
   {
     interval = interval_bytes;
     t0 = Telemetry.now ();
+    on_point;
     next_at = 0;
     last_bytes = -1;
     rev_points = [];
@@ -32,7 +35,7 @@ let create ?(interval_bytes = 65536) () =
 
 let due s ~bytes = bytes >= s.next_at
 
-let sample s ~bytes ~events ~depth ~live ~looking_for =
+let sample ?(retained_bytes = 0) s ~bytes ~events ~depth ~live ~looking_for =
   if bytes >= s.last_bytes then begin
     let elapsed = Telemetry.now () -. s.t0 in
     let rate = if elapsed > 0. then float_of_int bytes /. elapsed else 0. in
@@ -43,6 +46,7 @@ let sample s ~bytes ~events ~depth ~live ~looking_for =
         sn_depth = depth;
         sn_live = live;
         sn_looking_for = looking_for;
+        sn_retained_bytes = retained_bytes;
         sn_elapsed_s = elapsed;
         sn_bytes_per_sec = rate;
         sn_heap_words = (Gc.quick_stat ()).Gc.heap_words;
@@ -51,7 +55,8 @@ let sample s ~bytes ~events ~depth ~live ~looking_for =
     s.last_bytes <- bytes;
     s.next_at <- bytes + s.interval;
     s.rev_points <- point :: s.rev_points;
-    s.n <- s.n + 1
+    s.n <- s.n + 1;
+    match s.on_point with Some f -> f point | None -> ()
   end
 
 let points s = List.rev s.rev_points

@@ -16,6 +16,9 @@ type point = {
   sn_depth : int;  (** open-element depth *)
   sn_live : int;  (** live matching structures (created - refuted) *)
   sn_looking_for : int;  (** size of the looking-for set *)
+  sn_retained_bytes : int;
+      (** estimated bytes in live matching structures at the sample
+          ([0] when the driver does not track them) *)
   sn_elapsed_s : float;  (** seconds since {!create} *)
   sn_bytes_per_sec : float;  (** [sn_bytes / sn_elapsed_s]; 0 at t=0 *)
   sn_heap_words : int;  (** major-heap size ({!Gc.quick_stat}) *)
@@ -23,18 +26,21 @@ type point = {
 
 type series
 
-val create : ?interval_bytes:int -> unit -> series
+val create :
+  ?interval_bytes:int -> ?on_point:(point -> unit) -> unit -> series
 (** A fresh series; the first sample is due immediately, then every
     [interval_bytes] (default 65536) of stream progress. Uses
-    {!Telemetry.now} as its clock. *)
+    {!Telemetry.now} as its clock. [on_point] is called with each point
+    right after it is recorded — how [xaos eval --metrics] streams the
+    series as NDJSON during the run instead of only at exit. *)
 
 val due : series -> bytes:int -> bool
 (** Whether the next sample is due — two loads and a compare, cheap
     enough for a per-event call. *)
 
 val sample :
-  series -> bytes:int -> events:int -> depth:int -> live:int ->
-  looking_for:int -> unit
+  ?retained_bytes:int -> series -> bytes:int -> events:int -> depth:int ->
+  live:int -> looking_for:int -> unit
 (** Record a point (unconditionally — pair with {!due} for cadence).
     Elapsed time, throughput and heap size are captured here. Samples
     with [bytes] below the last recorded point are dropped. *)

@@ -105,8 +105,10 @@ PART=$("$XAOS" eval --partial-ok --count '//listitem/ancestor::category//name' "
 "$XAOS" eval --count --report "$WORK/run.json" \
   '//listitem/ancestor::category//name' "$WORK/xm.xml" > /dev/null
 test -s "$WORK/run.json" || fail "--report wrote nothing"
-OUT=$(grep -c '"schema_version": 1' "$WORK/run.json")
+OUT=$(grep -c '"schema_version": 2' "$WORK/run.json")
 expect "report carries schema version" "1" "$OUT"
+OUT=$(grep -c '"relevance"' "$WORK/run.json")
+expect "report carries relevance section" "1" "$OUT"
 OUT=$(grep -c '"snapshots"' "$WORK/run.json")
 expect "report carries snapshot series" "1" "$OUT"
 "$XAOS" report validate "$WORK/run.json" > /dev/null \
@@ -121,6 +123,47 @@ code 1 "$XAOS" eval --engine dom --report "$WORK/r2.json" '//b' "$WORK/small.xml
 # --stats now includes wall-clock and peak heap
 OUT=$("$XAOS" eval --stats '//b' "$WORK/small.xml" 2>&1 >/dev/null | grep -c 'peak heap:')
 expect "--stats reports peak heap" "1" "$OUT"
+
+# --- provenance: --trace-out, xaos why ---------------------------------------
+"$XAOS" eval --count --trace-out "$WORK/trace.json" \
+  '//listitem/ancestor::category//name' "$WORK/xm.xml" > /dev/null
+test -s "$WORK/trace.json" || fail "--trace-out wrote nothing"
+OUT=$(grep -c '"displayTimeUnit": "ms"' "$WORK/trace.json")
+expect "chrome trace header" "1" "$OUT"
+OUT=$(grep -c '"traceEvents"' "$WORK/trace.json")
+expect "chrome trace events array" "1" "$OUT"
+# --trace-out needs the streaming engine too
+code 1 "$XAOS" eval --engine dom --trace-out "$WORK/t2.json" '//b' "$WORK/small.xml"
+# a tiny ring still produces a loadable trace
+"$XAOS" eval --count --trace-out "$WORK/trace_small.json" --trace-capacity 8 \
+  '//W[ancestor::Z]' "$WORK/fig2.xml" > /dev/null
+test -s "$WORK/trace_small.json" || fail "bounded-ring trace missing"
+
+OUT=$("$XAOS" why '/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]' "$WORK/fig2.xml")
+echo "$OUT" | grep -q 'W(7)@4' || fail "why misses result W(7)@4"
+echo "$OUT" | grep -q 'emitted at byte' || fail "why misses emission position"
+echo "$OUT" | grep -q 'created at byte' || fail "why misses creation position"
+echo "$OUT" | grep -q 'propagated.*into the root structure' \
+  || fail "why chain does not reach the root"
+OUT=$("$XAOS" why --item 7 '//W[ancestor::Z]' "$WORK/fig2.xml" | grep -c '^W(')
+expect "why --item explains one item" "1" "$OUT"
+
+# --- snapshot interval + NDJSON metrics --------------------------------------
+OUT=$("$XAOS" eval --count --metrics - --snapshot-interval 64 \
+  '//b' "$WORK/small.xml" | grep -c '"retained_bytes"')
+[ "$OUT" -ge 1 ] || fail "metrics streamed no NDJSON snapshot points"
+
+# --- report diff -------------------------------------------------------------
+"$XAOS" eval --count --report "$WORK/run2.json" \
+  '//listitem/ancestor::category//name' "$WORK/xm.xml" > /dev/null
+"$XAOS" report diff "$WORK/run.json" "$WORK/run2.json" --threshold-pct 10000 \
+  > /dev/null || fail "report diff flagged a regression at threshold 10000%"
+set +e
+"$XAOS" report diff "$WORK/run.json" "$WORK/run2.json" --threshold-pct=-101 > /dev/null
+DIFF_CODE=$?
+set -e
+expect "report diff exits 1 on regression" "1" "$DIFF_CODE"
+code 3 "$XAOS" report diff "$WORK/no_such.json" "$WORK/run2.json"
 
 # --- trace truncation message states the limit -------------------------------
 OUT=$("$XAOS" trace --limit 1 '//b' "$WORK/small.xml" | grep -c -- '--limit is 1, default 200')

@@ -22,6 +22,7 @@ let () =
       ("misc", Test_misc.suite);
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
+      ("tracer", Test_tracer.suite);
       ("properties", Test_properties.suite);
       ("hardening", Test_hardening.suite);
       ("fuzz", Test_fuzz.suite);

@@ -200,7 +200,8 @@ let sample_report () =
   let snap = Snapshot.create ~interval_bytes:10 () in
   Snapshot.sample snap ~bytes:0 ~events:0 ~depth:0 ~live:0 ~looking_for:1;
   t := 0.5;
-  Snapshot.sample snap ~bytes:50 ~events:9 ~depth:2 ~live:3 ~looking_for:2;
+  Snapshot.sample snap ~retained_bytes:25 ~bytes:50 ~events:9 ~depth:2 ~live:3
+    ~looking_for:2;
   Tel.set_clock (fun () -> Unix.gettimeofday ());
   Report.make ~kind:"test"
     ~config:[ ("query", Json.String "//a"); ("eager", Json.Bool false) ]
@@ -209,7 +210,11 @@ let sample_report () =
     ~snapshots:(Snapshot.points snap)
     ~tables:
       [ { Report.title = "t"; columns = [ "a"; "b" ]; rows = [ [ "1"; "2" ] ] } ]
-    ~gc:(Report.gc_now ()) ()
+    ~gc:(Report.gc_now ())
+    ~relevance:
+      (Report.relevance_of ~bytes_seen:1000 ~retained_bytes:25
+         ~retained_peak_bytes:80 ~elements_total:12 ~elements_stored:3)
+    ()
 
 let test_report_round_trip () =
   let r = sample_report () in
@@ -228,7 +233,79 @@ let test_report_round_trip () =
       Alcotest.(check bool) "snapshots" true
         (r.Report.snapshots = r'.Report.snapshots);
       Alcotest.(check bool) "tables" true (r.Report.tables = r'.Report.tables);
-      Alcotest.(check bool) "gc" true (r.Report.gc = r'.Report.gc))
+      Alcotest.(check bool) "gc" true (r.Report.gc = r'.Report.gc);
+      Alcotest.(check bool) "relevance" true
+        (r.Report.relevance = r'.Report.relevance))
+
+(* A v1 report (no relevance section, no retained_bytes on snapshot
+   points) must still decode: the later optional fields default. *)
+let test_report_reads_v1 () =
+  let r = sample_report () in
+  let strip_v2 = function
+    | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (function
+             | "schema_version", _ -> Some ("schema_version", Json.Int 1)
+             | "relevance", _ -> None
+             | "snapshots", Json.List pts ->
+               Some
+                 ( "snapshots",
+                   Json.List
+                     (List.map
+                        (function
+                          | Json.Obj pf ->
+                            Json.Obj
+                              (List.filter
+                                 (fun (k, _) -> k <> "retained_bytes")
+                                 pf)
+                          | p -> p)
+                        pts) )
+             | kv -> Some kv)
+           fields)
+    | j -> j
+  in
+  let v1 = strip_v2 (Report.to_json r) in
+  (match Report.validate v1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v1 report rejected: %s" e);
+  match Report.of_json v1 with
+  | Error e -> Alcotest.fail e
+  | Ok r' ->
+    Alcotest.(check int) "version preserved" 1 r'.Report.version;
+    Alcotest.(check bool) "no relevance section" true
+      (r'.Report.relevance = None);
+    List.iter
+      (fun p ->
+        Alcotest.(check int) "retained defaults to 0" 0
+          p.Snapshot.sn_retained_bytes)
+      r'.Report.snapshots
+
+let test_relevance_validation () =
+  let r = sample_report () in
+  (* a relevance section claiming more retained than its peak is
+     inconsistent *)
+  let corrupt = function
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "relevance", Json.Obj rf ->
+               ( "relevance",
+                 Json.Obj
+                   (List.map
+                      (function
+                        | "retained_bytes", _ ->
+                          ("retained_bytes", Json.Int 999_999)
+                        | kv -> kv)
+                      rf) )
+             | kv -> kv)
+           fields)
+    | j -> j
+  in
+  match Report.validate (corrupt (Report.to_json r)) with
+  | Ok () -> Alcotest.fail "retained > peak accepted"
+  | Error _ -> ()
 
 let test_report_validate () =
   let r = sample_report () in
@@ -298,5 +375,7 @@ let suite =
     Alcotest.test_case "snapshot series monotone" `Quick test_snapshot_series;
     Alcotest.test_case "report round trip" `Quick test_report_round_trip;
     Alcotest.test_case "report validation" `Quick test_report_validate;
+    Alcotest.test_case "report reads v1" `Quick test_report_reads_v1;
+    Alcotest.test_case "relevance validation" `Quick test_relevance_validation;
     Alcotest.test_case "report write/read" `Quick test_report_write_read;
   ]

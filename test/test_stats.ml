@@ -16,6 +16,8 @@ let filled a b c d e f g h i j =
   s.Stats.undos <- h;
   s.Stats.max_depth <- i;
   s.Stats.parse_faults <- j;
+  s.Stats.retained_bytes <- 100 * a;
+  s.Stats.retained_peak_bytes <- 200 * a;
   s
 
 let test_add_sums_and_maxes () =
@@ -33,7 +35,10 @@ let test_add_sums_and_maxes () =
   Alcotest.(check int) "undos summed" 5 sum.Stats.undos;
   (* both engines see the same document: depth is a max, not a sum *)
   Alcotest.(check int) "max_depth maxed" 5 sum.Stats.max_depth;
-  Alcotest.(check int) "parse_faults summed" 3 sum.Stats.parse_faults
+  Alcotest.(check int) "parse_faults summed" 3 sum.Stats.parse_faults;
+  Alcotest.(check int) "retained_bytes summed" 3000 sum.Stats.retained_bytes;
+  Alcotest.(check int) "retained_peak_bytes summed" 6000
+    sum.Stats.retained_peak_bytes
 
 let test_add_identity () =
   let a = filled 10 3 7 4 1 3 9 2 5 1 in
@@ -67,7 +72,7 @@ let test_discarded_fraction_partial () =
 
 let test_to_fields_covers_all_counters () =
   let fields = Stats.to_fields (filled 1 2 3 4 5 6 7 8 9 10) in
-  Alcotest.(check int) "ten counters" 10 (List.length fields);
+  Alcotest.(check int) "twelve counters" 12 (List.length fields);
   let names = List.map fst fields in
   List.iter
     (fun n ->
@@ -76,6 +81,7 @@ let test_to_fields_covers_all_counters () =
       "elements_total"; "elements_stored"; "elements_discarded";
       "structures_created"; "structures_refuted"; "live_peak";
       "propagations"; "undos"; "max_depth"; "parse_faults";
+      "retained_bytes"; "retained_peak_bytes";
     ]
 
 let suite =

@@ -1,0 +1,197 @@
+(* The causal provenance tracer: flag discipline, ring-buffer drop
+   semantics, the Chrome trace-event export, and the paper's Figure 4
+   provenance chain reconstructed from the Figure 2/3 walkthrough. *)
+
+open Xaos_core
+module Trc = Xaos_obs.Tracer
+module Json = Xaos_obs.Json
+module Parser = Xaos_xpath.Parser
+module Xtree = Xaos_xpath.Xtree
+module Xdag = Xaos_xpath.Xdag
+
+let fig2 = "<X><Y><W/><Z><V/><V/><W><W/></W></Z><U/></Y><Y><Z><W/></Z><U/></Y></X>"
+let fig3 = "/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]"
+
+(* Run the Figure 2/3 walkthrough with the tracer on, positions threaded
+   from the parser as the CLI does; returns the result set. *)
+let traced_fig ?capacity () =
+  Trc.enable ?capacity ();
+  let xtree = Xtree.of_path (Parser.parse fig3) in
+  let engine = Engine.create (Xdag.of_xtree xtree) in
+  let parser = Xaos_xml.Sax.of_string fig2 in
+  let rec loop () =
+    match Xaos_xml.Sax.next parser with
+    | None -> ()
+    | Some ev ->
+      let p = Xaos_xml.Sax.position parser in
+      Trc.set_position ~byte:p.Xaos_xml.Sax.offset ~line:p.Xaos_xml.Sax.line;
+      Engine.feed engine ev;
+      loop ()
+  in
+  loop ();
+  let result = Engine.finish engine in
+  Trc.disable ();
+  (xtree, result)
+
+let test_disabled_records_nothing () =
+  Trc.enable ();
+  Trc.disable ();
+  Trc.reset ();
+  Trc.created ~serial:1 ~xnode:0 ~item_id:1 ~tag:"a" ~level:1
+    ~parent_serial:0;
+  Trc.propagated ~optimistic:true ~child:1 ~target:0;
+  Trc.emitted ~serial:1 ~item_id:1;
+  Trc.phase_begin "p";
+  Alcotest.(check bool) "disabled" false (Trc.enabled ());
+  Alcotest.(check int) "nothing recorded" 0 (Trc.recorded ());
+  Alcotest.(check (list unit)) "no events" []
+    (List.map ignore (Trc.events ()))
+
+let test_figure4_provenance () =
+  let _xtree, result = traced_fig () in
+  (* the paper's solution: elements 7 and 8 (the W nest in the first Y) *)
+  Alcotest.(check (list int)) "solution" [ 7; 8 ]
+    (List.map (fun (i : Item.t) -> i.Item.id) result.Result_set.items);
+  Alcotest.(check int) "no drops at default capacity" 0 (Trc.dropped ());
+  List.iter
+    (fun (item : Item.t) ->
+      let chain = Trc.provenance ~item_id:item.Item.id in
+      Alcotest.(check bool)
+        (Printf.sprintf "item %d has a chain" item.Item.id)
+        true
+        (List.length chain >= 3);
+      (* emission first... *)
+      (match (List.hd chain).Trc.kind with
+      | Trc.Emitted { item_id } ->
+        Alcotest.(check int) "emission of the item" item.Item.id item_id
+      | _ -> Alcotest.fail "chain must start with the emission");
+      (* ...then alternating creations and surviving placements, ending
+         with the placement into the root structure (serial 0) *)
+      (match (List.nth chain 1).Trc.kind with
+      | Trc.Created _ -> ()
+      | _ -> Alcotest.fail "creation must follow the emission");
+      (match (List.nth (List.rev chain) 0).Trc.kind with
+      | Trc.Propagated { target_serial; _ } ->
+        Alcotest.(check int) "chain reaches the root" 0 target_serial
+      | _ -> Alcotest.fail "chain must end in a placement into the root");
+      (* every event in the chain carries a document position *)
+      List.iter
+        (fun (e : Trc.event) ->
+          Alcotest.(check bool) "byte position stamped" true (e.Trc.byte >= 0);
+          Alcotest.(check bool) "line position stamped" true (e.Trc.line >= 1))
+        chain;
+      (* consecutive links are causally consistent: each placement's
+         subject is the structure created just before it in the chain *)
+      let rec check_links = function
+        | (a : Trc.event) :: (b : Trc.event) :: rest ->
+          (match (a.Trc.kind, b.Trc.kind) with
+          | Trc.Created _, Trc.Propagated _ ->
+            Alcotest.(check int) "placement subject" a.Trc.serial b.Trc.serial
+          | Trc.Propagated { target_serial; _ }, Trc.Created _ ->
+            Alcotest.(check int) "placement target" target_serial
+              b.Trc.serial
+          | _ -> ());
+          check_links (b :: rest)
+        | _ -> ()
+      in
+      check_links (List.tl chain))
+    result.Result_set.items
+
+let test_optimism_recorded () =
+  (* steps 22/23 of Table 2: W12 optimistically propagates, E:Z11 undoes
+     it and refutes the structures under Z10 *)
+  let _ = traced_fig () in
+  let kinds = List.map (fun (e : Trc.event) -> e.Trc.kind) (Trc.events ()) in
+  let has p = List.exists p kinds in
+  Alcotest.(check bool) "optimistic placement recorded" true
+    (has (function Trc.Propagated { optimistic; _ } -> optimistic | _ -> false));
+  Alcotest.(check bool) "undo recorded" true
+    (has (function Trc.Undone _ -> true | _ -> false));
+  Alcotest.(check bool) "refutation recorded" true
+    (has (function Trc.Refuted -> true | _ -> false))
+
+let test_ring_drops_oldest_keeps_links () =
+  let _xtree, result = traced_fig ~capacity:8 () in
+  Alcotest.(check bool) "ring wrapped" true (Trc.dropped () > 0);
+  let retained = Trc.events () in
+  Alcotest.(check int) "capacity bounds retention" 8 (List.length retained);
+  Alcotest.(check int) "retained = recorded - dropped"
+    (Trc.recorded () - Trc.dropped ())
+    (List.length retained);
+  (* oldest first, contiguous ids ending at the newest event *)
+  let ids = List.map (fun (e : Trc.event) -> e.Trc.id) retained in
+  Alcotest.(check (list int)) "contiguous newest window"
+    (List.init 8 (fun i -> Trc.recorded () - 8 + i))
+    ids;
+  (* parent-cause links of retained events never dangle: find either
+     returns the exact event or None for a dropped id, and never an
+     unrelated event that happens to share a slot *)
+  List.iter
+    (fun (e : Trc.event) ->
+      if e.Trc.parent >= 0 then
+        match Trc.find e.Trc.parent with
+        | None ->
+          Alcotest.(check bool) "dropped parents are old" true
+            (e.Trc.parent < Trc.recorded () - 8)
+        | Some p -> Alcotest.(check int) "id matches" e.Trc.parent p.Trc.id)
+    retained;
+  (* provenance degrades to empty or a truncated-but-consistent chain,
+     never an exception *)
+  List.iter
+    (fun (item : Item.t) -> ignore (Trc.provenance ~item_id:item.Item.id))
+    result.Result_set.items
+
+let test_chrome_export_round_trips () =
+  let _ = traced_fig () in
+  let json_text = Json.to_string (Trc.to_chrome ()) in
+  match Json.parse json_text with
+  | Error msg -> Alcotest.fail ("export must re-parse: " ^ msg)
+  | Ok json ->
+    Alcotest.(check (option string)) "displayTimeUnit" (Some "ms")
+      Option.(bind (Json.member "displayTimeUnit" json) Json.to_str);
+    let events =
+      match Option.bind (Json.member "traceEvents" json) Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "traceEvents must be a list"
+    in
+    Alcotest.(check bool) "events present" true (List.length events > 10);
+    let allowed = [ "B"; "E"; "X"; "i"; "b"; "n"; "e" ] in
+    List.iter
+      (fun ev ->
+        let str k = Option.bind (Json.member k ev) Json.to_str in
+        let num k = Option.bind (Json.member k ev) Json.to_float in
+        let int k = Option.bind (Json.member k ev) Json.to_int in
+        (match str "ph" with
+        | Some ph ->
+          Alcotest.(check bool) ("ph " ^ ph ^ " allowed") true
+            (List.mem ph allowed);
+          (* async structure events carry the serial as their id *)
+          if List.mem ph [ "b"; "n"; "e" ] then
+            Alcotest.(check bool) "async id present" true (int "id" <> None)
+        | None -> Alcotest.fail "event without ph");
+        Alcotest.(check bool) "name" true (str "name" <> None);
+        Alcotest.(check (option int)) "pid" (Some 1) (int "pid");
+        Alcotest.(check (option int)) "tid" (Some 1) (int "tid");
+        match num "ts" with
+        | Some ts -> Alcotest.(check bool) "ts non-negative" true (ts >= 0.)
+        | None -> Alcotest.fail "event without ts")
+      events
+
+let test_enable_resets () =
+  let _ = traced_fig () in
+  let before = Trc.recorded () in
+  Alcotest.(check bool) "something recorded" true (before > 0);
+  Trc.enable ~capacity:16 ();
+  Alcotest.(check int) "enable implies reset" 0 (Trc.recorded ());
+  Alcotest.(check int) "capacity applied" 16 (Trc.capacity ());
+  Trc.disable ()
+
+let suite =
+  [
+    ("disabled is inert", `Quick, test_disabled_records_nothing);
+    ("figure 4 provenance", `Quick, test_figure4_provenance);
+    ("optimism in the ring", `Quick, test_optimism_recorded);
+    ("ring drop keeps links", `Quick, test_ring_drops_oldest_keeps_links);
+    ("chrome export round-trips", `Quick, test_chrome_export_round_trips);
+    ("enable resets", `Quick, test_enable_resets);
+  ]
