@@ -82,6 +82,17 @@ let run ~scales ~budget_mb () =
   Printf.printf "baseline heap budget: %d MB (models the paper's 256 MB machine)\n"
     budget_mb;
   let rows = List.map (run_one ~budget_bytes) scales in
+  (* per-scale stats in the run report, so `xaos report diff` can gate
+     streaming-eval time and peak heap across PRs *)
+  List.iter
+    (fun r ->
+      let stat fmt = Printf.sprintf fmt r.scale in
+      Util.record (stat "fig5/%.4g/xaos_s") r.xaos_time;
+      Util.record (stat "fig5/%.4g/xaos_peak_mb") r.xaos_live_mb;
+      match r.baseline with
+      | Some (t, _) -> Util.record (stat "fig5/%.4g/baseline_s") t
+      | None -> ())
+    rows;
   Util.print_table
     ~columns:
       [ "scale"; "size MB"; "elements"; "xaos s"; "xaos peak MB"; "results";

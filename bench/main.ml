@@ -66,6 +66,17 @@ let run_relevance report full scales_opt =
   in
   reporting report (fun () -> Relevance.run ~scales ())
 
+(* The PR 5 gate sweep: single-query evaluation (Figure 5 shape) plus the
+   1000-subscriber filtering point, the two workloads whose hot paths the
+   interned-symbol core changed. Record names overlap the committed PR 3
+   and PR 4 baselines so `xaos report diff` can compare dispatch and eval
+   timings directly. *)
+let run_pr5 report full =
+  reporting report (fun () ->
+      ignore (Fig5.run ~scales:(scales_of ~full None) ~budget_mb:48 ());
+      Filtering.run ~subscription_counts:[ 1000 ]
+        ~docs:(if full then 12 else 8) ())
+
 let run_all report full =
   reporting report (fun () ->
       ignore (Fig5.run ~scales:(scales_of ~full None) ~budget_mb:48 ());
@@ -120,6 +131,21 @@ let report_t =
 let counts_t =
   let doc = "Comma-separated subscription-set sizes for the filtering sweep." in
   Arg.(value & opt (some (list ~sep:',' int)) None & info [ "counts" ] ~doc)
+
+let pr5_report_t =
+  let doc = "Write results as a versioned JSON run report to $(docv)." in
+  Arg.(
+    value
+    & opt string "BENCH_PR5.json"
+    & info [ "report" ] ~docv:"FILE" ~doc)
+
+let pr5_cmd =
+  Cmd.v
+    (Cmd.info "pr5"
+       ~doc:"Interned-symbol core gate: Figure 5 evaluation sweep plus the \
+             1000-subscriber filtering point, for `xaos report diff` \
+             against the committed baselines")
+    Term.(const run_pr5 $ pr5_report_t $ full_t)
 
 let fig5_cmd =
   Cmd.v
@@ -182,4 +208,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_t info
           [ fig5_cmd; table3_cmd; fig6_cmd; fig7_cmd; ablation_cmd;
-            filtering_cmd; relevance_cmd; micro_cmd; all_cmd ]))
+            filtering_cmd; relevance_cmd; micro_cmd; pr5_cmd; all_cmd ]))

@@ -1,5 +1,6 @@
 module Ast = Xaos_xpath.Ast
 module Dom = Xaos_xml.Dom
+module Symbol = Xaos_xml.Symbol
 
 type counters = {
   mutable nodes_visited : int;
@@ -25,10 +26,19 @@ let axis_nodes counters doc axis (context : Dom.element) =
     List.of_seq (Seq.map visit (Dom.self_and_descendants context))
   | Ast.Ancestor_or_self -> visit context :: List.map visit (Dom.ancestors context)
 
-let test_matches test (e : Dom.element) =
-  match test with
-  | Ast.Name n -> String.equal n e.tag
-  | Ast.Wildcard -> e.id <> 0 && Ast.test_matches Ast.Wildcard e.tag
+(* Name tests compare interned symbols: [test_sym] is resolved once per
+   step (see [eval_steps]), elements carry the symbol captured at build
+   time, and the wildcard decision is the precomputed per-symbol bit. The
+   [e.id <> 0] guard keeps the virtual root out of wildcard results, as
+   before. *)
+let test_sym_of = function
+  | Ast.Name n -> Symbol.intern n
+  | Ast.Wildcard -> Symbol.none
+
+let test_matches test_sym (e : Dom.element) =
+  if Symbol.equal test_sym Symbol.none then
+    e.id <> 0 && Symbol.matches_wildcard e.sym
+  else Symbol.equal test_sym e.sym
 
 (* Step-at-a-time evaluation. In the faithful (Xalan-like) mode, the
    per-context result lists are concatenated WITHOUT merging duplicates
@@ -43,12 +53,13 @@ let rec eval_steps counters ~dedup doc contexts steps =
   match steps with
   | [] -> contexts
   | step :: rest ->
+    let test_sym = test_sym_of step.Ast.test in
     let selected =
       List.concat_map
         (fun context ->
           axis_nodes counters doc step.Ast.axis context
           |> List.filter (fun e ->
-                 test_matches step.Ast.test e
+                 test_matches test_sym e
                  && List.for_all
                       (fun pred -> eval_predicate counters ~dedup doc e pred)
                       step.Ast.predicates))

@@ -1,4 +1,5 @@
 module Ast = Xaos_xpath.Ast
+module Symbol = Xaos_xml.Symbol
 
 type query_id = int
 
@@ -15,10 +16,21 @@ let supported (p : Ast.path) =
   p.Ast.absolute && List.for_all supported_step p.Ast.steps
 
 (* The automaton is a prefix-sharing trie whose edges carry the step's
-   (axis, test); subscriptions accepting at a node are recorded there. *)
-type node = {
+   (axis, test); subscriptions accepting at a node are recorded there.
+   Each edge also precomputes its name test's interned symbol
+   ([Symbol.none] for the wildcard), so the per-event transition compares
+   integers — the automaton must be built and run within one symbol-table
+   generation, like every engine. *)
+type edge = {
+  e_axis : Ast.axis;
+  e_test : Ast.node_test;
+  e_sym : Symbol.t;  (* [Symbol.none] iff [e_test] is the wildcard *)
+  e_target : node;
+}
+
+and node = {
   id : int;
-  mutable edges : ((Ast.axis * Ast.node_test) * node) list;
+  mutable edges : edge list;
   mutable accepts : query_id list;
 }
 
@@ -41,13 +53,23 @@ let build paths =
       node.accepts <- qid :: node.accepts;
       ()
     | (step : Ast.step) :: rest ->
-      let key = (step.Ast.axis, step.Ast.test) in
+      let axis = step.Ast.axis and test = step.Ast.test in
       let child =
-        match List.assoc_opt key node.edges with
-        | Some child -> child
+        match
+          List.find_opt
+            (fun e -> e.e_axis = axis && e.e_test = test)
+            node.edges
+        with
+        | Some e -> e.e_target
         | None ->
           let child = fresh () in
-          node.edges <- node.edges @ [ (key, child) ];
+          let e_sym =
+            match test with
+            | Ast.Name n -> Symbol.intern n
+            | Ast.Wildcard -> Symbol.none
+          in
+          node.edges <-
+            node.edges @ [ { e_axis = axis; e_test = test; e_sym; e_target = child } ];
           child
       in
       insert child qid rest
@@ -92,7 +114,7 @@ type run = {
 }
 
 let has_descendant_edges node =
-  List.exists (fun ((axis, _), _) -> axis = Ast.Descendant) node.edges
+  List.exists (fun e -> e.e_axis = Ast.Descendant) node.edges
 
 let start automaton =
   {
@@ -104,7 +126,7 @@ let start automaton =
 let accept run node =
   List.iter (fun qid -> run.counts.(qid) <- run.counts.(qid) + 1) node.accepts
 
-let step_set run current tag =
+let step_set run current sym =
   let next = ref [] in
   let fresh = Hashtbl.create 8 in
   let activate node =
@@ -114,14 +136,20 @@ let step_set run current tag =
       next := { a_node = node; a_carried = false } :: !next
     end
   in
+  (* integer comparison only: the edge's name test was interned at build
+     time, and wildcard matchability is a precomputed per-symbol bit *)
+  let edge_matches e =
+    if Symbol.equal e.e_sym Symbol.none then Symbol.matches_wildcard sym
+    else Symbol.equal e.e_sym sym
+  in
   let fire (activation : activation) =
     List.iter
-      (fun ((axis, test), child) ->
-        match axis with
+      (fun e ->
+        match e.e_axis with
         | Ast.Child ->
-          if (not activation.a_carried) && Ast.test_matches test tag then
-            activate child
-        | Ast.Descendant -> if Ast.test_matches test tag then activate child
+          if (not activation.a_carried) && edge_matches e then
+            activate e.e_target
+        | Ast.Descendant -> if edge_matches e then activate e.e_target
         | Ast.Parent | Ast.Ancestor | Ast.Self | Ast.Descendant_or_self
         | Ast.Ancestor_or_self ->
           assert false)
@@ -142,10 +170,10 @@ let step_set run current tag =
 
 let feed run event =
   match event with
-  | Xaos_xml.Event.Start_element { name; _ } -> (
+  | Xaos_xml.Event.Start_element { sym; _ } -> (
     match run.stack with
     | current :: _ ->
-      let next = step_set run current name in
+      let next = step_set run current sym in
       run.stack <- next :: run.stack
     | [] -> invalid_arg "Yfilter.feed: unbalanced events")
   | Xaos_xml.Event.End_element _ -> (

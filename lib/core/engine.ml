@@ -1,6 +1,7 @@
 module Ast = Xaos_xpath.Ast
 module Xtree = Xaos_xpath.Xtree
 module Xdag = Xaos_xpath.Xdag
+module Symbol = Xaos_xml.Symbol
 
 (* Telemetry hook points, process-global across engines (per-run figures
    stay in the per-engine {!Stats.t}). Every operation below is a
@@ -76,6 +77,15 @@ type tree_parent = {
 
 type xinfo = {
   label : Xtree.label;
+  label_sym : Symbol.t;
+      (* interned name test, resolved once at engine creation — never per
+         event; [Symbol.none] for wildcard and Root labels *)
+  label_wild : bool;  (* the label is the wildcard node test *)
+  label_slot : int;
+      (* dense per-engine index over the distinct name-test symbols of
+         this query (x-nodes sharing a name share the slot); [-1] for
+         wildcard and Root. Interest counting indexes a slot array of
+         this size rather than one sized by the global vocabulary. *)
   attr_tests : Ast.attr_test list;  (* conjunction; usually empty *)
   text_tests : Ast.text_test list;  (* conjunction; decided at end events *)
   dag_parents : (Xdag.kind * int) array;
@@ -102,7 +112,7 @@ type frame = {
    tag's active x-node count, so a subscriber maintains an exact tag ->
    interested-engines index with O(1) amortized work per transition. *)
 type interest_listener = {
-  on_tag : string -> bool -> unit;
+  on_sym : Symbol.t -> bool -> unit;
   on_wildcard : bool -> unit;
 }
 
@@ -112,8 +122,10 @@ type interest_state = {
       (** per x-node: number of x-dag parents whose open-match stack is
           empty; the node is {e active} (its tag is looked for, levels
           ignored) iff the count is 0 *)
-  tag_active : (string, int ref) Hashtbl.t;
-      (** tag -> number of active x-nodes carrying that name test *)
+  sym_active : int array;
+      (** per label slot (see {!xinfo.label_slot}): number of active
+          x-nodes carrying that name test; no hashing on any
+          transition *)
   mutable wildcard_active : int;
 }
 
@@ -158,10 +170,17 @@ type t = {
           tests, innermost first; character data is appended to all of
           them, since an element's string value includes its descendants'
           text *)
-  candidate_cache : (string, int array) Hashtbl.t;
-      (** tag -> candidate x-nodes in x-dag topological order; memoized per
-          distinct tag so a start event does not rescan every x-node *)
+  mutable candidate_cache : int array array;
+      (** per symbol id: candidate x-nodes in x-dag topological order,
+          memoized per distinct symbol so a start event does not rescan
+          every x-node; entries are {!uncomputed} until first use and the
+          array grows on demand as new symbols appear *)
 }
+
+(* Physical-equality sentinel for not-yet-computed cache entries: a real
+   candidate array never aliases it, and a [-1] element can never be an
+   x-node id, so the [==] test is unambiguous. *)
+let uncomputed : int array = Array.make 1 (-1)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -198,6 +217,7 @@ let eager_allowed (xtree : Xtree.t) =
 let build_info config eager (dag : Xdag.t) =
   let xtree = dag.xtree in
   let has_output = Xtree.subtree_has_output xtree in
+  let slot_of_sym : (Symbol.t, int) Hashtbl.t = Hashtbl.create 8 in
   Array.map
     (fun (node : Xtree.xnode) ->
       let slots =
@@ -228,8 +248,27 @@ let build_info config eager (dag : Xdag.t) =
             { up_axis = axis; up_node = parent.id; up_slot })
           node.parent_edge
       in
+      let label_sym, label_wild =
+        match node.label with
+        | Xtree.Test (Ast.Name n) -> (Symbol.intern n, false)
+        | Xtree.Test Ast.Wildcard -> (Symbol.none, true)
+        | Xtree.Root -> (Symbol.none, false)
+      in
+      let label_slot =
+        if Symbol.equal label_sym Symbol.none then -1
+        else
+          match Hashtbl.find_opt slot_of_sym label_sym with
+          | Some slot -> slot
+          | None ->
+            let slot = Hashtbl.length slot_of_sym in
+            Hashtbl.add slot_of_sym label_sym slot;
+            slot
+      in
       {
         label = node.label;
+        label_sym;
+        label_wild;
+        label_slot;
         attr_tests = node.attrs;
         text_tests = node.texts;
         dag_parents = Array.of_list dag.parents.(node.id);
@@ -247,7 +286,9 @@ let create ?(config = default_config) ?(budget = max_int) ?on_match
     && eager_allowed dag.xtree
   in
   let info = build_info config eager dag in
-  let root_item = { Item.id = 0; tag = Xaos_xml.Dom.root_tag; level = 0 } in
+  let root_item =
+    { Item.id = 0; sym = Symbol.intern Xaos_xml.Dom.root_tag; level = 0 }
+  in
   let root_struct =
     Matching.create ~serial:0 ~xnode:dag.xtree.root.id ~item:root_item
       ~pointer_slots:info.(dag.xtree.root.id).pointer_slots
@@ -287,25 +328,45 @@ let create ?(config = default_config) ?(budget = max_int) ?on_match
     has_text_tests =
       Array.exists (fun (n : Xtree.xnode) -> n.texts <> []) dag.xtree.nodes;
     text_buffers = [];
-    candidate_cache = Hashtbl.create 64;
+    (* start small and grow on demand: under shared dispatch an engine
+       only ever sees the symbols it is interested in, so sizing this at
+       [Symbol.count ()] would tax sessions with many engines over large
+       vocabularies for slots never touched *)
+    candidate_cache = Array.make 16 uncomputed;
   }
 
-(* Candidate x-nodes for a tag, in topological order (Kself edges need
-   same-event witnesses registered first). Computed once per distinct tag;
-   the lookup is exception-based to avoid an option allocation per event. *)
-let candidates t tag =
-  match Hashtbl.find t.candidate_cache tag with
-  | arr -> arr
-  | exception Not_found ->
+(* Candidate x-nodes for an element-name symbol, in topological order
+   (Kself edges need same-event witnesses registered first). Computed once
+   per distinct symbol; the per-event lookup is two array loads and a
+   physical-equality test — no hashing, no allocation. *)
+let candidates t sym =
+  let cache =
+    if sym < Array.length t.candidate_cache then t.candidate_cache
+    else begin
+      let cap = max (sym + 1) (2 * Array.length t.candidate_cache) in
+      let cache = Array.make cap uncomputed in
+      Array.blit t.candidate_cache 0 cache 0 (Array.length t.candidate_cache);
+      t.candidate_cache <- cache;
+      cache
+    end
+  in
+  let arr = Array.unsafe_get cache sym in
+  if arr != uncomputed then arr
+  else begin
     let root_id = t.dag.xtree.root.id in
+    let wild = Symbol.matches_wildcard sym in
     let matching =
       Array.to_list t.dag.topo
       |> List.filter (fun v ->
-             v <> root_id && Xtree.label_matches t.info.(v).label tag)
+             v <> root_id
+             &&
+             let i = t.info.(v) in
+             Symbol.equal i.label_sym sym || (i.label_wild && wild))
     in
     let arr = Array.of_list matching in
-    Hashtbl.add t.candidate_cache tag arr;
+    cache.(sym) <- arr;
     arr
+  end
 
 let emits_eagerly t = t.eager
 
@@ -317,36 +378,29 @@ let depth t = t.depth
 (* Tag-interest tracking (shared dispatch support)                     *)
 (* ------------------------------------------------------------------ *)
 
-let interest_activate s dag v =
-  match Xdag.tag_of dag v with
-  | Some tag ->
-    let c =
-      match Hashtbl.find_opt s.tag_active tag with
-      | Some c -> c
-      | None ->
-        let c = ref 0 in
-        Hashtbl.add s.tag_active tag c;
-        c
-    in
-    incr c;
-    if !c = 1 then s.listener.on_tag tag true
-  | None ->
-    if Xdag.is_wildcard dag v then begin
-      s.wildcard_active <- s.wildcard_active + 1;
-      if s.wildcard_active = 1 then s.listener.on_wildcard true
-    end
+let interest_activate s (info : xinfo array) v =
+  let i = info.(v) in
+  if i.label_slot >= 0 then begin
+    let c = s.sym_active.(i.label_slot) + 1 in
+    s.sym_active.(i.label_slot) <- c;
+    if c = 1 then s.listener.on_sym i.label_sym true
+  end
+  else if i.label_wild then begin
+    s.wildcard_active <- s.wildcard_active + 1;
+    if s.wildcard_active = 1 then s.listener.on_wildcard true
+  end
 
-let interest_deactivate s dag v =
-  match Xdag.tag_of dag v with
-  | Some tag ->
-    let c = Hashtbl.find s.tag_active tag in
-    decr c;
-    if !c = 0 then s.listener.on_tag tag false
-  | None ->
-    if Xdag.is_wildcard dag v then begin
-      s.wildcard_active <- s.wildcard_active - 1;
-      if s.wildcard_active = 0 then s.listener.on_wildcard false
-    end
+let interest_deactivate s (info : xinfo array) v =
+  let i = info.(v) in
+  if i.label_slot >= 0 then begin
+    let c = s.sym_active.(i.label_slot) - 1 in
+    s.sym_active.(i.label_slot) <- c;
+    if c = 0 then s.listener.on_sym i.label_sym false
+  end
+  else if i.label_wild then begin
+    s.wildcard_active <- s.wildcard_active - 1;
+    if s.wildcard_active = 0 then s.listener.on_wildcard false
+  end
 
 (* The open-match stack of x-node [p] went empty -> nonempty: every x-dag
    child of [p] loses one blocker; a child reaching zero blockers becomes
@@ -360,7 +414,7 @@ let stack_became_nonempty t p =
       (fun ((_ : Xdag.kind), c) ->
         let b = s.blocked.(c) - 1 in
         s.blocked.(c) <- b;
-        if b = 0 then interest_activate s t.dag c)
+        if b = 0 then interest_activate s t.info c)
       t.dag.children.(p)
 
 let stack_became_empty t p =
@@ -369,7 +423,7 @@ let stack_became_empty t p =
   | Some s ->
     List.iter
       (fun ((_ : Xdag.kind), c) ->
-        if s.blocked.(c) = 0 then interest_deactivate s t.dag c;
+        if s.blocked.(c) = 0 then interest_deactivate s t.info c;
         s.blocked.(c) <- s.blocked.(c) + 1)
       t.dag.children.(p)
 
@@ -386,13 +440,17 @@ let subscribe_interest t listener =
         if t.open_stacks.(p) = [] then blocked.(v) <- blocked.(v) + 1)
       t.info.(v).dag_parents
   done;
+  let slots =
+    Array.fold_left (fun acc i -> max acc (i.label_slot + 1)) 0 t.info
+  in
   let s =
-    { listener; blocked; tag_active = Hashtbl.create 16; wildcard_active = 0 }
+    { listener; blocked; sym_active = Array.make (max 1 slots) 0;
+      wildcard_active = 0 }
   in
   t.interest <- Some s;
   let root_id = t.dag.xtree.root.id in
   for v = 0 to n - 1 do
-    if v <> root_id && blocked.(v) = 0 then interest_activate s t.dag v
+    if v <> root_id && blocked.(v) = 0 then interest_activate s t.info v
   done
 
 let wants_text t = t.has_text_tests && t.text_buffers <> []
@@ -440,21 +498,24 @@ let relevant t v ~level =
 (* Events                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let find_attribute attrs key =
-  let rec loop = function
-    | [] -> None
-    | { Xaos_xml.Event.attr_name; attr_value } :: rest ->
-      if String.equal attr_name key then Some attr_value else loop rest
-  in
-  loop attrs
+(* One pass over the attribute list per test, stopping at the first
+   occurrence of the key (first occurrence wins, as in
+   {!Ast.attr_test_matches} over an assoc lookup) — no option or closure
+   allocation on the start-event path. *)
+let rec attr_test_ok (test : Ast.attr_test) attrs =
+  match attrs with
+  | [] -> false (* attribute absent: both [@k] and [@k='v'] fail *)
+  | { Xaos_xml.Event.attr_name; attr_value } :: rest ->
+    if String.equal attr_name test.attr_key then
+      match test.attr_value with
+      | None -> true (* existence test *)
+      | Some expected -> String.equal expected attr_value
+    else attr_test_ok test rest
 
-let attr_tests_ok tests attrs =
+let rec attr_tests_ok tests attrs =
   match tests with
   | [] -> true
-  | _ :: _ ->
-    List.for_all
-      (fun test -> Ast.attr_test_matches test ~find:(find_attribute attrs))
-      tests
+  | test :: rest -> attr_test_ok test attrs && attr_tests_ok rest attrs
 
 (* The open witness that made x-node [v] relevant at [level]: the
    innermost level-consistent open match of the first x-dag parent that
@@ -485,7 +546,7 @@ let witness_serial t v ~level =
   in
   loop 0
 
-let start_element t ?(attrs = []) ~tag ~level () =
+let start_element t ?(attrs = []) ~sym ~level () =
   if t.finished then invalid_arg "Engine.start_element: already finished";
   if t.sparse then begin
     if level <= t.depth then
@@ -513,7 +574,7 @@ let start_element t ?(attrs = []) ~tag ~level () =
      hottest loop of the engine: written without closures, and the item
      descriptor shared by the element's structures is allocated only when
      a first structure is. *)
-  let cands = candidates t tag in
+  let cands = candidates t sym in
   let n = Array.length cands in
   if n = 0 then begin
     st.elements_discarded <- st.elements_discarded + 1;
@@ -533,7 +594,7 @@ let start_element t ?(attrs = []) ~tag ~level () =
           match !item with
           | Some it -> it
           | None ->
-            let it = { Item.id; tag; level } in
+            let it = { Item.id; sym; level } in
             item := Some it;
             it
         in
@@ -542,7 +603,8 @@ let start_element t ?(attrs = []) ~tag ~level () =
             ~pointer_slots:t.info.(v).pointer_slots
         in
         if Trc.enabled () then
-          Trc.created ~serial:t.serial ~xnode:v ~item_id:id ~tag ~level
+          Trc.created ~serial:t.serial ~xnode:v ~item_id:id
+            ~tag:(Symbol.name sym) ~level
             ~parent_serial:(witness_serial t v ~level);
         t.serial <- t.serial + 1;
         st.structures_created <- st.structures_created + 1;
@@ -750,8 +812,8 @@ let end_element t =
 
 let feed t event =
   match event with
-  | Xaos_xml.Event.Start_element { name; attributes; level } ->
-    start_element t ~attrs:attributes ~tag:name ~level ()
+  | Xaos_xml.Event.Start_element { sym; attributes; level; _ } ->
+    start_element t ~attrs:attributes ~sym ~level ()
   | Xaos_xml.Event.End_element _ -> end_element t
   | Xaos_xml.Event.Text s -> text_event t s
   | Xaos_xml.Event.Comment _ | Xaos_xml.Event.Processing_instruction _ -> ()
@@ -762,7 +824,7 @@ let rec feed_nodes t nodes =
   match nodes with
   | [] -> ()
   | Xaos_xml.Dom.Element e :: rest ->
-    start_element t ~attrs:e.attributes ~tag:e.tag ~level:e.level ();
+    start_element t ~attrs:e.attributes ~sym:e.sym ~level:e.level ();
     feed_nodes t e.children;
     end_element t;
     feed_nodes t rest

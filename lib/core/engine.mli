@@ -65,9 +65,12 @@ val emits_eagerly : t -> bool
 (** {1 Feeding events} *)
 
 val start_element :
-  t -> ?attrs:Xaos_xml.Event.attribute list -> tag:string -> level:int ->
-  unit -> unit
-(** @raise Invalid_argument if [level] is not [current depth + 1] (after
+  t -> ?attrs:Xaos_xml.Event.attribute list -> sym:Xaos_xml.Symbol.t ->
+  level:int -> unit -> unit
+(** The element name arrives as its interned symbol (parsers intern at
+    tokenization time, see {!Xaos_xml.Event}); the engine performs no
+    string hashing or comparison on this path.
+    @raise Invalid_argument if [level] is not [current depth + 1] (after
     {!subscribe_interest}, if it does not nest: [level <= depth]).
     [attrs] feed the attribute-test extension; omitting them is fine for
     expressions without [@]-tests. *)
@@ -122,19 +125,20 @@ val stats : t -> Stats.t
 (** {1 Tag-interest notifications (shared multi-query dispatch)} *)
 
 (** Callbacks fired when the set of element names the engine's
-    looking-for frontier can match changes. [on_tag tag on] fires when
-    [tag] enters ([on = true]) or leaves ([on = false]) the interest
-    set; [on_wildcard] likewise when a wildcard x-node becomes or stops
-    being reachable. Transitions are exact (0 <-> nonzero counts), so a
-    subscriber can maintain a tag -> interested-engines index with O(1)
-    bucket updates per transition. *)
+    looking-for frontier can match changes. [on_sym sym on] fires when
+    the interned name [sym] enters ([on = true]) or leaves ([on = false])
+    the interest set; [on_wildcard] likewise when a wildcard x-node
+    becomes or stops being reachable. Transitions are exact
+    (0 <-> nonzero counts), so a subscriber can maintain a
+    symbol -> interested-engines index with O(1) bucket updates per
+    transition and no string hashing. *)
 type interest_listener = {
-  on_tag : string -> bool -> unit;
+  on_sym : Xaos_xml.Symbol.t -> bool -> unit;
   on_wildcard : bool -> unit;
 }
 
 val subscribe_interest : t -> interest_listener -> unit
-(** Attach the listener and immediately fire [on_tag _ true] /
+(** Attach the listener and immediately fire [on_sym _ true] /
     [on_wildcard true] for the current interest set (the initial
     looking-for frontier on a fresh engine). The interest set is the
     level-free projection of the paper's looking-for set: an x-node

@@ -1,6 +1,8 @@
+module Symbol = Xaos_xml.Symbol
+
 type t = {
   id : int;
-  tag : string;
+  sym : Symbol.t;
   level : int;
 }
 
@@ -12,10 +14,15 @@ let compare a b = Int.compare a.id b.id
    [compare] (which drives {!sort_dedup} and result-set merging). *)
 let equal a b = a.id = b.id
 
-let pp ppf { id; tag; level } = Format.fprintf ppf "%s(%d)@%d" tag id level
+let make ~id ~tag ~level = { id; sym = Symbol.intern tag; level }
+
+let tag t = Symbol.name t.sym
+
+let pp ppf { id; sym; level } =
+  Format.fprintf ppf "%s(%d)@%d" (Symbol.name sym) id level
 
 let of_element (e : Xaos_xml.Dom.element) =
-  { id = e.id; tag = e.tag; level = e.level }
+  { id = e.id; sym = e.sym; level = e.level }
 
 (* Array-based sort: result sets can reach the size of the document, and
    List.sort_uniq would allocate a cons cell per merge step. *)

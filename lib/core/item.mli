@@ -4,11 +4,15 @@
     element descriptors rather than tree nodes. Ids are assigned in
     document order with the virtual root at 0, matching
     {!Xaos_xml.Dom.element.id}, which lets tests compare streaming results
-    against the DOM baseline directly. *)
+    against the DOM baseline directly.
+
+    The element name is stored as its interned {!Xaos_xml.Symbol.t}; the
+    string is rendered back (an O(1) table load) only at emission and
+    serialization through {!tag} / {!pp}. *)
 
 type t = {
   id : int;  (** document-order identifier (paper's [id]) *)
-  tag : string;
+  sym : Xaos_xml.Symbol.t;  (** interned element name *)
   level : int;  (** distance from the virtual root (paper's [level]) *)
 }
 
@@ -19,6 +23,13 @@ val equal : t -> t -> bool
 (** Same element: id equality. Ids are unique per document (they are
     document-order element identifiers), so [equal] agrees with
     [compare] — two items never compare equal while being [not equal]. *)
+
+val make : id:int -> tag:string -> level:int -> t
+(** Convenience constructor interning [tag]; intended for tests and call
+    sites that start from a string. *)
+
+val tag : t -> string
+(** The element name, rendered from the symbol. *)
 
 val pp : Format.formatter -> t -> unit
 (** The paper's notation, e.g. [W(7)@4] for W with id 7 at level 4. *)

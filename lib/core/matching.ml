@@ -66,7 +66,7 @@ let create ~serial ~xnode ~item ~pointer_slots =
    retains so the relevance ratio can be tracked per run. *)
 let approx_bytes t =
   let words = 12 + (3 * Array.length t.slots) in
-  (Sys.word_size / 8 * words) + String.length t.item.Item.tag
+  (Sys.word_size / 8 * words) + String.length (Item.tag t.item)
 
 let store_push store entry =
   let capacity = Array.length store.entries in

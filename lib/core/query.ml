@@ -31,6 +31,22 @@ let compile_path ?(config = Engine.default_config) ?(or_limit = 64) path =
               | exception Xaos_xpath.Xdag.Unsatisfiable -> None)
             disjuncts
         in
+        (* Warm the symbol table with every name test so runs start with
+           the names already interned. Engines re-resolve their label
+           symbols at creation time (see [Engine.create]), so compiled
+           queries survive a [Symbol.reset] between documents; this pass
+           only ensures compile, not first-event, pays the hashing. *)
+        List.iter
+          (fun (dag : Xaos_xpath.Xdag.t) ->
+            Array.iter
+              (fun (node : Xaos_xpath.Xtree.xnode) ->
+                match node.label with
+                | Xaos_xpath.Xtree.Test (Ast.Name n) ->
+                  ignore (Xaos_xml.Symbol.intern n : Xaos_xml.Symbol.t)
+                | Xaos_xpath.Xtree.Test Ast.Wildcard | Xaos_xpath.Xtree.Root
+                  -> ())
+              dag.xtree.nodes)
+          dags;
         Tel.incr counter_compiled;
         Ok { path; config; dags })
 
@@ -67,35 +83,38 @@ let start ?on_match ?budget q =
 let feed run event = List.iter (fun e -> Engine.feed e event) run.engines
 
 (* Interest aggregation across disjunct engines: the run is interested in
-   a tag iff any engine is, so per-engine transitions are counted and the
-   listener only sees run-level 0 <-> nonzero changes. The single-disjunct
+   a name iff any engine is, so per-engine transitions are counted and the
+   listener only sees run-level 0 <-> nonzero changes. Counts are keyed by
+   interned symbol — transitions never hash a string. The single-disjunct
    common case subscribes the listener directly. *)
 let subscribe_interest run (listener : Engine.interest_listener) =
   match run.engines with
   | [] -> ()
   | [ e ] -> Engine.subscribe_interest e listener
   | engines ->
-    let tag_counts = Hashtbl.create 16 in
+    let sym_counts : (Xaos_xml.Symbol.t, int ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
     let wildcard = ref 0 in
     let aggregated =
       {
-        Engine.on_tag =
-          (fun tag on ->
+        Engine.on_sym =
+          (fun sym on ->
             let c =
-              match Hashtbl.find_opt tag_counts tag with
+              match Hashtbl.find_opt sym_counts sym with
               | Some c -> c
               | None ->
                 let c = ref 0 in
-                Hashtbl.add tag_counts tag c;
+                Hashtbl.add sym_counts sym c;
                 c
             in
             if on then begin
               incr c;
-              if !c = 1 then listener.Engine.on_tag tag true
+              if !c = 1 then listener.Engine.on_sym sym true
             end
             else begin
               decr c;
-              if !c = 0 then listener.Engine.on_tag tag false
+              if !c = 0 then listener.Engine.on_sym sym false
             end);
         on_wildcard =
           (fun on ->

@@ -90,9 +90,12 @@ type run_state = {
 type session = {
   mode : dispatch;
   runs : run_state array;
-  buckets : (string, (int, run_state) Hashtbl.t) Hashtbl.t;
-      (** tag -> runs whose current looking-for frontier contains an
-          x-node with that name test (keyed by [rs_id]) *)
+  mutable buckets : (int, run_state) Hashtbl.t option array;
+      (** indexed by interned symbol id: runs whose current looking-for
+          frontier contains an x-node with that name test (keyed by
+          [rs_id]); grown on demand as interest callbacks mention new
+          symbols. The per-event lookup is one array load — dispatch
+          never hashes the element name. *)
   wildcard : (int, run_state) Hashtbl.t;
       (** runs whose frontier contains a wildcard x-node: interested in
           every element tag *)
@@ -111,21 +114,28 @@ type session = {
   mutable suppressed : int;
 }
 
-let bucket_add s tag rs =
+let bucket_add s sym rs =
+  if sym >= Array.length s.buckets then begin
+    let cap = max (sym + 1) (2 * Array.length s.buckets) in
+    let grown = Array.make cap None in
+    Array.blit s.buckets 0 grown 0 (Array.length s.buckets);
+    s.buckets <- grown
+  end;
   let bucket =
-    match Hashtbl.find_opt s.buckets tag with
+    match s.buckets.(sym) with
     | Some b -> b
     | None ->
       let b = Hashtbl.create 8 in
-      Hashtbl.add s.buckets tag b;
+      s.buckets.(sym) <- Some b;
       b
   in
   Hashtbl.replace bucket rs.rs_id rs
 
-let bucket_remove s tag rs =
-  match Hashtbl.find_opt s.buckets tag with
-  | None -> ()
-  | Some b -> Hashtbl.remove b rs.rs_id
+let bucket_remove s sym rs =
+  if sym < Array.length s.buckets then
+    match s.buckets.(sym) with
+    | None -> ()
+    | Some b -> Hashtbl.remove b rs.rs_id
 
 let start ?budget ?(dispatch = Shared) t =
   Xaos_obs.Telemetry.incr counter_documents;
@@ -146,7 +156,7 @@ let start ?budget ?(dispatch = Shared) t =
     {
       mode = dispatch;
       runs;
-      buckets = Hashtbl.create 64;
+      buckets = Array.make (max 16 (Xaos_xml.Symbol.count ())) None;
       wildcard = Hashtbl.create 16;
       text_interested = Hashtbl.create 16;
       delivery_stack = [];
@@ -164,9 +174,9 @@ let start ?budget ?(dispatch = Shared) t =
       (fun rs ->
         Query.subscribe_interest rs.rs_run
           {
-            Engine.on_tag =
-              (fun tag on ->
-                if on then bucket_add s tag rs else bucket_remove s tag rs);
+            Engine.on_sym =
+              (fun sym on ->
+                if on then bucket_add s sym rs else bucket_remove s sym rs);
             on_wildcard =
               (fun on ->
                 if on then Hashtbl.replace s.wildcard rs.rs_id rs
@@ -210,15 +220,17 @@ let collect_bucket acc stamp bucket =
 
 let feed_shared s ev =
   match ev with
-  | Xaos_xml.Event.Start_element { name; _ } ->
+  | Xaos_xml.Event.Start_element { sym; _ } ->
     s.stamp <- s.stamp + 1;
     (* snapshot the interested runs before delivering: feeding a run can
        mutate the buckets (interest callbacks, budget aborts) *)
     let interested =
       let acc =
-        match Hashtbl.find_opt s.buckets name with
-        | Some bucket -> collect_bucket [] s.stamp bucket
-        | None -> []
+        if sym < Array.length s.buckets then
+          match Array.unsafe_get s.buckets sym with
+          | Some bucket -> collect_bucket [] s.stamp bucket
+          | None -> []
+        else []
       in
       collect_bucket acc s.stamp s.wildcard
     in

@@ -15,11 +15,12 @@ let element t ?(attrs = []) tag body =
   t.depth <- t.depth + 1;
   t.elements <- t.elements + 1;
   let level = t.depth in
+  let sym = Xaos_xml.Symbol.intern tag in
   t.sink
     (Xaos_xml.Event.Start_element
-       { name = tag; attributes = attributes attrs; level });
+       { name = tag; sym; attributes = attributes attrs; level });
   body ();
-  t.sink (Xaos_xml.Event.End_element { name = tag; level });
+  t.sink (Xaos_xml.Event.End_element { name = tag; sym; level });
   t.depth <- t.depth - 1
 
 let text t s = if String.length s > 0 then t.sink (Xaos_xml.Event.Text s)

@@ -1,6 +1,7 @@
 type element = {
   id : int;
   tag : string;
+  sym : Symbol.t;
   level : int;
   attributes : Event.attribute list;
   mutable parent : element option;
@@ -33,12 +34,13 @@ type builder = {
   root_children : node list ref;
 }
 
-let new_element ~id ~tag ~level ~attributes =
-  { id; tag; level; attributes; parent = None; children = []; exit_id = id }
+let new_element ~id ~tag ~sym ~level ~attributes =
+  { id; tag; sym; level; attributes; parent = None; children = []; exit_id = id }
 
 let builder_create () =
   let virtual_root =
-    new_element ~id:0 ~tag:root_tag ~level:0 ~attributes:[]
+    new_element ~id:0 ~tag:root_tag ~sym:(Symbol.intern root_tag) ~level:0
+      ~attributes:[]
   in
   let root_children = ref [] in
   {
@@ -50,10 +52,10 @@ let builder_create () =
 
 let builder_push b event =
   match event with
-  | Event.Start_element { name; attributes; level } ->
+  | Event.Start_element { name; sym; attributes; level } ->
     let id = b.next_id in
     b.next_id <- id + 1;
-    let elem = new_element ~id ~tag:name ~level ~attributes in
+    let elem = new_element ~id ~tag:name ~sym ~level ~attributes in
     (match b.open_stack with
     | (parent, _) :: _ -> elem.parent <- Some parent
     | [] -> invalid_arg "Dom.of_events: unbalanced stream");
@@ -168,9 +170,10 @@ let iter_events f doc =
       (function
         | Element e ->
           f (Event.Start_element
-               { name = e.tag; attributes = e.attributes; level = e.level });
+               { name = e.tag; sym = e.sym; attributes = e.attributes;
+                 level = e.level });
           walk_nodes e.children;
-          f (Event.End_element { name = e.tag; level = e.level })
+          f (Event.End_element { name = e.tag; sym = e.sym; level = e.level })
         | Text s -> f (Event.Text s)
         | Comment s -> f (Event.Comment s)
         | Pi (target, content) ->

@@ -12,6 +12,7 @@
 type element = {
   id : int;  (** document-order identifier; the virtual root has id 0 *)
   tag : string;
+  sym : Symbol.t;  (** [Symbol.intern tag], captured at build time *)
   level : int;  (** distance from the virtual root (root = 0) *)
   attributes : Event.attribute list;
   mutable parent : element option;  (** [None] only for the virtual root *)

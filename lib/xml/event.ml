@@ -4,14 +4,29 @@ type attribute = {
 }
 
 type t =
-  | Start_element of { name : string; attributes : attribute list; level : int }
-  | End_element of { name : string; level : int }
+  | Start_element of {
+      name : string;
+      sym : Symbol.t;
+      attributes : attribute list;
+      level : int;
+    }
+  | End_element of { name : string; sym : Symbol.t; level : int }
   | Text of string
   | Comment of string
   | Processing_instruction of { target : string; content : string }
 
+let start_element ?(attributes = []) ~name ~level () =
+  Start_element { name; sym = Symbol.intern name; attributes; level }
+
+let end_element ~name ~level () =
+  End_element { name; sym = Symbol.intern name; level }
+
 let name = function
   | Start_element { name; _ } | End_element { name; _ } -> Some name
+  | Text _ | Comment _ | Processing_instruction _ -> None
+
+let sym = function
+  | Start_element { sym; _ } | End_element { sym; _ } -> Some sym
   | Text _ | Comment _ | Processing_instruction _ -> None
 
 let level = function
@@ -34,7 +49,7 @@ let attribute key = function
 
 let pp ppf = function
   | Start_element { name; level; _ } -> Format.fprintf ppf "S:%s@%d" name level
-  | End_element { name; level } -> Format.fprintf ppf "E:%s@%d" name level
+  | End_element { name; level; _ } -> Format.fprintf ppf "E:%s@%d" name level
   | Text s -> Format.fprintf ppf "T:%S" s
   | Comment s -> Format.fprintf ppf "C:%S" s
   | Processing_instruction { target; content } ->
@@ -43,6 +58,9 @@ let pp ppf = function
 let equal_attribute a b =
   String.equal a.attr_name b.attr_name && String.equal a.attr_value b.attr_value
 
+(* Equality compares the name strings, not the symbols: it must stay
+   meaningful across table generations (e.g. comparing an expected event
+   list built after a [Symbol.reset] against buffered events). *)
 let equal a b =
   match a, b with
   | Start_element a, Start_element b ->

@@ -6,7 +6,14 @@
     finally an [End_element].
 
     Levels follow the paper's convention: the virtual [Root] element has
-    level 0, so the document element has level 1. *)
+    level 0, so the document element has level 1.
+
+    Element events carry both the name string and its interned
+    {!Symbol.t}: the parser interns each start tag once, and every
+    downstream consumer (engine relevance, dispatch index) works on the
+    integer id only. Construct events through {!start_element} /
+    {!end_element} (or copy the [sym] of an existing event) so the two
+    fields never disagree. *)
 
 type attribute = {
   attr_name : string;
@@ -14,9 +21,14 @@ type attribute = {
 }
 
 type t =
-  | Start_element of { name : string; attributes : attribute list; level : int }
+  | Start_element of {
+      name : string;
+      sym : Symbol.t;  (** [Symbol.intern name], interned at parse time *)
+      attributes : attribute list;
+      level : int;
+    }
       (** Start tag. [level] is the distance from the virtual root. *)
-  | End_element of { name : string; level : int }
+  | End_element of { name : string; sym : Symbol.t; level : int }
       (** End tag (also generated for empty-element tags). *)
   | Text of string
       (** Character data, with entity and character references resolved.
@@ -26,8 +38,18 @@ type t =
   | Processing_instruction of { target : string; content : string }
       (** [<?target content?>]. *)
 
+val start_element :
+  ?attributes:attribute list -> name:string -> level:int -> unit -> t
+(** A [Start_element] with [sym] interned from [name]. *)
+
+val end_element : name:string -> level:int -> unit -> t
+(** An [End_element] with [sym] interned from [name]. *)
+
 val name : t -> string option
 (** Element name for start/end events, [None] otherwise. *)
+
+val sym : t -> Symbol.t option
+(** Interned element name for start/end events, [None] otherwise. *)
 
 val level : t -> int option
 (** Level for start/end events, [None] otherwise. *)
@@ -43,3 +65,6 @@ val pp : Format.formatter -> t -> unit
 (** Debug printer, e.g. [S:foo@2]. *)
 
 val equal : t -> t -> bool
+(** Structural equality on names/levels/content; symbols are ignored so
+    the comparison stays meaningful across {!Symbol.reset}
+    generations. *)

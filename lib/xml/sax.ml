@@ -121,10 +121,18 @@ type t = {
   mutable line : int;
   mutable column : int;
   mutable offset : int;
-  mutable stack : string list;
+  mutable stack : (string * Symbol.t) list;
+      (* open element names with their interned symbols: end events reuse
+         the symbol of the matching start event without re-interning *)
   mutable depth : int;
   mutable phase : phase;
-  mutable pending : Event.t list;  (* queued events, e.g. End after <a/> *)
+  (* Queued events (e.g. the End after <a/>, or a burst of auto-closes in
+     lenient mode) as a functional deque: [pending_front] in order,
+     [pending_back] reversed. Push and amortized pop are O(1); the old
+     single-list representation appended with [l @ [ev]], O(n) per
+     push. *)
+  mutable pending_front : Event.t list;
+  mutable pending_back : Event.t list;
   scratch : Buffer.t;
   scratch2 : Buffer.t;
   scratch3 : Buffer.t;  (* raw reference text, for lenient fallbacks *)
@@ -151,7 +159,8 @@ let make ?(limits = default_limits) ?(mode = Strict) ?(on_fault = fun _ -> ())
     stack = [];
     depth = 0;
     phase = Prolog;
-    pending = [];
+    pending_front = [];
+    pending_back = [];
     scratch = Buffer.create 256;
     scratch2 = Buffer.create 64;
     scratch3 = Buffer.create 32;
@@ -630,6 +639,27 @@ let read_text p =
   loop ();
   Buffer.contents p.scratch
 
+let pending_push p ev = p.pending_back <- ev :: p.pending_back
+
+(* Queue a list of events, in order, after everything already queued. *)
+let pending_push_all p evs = p.pending_back <- List.rev_append evs p.pending_back
+
+let pending_pop p =
+  match p.pending_front with
+  | ev :: rest ->
+    p.pending_front <- rest;
+    Some ev
+  | [] -> (
+    match p.pending_back with
+    | [] -> None
+    | back -> (
+      p.pending_back <- [];
+      match List.rev back with
+      | ev :: rest ->
+        p.pending_front <- rest;
+        Some ev
+      | [] -> assert false))
+
 (* The '<' and the first name character are still unread. *)
 let start_element p =
   let name = read_name p in
@@ -639,19 +669,21 @@ let start_element p =
   | '>' ->
     if p.depth + 1 > p.limits.max_depth then
       limit_error p Max_depth p.limits.max_depth;
-    p.stack <- name :: p.stack;
+    let sym = Symbol.intern name in
+    p.stack <- (name, sym) :: p.stack;
     p.depth <- p.depth + 1;
     if p.phase = Prolog then p.phase <- Content;
-    Event.Start_element { name; attributes; level = p.depth }
+    Event.Start_element { name; sym; attributes; level = p.depth }
   | '/' ->
     expect p '>';
     (* Self-closing: emit Start now, queue the matching End. Depth is left
        unchanged since the element opens and closes atomically. *)
     let level = p.depth + 1 in
     if level > p.limits.max_depth then limit_error p Max_depth p.limits.max_depth;
-    p.pending <- p.pending @ [ Event.End_element { name; level } ];
+    let sym = Symbol.intern name in
+    pending_push p (Event.End_element { name; sym; level });
     if p.phase = Prolog then p.phase <- Epilog;
-    Event.Start_element { name; attributes; level }
+    Event.Start_element { name; sym; attributes; level }
   | c -> errorf p "unexpected %C at end of start tag" c
 
 (* "</" consumed. Returns [None] when (in lenient mode) the end tag had no
@@ -680,23 +712,25 @@ let end_element p =
       None
     end
     else errorf p "unmatched end tag </%s>" name
-  | top :: rest when String.equal top name ->
+  | (top, sym) :: rest when String.equal top name ->
     let level = p.depth in
     p.stack <- rest;
     p.depth <- p.depth - 1;
     if p.depth = 0 then p.phase <- Epilog;
-    Some (Event.End_element { name; level })
-  | top :: _ ->
+    Some (Event.End_element { name; sym; level })
+  | (top, _) :: _ ->
     if not (lenient p) then
       errorf p "mismatched end tag: expected </%s> but found </%s>" top name
-    else if List.exists (String.equal name) p.stack then begin
+    else if List.exists (fun (t, _) -> String.equal name t) p.stack then begin
       (* auto-close every element opened above the matching one *)
       faultf p "auto-closing unclosed <%s> at </%s>" top name;
       let rec close depth stack acc =
         match stack with
         | [] -> assert false
-        | t :: rest ->
-          let acc = Event.End_element { name = t; level = depth } :: acc in
+        | (t, tsym) :: rest ->
+          let acc =
+            Event.End_element { name = t; sym = tsym; level = depth } :: acc
+          in
           if String.equal t name then (rest, depth - 1, List.rev acc)
           else close (depth - 1) rest acc
       in
@@ -706,7 +740,7 @@ let end_element p =
       if p.depth = 0 then p.phase <- Epilog;
       match events with
       | first :: queued ->
-        p.pending <- p.pending @ queued;
+        pending_push_all p queued;
         Some first
       | [] -> assert false
     end
@@ -720,8 +754,9 @@ let close_all_open p =
   let rec events depth stack acc =
     match stack with
     | [] -> List.rev acc
-    | t :: rest ->
-      events (depth - 1) rest (Event.End_element { name = t; level = depth } :: acc)
+    | (t, sym) :: rest ->
+      events (depth - 1) rest
+        (Event.End_element { name = t; sym; level = depth } :: acc)
   in
   let evs = events p.depth p.stack [] in
   p.stack <- [];
@@ -730,11 +765,9 @@ let close_all_open p =
   evs
 
 let rec next_raw p =
-  match p.pending with
-  | ev :: rest ->
-    p.pending <- rest;
-    Some ev
-  | [] -> (
+  match pending_pop p with
+  | Some _ as some -> some
+  | None -> (
     match p.phase with
     | Done -> None
     | Epilog -> (
@@ -854,7 +887,7 @@ let rec next_raw p =
           match close_all_open p with
           | [] -> next_raw p
           | first :: queued ->
-            p.pending <- p.pending @ queued;
+            pending_push_all p queued;
             Some first
         end
       | '<' -> (

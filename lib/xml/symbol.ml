@@ -1,0 +1,78 @@
+(* Process-global interning table. One array-backed side table per
+   property keeps [name] and [matches_wildcard] O(1) loads with no
+   hashing: the hot path of the engine and the dispatch index only ever
+   touches the integer ids. *)
+
+type t = int
+
+let none = -1
+
+let initial = 256
+
+let table : (string, int) Hashtbl.t = Hashtbl.create initial
+
+let names = ref (Array.make initial "")
+
+(* '\001' iff the symbol's name matches the wildcard node test: nonempty
+   names not starting with '#' ('#' is not an XML name character, so only
+   virtual elements such as the "#root" wrapper carry it). Must mirror
+   [Xaos_xpath.Ast.test_matches Wildcard]. *)
+let wild = ref (Bytes.make initial '\000')
+
+let size = ref 0
+
+let generation_counter = ref 0
+
+let ensure_capacity n =
+  let cap = Array.length !names in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let names' = Array.make cap' "" in
+    Array.blit !names 0 names' 0 !size;
+    names := names';
+    let wild' = Bytes.make cap' '\000' in
+    Bytes.blit !wild 0 wild' 0 !size;
+    wild := wild'
+  end
+
+let intern s =
+  match Hashtbl.find table s with
+  | id -> id
+  | exception Not_found ->
+    let id = !size in
+    ensure_capacity (id + 1);
+    size := id + 1;
+    !names.(id) <- s;
+    if String.length s = 0 || not (Char.equal s.[0] '#') then
+      Bytes.set !wild id '\001';
+    Hashtbl.add table s id;
+    id
+
+let find s = Hashtbl.find_opt table s
+
+let name id =
+  if id < 0 || id >= !size then
+    invalid_arg (Printf.sprintf "Symbol.name: unknown symbol %d" id)
+  else !names.(id)
+
+let matches_wildcard id =
+  id >= 0 && id < !size && Char.equal (Bytes.unsafe_get !wild id) '\001'
+
+let count () = !size
+
+let generation () = !generation_counter
+
+let reset () =
+  Hashtbl.reset table;
+  Bytes.fill !wild 0 !size '\000';
+  Array.fill !names 0 !size "";
+  size := 0;
+  incr generation_counter
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Int.compare a b
+
+let pp ppf id =
+  if id < 0 || id >= !size then Format.fprintf ppf "?%d" id
+  else Format.fprintf ppf "%s#%d" !names.(id) id

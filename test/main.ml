@@ -2,6 +2,7 @@ let () =
   Alcotest.run "xaos"
     [
       ("sax", Test_sax.suite);
+      ("symbol", Test_symbol.suite);
       ("dom", Test_dom.suite);
       ("serialize", Test_serialize.suite);
       ("xpath", Test_xpath.suite);

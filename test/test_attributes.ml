@@ -14,7 +14,7 @@ let doc =
    <item id=\"i3\" cat=\"toys\"><name>kite</name></item></shop>"
 (* ids: shop=1 item=2 name=3 item=4 name=5 item=6 name=7 *)
 
-let it id tag level = { Item.id; tag; level }
+let it id tag level = Item.make ~id ~tag ~level
 
 let run ?config q = (Query.run_string (Query.compile_exn ?config q) doc).Result_set.items
 
@@ -90,6 +90,41 @@ let test_all_engines_agree () =
     [ "//item[@cat]"; "//item[@cat='toys']"; "//name[../@id='i2']";
       "//item[@cat or @id]"; "/shop[@x]"; "//*[@id='i1']/name" ]
 
+let test_duplicate_and_missing_keys () =
+  (* Event-level: the engine's single-pass attribute scan stops at the
+     first occurrence of the key (assoc-lookup semantics, matching the
+     Section 3.3 oracle) and must scan to the end before declaring a key
+     missing. Duplicate keys cannot come from the parsers (strict rejects,
+     lenient drops them), so feed events directly. *)
+  let run_events q attrs =
+    let q = Query.compile_exn q in
+    let run = Query.start q in
+    let attributes =
+      List.map
+        (fun (attr_name, attr_value) -> { Xaos_xml.Event.attr_name; attr_value })
+        attrs
+    in
+    Query.feed run (Xaos_xml.Event.start_element ~attributes ~name:"a" ~level:1 ());
+    Query.feed run (Xaos_xml.Event.end_element ~name:"a" ~level:1 ());
+    (Query.finish run).Result_set.items
+  in
+  let dup = [ ("k", "1"); ("k", "2") ] in
+  Alcotest.check (Alcotest.list item) "first occurrence wins"
+    [ it 1 "a" 1 ]
+    (run_events "/a[@k='1']" dup);
+  Alcotest.check (Alcotest.list item) "later duplicate is shadowed" []
+    (run_events "/a[@k='2']" dup);
+  Alcotest.check (Alcotest.list item) "existence via duplicates"
+    [ it 1 "a" 1 ]
+    (run_events "/a[@k]" dup);
+  Alcotest.check (Alcotest.list item) "missing key scans to the end" []
+    (run_events "/a[@z]" dup);
+  Alcotest.check (Alcotest.list item) "missing key with value" []
+    (run_events "/a[@z='1']" dup);
+  Alcotest.check (Alcotest.list item) "match after other keys"
+    [ it 1 "a" 1 ]
+    (run_events "/a[@k='1']" [ ("x", "0"); ("y", "0"); ("k", "1") ])
+
 let test_eager_with_attrs () =
   (* attribute tests are pure filters: they do not break eager mode *)
   let config = { Engine.default_config with eager_emission = true } in
@@ -109,5 +144,6 @@ let suite =
     ("with backward axes", `Quick, test_attr_with_backward_axes);
     ("x-tree carries attrs", `Quick, test_xtree_carries_attrs);
     ("engines agree", `Quick, test_all_engines_agree);
+    ("duplicate and missing keys", `Quick, test_duplicate_and_missing_keys);
     ("eager with attrs", `Quick, test_eager_with_attrs);
   ]

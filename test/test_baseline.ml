@@ -10,7 +10,7 @@ let item = Alcotest.testable Item.pp Item.equal
 
 let eval doc query = Dom_engine.eval doc (Parser.parse query)
 
-let it id tag level = { Item.id; tag; level }
+let it id tag level = Item.make ~id ~tag ~level
 
 let fig2 = "<X><Y><W/><Z><V/><V/><W><W/></W></Z><U/></Y><Y><Z><W/></Z><U/></Y></X>"
 

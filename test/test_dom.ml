@@ -99,11 +99,11 @@ let test_text_content () =
 let test_unbalanced_streams_rejected () =
   let open Event in
   let cases =
-    [ [ Start_element { name = "a"; attributes = []; level = 1 } ];
-      [ End_element { name = "a"; level = 1 } ];
-      [ Start_element { name = "a"; attributes = []; level = 1 };
-        End_element { name = "a"; level = 1 };
-        End_element { name = "b"; level = 1 } ] ]
+    [ [ start_element ~name:"a" ~level:1 () ];
+      [ end_element ~name:"a" ~level:1 () ];
+      [ start_element ~name:"a" ~level:1 ();
+        end_element ~name:"a" ~level:1 ();
+        end_element ~name:"b" ~level:1 () ] ]
   in
   List.iter
     (fun events ->

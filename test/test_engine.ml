@@ -22,7 +22,7 @@ let check_result ?config msg expected query doc =
   let got = items_of_run ?config query doc in
   Alcotest.check (Alcotest.list item) msg expected got
 
-let it id tag level = { Item.id; tag; level }
+let it id tag level = Item.make ~id ~tag ~level
 
 (* ------------------------------------------------------------------ *)
 (* Paper walk-through                                                  *)
@@ -324,8 +324,8 @@ let test_tuples () =
     List.iter
       (fun tuple ->
         Alcotest.(check int) "arity" 2 (Array.length tuple);
-        Alcotest.(check string) "first is a" "a" tuple.(0).Item.tag;
-        Alcotest.(check string) "second is b" "b" tuple.(1).Item.tag)
+        Alcotest.(check string) "first is a" "a" (Item.tag tuple.(0));
+        Alcotest.(check string) "second is b" "b" (Item.tag tuple.(1)))
       tuples
 
 let test_tuples_join () =
@@ -370,10 +370,10 @@ let test_protocol_errors () =
   (match Engine.end_element engine with
   | _ -> Alcotest.fail "end without start"
   | exception Invalid_argument _ -> ());
-  (match Engine.start_element engine ~tag:"a" ~level:5 () with
+  (match Engine.start_element engine ~sym:(Xaos_xml.Symbol.intern "a") ~level:5 () with
   | _ -> Alcotest.fail "level jump"
   | exception Invalid_argument _ -> ());
-  Engine.start_element engine ~tag:"a" ~level:1 ();
+  Engine.start_element engine ~sym:(Xaos_xml.Symbol.intern "a") ~level:1 ();
   (match Engine.finish engine with
   | _ -> Alcotest.fail "finish with open element"
   | exception Invalid_argument _ -> ())

@@ -6,10 +6,9 @@ module Event = Xaos_xml.Event
 module Prng = Xaos_workloads.Prng
 open Xaos_core
 
-let start name level =
-  Event.Start_element { name; attributes = []; level }
+let start name level = Event.start_element ~name ~level ()
 
-let end_ name level = Event.End_element { name; level }
+let end_ name level = Event.end_element ~name ~level ()
 
 let check_events = Alcotest.(check (list (testable Event.pp Event.equal)))
 
@@ -229,9 +228,53 @@ let text_equality_not_certain () =
   let partial2 = Query.finish_partial run2 in
   Alcotest.(check int) "certain" 1 (List.length partial2.Result_set.items)
 
+let auto_close_burst () =
+  (* Regression for the recovery event queue: a single mismatched end tag
+     below 20k open elements enqueues 20k auto-close events at once. The
+     queue is a front/back deque with O(1) amortized push and pop, so this
+     is linear; the old [pending @ [ev]] representation rescanned the
+     whole queue per push. The assertions pin the repaired stream itself:
+     balanced, properly nested, innermost-first closes. *)
+  let n = 20_000 in
+  let buf = Buffer.create ((n * 3) + 16) in
+  Buffer.add_string buf "<r>";
+  for _ = 1 to n do
+    Buffer.add_string buf "<a>"
+  done;
+  Buffer.add_string buf "</r>";
+  let check_stream label parser =
+    let starts = ref 0 and ends = ref 0 and depth = ref 0 in
+    let nested = ref true in
+    Sax.iter
+      (fun ev ->
+        match ev with
+        | Event.Start_element { level; _ } ->
+          incr starts;
+          incr depth;
+          if level <> !depth then nested := false
+        | Event.End_element { level; _ } ->
+          incr ends;
+          if level <> !depth then nested := false;
+          decr depth
+        | _ -> ())
+      parser;
+    Alcotest.(check bool) (label ^ ": levels nest") true !nested;
+    Alcotest.(check int) (label ^ ": balanced") 0 !depth;
+    Alcotest.(check int) (label ^ ": starts") (n + 1) !starts;
+    Alcotest.(check int) (label ^ ": ends") (n + 1) !ends
+  in
+  check_stream "mismatch burst"
+    (Sax.of_string ~limits:Sax.unlimited ~mode:Sax.Lenient
+       (Buffer.contents buf));
+  (* same burst from end-of-input recovery (close_all_open) *)
+  let truncated = String.sub (Buffer.contents buf) 0 (3 * (n + 1)) in
+  check_stream "eof burst"
+    (Sax.of_string ~limits:Sax.unlimited ~mode:Sax.Lenient truncated)
+
 let suite =
   [
     Alcotest.test_case "depth bomb" `Quick depth_bomb;
+    Alcotest.test_case "auto-close burst is linear" `Quick auto_close_burst;
     Alcotest.test_case "entity flood" `Quick entity_flood;
     Alcotest.test_case "giant name" `Quick giant_name;
     Alcotest.test_case "attribute flood" `Quick attribute_flood;

@@ -4,7 +4,7 @@
 
 open Xaos_core
 
-let item id = { Item.id; tag = "t"; level = 1 }
+let item id = Item.make ~id ~tag:"t" ~level:1
 
 let mk ?(serial = ref 0) ?(pointer_slots = [||]) xnode =
   incr serial;

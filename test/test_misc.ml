@@ -5,7 +5,7 @@ open Xaos_core
 
 let item = Alcotest.testable Item.pp Item.equal
 
-let it id tag level = { Item.id; tag; level }
+let it id tag level = Item.make ~id ~tag ~level
 
 let test_item_order_and_dedup () =
   let shuffled = [ it 5 "c" 2; it 1 "a" 1; it 5 "c" 2; it 3 "b" 2; it 1 "a" 1 ] in
@@ -128,7 +128,7 @@ let test_looking_for_without_filter () =
          (Xaos_xpath.Parser.parse "//a/ancestor::b"))
   in
   let engine = Engine.create ~config dag in
-  Engine.start_element engine ~tag:"a" ~level:1 ();
+  Engine.start_element engine ~sym:(Xaos_xml.Symbol.intern "a") ~level:1 ();
   let entries = Engine.looking_for engine in
   Alcotest.(check bool) "derivable" true (List.length entries >= 1);
   Engine.end_element engine;

@@ -5,7 +5,7 @@ open Xaos_core
 
 let item = Alcotest.testable Item.pp Item.equal
 
-let it id tag level = { Item.id; tag; level }
+let it id tag level = Item.make ~id ~tag ~level
 
 let test_compile_errors () =
   (match Query.compile "/a[" with

@@ -21,7 +21,7 @@ open Xaos_core
 
 let item = Alcotest.testable Item.pp Item.equal
 
-let it id tag level = { Item.id; tag; level }
+let it id tag level = Item.make ~id ~tag ~level
 
 let outcome_str (o : Query_set.outcome) =
   Printf.sprintf "%s%s: [%s]" o.query_name
@@ -181,15 +181,16 @@ let test_engine_interest_transitions () =
   let e = Engine.create dag in
   Engine.subscribe_interest e
     {
-      Engine.on_tag = (fun tag on -> log := (tag, on) :: !log);
+      Engine.on_sym =
+        (fun sym on -> log := (Xaos_xml.Symbol.name sym, on) :: !log);
       on_wildcard = (fun _ -> Alcotest.fail "no wildcard in //a/b");
     };
   Alcotest.(check (list (pair string bool)))
     "initial frontier"
     [ ("a", true) ]
     (List.rev !log);
-  Engine.start_element e ~tag:"a" ~level:1 ();
-  Engine.start_element e ~tag:"b" ~level:2 ();
+  Engine.start_element e ~sym:(Xaos_xml.Symbol.intern "a") ~level:1 ();
+  Engine.start_element e ~sym:(Xaos_xml.Symbol.intern "b") ~level:2 ();
   Engine.end_element e;
   Engine.end_element e;
   ignore (Engine.finish e);

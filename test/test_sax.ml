@@ -11,15 +11,12 @@ let events = Alcotest.list event
 let parse = Sax.events_of_string
 
 let start ?(attrs = []) name level =
-  Event.Start_element
-    {
-      name;
-      attributes =
-        List.map (fun (n, v) -> { Event.attr_name = n; attr_value = v }) attrs;
-      level;
-    }
+  Event.start_element
+    ~attributes:
+      (List.map (fun (n, v) -> { Event.attr_name = n; attr_value = v }) attrs)
+    ~name ~level ()
 
-let stop name level = Event.End_element { name; level }
+let stop name level = Event.end_element ~name ~level ()
 
 let check_events msg expected input =
   Alcotest.check events msg expected (parse input)

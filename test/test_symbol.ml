@@ -1,0 +1,170 @@
+(* The interned-symbol event core: intern/lookup round-trips, id
+   stability, generation resets between documents of one Query_set
+   session, wildcard interaction, and the differential property pinning
+   the interned engine to the string-keyed Section 3.3 semantics (which
+   deliberately never touches the symbol table). *)
+
+module Symbol = Xaos_xml.Symbol
+module Event = Xaos_xml.Event
+open Xaos_core
+
+let test_roundtrip () =
+  Symbol.reset ();
+  let a = Symbol.intern "alpha" in
+  let b = Symbol.intern "beta" in
+  Alcotest.(check string) "name of a" "alpha" (Symbol.name a);
+  Alcotest.(check string) "name of b" "beta" (Symbol.name b);
+  Alcotest.(check bool) "distinct names, distinct ids" false
+    (Symbol.equal a b);
+  Alcotest.(check int) "intern is idempotent" a (Symbol.intern "alpha");
+  Alcotest.(check (option int)) "find sees interned" (Some b)
+    (Symbol.find "beta");
+  Alcotest.(check (option int)) "find misses fresh" None
+    (Symbol.find "gamma")
+
+let test_id_stability () =
+  Symbol.reset ();
+  (* ids are dense and stable in first-intern order within a generation *)
+  let ids = List.map Symbol.intern [ "x"; "y"; "z"; "y"; "x" ] in
+  Alcotest.(check (list int)) "dense, first-intern order" [ 0; 1; 2; 1; 0 ] ids;
+  Alcotest.(check int) "count" 3 (Symbol.count ());
+  let gen = Symbol.generation () in
+  Symbol.reset ();
+  Alcotest.(check bool) "reset bumps generation" true
+    (Symbol.generation () > gen);
+  Alcotest.(check int) "reset empties table" 0 (Symbol.count ());
+  (* stale ids are detected rather than silently mapped *)
+  (match Symbol.name 2 with
+  | _ -> Alcotest.fail "stale id should raise"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "fresh generation re-assigns from 0" 0
+    (Symbol.intern "z")
+
+let test_wildcard_bit () =
+  Symbol.reset ();
+  Alcotest.(check bool) "plain name matches *" true
+    (Symbol.matches_wildcard (Symbol.intern "item"));
+  Alcotest.(check bool) "virtual #root does not match *" false
+    (Symbol.matches_wildcard (Symbol.intern Xaos_xml.Dom.root_tag));
+  Alcotest.(check bool) "none does not match *" false
+    (Symbol.matches_wildcard Symbol.none);
+  (* agreement with the AST-level definition on every event of a parse *)
+  List.iter
+    (fun ev ->
+      match Event.sym ev with
+      | Some sym ->
+        Alcotest.(check bool)
+          ("wildcard bit for " ^ Symbol.name sym)
+          (Xaos_xpath.Ast.test_matches Xaos_xpath.Ast.Wildcard
+             (Symbol.name sym))
+          (Symbol.matches_wildcard sym)
+      | None -> ())
+    (Xaos_xml.Sax.events_of_string "<r><a/><b>t</b></r>")
+
+let test_wildcard_and_text_query () =
+  Symbol.reset ();
+  (* wildcard x-nodes and text tests ride the interned path end to end:
+     the virtual root must stay out of wildcard results, and text tests
+     must still resolve on the symbol-carrying items *)
+  let q = Query.compile_exn "//*[text()='foo']" in
+  let r = Query.run_string q "<r><a>foo</a><b>bar</b><c><a>foo</a></c></r>" in
+  (* string values: a(2)="foo", c(4)="foo" (via its descendant), a(5)="foo";
+     r(1)="foobarfoo" and the virtual root never enter *)
+  Alcotest.(check (list string))
+    "only foo-valued elements, no #root"
+    [ "a"; "c"; "a" ]
+    (List.map Item.tag r.Result_set.items)
+
+(* One Query_set compiled once, two documents with a Symbol.reset between
+   them: the second document's ids are assigned differently (shifted by
+   junk interns), yet results stay correct because engines re-resolve
+   their name tests at Query_set.start. *)
+let test_reset_between_documents () =
+  Symbol.reset ();
+  let t =
+    match Query_set.compile [ ("q1", "//a/b"); ("q2", "//c") ] with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "compile: %s" msg
+  in
+  let doc = "<r><a><b/></a><c/><x><a><b/></a></x></r>" in
+  let run () =
+    let s = Query_set.start t in
+    List.iter (Query_set.feed s) (Xaos_xml.Sax.events_of_string doc);
+    Query_set.finish s
+    |> List.map (fun o ->
+           ( o.Query_set.query_name,
+             List.map
+               (fun it -> (Item.tag it, it.Item.id, it.Item.level))
+               o.Query_set.items ))
+  in
+  let first = run () in
+  Symbol.reset ();
+  (* skew the id assignment so any cached pre-reset id would misresolve *)
+  for i = 0 to 40 do
+    ignore (Symbol.intern (Printf.sprintf "junk%d" i) : Symbol.t)
+  done;
+  let second = run () in
+  Alcotest.(
+    check
+      (list (pair string (list (triple string int int)))))
+    "same outcomes across a generation reset" first second;
+  Alcotest.(check (list (pair string (list (triple string int int)))))
+    "expected outcomes"
+    [ ("q1", [ ("b", 3, 3); ("b", 7, 4) ]); ("q2", [ ("c", 4, 2) ]) ]
+    first
+
+(* The differential oracle: Semantics is the string-keyed pre-refactor
+   specification (it matches labels with String.equal on Dom.element.tag
+   and never consults the symbol table); the streaming engine runs fully
+   interned. Each case starts a fresh generation with a random id skew,
+   so agreement proves results are invariant under id assignment. *)
+let differential_interned_vs_string_keyed =
+  let open QCheck in
+  Test.make ~name:"interned engine = string-keyed semantics" ~count:300
+    (make
+       ~print:(fun (skew, (d, p)) ->
+         Printf.sprintf "skew %d, %s on %s" skew (Xaos_xpath.Ast.to_string p) d)
+       Gen.(
+         pair (int_bound 20)
+           (pair Test_properties.gen_doc Test_properties.gen_path)))
+    (fun (skew, (doc_s, path)) ->
+      Symbol.reset ();
+      for i = 0 to skew - 1 do
+        ignore (Symbol.intern (Printf.sprintf "skew%d" i) : Symbol.t)
+      done;
+      match Query.compile_path path with
+      | Error msg -> QCheck.Test.fail_reportf "compile failed: %s" msg
+      | Ok q ->
+        let doc = Xaos_xml.Dom.of_string doc_s in
+        let oracle = Semantics.eval_path path doc in
+        let streamed = (Query.run_string q doc_s).Result_set.items in
+        let shared =
+          match Query_set.of_queries [ ("q", q) ] with
+          | t -> (
+            match Query_set.run_string t doc_s with
+            | [ o ] -> o.Query_set.items
+            | _ -> assert false)
+        in
+        let show items =
+          String.concat ","
+            (List.map (fun i -> Format.asprintf "%a" Item.pp i) items)
+        in
+        if not (List.equal Item.equal oracle streamed) then
+          QCheck.Test.fail_reportf "engine %s <> oracle %s" (show streamed)
+            (show oracle)
+        else if not (List.equal Item.equal oracle shared) then
+          QCheck.Test.fail_reportf "shared dispatch %s <> oracle %s"
+            (show shared) (show oracle)
+        else true)
+
+let suite =
+  [
+    Alcotest.test_case "intern/lookup round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "id stability and reset" `Quick test_id_stability;
+    Alcotest.test_case "wildcard matchability bit" `Quick test_wildcard_bit;
+    Alcotest.test_case "wildcard + text test query" `Quick
+      test_wildcard_and_text_query;
+    Alcotest.test_case "reset between documents in a session" `Quick
+      test_reset_between_documents;
+    QCheck_alcotest.to_alcotest differential_interned_vs_string_keyed;
+  ]

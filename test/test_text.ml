@@ -8,7 +8,7 @@ module Parser = Xaos_xpath.Parser
 
 let item = Alcotest.testable Item.pp Item.equal
 
-let it id tag level = { Item.id; tag; level }
+let it id tag level = Item.make ~id ~tag ~level
 
 let doc =
   "<lib><book><title>OCaml in Action</title></book>\
