@@ -217,3 +217,93 @@ let run ~subscription_counts ~docs () =
     yfilter_ok xaos_ok;
   Util.note "the shared index routes events instead of sharing states, so";
   Util.note "it keeps the full language the automaton class excludes."
+
+(* Sustained service load (PR 6): the supervised broker — the evaluation
+   core of `xaos serve` — digesting a long document stream against a
+   large live subscription set, once clean and once with byte-level
+   chaos faults at a fixed rate. The robustness machinery (lenient
+   recovery with fault accounting, per-run budgets, resource limits,
+   quarantine bookkeeping) is all on this path, so the clean/faulted
+   throughput ratio is its price. *)
+
+module Chaos = Xaos_xml.Chaos
+module Broker = Xaos_service.Broker
+
+let byte_fault_kinds =
+  [ Chaos.Truncate; Chaos.Corrupt_tag; Chaos.Text_burst; Chaos.Depth_burst ]
+
+let sustained ~subs ~docs ~fault_rate () =
+  Util.print_header
+    "Sustained service load: broker throughput under chaos faults";
+  let sub_rng = Prng.create 911 in
+  let queries =
+    List.init subs (fun i -> (Printf.sprintf "s%d" i, subscription sub_rng))
+  in
+  let doc_rng = Prng.create 907 in
+  let documents = List.init docs (fun _ -> document doc_rng) in
+  Printf.printf "%d documents against %d live subscriptions, fault rate %g\n"
+    docs subs fault_rate;
+  let stream label rate =
+    let config =
+      { Broker.default_config with
+        budget = Some 100_000; deadline_s = None; reset_symbols_every = 64 }
+    in
+    let b = Broker.create ~config () in
+    List.iter
+      (fun (name, query) ->
+        match Broker.subscribe b ~name ~query with
+        | Ok () -> ()
+        | Error e -> failwith e)
+      queries;
+    let faulted = ref 0 in
+    let recoveries = ref 0 in
+    let limit_ends = ref 0 in
+    let events = ref 0 in
+    let matched = ref 0 in
+    let (), time =
+      Util.time (fun () ->
+          List.iteri
+            (fun i doc ->
+              let p =
+                Chaos.plan ~kinds:byte_fault_kinds ~seed:31 ~rate i
+              in
+              if Chaos.kind p <> None then incr faulted;
+              let o =
+                Broker.publish b ~doc_id:(string_of_int i)
+                  (Chaos.corrupt p doc)
+              in
+              recoveries := !recoveries + o.Broker.faults;
+              if o.Broker.limit_hit <> None then incr limit_ends;
+              events := !events + o.Broker.events;
+              matched := !matched + List.length o.Broker.matches)
+            documents)
+    in
+    let docs_per_s = float_of_int docs /. time in
+    Util.record (Printf.sprintf "sustained/%d/%s_docs_per_s" subs label)
+      docs_per_s;
+    Util.record
+      (Printf.sprintf "sustained/%d/%s_events_per_s" subs label)
+      (float_of_int !events /. time);
+    (label, time, docs_per_s, !faulted, !recoveries, !limit_ends, !matched)
+  in
+  let rows = [ stream "clean" 0.0; stream "faulted" fault_rate ] in
+  Util.print_table
+    ~columns:
+      [ "stream"; "time s"; "docs/s"; "faulted docs"; "recoveries";
+        "limit ends"; "matches" ]
+    (List.map
+       (fun (label, time, dps, faulted, recoveries, limit_ends, matched) ->
+         [ label; Util.fsec time; Printf.sprintf "%.0f" dps;
+           string_of_int faulted; string_of_int recoveries;
+           string_of_int limit_ends; string_of_int matched ])
+       rows);
+  (match rows with
+  | [ (_, _, clean, _, _, _, _); (_, _, faulted, _, _, _, _) ] ->
+    Util.record
+      (Printf.sprintf "sustained/%d/fault_overhead" subs)
+      (clean /. faulted);
+    Util.note
+      "supervision overhead: the faulted stream runs at %.2fx the clean \
+       stream's cost"
+      (clean /. faulted)
+  | _ -> ())

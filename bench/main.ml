@@ -56,6 +56,10 @@ let run_filtering report full counts_opt =
         ~subscription_counts:(filtering_counts ~full counts_opt)
         ~docs:(if full then 12 else 8) ())
 
+let run_sustained report subs docs rate =
+  reporting report (fun () ->
+      Filtering.sustained ~subs ~docs ~fault_rate:rate ())
+
 let run_micro report = reporting report (fun () -> Micro.run ())
 
 let run_relevance report full scales_opt =
@@ -87,6 +91,9 @@ let run_all report full =
       Filtering.run
         ~subscription_counts:(filtering_counts ~full None)
         ~docs:(if full then 12 else 8) ();
+      Filtering.sustained ~subs:1000
+        ~docs:(if full then 200 else 64)
+        ~fault_rate:0.15 ();
       Relevance.run ();
       Micro.run ())
 
@@ -180,6 +187,20 @@ let filtering_cmd =
              index")
     Term.(const run_filtering $ report_t $ full_t $ counts_t)
 
+let sustained_cmd =
+  let subs_doc = "Live subscriptions registered on the broker." in
+  let subs_t = Arg.(value & opt int 1000 & info [ "subs" ] ~doc:subs_doc) in
+  let docs_doc = "Documents in the stream." in
+  let docs_t = Arg.(value & opt int 64 & info [ "docs" ] ~doc:docs_doc) in
+  let rate_doc = "Chaos fault probability per document." in
+  let rate_t = Arg.(value & opt float 0.15 & info [ "rate" ] ~doc:rate_doc) in
+  Cmd.v
+    (Cmd.info "sustained"
+       ~doc:"Sustained service load: supervised broker docs/s against a \
+             large live subscription set, clean vs a fixed chaos fault \
+             rate")
+    Term.(const run_sustained $ report_t $ subs_t $ docs_t $ rate_t)
+
 let micro_cmd =
   Cmd.v
     (Cmd.info "micro" ~doc:"Bechamel micro-benchmarks, one per table/figure kernel")
@@ -208,4 +229,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_t info
           [ fig5_cmd; table3_cmd; fig6_cmd; fig7_cmd; ablation_cmd;
-            filtering_cmd; relevance_cmd; micro_cmd; pr5_cmd; all_cmd ]))
+            filtering_cmd; sustained_cmd; relevance_cmd; micro_cmd; pr5_cmd;
+            all_cmd ]))

@@ -1087,6 +1087,338 @@ let generate_command =
     (Cmd.info "generate" ~doc:"Workload generators")
     [ generate_xmark_command; generate_random_command ]
 
+(* ------------------------------------------------------------------ *)
+(* serve / publish / subscribe / soak — the subscription service       *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Xaos_service
+module Json = Xaos_obs.Json
+
+let default_socket =
+  Filename.concat (Filename.get_temp_dir_name ()) "xaos.sock"
+
+let socket_arg =
+  Arg.(value & opt string default_socket
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path of the service.")
+
+let with_connection socket f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     die exit_io_error
+       (Printf.sprintf "cannot connect to %s: %s (is the service running? \
+                        start it with `xaos serve --socket %s`)"
+          socket (Unix.error_message e) socket));
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let send_request fd req =
+  let line = Service.Protocol.to_line (Service.Protocol.request_to_json req) in
+  let len = String.length line in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd line off (len - off))
+  in
+  try go 0
+  with Unix.Unix_error (e, _, _) ->
+    die exit_io_error ("service write failed: " ^ Unix.error_message e)
+
+(* Reassemble response lines across reads; [f] returns [`Stop] to
+   disconnect. *)
+let iter_response_lines fd f =
+  let chunk = Bytes.create 65536 in
+  let acc = Buffer.create 4096 in
+  let stop = ref false in
+  while not !stop do
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> stop := true
+    | n ->
+      Buffer.add_subbytes acc chunk 0 n;
+      if Bytes.index_opt (Bytes.sub chunk 0 n) '\n' <> None then begin
+        let rec feed = function
+          | [] -> ()
+          | [ rest ] -> Buffer.add_string acc rest
+          | line :: tl ->
+            if (not !stop) && line <> "" then
+              (match f line with `Stop -> stop := true | `Continue -> ());
+            feed tl
+        in
+        let pending = Buffer.contents acc in
+        Buffer.clear acc;
+        feed (String.split_on_char '\n' pending)
+      end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      die exit_io_error ("service read failed: " ^ Unix.error_message e)
+  done
+
+let json_str field json =
+  Option.bind (Json.member field json) Json.to_str
+
+let serve_cmd socket budget deadline high low subs_file =
+  if low < 0 || low >= high then
+    die exit_query_error "--low-watermark must satisfy 0 <= low < high";
+  let broker =
+    { Service.Broker.default_config with budget; deadline_s = deadline }
+  in
+  let config =
+    { (Service.Server.default_config socket) with
+      high_watermark = high; low_watermark = low; broker }
+  in
+  (* Block INT/TERM before any thread is spawned (they inherit the
+     mask); a dedicated watcher thread turns the signal into a graceful
+     stop — a Sys.Signal_handle would never run while every thread is
+     parked in a blocking call. *)
+  let signals = [ Sys.sigint; Sys.sigterm ] in
+  (try ignore (Thread.sigmask Unix.SIG_BLOCK signals)
+   with Invalid_argument _ | Unix.Unix_error _ -> ());
+  let server =
+    try Service.Server.start config
+    with Unix.Unix_error (e, _, _) ->
+      die exit_io_error
+        (Printf.sprintf "cannot bind %s: %s" socket (Unix.error_message e))
+  in
+  (match subs_file with
+  | None -> ()
+  | Some path ->
+    let ic = try open_in path with Sys_error msg -> die exit_io_error msg in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then begin
+           incr n;
+           match
+             Service.Broker.subscribe (Service.Server.broker server)
+               ~name:(Printf.sprintf "s%d" !n)
+               ~query:line
+           with
+           | Ok () -> ()
+           | Error msg -> die exit_query_error (line ^ ": " ^ msg)
+         end
+       done
+     with End_of_file -> close_in_noerr ic);
+    Format.eprintf "loaded %d subscriptions from %s@." !n path);
+  Format.eprintf "xaos service listening on %s@." socket;
+  ignore
+    (Thread.create
+       (fun () ->
+         match Thread.wait_signal signals with
+         | _ -> Service.Server.stop server
+         | exception _ -> ())
+       ());
+  Service.Server.wait server;
+  Format.eprintf "xaos service stopped@."
+
+let publish_cmd socket priority files =
+  with_connection socket (fun fd ->
+      let pending = Hashtbl.create 16 in
+      List.iter
+        (fun path ->
+          let doc =
+            try In_channel.with_open_bin path In_channel.input_all
+            with Sys_error msg -> die exit_io_error msg
+          in
+          let doc_id = Filename.basename path in
+          Hashtbl.replace pending doc_id ();
+          send_request fd
+            (Service.Protocol.Publish { doc_id; priority; doc }))
+        files;
+      let failures = ref 0 in
+      iter_response_lines fd (fun line ->
+          print_endline line;
+          (match Json.parse line with
+          | Error _ -> ()
+          | Ok json ->
+            (* a document is settled by its [processed] event or by an
+               overload/error response naming it *)
+            (match json_str "event" json, json_str "id" json with
+            | Some "processed", Some id -> Hashtbl.remove pending id
+            | _, id_opt ->
+              (match Json.member "ok" json, json_str "error" json with
+              | Some (Json.Bool false), err ->
+                incr failures;
+                (match (id_opt, err) with
+                | Some id, Some "overload" -> Hashtbl.remove pending id
+                | _ -> ())
+              | _ -> ())));
+          if Hashtbl.length pending = 0 then `Stop else `Continue);
+      if Hashtbl.length pending > 0 then
+        die exit_io_error
+          "connection closed before every document was processed";
+      if !failures > 0 then exit 1)
+
+let subscribe_cmd socket name query =
+  with_connection socket (fun fd ->
+      send_request fd (Service.Protocol.Subscribe { name; query });
+      let acked = ref false in
+      iter_response_lines fd (fun line ->
+          print_endline line;
+          if not !acked then begin
+            acked := true;
+            match Json.parse line with
+            | Ok json when Json.member "ok" json = Some (Json.Bool false) ->
+              die exit_query_error
+                (Option.value ~default:"subscribe refused"
+                   (json_str "error" json))
+            | _ -> ()
+          end;
+          `Continue))
+
+let service_stats_cmd socket =
+  with_connection socket (fun fd ->
+      send_request fd Service.Protocol.Stats;
+      iter_response_lines fd (fun line ->
+          print_endline line;
+          `Stop))
+
+let soak_cmd docs subs rate seed socket report quiet =
+  let cfg =
+    { Service.Soak.docs; subs; fault_rate = rate; seed;
+      report_path = report;
+      socket_path =
+        Option.value socket ~default:Service.Soak.default_config.socket_path }
+  in
+  let progress =
+    if quiet then ignore else fun m -> Format.eprintf "%s@." m
+  in
+  let s = Service.Soak.run ~progress cfg in
+  Format.printf "published %d  completed %d  (processed %d, shed %d, \
+                 displaced %d)@."
+    s.published s.completed s.processed s.shed s.displaced;
+  Format.printf "client aborts %d  match events %d  quarantine/readmit \
+                 events %d/%d@."
+    s.client_aborts s.match_events s.quarantine_events s.readmit_events;
+  Format.printf "sax faults %d  limit ends %d  deadline ends %d@."
+    s.sax_faults s.limit_ends s.deadline_ends;
+  Format.printf "quarantined %d  readmitted %d  differential %d checked, \
+                 %d mismatches  crashes %d@."
+    s.quarantined_total s.readmitted_total s.checked s.mismatches s.crashes;
+  List.iter (Format.printf "mismatch: %s@.") s.mismatch_examples;
+  (match report with
+  | Some path when s.report_valid -> Format.printf "report: %s@." path
+  | _ -> ());
+  match Service.Soak.healthy s with
+  | Ok () -> Format.printf "HEALTHY@."
+  | Error reason ->
+    Format.eprintf "UNHEALTHY: %s@." reason;
+    exit 1
+
+let serve_command =
+  let budget =
+    Arg.(value & opt (some int) Service.Broker.default_config.budget
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Per-run live matching-structure budget; a subscription \
+                   exceeding it aborts with its partial results (and is \
+                   quarantined when it keeps doing so).")
+  in
+  let deadline =
+    Arg.(value
+         & opt (some float) Service.Broker.default_config.deadline_s
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-document wall-clock deadline; on expiry the \
+                   document is finished partially.")
+  in
+  let high =
+    Arg.(value & opt int 64
+         & info [ "high-watermark" ] ~docv:"N"
+             ~doc:"Ingress queue bound; publishes past it are shed or \
+                   displace lower-priority queued documents.")
+  in
+  let low =
+    Arg.(value & opt int 16
+         & info [ "low-watermark" ] ~docv:"N"
+             ~doc:"Queue length at which the overloaded state clears.")
+  in
+  let subs_file =
+    Arg.(value & opt (some string) None
+         & info [ "subscriptions" ] ~docv:"FILE"
+             ~doc:"Pre-register one XPath subscription per line ('#' \
+                   comments), named s1, s2, ...")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent subscription service on a Unix-domain \
+             socket (line-delimited JSON; see xaos subscribe/publish)")
+    Term.(const serve_cmd $ socket_arg $ budget $ deadline $ high $ low
+          $ subs_file)
+
+let publish_command =
+  let priority =
+    Arg.(value & opt int 0
+         & info [ "priority" ] ~docv:"N"
+             ~doc:"Admission priority under overload (higher survives).")
+  in
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"DOC.xml")
+  in
+  Cmd.v
+    (Cmd.info "publish"
+       ~doc:"Publish documents to a running service and print its \
+             responses (exit 1 if any document was shed or refused)")
+    Term.(const publish_cmd $ socket_arg $ priority $ files)
+
+let subscribe_command =
+  let sub_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let sub_query =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
+  in
+  Cmd.v
+    (Cmd.info "subscribe"
+       ~doc:"Register a subscription on a running service and stream its \
+             match/quarantine/readmit events to stdout until interrupted")
+    Term.(const subscribe_cmd $ socket_arg $ sub_name $ sub_query)
+
+let service_stats_command =
+  Cmd.v
+    (Cmd.info "service-stats"
+       ~doc:"Print one stats snapshot of a running service as JSON")
+    Term.(const service_stats_cmd $ socket_arg)
+
+let soak_command =
+  let docs =
+    Arg.(value & opt int Service.Soak.default_config.docs
+         & info [ "docs" ] ~docv:"N" ~doc:"Main-stream documents.")
+  in
+  let subs =
+    Arg.(value & opt int Service.Soak.default_config.subs
+         & info [ "subs" ] ~docv:"N"
+             ~doc:"Live subscriptions (including the poison one).")
+  in
+  let rate =
+    Arg.(value & opt float Service.Soak.default_config.fault_rate
+         & info [ "rate" ] ~docv:"P" ~doc:"Fault probability per document.")
+  in
+  let seed =
+    Arg.(value & opt int Service.Soak.default_config.seed
+         & info [ "seed" ] ~doc:"Chaos PRNG seed (faults replay from it).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Socket path for the in-process server (temp dir \
+                   default).")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Write the service run report here (validate it with \
+                   $(b,xaos report validate)).")
+  in
+  let quiet = flag [ "quiet" ] "Suppress progress messages." in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run the chaos soak: an in-process service under fault \
+             injection, differentially checked; exit 1 unless healthy")
+    Term.(const soak_cmd $ docs $ subs $ rate $ seed $ socket $ report
+          $ quiet)
+
 let () =
   let info =
     Cmd.info "xaos" ~version:"1.0"
@@ -1096,4 +1428,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ eval_command; explain_command; trace_command; why_command;
-            filter_command; generate_command; report_command ]))
+            filter_command; generate_command; report_command;
+            serve_command; publish_command; subscribe_command;
+            service_stats_command; soak_command ]))

@@ -1,9 +1,10 @@
 type t = {
-  queries : (string * Query.t) list;
+  mutable queries : (string * Query.t) list;
+      (** registration order; names unique among live entries *)
 }
 
 let gauge_subscriptions =
-  Xaos_obs.Telemetry.gauge ~help:"subscriptions in the last compiled set"
+  Xaos_obs.Telemetry.gauge ~help:"subscriptions in the current set"
     "xaos_filter_subscriptions"
 
 let counter_documents =
@@ -20,6 +21,11 @@ let counter_suppressed =
     ~help:"(element event, run) deliveries suppressed by the shared \
            dispatch index"
     "xaos_filter_events_suppressed_total"
+
+let counter_run_faults =
+  Xaos_obs.Telemetry.counter
+    ~help:"runs aborted by an engine exception other than Budget_exceeded"
+    "xaos_filter_run_faults_total"
 
 let of_queries queries =
   let seen = Hashtbl.create 16 in
@@ -63,10 +69,27 @@ let names t = List.map fst t.queries
 
 let size t = List.length t.queries
 
+let mem t name = List.mem_assoc name t.queries
+
+let register t name q =
+  if List.mem_assoc name t.queries then
+    invalid_arg ("Query_set.register: duplicate name " ^ name);
+  t.queries <- t.queries @ [ (name, q) ];
+  Xaos_obs.Telemetry.set_gauge gauge_subscriptions (List.length t.queries)
+
+let unregister t name =
+  if List.mem_assoc name t.queries then begin
+    t.queries <- List.filter (fun (n, _) -> n <> name) t.queries;
+    Xaos_obs.Telemetry.set_gauge gauge_subscriptions (List.length t.queries);
+    true
+  end
+  else false
+
 type outcome = {
   query_name : string;
   items : Item.t list;
   aborted : bool;
+  failed : string option;
 }
 
 type dispatch =
@@ -82,6 +105,11 @@ type run_state = {
   rs_name : string;
   rs_run : Query.run;
   mutable rs_aborted : bool;
+  mutable rs_removed : bool;
+      (** unregistered mid-session: keeps absorbing its pending end
+          events as no-ops but is excluded from the reported outcomes *)
+  mutable rs_error : string option;
+      (** a non-budget engine exception; the run was aborted in place *)
   mutable rs_stamp : int;
       (** last event stamp this run was collected for; dedupes a run
           reached through both its tag bucket and the wildcard bucket *)
@@ -89,7 +117,9 @@ type run_state = {
 
 type session = {
   mode : dispatch;
-  runs : run_state array;
+  budget : int option;  (** applied to runs added mid-session too *)
+  mutable runs_rev : run_state list;  (** reverse registration order *)
+  mutable next_run_id : int;
   mutable buckets : (int, run_state) Hashtbl.t option array;
       (** indexed by interned symbol id: runs whose current looking-for
           frontier contains an x-node with that name test (keyed by
@@ -105,6 +135,10 @@ type session = {
   mutable delivery_stack : run_state list list;
       (** per open element (innermost first): the runs its start event
           was delivered to — its end event goes to exactly those *)
+  mutable open_events : (Xaos_xml.Event.t * int) list;
+      (** the open start events with their document-order ids (innermost
+          first) — replayed into runs registered mid-stream so a late
+          subscription sees its ancestor context *)
   mutable stamp : int;
   mutable next_id : int;
       (** document-order element counter, synced into delivered runs so
@@ -137,66 +171,34 @@ let bucket_remove s sym rs =
     | None -> ()
     | Some b -> Hashtbl.remove b rs.rs_id
 
-let start ?budget ?(dispatch = Shared) t =
-  Xaos_obs.Telemetry.incr counter_documents;
-  let runs =
-    Array.of_list
-      (List.mapi
-         (fun i (name, q) ->
-           {
-             rs_id = i;
-             rs_name = name;
-             rs_run = Query.start ?budget q;
-             rs_aborted = false;
-             rs_stamp = -1;
-           })
-         t.queries)
-  in
-  let s =
-    {
-      mode = dispatch;
-      runs;
-      buckets = Array.make (max 16 (Xaos_xml.Symbol.count ())) None;
-      wildcard = Hashtbl.create 16;
-      text_interested = Hashtbl.create 16;
-      delivery_stack = [];
-      stamp = 0;
-      next_id = 1;
-      live = Array.length runs;
-      dispatched = 0;
-      suppressed = 0;
-    }
-  in
-  (match dispatch with
-  | Naive -> ()
-  | Shared ->
-    Array.iter
-      (fun rs ->
-        Query.subscribe_interest rs.rs_run
-          {
-            Engine.on_sym =
-              (fun sym on ->
-                if on then bucket_add s sym rs else bucket_remove s sym rs);
-            on_wildcard =
-              (fun on ->
-                if on then Hashtbl.replace s.wildcard rs.rs_id rs
-                else Hashtbl.remove s.wildcard rs.rs_id);
-          })
-      runs);
-  s
+(* Abort one run in place, leaving the session consistent. Used for
+   budget trips, engine faults and mid-session removal; the partial
+   result is extracted (and memoized) immediately, and the abort unwinds
+   the run's open matches, which drains its dispatch buckets through the
+   interest callbacks. An engine broken by an arbitrary exception may
+   fail to unwind — its buckets then keep stale entries, which dispatch
+   skips via [rs_aborted]. *)
+let abort_run s rs =
+  if not rs.rs_aborted then begin
+    rs.rs_aborted <- true;
+    s.live <- s.live - 1;
+    Hashtbl.remove s.text_interested rs.rs_id;
+    try ignore (Query.finish_partial rs.rs_run) with _ -> ()
+  end
 
-(* Feed one event to one run; a budget trip aborts that run only. The
-   partial result is extracted (and memoized) immediately, and the abort
-   unwinds the run's open matches, which drains its dispatch buckets
-   through the interest callbacks. *)
+(* Feed one event to one run. A budget trip aborts that run only; any
+   other engine exception likewise poisons just this run (fault
+   isolation: one broken subscription must never take the session down)
+   but is remembered as [rs_error] so callers can distinguish degraded
+   service from a resource trip. *)
 let feed_run s rs ev =
   if not rs.rs_aborted then begin
-    try Query.feed rs.rs_run ev
-    with Engine.Budget_exceeded _ ->
-      rs.rs_aborted <- true;
-      s.live <- s.live - 1;
-      Hashtbl.remove s.text_interested rs.rs_id;
-      ignore (Query.finish_partial rs.rs_run)
+    try Query.feed rs.rs_run ev with
+    | Engine.Budget_exceeded _ -> abort_run s rs
+    | exn ->
+      rs.rs_error <- Some (Printexc.to_string exn);
+      Xaos_obs.Telemetry.incr counter_run_faults;
+      abort_run s rs
   end
 
 (* After a delivered element event, the run's text interest may have
@@ -207,6 +209,99 @@ let refresh_text_interest s rs =
       Hashtbl.replace s.text_interested rs.rs_id rs
     else Hashtbl.remove s.text_interested rs.rs_id
   end
+
+(* Attach a fresh run to the session: subscribe it to the dispatch index
+   (Shared), replay the open ancestor chain with the original
+   document-order ids, and route the pending end events to it by joining
+   every delivery-stack frame. The index is maintained incrementally —
+   the interest callbacks fired during subscription and replay populate
+   exactly the buckets the new run's frontier needs. *)
+let attach s name q =
+  let rs =
+    {
+      rs_id = s.next_run_id;
+      rs_name = name;
+      rs_run = Query.start ?budget:s.budget q;
+      rs_aborted = false;
+      rs_removed = false;
+      rs_error = None;
+      rs_stamp = -1;
+    }
+  in
+  s.next_run_id <- s.next_run_id + 1;
+  s.runs_rev <- rs :: s.runs_rev;
+  s.live <- s.live + 1;
+  (match s.mode with
+  | Naive -> ()
+  | Shared ->
+    Query.subscribe_interest rs.rs_run
+      {
+        Engine.on_sym =
+          (fun sym on ->
+            if on then bucket_add s sym rs else bucket_remove s sym rs);
+        on_wildcard =
+          (fun on ->
+            if on then Hashtbl.replace s.wildcard rs.rs_id rs
+            else Hashtbl.remove s.wildcard rs.rs_id);
+      });
+  (* replay outer-to-inner; the open chain always has consecutive levels,
+     so it is a valid stream prefix for sparse and strict engines alike *)
+  List.iter
+    (fun (ev, id) ->
+      Query.sync_next_id rs.rs_run id;
+      feed_run s rs ev)
+    (List.rev s.open_events);
+  (* future starts must carry the session's counter, not the replay's *)
+  if not rs.rs_aborted then Query.sync_next_id rs.rs_run s.next_id;
+  (match s.mode with
+  | Shared ->
+    s.delivery_stack <- List.map (fun frame -> rs :: frame) s.delivery_stack;
+    refresh_text_interest s rs
+  | Naive -> ());
+  rs
+
+let start ?budget ?(dispatch = Shared) t =
+  Xaos_obs.Telemetry.incr counter_documents;
+  let s =
+    {
+      mode = dispatch;
+      budget;
+      runs_rev = [];
+      next_run_id = 0;
+      buckets = Array.make (max 16 (Xaos_xml.Symbol.count ())) None;
+      wildcard = Hashtbl.create 16;
+      text_interested = Hashtbl.create 16;
+      delivery_stack = [];
+      open_events = [];
+      stamp = 0;
+      next_id = 1;
+      live = 0;
+      dispatched = 0;
+      suppressed = 0;
+    }
+  in
+  List.iter (fun (name, q) -> ignore (attach s name q)) t.queries;
+  s
+
+let add_run s name q =
+  if
+    List.exists
+      (fun rs -> (not rs.rs_removed) && rs.rs_name = name)
+      s.runs_rev
+  then invalid_arg ("Query_set.add_run: duplicate name " ^ name);
+  ignore (attach s name q)
+
+let remove_run s name =
+  match
+    List.find_opt
+      (fun rs -> (not rs.rs_removed) && rs.rs_name = name)
+      s.runs_rev
+  with
+  | None -> false
+  | Some rs ->
+    rs.rs_removed <- true;
+    abort_run s rs;
+    true
 
 let collect_bucket acc stamp bucket =
   Hashtbl.fold
@@ -236,6 +331,7 @@ let feed_shared s ev =
     in
     let id = s.next_id in
     s.next_id <- id + 1;
+    s.open_events <- (ev, id) :: s.open_events;
     let delivered = List.length interested in
     s.dispatched <- s.dispatched + delivered;
     s.suppressed <- s.suppressed + (s.live - delivered);
@@ -253,6 +349,9 @@ let feed_shared s ev =
     | [] -> invalid_arg "Query_set.feed: end event without open element"
     | interested :: rest ->
       s.delivery_stack <- rest;
+      (match s.open_events with
+      | [] -> ()
+      | _ :: tl -> s.open_events <- tl);
       s.dispatched <- s.dispatched + List.length interested;
       Xaos_obs.Telemetry.add counter_dispatched (List.length interested);
       List.iter
@@ -274,36 +373,51 @@ let feed_shared s ev =
 let feed_naive s ev =
   (match ev with
   | Xaos_xml.Event.Start_element _ ->
+    let id = s.next_id in
+    s.next_id <- id + 1;
+    s.open_events <- (ev, id) :: s.open_events;
     s.dispatched <- s.dispatched + s.live;
     Xaos_obs.Telemetry.add counter_dispatched s.live
+  | Xaos_xml.Event.End_element _ -> (
+    match s.open_events with
+    | [] -> ()
+    | _ :: tl -> s.open_events <- tl)
   | _ -> ());
-  Array.iter (fun rs -> feed_run s rs ev) s.runs
+  List.iter (fun rs -> feed_run s rs ev) s.runs_rev
 
 let feed s ev =
   match s.mode with Shared -> feed_shared s ev | Naive -> feed_naive s ev
 
+let outcome_of ~aborted rs result =
+  {
+    query_name = rs.rs_name;
+    items = result.Result_set.items;
+    aborted;
+    failed = rs.rs_error;
+  }
+
 let finish s =
-  Array.to_list s.runs
-  |> List.map (fun rs ->
-         let result =
-           if rs.rs_aborted then Query.finish_partial rs.rs_run
-           else Query.finish rs.rs_run
-         in
-         {
-           query_name = rs.rs_name;
-           items = result.Result_set.items;
-           aborted = rs.rs_aborted;
-         })
+  List.rev s.runs_rev
+  |> List.filter_map (fun rs ->
+         if rs.rs_removed then None
+         else
+           let result =
+             if rs.rs_aborted then
+               try Query.finish_partial rs.rs_run
+               with _ -> Result_set.empty
+             else Query.finish rs.rs_run
+           in
+           Some (outcome_of ~aborted:rs.rs_aborted rs result))
 
 let finish_partial s =
-  Array.to_list s.runs
-  |> List.map (fun rs ->
-         let result = Query.finish_partial rs.rs_run in
-         {
-           query_name = rs.rs_name;
-           items = result.Result_set.items;
-           aborted = true;
-         })
+  List.rev s.runs_rev
+  |> List.filter_map (fun rs ->
+         if rs.rs_removed then None
+         else
+           let result =
+             try Query.finish_partial rs.rs_run with _ -> Result_set.empty
+           in
+           Some (outcome_of ~aborted:true rs result))
 
 let dispatch_stats s = (s.dispatched, s.suppressed)
 
@@ -328,14 +442,11 @@ let run_doc ?budget t doc =
   (* DOM replay bypasses the event stream, so dispatch stays per-run;
      budget trips are still isolated per run *)
   let s = start ?budget ~dispatch:Naive t in
-  Array.iter
+  List.iter
     (fun rs ->
       try Query.feed_doc rs.rs_run doc
-      with Engine.Budget_exceeded _ ->
-        rs.rs_aborted <- true;
-        s.live <- s.live - 1;
-        ignore (Query.finish_partial rs.rs_run))
-    s.runs;
+      with Engine.Budget_exceeded _ -> abort_run s rs)
+    (List.rev s.runs_rev);
   finish s
 
 let matching_names outcomes =

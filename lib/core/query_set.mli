@@ -18,11 +18,25 @@
     suite exercises. *)
 
 type t
-(** An immutable set of named compiled queries. *)
+(** A registry of named compiled queries. Long-lived: subscriptions can
+    be {!register}ed and {!unregister}ed at runtime between documents;
+    a {!session} snapshots the registry when it starts (and can itself
+    take mid-stream {!add_run}/{!remove_run} changes). *)
 
 val of_queries : (string * Query.t) list -> t
 (** Build from (name, query) pairs. Names must be unique.
     @raise Invalid_argument on a duplicate name. *)
+
+val register : t -> string -> Query.t -> unit
+(** Add a subscription at runtime. Sessions already started are not
+    affected (use {!add_run} to join one mid-stream).
+    @raise Invalid_argument on a duplicate name. *)
+
+val unregister : t -> string -> bool
+(** Remove a subscription; [false] if the name is unknown. Sessions
+    already started keep their snapshot. *)
+
+val mem : t -> string -> bool
 
 val compile :
   ?config:Engine.config -> (string * string) list -> (t, string) result
@@ -42,9 +56,14 @@ type outcome = {
   items : Item.t list;  (** document order, duplicate-free *)
   aborted : bool;
       (** the outcome is partial: this run tripped the structure budget
-          mid-stream (or the whole session was finished via
-          {!finish_partial}); [items] are the results already certain at
-          the abort point *)
+          mid-stream, raised (see [failed]), or the whole session was
+          finished via {!finish_partial}; [items] are the results
+          already certain at the abort point *)
+  failed : string option;
+      (** fault isolation: the run's engine raised something other than
+          {!Engine.Budget_exceeded} and was aborted in place (the
+          message is [Printexc.to_string] of the exception); the other
+          runs were untouched *)
 }
 
 type dispatch =
@@ -69,6 +88,20 @@ val feed : session -> Xaos_xml.Event.t -> unit
 (** Route one event. Under {!Shared} dispatch, element events reach only
     the interested runs; text is delivered to runs with an open
     text-test buffer; comments and PIs are dropped. *)
+
+val add_run : session -> string -> Query.t -> unit
+(** Join a subscription mid-document. The session replays the currently
+    open ancestor chain (with the original document-order element ids)
+    into the fresh run and maintains the dispatch index incrementally,
+    so the run matches everything decidable from this point on: results
+    are those of a full run restricted to elements whose start event had
+    not yet been seen, plus the open ancestors themselves. The session's
+    budget applies. @raise Invalid_argument on a duplicate live name. *)
+
+val remove_run : session -> string -> bool
+(** Detach a subscription mid-document: its run is aborted (draining its
+    dispatch-index buckets) and excluded from {!finish} outcomes;
+    [false] if the name is not live in this session. *)
 
 val finish : session -> outcome list
 (** Outcomes in query order, including empty ones. *)

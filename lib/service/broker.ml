@@ -1,0 +1,284 @@
+open Xaos_core
+module Sax = Xaos_xml.Sax
+module Telemetry = Xaos_obs.Telemetry
+module Tracer = Xaos_obs.Tracer
+module Report = Xaos_obs.Report
+module Json = Xaos_obs.Json
+
+type config = {
+  budget : int option;
+  deadline_s : float option;
+  limits : Sax.limits;
+  quarantine : Quarantine.config;
+  reset_symbols_every : int;
+}
+
+let default_config =
+  { budget = Some 50_000; deadline_s = Some 2.0;
+    limits = Sax.default_limits; quarantine = Quarantine.default_config;
+    reset_symbols_every = 256 }
+
+type status =
+  | Live
+  | Quarantined of string
+
+type sub = {
+  sub_query : Query.t;  (** survives Symbol.reset: re-resolves at start *)
+}
+
+type t = {
+  mu : Mutex.t;
+  config : config;
+  set : Query_set.t;
+  subs : (string, sub) Hashtbl.t;
+  quarantine : Quarantine.t;
+  mutable tick : int;
+  (* plain-int accounting: stats must work with telemetry disabled *)
+  mutable n_events : int;
+  mutable n_faults : int;
+  mutable n_matches : int;
+  mutable n_deadline : int;
+  mutable n_limit : int;
+  mutable n_aborted : int;
+  mutable n_failed : int;
+}
+
+let counter_docs = Telemetry.counter "xaos_service_docs_total"
+let counter_faults = Telemetry.counter "xaos_service_sax_faults_total"
+let counter_deadline = Telemetry.counter "xaos_service_deadline_total"
+let counter_limit = Telemetry.counter "xaos_service_limit_total"
+let counter_quarantined = Telemetry.counter "xaos_service_quarantined_total"
+let counter_readmitted = Telemetry.counter "xaos_service_readmitted_total"
+let gauge_live = Telemetry.gauge "xaos_service_live_subscriptions"
+let span_publish = Telemetry.span "service.publish"
+
+let create ?(config = default_config) () =
+  { mu = Mutex.create (); config; set = Query_set.of_queries [];
+    subs = Hashtbl.create 64;
+    quarantine = Quarantine.create ~config:config.quarantine ();
+    tick = 0; n_events = 0; n_faults = 0; n_matches = 0; n_deadline = 0;
+    n_limit = 0; n_aborted = 0; n_failed = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let subscribe t ~name ~query =
+  with_lock t @@ fun () ->
+  if Hashtbl.mem t.subs name then Error ("duplicate subscription: " ^ name)
+  else
+    match Query.compile query with
+    | Error e -> Error e
+    | Ok q ->
+      Hashtbl.add t.subs name { sub_query = q };
+      Query_set.register t.set name q;
+      Telemetry.set_gauge gauge_live (Query_set.size t.set);
+      Ok ()
+
+let unsubscribe t ~name =
+  with_lock t @@ fun () ->
+  if not (Hashtbl.mem t.subs name) then false
+  else begin
+    Hashtbl.remove t.subs name;
+    Quarantine.forget t.quarantine name;
+    ignore (Query_set.unregister t.set name);
+    Telemetry.set_gauge gauge_live (Query_set.size t.set);
+    true
+  end
+
+let subscriptions t =
+  with_lock t @@ fun () ->
+  Hashtbl.fold
+    (fun name _ acc ->
+      let status =
+        match Quarantine.reason t.quarantine name with
+        | Some r -> Quarantined r
+        | None -> Live
+      in
+      (name, status) :: acc)
+    t.subs []
+  |> List.sort compare
+
+type doc_outcome = {
+  doc_id : string;
+  tick : int;
+  matches : (string * int) list;
+  events : int;
+  faults : int;
+  deadline_hit : bool;
+  limit_hit : string option;
+  aborted : string list;
+  failed : (string * string) list;
+  quarantined_now : (string * string) list;
+  readmitted : string list;
+}
+
+(* re-admit every quarantined subscription whose backoff elapsed *)
+let readmit_due t =
+  let due = Quarantine.due t.quarantine ~now:t.tick in
+  List.filter
+    (fun name ->
+      Quarantine.readmit t.quarantine name;
+      match Hashtbl.find_opt t.subs name with
+      | Some sub when not (Query_set.mem t.set name) ->
+        Query_set.register t.set name sub.sub_query;
+        Telemetry.incr counter_readmitted;
+        true
+      | _ ->
+        (* unsubscribed while quarantined *)
+        Quarantine.forget t.quarantine name;
+        false)
+    due
+
+(* attribute per-run failures to their subscriptions; returns the ones
+   quarantined by this document *)
+let account_outcomes t ~doc_died outcomes =
+  List.filter_map
+    (fun (o : Query_set.outcome) ->
+      let name = o.query_name in
+      let failure_reason =
+        match o.failed with
+        | Some msg -> Some ("raised: " ^ msg)
+        | None ->
+          (* under a document-level end every run is flagged aborted;
+             only blame the subscription when the document survived *)
+          if o.aborted && not doc_died then Some "budget-exceeded" else None
+      in
+      match failure_reason with
+      | None ->
+        Quarantine.record_success t.quarantine ~name;
+        None
+      | Some reason -> (
+        if o.failed <> None then t.n_failed <- t.n_failed + 1
+        else t.n_aborted <- t.n_aborted + 1;
+        match
+          Quarantine.record_failure t.quarantine ~now:t.tick ~name ~reason
+        with
+        | `Counted -> None
+        | `Quarantined ->
+          ignore (Query_set.unregister t.set name);
+          Telemetry.incr counter_quarantined;
+          Telemetry.set_gauge gauge_live (Query_set.size t.set);
+          Some (name, reason)))
+    outcomes
+
+let publish t ~doc_id doc =
+  with_lock t @@ fun () ->
+  Telemetry.enter span_publish;
+  if Tracer.enabled () then Tracer.phase_begin "service.publish";
+  Fun.protect ~finally:(fun () ->
+      if Tracer.enabled () then Tracer.phase_end "service.publish";
+      Telemetry.leave span_publish)
+  @@ fun () ->
+  t.tick <- t.tick + 1;
+  Telemetry.incr counter_docs;
+  if
+    t.config.reset_symbols_every > 0
+    && t.tick mod t.config.reset_symbols_every = 0
+  then Xaos_xml.Symbol.reset ();
+  let readmitted = readmit_due t in
+  let session = Query_set.start ?budget:t.config.budget t.set in
+  let faults = ref 0 in
+  let deadline_hit = ref false in
+  let limit_hit = ref None in
+  let events = ref 0 in
+  let started = Unix.gettimeofday () in
+  let parser =
+    Sax.of_string ~limits:t.config.limits ~mode:Sax.Lenient
+      ~on_fault:(fun _ -> incr faults)
+      doc
+  in
+  (try
+     let rec loop () =
+       match Sax.next parser with
+       | None -> ()
+       | Some ev ->
+         incr events;
+         Query_set.feed session ev;
+         (match t.config.deadline_s with
+         | Some d
+           when !events land 63 = 0
+                && Unix.gettimeofday () -. started > d ->
+           deadline_hit := true
+         | _ -> ());
+         if not !deadline_hit then loop ()
+     in
+     loop ()
+   with Sax.Limit_exceeded (_, kind, _) ->
+     limit_hit := Some (Sax.limit_kind_name kind));
+  let doc_died = !deadline_hit || !limit_hit <> None in
+  let outcomes =
+    if doc_died then Query_set.finish_partial session
+    else Query_set.finish session
+  in
+  let quarantined_now = account_outcomes t ~doc_died outcomes in
+  let matches =
+    List.filter_map
+      (fun (o : Query_set.outcome) ->
+        match o.items with
+        | [] -> None
+        | items -> Some (o.query_name, List.length items))
+      outcomes
+  in
+  t.n_events <- t.n_events + !events;
+  t.n_faults <- t.n_faults + !faults;
+  t.n_matches <- t.n_matches + List.length matches;
+  if !faults > 0 then Telemetry.add counter_faults !faults;
+  if !deadline_hit then begin
+    t.n_deadline <- t.n_deadline + 1;
+    Telemetry.incr counter_deadline
+  end;
+  if !limit_hit <> None then begin
+    t.n_limit <- t.n_limit + 1;
+    Telemetry.incr counter_limit
+  end;
+  { doc_id; tick = t.tick; matches; events = !events; faults = !faults;
+    deadline_hit = !deadline_hit; limit_hit = !limit_hit;
+    aborted =
+      List.filter_map
+        (fun (o : Query_set.outcome) ->
+          if o.aborted && o.failed = None && not doc_died then
+            Some o.query_name
+          else None)
+        outcomes;
+    failed =
+      List.filter_map
+        (fun (o : Query_set.outcome) ->
+          Option.map (fun m -> (o.query_name, m)) o.failed)
+        outcomes;
+    quarantined_now; readmitted }
+
+let docs_seen t = with_lock t @@ fun () -> t.tick
+
+let stats t =
+  with_lock t @@ fun () ->
+  let f = float_of_int in
+  [ ("service/docs", f t.tick); ("service/events", f t.n_events);
+    ("service/sax_faults", f t.n_faults);
+    ("service/docs_matched", f t.n_matches);
+    ("service/deadline_ends", f t.n_deadline);
+    ("service/limit_ends", f t.n_limit);
+    ("service/runs_aborted", f t.n_aborted);
+    ("service/runs_failed", f t.n_failed);
+    ("service/quarantined", f (Quarantine.times_quarantined t.quarantine));
+    ("service/readmitted", f (Quarantine.times_readmitted t.quarantine));
+    ("service/live_subscriptions", f (Query_set.size t.set));
+    ("service/quarantined_now",
+     f (List.length (Quarantine.quarantined t.quarantine))) ]
+
+let report ?(extra_stats = []) t =
+  let stats = stats t @ extra_stats in
+  let config =
+    with_lock t @@ fun () ->
+    [ ("budget",
+       match t.config.budget with Some b -> Json.Int b | None -> Json.Null);
+      ("deadline_s",
+       match t.config.deadline_s with
+       | Some d -> Json.Float d
+       | None -> Json.Null);
+      ("quarantine_threshold", Json.Int t.config.quarantine.threshold);
+      ("reset_symbols_every", Json.Int t.config.reset_symbols_every);
+      ("subscriptions", Json.Int (Hashtbl.length t.subs)) ]
+  in
+  Report.make ~kind:"service" ~config ~stats
+    ~spans:(Telemetry.span_summaries ()) ~gc:(Report.gc_now ()) ()

@@ -1,0 +1,96 @@
+(** The evaluation core of the service: a {!Xaos_core.Query_set} registry
+    under supervision.
+
+    Each published document runs with three independent guards:
+
+    - a {e structure budget} per run ({!Xaos_core.Engine.Budget_exceeded}
+      — a pathological query aborts {e individually}, with its partial
+      results, and the rest of the set keeps going);
+    - a {e wall-clock deadline} for the whole document (checked every few
+      events; on expiry the session is finished partially — bounded
+      per-document latency is the service contract);
+    - SAX {e resource limits} + lenient recovery (malformed input is
+      repaired where possible and every recovery is counted; a tripped
+      limit ends the document partially instead of killing the process).
+
+    Supervision feeds {!Quarantine}: a run that trips its budget or
+    raises is a failure attributed to that subscription; crossing the
+    threshold unregisters it from the dispatch set with a reason code.
+    Document-level ends (deadline, limit, truncation) are {e not}
+    attributed — they are the document's fault. Quarantined subscriptions
+    are re-admitted automatically once their backoff elapses, on the
+    document tick counter.
+
+    Long-lived sessions reset the {!Xaos_xml.Symbol} interning table
+    every [reset_symbols_every] documents so the symbol space tracks the
+    live vocabulary instead of growing forever; compiled queries
+    re-resolve at engine creation, so this is invisible to subscribers.
+
+    Thread-safe: one internal lock serializes {!publish} with the
+    subscription operations. *)
+
+type config = {
+  budget : int option;  (** live matching structures per run *)
+  deadline_s : float option;  (** per-document wall clock *)
+  limits : Xaos_xml.Sax.limits;
+  quarantine : Quarantine.config;
+  reset_symbols_every : int;  (** documents between interning resets; 0 = never *)
+}
+
+val default_config : config
+(** budget 50k structures, deadline 2 s, {!Xaos_xml.Sax.default_limits},
+    default quarantine, symbol reset every 256 documents. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** {1 Subscriptions} *)
+
+val subscribe : t -> name:string -> query:string -> (unit, string) result
+(** Compile and register. [Error] on a bad expression or duplicate
+    name. *)
+
+val unsubscribe : t -> name:string -> bool
+
+type status =
+  | Live
+  | Quarantined of string  (** reason code *)
+
+val subscriptions : t -> (string * status) list
+(** Sorted by name. *)
+
+(** {1 Publishing} *)
+
+type doc_outcome = {
+  doc_id : string;
+  tick : int;  (** this document's position in the broker's stream *)
+  matches : (string * int) list;  (** subscriptions with ≥ 1 result *)
+  events : int;  (** SAX events evaluated *)
+  faults : int;  (** lenient-mode recoveries in this document *)
+  deadline_hit : bool;
+  limit_hit : string option;  (** tripped {!Xaos_xml.Sax.limit_kind} name *)
+  aborted : string list;  (** runs that tripped the structure budget *)
+  failed : (string * string) list;  (** runs that raised, with message *)
+  quarantined_now : (string * string) list;
+      (** subscriptions quarantined by this document, with reason *)
+  readmitted : string list;  (** subscriptions re-admitted before it *)
+}
+
+val publish : t -> doc_id:string -> string -> doc_outcome
+(** Evaluate one document against every live subscription. Never raises
+    on document content: malformed bytes, limit trips, budget trips and
+    engine failures all land in the outcome. *)
+
+(** {1 Observability} *)
+
+val docs_seen : t -> int
+
+val stats : t -> (string * float) list
+(** Scalar counters for the run report: documents, events, faults,
+    matches, deadline/limit ends, aborts, failures, quarantine and
+    re-admission totals, live/quarantined subscription counts. *)
+
+val report : ?extra_stats:(string * float) list -> t -> Xaos_obs.Report.t
+(** Schema-current run report of kind ["service"]; [extra_stats] lets
+    the server add transport-side counters (shed, displaced, drops). *)

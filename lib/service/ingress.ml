@@ -1,0 +1,142 @@
+type 'a verdict =
+  | Accepted
+  | Shed_incoming
+  | Displaced of 'a
+
+type 'a cell = {
+  pri : int;
+  seq : int;
+  item : 'a;
+}
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  high : int;
+  low : int;
+  (* take order: priority descending, then seq ascending — so the head is
+     the next item out and the LAST cell is the displacement victim
+     (lowest priority, youngest). Linear insertion: the queue is bounded
+     by [high], which is small by design. *)
+  mutable cells : 'a cell list;
+  mutable len : int;
+  mutable seq : int;
+  mutable overloaded : bool;
+  mutable closed : bool;
+  mutable shed : int;
+  mutable displaced : int;
+  mutable overload_entries : int;
+}
+
+let create ?low ~high () =
+  let low = match low with Some l -> l | None -> high / 2 in
+  if not (0 <= low && low < high) then
+    invalid_arg "Ingress.create: need 0 <= low < high";
+  { mu = Mutex.create (); nonempty = Condition.create (); high; low;
+    cells = []; len = 0; seq = 0; overloaded = false; closed = false;
+    shed = 0; displaced = 0; overload_entries = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let insert t ~priority item =
+  let cell = { pri = priority; seq = t.seq; item } in
+  t.seq <- t.seq + 1;
+  let rec go = function
+    | c :: rest when c.pri >= priority -> c :: go rest
+    | rest -> cell :: rest
+  in
+  t.cells <- go t.cells;
+  t.len <- t.len + 1
+
+(* drop the last cell: lowest priority, youngest within it *)
+let drop_victim t =
+  let rec go = function
+    | [] -> assert false
+    | [ last ] -> ([], last)
+    | c :: rest ->
+      let rest', last = go rest in
+      (c :: rest', last)
+  in
+  let cells', victim = go t.cells in
+  t.cells <- cells';
+  t.len <- t.len - 1;
+  victim
+
+let offer t ~priority item =
+  with_lock t @@ fun () ->
+  if t.closed then begin
+    t.shed <- t.shed + 1;
+    Shed_incoming
+  end
+  else if (not t.overloaded) && t.len < t.high then begin
+    insert t ~priority item;
+    if t.len >= t.high then begin
+      t.overloaded <- true;
+      t.overload_entries <- t.overload_entries + 1
+    end;
+    Condition.signal t.nonempty;
+    Accepted
+  end
+  else begin
+    if not t.overloaded then begin
+      (* len reached high without the accept path noticing (e.g. high
+         watermark hit exactly by displacement churn) *)
+      t.overloaded <- true;
+      t.overload_entries <- t.overload_entries + 1
+    end;
+    if t.len = 0 then begin
+      (* overloaded but drained (hysteresis window): there is room *)
+      insert t ~priority item;
+      Condition.signal t.nonempty;
+      Accepted
+    end
+    else begin
+      let last = List.nth t.cells (t.len - 1) in
+      if priority > last.pri then begin
+        let victim = drop_victim t in
+        insert t ~priority item;
+        t.displaced <- t.displaced + 1;
+        Condition.signal t.nonempty;
+        Displaced victim.item
+      end
+      else begin
+        t.shed <- t.shed + 1;
+        Shed_incoming
+      end
+    end
+  end
+
+let take t =
+  with_lock t @@ fun () ->
+  let rec wait () =
+    match t.cells with
+    | c :: rest ->
+      t.cells <- rest;
+      t.len <- t.len - 1;
+      if t.overloaded && t.len <= t.low then t.overloaded <- false;
+      Some c.item
+    | [] ->
+      if t.closed then None
+      else begin
+        Condition.wait t.nonempty t.mu;
+        wait ()
+      end
+  in
+  wait ()
+
+let close t =
+  with_lock t @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.nonempty
+
+let length t = with_lock t @@ fun () -> t.len
+
+let overloaded t = with_lock t @@ fun () -> t.overloaded
+
+let shed_count t = with_lock t @@ fun () -> t.shed
+
+let displaced_count t = with_lock t @@ fun () -> t.displaced
+
+let overload_entries t = with_lock t @@ fun () -> t.overload_entries

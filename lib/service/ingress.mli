@@ -1,0 +1,55 @@
+(** Bounded ingress queue with watermark hysteresis and priority-based
+    load shedding — the admission control in front of the evaluator.
+
+    The invariant the service needs: {!offer} {e never blocks}, so the
+    accept loop and the reader threads stay responsive no matter how far
+    behind the evaluator falls. Instead of blocking, an offer against a
+    full queue gets an explicit verdict the caller turns into an
+    overload response on the wire.
+
+    Hysteresis: the queue enters the {e overloaded} state when its
+    length reaches the high watermark and leaves it only when a consumer
+    drains it down to the low watermark. While overloaded, an incoming
+    document is admitted only by displacing a queued document of
+    strictly lower priority (lowest priority first, youngest first
+    within a priority — the freshest low-value work is the cheapest to
+    throw away); otherwise the incoming document itself is shed. The gap
+    between the watermarks is what prevents shed/accept flapping at the
+    boundary.
+
+    Consumers {!take} in priority order (FIFO within a priority) and
+    block when the queue is empty. Thread-safe. *)
+
+type 'a t
+
+type 'a verdict =
+  | Accepted
+  | Shed_incoming  (** refused: queue overloaded, priority too low *)
+  | Displaced of 'a  (** accepted by evicting this queued item *)
+
+val create : ?low:int -> high:int -> unit -> 'a t
+(** [high] is both the high watermark and the queue bound; [low]
+    defaults to [high / 2].
+    @raise Invalid_argument unless [0 <= low < high]. *)
+
+val offer : 'a t -> priority:int -> 'a -> 'a verdict
+(** Non-blocking admission. Higher [priority] wins. *)
+
+val take : 'a t -> 'a option
+(** Highest-priority, oldest item; blocks while empty. [None] once the
+    queue is closed and drained. *)
+
+val close : 'a t -> unit
+(** Wake all takers; subsequent offers are shed. *)
+
+val length : 'a t -> int
+
+val overloaded : 'a t -> bool
+
+val shed_count : 'a t -> int
+(** Items refused ({!Shed_incoming}) since creation. *)
+
+val displaced_count : 'a t -> int
+
+val overload_entries : 'a t -> int
+(** Times the queue crossed into the overloaded state. *)

@@ -1,0 +1,93 @@
+module Json = Xaos_obs.Json
+
+type request =
+  | Subscribe of { name : string; query : string }
+  | Unsubscribe of { name : string }
+  | Publish of { doc_id : string; priority : int; doc : string }
+  | Stats
+  | Report
+  | Shutdown
+
+let op_name = function
+  | Subscribe _ -> "subscribe"
+  | Unsubscribe _ -> "unsubscribe"
+  | Publish _ -> "publish"
+  | Stats -> "stats"
+  | Report -> "report"
+  | Shutdown -> "shutdown"
+
+let request_to_json r =
+  let fields =
+    match r with
+    | Subscribe { name; query } ->
+      [ ("name", Json.String name); ("query", Json.String query) ]
+    | Unsubscribe { name } -> [ ("name", Json.String name) ]
+    | Publish { doc_id; priority; doc } ->
+      [ ("id", Json.String doc_id); ("priority", Json.Int priority);
+        ("doc", Json.String doc) ]
+    | Stats | Report | Shutdown -> []
+  in
+  Json.Obj (("op", Json.String (op_name r)) :: fields)
+
+let str_field name j =
+  match Json.member name j with
+  | Some f -> (
+    match Json.to_str f with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "field %S must be a string" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let request_of_json j =
+  match Json.member "op" j with
+  | None -> Error "missing field \"op\""
+  | Some op -> (
+    match Json.to_str op with
+    | None -> Error "field \"op\" must be a string"
+    | Some "subscribe" ->
+      Result.bind (str_field "name" j) @@ fun name ->
+      Result.bind (str_field "query" j) @@ fun query ->
+      Ok (Subscribe { name; query })
+    | Some "unsubscribe" ->
+      Result.bind (str_field "name" j) @@ fun name -> Ok (Unsubscribe { name })
+    | Some "publish" ->
+      Result.bind (str_field "id" j) @@ fun doc_id ->
+      Result.bind (str_field "doc" j) @@ fun doc ->
+      let priority =
+        match Json.member "priority" j with
+        | Some p -> Option.value ~default:0 (Json.to_int p)
+        | None -> 0
+      in
+      Ok (Publish { doc_id; priority; doc })
+    | Some "stats" -> Ok Stats
+    | Some "report" -> Ok Report
+    | Some "shutdown" -> Ok Shutdown
+    | Some other -> Error (Printf.sprintf "unknown op %S" other))
+
+let request_of_line line =
+  match Json.parse line with
+  | Error e -> Error ("bad json: " ^ e)
+  | Ok j -> request_of_json j
+
+let ok ~op fields =
+  Json.Obj (("ok", Json.Bool true) :: ("op", Json.String op) :: fields)
+
+let error ~op msg =
+  Json.Obj
+    [ ("ok", Json.Bool false); ("op", Json.String op);
+      ("error", Json.String msg) ]
+
+let overload ~doc_id ~shed =
+  let shed_field =
+    match shed with
+    | `Incoming -> [ ("shed", Json.String "incoming") ]
+    | `Displaced by ->
+      [ ("shed", Json.String "displaced"); ("by", Json.String by) ]
+  in
+  Json.Obj
+    (("ok", Json.Bool false) :: ("op", Json.String "publish")
+     :: ("id", Json.String doc_id) :: ("error", Json.String "overload")
+     :: shed_field)
+
+let event ~kind fields = Json.Obj (("event", Json.String kind) :: fields)
+
+let to_line j = Json.to_string ~indent:false j ^ "\n"

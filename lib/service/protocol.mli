@@ -1,0 +1,57 @@
+(** Wire protocol of the subscription service: line-delimited JSON over a
+    Unix-domain socket, one request or response object per line, encoded
+    with {!Xaos_obs.Json} (no external JSON dependency).
+
+    Requests (client → server) carry an ["op"] field:
+    {v
+    {"op":"subscribe","name":"q1","query":"//a//b"}
+    {"op":"unsubscribe","name":"q1"}
+    {"op":"publish","id":"doc-1","priority":5,"doc":"<a><b/></a>"}
+    {"op":"stats"} {"op":"report"} {"op":"shutdown"}
+    v}
+
+    Responses and asynchronous events (server → client) carry either an
+    ["ok"] field (the direct answer to a request) or an ["event"] field:
+    [match] (a subscription this connection owns matched a document),
+    [processed] (the document this connection published was evaluated,
+    with per-subscription match counts and fault accounting),
+    [overload] (the published document was shed or displaced by admission
+    control), and [quarantine]/[readmit] (lifecycle of a subscription
+    this connection owns). *)
+
+type request =
+  | Subscribe of { name : string; query : string }
+  | Unsubscribe of { name : string }
+  | Publish of { doc_id : string; priority : int; doc : string }
+  | Stats
+  | Report
+  | Shutdown
+
+val request_to_json : request -> Xaos_obs.Json.t
+
+val request_of_json : Xaos_obs.Json.t -> (request, string) result
+
+val request_of_line : string -> (request, string) result
+(** Parse one line (without the trailing newline). *)
+
+val op_name : request -> string
+
+(** {1 Response builders}
+
+    All return a single-object {!Xaos_obs.Json.t}; {!to_line} frames it. *)
+
+val ok : op:string -> (string * Xaos_obs.Json.t) list -> Xaos_obs.Json.t
+
+val error : op:string -> string -> Xaos_obs.Json.t
+
+val overload : doc_id:string -> shed:[ `Incoming | `Displaced of string ] ->
+  Xaos_obs.Json.t
+(** The admission-control refusal, sent to [doc_id]'s publisher:
+    [`Incoming] means [doc_id] was refused at the door; [`Displaced by]
+    means [doc_id] had been queued but was evicted by the
+    higher-priority document [by]. *)
+
+val event : kind:string -> (string * Xaos_obs.Json.t) list -> Xaos_obs.Json.t
+
+val to_line : Xaos_obs.Json.t -> string
+(** Compact single-line encoding, trailing ['\n'] included. *)

@@ -1,0 +1,95 @@
+type config = {
+  threshold : int;
+  base_penalty : int;
+  max_penalty : int;
+}
+
+let default_config = { threshold = 3; base_penalty = 16; max_penalty = 1024 }
+
+type entry = {
+  mutable consecutive : int;
+  mutable penalty : int;  (** length of the next quarantine *)
+  mutable state : (string * int) option;  (** (reason, release tick) *)
+}
+
+type t = {
+  config : config;
+  entries : (string, entry) Hashtbl.t;
+  mutable n_quarantined : int;
+  mutable n_readmitted : int;
+}
+
+let create ?(config = default_config) () =
+  if config.threshold < 1 then invalid_arg "Quarantine: threshold < 1";
+  { config; entries = Hashtbl.create 64; n_quarantined = 0; n_readmitted = 0 }
+
+let entry t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> e
+  | None ->
+    let e =
+      { consecutive = 0; penalty = t.config.base_penalty; state = None }
+    in
+    Hashtbl.add t.entries name e;
+    e
+
+let record_failure t ~now ~name ~reason =
+  let e = entry t name in
+  e.consecutive <- e.consecutive + 1;
+  if e.consecutive < t.config.threshold then `Counted
+  else begin
+    e.consecutive <- 0;
+    e.state <- Some (reason, now + e.penalty);
+    e.penalty <- min t.config.max_penalty (e.penalty * 2);
+    t.n_quarantined <- t.n_quarantined + 1;
+    `Quarantined
+  end
+
+let record_success t ~name =
+  match Hashtbl.find_opt t.entries name with
+  | None -> ()
+  | Some e ->
+    e.consecutive <- 0;
+    e.penalty <- max t.config.base_penalty (e.penalty / 2)
+
+let is_quarantined t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some { state = Some _; _ } -> true
+  | _ -> false
+
+let reason t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some { state = Some (r, _); _ } -> Some r
+  | _ -> None
+
+let due t ~now =
+  Hashtbl.fold
+    (fun name e acc ->
+      match e.state with
+      | Some (_, release) when release <= now -> name :: acc
+      | _ -> acc)
+    t.entries []
+  |> List.sort compare
+
+let readmit t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some ({ state = Some _; _ } as e) ->
+    e.state <- None;
+    e.consecutive <- 0;
+    t.n_readmitted <- t.n_readmitted + 1
+  | _ -> ()
+
+let forget t name = Hashtbl.remove t.entries name
+
+let quarantined t =
+  Hashtbl.fold
+    (fun name e acc ->
+      match e.state with
+      | Some (reason, release) -> (name, reason, release) :: acc
+      | None -> acc)
+    t.entries []
+  |> List.sort compare
+
+let times_quarantined t = t.n_quarantined
+
+let times_readmitted t = t.n_readmitted

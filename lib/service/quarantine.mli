@@ -1,0 +1,63 @@
+(** Subscription quarantine: the fault-isolation policy of the service.
+
+    A subscription whose engine repeatedly aborts (budget trips) or
+    raises is taken out of the dispatch set with a reason code instead of
+    degrading every other subscription's document latency. Quarantine is
+    time-limited in {e document ticks} (the broker's monotone document
+    counter — deterministic under test, unlike wall clock): after the
+    penalty elapses the subscription is re-admittable on probation.
+
+    Backoff decays in both directions: each re-quarantine {e doubles}
+    the penalty (a subscription that keeps failing is retried ever more
+    rarely, up to a cap), and each clean document {e halves} it back
+    toward the base (a subscription that recovered is trusted again).
+    Failures must be consecutive to count — one bad document against a
+    pathological query does not accumulate forever. *)
+
+type config = {
+  threshold : int;  (** consecutive failures before quarantine *)
+  base_penalty : int;  (** first quarantine length, in document ticks *)
+  max_penalty : int;  (** backoff cap *)
+}
+
+val default_config : config
+(** threshold 3, base penalty 16 ticks, cap 1024. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val record_failure :
+  t -> now:int -> name:string -> reason:string -> [ `Counted | `Quarantined ]
+(** One abort/raise attributed to [name] at document tick [now].
+    [`Quarantined] means this failure crossed the threshold: the caller
+    must remove the subscription from dispatch. [reason] is kept (last
+    failure wins) for observability. *)
+
+val record_success : t -> name:string -> unit
+(** A clean document: resets the consecutive-failure count and decays
+    the stored penalty. *)
+
+val is_quarantined : t -> string -> bool
+
+val reason : t -> string -> string option
+(** Reason code of a currently quarantined subscription. *)
+
+val due : t -> now:int -> string list
+(** Quarantined names whose penalty has elapsed at tick [now]. *)
+
+val readmit : t -> string -> unit
+(** Lift the quarantine (caller re-registers the subscription). The
+    failure count restarts at zero — probation, not amnesty: the next
+    [threshold] failures re-quarantine with a doubled penalty. *)
+
+val forget : t -> string -> unit
+(** Drop all state for [name] (unsubscribed). *)
+
+val quarantined : t -> (string * string * int) list
+(** Currently quarantined: (name, reason, release tick). *)
+
+val times_quarantined : t -> int
+(** Total quarantine transitions since {!create}. *)
+
+val times_readmitted : t -> int

@@ -1,0 +1,417 @@
+module Json = Xaos_obs.Json
+module Telemetry = Xaos_obs.Telemetry
+module Report = Xaos_obs.Report
+
+type config = {
+  socket_path : string;
+  high_watermark : int;
+  low_watermark : int;
+  out_queue : int;
+  write_timeout_s : float;
+  broker : Broker.config;
+}
+
+let default_config socket_path =
+  { socket_path; high_watermark = 64; low_watermark = 16; out_queue = 1024;
+    write_timeout_s = 5.0; broker = Broker.default_config }
+
+type client = {
+  cid : int;
+  fd : Unix.file_descr;
+  out_mu : Mutex.t;
+  out_cond : Condition.t;
+  out : string Queue.t;
+  mutable out_closed : bool;
+}
+
+type pending = {
+  p_doc_id : string;
+  p_doc : string;
+  p_client : client;
+}
+
+type t = {
+  config : config;
+  brk : Broker.t;
+  ingress : pending Ingress.t;
+  listen_fd : Unix.file_descr;
+  mu : Mutex.t;  (** clients, owners, lifecycle flags, counters *)
+  finished : Condition.t;
+  mutable clients : client list;
+  owners : (string, client) Hashtbl.t;
+  mutable next_cid : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable acceptor : Thread.t option;
+  mutable evaluator : Thread.t option;
+  mutable crashes : int;
+  mutable dropped : int;  (** responses dropped on full client queues *)
+  mutable conn_total : int;
+}
+
+let counter_shed = Telemetry.counter "xaos_service_shed_total"
+let counter_displaced = Telemetry.counter "xaos_service_displaced_total"
+let counter_dropped = Telemetry.counter "xaos_service_dropped_responses_total"
+let counter_crashes = Telemetry.counter "xaos_service_thread_crashes_total"
+let gauge_connections = Telemetry.gauge "xaos_service_connections"
+let gauge_queue = Telemetry.gauge "xaos_service_ingress_queue"
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* a thread body that records instead of propagating: one misbehaving
+   connection (or a bug) must never take the process down *)
+let guarded t f () =
+  try f () with
+  | Thread.Exit -> ()
+  | _exn ->
+    with_lock t @@ fun () ->
+    t.crashes <- t.crashes + 1;
+    Telemetry.incr counter_crashes
+
+(* {1 Per-client output: bounded queue + writer thread} *)
+
+let enqueue t c line =
+  Mutex.lock c.out_mu;
+  let dropped =
+    if c.out_closed then false
+    else if Queue.length c.out >= t.config.out_queue then true
+    else begin
+      Queue.push line c.out;
+      Condition.signal c.out_cond;
+      false
+    end
+  in
+  Mutex.unlock c.out_mu;
+  if dropped then begin
+    with_lock t (fun () -> t.dropped <- t.dropped + 1);
+    Telemetry.incr counter_dropped
+  end
+
+let send t c json = enqueue t c (Protocol.to_line json)
+
+let close_client t c =
+  let owned =
+    with_lock t @@ fun () ->
+    if List.memq c t.clients then begin
+      t.clients <- List.filter (fun c' -> c' != c) t.clients;
+      Telemetry.set_gauge gauge_connections (List.length t.clients);
+      let owned =
+        Hashtbl.fold
+          (fun name owner acc -> if owner == c then name :: acc else acc)
+          t.owners []
+      in
+      List.iter (Hashtbl.remove t.owners) owned;
+      owned
+    end
+    else []
+  in
+  (* subscriptions die with their connection *)
+  List.iter (fun name -> ignore (Broker.unsubscribe t.brk ~name)) owned;
+  Mutex.lock c.out_mu;
+  c.out_closed <- true;
+  Condition.broadcast c.out_cond;
+  Mutex.unlock c.out_mu;
+  (* shutdown wakes the connection's blocked reader thread; close alone
+     would leave it parked in [Unix.read] forever *)
+  (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let writer_loop t c () =
+  let rec loop () =
+    Mutex.lock c.out_mu;
+    let rec next () =
+      if c.out_closed then None
+      else if Queue.is_empty c.out then begin
+        Condition.wait c.out_cond c.out_mu;
+        next ()
+      end
+      else Some (Queue.pop c.out)
+    in
+    let line = next () in
+    Mutex.unlock c.out_mu;
+    match line with
+    | None -> ()
+    | Some line ->
+      (* SO_SNDTIMEO turns a stalled consumer into EAGAIN here *)
+      (match write_all c.fd line with
+      | () -> loop ()
+      | exception Unix.Unix_error _ -> close_client t c)
+  in
+  loop ()
+
+(* {1 Request handling} *)
+
+let stats t =
+  Broker.stats t.brk
+  @ (with_lock t @@ fun () ->
+     let f = float_of_int in
+     [ ("ingress/queue", f (Ingress.length t.ingress));
+       ("ingress/shed", f (Ingress.shed_count t.ingress));
+       ("ingress/displaced", f (Ingress.displaced_count t.ingress));
+       ("ingress/overload_entries", f (Ingress.overload_entries t.ingress));
+       ("server/connections", f (List.length t.clients));
+       ("server/connections_total", f t.conn_total);
+       ("server/dropped_responses", f t.dropped);
+       ("server/thread_crashes", f t.crashes) ])
+
+let report t =
+  let broker_stats = Broker.stats t.brk in
+  let extra =
+    List.filter (fun (k, _) -> not (List.mem_assoc k broker_stats)) (stats t)
+  in
+  Broker.report ~extra_stats:extra t.brk
+
+let rec handle_request t c req =
+  match req with
+  | Protocol.Subscribe { name; query } -> (
+    match Broker.subscribe t.brk ~name ~query with
+    | Ok () ->
+      with_lock t (fun () -> Hashtbl.replace t.owners name c);
+      send t c (Protocol.ok ~op:"subscribe" [ ("name", Json.String name) ])
+    | Error e -> send t c (Protocol.error ~op:"subscribe" e))
+  | Protocol.Unsubscribe { name } ->
+    let known = Broker.unsubscribe t.brk ~name in
+    with_lock t (fun () -> Hashtbl.remove t.owners name);
+    if known then
+      send t c (Protocol.ok ~op:"unsubscribe" [ ("name", Json.String name) ])
+    else send t c (Protocol.error ~op:"unsubscribe" ("unknown: " ^ name))
+  | Protocol.Publish { doc_id; priority; doc } -> (
+    let verdict =
+      Ingress.offer t.ingress ~priority { p_doc_id = doc_id; p_doc = doc;
+                                          p_client = c }
+    in
+    Telemetry.set_gauge gauge_queue (Ingress.length t.ingress);
+    match verdict with
+    | Ingress.Accepted ->
+      send t c
+        (Protocol.ok ~op:"publish"
+           [ ("id", Json.String doc_id); ("queued", Json.Bool true) ])
+    | Ingress.Shed_incoming ->
+      Telemetry.incr counter_shed;
+      send t c (Protocol.overload ~doc_id ~shed:`Incoming)
+    | Ingress.Displaced victim ->
+      Telemetry.incr counter_displaced;
+      send t c
+        (Protocol.ok ~op:"publish"
+           [ ("id", Json.String doc_id); ("queued", Json.Bool true) ]);
+      send t victim.p_client
+        (Protocol.overload ~doc_id:victim.p_doc_id ~shed:(`Displaced doc_id)))
+  | Protocol.Stats ->
+    let fields = List.map (fun (k, v) -> (k, Json.Float v)) (stats t) in
+    send t c (Protocol.ok ~op:"stats" [ ("stats", Json.Obj fields) ])
+  | Protocol.Report ->
+    send t c
+      (Protocol.ok ~op:"report"
+         [ ("report", Report.to_json (report t)) ])
+  | Protocol.Shutdown ->
+    send t c (Protocol.ok ~op:"shutdown" []);
+    stop t
+
+(* {1 Reader: line framing over a streaming socket} *)
+
+and reader_loop t c () =
+  let chunk = Bytes.create 65536 in
+  let acc = Buffer.create 4096 in
+  let process_lines () =
+    let s = Buffer.contents acc in
+    let len = String.length s in
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | None ->
+        Buffer.clear acc;
+        Buffer.add_substring acc s start (len - start)
+      | Some nl ->
+        let line = String.sub s start (nl - start) in
+        if String.trim line <> "" then begin
+          match Protocol.request_of_line line with
+          | Ok req -> handle_request t c req
+          | Error e -> send t c (Protocol.error ~op:"parse" e)
+        end;
+        go (nl + 1)
+    in
+    go 0
+  in
+  let rec loop () =
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes acc chunk 0 n;
+      if Bytes.index_opt (Bytes.sub chunk 0 n) '\n' <> None then
+        process_lines ();
+      loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  close_client t c
+
+(* {1 Evaluator: the only thread that runs documents} *)
+
+and evaluator_loop t () =
+  let rec loop () =
+    match Ingress.take t.ingress with
+    | None -> ()
+    | Some p ->
+      Telemetry.set_gauge gauge_queue (Ingress.length t.ingress);
+      let o = Broker.publish t.brk ~doc_id:p.p_doc_id p.p_doc in
+      send t p.p_client
+        (Protocol.event ~kind:"processed"
+           [ ("id", Json.String o.doc_id); ("tick", Json.Int o.tick);
+             ("events", Json.Int o.events); ("faults", Json.Int o.faults);
+             ("deadline", Json.Bool o.deadline_hit);
+             ("limit",
+              match o.limit_hit with
+              | Some k -> Json.String k
+              | None -> Json.Null);
+             ("matches",
+              Json.Obj
+                (List.map (fun (n, k) -> (n, Json.Int k)) o.matches));
+             ("aborted",
+              Json.List (List.map (fun n -> Json.String n) o.aborted));
+             ("failed",
+              Json.Obj
+                (List.map (fun (n, m) -> (n, Json.String m)) o.failed));
+             ("quarantined",
+              Json.List
+                (List.map (fun (n, _) -> Json.String n) o.quarantined_now));
+             ("readmitted",
+              Json.List (List.map (fun n -> Json.String n) o.readmitted)) ]);
+      let owner name = with_lock t (fun () -> Hashtbl.find_opt t.owners name) in
+      List.iter
+        (fun (name, count) ->
+          match owner name with
+          | Some oc ->
+            send t oc
+              (Protocol.event ~kind:"match"
+                 [ ("id", Json.String o.doc_id); ("name", Json.String name);
+                   ("count", Json.Int count) ])
+          | None -> ())
+        o.matches;
+      List.iter
+        (fun (name, reason) ->
+          match owner name with
+          | Some oc ->
+            send t oc
+              (Protocol.event ~kind:"quarantine"
+                 [ ("name", Json.String name);
+                   ("reason", Json.String reason) ])
+          | None -> ())
+        o.quarantined_now;
+      List.iter
+        (fun name ->
+          match owner name with
+          | Some oc ->
+            send t oc
+              (Protocol.event ~kind:"readmit" [ ("name", Json.String name) ])
+          | None -> ())
+        o.readmitted;
+      loop ()
+  in
+  loop ()
+
+(* {1 Lifecycle} *)
+
+and accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error _ -> ()  (* listener closed: stopping *)
+    | fd, _ ->
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.write_timeout_s;
+      let c =
+        with_lock t @@ fun () ->
+        let c =
+          { cid = t.next_cid; fd; out_mu = Mutex.create ();
+            out_cond = Condition.create (); out = Queue.create ();
+            out_closed = false }
+        in
+        t.next_cid <- t.next_cid + 1;
+        t.conn_total <- t.conn_total + 1;
+        t.clients <- c :: t.clients;
+        Telemetry.set_gauge gauge_connections (List.length t.clients);
+        c
+      in
+      ignore (Thread.create (guarded t (reader_loop t c)) ());
+      ignore (Thread.create (guarded t (writer_loop t c)) ());
+      loop ()
+  in
+  loop ()
+
+and stop t =
+  let threads =
+    with_lock t @@ fun () ->
+    if t.stopping then []
+    else begin
+      t.stopping <- true;
+      [ t.acceptor; t.evaluator ]
+    end
+  in
+  if threads <> [] then begin
+    (* shutdown wakes the acceptor blocked in [Unix.accept]; closing the
+       descriptor alone does not *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with
+    | Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Ingress.close t.ingress;
+    let self = Thread.id (Thread.self ()) in
+    List.iter
+      (function
+        | Some th when Thread.id th <> self -> Thread.join th
+        | _ -> ())
+      threads;
+    let clients = with_lock t (fun () -> t.clients) in
+    List.iter (close_client t) clients;
+    (try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+    with_lock t @@ fun () ->
+    t.stopped <- true;
+    Condition.broadcast t.finished
+  end
+
+let start config =
+  (* a dead client mid-write must be an EPIPE error, not a fatal signal *)
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink config.socket_path with
+  | Unix.Unix_error _ | Sys_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    { config; brk = Broker.create ~config:config.broker ();
+      ingress =
+        Ingress.create ~low:config.low_watermark ~high:config.high_watermark
+          ();
+      listen_fd; mu = Mutex.create (); finished = Condition.create ();
+      clients = []; owners = Hashtbl.create 64; next_cid = 0;
+      stopping = false; stopped = false; acceptor = None; evaluator = None;
+      crashes = 0; dropped = 0; conn_total = 0 }
+  in
+  t.acceptor <- Some (Thread.create (guarded t (accept_loop t)) ());
+  t.evaluator <- Some (Thread.create (guarded t (evaluator_loop t)) ());
+  t
+
+let broker t = t.brk
+
+let wait t =
+  with_lock t @@ fun () ->
+  while not t.stopped do
+    Condition.wait t.finished t.mu
+  done
+
+let crash_count t = with_lock t @@ fun () -> t.crashes
+
+let connections t = with_lock t @@ fun () -> List.length t.clients

@@ -1,0 +1,76 @@
+(** The chaos soak: one shared harness for the robustness acceptance
+    test, the CI smoke job and the [xaos soak] subcommand.
+
+    It starts a real {!Server} on a Unix-domain socket {e in-process},
+    connects subscriber and publisher clients over the socket, and
+    drives thousands of documents through it with {!Xaos_xml.Chaos}
+    faults enabled. Every chaos kind maps to a wire-level behaviour:
+
+    - byte-level faults (truncation, tag corruption, text/depth bursts)
+      are applied to the published bytes with {!Xaos_xml.Chaos.corrupt};
+    - [Split_refill] publishes the request line in tiny write chunks
+      (the server must reassemble frames across reads);
+    - [Inject_exn] opens a throwaway connection, sends {e half} a
+      publish line and slams it shut — a client dying mid-request.
+
+    One {e poison} subscription ([//*[*]//*[*]//*]) is registered whose
+    live-structure count exceeds the configured budget on every
+    document, so it aborts, quarantines, backs off, is re-admitted and
+    fails again — exercising the whole quarantine lifecycle. The healthy
+    subscriptions are differentially checked: for every document whose
+    bytes reached the server unfaulted, the per-subscription match
+    counts in the [processed] event must equal a clean
+    {!Xaos_core.Query_set} oracle run computed before the server
+    started. An overload phase (bursts of low-priority documents past
+    the high watermark, then high-priority displacers) asserts explicit
+    shed and displacement responses.
+
+    The harness never asserts itself — it reports; callers gate. *)
+
+type config = {
+  docs : int;  (** main-stream documents *)
+  subs : int;  (** live subscriptions, including the poison one *)
+  fault_rate : float;
+  seed : int;
+  socket_path : string;
+  report_path : string option;  (** write the final run report here *)
+}
+
+val default_config : config
+(** 2000 docs, 100 subs, fault rate 0.15, seed 42, socket in the temp
+    directory, no report file. *)
+
+type summary = {
+  published : int;  (** main-stream documents offered *)
+  completed : int;  (** processed + shed + displaced *)
+  processed : int;
+  shed : int;  (** overload: refused at the door *)
+  displaced : int;  (** overload: evicted from the queue *)
+  client_aborts : int;  (** connections killed mid-publish *)
+  match_events : int;
+  quarantine_events : int;  (** quarantine notifications delivered *)
+  readmit_events : int;
+  sax_faults : int;
+  limit_ends : int;
+  deadline_ends : int;
+  quarantined_total : int;  (** broker-side quarantine transitions *)
+  readmitted_total : int;
+  checked : int;  (** differential comparisons performed *)
+  mismatches : int;
+  mismatch_examples : string list;  (** first few, for diagnostics *)
+  overload_seen : bool;
+  crashes : int;  (** server thread crashes — must be 0 *)
+  report_valid : bool;  (** final report passed {!Xaos_obs.Report.validate} *)
+  report : Xaos_obs.Report.t;
+}
+
+val run : ?progress:(string -> unit) -> config -> summary
+(** Runs the whole scenario and stops the server before returning.
+    [progress] receives coarse phase messages (the CLI prints them, the
+    test suite passes [ignore]). *)
+
+val healthy : summary -> (unit, string) result
+(** The acceptance gate in one place: [Ok] when no crashes, no
+    differential mismatches, every published document accounted for,
+    quarantine + re-admission + overload all observed, and the report
+    schema-valid; [Error reason] otherwise. *)

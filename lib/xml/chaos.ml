@@ -1,0 +1,188 @@
+(* Deterministic fault injection. Everything is derived from a splitmix64
+   stream keyed by (seed, doc index): draw k means "the k-th value of that
+   document's stream", so adding a new parameter never shifts the ones
+   before it and old seeds keep reproducing old faults. The PRNG is ~10
+   lines and lives here rather than in lib/workloads because the
+   dependency points the other way (workloads emit through this layer). *)
+
+type kind =
+  | Truncate
+  | Corrupt_tag
+  | Text_burst
+  | Depth_burst
+  | Split_refill
+  | Inject_exn
+
+let kind_name = function
+  | Truncate -> "truncate"
+  | Corrupt_tag -> "corrupt-tag"
+  | Text_burst -> "text-burst"
+  | Depth_burst -> "depth-burst"
+  | Split_refill -> "split-refill"
+  | Inject_exn -> "inject-exn"
+
+let all_kinds =
+  [ Truncate; Corrupt_tag; Text_burst; Depth_burst; Split_refill; Inject_exn ]
+
+exception Injected of { doc : int; event_index : int }
+
+(* splitmix64 over a fixed key: stateless draws by index *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+type plan = {
+  doc : int;
+  key : int64;
+  fault : kind option;
+}
+
+let draw plan k =
+  mix64 (Int64.add plan.key (Int64.mul (Int64.of_int (k + 1)) 0x9e3779b97f4a7c15L))
+
+let draw_int plan k bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.logand (draw plan k) Int64.max_int)
+                       (Int64.of_int bound))
+
+let draw_float plan k =
+  (* 53 uniform bits into [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (draw plan k) 11) *. 0x1p-53
+
+let clean doc = { doc; key = 0L; fault = None }
+
+let plan ?(kinds = all_kinds) ~seed ~rate doc =
+  if kinds = [] then invalid_arg "Chaos.plan: empty kind list";
+  let key =
+    mix64 (Int64.add (Int64.of_int seed)
+             (Int64.mul (Int64.of_int doc) 0x9e3779b97f4a7c15L))
+  in
+  let p = { doc; key; fault = None } in
+  if draw_float p 0 >= rate then p
+  else { p with fault = Some (List.nth kinds (draw_int p 1 (List.length kinds))) }
+
+let kind p = p.fault
+
+let doc_index p = p.doc
+
+(* Fault parameters, each on its own draw index so they never shift. *)
+let truncate_at p len = 1 + draw_int p 2 (max 1 (len - 1))
+
+let corrupt_len p = 1 + draw_int p 3 4
+
+let burst_text_bytes p = 4096 lsl draw_int p 4 6 (* 4 KiB .. 128 KiB *)
+
+let burst_depth p = 96 + draw_int p 5 416 (* 96 .. 511 *)
+
+let refill_chunk p = 1 + draw_int p 6 7 (* 1 .. 8 byte refills *)
+
+let inject_at p = 1 + draw_int p 7 64
+
+(* a random insertion point just after some '>' so well-formed faults
+   stay well-formed; falls back to the end of the document *)
+let after_tag p k doc =
+  let len = String.length doc in
+  let start = draw_int p k (max 1 len) in
+  let rec scan i steps =
+    if steps = 0 then len
+    else if doc.[i] = '>' then i + 1
+    else scan ((i + 1) mod len) (steps - 1)
+  in
+  if len = 0 then 0 else scan (start mod len) len
+
+let describe p =
+  match p.fault with
+  | None -> "clean"
+  | Some Truncate -> Printf.sprintf "truncate(doc %d)" p.doc
+  | Some Corrupt_tag ->
+    Printf.sprintf "corrupt-tag(%d bytes)" (corrupt_len p)
+  | Some Text_burst ->
+    Printf.sprintf "text-burst(%d bytes)" (burst_text_bytes p)
+  | Some Depth_burst -> Printf.sprintf "depth-burst(%d)" (burst_depth p)
+  | Some Split_refill ->
+    Printf.sprintf "split-refill(%d-byte chunks)" (refill_chunk p)
+  | Some Inject_exn -> Printf.sprintf "inject-exn(event %d)" (inject_at p)
+
+let corrupt p doc =
+  match p.fault with
+  | None | Some Split_refill | Some Inject_exn -> doc
+  | Some Truncate ->
+    let len = String.length doc in
+    if len <= 1 then doc else String.sub doc 0 (truncate_at p len)
+  | Some Corrupt_tag ->
+    let len = String.length doc in
+    if len = 0 then doc
+    else begin
+      (* overwrite a few bytes starting inside some tag: find a '<' and
+         stomp on what follows with markup-hostile junk *)
+      let b = Bytes.of_string doc in
+      let start = draw_int p 8 len in
+      let lt =
+        let rec scan i steps =
+          if steps = 0 then start
+          else if Bytes.get b i = '<' then i
+          else scan ((i + 1) mod len) (steps - 1)
+        in
+        scan start len
+      in
+      let junk = [| '<'; '>'; '&'; '='; '\x00'; '"'; ' '; '/' |] in
+      for j = 0 to corrupt_len p - 1 do
+        let pos = lt + 1 + j in
+        if pos < len then
+          Bytes.set b pos junk.(draw_int p (16 + j) (Array.length junk))
+      done;
+      Bytes.to_string b
+    end
+  | Some Text_burst ->
+    let at = after_tag p 9 doc in
+    let n = burst_text_bytes p in
+    String.concat ""
+      [ String.sub doc 0 at; String.make n 'A';
+        String.sub doc at (String.length doc - at) ]
+  | Some Depth_burst ->
+    let at = after_tag p 10 doc in
+    let d = burst_depth p in
+    let buf = Buffer.create ((d * 7) + String.length doc) in
+    Buffer.add_string buf (String.sub doc 0 at);
+    for _ = 1 to d do Buffer.add_string buf "<z>" done;
+    for _ = 1 to d do Buffer.add_string buf "</z>" done;
+    Buffer.add_string buf (String.sub doc at (String.length doc - at));
+    Buffer.contents buf
+
+let iter_events ?limits ?on_fault p doc push =
+  let payload = corrupt p doc in
+  let parser =
+    match p.fault with
+    | Some Split_refill ->
+      (* deliver the bytes [chunk] at a time so every token type crosses
+         refill boundaries *)
+      let chunk = refill_chunk p in
+      let pos = ref 0 in
+      Sax.of_function ?limits ~mode:Sax.Lenient ?on_fault (fun buf n ->
+          let k = min (min chunk n) (String.length payload - !pos) in
+          if k <= 0 then 0
+          else begin
+            Bytes.blit_string payload !pos buf 0 k;
+            pos := !pos + k;
+            k
+          end)
+    | _ -> Sax.of_string ?limits ~mode:Sax.Lenient ?on_fault payload
+  in
+  let boom =
+    match p.fault with Some Inject_exn -> inject_at p | _ -> max_int
+  in
+  let count = ref 0 in
+  let rec loop () =
+    match Sax.next parser with
+    | None -> ()
+    | Some ev ->
+      incr count;
+      if !count = boom then
+        raise (Injected { doc = p.doc; event_index = !count });
+      push ev;
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,68 @@
+(** Deterministic fault injection for event streams — the enabling
+    counterpart of the resilient service layer's soak testing.
+
+    A {!plan} is derived purely from [(seed, doc index)]: the same seed
+    replays the same faults on the same documents, so a soak failure is
+    reproducible from its seed alone. Faults model what a long-lived
+    subscription service actually meets:
+
+    - {b Truncate}: the document is cut mid-byte (a dropped connection);
+    - {b Corrupt_tag}: bytes inside a tag are overwritten with junk
+      (bit rot, framing bugs) — exercises lenient recovery;
+    - {b Text_burst}: an oversized character-data run is spliced in at a
+      tag boundary (well-formed, but trips text-token limits);
+    - {b Depth_burst}: a deep balanced nest is spliced in (well-formed,
+      but trips depth limits);
+    - {b Split_refill}: the bytes arrive in tiny refill chunks, stressing
+      every token-across-buffer-boundary path in the parser;
+    - {b Inject_exn}: {!Injected} is raised from inside the event loop at
+      a planned event index (a crashing downstream consumer). *)
+
+type kind =
+  | Truncate
+  | Corrupt_tag
+  | Text_burst
+  | Depth_burst
+  | Split_refill
+  | Inject_exn
+
+val kind_name : kind -> string
+(** Stable kebab-case reason code, e.g. ["corrupt-tag"]. *)
+
+val all_kinds : kind list
+
+exception Injected of { doc : int; event_index : int }
+(** The planned consumer crash of an [Inject_exn] fault. *)
+
+type plan
+(** The (possibly absent) fault assigned to one document. *)
+
+val plan : ?kinds:kind list -> seed:int -> rate:float -> int -> plan
+(** [plan ~seed ~rate doc] decides deterministically whether document
+    number [doc] is faulted (probability [rate]) and how. [kinds]
+    restricts the fault classes drawn from (default {!all_kinds}). *)
+
+val clean : int -> plan
+(** A plan with no fault (the oracle side of a differential run). *)
+
+val kind : plan -> kind option
+
+val doc_index : plan -> int
+
+val describe : plan -> string
+(** ["clean"] or the fault's reason code with its parameters. *)
+
+val corrupt : plan -> string -> string
+(** Apply the plan's byte-level fault to a serialized document —
+    identity for [None], [Split_refill] and [Inject_exn] (those act at
+    parse/consume time, not on the wire). This is what a chaos publisher
+    sends over the socket. *)
+
+val iter_events :
+  ?limits:Sax.limits ->
+  ?on_fault:(Sax.fault -> unit) ->
+  plan -> string -> (Event.t -> unit) -> unit
+(** Parse [corrupt plan doc] leniently — through a split refill under
+    [Split_refill] — pushing each event to the callback; raises
+    {!Injected} at the planned event index under [Inject_exn]. May also
+    raise {!Sax.Limit_exceeded} (burst faults exist to trip limits). *)

@@ -171,6 +171,43 @@ expect "trace truncation states current limit and default" "1" "$OUT"
 OUT=$("$XAOS" trace --help=plain 2>/dev/null | grep -c 'default 200')
 expect "trace --help documents the default limit" "1" "$OUT"
 
+# --- subscription service: serve / subscribe / publish / stats --------------
+SOCK="$WORK/service.sock"
+printf '//b\n# comment\n//c\n' > "$WORK/service_subs.txt"
+"$XAOS" serve --socket "$SOCK" --subscriptions "$WORK/service_subs.txt" \
+  2> "$WORK/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || fail "service socket never appeared"
+
+"$XAOS" subscribe --socket "$SOCK" mine '//b' > "$WORK/sub.log" 2>&1 &
+SUB_PID=$!
+sleep 0.3
+OUT=$("$XAOS" publish --socket "$SOCK" "$WORK/small.xml")
+echo "$OUT" | grep -q '"event":"processed"' || fail "publish saw no processed event"
+echo "$OUT" | grep -q '"mine":1' || fail "publish outcome misses the live subscription"
+OUT=$("$XAOS" service-stats --socket "$SOCK")
+echo "$OUT" | grep -q '"service/docs":1' || fail "service stats missed the document"
+echo "$OUT" | grep -q '"service/live_subscriptions":3' \
+  || fail "service stats misses the subscriptions"
+code 2 "$XAOS" publish --socket "$WORK/no_such.sock" "$WORK/small.xml"
+sleep 0.2
+grep -q '"event":"match"' "$WORK/sub.log" || fail "subscriber saw no match event"
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+wait "$SUB_PID" 2>/dev/null || true
+[ -S "$SOCK" ] && fail "socket file not removed on shutdown"
+grep -q 'service stopped' "$WORK/serve.log" || fail "serve did not stop cleanly"
+
+# --- chaos soak smoke: healthy run, valid report -----------------------------
+"$XAOS" soak --docs 120 --subs 25 --socket "$WORK/soak.sock" \
+  --report "$WORK/soak.json" --quiet > "$WORK/soak.out" \
+  || fail "soak smoke unhealthy"
+grep -q 'HEALTHY' "$WORK/soak.out" || fail "soak did not report HEALTHY"
+grep -q 'crashes 0' "$WORK/soak.out" || fail "soak reported crashes"
+"$XAOS" report validate "$WORK/soak.json" > /dev/null \
+  || fail "soak report failed validation"
+
 # --- generate random is deterministic ---------------------------------------
 "$XAOS" generate random --seed 5 --elements 500 -o "$WORK/r1.xml" --query-out "$WORK/q1" 2>/dev/null
 "$XAOS" generate random --seed 5 --elements 500 -o "$WORK/r2.xml" --query-out "$WORK/q2" 2>/dev/null

@@ -27,4 +27,6 @@ let () =
       ("properties", Test_properties.suite);
       ("hardening", Test_hardening.suite);
       ("fuzz", Test_fuzz.suite);
+      ("chaos", Test_chaos.suite);
+      ("service", Test_service.suite);
     ]

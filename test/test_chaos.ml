@@ -1,0 +1,171 @@
+(* The deterministic fault injector (PR 6).
+
+   The properties the soak relies on: plans are pure functions of
+   (seed, doc index) — a failure replays from its seed alone; byte-level
+   faults never make [iter_events] raise anything but the documented
+   exceptions (lenient recovery absorbs the rest); a refill-boundary
+   split never changes the event stream. *)
+
+module Sax = Xaos_xml.Sax
+module Event = Xaos_xml.Event
+module Chaos = Xaos_xml.Chaos
+
+let doc =
+  "<feed><channel><t00><item><name>alpha</name></item>\
+   <item><name>beta</name></item></t00></channel></feed>"
+
+let events_of_plan ?limits p d =
+  let out = ref [] in
+  Chaos.iter_events ?limits p d (fun ev -> out := ev :: !out);
+  List.rev !out
+
+let test_determinism () =
+  for i = 0 to 199 do
+    let p1 = Chaos.plan ~seed:7 ~rate:0.5 i in
+    let p2 = Chaos.plan ~seed:7 ~rate:0.5 i in
+    Alcotest.(check (option string))
+      (Printf.sprintf "kind of doc %d" i)
+      (Option.map Chaos.kind_name (Chaos.kind p1))
+      (Option.map Chaos.kind_name (Chaos.kind p2));
+    Alcotest.(check string)
+      (Printf.sprintf "bytes of doc %d" i)
+      (Chaos.corrupt p1 doc) (Chaos.corrupt p2 doc);
+    Alcotest.(check string)
+      (Printf.sprintf "describe of doc %d" i)
+      (Chaos.describe p1) (Chaos.describe p2)
+  done;
+  (* a different seed must produce a different fault pattern *)
+  let pattern seed =
+    List.init 200 (fun i ->
+        Option.map Chaos.kind_name (Chaos.kind (Chaos.plan ~seed ~rate:0.5 i)))
+  in
+  Alcotest.(check bool) "seeds differ" true (pattern 7 <> pattern 8)
+
+let test_rate_boundaries () =
+  for i = 0 to 99 do
+    Alcotest.(check bool)
+      "rate 0 is clean" true
+      (Chaos.kind (Chaos.plan ~seed:3 ~rate:0.0 i) = None);
+    Alcotest.(check bool)
+      "rate 1 always faults" true
+      (Chaos.kind (Chaos.plan ~seed:3 ~rate:1.0 i) <> None);
+    Alcotest.(check bool)
+      "clean is clean" true
+      (Chaos.kind (Chaos.clean i) = None)
+  done
+
+let test_all_kinds_drawn () =
+  let seen = Hashtbl.create 8 in
+  for i = 0 to 499 do
+    match Chaos.kind (Chaos.plan ~seed:11 ~rate:1.0 i) with
+    | Some k -> Hashtbl.replace seen (Chaos.kind_name k) ()
+    | None -> ()
+  done;
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Chaos.kind_name k ^ " drawn")
+        true
+        (Hashtbl.mem seen (Chaos.kind_name k)))
+    Chaos.all_kinds
+
+let plan_of_kind kind seed =
+  (* rate 1 with a single-kind pool pins the fault class *)
+  Chaos.plan ~kinds:[ kind ] ~seed ~rate:1.0 0
+
+let test_corrupt_shapes () =
+  for seed = 0 to 49 do
+    let truncated = Chaos.corrupt (plan_of_kind Chaos.Truncate seed) doc in
+    Alcotest.(check bool)
+      "truncate shortens" true
+      (String.length truncated < String.length doc
+      && truncated = String.sub doc 0 (String.length truncated));
+    let corrupted = Chaos.corrupt (plan_of_kind Chaos.Corrupt_tag seed) doc in
+    Alcotest.(check int)
+      "corrupt-tag preserves length" (String.length doc)
+      (String.length corrupted);
+    let burst = Chaos.corrupt (plan_of_kind Chaos.Text_burst seed) doc in
+    Alcotest.(check bool)
+      "text burst adds >= 4096 bytes" true
+      (String.length burst >= String.length doc + 4096);
+    let deep = Chaos.corrupt (plan_of_kind Chaos.Depth_burst seed) doc in
+    (* balanced splice (possibly after the root — lenient absorbs that):
+       depth grew past 96 *)
+    let depth = ref 0 and peak = ref 0 in
+    List.iter
+      (function
+        | Event.Start_element _ ->
+          incr depth;
+          if !depth > !peak then peak := !depth
+        | Event.End_element _ -> decr depth
+        | _ -> ())
+      (Sax.events_of_string ~mode:Sax.Lenient deep);
+    Alcotest.(check bool) "depth burst nests >= 96" true (!peak >= 96);
+    (* parse/consume-time kinds leave the bytes alone *)
+    Alcotest.(check string) "split-refill is identity" doc
+      (Chaos.corrupt (plan_of_kind Chaos.Split_refill seed) doc);
+    Alcotest.(check string) "inject-exn is identity" doc
+      (Chaos.corrupt (plan_of_kind Chaos.Inject_exn seed) doc)
+  done
+
+let test_split_refill_invariance () =
+  (* refill-boundary splits must not change the event stream *)
+  let baseline = Sax.events_of_string ~mode:Sax.Lenient doc in
+  for seed = 0 to 19 do
+    Alcotest.(check int)
+      "same event count" (List.length baseline)
+      (List.length (events_of_plan (plan_of_kind Chaos.Split_refill seed) doc));
+    Alcotest.(check bool)
+      "same events" true
+      (baseline = events_of_plan (plan_of_kind Chaos.Split_refill seed) doc)
+  done
+
+let test_inject_exn () =
+  (* the planned crash index can be up to 65: use a document with more
+     events than that so the injection always lands *)
+  let big =
+    "<r>" ^ String.concat "" (List.init 40 (fun i ->
+        Printf.sprintf "<a>t%d</a>" i)) ^ "</r>"
+  in
+  for seed = 0 to 19 do
+    let p = plan_of_kind Chaos.Inject_exn seed in
+    let pushed = ref 0 in
+    match Chaos.iter_events p big (fun _ -> incr pushed) with
+    | () -> Alcotest.fail "Injected expected"
+    | exception Chaos.Injected { doc = d; event_index } ->
+      Alcotest.(check int) "doc index" 0 d;
+      Alcotest.(check bool) "index positive" true (event_index >= 1);
+      Alcotest.(check int) "events before the crash" (event_index - 1) !pushed
+  done
+
+let test_byte_faults_never_escape_lenient_recovery () =
+  (* the soak's core premise: whatever the byte-level faults produce,
+     lenient parsing under limits either finishes or trips a limit —
+     nothing else escapes *)
+  let limits = { Sax.default_limits with max_text_bytes = 8192 } in
+  let faults = ref 0 in
+  let limit_ends = ref 0 in
+  for i = 0 to 299 do
+    let p = Chaos.plan ~seed:23 ~rate:1.0 i in
+    match
+      Chaos.iter_events ~limits ~on_fault:(fun _ -> incr faults) p doc ignore
+    with
+    | () -> ()
+    | exception Sax.Limit_exceeded _ -> incr limit_ends
+    | exception Chaos.Injected _ -> ()
+  done;
+  Alcotest.(check bool) "some recoveries happened" true (!faults > 0);
+  Alcotest.(check bool) "some limit trips happened" true (!limit_ends > 0)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "rate boundaries" `Quick test_rate_boundaries;
+    Alcotest.test_case "all kinds drawn" `Quick test_all_kinds_drawn;
+    Alcotest.test_case "corrupt shapes" `Quick test_corrupt_shapes;
+    Alcotest.test_case "split-refill invariance" `Quick
+      test_split_refill_invariance;
+    Alcotest.test_case "inject-exn" `Quick test_inject_exn;
+    Alcotest.test_case "byte faults never escape lenient recovery" `Quick
+      test_byte_faults_never_escape_lenient_recovery;
+  ]

@@ -226,6 +226,214 @@ let test_budget_abort_isolation () =
   check_mode Query_set.Naive;
   ignore (run_both ~budget:50 t events)
 
+(* ------------------------------------------------------------------ *)
+(* Runtime registration (PR 6)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_register_between_documents () =
+  (* the registry mutates at runtime; live sessions keep their snapshot *)
+  let t = compile_exn [ ("a", "//a") ] in
+  let doc = "<r><a/><b/></r>" in
+  let events = events_of doc in
+  let s1 = Query_set.start t in
+  Query_set.register t "b" (Query.compile_exn "//b");
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (Query_set.names t);
+  List.iter (Query_set.feed s1) events;
+  Alcotest.(check int)
+    "s1 snapshot predates register" 1
+    (List.length (Query_set.finish s1));
+  let s2 = Query_set.start t in
+  Alcotest.(check bool) "unregister known" true (Query_set.unregister t "a");
+  Alcotest.(check bool) "unregister unknown" false (Query_set.unregister t "a");
+  List.iter (Query_set.feed s2) events;
+  (match Query_set.finish s2 with
+  | [ a; b ] ->
+    Alcotest.(check (list item)) "a" [ it 2 "a" 2 ] a.items;
+    Alcotest.(check (list item)) "b" [ it 3 "b" 2 ] b.items
+  | _ -> Alcotest.fail "s2 keeps its two-query snapshot");
+  let s3 = Query_set.start t in
+  List.iter (Query_set.feed s3) events;
+  match Query_set.finish s3 with
+  | [ b ] -> Alcotest.(check string) "only b left" "b" b.query_name
+  | _ -> Alcotest.fail "s3 sees the shrunk registry"
+
+let test_add_run_mid_document () =
+  (* ids: r=1 x=2 b=3 y=4 b=5 b=6 *)
+  let doc = "<r><x><b/></x><y><b/><b/></y></r>" in
+  let events = events_of doc in
+  let check_mode dispatch =
+    let t = compile_exn [ ("x", "//x") ] in
+    let s = Query_set.start ~dispatch t in
+    (* feed through </x> (events: start r, start x, start b, end b, end x) *)
+    let prefix, rest =
+      (List.filteri (fun i _ -> i < 5) events,
+       List.filteri (fun i _ -> i >= 5) events)
+    in
+    List.iter (Query_set.feed s) prefix;
+    (* a late subscription: sees elements from here on, with original ids *)
+    Query_set.add_run s "late-b" (Query.compile_exn "//b");
+    (* and one matching an open ancestor: the replayed chain must emit r *)
+    Query_set.add_run s "late-r" (Query.compile_exn "//r");
+    List.iter (Query_set.feed s) rest;
+    (match Query_set.finish s with
+    | [ x; late_b; late_r ] ->
+      Alcotest.(check (list item)) "x" [ it 2 "x" 2 ] x.items;
+      Alcotest.(check (list item))
+        "late-b: only starts not yet seen"
+        [ it 5 "b" 3; it 6 "b" 3 ]
+        late_b.items;
+      Alcotest.(check (list item))
+        "late-r: open ancestor replayed"
+        [ it 1 "r" 1 ]
+        late_r.items
+    | _ -> Alcotest.fail "three outcomes expected");
+    (* duplicate live names are refused *)
+    let s2 = Query_set.start ~dispatch t in
+    Alcotest.check_raises "duplicate name"
+      (Invalid_argument "Query_set.add_run: duplicate name x") (fun () ->
+        Query_set.add_run s2 "x" (Query.compile_exn "//b"))
+  in
+  check_mode Query_set.Shared;
+  check_mode Query_set.Naive
+
+let test_remove_run_mid_document () =
+  let doc = "<r><a/><a/><a/></r>" in
+  let events = events_of doc in
+  let check_mode dispatch =
+    let t = compile_exn [ ("keep", "//r"); ("gone", "//a") ] in
+    let s = Query_set.start ~dispatch t in
+    let prefix, rest =
+      (List.filteri (fun i _ -> i < 3) events,
+       List.filteri (fun i _ -> i >= 3) events)
+    in
+    List.iter (Query_set.feed s) prefix;
+    Alcotest.(check bool) "removed" true (Query_set.remove_run s "gone");
+    Alcotest.(check bool) "already gone" false (Query_set.remove_run s "gone");
+    List.iter (Query_set.feed s) rest;
+    match Query_set.finish s with
+    | [ keep ] ->
+      Alcotest.(check string) "survivor" "keep" keep.query_name;
+      Alcotest.(check (list item)) "survivor items" [ it 1 "r" 1 ] keep.items
+    | _ -> Alcotest.fail "removed run must not appear in outcomes"
+  in
+  check_mode Query_set.Shared;
+  check_mode Query_set.Naive
+
+let test_registration_interleaved_with_streaming () =
+  (* the satellite scenario: registration churn while documents stream,
+     differential between dispatch modes at every step *)
+  let rng = Prng.create 0xadd in
+  let queries =
+    [| "//a"; "//b"; "//a/b"; "//b/ancestor::a"; "//*"; "//a[b]" |]
+  in
+  let docs =
+    [| "<r><a><b/></a><b/></r>"; "<r><b><a/></b><a><b/><b/></a></r>";
+       "<a><b/><a><b/></a></a>" |]
+  in
+  let t = compile_exn [ ("q0", "//a") ] in
+  let next = ref 1 in
+  for step = 1 to 20 do
+    (if Prng.bool rng then begin
+       let name = Printf.sprintf "q%d" !next in
+       incr next;
+       Query_set.register t name (Query.compile_exn (Prng.pick rng queries))
+     end
+     else
+       match Query_set.names t with
+       | name :: _ when Query_set.size t > 1 ->
+         ignore (Query_set.unregister t name)
+       | _ -> ());
+    let doc = docs.(step mod Array.length docs) in
+    ignore (run_both t (events_of doc))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Symbol.reset lifecycle (PR 6): long-lived registries must survive   *)
+(* interning resets between documents                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_symbol_reset_between_documents () =
+  let t =
+    compile_exn
+      [ ("q", "//person/name"); ("anc", "//name/ancestor::person");
+        ("wild", "//*") ]
+  in
+  let doc =
+    "<people><person><name>a</name></person><person><name>b</name>\
+     </person></people>"
+  in
+  let expected =
+    List.map outcome_str (Query_set.run_string ~dispatch:Shared t doc)
+  in
+  for round = 1 to 6 do
+    Xaos_xml.Symbol.reset ();
+    (* shift the fresh generation's symbol ids so a stale compiled-in id
+       would resolve to the wrong tag, not just a missing one *)
+    for i = 1 to round * 3 do
+      ignore (Xaos_xml.Symbol.intern (Printf.sprintf "noise%d" i))
+    done;
+    List.iter
+      (fun dispatch ->
+        Alcotest.(check (list string))
+          (Printf.sprintf "round %d" round)
+          expected
+          (List.map outcome_str (Query_set.run_string ~dispatch t doc)))
+      [ Query_set.Shared; Query_set.Naive ]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Budget_exceeded partial results (PR 6)                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_partial_results_reported () =
+  (* the aborted run's items must be exactly what a lone Query.run with
+     the same budget reports via finish_partial; the other run must be
+     byte-identical to its unbudgeted result *)
+  (* the budget caps retained (non-refuted) structures, so the light
+     query must match few elements to stay under it while the heavy one
+     blows past: 80 a's against 3 c's *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<r>";
+  for _ = 1 to 80 do
+    Buffer.add_string buf "<a/>"
+  done;
+  for _ = 1 to 3 do
+    Buffer.add_string buf "<c/>"
+  done;
+  Buffer.add_string buf "</r>";
+  let doc = Buffer.contents buf in
+  let events = events_of doc in
+  let budget = 30 in
+  (* oracle: the heavy query alone, same budget *)
+  let heavy_q = Query.compile_exn "//a" in
+  let oracle =
+    let run = Query.start ~budget heavy_q in
+    try
+      List.iter (Query.feed run) events;
+      Alcotest.fail "oracle run should trip its budget"
+    with Engine.Budget_exceeded _ -> (Query.finish_partial run).items
+  in
+  Alcotest.(check bool) "oracle nonempty" true (oracle <> []);
+  let light_full =
+    match Query_set.run_events (compile_exn [ ("light", "//c") ]) events with
+    | [ o ] -> o.items
+    | _ -> assert false
+  in
+  let t = compile_exn [ ("heavy", "//a"); ("light", "//c") ] in
+  List.iter
+    (fun dispatch ->
+      match Query_set.run_events ~budget ~dispatch t events with
+      | [ heavy; light ] ->
+        Alcotest.(check bool) "heavy aborted" true heavy.aborted;
+        Alcotest.(check bool) "heavy not failed" true (heavy.failed = None);
+        Alcotest.(check (list item))
+          "heavy partial = lone-run oracle" oracle heavy.items;
+        Alcotest.(check bool) "light untouched flag" false light.aborted;
+        Alcotest.(check (list item))
+          "light untouched items" light_full light.items
+      | _ -> Alcotest.fail "two outcomes expected")
+    [ Query_set.Shared; Query_set.Naive ]
+
 let test_fixed_differential_cases () =
   let doc =
     "<site><people><person><name>alice</name><age>30</age></person>\
@@ -321,6 +529,17 @@ let suite =
       test_engine_interest_transitions;
     Alcotest.test_case "budget abort isolation" `Quick
       test_budget_abort_isolation;
+    Alcotest.test_case "register between documents" `Quick
+      test_register_between_documents;
+    Alcotest.test_case "add_run mid-document" `Quick test_add_run_mid_document;
+    Alcotest.test_case "remove_run mid-document" `Quick
+      test_remove_run_mid_document;
+    Alcotest.test_case "registration interleaved with streaming" `Quick
+      test_registration_interleaved_with_streaming;
+    Alcotest.test_case "symbol reset between documents" `Quick
+      test_symbol_reset_between_documents;
+    Alcotest.test_case "budget partial results reported" `Quick
+      test_budget_partial_results_reported;
     Alcotest.test_case "fixed differential cases" `Quick
       test_fixed_differential_cases;
     Alcotest.test_case "partial differential" `Quick test_partial_differential;

@@ -1,0 +1,302 @@
+(* The resilient pub/sub service (PR 6): quarantine policy, admission
+   control, broker supervision, wire protocol, and the chaos soak.
+
+   The soak is the acceptance test of the whole subsystem: a real server
+   on a real Unix-domain socket, thousands of documents with chaos
+   faults against a hundred live subscriptions, differential checks
+   against a clean oracle, and a gate on zero crashes. *)
+
+module Json = Xaos_obs.Json
+module Sax = Xaos_xml.Sax
+open Xaos_service
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_quarantine_threshold_and_backoff () =
+  let q =
+    Quarantine.create
+      ~config:{ Quarantine.threshold = 2; base_penalty = 4; max_penalty = 16 }
+      ()
+  in
+  let fail now =
+    Quarantine.record_failure q ~now ~name:"s" ~reason:"budget-exceeded"
+  in
+  Alcotest.(check bool) "below threshold" true (fail 1 = `Counted);
+  Alcotest.(check bool) "not yet quarantined" false (Quarantine.is_quarantined q "s");
+  Alcotest.(check bool) "threshold crossed" true (fail 2 = `Quarantined);
+  Alcotest.(check bool) "now quarantined" true (Quarantine.is_quarantined q "s");
+  Alcotest.(check (option string))
+    "reason kept" (Some "budget-exceeded") (Quarantine.reason q "s");
+  (* release at tick 2 + 4 = 6 *)
+  Alcotest.(check (list string)) "not due early" [] (Quarantine.due q ~now:5);
+  Alcotest.(check (list string)) "due at release" [ "s" ] (Quarantine.due q ~now:6);
+  Quarantine.readmit q "s";
+  Alcotest.(check bool) "readmitted" false (Quarantine.is_quarantined q "s");
+  Alcotest.(check int) "transitions" 1 (Quarantine.times_quarantined q);
+  Alcotest.(check int) "readmissions" 1 (Quarantine.times_readmitted q);
+  (* probation: failing again re-quarantines with a doubled penalty *)
+  ignore (fail 10);
+  Alcotest.(check bool) "re-quarantined" true (fail 11 = `Quarantined);
+  Alcotest.(check (list string)) "doubled penalty" [] (Quarantine.due q ~now:18);
+  Alcotest.(check (list string))
+    "release at 11+8" [ "s" ] (Quarantine.due q ~now:19)
+
+let test_quarantine_success_resets_and_decays () =
+  let q =
+    Quarantine.create
+      ~config:{ Quarantine.threshold = 2; base_penalty = 4; max_penalty = 64 }
+      ()
+  in
+  let fail now =
+    Quarantine.record_failure q ~now ~name:"s" ~reason:"raised: x"
+  in
+  (* consecutive counting: a success between failures resets the count *)
+  ignore (fail 1);
+  Quarantine.record_success q ~name:"s";
+  Alcotest.(check bool) "count reset" true (fail 2 = `Counted);
+  Alcotest.(check bool) "then quarantined" true (fail 3 = `Quarantined);
+  Quarantine.readmit q "s";
+  (* penalty after one quarantine is 8; clean documents halve it back *)
+  Quarantine.record_success q ~name:"s";
+  ignore (fail 20);
+  Alcotest.(check bool) "quarantined again" true (fail 21 = `Quarantined);
+  (* decayed back to base 4: release at 21 + 4 *)
+  Alcotest.(check (list string)) "decayed penalty" [ "s" ] (Quarantine.due q ~now:25);
+  Quarantine.forget q "s";
+  Alcotest.(check (list (triple string string int)))
+    "forgotten" [] (Quarantine.quarantined q)
+
+(* ------------------------------------------------------------------ *)
+(* Ingress                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ingress_watermarks_and_shedding () =
+  let q = Ingress.create ~low:1 ~high:4 () in
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "accept %d" i)
+      true
+      (Ingress.offer q ~priority:0 i = Ingress.Accepted)
+  done;
+  Alcotest.(check bool) "overloaded at high" true (Ingress.overloaded q);
+  Alcotest.(check bool)
+    "equal priority shed" true
+    (Ingress.offer q ~priority:0 99 = Ingress.Shed_incoming);
+  (* higher priority displaces the youngest lowest-priority item (4) *)
+  (match Ingress.offer q ~priority:5 100 with
+  | Ingress.Displaced v -> Alcotest.(check int) "victim is youngest" 4 v
+  | _ -> Alcotest.fail "expected displacement");
+  Alcotest.(check int) "length unchanged" 4 (Ingress.length q);
+  (* take order: priority first, FIFO within priority *)
+  Alcotest.(check (option int)) "priority first" (Some 100) (Ingress.take q);
+  Alcotest.(check (option int)) "then FIFO" (Some 1) (Ingress.take q);
+  Alcotest.(check bool) "still overloaded above low" true (Ingress.overloaded q);
+  ignore (Ingress.take q);
+  (* hysteresis: len 1 = low clears the overload *)
+  Alcotest.(check bool) "cleared at low" false (Ingress.overloaded q);
+  Alcotest.(check bool)
+    "accepting again" true
+    (Ingress.offer q ~priority:0 7 = Ingress.Accepted);
+  Alcotest.(check int) "sheds counted" 1 (Ingress.shed_count q);
+  Alcotest.(check int) "displacements counted" 1 (Ingress.displaced_count q);
+  Alcotest.(check int) "one overload entry" 1 (Ingress.overload_entries q)
+
+let test_ingress_close_drains () =
+  let q = Ingress.create ~high:4 () in
+  ignore (Ingress.offer q ~priority:0 1);
+  ignore (Ingress.offer q ~priority:0 2);
+  Ingress.close q;
+  Alcotest.(check bool)
+    "closed sheds" true
+    (Ingress.offer q ~priority:9 3 = Ingress.Shed_incoming);
+  Alcotest.(check (option int)) "drains 1" (Some 1) (Ingress.take q);
+  Alcotest.(check (option int)) "drains 2" (Some 2) (Ingress.take q);
+  Alcotest.(check (option int)) "then None" None (Ingress.take q)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [ Protocol.Subscribe { name = "q1"; query = "//a//b" };
+      Protocol.Unsubscribe { name = "q1" };
+      Protocol.Publish { doc_id = "d-1"; priority = 3; doc = "<a>\"x\"</a>" };
+      Protocol.Stats; Protocol.Report; Protocol.Shutdown ]
+  in
+  List.iter
+    (fun r ->
+      let line = Protocol.to_line (Protocol.request_to_json r) in
+      Alcotest.(check bool)
+        ("single line: " ^ Protocol.op_name r)
+        true
+        (String.index line '\n' = String.length line - 1);
+      match Protocol.request_of_line (String.trim line) with
+      | Ok r' ->
+        Alcotest.(check bool) ("roundtrip " ^ Protocol.op_name r) true (r = r')
+      | Error e -> Alcotest.failf "roundtrip %s: %s" (Protocol.op_name r) e)
+    reqs;
+  (* defaulted priority *)
+  (match Protocol.request_of_line {|{"op":"publish","id":"d","doc":"<a/>"}|} with
+  | Ok (Protocol.Publish { priority = 0; _ }) -> ()
+  | _ -> Alcotest.fail "priority should default to 0");
+  List.iter
+    (fun bad ->
+      match Protocol.request_of_line bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should reject: %s" bad)
+    [ "nonsense"; "{}"; {|{"op":"launch"}|}; {|{"op":"subscribe","name":"x"}|} ]
+
+(* ------------------------------------------------------------------ *)
+(* Broker supervision (no socket)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let broker_config =
+  { Broker.budget = Some 40; deadline_s = None;
+    limits = { Sax.default_limits with max_text_bytes = 4096 };
+    quarantine = { Quarantine.threshold = 2; base_penalty = 3; max_penalty = 24 };
+    reset_symbols_every = 5 }
+
+let heavy_doc =
+  (* enough nesting that //*[*]//* exceeds the 40-structure budget while
+     the selective queries stay tiny *)
+  "<r>" ^ String.concat "" (List.init 12 (fun i ->
+      Printf.sprintf "<a><b><c>x%d</c></b></a>" i)) ^ "</r>"
+
+let test_broker_quarantine_lifecycle () =
+  let b = Broker.create ~config:broker_config () in
+  Alcotest.(check bool) "healthy sub" true
+    (Broker.subscribe b ~name:"c" ~query:"//b/c" = Ok ());
+  Alcotest.(check bool) "poison sub" true
+    (Broker.subscribe b ~name:"poison" ~query:"//*[*]//*" = Ok ());
+  Alcotest.(check bool) "dup refused" true
+    (Result.is_error (Broker.subscribe b ~name:"c" ~query:"//a"));
+  (* doc 1: poison aborts (counted), healthy matches *)
+  let o1 = Broker.publish b ~doc_id:"d1" heavy_doc in
+  Alcotest.(check (list string)) "poison aborted" [ "poison" ] o1.aborted;
+  Alcotest.(check (option int)) "healthy matches" (Some 12)
+    (List.assoc_opt "c" o1.matches);
+  Alcotest.(check (list (pair string string))) "not yet quarantined" []
+    o1.quarantined_now;
+  (* doc 2: threshold 2 crossed *)
+  let o2 = Broker.publish b ~doc_id:"d2" heavy_doc in
+  Alcotest.(check (list string)) "quarantined now" [ "poison" ]
+    (List.map fst o2.quarantined_now);
+  Alcotest.(check bool) "status shows it" true
+    (List.exists
+       (fun (n, st) -> n = "poison" && st <> Broker.Live)
+       (Broker.subscriptions b));
+  (* docs 3-4: poison absent from outcomes *)
+  let o3 = Broker.publish b ~doc_id:"d3" heavy_doc in
+  Alcotest.(check (list string)) "no aborts while quarantined" [] o3.aborted;
+  ignore (Broker.publish b ~doc_id:"d4" heavy_doc);
+  (* doc 5: quarantined at tick 2 with penalty 3 -> due at tick 5 *)
+  let o5 = Broker.publish b ~doc_id:"d5" heavy_doc in
+  Alcotest.(check (list string)) "readmitted" [ "poison" ] o5.readmitted;
+  Alcotest.(check (list string)) "and failing again" [ "poison" ] o5.aborted;
+  (* healthy subscription was never disturbed *)
+  Alcotest.(check int) "docs seen" 5 (Broker.docs_seen b);
+  let stats = Broker.stats b in
+  Alcotest.(check (option (float 0.0))) "quarantine stat" (Some 1.0)
+    (List.assoc_opt "service/quarantined" stats);
+  Alcotest.(check (option (float 0.0))) "readmit stat" (Some 1.0)
+    (List.assoc_opt "service/readmitted" stats);
+  (* the symbol table was reset at tick 5 (reset_symbols_every = 5):
+     the next document must still evaluate correctly *)
+  let o6 = Broker.publish b ~doc_id:"d6" heavy_doc in
+  Alcotest.(check (option int)) "healthy after symbol reset" (Some 12)
+    (List.assoc_opt "c" o6.matches)
+
+let test_broker_malformed_and_limits () =
+  let b = Broker.create ~config:broker_config () in
+  Alcotest.(check bool) "sub" true
+    (Broker.subscribe b ~name:"a" ~query:"//a" = Ok ());
+  (* malformed input: lenient recovery, faults accounted, no raise *)
+  let o = Broker.publish b ~doc_id:"bad" "<r><a><<<>junk</r>" in
+  Alcotest.(check bool) "faults counted" true (o.faults > 0);
+  Alcotest.(check bool) "doc still evaluated" true (o.events > 0);
+  (* a resource limit ends the document partially instead of raising *)
+  let o2 =
+    Broker.publish b ~doc_id:"huge"
+      ("<r><a>" ^ String.make 100_000 'x' ^ "</a></r>")
+  in
+  Alcotest.(check (option string)) "limit recorded" (Some "max-text-bytes")
+    o2.limit_hit;
+  (* the limit end is not blamed on the subscription *)
+  let o3 = Broker.publish b ~doc_id:"ok" "<r><a/></r>" in
+  Alcotest.(check (list (pair string string))) "no quarantine" []
+    o3.quarantined_now;
+  Alcotest.(check (option int)) "still live and matching" (Some 1)
+    (List.assoc_opt "a" o3.matches);
+  Alcotest.(check bool) "unsubscribe" true (Broker.unsubscribe b ~name:"a");
+  Alcotest.(check bool) "gone" false (Broker.unsubscribe b ~name:"a")
+
+let test_broker_report_schema () =
+  let b = Broker.create ~config:broker_config () in
+  ignore (Broker.subscribe b ~name:"a" ~query:"//a");
+  ignore (Broker.publish b ~doc_id:"d" "<r><a/></r>");
+  let r = Broker.report ~extra_stats:[ ("ingress/shed", 3.0) ] b in
+  match Xaos_obs.Report.validate (Xaos_obs.Report.to_json r) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "broker report invalid: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* The soak: the acceptance test                                       *)
+(* ------------------------------------------------------------------ *)
+
+let soak_socket name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xaos-test-%s-%d.sock" name (Unix.getpid ()))
+
+let check_soak name cfg =
+  let s = Soak.run cfg in
+  (match Soak.healthy s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s unhealthy: %s" name e);
+  s
+
+let test_soak_smoke () =
+  let cfg =
+    { Soak.default_config with docs = 300; subs = 40;
+      socket_path = soak_socket "smoke" }
+  in
+  let s = check_soak "smoke" cfg in
+  Alcotest.(check bool) "faults recovered" true (s.sax_faults > 0);
+  Alcotest.(check bool) "client aborts survived" true (s.client_aborts > 0)
+
+let test_soak_acceptance () =
+  (* the ISSUE gate: >= 2000 documents, >= 100 live subscriptions *)
+  let cfg = { Soak.default_config with socket_path = soak_socket "full" } in
+  Alcotest.(check bool) "scale: docs" true (cfg.docs >= 2000);
+  Alcotest.(check bool) "scale: subs" true (cfg.subs >= 100);
+  let s = check_soak "acceptance" cfg in
+  Alcotest.(check int) "zero crashes" 0 s.crashes;
+  Alcotest.(check int) "zero mismatches" 0 s.mismatches;
+  Alcotest.(check bool) "hundreds of differential checks" true
+    (s.checked > 500);
+  Alcotest.(check bool) "overload responses" true (s.shed > 0 && s.displaced > 0);
+  Alcotest.(check bool) "quarantine cycles" true (s.quarantined_total >= 2);
+  Alcotest.(check bool) "re-admissions" true (s.readmitted_total >= 1);
+  Alcotest.(check bool) "report schema-valid" true s.report_valid
+
+let suite =
+  [
+    Alcotest.test_case "quarantine threshold and backoff" `Quick
+      test_quarantine_threshold_and_backoff;
+    Alcotest.test_case "quarantine success resets and decays" `Quick
+      test_quarantine_success_resets_and_decays;
+    Alcotest.test_case "ingress watermarks and shedding" `Quick
+      test_ingress_watermarks_and_shedding;
+    Alcotest.test_case "ingress close drains" `Quick test_ingress_close_drains;
+    Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "broker quarantine lifecycle" `Quick
+      test_broker_quarantine_lifecycle;
+    Alcotest.test_case "broker malformed and limits" `Quick
+      test_broker_malformed_and_limits;
+    Alcotest.test_case "broker report schema" `Quick test_broker_report_schema;
+    Alcotest.test_case "soak smoke" `Quick test_soak_smoke;
+    Alcotest.test_case "soak acceptance (2000 docs, 100 subs)" `Slow
+      test_soak_acceptance;
+  ]
