@@ -405,7 +405,21 @@ let finish s =
              if rs.rs_aborted then
                try Query.finish_partial rs.rs_run
                with _ -> Result_set.empty
-             else Query.finish rs.rs_run
+             else
+               (* end-of-document work runs the engine too: an exception
+                  here gets the same per-run isolation as [feed] *)
+               match Query.finish rs.rs_run with
+               | result -> result
+               | exception Engine.Budget_exceeded _ ->
+                 rs.rs_aborted <- true;
+                 (try Query.finish_partial rs.rs_run
+                  with _ -> Result_set.empty)
+               | exception exn ->
+                 rs.rs_error <- Some (Printexc.to_string exn);
+                 Xaos_obs.Telemetry.incr counter_run_faults;
+                 rs.rs_aborted <- true;
+                 (try Query.finish_partial rs.rs_run
+                  with _ -> Result_set.empty)
            in
            Some (outcome_of ~aborted:rs.rs_aborted rs result))
 

@@ -146,7 +146,11 @@ let account_outcomes t ~doc_died outcomes =
       in
       match failure_reason with
       | None ->
-        Quarantine.record_success t.quarantine ~name;
+        (* a document-level end is neutral for budget-aborted runs: not a
+           failure, but not a success either — a success would reset the
+           consecutive-failure streak of a near-quarantine subscription
+           on every unrelated document-wide deadline *)
+        if not doc_died then Quarantine.record_success t.quarantine ~name;
         None
       | Some reason -> (
         if o.failed <> None then t.n_failed <- t.n_failed + 1
@@ -255,7 +259,7 @@ let stats t =
   let f = float_of_int in
   [ ("service/docs", f t.tick); ("service/events", f t.n_events);
     ("service/sax_faults", f t.n_faults);
-    ("service/docs_matched", f t.n_matches);
+    ("service/subscription_matches", f t.n_matches);
     ("service/deadline_ends", f t.n_deadline);
     ("service/limit_ends", f t.n_limit);
     ("service/runs_aborted", f t.n_aborted);

@@ -91,8 +91,13 @@ let enqueue t c line =
 
 let send t c json = enqueue t c (Protocol.to_line json)
 
+(* Invoked concurrently from the reader (EOF), the writer (write error)
+   and [stop]; removal from [t.clients] elects the single caller that
+   tears the connection down. Everyone else is a no-op — in particular
+   nobody closes [c.fd] twice, which could hit a recycled descriptor
+   number belonging to a newer connection. *)
 let close_client t c =
-  let owned =
+  let first =
     with_lock t @@ fun () ->
     if List.memq c t.clients then begin
       t.clients <- List.filter (fun c' -> c' != c) t.clients;
@@ -103,20 +108,23 @@ let close_client t c =
           t.owners []
       in
       List.iter (Hashtbl.remove t.owners) owned;
-      owned
+      Some owned
     end
-    else []
+    else None
   in
-  (* subscriptions die with their connection *)
-  List.iter (fun name -> ignore (Broker.unsubscribe t.brk ~name)) owned;
-  Mutex.lock c.out_mu;
-  c.out_closed <- true;
-  Condition.broadcast c.out_cond;
-  Mutex.unlock c.out_mu;
-  (* shutdown wakes the connection's blocked reader thread; close alone
-     would leave it parked in [Unix.read] forever *)
-  (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  try Unix.close c.fd with Unix.Unix_error _ -> ()
+  match first with
+  | None -> ()
+  | Some owned ->
+    (* subscriptions die with their connection *)
+    List.iter (fun name -> ignore (Broker.unsubscribe t.brk ~name)) owned;
+    Mutex.lock c.out_mu;
+    c.out_closed <- true;
+    Condition.broadcast c.out_cond;
+    Mutex.unlock c.out_mu;
+    (* shutdown wakes the connection's blocked reader thread; close alone
+       would leave it parked in [Unix.read] forever *)
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
 
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
@@ -259,64 +267,71 @@ and reader_loop t c () =
 
 (* {1 Evaluator: the only thread that runs documents} *)
 
+and process_pending t p =
+  Telemetry.set_gauge gauge_queue (Ingress.length t.ingress);
+  let o = Broker.publish t.brk ~doc_id:p.p_doc_id p.p_doc in
+  send t p.p_client
+    (Protocol.event ~kind:"processed"
+       [ ("id", Json.String o.doc_id); ("tick", Json.Int o.tick);
+         ("events", Json.Int o.events); ("faults", Json.Int o.faults);
+         ("deadline", Json.Bool o.deadline_hit);
+         ("limit",
+          match o.limit_hit with
+          | Some k -> Json.String k
+          | None -> Json.Null);
+         ("matches",
+          Json.Obj (List.map (fun (n, k) -> (n, Json.Int k)) o.matches));
+         ("aborted",
+          Json.List (List.map (fun n -> Json.String n) o.aborted));
+         ("failed",
+          Json.Obj (List.map (fun (n, m) -> (n, Json.String m)) o.failed));
+         ("quarantined",
+          Json.List
+            (List.map (fun (n, _) -> Json.String n) o.quarantined_now));
+         ("readmitted",
+          Json.List (List.map (fun n -> Json.String n) o.readmitted)) ]);
+  let owner name = with_lock t (fun () -> Hashtbl.find_opt t.owners name) in
+  List.iter
+    (fun (name, count) ->
+      match owner name with
+      | Some oc ->
+        send t oc
+          (Protocol.event ~kind:"match"
+             [ ("id", Json.String o.doc_id); ("name", Json.String name);
+               ("count", Json.Int count) ])
+      | None -> ())
+    o.matches;
+  List.iter
+    (fun (name, reason) ->
+      match owner name with
+      | Some oc ->
+        send t oc
+          (Protocol.event ~kind:"quarantine"
+             [ ("name", Json.String name); ("reason", Json.String reason) ])
+      | None -> ())
+    o.quarantined_now;
+  List.iter
+    (fun name ->
+      match owner name with
+      | Some oc ->
+        send t oc
+          (Protocol.event ~kind:"readmit" [ ("name", Json.String name) ])
+      | None -> ())
+    o.readmitted
+
+(* each document is guarded individually: an exception escaping one
+   evaluation is counted as a crash but must not end the loop, or the
+   service would accept connections yet never process another document *)
 and evaluator_loop t () =
   let rec loop () =
     match Ingress.take t.ingress with
     | None -> ()
     | Some p ->
-      Telemetry.set_gauge gauge_queue (Ingress.length t.ingress);
-      let o = Broker.publish t.brk ~doc_id:p.p_doc_id p.p_doc in
-      send t p.p_client
-        (Protocol.event ~kind:"processed"
-           [ ("id", Json.String o.doc_id); ("tick", Json.Int o.tick);
-             ("events", Json.Int o.events); ("faults", Json.Int o.faults);
-             ("deadline", Json.Bool o.deadline_hit);
-             ("limit",
-              match o.limit_hit with
-              | Some k -> Json.String k
-              | None -> Json.Null);
-             ("matches",
-              Json.Obj
-                (List.map (fun (n, k) -> (n, Json.Int k)) o.matches));
-             ("aborted",
-              Json.List (List.map (fun n -> Json.String n) o.aborted));
-             ("failed",
-              Json.Obj
-                (List.map (fun (n, m) -> (n, Json.String m)) o.failed));
-             ("quarantined",
-              Json.List
-                (List.map (fun (n, _) -> Json.String n) o.quarantined_now));
-             ("readmitted",
-              Json.List (List.map (fun n -> Json.String n) o.readmitted)) ]);
-      let owner name = with_lock t (fun () -> Hashtbl.find_opt t.owners name) in
-      List.iter
-        (fun (name, count) ->
-          match owner name with
-          | Some oc ->
-            send t oc
-              (Protocol.event ~kind:"match"
-                 [ ("id", Json.String o.doc_id); ("name", Json.String name);
-                   ("count", Json.Int count) ])
-          | None -> ())
-        o.matches;
-      List.iter
-        (fun (name, reason) ->
-          match owner name with
-          | Some oc ->
-            send t oc
-              (Protocol.event ~kind:"quarantine"
-                 [ ("name", Json.String name);
-                   ("reason", Json.String reason) ])
-          | None -> ())
-        o.quarantined_now;
-      List.iter
-        (fun name ->
-          match owner name with
-          | Some oc ->
-            send t oc
-              (Protocol.event ~kind:"readmit" [ ("name", Json.String name) ])
-          | None -> ())
-        o.readmitted;
+      (try process_pending t p with
+      | Thread.Exit -> raise Thread.Exit
+      | _exn ->
+        with_lock t (fun () -> t.crashes <- t.crashes + 1);
+        Telemetry.incr counter_crashes);
       loop ()
   in
   loop ()
