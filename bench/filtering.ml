@@ -286,7 +286,15 @@ let sustained ~subs ~docs ~fault_rate () =
       (float_of_int !events /. time);
     (label, time, docs_per_s, !faulted, !recoveries, !limit_ends, !matched)
   in
+  (* Run instrumented: the per-stage and emission histograms populate
+     the report's service_latency section, and their clock reads are on
+     the supervised path whose price this experiment measures. *)
+  let tel_was = Xaos_obs.Telemetry.enabled () in
+  Xaos_obs.Telemetry.enable ();
+  Xaos_obs.Histogram.reset_all ();
   let rows = [ stream "clean" 0.0; stream "faulted" fault_rate ] in
+  List.iter (fun (n, v) -> Util.record n v) (Xaos_obs.Histogram.stats ());
+  if not tel_was then Xaos_obs.Telemetry.disable ();
   Util.print_table
     ~columns:
       [ "stream"; "time s"; "docs/s"; "faulted docs"; "recoveries";

@@ -71,7 +71,8 @@ let write_report () =
   in
   let report =
     Report.make ~kind:"bench" ~config ~stats:(List.rev !scalars)
-      ~tables:(List.rev !tables) ~gc:(Report.gc_now ()) ()
+      ~tables:(List.rev !tables) ~gc:(Report.gc_now ())
+      ~service_latency:(Xaos_obs.Histogram.summaries ()) ()
   in
   Report.write !report_path report;
   Printf.printf "\nreport: %s\n" !report_path

@@ -350,9 +350,9 @@ let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
     (match metrics_sink with
     | None -> ()
     | Some (oc, close) ->
-      let buf = Buffer.create 4096 in
-      Tel.expose buf;
-      output_string oc (Buffer.contents buf);
+      (* full exposition: the telemetry registry plus every latency
+         histogram (e.g. [engine/emission]) *)
+      output_string oc (Xaos_obs.Expose.render ());
       if close then close_out_noerr oc else flush oc);
     (match trace_out with
     | None -> ()
@@ -776,6 +776,55 @@ let report_diff_cmd old_path new_path threshold_pct =
       if not (List.mem_assoc name old_stats) then
         Format.printf "%-28s %14s %14g@." name "(new)" nv)
     new_stats;
+  (* schema v3 service-latency sections: compare the key quantiles per
+     histogram when both reports carry them. Quantile stats already
+     present in the flat [stats] list (service reports embed them there
+     too) are skipped — one verdict per number. *)
+  let old_lat = old_r.Xaos_obs.Report.service_latency
+  and new_lat = new_r.Xaos_obs.Report.service_latency in
+  if old_lat <> [] && new_lat <> [] then
+    List.iter
+      (fun (os : Xaos_obs.Histogram.summary) ->
+        match
+          List.find_opt
+            (fun (ns : Xaos_obs.Histogram.summary) ->
+              ns.Xaos_obs.Histogram.s_name = os.Xaos_obs.Histogram.s_name)
+            new_lat
+        with
+        | None -> ()
+        | Some ns ->
+          let unit_suffix =
+            match os.Xaos_obs.Histogram.s_unit with
+            | "" -> ""
+            | u -> "_" ^ u
+          in
+          List.iter
+            (fun (q, ov, nv) ->
+              let name =
+                os.Xaos_obs.Histogram.s_name ^ "_" ^ q ^ unit_suffix
+              in
+              if not (List.mem_assoc name old_stats) then begin
+                let pct =
+                  if ov <> 0. then Some ((nv -. ov) /. Float.abs ov *. 100.)
+                  else None
+                in
+                let regressed =
+                  (* latency: larger is always worse *)
+                  match pct with
+                  | Some pct -> pct > threshold_pct
+                  | None -> nv > 0.
+                in
+                if regressed then regressions := name :: !regressions;
+                Format.printf "%-28s %14g %14g %9s%%%s@." name ov nv
+                  (match pct with
+                  | Some pct -> Printf.sprintf "%+.1f" pct
+                  | None -> "n/a")
+                  (if regressed then "  !" else "")
+              end)
+            [ ("p50", os.Xaos_obs.Histogram.s_p50, ns.Xaos_obs.Histogram.s_p50);
+              ("p99", os.Xaos_obs.Histogram.s_p99, ns.Xaos_obs.Histogram.s_p99)
+            ])
+      old_lat;
   match !regressions with
   | [] -> Format.printf "no regressions above %g%%@." threshold_pct
   | names ->
@@ -1159,9 +1208,21 @@ let iter_response_lines fd f =
 let json_str field json =
   Option.bind (Json.member field json) Json.to_str
 
-let serve_cmd socket budget deadline high low subs_file =
+(* Open the shared --metrics sink: "-" is stdout, anything else a file
+   (truncated). Returns the channel and whether we own (must close) it. *)
+let open_metrics_sink = function
+  | None -> None
+  | Some path when String.equal path "-" -> Some (stdout, false)
+  | Some path -> (
+    try Some (open_out path, true)
+    with Sys_error msg -> die exit_io_error msg)
+
+let serve_cmd socket budget deadline high low subs_file metrics
+    snapshot_interval_s =
   if low < 0 || low >= high then
     die exit_query_error "--low-watermark must satisfy 0 <= low < high";
+  if snapshot_interval_s <= 0. then
+    die exit_query_error "--snapshot-interval must be positive";
   let broker =
     { Service.Broker.default_config with budget; deadline_s = deadline }
   in
@@ -1211,7 +1272,57 @@ let serve_cmd socket budget deadline high low subs_file =
          | _ -> Service.Server.stop server
          | exception _ -> ())
        ());
+  (* --metrics: telemetry on, one NDJSON stats snapshot per interval
+     during the run, the Prometheus exposition appended at exit — the
+     same sink contract as `xaos eval --metrics` with time instead of
+     document bytes as the snapshot axis. *)
+  let metrics_sink = open_metrics_sink metrics in
+  let stop_sampler =
+    match metrics_sink with
+    | None -> fun () -> ()
+    | Some (oc, _) ->
+      Tel.enable ();
+      let stop = ref false in
+      let started = Unix.gettimeofday () in
+      let th =
+        Thread.create
+          (fun () ->
+            while not !stop do
+              let fields =
+                List.map
+                  (fun (k, v) -> (k, Json.Float v))
+                  (Service.Server.stats server)
+              in
+              output_string oc
+                (Json.to_string ~indent:false
+                   (Json.Obj
+                      [ ("elapsed_s",
+                         Json.Float (Unix.gettimeofday () -. started));
+                        ("stats", Json.Obj fields) ]));
+              output_char oc '\n';
+              flush oc;
+              (* nap in small steps so shutdown is prompt *)
+              let rec nap left =
+                if left > 0. && not !stop then begin
+                  Thread.delay (Float.min 0.2 left);
+                  nap (left -. 0.2)
+                end
+              in
+              nap snapshot_interval_s
+            done)
+          ()
+      in
+      fun () ->
+        stop := true;
+        Thread.join th
+  in
   Service.Server.wait server;
+  stop_sampler ();
+  (match metrics_sink with
+  | None -> ()
+  | Some (oc, close) ->
+    output_string oc (Xaos_obs.Expose.render ());
+    if close then close_out_noerr oc else flush oc);
   Format.eprintf "xaos service stopped@."
 
 let publish_cmd socket priority files =
@@ -1276,17 +1387,253 @@ let service_stats_cmd socket =
           print_endline line;
           `Stop))
 
-let soak_cmd docs subs rate seed socket report quiet =
+let metrics_cmd socket =
+  with_connection socket (fun fd ->
+      send_request fd Service.Protocol.Metrics;
+      iter_response_lines fd (fun line ->
+          (match Json.parse line with
+          | Error e -> die exit_ill_formed ("bad metrics response: " ^ e)
+          | Ok json -> (
+            match Json.member "ok" json with
+            | Some (Json.Bool true) -> (
+              match
+                Option.bind (Json.member "metrics" json) Json.to_str
+              with
+              | Some text -> print_string text
+              | None ->
+                die exit_ill_formed "metrics response without metrics field")
+            | _ ->
+              die exit_io_error
+                (Option.value ~default:"metrics refused"
+                   (json_str "error" json))));
+          `Stop))
+
+(* {2 xaos top: live terminal dashboard over stats-stream} *)
+
+let top_stat stats name =
+  match List.assoc_opt name stats with
+  | Some (Json.Float v) -> v
+  | Some (Json.Int v) -> float_of_int v
+  | _ -> 0.
+
+let render_top ~socket ~clear ~prev json =
+  let stats =
+    Option.value ~default:[]
+      (Option.bind (Json.member "stats" json) Json.to_obj)
+  in
+  let elapsed =
+    Option.value ~default:0.
+      (Option.bind (Json.member "elapsed_s" json) Json.to_float)
+  in
+  let seq =
+    Option.value ~default:0 (Option.bind (Json.member "seq" json) Json.to_int)
+  in
+  let s = top_stat stats in
+  let docs = s "service/docs" in
+  let rate =
+    match !prev with
+    | Some (pdocs, pelapsed) when elapsed > pelapsed ->
+      (docs -. pdocs) /. (elapsed -. pelapsed)
+    | _ -> 0.
+  in
+  prev := Some (docs, elapsed);
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "xaos top — %s   snapshot #%d   elapsed %.1fs" socket seq elapsed;
+  line "docs %.0f (%.1f/s)   events %.0f   matches %.0f   live subs %.0f"
+    docs rate
+    (s "service/events")
+    (s "service/subscription_matches")
+    (s "service/live_subscriptions");
+  line
+    "queue %.0f   connections %.0f   shed %.0f   displaced %.0f   dropped \
+     %.0f   crashes %.0f"
+    (s "ingress/queue")
+    (s "server/connections")
+    (s "ingress/shed")
+    (s "ingress/displaced")
+    (s "server/dropped_responses")
+    (s "server/thread_crashes");
+  line
+    "faults: sax %.0f   deadline %.0f   limit %.0f   aborted %.0f   failed \
+     %.0f"
+    (s "service/sax_faults")
+    (s "service/deadline_ends")
+    (s "service/limit_ends")
+    (s "service/runs_aborted")
+    (s "service/runs_failed");
+  let ms v = v *. 1e3 in
+  let stage label key =
+    if List.mem_assoc (key ^ "_p50_s") stats then
+      line "  %-18s p50 %8.3f ms   p99 %8.3f ms" label
+        (ms (s (key ^ "_p50_s")))
+        (ms (s (key ^ "_p99_s")))
+  in
+  line "latency:";
+  stage "ingress wait" "stage/ingress_wait";
+  stage "parse" "stage/parse";
+  stage "dispatch" "stage/dispatch";
+  stage "subscription match" "stage/subscription_match";
+  stage "writer wait" "stage/writer_wait";
+  if List.mem_assoc "engine/emission_p50_bytes" stats then
+    line "  %-18s p50 %8.0f B    p99 %8.0f B" "emission"
+      (s "engine/emission_p50_bytes")
+      (s "engine/emission_p99_bytes");
+  let quarantined =
+    Option.value ~default:[]
+      (Option.bind (Json.member "quarantined" json) Json.to_list)
+  in
+  line "quarantined (%d):" (List.length quarantined);
+  List.iter
+    (fun q ->
+      let f name = Option.value ~default:"?" (json_str name q) in
+      let release =
+        Option.value ~default:0
+          (Option.bind (Json.member "release_tick" q) Json.to_int)
+      in
+      line "  %-12s %s (release @ tick %d)" (f "name") (f "reason") release)
+    quarantined;
+  if clear then print_string "\027[2J\027[H";
+  print_string (Buffer.contents b);
+  flush stdout
+
+let top_cmd socket interval once =
+  if interval <= 0. then
+    die exit_query_error "--interval must be positive";
+  with_connection socket (fun fd ->
+      send_request fd
+        (Service.Protocol.Stats_stream
+           { interval_s = interval; count = (if once then Some 1 else None) });
+      let prev = ref None in
+      let seen = ref 0 in
+      iter_response_lines fd (fun line ->
+          match Json.parse line with
+          | Error _ -> `Continue
+          | Ok json -> (
+            match json_str "event" json with
+            | Some "stats" ->
+              render_top ~socket ~clear:(not once) ~prev json;
+              incr seen;
+              if once then `Stop else `Continue
+            | _ -> (
+              (* the stats-stream ack, or an error refusing it *)
+              match Json.member "ok" json with
+              | Some (Json.Bool false) ->
+                die exit_io_error
+                  (Option.value ~default:"stats-stream refused"
+                     (json_str "error" json))
+              | _ -> `Continue)));
+      if !seen = 0 then
+        die exit_io_error "connection closed before any snapshot arrived")
+
+(* Periodic stats sampler for `xaos soak --metrics`: the soak's server
+   only exists inside [Soak.run], so snapshots are taken the honest way
+   — over the socket, one short-lived connection and a [stats] request
+   per tick. Connect failures (server not up yet / already gone) skip
+   the tick. *)
+let spawn_soak_sampler ~socket_path ~interval_s oc =
+  let stop = ref false in
+  let started = Unix.gettimeofday () in
+  let sample_once () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+        | exception Unix.Unix_error _ -> ()
+        | () -> (
+          let line =
+            Service.Protocol.to_line
+              (Service.Protocol.request_to_json Service.Protocol.Stats)
+          in
+          (try
+             ignore (Unix.write_substring fd line 0 (String.length line))
+           with Unix.Unix_error _ -> ());
+          let buf = Buffer.create 4096 in
+          let chunk = Bytes.create 4096 in
+          let rec rd () =
+            if not (String.contains (Buffer.contents buf) '\n') then
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                rd ()
+              | exception Unix.Unix_error _ -> ()
+          in
+          rd ();
+          let contents = Buffer.contents buf in
+          match String.index_opt contents '\n' with
+          | None -> ()
+          | Some i ->
+            (* re-frame with the sampler's own clock *)
+            let reply = String.sub contents 0 i in
+            (match Json.parse reply with
+            | Ok json when Json.member "ok" json = Some (Json.Bool true) ->
+              let stats =
+                Option.value ~default:Json.Null (Json.member "stats" json)
+              in
+              output_string oc
+                (Json.to_string ~indent:false
+                   (Json.Obj
+                      [ ("elapsed_s",
+                         Json.Float (Unix.gettimeofday () -. started));
+                        ("stats", stats) ]));
+              output_char oc '\n';
+              flush oc
+            | _ -> ())))
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          (try sample_once () with _ -> ());
+          let rec nap left =
+            if left > 0. && not !stop then begin
+              Thread.delay (Float.min 0.2 left);
+              nap (left -. 0.2)
+            end
+          in
+          nap interval_s
+        done)
+      ()
+  in
+  fun () ->
+    stop := true;
+    Thread.join th
+
+let soak_cmd docs subs rate seed socket report event_log metrics
+    snapshot_interval_s quiet =
+  if snapshot_interval_s <= 0. then
+    die exit_query_error "--snapshot-interval must be positive";
+  let socket_path =
+    Option.value socket ~default:Service.Soak.default_config.socket_path
+  in
   let cfg =
     { Service.Soak.docs; subs; fault_rate = rate; seed;
-      report_path = report;
-      socket_path =
-        Option.value socket ~default:Service.Soak.default_config.socket_path }
+      report_path = report; event_log_path = event_log; socket_path }
   in
   let progress =
     if quiet then ignore else fun m -> Format.eprintf "%s@." m
   in
-  let s = Service.Soak.run ~progress cfg in
+  let metrics_sink = open_metrics_sink metrics in
+  let stop_sampler =
+    match metrics_sink with
+    | None -> fun () -> ()
+    | Some (oc, _) ->
+      spawn_soak_sampler ~socket_path ~interval_s:snapshot_interval_s oc
+  in
+  let s =
+    Fun.protect ~finally:stop_sampler (fun () ->
+        Service.Soak.run ~progress cfg)
+  in
+  (match metrics_sink with
+  | None -> ()
+  | Some (oc, close) ->
+    (* the soak runs in-process, so the registry the server filled is
+       ours to expose directly *)
+    output_string oc (Xaos_obs.Expose.render ());
+    if close then close_out_noerr oc else flush oc);
   Format.printf "published %d  completed %d  (processed %d, shed %d, \
                  displaced %d)@."
     s.published s.completed s.processed s.shed s.displaced;
@@ -1340,12 +1687,26 @@ let serve_command =
              ~doc:"Pre-register one XPath subscription per line ('#' \
                    comments), named s1, s2, ...")
   in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Enable telemetry, stream one stats snapshot to \
+                   $(docv) as NDJSON per interval while serving, then \
+                   append Prometheus-style text metrics at shutdown \
+                   ('-' = stdout).")
+  in
+  let snapshot_interval =
+    Arg.(value & opt float 1.0
+         & info [ "snapshot-interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between --metrics stats snapshots (default \
+                   1).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent subscription service on a Unix-domain \
              socket (line-delimited JSON; see xaos subscribe/publish)")
     Term.(const serve_cmd $ socket_arg $ budget $ deadline $ high $ low
-          $ subs_file)
+          $ subs_file $ metrics $ snapshot_interval)
 
 let publish_command =
   let priority =
@@ -1381,6 +1742,31 @@ let service_stats_command =
        ~doc:"Print one stats snapshot of a running service as JSON")
     Term.(const service_stats_cmd $ socket_arg)
 
+let metrics_command =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Scrape a running service: print its Prometheus-style text \
+             exposition (counters, gauges, latency histograms)")
+    Term.(const metrics_cmd $ socket_arg)
+
+let top_command =
+  let interval =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between dashboard refreshes (default 1).")
+  in
+  let once =
+    flag [ "once" ]
+      "Render a single snapshot without clearing the screen and exit \
+       (no TTY required)."
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal dashboard of a running service: throughput, \
+             per-stage latency quantiles, queue depth, quarantine set \
+             and fault counters over stats-stream")
+    Term.(const top_cmd $ socket_arg $ interval $ once)
+
 let soak_command =
   let docs =
     Arg.(value & opt int Service.Soak.default_config.docs
@@ -1411,13 +1797,34 @@ let soak_command =
              ~doc:"Write the service run report here (validate it with \
                    $(b,xaos report validate)).")
   in
+  let event_log =
+    Arg.(value & opt (some string) None
+         & info [ "event-log" ] ~docv:"FILE"
+             ~doc:"Stream every structured supervision event \
+                   (quarantine, shed, displace, drop, crash, readmit) \
+                   to $(docv) as NDJSON.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Stream one stats snapshot to $(docv) as NDJSON per \
+                   interval during the soak, then append \
+                   Prometheus-style text metrics at exit ('-' = \
+                   stdout).")
+  in
+  let snapshot_interval =
+    Arg.(value & opt float 1.0
+         & info [ "snapshot-interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between --metrics stats snapshots (default \
+                   1).")
+  in
   let quiet = flag [ "quiet" ] "Suppress progress messages." in
   Cmd.v
     (Cmd.info "soak"
        ~doc:"Run the chaos soak: an in-process service under fault \
              injection, differentially checked; exit 1 unless healthy")
     Term.(const soak_cmd $ docs $ subs $ rate $ seed $ socket $ report
-          $ quiet)
+          $ event_log $ metrics $ snapshot_interval $ quiet)
 
 let () =
   let info =
@@ -1430,4 +1837,5 @@ let () =
           [ eval_command; explain_command; trace_command; why_command;
             filter_command; generate_command; report_command;
             serve_command; publish_command; subscribe_command;
-            service_stats_command; soak_command ]))
+            service_stats_command; metrics_command; top_command;
+            soak_command ]))

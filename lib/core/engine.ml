@@ -47,6 +47,17 @@ let hist_lifetime =
            recorded when the structure resolves"
     "xaos_engine_structure_lifetime_elements"
 
+(* Emission latency in document bytes: how much input streamed past
+   between a result becoming decidable (its structure turning Satisfied)
+   and the result actually being emitted. Eager emission records 0 by
+   construction; deferred emission measures the Section 4.4 end-of-run
+   collection against the byte offset stamped at satisfaction time. *)
+let hist_emission =
+  Xaos_obs.Histogram.create ~unit_:"bytes"
+    ~help:"bytes streamed between a result becoming decidable and its \
+           emission"
+    "engine/emission"
+
 type config = {
   boolean_subtrees : bool;
   relevance_filter : bool;
@@ -175,6 +186,10 @@ type t = {
           memoized per distinct symbol so a start event does not rescan
           every x-node; entries are {!uncomputed} until first use and the
           array grows on demand as new symbols appear *)
+  mutable stream_byte : int;
+      (** current stream byte offset, pushed in by the driver (0 when no
+          driver pushes it); stamped onto structures at satisfaction time
+          for emission-latency observation *)
 }
 
 (* Physical-equality sentinel for not-yet-computed cache entries: a real
@@ -333,7 +348,10 @@ let create ?(config = default_config) ?(budget = max_int) ?on_match
        [Symbol.count ()] would tax sessions with many engines over large
        vocabularies for slots never touched *)
     candidate_cache = Array.make 16 uncomputed;
+    stream_byte = 0;
   }
+
+let set_stream_byte t b = t.stream_byte <- b
 
 (* Candidate x-nodes for an element-name symbol, in topological order
    (Kself edges need same-event witnesses registered first). Computed once
@@ -754,6 +772,7 @@ let resolve t frame ~text (m : Matching.t) =
   done;
   if Matching.satisfied_now m then begin
     m.state <- Matching.Satisfied;
+    if m.sat_byte < 0 then m.sat_byte <- t.stream_byte;
     (match info.tree_parent with
     | None -> ()
     | Some { up_axis; up_node; up_slot } -> (
@@ -765,6 +784,8 @@ let resolve t frame ~text (m : Matching.t) =
     if t.eager && info.output then begin
       if Trc.enabled () then
         Trc.emitted ~serial:m.serial ~item_id:m.item.id;
+      (* emission follows satisfaction within the same event *)
+      Xaos_obs.Histogram.record hist_emission 0;
       t.eager_items <- m.item :: t.eager_items;
       match t.on_match with
       | Some f -> f m.item
@@ -873,9 +894,16 @@ let finish t =
     (* items report the first output x-node; further marks are only
        visible through the tuples *)
     let primary = t.output_ids.(0) in
+    let on_emit =
+      if Tel.enabled () then (fun (m : Matching.t) ->
+        if m.sat_byte >= 0 then
+          Xaos_obs.Histogram.record hist_emission (t.stream_byte - m.sat_byte))
+      else fun _ -> ()
+    in
     let items =
       Item.sort_dedup
-        (Matching.collect_outputs ~is_output:(fun v -> v = primary)
+        (Matching.collect_outputs ~on_emit
+           ~is_output:(fun v -> v = primary)
            t.root_struct)
     in
     (match t.on_match with

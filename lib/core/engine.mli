@@ -168,6 +168,15 @@ val sync_next_id : t -> int -> unit
     events are suppressed); results then stay byte-identical to a full
     feed. *)
 
+val set_stream_byte : t -> int -> unit
+(** Tell the engine the current byte offset of the input stream (e.g.
+    {!Xaos_xml.Sax.bytes_read} after pulling the event about to be fed).
+    Purely observational: structures satisfied from here on are stamped
+    with this offset, and results emitted at {!finish} record
+    [current - stamp] into the [engine/emission] latency histogram.
+    Never calling it leaves every latency at 0. One int store — safe on
+    the hot path. *)
+
 val frame_matches : t -> (int * Item.t) list
 (** (x-node id, element) pairs registered at the innermost open element —
     the "Matches" column of the paper's Table 2. Empty when the innermost

@@ -41,6 +41,10 @@ and t = {
   slots : slot array;
   mutable placements : placement list;
   mutable state : state;
+  mutable sat_byte : int;
+      (* stream byte offset when this structure first became Satisfied;
+         -1 until then. Subtracting it from the offset at emission time
+         gives the result's emission latency in document bytes. *)
 }
 
 and placement = {
@@ -57,7 +61,7 @@ let create ~serial ~xnode ~item ~pointer_slots =
         else Counter (ref 0))
       pointer_slots
   in
-  { serial; xnode; item; slots; placements = []; state = Pending }
+  { serial; xnode; item; slots; placements = []; state = Pending; sat_byte = -1 }
 
 (* Rough heap footprint of one structure in bytes: the record and item,
    the slot array with one store header (or counter ref) per slot, an
@@ -188,7 +192,7 @@ let count_matchings t =
   in
   count t
 
-let collect_outputs ~is_output t =
+let collect_outputs ?(on_emit = fun (_ : t) -> ()) ~is_output t =
   let visited = Hashtbl.create 64 in
   let acc = ref [] in
   let rec visit t =
@@ -196,6 +200,7 @@ let collect_outputs ~is_output t =
       Hashtbl.add visited t.serial ();
       if is_output t.xnode then begin
         acc := t.item :: !acc;
+        on_emit t;
         if Xaos_obs.Tracer.enabled () then
           Xaos_obs.Tracer.emitted ~serial:t.serial ~item_id:t.item.Item.id
       end;

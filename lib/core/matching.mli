@@ -45,6 +45,11 @@ and t = {
   mutable placements : placement list;
       (** where this structure has been placed; consulted by {!refute} *)
   mutable state : state;
+  mutable sat_byte : int;
+      (** stream byte offset when this structure first became
+          [Satisfied]; [-1] until then. The engine stamps it so that
+          emission latency — bytes of document between a result becoming
+          decidable and it being emitted — can be observed. *)
 }
 
 and placement = {
@@ -80,11 +85,14 @@ val count_matchings : t -> int
     Requires all slots to be [Pointers] (i.e. the Section 5.1 counter
     optimization disabled). *)
 
-val collect_outputs : is_output:(int -> bool) -> t -> Item.t list
+val collect_outputs :
+  ?on_emit:(t -> unit) -> is_output:(int -> bool) -> t -> Item.t list
 (** The output projection of all represented matchings: traverses the
     structure once (visited set on serials) emitting the element of every
     reached structure whose x-node is an output — the paper's Section 4.4
-    emission. Unsorted, duplicate-free by construction of the visit. *)
+    emission. Unsorted, duplicate-free by construction of the visit.
+    [on_emit] (default a no-op) is called once per emitted structure —
+    the observability hook for emission-latency measurement. *)
 
 val enumerate_tuples : outputs:int array -> t -> Item.t array list
 (** Multi-output result tuples (Section 5.3): one tuple per distinct

@@ -135,6 +135,9 @@ let wants_text run = List.exists Engine.wants_text run.engines
 let sync_next_id run id =
   List.iter (fun e -> Engine.sync_next_id e id) run.engines
 
+let set_stream_byte run b =
+  List.iter (fun e -> Engine.set_stream_byte e b) run.engines
+
 let finish run =
   match run.result with
   | Some r -> r

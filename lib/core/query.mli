@@ -64,6 +64,10 @@ val sync_next_id : run -> int -> unit
     disjunct engine (see {!Engine.sync_next_id}); required before each
     start event delivered sparsely so result items keep document ids. *)
 
+val set_stream_byte : run -> int -> unit
+(** Propagate the stream's current byte offset to every disjunct engine
+    (see {!Engine.set_stream_byte}) for emission-latency observation. *)
+
 val feed_doc : run -> Xaos_xml.Dom.doc -> unit
 (** Feed a prebuilt tree's element events directly (see
     {!Engine.feed_doc}). *)

@@ -90,6 +90,9 @@ type outcome = {
   items : Item.t list;
   aborted : bool;
   failed : string option;
+  spent_s : float;
+      (* wall-clock seconds this run spent matching (feed + finish);
+         0. while telemetry is disabled — the clock is never read then *)
 }
 
 type dispatch =
@@ -113,6 +116,9 @@ type run_state = {
   mutable rs_stamp : int;
       (** last event stamp this run was collected for; dedupes a run
           reached through both its tag bucket and the wildcard bucket *)
+  mutable rs_spent : float;
+      (** wall-clock seconds spent in this run's engine (feed + finish);
+          accumulated only while telemetry is enabled *)
 }
 
 type session = {
@@ -146,6 +152,11 @@ type session = {
   mutable live : int;  (** runs not yet aborted *)
   mutable dispatched : int;
   mutable suppressed : int;
+  mutable current_byte : int;
+      (** stream byte offset pushed in by the driver via
+          {!set_stream_byte}; [-1] = no driver pushes it. Forwarded to a
+          run's engines just before each delivery so emission latency
+          can be stamped in bytes. *)
 }
 
 let bucket_add s sym rs =
@@ -193,12 +204,26 @@ let abort_run s rs =
    service from a resource trip. *)
 let feed_run s rs ev =
   if not rs.rs_aborted then begin
-    try Query.feed rs.rs_run ev with
-    | Engine.Budget_exceeded _ -> abort_run s rs
-    | exn ->
-      rs.rs_error <- Some (Printexc.to_string exn);
-      Xaos_obs.Telemetry.incr counter_run_faults;
-      abort_run s rs
+    if s.current_byte >= 0 then Query.set_stream_byte rs.rs_run s.current_byte;
+    if Xaos_obs.Telemetry.enabled () then begin
+      (* per-subscription match time; the clock is only read (and the
+         float only boxed) on the telemetry-enabled path *)
+      let t0 = Xaos_obs.Telemetry.now () in
+      (try Query.feed rs.rs_run ev with
+      | Engine.Budget_exceeded _ -> abort_run s rs
+      | exn ->
+        rs.rs_error <- Some (Printexc.to_string exn);
+        Xaos_obs.Telemetry.incr counter_run_faults;
+        abort_run s rs);
+      rs.rs_spent <- rs.rs_spent +. (Xaos_obs.Telemetry.now () -. t0)
+    end
+    else
+      try Query.feed rs.rs_run ev with
+      | Engine.Budget_exceeded _ -> abort_run s rs
+      | exn ->
+        rs.rs_error <- Some (Printexc.to_string exn);
+        Xaos_obs.Telemetry.incr counter_run_faults;
+        abort_run s rs
   end
 
 (* After a delivered element event, the run's text interest may have
@@ -226,6 +251,7 @@ let attach s name q =
       rs_removed = false;
       rs_error = None;
       rs_stamp = -1;
+      rs_spent = 0.;
     }
   in
   s.next_run_id <- s.next_run_id + 1;
@@ -278,6 +304,7 @@ let start ?budget ?(dispatch = Shared) t =
       live = 0;
       dispatched = 0;
       suppressed = 0;
+      current_byte = -1;
     }
   in
   List.iter (fun (name, q) -> ignore (attach s name q)) t.queries;
@@ -394,7 +421,19 @@ let outcome_of ~aborted rs result =
     items = result.Result_set.items;
     aborted;
     failed = rs.rs_error;
+    spent_s = rs.rs_spent;
   }
+
+(* End-of-document resolution counts toward the run's match time too:
+   deferred emission does its output traversal in [Query.finish]. *)
+let timed_finish rs f =
+  if Xaos_obs.Telemetry.enabled () then begin
+    let t0 = Xaos_obs.Telemetry.now () in
+    let result = f () in
+    rs.rs_spent <- rs.rs_spent +. (Xaos_obs.Telemetry.now () -. t0);
+    result
+  end
+  else f ()
 
 let finish s =
   List.rev s.runs_rev
@@ -402,6 +441,9 @@ let finish s =
          if rs.rs_removed then None
          else
            let result =
+             timed_finish rs @@ fun () ->
+             if s.current_byte >= 0 then
+               Query.set_stream_byte rs.rs_run s.current_byte;
              if rs.rs_aborted then
                try Query.finish_partial rs.rs_run
                with _ -> Result_set.empty
@@ -429,11 +471,16 @@ let finish_partial s =
          if rs.rs_removed then None
          else
            let result =
+             timed_finish rs @@ fun () ->
+             if s.current_byte >= 0 then
+               Query.set_stream_byte rs.rs_run s.current_byte;
              try Query.finish_partial rs.rs_run with _ -> Result_set.empty
            in
            Some (outcome_of ~aborted:true rs result))
 
 let dispatch_stats s = (s.dispatched, s.suppressed)
+
+let set_stream_byte s b = s.current_byte <- b
 
 (* ------------------------------------------------------------------ *)
 (* One-shot helpers                                                    *)

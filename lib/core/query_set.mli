@@ -64,6 +64,11 @@ type outcome = {
           {!Engine.Budget_exceeded} and was aborted in place (the
           message is [Printexc.to_string] of the exception); the other
           runs were untouched *)
+  spent_s : float;
+      (** wall-clock seconds this run's engines spent matching (feed
+          plus end-of-document resolution) — the per-subscription match
+          time the service observes. Always [0.] while telemetry is
+          disabled: the clock is never read on the disabled path. *)
 }
 
 type dispatch =
@@ -110,6 +115,14 @@ val finish_partial : session -> outcome list
 (** The document died mid-stream (truncation, parse error, limit): every
     live run is finished via {!Query.finish_partial} and all outcomes
     are flagged [aborted]. *)
+
+val set_stream_byte : session -> int -> unit
+(** Tell the session the input stream's current byte offset (e.g.
+    {!Xaos_xml.Sax.bytes_read} after pulling the event about to be
+    fed). Forwarded to a run's engines at each delivery so results can
+    be stamped for emission-latency measurement (bytes between a result
+    becoming decidable and its emission). Purely observational; never
+    calling it leaves every latency at 0. *)
 
 val dispatch_stats : session -> int * int
 (** [(dispatched, suppressed)] (start-event, run) delivery counts so far

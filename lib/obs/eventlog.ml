@@ -1,0 +1,160 @@
+(* Structured event log for the running service: every supervision
+   decision (quarantine, shed, drop, crash, readmit, …) becomes one
+   typed record in a bounded ring, optionally tee'd to a sink as NDJSON.
+
+   The ring keeps the most recent [capacity] events and counts what it
+   overwrote — the live dashboard reads the tail, the soak harness
+   asserts on the full stream via the sink. Unlike {!Telemetry} this
+   module takes a lock per append: events are per-decision, not
+   per-XML-event, and the server logs from several threads. *)
+
+type level =
+  | Debug
+  | Info
+  | Warn
+  | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* Typed reason codes with stable wire strings: consumers (CI
+   assertions, dashboards) match on the code, never on prose. *)
+type reason =
+  | Budget_exceeded  (** run tripped its structure budget *)
+  | Engine_raised  (** run raised a non-budget exception *)
+  | Queue_full  (** ingress at the high watermark, document refused *)
+  | Displaced  (** evicted from the queue by a higher-priority document *)
+  | Out_queue_full  (** response dropped on a full client out-queue *)
+  | Backoff_elapsed  (** quarantine penalty served; probation begins *)
+  | Thread_crash  (** exception escaped a server thread body *)
+  | Doc_deadline  (** document ended by the wall-clock deadline *)
+  | Sax_limit of string  (** document ended by a parser resource limit *)
+
+let reason_code = function
+  | Budget_exceeded -> "budget-exceeded"
+  | Engine_raised -> "engine-raised"
+  | Queue_full -> "queue-full"
+  | Displaced -> "displaced"
+  | Out_queue_full -> "out-queue-full"
+  | Backoff_elapsed -> "backoff-elapsed"
+  | Thread_crash -> "thread-crash"
+  | Doc_deadline -> "doc-deadline"
+  | Sax_limit kind -> "sax-limit:" ^ kind
+
+type event = {
+  seq : int;
+  at : float;
+  level : level;
+  kind : string;
+  subject : string;
+  reason : reason option;
+  detail : (string * Json.t) list;
+}
+
+let to_json e =
+  Json.Obj
+    ([
+       ("seq", Json.Int e.seq);
+       ("at", Json.Float e.at);
+       ("level", Json.String (level_name e.level));
+       ("kind", Json.String e.kind);
+       ("subject", Json.String e.subject);
+     ]
+    @ (match e.reason with
+      | None -> []
+      | Some r -> [ ("reason", Json.String (reason_code r)) ])
+    @ match e.detail with [] -> [] | d -> [ ("detail", Json.Obj d) ])
+
+let to_line e = Json.to_string ~indent:false (to_json e)
+
+(* ------------------------------------------------------------------ *)
+(* The (process-global) log                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mu = Mutex.create ()
+
+let on = ref false
+
+let min_level = ref Info
+
+let capacity = ref 1024
+
+let ring : event option array ref = ref (Array.make 1024 None)
+
+let head = ref 0 (* next write position *)
+
+let stored = ref 0 (* events currently in the ring *)
+
+let seq = ref 0
+
+let dropped_count = ref 0
+
+let sink : (string -> unit) option ref = ref None
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let enable () = on := true
+
+let disable () = on := false
+
+let enabled () = !on
+
+let set_level l = min_level := l
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Eventlog.set_capacity: must be positive";
+  locked @@ fun () ->
+  capacity := n;
+  ring := Array.make n None;
+  head := 0;
+  stored := 0
+
+let set_sink f = sink := f
+
+let clear () =
+  locked @@ fun () ->
+  Array.fill !ring 0 (Array.length !ring) None;
+  head := 0;
+  stored := 0;
+  dropped_count := 0
+
+let record ?(level = Info) ?reason ?(detail = []) ~kind subject =
+  if !on && level_rank level >= level_rank !min_level then begin
+    let e =
+      locked @@ fun () ->
+      let e =
+        { seq = !seq; at = Telemetry.now (); level; kind; subject; reason;
+          detail }
+      in
+      seq := !seq + 1;
+      let r = !ring in
+      if !stored = Array.length r then dropped_count := !dropped_count + 1
+      else stored := !stored + 1;
+      r.(!head) <- Some e;
+      head := (!head + 1) mod Array.length r;
+      e
+    in
+    (* the sink runs outside the lock: it may write to a file or socket *)
+    match !sink with None -> () | Some f -> f (to_line e)
+  end
+
+let events () =
+  locked @@ fun () ->
+  let r = !ring in
+  let n = Array.length r in
+  let start = (!head - !stored + n) mod n in
+  List.init !stored (fun i ->
+      match r.((start + i) mod n) with
+      | Some e -> e
+      | None -> assert false)
+
+let dropped () = !dropped_count
+
+let recorded () = !seq

@@ -1,0 +1,96 @@
+(** Structured NDJSON event log for the running service.
+
+    Every supervision decision the service takes — quarantining a
+    subscription, shedding a document at admission, dropping a response
+    on a full out-queue, a thread crash, a re-admission — becomes one
+    typed record: a severity {!level}, a [kind] string, a [subject] (the
+    subscription, document or thread the decision was about), an
+    optional typed {!reason} code, and free-form JSON detail.
+
+    Records land in a bounded ring (newest win; overwrites are counted)
+    and, when a sink is installed, are also emitted immediately as one
+    compact JSON line each — the event-log file the soak harness writes
+    and CI uploads. Appends take an internal lock (the server logs from
+    several threads) but the log is per-{e decision}, not per-XML-event:
+    this is not hot-path instrumentation, and the whole module is a
+    no-op until {!enable}. *)
+
+type level =
+  | Debug
+  | Info
+  | Warn
+  | Error
+
+val level_name : level -> string
+
+(** Typed reason codes with stable wire strings — consumers match on
+    the code ({!reason_code}), never on prose. *)
+type reason =
+  | Budget_exceeded  (** run tripped its structure budget *)
+  | Engine_raised  (** run raised a non-budget exception *)
+  | Queue_full  (** ingress at the high watermark, document refused *)
+  | Displaced  (** evicted from the queue by a higher-priority document *)
+  | Out_queue_full  (** response dropped on a full client out-queue *)
+  | Backoff_elapsed  (** quarantine penalty served; probation begins *)
+  | Thread_crash  (** exception escaped a server thread body *)
+  | Doc_deadline  (** document ended by the wall-clock deadline *)
+  | Sax_limit of string  (** document ended by a parser resource limit *)
+
+val reason_code : reason -> string
+(** E.g. ["budget-exceeded"], ["sax-limit:max_depth"]. *)
+
+type event = {
+  seq : int;  (** monotone over the process, survives ring drops *)
+  at : float;  (** {!Telemetry.now} at record time *)
+  level : level;
+  kind : string;  (** ["quarantine"], ["shed"], ["drop"], ["crash"], … *)
+  subject : string;
+  reason : reason option;
+  detail : (string * Json.t) list;
+}
+
+val to_json : event -> Json.t
+
+val to_line : event -> string
+(** Compact single-line JSON, no trailing newline. *)
+
+(** {1 Control} *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val set_level : level -> unit
+(** Minimum severity recorded (default [Info]); lower levels are
+    filtered before touching the ring or the sink. *)
+
+val set_capacity : int -> unit
+(** Resize the ring (default 1024). Clears it.
+    @raise Invalid_argument when not positive. *)
+
+val set_sink : (string -> unit) option -> unit
+(** Also emit each record as one JSON line, outside the internal lock.
+    [None] removes the sink. *)
+
+val clear : unit -> unit
+(** Empty the ring and zero the overwrite counter (the sequence counter
+    keeps running). *)
+
+(** {1 Recording and reading} *)
+
+val record :
+  ?level:level -> ?reason:reason -> ?detail:(string * Json.t) list ->
+  kind:string -> string -> unit
+(** [record ~kind subject] appends one event (default level [Info]).
+    No-op while disabled or below the minimum level. *)
+
+val events : unit -> event list
+(** Ring contents, oldest first. *)
+
+val dropped : unit -> int
+(** Events overwritten by ring wrap-around since the last {!clear}. *)
+
+val recorded : unit -> int
+(** Events accepted since process start (ring + overwritten). *)

@@ -1,0 +1,140 @@
+(* Prometheus-style text exposition of the whole observability state:
+   the {!Telemetry} registry (counters, gauges, spans, its own
+   histograms) plus every registered {!Histogram}.
+
+   Telemetry cells already carry Prometheus-convention names
+   ([xaos_<subsystem>_<what>_total]); {!Histogram}s carry stat-convention
+   names ([stage/parse]) and are mapped here: '/' becomes '_', the
+   [xaos_] prefix is added, and the reported unit is appended in long
+   form ([stage/parse] with unit "s" -> [xaos_stage_parse_seconds]). *)
+
+let fnum x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    string_of_int (int_of_float x)
+  else Printf.sprintf "%.9g" x
+
+let metric_name (h : Histogram.t) =
+  let slug =
+    String.map
+      (fun c -> if c = '/' || c = '-' then '_' else c)
+      (Histogram.name h)
+  in
+  let unit_suffix =
+    match Histogram.unit_of h with
+    | "s" -> "_seconds"
+    | "" -> ""
+    | u -> "_" ^ u
+  in
+  "xaos_" ^ slug ^ unit_suffix
+
+let add_histogram buf h =
+  let name = metric_name h in
+  Buffer.add_string buf ("# TYPE " ^ name ^ " histogram\n");
+  let s = Histogram.summary h in
+  List.iter
+    (fun (bound, cumulative) ->
+      let le = if bound = infinity then "+Inf" else fnum bound in
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le cumulative))
+    s.Histogram.s_buckets;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" name (fnum s.Histogram.s_sum));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" name s.Histogram.s_count)
+
+let render () =
+  let buf = Buffer.create 8192 in
+  Telemetry.expose buf;
+  List.iter (add_histogram buf) (Histogram.registered ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Format validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A structural check of the text format, strong enough for the CLI
+   smoke tests and CI scrape gate: every line is a [# HELP]/[# TYPE]
+   comment or a [name{labels} value] sample, names are legal, values
+   parse, and every family declared [histogram] ends with its [_count]
+   sample. Not a full Prometheus parser. *)
+
+let name_ok name =
+  name <> ""
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let value_ok v =
+  match v with
+  | "+Inf" | "-Inf" | "NaN" -> true
+  | _ -> ( match float_of_string_opt v with Some _ -> true | None -> false)
+
+let check text =
+  let err lineno msg line =
+    Error (Printf.sprintf "line %d: %s: %s" lineno msg line)
+  in
+  let lines = String.split_on_char '\n' text in
+  let histograms = Hashtbl.create 16 in (* name -> has _count sample *)
+  let rec go lineno = function
+    | [] -> Ok ()
+    | "" :: rest -> go (lineno + 1) rest
+    | line :: rest when String.length line > 0 && line.[0] = '#' -> (
+      match String.split_on_char ' ' line with
+      | "#" :: ("HELP" | "TYPE") :: name :: more
+        when name_ok name && more <> [] ->
+        if List.nth (String.split_on_char ' ' line) 1 = "TYPE" then begin
+          match more with
+          | [ ("counter" | "gauge" | "summary") ] -> go (lineno + 1) rest
+          | [ "histogram" ] ->
+            Hashtbl.replace histograms name false;
+            go (lineno + 1) rest
+          | _ -> err lineno "bad TYPE kind" line
+        end
+        else go (lineno + 1) rest
+      | _ -> err lineno "malformed comment" line)
+    | line :: rest -> (
+      (* name{labels} value | name value *)
+      let name_part, value_part =
+        match String.index_opt line ' ' with
+        | None -> (line, "")
+        | Some i ->
+          ( String.sub line 0 i,
+            String.sub line (i + 1) (String.length line - i - 1) )
+      in
+      let bare_name =
+        match String.index_opt name_part '{' with
+        | None -> name_part
+        | Some i ->
+          if name_part.[String.length name_part - 1] <> '}' then ""
+          else String.sub name_part 0 i
+      in
+      if not (name_ok bare_name) then err lineno "bad metric name" line
+      else if not (value_ok (String.trim value_part)) then
+        err lineno "bad sample value" line
+      else begin
+        let suffix = "_count" in
+        let bl = String.length bare_name and sl = String.length suffix in
+        if bl > sl && String.sub bare_name (bl - sl) sl = suffix then begin
+          let family = String.sub bare_name 0 (bl - sl) in
+          if Hashtbl.mem histograms family then
+            Hashtbl.replace histograms family true
+        end;
+        go (lineno + 1) rest
+      end)
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+    match
+      Hashtbl.fold
+        (fun name seen acc -> if seen then acc else name :: acc)
+        histograms []
+    with
+    | [] -> Ok ()
+    | name :: _ ->
+      Error (Printf.sprintf "histogram %s has no _count sample" name))

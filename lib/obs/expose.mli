@@ -1,0 +1,26 @@
+(** Prometheus-style text exposition of the whole observability state.
+
+    One {!render} produces the {!Telemetry} registry (via
+    {!Telemetry.expose}) followed by every registered {!Histogram} in
+    standard histogram format — what [xaos metrics] returns to a
+    scraper, what [--metrics] sinks append at exit, and what the CI
+    soak job scrapes mid-run.
+
+    {!Histogram} names use the [subsystem/metric] stat convention and
+    are mapped to legal Prometheus names here: ['/'] becomes ['_'], an
+    [xaos_] prefix is added and the reported unit is appended in long
+    form — [stage/parse] (unit ["s"]) renders as
+    [xaos_stage_parse_seconds]. *)
+
+val render : unit -> string
+
+val metric_name : Histogram.t -> string
+(** The exposition name a histogram renders under. *)
+
+val check : string -> (unit, string) result
+(** Structural validation of exposition text: every line is a
+    [# HELP]/[# TYPE] comment or a [name{labels} value] sample, metric
+    names are legal, values parse as numbers (or [+Inf]/[-Inf]/[NaN]),
+    [TYPE] kinds are known, and every family declared [histogram] has a
+    [_count] sample. Not a full Prometheus parser — a smoke gate for
+    tests and CI. *)

@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 let min_schema_version = 1
 
@@ -66,10 +66,12 @@ type t = {
   tables : table list;
   gc : gc_summary option;
   relevance : relevance option;
+  service_latency : Histogram.summary list;
+      (* schema v3; empty = section absent *)
 }
 
 let make ?(config = []) ?(stats = []) ?(spans = []) ?(snapshots = [])
-    ?(tables = []) ?gc ?relevance ~kind () =
+    ?(tables = []) ?gc ?relevance ?(service_latency = []) ~kind () =
   {
     version = schema_version;
     kind;
@@ -81,6 +83,7 @@ let make ?(config = []) ?(stats = []) ?(spans = []) ?(snapshots = [])
     tables;
     gc;
     relevance;
+    service_latency;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -134,6 +137,33 @@ let table_to_json t =
              t.rows) );
     ]
 
+(* Bucket upper bounds can be [infinity] (the last one always is), which
+   JSON cannot carry as a number — the Prometheus spelling "+Inf" is
+   used instead. *)
+let bound_to_json b =
+  if b = infinity then Json.String "+Inf" else Json.Float b
+
+let latency_to_json (s : Histogram.summary) =
+  Json.Obj
+    [
+      ("name", Json.String s.Histogram.s_name);
+      ("unit", Json.String s.Histogram.s_unit);
+      ("count", Json.Int s.Histogram.s_count);
+      ("sum", Json.Float s.Histogram.s_sum);
+      ("max", Json.Float s.Histogram.s_max);
+      ("p50", Json.Float s.Histogram.s_p50);
+      ("p90", Json.Float s.Histogram.s_p90);
+      ("p99", Json.Float s.Histogram.s_p99);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (bound, cumulative) ->
+               Json.Obj
+                 [ ("le", bound_to_json bound);
+                   ("count", Json.Int cumulative) ])
+             s.Histogram.s_buckets) );
+    ]
+
 let gc_to_json g =
   Json.Obj
     [
@@ -161,10 +191,14 @@ let to_json r =
        ("tables", Json.List (List.map table_to_json r.tables));
      ]
     @ (match r.gc with None -> [] | Some g -> [ ("gc", gc_to_json g) ])
+    @ (match r.relevance with
+      | None -> []
+      | Some rel -> [ ("relevance", relevance_to_json rel) ])
     @
-    match r.relevance with
-    | None -> []
-    | Some rel -> [ ("relevance", relevance_to_json rel) ])
+    match r.service_latency with
+    | [] -> []
+    | latencies ->
+      [ ("service_latency", Json.List (List.map latency_to_json latencies)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -259,6 +293,46 @@ let relevance_of_json path json =
       rel_ratio;
     }
 
+let bound_of_json path json =
+  match json with
+  | Json.String "+Inf" -> Ok infinity
+  | _ -> (
+    match Json.to_float json with
+    | Some x -> Ok x
+    | None -> Error (path ^ ": bucket bound is neither a number nor \"+Inf\""))
+
+let latency_of_json path json =
+  let* s_name = req path "name" Json.to_str json in
+  let* s_unit = req path "unit" Json.to_str json in
+  let* s_count = req path "count" Json.to_int json in
+  let* s_sum = req path "sum" Json.to_float json in
+  let* s_max = req path "max" Json.to_float json in
+  let* s_p50 = req path "p50" Json.to_float json in
+  let* s_p90 = req path "p90" Json.to_float json in
+  let* s_p99 = req path "p99" Json.to_float json in
+  let* bucket_values = req path "buckets" Json.to_list json in
+  let* s_buckets =
+    decode_list (path ^ ".buckets")
+      (fun p v ->
+        let* le = field p "le" v in
+        let* bound = bound_of_json p le in
+        let* cumulative = req p "count" Json.to_int v in
+        Ok (bound, cumulative))
+      bucket_values
+  in
+  Ok
+    {
+      Histogram.s_name;
+      s_unit;
+      s_count;
+      s_sum;
+      s_max;
+      s_p50;
+      s_p90;
+      s_p99;
+      s_buckets;
+    }
+
 let table_of_json path json =
   let* title = req path "title" Json.to_str json in
   let* column_values = req path "columns" Json.to_list json in
@@ -348,6 +422,14 @@ let of_json json =
       | Some r ->
         Result.map Option.some (relevance_of_json (path ^ ".relevance") r)
     in
+    (* added in schema v3; absent in earlier documents *)
+    let* service_latency =
+      match Json.member "service_latency" json with
+      | None | Some Json.Null -> Ok []
+      | Some (Json.List values) ->
+        decode_list (path ^ ".service_latency") latency_of_json values
+      | Some _ -> Error (path ^ ": field \"service_latency\" must be an array")
+    in
     Ok
       {
         version;
@@ -360,6 +442,7 @@ let of_json json =
         tables;
         gc;
         relevance;
+        service_latency;
       }
 
 let validate json =
@@ -393,6 +476,46 @@ let validate json =
         else spans_ok rest
     in
     spans_ok r.spans
+  in
+  let* () =
+    let latency_ok (s : Histogram.summary) =
+      let name = s.Histogram.s_name in
+      if s.s_count < 0 then
+        Error
+          (Printf.sprintf "report.service_latency: %S has negative count" name)
+      else if s.s_p50 < 0. || s.s_p90 < s.s_p50 || s.s_p99 < s.s_p90 then
+        Error
+          (Printf.sprintf
+             "report.service_latency: %S quantiles not monotone" name)
+      else begin
+        let rec buckets_ok last = function
+          | [] -> Ok ()
+          | (_, cumulative) :: rest ->
+            if cumulative < last then
+              Error
+                (Printf.sprintf
+                   "report.service_latency: %S cumulative buckets regress"
+                   name)
+            else buckets_ok cumulative rest
+        in
+        let* () = buckets_ok 0 s.s_buckets in
+        match List.rev s.s_buckets with
+        | (_, total) :: _ when total <> s.s_count ->
+          Error
+            (Printf.sprintf
+               "report.service_latency: %S bucket total %d disagrees with \
+                count %d"
+               name total s.s_count)
+        | _ -> Ok ()
+      end
+    in
+    let rec all_ok = function
+      | [] -> Ok ()
+      | s :: rest ->
+        let* () = latency_ok s in
+        all_ok rest
+    in
+    all_ok r.service_latency
   in
   match r.relevance with
   | None -> Ok ()

@@ -8,12 +8,14 @@
     backwards-incompatible change (field removal, type change, meaning
     change); adding optional fields is compatible and does not bump it.
     v2 added the [relevance] section and [retained_bytes] on snapshot
-    points — both optional on read, so {!of_json} and {!validate} accept
-    every version from {!min_schema_version} up to the current one;
-    {!make} always stamps the current version. *)
+    points; v3 added the [service_latency] section (histogram summaries
+    of the live service's per-stage and emission latencies) — all
+    optional on read, so {!of_json} and {!validate} accept every version
+    from {!min_schema_version} up to the current one; {!make} always
+    stamps the current version. *)
 
 val schema_version : int
-(** Currently [2]. *)
+(** Currently [3]. *)
 
 val min_schema_version : int
 (** Oldest version this build still reads ([1]). *)
@@ -71,6 +73,9 @@ type t = {
   tables : table list;
   gc : gc_summary option;
   relevance : relevance option;
+  service_latency : Histogram.summary list;
+      (** schema v3: histogram summaries of the service's per-stage and
+          emission latencies; empty list = section absent *)
 }
 
 val make :
@@ -81,6 +86,7 @@ val make :
   ?tables:table list ->
   ?gc:gc_summary ->
   ?relevance:relevance ->
+  ?service_latency:Histogram.summary list ->
   kind:string ->
   unit ->
   t
@@ -99,8 +105,10 @@ val of_json : Json.t -> (t, string) result
 
 val validate : Json.t -> (unit, string) result
 (** {!of_json} plus semantic checks: snapshot series monotone in bytes,
-    span counts positive, relevance quantities consistent. What the CI
-    smoke-bench job runs. *)
+    span counts positive, relevance quantities consistent, and
+    service-latency histograms well-formed (monotone cumulative buckets
+    summing to the count, monotone quantiles). What the CI smoke-bench
+    job runs. *)
 
 val to_string : t -> string
 

@@ -50,7 +50,28 @@ let counter_limit = Telemetry.counter "xaos_service_limit_total"
 let counter_quarantined = Telemetry.counter "xaos_service_quarantined_total"
 let counter_readmitted = Telemetry.counter "xaos_service_readmitted_total"
 let gauge_live = Telemetry.gauge "xaos_service_live_subscriptions"
-let span_publish = Telemetry.span "service.publish"
+let span_publish =
+  Telemetry.span ~help:"time evaluating one published document"
+    "xaos_service_publish_seconds"
+
+(* Per-stage latency histograms (microsecond base, reported in seconds).
+   Parse and dispatch are recorded once per document; subscription match
+   time once per (document, run) pair from the outcome's [spent_s]. *)
+module Histogram = Xaos_obs.Histogram
+module Eventlog = Xaos_obs.Eventlog
+
+let hist_parse =
+  Histogram.create ~unit_:"s" ~scale:1e-6
+    ~help:"SAX parse time per document" "stage/parse"
+
+let hist_dispatch =
+  Histogram.create ~unit_:"s" ~scale:1e-6
+    ~help:"event dispatch + matching time per document" "stage/dispatch"
+
+let hist_sub_match =
+  Histogram.create ~unit_:"s" ~scale:1e-6
+    ~help:"per-subscription match time per document"
+    "stage/subscription_match"
 
 let create ?(config = default_config) () =
   { mu = Mutex.create (); config; set = Query_set.of_queries [];
@@ -123,6 +144,9 @@ let readmit_due t =
       | Some sub when not (Query_set.mem t.set name) ->
         Query_set.register t.set name sub.sub_query;
         Telemetry.incr counter_readmitted;
+        Eventlog.record ~kind:"readmit" ~reason:Eventlog.Backoff_elapsed
+          ~detail:[ ("tick", Json.Int t.tick); ("probation", Json.Bool true) ]
+          name;
         true
       | _ ->
         (* unsubscribed while quarantined *)
@@ -163,6 +187,13 @@ let account_outcomes t ~doc_died outcomes =
           ignore (Query_set.unregister t.set name);
           Telemetry.incr counter_quarantined;
           Telemetry.set_gauge gauge_live (Query_set.size t.set);
+          Eventlog.record ~level:Eventlog.Warn ~kind:"quarantine"
+            ~reason:
+              (if o.failed <> None then Eventlog.Engine_raised
+               else Eventlog.Budget_exceeded)
+            ~detail:
+              [ ("tick", Json.Int t.tick); ("reason", Json.String reason) ]
+            name;
           Some (name, reason)))
     outcomes
 
@@ -192,29 +223,79 @@ let publish t ~doc_id doc =
       ~on_fault:(fun _ -> incr faults)
       doc
   in
+  let parse_s = ref 0. and dispatch_s = ref 0. in
   (try
-     let rec loop () =
-       match Sax.next parser with
-       | None -> ()
-       | Some ev ->
-         incr events;
-         Query_set.feed session ev;
-         (match t.config.deadline_s with
-         | Some d
-           when !events land 63 = 0
-                && Unix.gettimeofday () -. started > d ->
-           deadline_hit := true
-         | _ -> ());
-         if not !deadline_hit then loop ()
-     in
-     loop ()
+     if Telemetry.enabled () then begin
+       (* instrumented loop: split time between the parser pull and the
+          dispatch/match step, and keep the session's byte offset
+          current so results are stamped for emission latency. Separate
+          from the plain loop so the telemetry-off path never reads the
+          clock. *)
+       let rec loop () =
+         let t0 = Telemetry.now () in
+         let pulled = Sax.next parser in
+         parse_s := !parse_s +. (Telemetry.now () -. t0);
+         match pulled with
+         | None -> ()
+         | Some ev ->
+           incr events;
+           Query_set.set_stream_byte session (Sax.bytes_read parser);
+           let t1 = Telemetry.now () in
+           Query_set.feed session ev;
+           dispatch_s := !dispatch_s +. (Telemetry.now () -. t1);
+           (match t.config.deadline_s with
+           | Some d
+             when !events land 63 = 0
+                  && Unix.gettimeofday () -. started > d ->
+             deadline_hit := true
+           | _ -> ());
+           if not !deadline_hit then loop ()
+       in
+       loop ()
+     end
+     else
+       let rec loop () =
+         match Sax.next parser with
+         | None -> ()
+         | Some ev ->
+           incr events;
+           Query_set.feed session ev;
+           (match t.config.deadline_s with
+           | Some d
+             when !events land 63 = 0
+                  && Unix.gettimeofday () -. started > d ->
+             deadline_hit := true
+           | _ -> ());
+           if not !deadline_hit then loop ()
+       in
+       loop ()
    with Sax.Limit_exceeded (_, kind, _) ->
      limit_hit := Some (Sax.limit_kind_name kind));
   let doc_died = !deadline_hit || !limit_hit <> None in
+  if !deadline_hit then
+    Eventlog.record ~level:Eventlog.Warn ~kind:"doc-end"
+      ~reason:Eventlog.Doc_deadline
+      ~detail:[ ("tick", Json.Int t.tick); ("events", Json.Int !events) ]
+      doc_id;
+  (match !limit_hit with
+  | Some kind ->
+    Eventlog.record ~level:Eventlog.Warn ~kind:"doc-end"
+      ~reason:(Eventlog.Sax_limit kind)
+      ~detail:[ ("tick", Json.Int t.tick); ("events", Json.Int !events) ]
+      doc_id
+  | None -> ());
   let outcomes =
     if doc_died then Query_set.finish_partial session
     else Query_set.finish session
   in
+  if Telemetry.enabled () then begin
+    Histogram.record_seconds hist_parse !parse_s;
+    Histogram.record_seconds hist_dispatch !dispatch_s;
+    List.iter
+      (fun (o : Query_set.outcome) ->
+        Histogram.record_seconds hist_sub_match o.spent_s)
+      outcomes
+  end;
   let quarantined_now = account_outcomes t ~doc_died outcomes in
   let matches =
     List.filter_map
@@ -269,6 +350,9 @@ let stats t =
     ("service/live_subscriptions", f (Query_set.size t.set));
     ("service/quarantined_now",
      f (List.length (Quarantine.quarantined t.quarantine))) ]
+  @ Histogram.stats ()
+
+let quarantined t = with_lock t @@ fun () -> Quarantine.quarantined t.quarantine
 
 let report ?(extra_stats = []) t =
   let stats = stats t @ extra_stats in
@@ -285,4 +369,6 @@ let report ?(extra_stats = []) t =
       ("subscriptions", Json.Int (Hashtbl.length t.subs)) ]
   in
   Report.make ~kind:"service" ~config ~stats
-    ~spans:(Telemetry.span_summaries ()) ~gc:(Report.gc_now ()) ()
+    ~spans:(Telemetry.span_summaries ())
+    ~service_latency:(Histogram.summaries ())
+    ~gc:(Report.gc_now ()) ()

@@ -80,7 +80,14 @@ type doc_outcome = {
 val publish : t -> doc_id:string -> string -> doc_outcome
 (** Evaluate one document against every live subscription. Never raises
     on document content: malformed bytes, limit trips, budget trips and
-    engine failures all land in the outcome. *)
+    engine failures all land in the outcome.
+
+    While telemetry is enabled, per-stage latencies are recorded into
+    the [stage/parse], [stage/dispatch] and [stage/subscription_match]
+    histograms, result emission latency (in document bytes) into
+    [engine/emission], and every supervision decision — quarantine,
+    re-admission, document-level end — into the {!Xaos_obs.Eventlog}
+    with a typed reason code. *)
 
 (** {1 Observability} *)
 
@@ -89,7 +96,13 @@ val docs_seen : t -> int
 val stats : t -> (string * float) list
 (** Scalar counters for the run report: documents, events, faults,
     matches, deadline/limit ends, aborts, failures, quarantine and
-    re-admission totals, live/quarantined subscription counts. *)
+    re-admission totals, live/quarantined subscription counts, plus the
+    key quantiles of every non-empty latency histogram
+    ({!Xaos_obs.Histogram.stats}). *)
+
+val quarantined : t -> (string * string * int) list
+(** Currently quarantined subscriptions: (name, reason, release tick) —
+    what [xaos top] shows. *)
 
 val report : ?extra_stats:(string * float) list -> t -> Xaos_obs.Report.t
 (** Schema-current run report of kind ["service"]; [extra_stats] lets

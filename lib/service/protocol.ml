@@ -5,6 +5,8 @@ type request =
   | Unsubscribe of { name : string }
   | Publish of { doc_id : string; priority : int; doc : string }
   | Stats
+  | Stats_stream of { interval_s : float; count : int option }
+  | Metrics
   | Report
   | Shutdown
 
@@ -13,6 +15,8 @@ let op_name = function
   | Unsubscribe _ -> "unsubscribe"
   | Publish _ -> "publish"
   | Stats -> "stats"
+  | Stats_stream _ -> "stats-stream"
+  | Metrics -> "metrics"
   | Report -> "report"
   | Shutdown -> "shutdown"
 
@@ -25,7 +29,10 @@ let request_to_json r =
     | Publish { doc_id; priority; doc } ->
       [ ("id", Json.String doc_id); ("priority", Json.Int priority);
         ("doc", Json.String doc) ]
-    | Stats | Report | Shutdown -> []
+    | Stats_stream { interval_s; count } ->
+      ("interval_s", Json.Float interval_s)
+      :: (match count with Some n -> [ ("count", Json.Int n) ] | None -> [])
+    | Stats | Metrics | Report | Shutdown -> []
   in
   Json.Obj (("op", Json.String (op_name r)) :: fields)
 
@@ -59,6 +66,20 @@ let request_of_json j =
       in
       Ok (Publish { doc_id; priority; doc })
     | Some "stats" -> Ok Stats
+    | Some "stats-stream" ->
+      let interval_s =
+        match Json.member "interval_s" j with
+        | Some v -> Option.value ~default:1.0 (Json.to_float v)
+        | None -> 1.0
+      in
+      let count =
+        match Json.member "count" j with
+        | Some v -> Json.to_int v
+        | None -> None
+      in
+      if interval_s <= 0. then Error "field \"interval_s\" must be positive"
+      else Ok (Stats_stream { interval_s; count })
+    | Some "metrics" -> Ok Metrics
     | Some "report" -> Ok Report
     | Some "shutdown" -> Ok Shutdown
     | Some other -> Error (Printf.sprintf "unknown op %S" other))

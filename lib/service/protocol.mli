@@ -8,6 +8,8 @@
     {"op":"unsubscribe","name":"q1"}
     {"op":"publish","id":"doc-1","priority":5,"doc":"<a><b/></a>"}
     {"op":"stats"} {"op":"report"} {"op":"shutdown"}
+    {"op":"stats-stream","interval_s":1.0,"count":10}
+    {"op":"metrics"}
     v}
 
     Responses and asynchronous events (server → client) carry either an
@@ -16,14 +18,24 @@
     [processed] (the document this connection published was evaluated,
     with per-subscription match counts and fault accounting),
     [overload] (the published document was shed or displaced by admission
-    control), and [quarantine]/[readmit] (lifecycle of a subscription
-    this connection owns). *)
+    control), [quarantine]/[readmit] (lifecycle of a subscription
+    this connection owns), and [stats] (one periodic snapshot of a
+    running [stats-stream]). *)
 
 type request =
   | Subscribe of { name : string; query : string }
   | Unsubscribe of { name : string }
   | Publish of { doc_id : string; priority : int; doc : string }
   | Stats
+  | Stats_stream of { interval_s : float; count : int option }
+      (** push a ["stats"] event with the full stats snapshot every
+          [interval_s] seconds on this connection, [count] times ([None]
+          = until the connection closes). [interval_s] defaults to 1.0
+          on the wire and must be positive. *)
+  | Metrics
+      (** one-shot Prometheus-style text exposition of every telemetry
+          cell and latency histogram ({!Xaos_obs.Expose.render}),
+          returned in the ["metrics"] field of the reply *)
   | Report
   | Shutdown
 

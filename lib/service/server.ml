@@ -1,6 +1,9 @@
 module Json = Xaos_obs.Json
 module Telemetry = Xaos_obs.Telemetry
 module Report = Xaos_obs.Report
+module Histogram = Xaos_obs.Histogram
+module Eventlog = Xaos_obs.Eventlog
+module Expose = Xaos_obs.Expose
 
 type config = {
   socket_path : string;
@@ -20,7 +23,9 @@ type client = {
   fd : Unix.file_descr;
   out_mu : Mutex.t;
   out_cond : Condition.t;
-  out : string Queue.t;
+  out : (string * float) Queue.t;
+      (** (line, enqueue stamp); the stamp is 0. while telemetry is off
+          and feeds the writer-queue-wait histogram otherwise *)
   mutable out_closed : bool;
 }
 
@@ -28,6 +33,9 @@ type pending = {
   p_doc_id : string;
   p_doc : string;
   p_client : client;
+  p_enqueued_at : float;
+      (** admission stamp (0. while telemetry is off); feeds the
+          ingress-queue-wait histogram when the evaluator picks it up *)
 }
 
 type t = {
@@ -56,6 +64,16 @@ let counter_crashes = Telemetry.counter "xaos_service_thread_crashes_total"
 let gauge_connections = Telemetry.gauge "xaos_service_connections"
 let gauge_queue = Telemetry.gauge "xaos_service_ingress_queue"
 
+let hist_ingress_wait =
+  Histogram.create ~unit_:"s" ~scale:1e-6
+    ~help:"time a document waited in the ingress queue before evaluation"
+    "stage/ingress_wait"
+
+let hist_writer_wait =
+  Histogram.create ~unit_:"s" ~scale:1e-6
+    ~help:"time a response waited in a client out-queue before the write"
+    "stage/writer_wait"
+
 let with_lock t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
@@ -65,7 +83,11 @@ let with_lock t f =
 let guarded t f () =
   try f () with
   | Thread.Exit -> ()
-  | _exn ->
+  | exn ->
+    Eventlog.record ~level:Eventlog.Error ~kind:"crash"
+      ~reason:Eventlog.Thread_crash
+      ~detail:[ ("exn", Json.String (Printexc.to_string exn)) ]
+      "thread";
     with_lock t @@ fun () ->
     t.crashes <- t.crashes + 1;
     Telemetry.incr counter_crashes
@@ -73,12 +95,13 @@ let guarded t f () =
 (* {1 Per-client output: bounded queue + writer thread} *)
 
 let enqueue t c line =
+  let stamp = if Telemetry.enabled () then Telemetry.now () else 0. in
   Mutex.lock c.out_mu;
   let dropped =
     if c.out_closed then false
     else if Queue.length c.out >= t.config.out_queue then true
     else begin
-      Queue.push line c.out;
+      Queue.push (line, stamp) c.out;
       Condition.signal c.out_cond;
       false
     end
@@ -86,7 +109,10 @@ let enqueue t c line =
   Mutex.unlock c.out_mu;
   if dropped then begin
     with_lock t (fun () -> t.dropped <- t.dropped + 1);
-    Telemetry.incr counter_dropped
+    Telemetry.incr counter_dropped;
+    Eventlog.record ~level:Eventlog.Warn ~kind:"drop"
+      ~reason:Eventlog.Out_queue_full
+      ("client-" ^ string_of_int c.cid)
   end
 
 let send t c json = enqueue t c (Protocol.to_line json)
@@ -152,7 +178,9 @@ let writer_loop t c () =
     Mutex.unlock c.out_mu;
     match line with
     | None -> ()
-    | Some line ->
+    | Some (line, stamp) ->
+      if stamp > 0. then
+        Histogram.record_seconds hist_writer_wait (Telemetry.now () -. stamp);
       (* SO_SNDTIMEO turns a stalled consumer into EAGAIN here *)
       (match write_all c.fd line with
       | () -> loop ()
@@ -198,8 +226,10 @@ let rec handle_request t c req =
     else send t c (Protocol.error ~op:"unsubscribe" ("unknown: " ^ name))
   | Protocol.Publish { doc_id; priority; doc } -> (
     let verdict =
-      Ingress.offer t.ingress ~priority { p_doc_id = doc_id; p_doc = doc;
-                                          p_client = c }
+      Ingress.offer t.ingress ~priority
+        { p_doc_id = doc_id; p_doc = doc; p_client = c;
+          p_enqueued_at =
+            (if Telemetry.enabled () then Telemetry.now () else 0.) }
     in
     Telemetry.set_gauge gauge_queue (Ingress.length t.ingress);
     match verdict with
@@ -209,9 +239,17 @@ let rec handle_request t c req =
            [ ("id", Json.String doc_id); ("queued", Json.Bool true) ])
     | Ingress.Shed_incoming ->
       Telemetry.incr counter_shed;
+      Eventlog.record ~level:Eventlog.Warn ~kind:"shed"
+        ~reason:Eventlog.Queue_full
+        ~detail:[ ("priority", Json.Int priority) ]
+        doc_id;
       send t c (Protocol.overload ~doc_id ~shed:`Incoming)
     | Ingress.Displaced victim ->
       Telemetry.incr counter_displaced;
+      Eventlog.record ~level:Eventlog.Warn ~kind:"displace"
+        ~reason:Eventlog.Displaced
+        ~detail:[ ("by", Json.String doc_id) ]
+        victim.p_doc_id;
       send t c
         (Protocol.ok ~op:"publish"
            [ ("id", Json.String doc_id); ("queued", Json.Bool true) ]);
@@ -220,6 +258,18 @@ let rec handle_request t c req =
   | Protocol.Stats ->
     let fields = List.map (fun (k, v) -> (k, Json.Float v)) (stats t) in
     send t c (Protocol.ok ~op:"stats" [ ("stats", Json.Obj fields) ])
+  | Protocol.Metrics ->
+    send t c
+      (Protocol.ok ~op:"metrics"
+         [ ("metrics", Json.String (Expose.render ())) ])
+  | Protocol.Stats_stream { interval_s; count } ->
+    send t c
+      (Protocol.ok ~op:"stats-stream"
+         [ ("interval_s", Json.Float interval_s);
+           ("count",
+            match count with Some n -> Json.Int n | None -> Json.Null) ]);
+    ignore
+      (Thread.create (guarded t (stats_stream_loop t c ~interval_s ~count)) ())
   | Protocol.Report ->
     send t c
       (Protocol.ok ~op:"report"
@@ -227,6 +277,50 @@ let rec handle_request t c req =
   | Protocol.Shutdown ->
     send t c (Protocol.ok ~op:"shutdown" []);
     stop t
+
+(* {1 Stats streaming: one pusher thread per subscribed connection} *)
+
+(* Pushes a ["stats"] event every [interval_s] seconds until [count]
+   snapshots are out, the connection closes, or the server stops. A
+   slow consumer costs nothing extra: snapshots land in the same
+   bounded out-queue as everything else and are dropped like any other
+   response when it is full. *)
+and stats_stream_loop t c ~interval_s ~count () =
+  let started = Unix.gettimeofday () in
+  let closed () =
+    Mutex.lock c.out_mu;
+    let v = c.out_closed in
+    Mutex.unlock c.out_mu;
+    v || with_lock t (fun () -> t.stopping)
+  in
+  let rec go seq =
+    if not (closed ()) then begin
+      let fields = List.map (fun (k, v) -> (k, Json.Float v)) (stats t) in
+      let quarantined =
+        List.map
+          (fun (name, reason, release) ->
+            Json.Obj
+              [ ("name", Json.String name);
+                ("reason", Json.String reason);
+                ("release_tick", Json.Int release) ])
+          (Broker.quarantined t.brk)
+      in
+      send t c
+        (Protocol.event ~kind:"stats"
+           [ ("seq", Json.Int seq);
+             ("elapsed_s", Json.Float (Unix.gettimeofday () -. started));
+             ("stats", Json.Obj fields);
+             ("quarantined", Json.List quarantined) ]);
+      let more =
+        match count with Some n -> seq + 1 < n | None -> true
+      in
+      if more then begin
+        Thread.delay interval_s;
+        go (seq + 1)
+      end
+    end
+  in
+  go 0
 
 (* {1 Reader: line framing over a streaming socket} *)
 
@@ -269,6 +363,9 @@ and reader_loop t c () =
 
 and process_pending t p =
   Telemetry.set_gauge gauge_queue (Ingress.length t.ingress);
+  if p.p_enqueued_at > 0. then
+    Histogram.record_seconds hist_ingress_wait
+      (Telemetry.now () -. p.p_enqueued_at);
   let o = Broker.publish t.brk ~doc_id:p.p_doc_id p.p_doc in
   send t p.p_client
     (Protocol.event ~kind:"processed"
@@ -329,7 +426,11 @@ and evaluator_loop t () =
     | Some p ->
       (try process_pending t p with
       | Thread.Exit -> raise Thread.Exit
-      | _exn ->
+      | exn ->
+        Eventlog.record ~level:Eventlog.Error ~kind:"crash"
+          ~reason:Eventlog.Thread_crash
+          ~detail:[ ("exn", Json.String (Printexc.to_string exn)) ]
+          p.p_doc_id;
         with_lock t (fun () -> t.crashes <- t.crashes + 1);
         Telemetry.incr counter_crashes);
       loop ()

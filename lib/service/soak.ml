@@ -12,12 +12,13 @@ type config = {
   seed : int;
   socket_path : string;
   report_path : string option;
+  event_log_path : string option;
 }
 
 let default_config =
   { docs = 2000; subs = 100; fault_rate = 0.15; seed = 42;
     socket_path = Filename.concat (Filename.get_temp_dir_name ()) "xaos-soak.sock";
-    report_path = None }
+    report_path = None; event_log_path = None }
 
 type summary = {
   published : int;
@@ -40,6 +41,10 @@ type summary = {
   overload_seen : bool;
   crashes : int;
   report_valid : bool;
+  log_quarantines : int;
+  log_sheds : int;
+  log_readmits : int;
+  latency_sections : string list;
   report : Report.t;
 }
 
@@ -284,7 +289,34 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
                    | [] -> None
                    | items -> Some (o.query_name, List.length items))))
   in
-  (* 3. the server under test *)
+  (* 3. observability on for the duration: latency histograms fill and
+     every supervision decision lands in the event log (and the NDJSON
+     file when configured). Enabled after the oracle runs so the
+     histograms hold only what the server under test did; prior state
+     is restored on the way out. *)
+  let tel_was = Xaos_obs.Telemetry.enabled () in
+  let log_was = Xaos_obs.Eventlog.enabled () in
+  Xaos_obs.Telemetry.enable ();
+  Xaos_obs.Histogram.reset_all ();
+  Xaos_obs.Eventlog.enable ();
+  Xaos_obs.Eventlog.set_capacity 8192;
+  let sink_ch =
+    match cfg.event_log_path with
+    | None -> None
+    | Some path ->
+      let oc = open_out path in
+      (* OCaml 5 channels serialize concurrent writers internally *)
+      Xaos_obs.Eventlog.set_sink
+        (Some (fun line -> output_string oc (line ^ "\n")));
+      Some oc
+  in
+  Fun.protect ~finally:(fun () ->
+      Xaos_obs.Eventlog.set_sink None;
+      (match sink_ch with Some oc -> close_out_noerr oc | None -> ());
+      if not log_was then Xaos_obs.Eventlog.disable ();
+      if not tel_was then Xaos_obs.Telemetry.disable ())
+  @@ fun () ->
+  (* 4. the server under test *)
   progress "server: starting";
   let server_cfg =
     { (Server.default_config cfg.socket_path) with
@@ -457,6 +489,23 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
         done;
         !n)
   in
+  (* typed event-log accounting: only records carrying a reason code
+     count — the gate is on *typed* supervision records, not prose *)
+  let log_events = Xaos_obs.Eventlog.events () in
+  let count_kind k =
+    List.length
+      (List.filter
+         (fun (e : Xaos_obs.Eventlog.event) -> e.kind = k && e.reason <> None)
+         log_events)
+  in
+  let latency_sections =
+    List.filter_map
+      (fun (s : Xaos_obs.Histogram.summary) ->
+        if s.Xaos_obs.Histogram.s_count > 0 then
+          Some s.Xaos_obs.Histogram.s_name
+        else None)
+      report.Report.service_latency
+  in
   let summary =
     locked ty (fun () ->
         { published = cfg.docs - !client_aborts; completed;
@@ -470,7 +519,10 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
           readmitted_total = stat "service/readmitted"; checked = !checked;
           mismatches = !mismatches; mismatch_examples = List.rev !examples;
           overload_seen; crashes = Server.crash_count server; report_valid;
-          report })
+          log_quarantines = count_kind "quarantine";
+          log_sheds = count_kind "shed";
+          log_readmits = count_kind "readmit";
+          latency_sections; report })
   in
   progress "done";
   (* shutdown, not just close: it wakes the reader threads blocked in
@@ -500,4 +552,19 @@ let healthy s =
   else if s.quarantined_total = 0 then Error "quarantine never triggered"
   else if s.readmitted_total = 0 then Error "re-admission never triggered"
   else if not s.report_valid then Error "final report failed validation"
+  else if s.log_quarantines = 0 then
+    Error "no typed quarantine record in the event log"
+  else if s.log_sheds = 0 then Error "no typed shed record in the event log"
+  else if s.log_readmits = 0 then
+    Error "no typed readmit record in the event log"
+  else if
+    not
+      (List.for_all
+         (fun h -> List.mem h s.latency_sections)
+         [ "stage/parse"; "stage/dispatch"; "stage/subscription_match";
+           "engine/emission" ])
+  then
+    Error
+      (Printf.sprintf "latency histograms incomplete (have: %s)"
+         (String.concat ", " s.latency_sections))
   else Ok ()

@@ -34,11 +34,19 @@ type config = {
   seed : int;
   socket_path : string;
   report_path : string option;  (** write the final run report here *)
+  event_log_path : string option;
+      (** stream every {!Xaos_obs.Eventlog} record to this NDJSON file
+          as it happens — the artifact CI uploads *)
 }
 
 val default_config : config
 (** 2000 docs, 100 subs, fault rate 0.15, seed 42, socket in the temp
-    directory, no report file. *)
+    directory, no report or event-log file.
+
+    The harness enables {!Xaos_obs.Telemetry} and the
+    {!Xaos_obs.Eventlog} for the duration of {!run} (restoring the
+    prior state on exit), so the summary's report carries populated
+    per-stage and emission-latency histograms. *)
 
 type summary = {
   published : int;  (** main-stream documents offered *)
@@ -61,6 +69,12 @@ type summary = {
   overload_seen : bool;
   crashes : int;  (** server thread crashes — must be 0 *)
   report_valid : bool;  (** final report passed {!Xaos_obs.Report.validate} *)
+  log_quarantines : int;
+      (** typed (reason-coded) quarantine records in the event log *)
+  log_sheds : int;
+  log_readmits : int;
+  latency_sections : string list;
+      (** names of the non-empty latency histograms in the final report *)
   report : Xaos_obs.Report.t;
 }
 
@@ -72,5 +86,7 @@ val run : ?progress:(string -> unit) -> config -> summary
 val healthy : summary -> (unit, string) result
 (** The acceptance gate in one place: [Ok] when no crashes, no
     differential mismatches, every published document accounted for,
-    quarantine + re-admission + overload all observed, and the report
-    schema-valid; [Error reason] otherwise. *)
+    quarantine + re-admission + overload all observed, the report
+    schema-valid, the event log holding at least one typed quarantine,
+    shed and readmit record, and the per-stage + emission latency
+    histograms all non-empty; [Error reason] otherwise. *)

@@ -105,7 +105,7 @@ PART=$("$XAOS" eval --partial-ok --count '//listitem/ancestor::category//name' "
 "$XAOS" eval --count --report "$WORK/run.json" \
   '//listitem/ancestor::category//name' "$WORK/xm.xml" > /dev/null
 test -s "$WORK/run.json" || fail "--report wrote nothing"
-OUT=$(grep -c '"schema_version": 2' "$WORK/run.json")
+OUT=$(grep -c '"schema_version": 3' "$WORK/run.json")
 expect "report carries schema version" "1" "$OUT"
 OUT=$(grep -c '"relevance"' "$WORK/run.json")
 expect "report carries relevance section" "1" "$OUT"
@@ -175,6 +175,7 @@ expect "trace --help documents the default limit" "1" "$OUT"
 SOCK="$WORK/service.sock"
 printf '//b\n# comment\n//c\n' > "$WORK/service_subs.txt"
 "$XAOS" serve --socket "$SOCK" --subscriptions "$WORK/service_subs.txt" \
+  --metrics "$WORK/serve_metrics.ndjson" --snapshot-interval 0.2 \
   2> "$WORK/serve.log" &
 SERVE_PID=$!
 for _ in $(seq 1 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
@@ -191,6 +192,35 @@ echo "$OUT" | grep -q '"service/docs":1' || fail "service stats missed the docum
 echo "$OUT" | grep -q '"service/live_subscriptions":3' \
   || fail "service stats misses the subscriptions"
 code 2 "$XAOS" publish --socket "$WORK/no_such.sock" "$WORK/small.xml"
+
+# --- observability against the live server ----------------------------------
+# one-shot exposition scrape: well-formed, and the published document shows
+OUT=$("$XAOS" metrics --socket "$SOCK")
+echo "$OUT" | grep -q '^# TYPE xaos_service_docs_total counter' \
+  || fail "metrics scrape misses the docs counter type line"
+echo "$OUT" | grep -q '^xaos_service_docs_total 1$' \
+  || fail "metrics scrape misses the published document"
+echo "$OUT" | grep -q '^xaos_stage_parse_seconds_count [1-9]' \
+  || fail "metrics scrape has an empty parse-stage histogram"
+# every sample line is  name[{labels}] value  — no malformed exposition rows
+BAD=$(echo "$OUT" | grep -v '^#' | grep -v '^$' \
+  | grep -cv '^xaos_[a-z_]*\({[^}]*}\)\? [0-9.eE+-]*$' || true)
+expect "exposition sample lines well-formed" "0" "$BAD"
+code 2 "$XAOS" metrics --socket "$WORK/no_such.sock"
+
+# stats-stream pushes periodic snapshots: two frames within the timeout
+set +e
+timeout 3 "$XAOS" top --socket "$SOCK" --interval 0.3 > "$WORK/top.out"
+set -e
+OUT=$(grep -c 'snapshot #' "$WORK/top.out")
+[ "$OUT" -ge 2 ] || fail "stats-stream delivered $OUT snapshots, wanted >= 2"
+
+# top --once renders a single frame without a TTY and exits
+OUT=$("$XAOS" top --socket "$SOCK" --once)
+echo "$OUT" | grep -q 'snapshot #' || fail "top --once rendered no snapshot"
+echo "$OUT" | grep -q 'docs 1' || fail "top --once misses the document count"
+echo "$OUT" | grep -q 'parse' || fail "top --once misses the latency table"
+
 sleep 0.2
 grep -q '"event":"match"' "$WORK/sub.log" || fail "subscriber saw no match event"
 kill -INT "$SERVE_PID"
@@ -198,15 +228,35 @@ wait "$SERVE_PID" 2>/dev/null || true
 wait "$SUB_PID" 2>/dev/null || true
 [ -S "$SOCK" ] && fail "socket file not removed on shutdown"
 grep -q 'service stopped' "$WORK/serve.log" || fail "serve did not stop cleanly"
+# the --metrics sampler streamed periodic NDJSON snapshots and a final
+# exposition dump
+OUT=$(grep -c '"stats"' "$WORK/serve_metrics.ndjson")
+[ "$OUT" -ge 2 ] || fail "serve --metrics sampled $OUT snapshots, wanted >= 2"
+grep -q '^# TYPE xaos_service_docs_total counter' "$WORK/serve_metrics.ndjson" \
+  || fail "serve --metrics misses the final exposition"
 
-# --- chaos soak smoke: healthy run, valid report -----------------------------
+# --- chaos soak smoke: healthy run, valid report, event log ------------------
 "$XAOS" soak --docs 120 --subs 25 --socket "$WORK/soak.sock" \
-  --report "$WORK/soak.json" --quiet > "$WORK/soak.out" \
+  --report "$WORK/soak.json" --event-log "$WORK/soak_events.ndjson" \
+  --quiet > "$WORK/soak.out" \
   || fail "soak smoke unhealthy"
 grep -q 'HEALTHY' "$WORK/soak.out" || fail "soak did not report HEALTHY"
 grep -q 'crashes 0' "$WORK/soak.out" || fail "soak reported crashes"
 "$XAOS" report validate "$WORK/soak.json" > /dev/null \
   || fail "soak report failed validation"
+grep -q '"service_latency"' "$WORK/soak.json" \
+  || fail "soak report misses the latency section"
+grep -q '"stage/parse"' "$WORK/soak.json" \
+  || fail "soak report misses the parse-stage histogram"
+grep -q '"engine/emission"' "$WORK/soak.json" \
+  || fail "soak report misses the emission histogram"
+# the event log streamed typed supervision records
+grep -q '"reason":"budget-exceeded"' "$WORK/soak_events.ndjson" \
+  || fail "event log misses a typed quarantine record"
+grep -q '"reason":"backoff-elapsed"' "$WORK/soak_events.ndjson" \
+  || fail "event log misses a typed readmit record"
+grep -q '"reason":"queue-full"' "$WORK/soak_events.ndjson" \
+  || fail "event log misses a typed shed record"
 
 # --- generate random is deterministic ---------------------------------------
 "$XAOS" generate random --seed 5 --elements 500 -o "$WORK/r1.xml" --query-out "$WORK/q1" 2>/dev/null

@@ -23,6 +23,7 @@ let () =
       ("misc", Test_misc.suite);
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
+      ("histogram", Test_histogram.suite);
       ("tracer", Test_tracer.suite);
       ("properties", Test_properties.suite);
       ("hardening", Test_hardening.suite);

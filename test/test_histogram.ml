@@ -1,0 +1,154 @@
+(* Service-latency histograms: bucket placement at the power-of-two
+   boundaries, the <2x quantile overshoot bound, cross-thread scratch
+   merging, and the zero-cost disabled record path. *)
+
+module Tel = Xaos_obs.Telemetry
+module H = Xaos_obs.Histogram
+
+let fresh () =
+  Tel.reset ();
+  Tel.disable ()
+
+(* Cumulative count at the bucket whose upper bound is [bound]. *)
+let cum_at summary bound =
+  match List.assoc_opt bound summary.H.s_buckets with
+  | Some c -> c
+  | None -> Alcotest.failf "no bucket with bound %g" bound
+
+let test_disabled_record_is_noop () =
+  fresh ();
+  let h = H.make "test/disabled" in
+  H.record h 42;
+  H.record_seconds h 0.5;
+  Alcotest.(check int) "nothing recorded" 0 (H.count h);
+  Alcotest.(check (float 0.)) "quantile of empty" 0. (H.p99 h)
+
+let test_bucket_boundaries () =
+  fresh ();
+  Tel.enable ();
+  let h = H.make "test/bounds" in
+  (* an observed value falls in the bucket whose upper bound is the
+     smallest power of two >= the value; 0 and 1 share bucket 0 *)
+  List.iter (H.record h) [ 0; 1; 2; 3; 4; 5; 1024; 1025 ];
+  let s = H.summary h in
+  Alcotest.(check int) "<=1" 2 (cum_at s 1.);
+  Alcotest.(check int) "<=2" 3 (cum_at s 2.);
+  Alcotest.(check int) "<=4" 5 (cum_at s 4.);
+  Alcotest.(check int) "<=8" 6 (cum_at s 8.);
+  Alcotest.(check int) "<=1024" 7 (cum_at s 1024.);
+  Alcotest.(check int) "<=2048" 8 (cum_at s 2048.);
+  Alcotest.(check int) "+inf holds all" 8 (cum_at s infinity);
+  Alcotest.(check int) "bucket count" H.bucket_count
+    (List.length s.H.s_buckets);
+  (* negative observations clamp to zero instead of corrupting a sum *)
+  H.record h (-7);
+  Alcotest.(check int) "clamped into bucket 0" 3 (cum_at (H.summary h) 1.);
+  (* beyond 2^30 lands in +inf, whose quantile is the exact maximum *)
+  let big = H.make "test/big" in
+  H.record big (1 lsl 40);
+  Alcotest.(check (float 0.)) "+inf quantile = exact max"
+    (float_of_int (1 lsl 40))
+    (H.p99 big)
+
+(* The documented accuracy contract: the estimate is the bucket's upper
+   bound, so true_v <= estimate < 2 * true_v for every quantile (the
+   +inf bucket reports the exact maximum and is exact). *)
+let test_quantile_error_bound () =
+  fresh ();
+  Tel.enable ();
+  let h = H.make "test/quantiles" in
+  let values = List.init 1000 (fun i -> (7 * i) + 1) in
+  List.iter (H.record h) values;
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  List.iter
+    (fun q ->
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      let true_v = float_of_int (List.nth sorted (rank - 1)) in
+      let est = H.quantile h q in
+      if est < true_v then
+        Alcotest.failf "q=%g: estimate %g below true %g" q est true_v;
+      if est >= 2. *. true_v then
+        Alcotest.failf "q=%g: estimate %g >= 2x true %g" q est true_v)
+    [ 0.01; 0.25; 0.50; 0.90; 0.99 ];
+  Alcotest.(check (float 0.)) "max exact" 6994. (H.max_value h);
+  Alcotest.(check (float 0.)) "q=1 hits a real bound" 8192. (H.quantile h 1.0)
+
+let test_cross_thread_merge () =
+  fresh ();
+  Tel.enable ();
+  let shared = H.make "test/merge" in
+  let lock = Mutex.create () in
+  let worker lo =
+    Thread.create
+      (fun () ->
+        (* lock-free private scratch, folded in under the shared lock —
+           the usage pattern the server's worker threads follow *)
+        let scratch = H.make "test/merge/scratch" in
+        for v = lo to lo + 499 do
+          H.record scratch v
+        done;
+        Mutex.lock lock;
+        H.merge ~into:shared scratch;
+        Mutex.unlock lock)
+      ()
+  in
+  let threads = [ worker 1; worker 501 ] in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "all observations merged" 1000 (H.count shared);
+  Alcotest.(check (float 0.)) "max survives merge" 1000. (H.max_value shared);
+  Alcotest.(check (float 0.)) "sum survives merge"
+    (float_of_int (1000 * 1001 / 2))
+    (H.sum shared);
+  (* merging drained scratch data must work even after the sink went
+     off mid-run *)
+  let late = H.make "test/late" in
+  H.record late 9;
+  Tel.disable ();
+  H.merge ~into:shared late;
+  Alcotest.(check int) "merge is unconditional" 1001 (H.count shared)
+
+let test_scaled_seconds () =
+  fresh ();
+  Tel.enable ();
+  (* a seconds histogram records microseconds and scales on read *)
+  let h = H.make ~unit_:"s" ~scale:1e-6 "test/seconds" in
+  H.record_seconds h 0.001;
+  Alcotest.(check int) "one observation" 1 (H.count h);
+  Alcotest.(check (float 1e-9)) "sum back in seconds" 0.001 (H.sum h);
+  (* 1000us falls in the 1024us bucket; the bound reads as seconds *)
+  Alcotest.(check (float 1e-9)) "bound scaled to seconds" 0.001024 (H.p50 h)
+
+let test_registry_and_stats () =
+  fresh ();
+  Tel.enable ();
+  let h = H.create ~unit_:"bytes" "test/registered" in
+  Alcotest.(check bool) "create dedups" true (H.create "test/registered" == h);
+  Alcotest.(check bool) "findable" true (H.find "test/registered" = Some h);
+  H.record h 100;
+  let stats = H.stats () in
+  let get k =
+    match List.assoc_opt k stats with
+    | Some v -> v
+    | None -> Alcotest.failf "missing stat %s" k
+  in
+  Alcotest.(check (float 0.)) "p50 stat" 128. (get "test/registered_p50_bytes");
+  Alcotest.(check (float 0.)) "count stat" 1. (get "test/registered_count");
+  let summaries = H.summaries () in
+  Alcotest.(check bool) "non-empty summarised" true
+    (List.exists (fun s -> s.H.s_name = "test/registered") summaries);
+  H.reset_all ();
+  Alcotest.(check int) "reset_all zeroes" 0 (H.count h);
+  Alcotest.(check bool) "empty drops out of summaries" false
+    (List.exists (fun s -> s.H.s_name = "test/registered") (H.summaries ()))
+
+let suite =
+  [
+    Alcotest.test_case "disabled record is a no-op" `Quick
+      test_disabled_record_is_noop;
+    Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+    Alcotest.test_case "quantile error bound" `Quick test_quantile_error_bound;
+    Alcotest.test_case "cross-thread merge" `Quick test_cross_thread_merge;
+    Alcotest.test_case "scaled seconds histogram" `Quick test_scaled_seconds;
+    Alcotest.test_case "registry and flat stats" `Quick test_registry_and_stats;
+  ]

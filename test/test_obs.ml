@@ -186,6 +186,92 @@ let test_snapshot_series () =
   Alcotest.(check (float 1e-9)) "elapsed" 1.0 last.Snapshot.sn_elapsed_s;
   Alcotest.(check (float 1e-6)) "rate" 200. last.Snapshot.sn_bytes_per_sec
 
+(* ---------------- eventlog ---------------- *)
+
+module Eventlog = Xaos_obs.Eventlog
+
+let fresh_log () =
+  fresh ();
+  Eventlog.disable ();
+  Eventlog.set_sink None;
+  Eventlog.set_level Eventlog.Info;
+  Eventlog.set_capacity 1024;
+  Eventlog.clear ()
+
+let test_eventlog_ring_drop () =
+  fresh_log ();
+  Eventlog.enable ();
+  Eventlog.set_capacity 4;
+  let base = Eventlog.recorded () in
+  for i = 1 to 10 do
+    Eventlog.record ~kind:"shed" ~reason:Eventlog.Queue_full
+      (Printf.sprintf "doc-%d" i)
+  done;
+  let events = Eventlog.events () in
+  Alcotest.(check int) "ring holds capacity" 4 (List.length events);
+  Alcotest.(check (list string)) "newest win, oldest first"
+    [ "doc-7"; "doc-8"; "doc-9"; "doc-10" ]
+    (List.map (fun e -> e.Eventlog.subject) events);
+  Alcotest.(check int) "overwrites counted" 6 (Eventlog.dropped ());
+  Alcotest.(check int) "all accepted" 10 (Eventlog.recorded () - base);
+  (* sequence numbers survive the drops *)
+  let seqs = List.map (fun e -> e.Eventlog.seq) events in
+  Alcotest.(check bool) "seq strictly increasing" true
+    (List.for_all2 ( < ) seqs (List.tl seqs @ [ max_int ]));
+  Eventlog.clear ();
+  Alcotest.(check int) "clear empties ring" 0
+    (List.length (Eventlog.events ()));
+  Alcotest.(check int) "clear zeroes drop counter" 0 (Eventlog.dropped ());
+  Eventlog.disable ()
+
+let test_eventlog_level_filter () =
+  fresh_log ();
+  Eventlog.enable ();
+  Eventlog.set_level Eventlog.Warn;
+  let base = Eventlog.recorded () in
+  Eventlog.record ~level:Eventlog.Debug ~kind:"noise" "below";
+  Eventlog.record ~kind:"noise" "info-is-below-warn";
+  Eventlog.record ~level:Eventlog.Warn ~kind:"quarantine"
+    ~reason:Eventlog.Budget_exceeded "poison";
+  Eventlog.record ~level:Eventlog.Error ~kind:"crash"
+    ~reason:Eventlog.Thread_crash "evaluator";
+  let kinds = List.map (fun e -> e.Eventlog.kind) (Eventlog.events ()) in
+  Alcotest.(check (list string)) "only >= warn recorded"
+    [ "quarantine"; "crash" ] kinds;
+  Alcotest.(check int) "filtered events not counted" 2
+    (Eventlog.recorded () - base);
+  (* while disabled nothing lands, whatever the level *)
+  Eventlog.disable ();
+  Eventlog.record ~level:Eventlog.Error ~kind:"crash" "ignored";
+  Alcotest.(check int) "disabled is a no-op" 2 (Eventlog.recorded () - base)
+
+let test_eventlog_sink_and_json () =
+  fresh_log ();
+  Eventlog.enable ();
+  let lines = ref [] in
+  Eventlog.set_sink (Some (fun line -> lines := line :: !lines));
+  Eventlog.record ~kind:"readmit" ~reason:Eventlog.Backoff_elapsed
+    ~detail:[ ("tick", Json.Int 17) ]
+    "poison";
+  Eventlog.record ~kind:"doc-end"
+    ~reason:(Eventlog.Sax_limit "max_depth")
+    "doc-3";
+  Eventlog.set_sink None;
+  match List.rev_map Json.parse !lines with
+  | [ Ok first; Ok second ] ->
+    let str k j = Option.bind (Json.member k j) Json.to_str in
+    Alcotest.(check (option string)) "kind" (Some "readmit")
+      (str "kind" first);
+    Alcotest.(check (option string)) "typed reason code"
+      (Some "backoff-elapsed") (str "reason" first);
+    Alcotest.(check (option string)) "parameterised reason code"
+      (Some "sax-limit:max_depth") (str "reason" second);
+    Alcotest.(check (option int)) "detail preserved" (Some 17)
+      (Option.bind (Json.member "detail" first) (fun d ->
+           Option.bind (Json.member "tick" d) Json.to_int));
+    Eventlog.disable ()
+  | _ -> Alcotest.fail "expected exactly two well-formed sink lines"
+
 (* ---------------- report ---------------- *)
 
 let sample_report () =
@@ -203,6 +289,12 @@ let sample_report () =
   Snapshot.sample snap ~retained_bytes:25 ~bytes:50 ~events:9 ~depth:2 ~live:3
     ~looking_for:2;
   Tel.set_clock (fun () -> Unix.gettimeofday ());
+  (* a real histogram summary, +inf bucket included, for the schema-v3
+     service_latency section *)
+  let hist = Xaos_obs.Histogram.make ~unit_:"s" ~scale:1e-6 "stage/test" in
+  List.iter
+    (Xaos_obs.Histogram.record hist)
+    [ 120; 450; 900; 15_000 ];
   Report.make ~kind:"test"
     ~config:[ ("query", Json.String "//a"); ("eager", Json.Bool false) ]
     ~stats:[ ("elements_total", 12.); ("wall_s", 0.5) ]
@@ -214,6 +306,7 @@ let sample_report () =
     ~relevance:
       (Report.relevance_of ~bytes_seen:1000 ~retained_bytes:25
          ~retained_peak_bytes:80 ~elements_total:12 ~elements_stored:3)
+    ~service_latency:[ Xaos_obs.Histogram.summary hist ]
     ()
 
 let test_report_round_trip () =
@@ -235,7 +328,19 @@ let test_report_round_trip () =
       Alcotest.(check bool) "tables" true (r.Report.tables = r'.Report.tables);
       Alcotest.(check bool) "gc" true (r.Report.gc = r'.Report.gc);
       Alcotest.(check bool) "relevance" true
-        (r.Report.relevance = r'.Report.relevance))
+        (r.Report.relevance = r'.Report.relevance);
+      (* v3 section survives exactly, +inf bucket bound included *)
+      Alcotest.(check bool) "service_latency" true
+        (r.Report.service_latency = r'.Report.service_latency);
+      match r'.Report.service_latency with
+      | [ s ] ->
+        let bound, total =
+          List.nth s.Xaos_obs.Histogram.s_buckets
+            (List.length s.Xaos_obs.Histogram.s_buckets - 1)
+        in
+        Alcotest.(check bool) "last bound is +inf" true (bound = infinity);
+        Alcotest.(check int) "inf bucket holds all" 4 total
+      | _ -> Alcotest.fail "expected one latency summary")
 
 (* A v1 report (no relevance section, no retained_bytes on snapshot
    points) must still decode: the later optional fields default. *)
@@ -280,6 +385,34 @@ let test_report_reads_v1 () =
         Alcotest.(check int) "retained defaults to 0" 0
           p.Snapshot.sn_retained_bytes)
       r'.Report.snapshots
+
+(* A v2 report (everything but service_latency) must still decode with
+   the v3 section empty. *)
+let test_report_reads_v2 () =
+  let r = sample_report () in
+  let strip_v3 = function
+    | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (function
+             | "schema_version", _ -> Some ("schema_version", Json.Int 2)
+             | "service_latency", _ -> None
+             | kv -> Some kv)
+           fields)
+    | j -> j
+  in
+  let v2 = strip_v3 (Report.to_json r) in
+  (match Report.validate v2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v2 report rejected: %s" e);
+  match Report.of_json v2 with
+  | Error e -> Alcotest.fail e
+  | Ok r' ->
+    Alcotest.(check int) "version preserved" 2 r'.Report.version;
+    Alcotest.(check bool) "no latency section" true
+      (r'.Report.service_latency = []);
+    Alcotest.(check bool) "relevance still present" true
+      (r'.Report.relevance <> None)
 
 let test_relevance_validation () =
   let r = sample_report () in
@@ -376,6 +509,12 @@ let suite =
     Alcotest.test_case "report round trip" `Quick test_report_round_trip;
     Alcotest.test_case "report validation" `Quick test_report_validate;
     Alcotest.test_case "report reads v1" `Quick test_report_reads_v1;
+    Alcotest.test_case "report reads v2" `Quick test_report_reads_v2;
+    Alcotest.test_case "eventlog ring drop" `Quick test_eventlog_ring_drop;
+    Alcotest.test_case "eventlog level filter" `Quick
+      test_eventlog_level_filter;
+    Alcotest.test_case "eventlog sink and typed reasons" `Quick
+      test_eventlog_sink_and_json;
     Alcotest.test_case "relevance validation" `Quick test_relevance_validation;
     Alcotest.test_case "report write/read" `Quick test_report_write_read;
   ]
