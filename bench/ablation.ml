@@ -48,7 +48,8 @@ let run ~scale () =
         Xaos_workloads.Xmark.paper_query,
         { base with relevance_filter = false } );
       ("A3 lazy (default)", a3_query, base);
-      ("A3 eager", a3_query, { base with eager_emission = true });
+      ("A3 eager", a3_query, { base with emission = Engine.Eager });
+      ("A3 earliest", a3_query, { base with emission = Engine.Earliest });
     ]
   in
   Util.print_table
@@ -64,4 +65,7 @@ let run ~scale () =
        cases);
   Util.note "A1: counters let predicate-subtree structures be collected early.";
   Util.note "A2: the looking-for filter avoids a structure per label match.";
-  Util.note "A3: eager emission retains no matching structures at all."
+  Util.note "A3: eager emission retains no matching structures at all.";
+  Util.note
+    "A3: earliest emission streams each result at its decision point while \
+     keeping the deferred result set."

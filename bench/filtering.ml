@@ -232,9 +232,12 @@ module Broker = Xaos_service.Broker
 let byte_fault_kinds =
   [ Chaos.Truncate; Chaos.Corrupt_tag; Chaos.Text_burst; Chaos.Depth_burst ]
 
-let sustained ~subs ~docs ~fault_rate () =
+let sustained ?(earliest = false) ~subs ~docs ~fault_rate () =
   Util.print_header
-    "Sustained service load: broker throughput under chaos faults";
+    (if earliest then
+       "Sustained service load: broker throughput under chaos faults \
+        (earliest-decision emission)"
+     else "Sustained service load: broker throughput under chaos faults");
   let sub_rng = Prng.create 911 in
   let queries =
     List.init subs (fun i -> (Printf.sprintf "s%d" i, subscription sub_rng))
@@ -246,7 +249,8 @@ let sustained ~subs ~docs ~fault_rate () =
   let stream label rate =
     let config =
       { Broker.default_config with
-        budget = Some 100_000; deadline_s = None; reset_symbols_every = 64 }
+        budget = Some 100_000; deadline_s = None; reset_symbols_every = 64;
+        earliest }
     in
     let b = Broker.create ~config () in
     List.iter
@@ -260,6 +264,8 @@ let sustained ~subs ~docs ~fault_rate () =
     let limit_ends = ref 0 in
     let events = ref 0 in
     let matched = ref 0 in
+    let streamed = ref 0 in
+    let on_item ~name:_ _ = incr streamed in
     let (), time =
       Util.time (fun () ->
           List.iteri
@@ -269,7 +275,9 @@ let sustained ~subs ~docs ~fault_rate () =
               in
               if Chaos.kind p <> None then incr faulted;
               let o =
-                Broker.publish b ~doc_id:(string_of_int i)
+                Broker.publish
+                  ?on_item:(if earliest then Some on_item else None)
+                  b ~doc_id:(string_of_int i)
                   (Chaos.corrupt p doc)
               in
               recoveries := !recoveries + o.Broker.faults;
@@ -284,6 +292,10 @@ let sustained ~subs ~docs ~fault_rate () =
     Util.record
       (Printf.sprintf "sustained/%d/%s_events_per_s" subs label)
       (float_of_int !events /. time);
+    if earliest then
+      Util.record
+        (Printf.sprintf "sustained/%d/%s_streamed_items" subs label)
+        (float_of_int !streamed);
     (label, time, docs_per_s, !faulted, !recoveries, !limit_ends, !matched)
   in
   (* Run instrumented: the per-stage and emission histograms populate

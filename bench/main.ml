@@ -56,9 +56,9 @@ let run_filtering report full counts_opt =
         ~subscription_counts:(filtering_counts ~full counts_opt)
         ~docs:(if full then 12 else 8) ())
 
-let run_sustained report subs docs rate =
+let run_sustained report subs docs rate earliest =
   reporting report (fun () ->
-      Filtering.sustained ~subs ~docs ~fault_rate:rate ())
+      Filtering.sustained ~earliest ~subs ~docs ~fault_rate:rate ())
 
 let run_micro report = reporting report (fun () -> Micro.run ())
 
@@ -194,12 +194,19 @@ let sustained_cmd =
   let docs_t = Arg.(value & opt int 64 & info [ "docs" ] ~doc:docs_doc) in
   let rate_doc = "Chaos fault probability per document." in
   let rate_t = Arg.(value & opt float 0.15 & info [ "rate" ] ~doc:rate_doc) in
+  let earliest_doc =
+    "Run every subscription in earliest-decision emission mode: each \
+     result streams out at its decision point, so the engine/emission \
+     histogram measures decision-to-emission distance instead of \
+     decision-to-end-of-document."
+  in
+  let earliest_t = Arg.(value & flag & info [ "earliest" ] ~doc:earliest_doc) in
   Cmd.v
     (Cmd.info "sustained"
        ~doc:"Sustained service load: supervised broker docs/s against a \
              large live subscription set, clean vs a fixed chaos fault \
              rate")
-    Term.(const run_sustained $ report_t $ subs_t $ docs_t $ rate_t)
+    Term.(const run_sustained $ report_t $ subs_t $ docs_t $ rate_t $ earliest_t)
 
 let micro_cmd =
   Cmd.v

@@ -174,18 +174,23 @@ type engine_kind =
   | Dom
   | Dom_dedup
 
-let config_of ~eager ~no_filter ~no_counters =
+let config_of ~eager ~earliest ~no_filter ~no_counters =
+  if eager && earliest then
+    die exit_query_error "--eager and --earliest are mutually exclusive";
   {
     Engine.boolean_subtrees = not no_counters;
     relevance_filter = not no_filter;
-    eager_emission = eager;
+    emission =
+      (if earliest then Engine.Earliest
+       else if eager then Engine.Eager
+       else Engine.Deferred);
   }
 
 let print_items items =
   List.iter (fun i -> Format.printf "%a@." Item.pp i) items
 
-let eval_report ~query ~file ~h ~eager ~no_filter ~no_counters ~stats ~result
-    ~run ~series ~wall_s ~peak_heap_words ~bytes_seen path =
+let eval_report ~query ~file ~h ~eager ~earliest ~no_filter ~no_counters
+    ~stats ~result ~run ~series ~wall_s ~peak_heap_words ~bytes_seen path =
   let open Xaos_obs in
   let config =
     [
@@ -193,6 +198,7 @@ let eval_report ~query ~file ~h ~eager ~no_filter ~no_counters ~stats ~result
       ("file", match file with Some f -> Json.String f | None -> Json.Null);
       ("engine", Json.String "xaos");
       ("eager", Json.Bool eager);
+      ("earliest", Json.Bool earliest);
       ("no_filter", Json.Bool no_filter);
       ("no_counters", Json.Bool no_counters);
       ("lenient", Json.Bool h.lenient);
@@ -230,11 +236,11 @@ let eval_report ~query ~file ~h ~eager ~no_filter ~no_counters ~stats ~result
   in
   try Report.write path report with Sys_error msg -> die exit_io_error msg
 
-let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
-    count_only tuples_flag report metrics trace_out trace_capacity
+let eval_cmd query file engine_kind eager earliest no_filter no_counters
+    stats_flag count_only tuples_flag report metrics trace_out trace_capacity
     snapshot_interval hardening =
   let h = hardening in
-  let config = config_of ~eager ~no_filter ~no_counters in
+  let config = config_of ~eager ~earliest ~no_filter ~no_counters in
   (match engine_kind, report, metrics, trace_out with
   | (Dom | Dom_dedup), Some _, _, _
   | (Dom | Dom_dedup), _, Some _, _
@@ -258,7 +264,20 @@ let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
     let q = or_die_query (Query.compile ~config query) in
     Trc.phase_end "compile";
     let faults = ref 0 in
-    let run = Query.start ?budget:h.budget q in
+    (* --earliest: results are printed by the engine's callback the
+       moment each is decided, and the deferred result set (computed
+       anyway) is compared against what was streamed — the CLI is its
+       own differential check. *)
+    let streamed = ref [] in
+    let on_match =
+      if not earliest then None
+      else
+        Some
+          (fun (it : Item.t) ->
+            streamed := it :: !streamed;
+            if not count_only then Format.printf "%a@." Item.pp it)
+    in
+    let run = Query.start ?on_match ?budget:h.budget q in
     (* --metrics streams each snapshot point as one NDJSON line during
        the run, then appends the Prometheus exposition at exit — so the
        sink is opened before streaming starts. *)
@@ -320,9 +339,21 @@ let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
         else die code msg
     in
     Trc.phase_end "finish";
+    if earliest then begin
+      (* every item must have come through the callback, in document
+         order, exactly once — fail loudly if the two paths disagree *)
+      let ids l = List.map (fun (i : Item.t) -> i.Item.id) l in
+      if ids (List.rev !streamed) <> ids result.Result_set.items then
+        die exit_ill_formed
+          (Printf.sprintf
+             "internal: earliest emission streamed %d items but the result \
+              set holds %d (or order differs)"
+             (List.length !streamed)
+             (List.length result.Result_set.items))
+    end;
     if count_only then
       Format.printf "%d@." (List.length result.Result_set.items)
-    else print_items result.Result_set.items;
+    else if not earliest then print_items result.Result_set.items;
     (if tuples_flag then
        match result.Result_set.tuples with
        | None -> ()
@@ -344,8 +375,8 @@ let eval_cmd query file engine_kind eager no_filter no_counters stats_flag
     | None -> ()
     | Some path ->
       let series = Option.get series in
-      eval_report ~query ~file ~h ~eager ~no_filter ~no_counters ~stats
-        ~result ~run ~series ~wall_s ~peak_heap_words
+      eval_report ~query ~file ~h ~eager ~earliest ~no_filter ~no_counters
+        ~stats ~result ~run ~series ~wall_s ~peak_heap_words
         ~bytes_seen:!bytes_seen path);
     (match metrics_sink with
     | None -> ()
@@ -591,7 +622,7 @@ let why_cmd query file item_sel =
 (* filter (publish/subscribe)                                          *)
 (* ------------------------------------------------------------------ *)
 
-let filter_cmd subscriptions_file docs shared hardening =
+let filter_cmd subscriptions_file docs shared earliest hardening =
   let h = hardening in
   let subscriptions =
     let ic =
@@ -614,8 +645,13 @@ let filter_cmd subscriptions_file docs shared hardening =
   (* names must be unique (the same expression may be subscribed twice),
      so queries are named by position; compile errors carry both *)
   let set =
+    let config =
+      if earliest then
+        Some { Engine.default_config with emission = Engine.Earliest }
+      else None
+    in
     or_die_query
-      (Query_set.compile
+      (Query_set.compile ?config
          (List.mapi
             (fun i q -> (Printf.sprintf "#%d (%s)" (i + 1) q, q))
             subscriptions))
@@ -624,8 +660,20 @@ let filter_cmd subscriptions_file docs shared hardening =
   let exit_code = ref 0 in
   List.iter
     (fun doc_file ->
-      (* one pass over the document feeds every subscription *)
-      let session = Query_set.start ?budget:h.budget ~dispatch set in
+      (* one pass over the document feeds every subscription. Under
+         --earliest each result is also pushed mid-stream; the printed
+         verdicts stay byte-identical to the deferred mode and the
+         streamed counts are checked against them below. *)
+      let streamed : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let on_item =
+        if not earliest then None
+        else
+          Some
+            (fun ~name (_ : Item.t) ->
+              Hashtbl.replace streamed name
+                (1 + Option.value ~default:0 (Hashtbl.find_opt streamed name)))
+      in
+      let session = Query_set.start ?budget:h.budget ~dispatch ?on_item set in
       (* unlike eval, a failing document must not abort the whole batch:
          report it, pick the right exit code, move on. A budget trip is
          not a document failure at all any more — the session isolates it
@@ -677,6 +725,20 @@ let filter_cmd subscriptions_file docs shared hardening =
           end;
           Query_set.finish_partial session
       in
+      if earliest then
+        (* the mid-stream deliveries and the final outcomes are two
+           paths to the same answer; any disagreement is an engine bug *)
+        List.iter
+          (fun (o : Query_set.outcome) ->
+            let got =
+              Option.value ~default:0 (Hashtbl.find_opt streamed o.query_name)
+            in
+            if got <> List.length o.items then
+              die exit_ill_formed
+                (Printf.sprintf
+                   "internal: %s: %s streamed %d items but finished with %d"
+                   doc_file o.query_name got (List.length o.items)))
+          outcomes;
       List.iter2
         (fun q (o : Query_set.outcome) ->
           Format.printf "%s\t%s\t%s@." doc_file
@@ -1010,6 +1072,11 @@ let eval_term =
     const eval_cmd $ query_arg $ file_arg $ engine_arg
     $ flag [ "eager" ] "Stream results out as soon as they are known \
                         (forward-only chain expressions)."
+    $ flag [ "earliest" ] "Earliest-decision emission: print each result \
+                           the moment the stream decides it, for every \
+                           expression (backward axes included); the \
+                           result set is identical to the default \
+                           deferred mode and is checked against it."
     $ flag [ "no-filter" ] "Disable the looking-for relevance filter \
                             (ablation; results unchanged)."
     $ flag [ "no-counters" ] "Disable the boolean-subtree optimization, \
@@ -1093,11 +1160,17 @@ let filter_command =
                          loop); the differential baseline for --shared." );
              ])
   in
+  let earliest =
+    flag [ "earliest" ]
+      "Compile every subscription in earliest-decision emission mode and \
+       check the mid-stream deliveries against the final verdicts \
+       (printed output is unchanged)."
+  in
   Cmd.v
     (Cmd.info "filter"
        ~doc:"Publish/subscribe filtering: match documents against a set of \
              subscriptions, one pass per document")
-    Term.(const filter_cmd $ subs $ docs $ shared $ hardening_term)
+    Term.(const filter_cmd $ subs $ docs $ shared $ earliest $ hardening_term)
 
 let output_arg =
   Arg.(value & opt (some string) None
@@ -1217,14 +1290,15 @@ let open_metrics_sink = function
     try Some (open_out path, true)
     with Sys_error msg -> die exit_io_error msg)
 
-let serve_cmd socket budget deadline high low subs_file metrics
+let serve_cmd socket budget deadline high low subs_file earliest metrics
     snapshot_interval_s =
   if low < 0 || low >= high then
     die exit_query_error "--low-watermark must satisfy 0 <= low < high";
   if snapshot_interval_s <= 0. then
     die exit_query_error "--snapshot-interval must be positive";
   let broker =
-    { Service.Broker.default_config with budget; deadline_s = deadline }
+    { Service.Broker.default_config with budget; deadline_s = deadline;
+      earliest }
   in
   let config =
     { (Service.Server.default_config socket) with
@@ -1363,9 +1437,9 @@ let publish_cmd socket priority files =
           "connection closed before every document was processed";
       if !failures > 0 then exit 1)
 
-let subscribe_cmd socket name query =
+let subscribe_cmd socket name query earliest =
   with_connection socket (fun fd ->
-      send_request fd (Service.Protocol.Subscribe { name; query });
+      send_request fd (Service.Protocol.Subscribe { name; query; earliest });
       let acked = ref false in
       iter_response_lines fd (fun line ->
           print_endline line;
@@ -1701,12 +1775,18 @@ let serve_command =
              ~doc:"Seconds between --metrics stats snapshots (default \
                    1).")
   in
+  let earliest =
+    flag [ "earliest" ]
+      "Compile every subscription (including pre-registered ones) in \
+       earliest-decision emission mode: owners receive one 'item' event \
+       per result the moment it is decided, mid-document."
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent subscription service on a Unix-domain \
              socket (line-delimited JSON; see xaos subscribe/publish)")
     Term.(const serve_cmd $ socket_arg $ budget $ deadline $ high $ low
-          $ subs_file $ metrics $ snapshot_interval)
+          $ subs_file $ earliest $ metrics $ snapshot_interval)
 
 let publish_command =
   let priority =
@@ -1730,11 +1810,18 @@ let subscribe_command =
   let sub_query =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
   in
+  let earliest =
+    flag [ "earliest" ]
+      "Opt into earliest-decision emission: the service additionally \
+       streams one 'item' event per result element the moment it is \
+       decided, while the document is still being parsed."
+  in
   Cmd.v
     (Cmd.info "subscribe"
        ~doc:"Register a subscription on a running service and stream its \
-             match/quarantine/readmit events to stdout until interrupted")
-    Term.(const subscribe_cmd $ socket_arg $ sub_name $ sub_query)
+             match/quarantine/readmit/item events to stdout until \
+             interrupted")
+    Term.(const subscribe_cmd $ socket_arg $ sub_name $ sub_query $ earliest)
 
 let service_stats_command =
   Cmd.v

@@ -42,10 +42,13 @@ let () =
   Format.printf "books with ids: %a@.@." Result_set.pp r;
 
   (* The same expression can be re-run over any number of documents;
-     results arrive through a callback as soon as they are certain: *)
+     results arrive through a callback as soon as they are certain —
+     [Earliest] works for every expression, backward axes included: *)
   let seen = ref 0 in
-  let eager_config = { Engine.default_config with eager_emission = true } in
-  let titles = Query.compile_exn ~config:eager_config "//title" in
+  let earliest_config =
+    { Engine.default_config with emission = Engine.Earliest }
+  in
+  let titles = Query.compile_exn ~config:earliest_config "//title" in
   let run = Query.start ~on_match:(fun _ -> incr seen) titles in
   Query.feed_doc run (Xaos_xml.Dom.of_string catalog);
   ignore (Query.finish run);

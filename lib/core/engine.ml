@@ -58,14 +58,19 @@ let hist_emission =
            emission"
     "engine/emission"
 
+type emission =
+  | Deferred
+  | Eager
+  | Earliest
+
 type config = {
   boolean_subtrees : bool;
   relevance_filter : bool;
-  eager_emission : bool;
+  emission : emission;
 }
 
 let default_config =
-  { boolean_subtrees = true; relevance_filter = true; eager_emission = false }
+  { boolean_subtrees = true; relevance_filter = true; emission = Deferred }
 
 exception Budget_exceeded of { live : int; budget : int }
 
@@ -148,6 +153,10 @@ type t = {
       (** cap on live (created - refuted) matching structures; exceeding it
           raises {!Budget_exceeded} instead of growing without bound *)
   eager : bool;
+  earliest : bool;
+      (** earliest-decision emission: emit each primary-output structure
+          the moment it is certainly in the final result set (stable and
+          anchored, see below), in document order via {!field-pending} *)
   ordered_resolution : bool;
       (** whether same-element (self / or-self) dependencies exist, in
           which case a frame's structures must resolve in descending
@@ -175,6 +184,14 @@ type t = {
           need not be contiguous *)
   mutable interest : interest_state option;
   mutable eager_items : Item.t list;  (* reversed *)
+  mutable pending : Matching.t array;
+      (** earliest mode: binary min-heap on document-order item id of
+          the primary-output structures awaiting a verdict; emission
+          flushes from the top, so [on_match] fires in document order *)
+  mutable pending_len : int;
+  mutable final : Result_set.t option;
+      (** memoized {!finish} result: a second finish must not replay
+          [on_match] or re-record emission latencies *)
   has_text_tests : bool;
   mutable text_buffers : (int * Buffer.t) list;
       (** (level, buffer) for open elements whose structures carry text
@@ -297,9 +314,10 @@ let build_info config eager (dag : Xdag.t) =
 let create ?(config = default_config) ?(budget = max_int) ?on_match
     (dag : Xdag.t) =
   let eager =
-    config.eager_emission && config.relevance_filter
+    config.emission = Eager && config.relevance_filter
     && eager_allowed dag.xtree
   in
+  let earliest = config.emission = Earliest in
   let info = build_info config eager dag in
   let root_item =
     { Item.id = 0; sym = Symbol.intern Xaos_xml.Dom.root_tag; level = 0 }
@@ -308,6 +326,9 @@ let create ?(config = default_config) ?(budget = max_int) ?on_match
     Matching.create ~serial:0 ~xnode:dag.xtree.root.id ~item:root_item
       ~pointer_slots:info.(dag.xtree.root.id).pointer_slots
   in
+  (* The root is reachable from itself by definition; stability still has
+     to be earned (all its slot entries final), see [try_stabilize]. *)
+  if earliest then root_struct.Matching.anchored <- true;
   let open_stacks = Array.make (Xtree.size dag.xtree) [] in
   open_stacks.(dag.xtree.root.id) <- [ root_struct ];
   let ordered_resolution =
@@ -324,6 +345,7 @@ let create ?(config = default_config) ?(budget = max_int) ?on_match
     config;
     budget;
     eager;
+    earliest;
     ordered_resolution;
     on_match;
     output_ids =
@@ -340,6 +362,9 @@ let create ?(config = default_config) ?(budget = max_int) ?on_match
     sparse = false;
     interest = None;
     eager_items = [];
+    pending = [||];
+    pending_len = 0;
+    final = None;
     has_text_tests =
       Array.exists (fun (n : Xtree.xnode) -> n.texts <> []) dag.xtree.nodes;
     text_buffers = [];
@@ -564,6 +589,215 @@ let witness_serial t v ~level =
   in
   loop 0
 
+(* ------------------------------------------------------------------ *)
+(* Earliest-decision emission                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Generalizes the narrow eager mode to arbitrary expressions, per the
+   earliest-answering direction (Gienieczko et al.): emit each candidate
+   at the first event where its membership in the final result set is
+   decided, instead of holding everything to end of document because an
+   optimistic backward-axis placement upstream might still refute it.
+
+   A structure is latched [stable] once it is certain to be Satisfied in
+   the completed document whatever the rest of the stream contains:
+
+   - a resolved [Satisfied] structure with [undecided = 0]: every current
+     slot entry is itself stable, so no slot can ever empty again and the
+     refutation cascade cannot reach it; a resolved structure gains no
+     new entries, so the state is final;
+   - a still-open [Pending] structure with all slots filled, [undecided =
+     0] and no text test: its attribute tests passed at creation, the
+     filled slots can never empty (only forward slots fill while open —
+     backward slots stay empty until resolution and block this case
+     through [satisfied_now]), and no text verdict is outstanding, so its
+     own resolution is guaranteed to find it satisfied. Later pushes only
+     add entries, never remove, so the latch is monotone. The aborting
+     path is covered too: a latched structure has no [text()='v'] test,
+     the one construct a virtual close refutes.
+
+   [anchored] marks certain reachability from the final satisfied root
+   structure — i.e. membership in a total matching: seeded at the root,
+   propagated into the slot entries of structures that are both stable
+   and anchored (and onto children pushed into such structures later).
+   Stable entries are never removed from slots, so an anchored chain is
+   intact at end of document by induction.
+
+   [stable && anchored] therefore means the deferred Section 4.4
+   collection is guaranteed to reach and emit this structure — so it can
+   be emitted the moment both latches hold. Refutation, conversely,
+   discards the candidate without ever emitting. *)
+let rec try_stabilize t (m : Matching.t) =
+  if
+    t.earliest && (not m.stable)
+    && m.undecided = 0
+    && (match m.state with
+       | Matching.Satisfied -> true
+       | Matching.Pending ->
+         Matching.satisfied_now m && t.info.(m.xnode).text_tests = []
+       | Matching.Refuted -> false)
+  then begin
+    m.stable <- true;
+    (* an open-latched structure is decided here, before its resolution
+       ever stamps it *)
+    if m.sat_byte < 0 then m.sat_byte <- t.stream_byte;
+    if m.anchored then anchor_slots t m;
+    (* this structure no longer counts as undecided wherever it has been
+       placed; targets that reach zero may latch in turn *)
+    List.iter
+      (fun (p : Matching.placement) ->
+        let target = p.Matching.p_target in
+        if target.Matching.state <> Matching.Refuted then begin
+          target.Matching.undecided <- target.Matching.undecided - 1;
+          try_stabilize t target
+        end)
+      m.placements;
+    (* early propagation: a structure that latches while its element is
+       still open can be pushed into its forward-axis targets right now
+       instead of waiting for its end event — the consistent targets are
+       its ancestors' structures, all open since before this element
+       started, and no element opening below can add one, so the target
+       set at resolution would be exactly this one *)
+    if m.state = Matching.Pending then early_push t m
+  end
+
+and anchor t (m : Matching.t) =
+  if not m.anchored then begin
+    m.anchored <- true;
+    (* only a stable structure's entries are final; a pending one
+       propagates when it latches (see [try_stabilize]) *)
+    if m.stable then anchor_slots t m
+  end
+
+and anchor_slots t (m : Matching.t) =
+  Array.iter
+    (function
+      | Matching.Pointers store ->
+        for i = 0 to store.len - 1 do
+          anchor t store.entries.(i).e_child
+        done
+      | Matching.Counter _ -> ())
+    m.slots
+
+(* Restricted to strict forward axes: for [Self] / [Descendant_or_self]
+   the witness could be the same element's own structure, whose openness
+   at resolution depends on the in-frame resolution order — pushing early
+   there could create placements the deferred path never makes. *)
+and early_push t (m : Matching.t) =
+  match t.info.(m.xnode).tree_parent with
+  | Some { up_axis = (Ast.Child | Ast.Descendant) as up_axis; up_node; up_slot }
+    ->
+    m.early_pushed <- true;
+    let l = m.item.Item.level in
+    List.iter
+      (fun (target : Matching.t) ->
+        let ml = target.Matching.item.Item.level in
+        if match up_axis with Ast.Child -> ml = l - 1 | _ -> ml < l then
+          place_counted t ~optimistic:false ~child:m ~target ~slot:up_slot)
+      t.open_stacks.(up_node)
+  | Some _ | None -> ()
+
+and place_counted t ~optimistic ~child ~target ~slot =
+  Matching.place ~child ~target ~slot;
+  if t.earliest then begin
+    (* a new entry of a stable anchored structure is itself part of a
+       total matching if it survives; the stability gate still applies
+       at emission time *)
+    if target.Matching.stable && target.Matching.anchored then
+      anchor t child;
+    (* an already-stable child adds no undecided count, so this entry may
+       be the one that completes the target's latch conditions — without
+       this the child's own latch walk (which ran before the placement
+       existed) never reaches the target *)
+    if child.Matching.stable then try_stabilize t target
+  end;
+  t.stats.propagations <- t.stats.propagations + 1;
+  Tel.incr counter_propagations;
+  if Trc.enabled () then
+    Trc.propagated ~optimistic ~child:child.Matching.serial
+      ~target:target.Matching.serial
+
+(* Refutation with the earliest-decision hook: every undo of an
+   optimistic placement can zero a surviving target's undecided count and
+   latch it stable. *)
+let refute_struct t m =
+  if t.earliest then
+    Matching.refute ~on_undo:(fun target -> try_stabilize t target)
+      ~stats:t.stats m
+  else Matching.refute ~stats:t.stats m
+
+(* The pending-emission buffer: a binary min-heap on document-order item
+   id over every primary-output structure created so far. Flushing pops
+   while the top is decided — refuted tops are dropped, stable anchored
+   tops are emitted — and stops at the first undecided structure, so the
+   [on_match] stream is in document order: an item emitted at the
+   end-of-document residual pass always has a larger id than every item
+   emitted early (a smaller undecided id would have blocked the flush). *)
+let heap_swap t i j =
+  let tmp = t.pending.(i) in
+  t.pending.(i) <- t.pending.(j);
+  t.pending.(j) <- tmp
+
+let heap_id t i = t.pending.(i).Matching.item.Item.id
+
+let heap_push t (m : Matching.t) =
+  let cap = Array.length t.pending in
+  if t.pending_len = cap then begin
+    let grown = Array.make (max 8 (2 * cap)) m in
+    Array.blit t.pending 0 grown 0 t.pending_len;
+    t.pending <- grown
+  end;
+  t.pending.(t.pending_len) <- m;
+  t.pending_len <- t.pending_len + 1;
+  let i = ref (t.pending_len - 1) in
+  while !i > 0 && heap_id t ((!i - 1) / 2) > heap_id t !i do
+    heap_swap t ((!i - 1) / 2) !i;
+    i := (!i - 1) / 2
+  done
+
+let heap_pop t =
+  t.pending_len <- t.pending_len - 1;
+  t.pending.(0) <- t.pending.(t.pending_len);
+  let i = ref 0 in
+  let moving = ref true in
+  while !moving do
+    let l = (2 * !i) + 1 in
+    let r = l + 1 in
+    let smallest = ref !i in
+    if l < t.pending_len && heap_id t l < heap_id t !smallest then
+      smallest := l;
+    if r < t.pending_len && heap_id t r < heap_id t !smallest then
+      smallest := r;
+    if !smallest <> !i then begin
+      heap_swap t !smallest !i;
+      i := !smallest
+    end
+    else moving := false
+  done
+
+let emit_now t (m : Matching.t) =
+  m.Matching.emitted <- true;
+  if Trc.enabled () then Trc.emitted ~serial:m.serial ~item_id:m.item.Item.id;
+  if Tel.enabled () && m.sat_byte >= 0 then
+    Xaos_obs.Histogram.record hist_emission (t.stream_byte - m.sat_byte);
+  match t.on_match with
+  | Some f -> f m.item
+  | None -> ()
+
+let rec flush_ready t =
+  if t.pending_len > 0 then begin
+    let m = t.pending.(0) in
+    if m.Matching.state = Matching.Refuted then begin
+      heap_pop t;
+      flush_ready t
+    end
+    else if m.Matching.stable && m.Matching.anchored then begin
+      heap_pop t;
+      emit_now t m;
+      flush_ready t
+    end
+  end
+
 let start_element t ?(attrs = []) ~sym ~level () =
   if t.finished then invalid_arg "Engine.start_element: already finished";
   if t.sparse then begin
@@ -635,6 +869,11 @@ let start_element t ?(attrs = []) ~sym ~level () =
           t.open_stacks.(v) <- [ m ];
           stack_became_nonempty t v
         | _ :: _ as stack -> t.open_stacks.(v) <- m :: stack);
+        if
+          t.earliest
+          && Array.length t.output_ids > 0
+          && v = t.output_ids.(0)
+        then heap_push t m;
         frame := m :: !frame
       end
     done;
@@ -664,14 +903,6 @@ let start_element t ?(attrs = []) ~sym ~level () =
 let text_event t s =
   if t.has_text_tests then
     List.iter (fun (_, buf) -> Buffer.add_string buf s) t.text_buffers
-
-let place_counted t ~optimistic ~child ~target ~slot =
-  Matching.place ~child ~target ~slot;
-  t.stats.propagations <- t.stats.propagations + 1;
-  Tel.incr counter_propagations;
-  if Trc.enabled () then
-    Trc.propagated ~optimistic ~child:child.Matching.serial
-      ~target:target.Matching.serial
 
 (* Resolve the matching structure [m] of x-node [v] at the end event of
    its element (paper, Sections 4.2-4.3):
@@ -749,7 +980,7 @@ let resolve t frame ~text (m : Matching.t) =
               tests))
       && List.for_all (fun test -> Ast.text_test_matches test value) tests
   in
-  if not text_ok then Matching.refute ~stats:t.stats m
+  if not text_ok then refute_struct t m
   else begin
   let l = m.item.level in
   for i = 0 to Array.length info.slots - 1 do
@@ -775,6 +1006,10 @@ let resolve t frame ~text (m : Matching.t) =
     if m.sat_byte < 0 then m.sat_byte <- t.stream_byte;
     (match info.tree_parent with
     | None -> ()
+    | Some _ when m.early_pushed ->
+      (* already placed into every consistent target when it latched
+         stable while open — pushing again would duplicate entries *)
+      ()
     | Some { up_axis; up_node; up_slot } -> (
       match up_axis with
       | Ast.Child | Ast.Descendant | Ast.Self | Ast.Descendant_or_self ->
@@ -790,9 +1025,12 @@ let resolve t frame ~text (m : Matching.t) =
       match t.on_match with
       | Some f -> f m.item
       | None -> ()
-    end
+    end;
+    (* the confirmed pushes above ran first, so if this latches, the
+       undecided decrement reaches every target placed into *)
+    try_stabilize t m
   end
-  else Matching.refute ~stats:t.stats m
+  else refute_struct t m
   end
 
 let end_element t =
@@ -829,6 +1067,9 @@ let end_element t =
         else frame
       in
       List.iter (fun m -> resolve t matches ~text m) matches);
+    (* verdicts only change at end events (resolution and the refutation
+       cascade), so this is the only flush point needed mid-document *)
+    if t.earliest then flush_ready t;
     Tel.leave span_end_element
 
 let feed t event =
@@ -867,23 +1108,7 @@ let feed_doc t (doc : Xaos_xml.Dom.doc) = feed_nodes t doc.root.children
 let wants_matching_count t =
   (not t.config.boolean_subtrees) && not t.eager
 
-let finish t =
-  if t.frames <> [] then
-    invalid_arg "Engine.finish: document has unclosed elements";
-  if not t.finished then begin
-    t.finished <- true;
-    let root_id = t.dag.xtree.root.id in
-    (match t.open_stacks.(root_id) with
-    | top :: rest when top == t.root_struct ->
-      t.open_stacks.(root_id) <- rest;
-      (match rest with [] -> stack_became_empty t root_id | _ :: _ -> ())
-    | _ -> assert false);
-    (* Root cannot have backward-axis children (that would have made the
-       x-dag cyclic), so resolution is a bare satisfaction check. *)
-    if Matching.satisfied_now t.root_struct then
-      t.root_struct.state <- Matching.Satisfied
-    else Matching.refute ~stats:t.stats t.root_struct
-  end;
+let compute_final t =
   if t.eager then
     {
       Result_set.items = Item.sort_dedup (List.rev t.eager_items);
@@ -894,21 +1119,55 @@ let finish t =
     (* items report the first output x-node; further marks are only
        visible through the tuples *)
     let primary = t.output_ids.(0) in
-    let on_emit =
-      if Tel.enabled () then (fun (m : Matching.t) ->
-        if m.sat_byte >= 0 then
-          Xaos_obs.Histogram.record hist_emission (t.stream_byte - m.sat_byte))
-      else fun _ -> ()
+    let items, residual =
+      if t.earliest then begin
+        (* the same Section 4.4 collection as deferred mode — result
+           sets are identical by construction — but only structures not
+           already streamed out mid-document still owe an [on_match] *)
+        let residual = ref [] in
+        let on_emit (m : Matching.t) =
+          if not m.emitted then residual := m :: !residual
+        in
+        let items =
+          Item.sort_dedup
+            (Matching.collect_outputs ~on_emit
+               ~is_output:(fun v -> v = primary)
+               t.root_struct)
+        in
+        (items, Some !residual)
+      end
+      else begin
+        let on_emit =
+          if Tel.enabled () then (fun (m : Matching.t) ->
+            if m.sat_byte >= 0 then
+              Xaos_obs.Histogram.record hist_emission
+                (t.stream_byte - m.sat_byte))
+          else fun _ -> ()
+        in
+        let items =
+          Item.sort_dedup
+            (Matching.collect_outputs ~on_emit
+               ~is_output:(fun v -> v = primary)
+               t.root_struct)
+        in
+        (items, None)
+      end
     in
-    let items =
-      Item.sort_dedup
-        (Matching.collect_outputs ~on_emit
-           ~is_output:(fun v -> v = primary)
-           t.root_struct)
-    in
-    (match t.on_match with
-    | Some f -> List.iter f items
-    | None -> ());
+    (match residual with
+    | Some residual ->
+      (* every early emission has a smaller item id than any structure
+         still pending (it would have blocked the flush otherwise), so
+         delivering the residue in id order keeps the whole [on_match]
+         stream in document order *)
+      List.stable_sort
+        (fun (a : Matching.t) (b : Matching.t) ->
+          Int.compare a.item.Item.id b.item.Item.id)
+        residual
+      |> List.iter (fun m -> emit_now t m)
+    | None -> (
+      match t.on_match with
+      | Some f -> List.iter f items
+      | None -> ()));
     let tuples =
       if Array.length t.output_ids > 1 then
         Some (Matching.enumerate_tuples ~outputs:t.output_ids t.root_struct)
@@ -922,6 +1181,30 @@ let finish t =
     { Result_set.items; tuples; matching_count }
   end
   else Result_set.empty
+
+let finish t =
+  match t.final with
+  | Some r -> r
+  | None ->
+    if t.frames <> [] then
+      invalid_arg "Engine.finish: document has unclosed elements";
+    if not t.finished then begin
+      t.finished <- true;
+      let root_id = t.dag.xtree.root.id in
+      (match t.open_stacks.(root_id) with
+      | top :: rest when top == t.root_struct ->
+        t.open_stacks.(root_id) <- rest;
+        (match rest with [] -> stack_became_empty t root_id | _ :: _ -> ())
+      | _ -> assert false);
+      (* Root cannot have backward-axis children (that would have made the
+         x-dag cyclic), so resolution is a bare satisfaction check. *)
+      if Matching.satisfied_now t.root_struct then
+        t.root_struct.state <- Matching.Satisfied
+      else refute_struct t t.root_struct
+    end;
+    let r = compute_final t in
+    t.final <- Some r;
+    r
 
 (* Graceful degradation on truncated input: virtually close every open
    element, then finish. Resolution at the virtual end events sees exactly

@@ -21,6 +21,28 @@
     Use {!Query} for the user-facing API (parsing, [or] handling, result
     assembly across disjuncts). *)
 
+(** When results leave the engine. Result {e sets} are identical in all
+    three modes; only the timing (and ordering guarantees) of the
+    [on_match] callback differ. *)
+type emission =
+  | Deferred
+      (** everything is reported by {!finish}, the paper's Section 4.4
+          end-of-document collection *)
+  | Eager
+      (** Section 5.1(b): when the query shape allows it (see
+          {!emits_eagerly}), report each result element at its end event
+          and retain no structures at all. Falls back to [Deferred]
+          behaviour for shapes it cannot handle. *)
+  | Earliest
+      (** earliest-decision emission: report each result element at the
+          first end event where its membership in the final result set
+          is decided — a per-structure pending-dependency count tracks
+          the optimistic placements whose refutation could still revoke
+          it, and a document-ordered pending buffer flushes the moment a
+          candidate is both certainly satisfied and certainly part of a
+          total matching. Sound for every expression, including backward
+          axes and truncated documents ({!abort}). *)
+
 type config = {
   boolean_subtrees : bool;
       (** Section 5.1(a): track output-free subtrees as support counters
@@ -28,15 +50,12 @@ type config = {
   relevance_filter : bool;
       (** the looking-for filtering; turning it off (ablation) keeps
           results identical but stores structures for every label match *)
-  eager_emission : bool;
-      (** Section 5.1(b): when the query shape allows it (see
-          {!emits_eagerly}), report each result element at its end event
-          and retain no structures at all. *)
+  emission : emission;
 }
 
 val default_config : config
 (** [boolean_subtrees = true; relevance_filter = true;
-    eager_emission = false]. *)
+    emission = Deferred]. *)
 
 exception Budget_exceeded of { live : int; budget : int }
 (** The engine's live matching structures ([created - refuted]) exceeded
@@ -50,9 +69,11 @@ val create :
   ?config:config -> ?budget:int -> ?on_match:(Item.t -> unit) ->
   Xaos_xpath.Xdag.t -> t
 (** A fresh engine over the given x-dag. [on_match] fires on each result
-    element as soon as the engine knows it is in the result — immediately
-    in eager mode, at document end otherwise. [budget] caps the number of
-    live matching structures (default unlimited); see
+    element as soon as the engine knows it is in the result — at its end
+    event in eager mode, at the earliest decided event in earliest mode
+    (in document order, each item exactly once across the stream and the
+    {!finish} residue), at document end otherwise. [budget] caps the
+    number of live matching structures (default unlimited); see
     {!Budget_exceeded}. *)
 
 val emits_eagerly : t -> bool
@@ -89,6 +110,8 @@ val feed_doc : t -> Xaos_xml.Dom.doc -> unit
 
 val finish : t -> Result_set.t
 (** Resolve the root structure at end of document and return the results.
+    Idempotent: the result is memoized, so a second call returns it
+    without replaying [on_match] or re-recording emission latencies.
     @raise Invalid_argument if elements are still open. *)
 
 val abort : t -> Result_set.t

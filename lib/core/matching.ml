@@ -43,8 +43,30 @@ and t = {
   mutable state : state;
   mutable sat_byte : int;
       (* stream byte offset when this structure first became Satisfied;
-         -1 until then. Subtracting it from the offset at emission time
-         gives the result's emission latency in document bytes. *)
+         -1 until then (and again after a refutation: a superseded
+         satisfaction must not leak into another structure's latency).
+         Subtracting it from the offset at emission time gives the
+         result's emission latency in document bytes. *)
+  mutable undecided : int;
+      (* earliest-decision bookkeeping: live placements into this
+         structure whose child is not yet [stable]. Incremented by
+         {!place}, decremented when the child is refuted (here) or
+         latched stable (by the engine). 0 means every current slot
+         entry is final. *)
+  mutable stable : bool;
+      (* latched by the engine: this structure is certain to be
+         [Satisfied] in the completed document and can never be refuted.
+         Monotone — never unset. *)
+  mutable anchored : bool;
+      (* latched by the engine: certainly reachable from the final
+         satisfied root structure, i.e. part of a total matching. *)
+  mutable emitted : bool;
+      (* earliest mode: [on_match] already fired for this structure;
+         the end-of-run collection must not emit it again *)
+  mutable early_pushed : bool;
+      (* earliest mode: this structure latched stable while still open
+         and was pushed into its consistent forward-axis targets right
+         then; its own resolution must not push it a second time *)
 }
 
 and placement = {
@@ -61,7 +83,9 @@ let create ~serial ~xnode ~item ~pointer_slots =
         else Counter (ref 0))
       pointer_slots
   in
-  { serial; xnode; item; slots; placements = []; state = Pending; sat_byte = -1 }
+  { serial; xnode; item; slots; placements = []; state = Pending;
+    sat_byte = -1; undecided = 0; stable = false; anchored = false;
+    emitted = false; early_pushed = false }
 
 (* Rough heap footprint of one structure in bytes: the record and item,
    the slot array with one store header (or counter ref) per slot, an
@@ -114,6 +138,7 @@ let place ~child ~target ~slot =
       incr n;
       None
   in
+  if not child.stable then target.undecided <- target.undecided + 1;
   child.placements <- { p_target = target; p_slot = slot; p_entry } :: child.placements
 
 let slot_filled t i =
@@ -137,10 +162,13 @@ let remove_placement { p_target; p_slot; p_entry } =
     !n = 0
   | Pointers _, None | Counter _, Some _ -> assert false
 
-let refute ~stats t =
+let refute ?(on_undo = fun (_ : t) -> ()) ~stats t =
   let rec go t =
     if t.state <> Refuted then begin
       t.state <- Refuted;
+      (* a refuted structure was never decided: whatever satisfaction it
+         had is superseded, so its byte stamp must not survive *)
+      t.sat_byte <- -1;
       stats.Stats.structures_refuted <- stats.Stats.structures_refuted + 1;
       stats.Stats.retained_bytes <-
         stats.Stats.retained_bytes - approx_bytes t;
@@ -158,9 +186,13 @@ let refute ~stats t =
             if Xaos_obs.Tracer.enabled () then
               Xaos_obs.Tracer.undone ~child:t.serial ~target:target.serial;
             let emptied = remove_placement placement in
+            (* [t] is refuted, so it was never [stable] and was counted
+               in the target's undecided placements at [place] time *)
+            target.undecided <- target.undecided - 1;
             (* A pending target performs its own satisfaction check at
                resolution time; only a satisfied one must be revoked. *)
             if emptied && target.state = Satisfied then go target
+            else on_undo target
           end)
         placements
     end

@@ -47,9 +47,34 @@ and t = {
   mutable state : state;
   mutable sat_byte : int;
       (** stream byte offset when this structure first became
-          [Satisfied]; [-1] until then. The engine stamps it so that
-          emission latency — bytes of document between a result becoming
-          decidable and it being emitted — can be observed. *)
+          [Satisfied]; [-1] until then, and reset to [-1] by {!refute}
+          (a superseded satisfaction must not leak into latency
+          accounting). The engine stamps it so that emission latency —
+          bytes of document between a result becoming decidable and it
+          being emitted — can be observed. *)
+  mutable undecided : int;
+      (** earliest-decision bookkeeping: number of live placements into
+          this structure whose child is not yet [stable]. Incremented by
+          {!place}, decremented when the child is refuted (by {!refute})
+          or latched stable (by the engine). [0] means every current
+          slot entry is final, so no slot of this structure can ever
+          empty again. *)
+  mutable stable : bool;
+      (** latched by the engine (earliest mode): this structure is
+          certain to be [Satisfied] in the completed document and can
+          never be refuted. Monotone — never unset. *)
+  mutable anchored : bool;
+      (** latched by the engine (earliest mode): certainly reachable
+          from the final satisfied root structure, i.e. it participates
+          in a total matching of the whole query. *)
+  mutable emitted : bool;
+      (** earliest mode: [on_match] already fired for this structure;
+          the end-of-run collection must not deliver it again. *)
+  mutable early_pushed : bool;
+      (** earliest mode: this structure latched stable while its element
+          was still open and the engine pushed it into its consistent
+          forward-axis targets at that moment; resolution must not push
+          it again. *)
 }
 
 and placement = {
@@ -74,10 +99,15 @@ val slot_filled : t -> int -> bool
 val satisfied_now : t -> bool
 (** All slots non-empty. *)
 
-val refute : stats:Stats.t -> t -> unit
+val refute : ?on_undo:(t -> unit) -> stats:Stats.t -> t -> unit
 (** Mark the structure [Refuted] and undo all its placements; if removing
     it from a previously [Satisfied] target empties one of the target's
-    slots, the target is refuted recursively. *)
+    slots, the target is refuted recursively. Each undo decrements the
+    target's [undecided] count (a refuted child was never [stable], so it
+    was counted at {!place} time). [on_undo] (default a no-op) is called
+    for each surviving target whose slot entry was removed without
+    triggering recursive refutation — the engine's hook to re-check
+    earliest-decision stability. Also resets [sat_byte]. *)
 
 val count_matchings : t -> int
 (** Number of distinct total matchings represented (the paper's Figure 4

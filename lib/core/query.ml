@@ -62,6 +62,8 @@ let compile_exn ?config ?or_limit input =
 
 let path q = q.path
 
+let emission q = q.config.Engine.emission
+
 let disjuncts q = q.dags
 
 let uses_backward_axes q = Ast.uses_backward_axis q.path
@@ -73,6 +75,23 @@ type run = {
 
 let start ?on_match ?budget q =
   Tel.incr counter_runs;
+  (* Disjunct engines report matches independently, so an item matched by
+     several disjuncts would reach the callback once per disjunct —
+     result sets dedup at union time, the callback boundary must too.
+     Ids are document-order element ids, identical across engines fed
+     the same events. *)
+  let on_match =
+    match on_match, q.dags with
+    | Some f, _ :: _ :: _ ->
+      let seen : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+      Some
+        (fun (item : Item.t) ->
+          if not (Hashtbl.mem seen item.id) then begin
+            Hashtbl.add seen item.id ();
+            f item
+          end)
+    | _ -> on_match
+  in
   let engines =
     List.map
       (fun dag -> Engine.create ~config:q.config ?budget ?on_match dag)

@@ -31,6 +31,11 @@ val compile_path : ?config:Engine.config -> ?or_limit:int -> Xaos_xpath.Ast.path
 val path : t -> Xaos_xpath.Ast.path
 (** The original expression. *)
 
+val emission : t -> Engine.emission
+(** The emission mode this query was compiled with (see
+    {!Engine.emission}); drivers use it to decide whether [on_match]
+    can fire mid-document. *)
+
 val disjuncts : t -> Xaos_xpath.Xdag.t list
 (** The compiled representations (satisfiable disjuncts only). *)
 
@@ -44,7 +49,10 @@ type run
 val start : ?on_match:(Item.t -> unit) -> ?budget:int -> t -> run
 (** [budget] caps live matching structures per disjunct engine; a feed
     that would exceed it raises {!Engine.Budget_exceeded} (after which
-    {!finish_partial} still works). *)
+    {!finish_partial} still works). [on_match] fires exactly once per
+    result item even when several disjuncts match it (deduplicated at
+    the callback boundary, mirroring the result-set union); its timing
+    follows the compiled {!emission} mode. *)
 
 val feed : run -> Xaos_xml.Event.t -> unit
 

@@ -157,6 +157,11 @@ type session = {
           {!set_stream_byte}; [-1] = no driver pushes it. Forwarded to a
           run's engines just before each delivery so emission latency
           can be stamped in bytes. *)
+  on_item : (name:string -> Item.t -> unit) option;
+      (** mid-document match delivery: wired as [on_match] into runs
+          whose query was compiled with a non-deferred emission mode, so
+          a driver (the service broker) can push results while the
+          document is still streaming. Removed runs are muted. *)
 }
 
 let bucket_add s sym rs =
@@ -242,11 +247,25 @@ let refresh_text_interest s rs =
    the interest callbacks fired during subscription and replay populate
    exactly the buckets the new run's frontier needs. *)
 let attach s name q =
+  (* the callback closes over the run it belongs to (to honour
+     mid-session removal), which does not exist until [Query.start]
+     returns — hence the knot *)
+  let rs_cell = ref None in
+  let on_match =
+    match s.on_item with
+    | Some f when Query.emission q <> Engine.Deferred ->
+      Some
+        (fun item ->
+          match !rs_cell with
+          | Some rs when rs.rs_removed -> ()
+          | Some _ | None -> f ~name item)
+    | Some _ | None -> None
+  in
   let rs =
     {
       rs_id = s.next_run_id;
       rs_name = name;
-      rs_run = Query.start ?budget:s.budget q;
+      rs_run = Query.start ?on_match ?budget:s.budget q;
       rs_aborted = false;
       rs_removed = false;
       rs_error = None;
@@ -254,6 +273,7 @@ let attach s name q =
       rs_spent = 0.;
     }
   in
+  rs_cell := Some rs;
   s.next_run_id <- s.next_run_id + 1;
   s.runs_rev <- rs :: s.runs_rev;
   s.live <- s.live + 1;
@@ -286,7 +306,7 @@ let attach s name q =
   | Naive -> ());
   rs
 
-let start ?budget ?(dispatch = Shared) t =
+let start ?budget ?(dispatch = Shared) ?on_item t =
   Xaos_obs.Telemetry.incr counter_documents;
   let s =
     {
@@ -305,6 +325,7 @@ let start ?budget ?(dispatch = Shared) t =
       dispatched = 0;
       suppressed = 0;
       current_byte = -1;
+      on_item;
     }
   in
   List.iter (fun (name, q) -> ignore (attach s name q)) t.queries;

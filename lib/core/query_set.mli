@@ -84,10 +84,19 @@ type dispatch =
 
 type session
 
-val start : ?budget:int -> ?dispatch:dispatch -> t -> session
+val start :
+  ?budget:int -> ?dispatch:dispatch ->
+  ?on_item:(name:string -> Item.t -> unit) -> t -> session
 (** Fresh runs for one document. [budget] caps live matching structures
     per disjunct engine of every run. [dispatch] defaults to
-    {!Shared}. *)
+    {!Shared}. [on_item] enables mid-document match delivery: it is
+    wired as the [on_match] callback of every run whose query was
+    compiled with a non-deferred {!Engine.emission} mode (deferred runs
+    never call it — their items only appear in the {!finish} outcomes),
+    fires at most once per (run, item), and is muted for runs detached
+    via {!remove_run}. Items delivered mid-stream still appear in the
+    run's outcome: the callback is a preview, the outcome stays the
+    complete record. *)
 
 val feed : session -> Xaos_xml.Event.t -> unit
 (** Route one event. Under {!Shared} dispatch, element events reach only

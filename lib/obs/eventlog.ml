@@ -33,6 +33,9 @@ type reason =
   | Backoff_elapsed  (** quarantine penalty served; probation begins *)
   | Thread_crash  (** exception escaped a server thread body *)
   | Doc_deadline  (** document ended by the wall-clock deadline *)
+  | Line_too_long
+      (** a protocol line exceeded the frame cap; the connection fails
+          closed rather than deliver a truncated parse *)
   | Sax_limit of string  (** document ended by a parser resource limit *)
 
 let reason_code = function
@@ -44,6 +47,7 @@ let reason_code = function
   | Backoff_elapsed -> "backoff-elapsed"
   | Thread_crash -> "thread-crash"
   | Doc_deadline -> "doc-deadline"
+  | Line_too_long -> "line-too-long"
   | Sax_limit kind -> "sax-limit:" ^ kind
 
 type event = {

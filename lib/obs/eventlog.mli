@@ -34,6 +34,9 @@ type reason =
   | Backoff_elapsed  (** quarantine penalty served; probation begins *)
   | Thread_crash  (** exception escaped a server thread body *)
   | Doc_deadline  (** document ended by the wall-clock deadline *)
+  | Line_too_long
+      (** a protocol line exceeded the frame cap; the connection fails
+          closed rather than deliver a truncated parse *)
   | Sax_limit of string  (** document ended by a parser resource limit *)
 
 val reason_code : reason -> string

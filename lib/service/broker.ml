@@ -11,12 +11,13 @@ type config = {
   limits : Sax.limits;
   quarantine : Quarantine.config;
   reset_symbols_every : int;
+  earliest : bool;
 }
 
 let default_config =
   { budget = Some 50_000; deadline_s = Some 2.0;
     limits = Sax.default_limits; quarantine = Quarantine.default_config;
-    reset_symbols_every = 256 }
+    reset_symbols_every = 256; earliest = false }
 
 type status =
   | Live
@@ -84,17 +85,25 @@ let with_lock t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let subscribe t ~name ~query =
+let subscribe ?(earliest = false) t ~name ~query =
   with_lock t @@ fun () ->
   if Hashtbl.mem t.subs name then Error ("duplicate subscription: " ^ name)
-  else
-    match Query.compile query with
+  else begin
+    (* the emission mode is baked into the compiled query, so it follows
+       the subscription through quarantine and re-admission for free *)
+    let config =
+      if earliest || t.config.earliest then
+        { Engine.default_config with emission = Engine.Earliest }
+      else Engine.default_config
+    in
+    match Query.compile ~config query with
     | Error e -> Error e
     | Ok q ->
       Hashtbl.add t.subs name { sub_query = q };
       Query_set.register t.set name q;
       Telemetry.set_gauge gauge_live (Query_set.size t.set);
       Ok ()
+  end
 
 let unsubscribe t ~name =
   with_lock t @@ fun () ->
@@ -197,7 +206,7 @@ let account_outcomes t ~doc_died outcomes =
           Some (name, reason)))
     outcomes
 
-let publish t ~doc_id doc =
+let publish ?on_item t ~doc_id doc =
   with_lock t @@ fun () ->
   Telemetry.enter span_publish;
   if Tracer.enabled () then Tracer.phase_begin "service.publish";
@@ -212,7 +221,7 @@ let publish t ~doc_id doc =
     && t.tick mod t.config.reset_symbols_every = 0
   then Xaos_xml.Symbol.reset ();
   let readmitted = readmit_due t in
-  let session = Query_set.start ?budget:t.config.budget t.set in
+  let session = Query_set.start ?budget:t.config.budget ?on_item t.set in
   let faults = ref 0 in
   let deadline_hit = ref false in
   let limit_hit = ref None in

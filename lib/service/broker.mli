@@ -35,11 +35,17 @@ type config = {
   limits : Xaos_xml.Sax.limits;
   quarantine : Quarantine.config;
   reset_symbols_every : int;  (** documents between interning resets; 0 = never *)
+  earliest : bool;
+      (** compile {e every} subscription in earliest-decision emission
+          mode ({!Xaos_core.Engine.Earliest}), regardless of what the
+          individual {!subscribe} calls asked for — the [serve
+          --earliest] switch *)
 }
 
 val default_config : config
 (** budget 50k structures, deadline 2 s, {!Xaos_xml.Sax.default_limits},
-    default quarantine, symbol reset every 256 documents. *)
+    default quarantine, symbol reset every 256 documents, deferred
+    emission. *)
 
 type t
 
@@ -47,9 +53,15 @@ val create : ?config:config -> unit -> t
 
 (** {1 Subscriptions} *)
 
-val subscribe : t -> name:string -> query:string -> (unit, string) result
+val subscribe :
+  ?earliest:bool -> t -> name:string -> query:string -> (unit, string) result
 (** Compile and register. [Error] on a bad expression or duplicate
-    name. *)
+    name. [earliest] (default [false]) compiles the query in
+    earliest-decision emission mode ({!Xaos_core.Engine.Earliest}): its
+    results are additionally delivered one by one through {!publish}'s
+    [on_item] callback the moment each is decided, mid-document. The
+    mode is baked into the compiled query, so it survives quarantine
+    and re-admission. *)
 
 val unsubscribe : t -> name:string -> bool
 
@@ -77,10 +89,20 @@ type doc_outcome = {
   readmitted : string list;  (** subscriptions re-admitted before it *)
 }
 
-val publish : t -> doc_id:string -> string -> doc_outcome
+val publish :
+  ?on_item:(name:string -> Xaos_core.Item.t -> unit) ->
+  t -> doc_id:string -> string -> doc_outcome
 (** Evaluate one document against every live subscription. Never raises
     on document content: malformed bytes, limit trips, budget trips and
     engine failures all land in the outcome.
+
+    [on_item] receives each result element of every non-deferred
+    (earliest / eager) subscription the moment it is decided, while the
+    document is still streaming — called from the publishing thread,
+    in document order per subscription, exactly once per (subscription,
+    element). Deferred subscriptions never reach it; their matches are
+    only summarized in the outcome. The outcome's [matches] counts are
+    identical in every mode.
 
     While telemetry is enabled, per-stage latencies are recorded into
     the [stage/parse], [stage/dispatch] and [stage/subscription_match]

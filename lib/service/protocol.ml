@@ -1,7 +1,7 @@
 module Json = Xaos_obs.Json
 
 type request =
-  | Subscribe of { name : string; query : string }
+  | Subscribe of { name : string; query : string; earliest : bool }
   | Unsubscribe of { name : string }
   | Publish of { doc_id : string; priority : int; doc : string }
   | Stats
@@ -23,8 +23,9 @@ let op_name = function
 let request_to_json r =
   let fields =
     match r with
-    | Subscribe { name; query } ->
+    | Subscribe { name; query; earliest } ->
       [ ("name", Json.String name); ("query", Json.String query) ]
+      @ (if earliest then [ ("earliest", Json.Bool true) ] else [])
     | Unsubscribe { name } -> [ ("name", Json.String name) ]
     | Publish { doc_id; priority; doc } ->
       [ ("id", Json.String doc_id); ("priority", Json.Int priority);
@@ -50,10 +51,13 @@ let request_of_json j =
   | Some op -> (
     match Json.to_str op with
     | None -> Error "field \"op\" must be a string"
-    | Some "subscribe" ->
+    | Some "subscribe" -> (
       Result.bind (str_field "name" j) @@ fun name ->
       Result.bind (str_field "query" j) @@ fun query ->
-      Ok (Subscribe { name; query })
+      match Json.member "earliest" j with
+      | None -> Ok (Subscribe { name; query; earliest = false })
+      | Some (Json.Bool earliest) -> Ok (Subscribe { name; query; earliest })
+      | Some _ -> Error "field \"earliest\" must be a boolean")
     | Some "unsubscribe" ->
       Result.bind (str_field "name" j) @@ fun name -> Ok (Unsubscribe { name })
     | Some "publish" ->

@@ -14,6 +14,9 @@
 
     Responses and asynchronous events (server → client) carry either an
     ["ok"] field (the direct answer to a request) or an ["event"] field:
+    [item] (one result element of an [earliest] subscription this
+    connection owns, pushed mid-document the moment it is decided, with
+    the element's document-order id, tag and level),
     [match] (a subscription this connection owns matched a document),
     [processed] (the document this connection published was evaluated,
     with per-subscription match counts and fault accounting),
@@ -23,7 +26,13 @@
     running [stats-stream]). *)
 
 type request =
-  | Subscribe of { name : string; query : string }
+  | Subscribe of { name : string; query : string; earliest : bool }
+      (** [earliest] opts this subscription into earliest-decision
+          emission: the server additionally pushes one ["item"] event
+          per result element the moment it is decided, while the
+          document is still streaming (the per-document ["match"]
+          summary still follows). Optional on the wire, default
+          [false]. *)
   | Unsubscribe of { name : string }
   | Publish of { doc_id : string; priority : int; doc : string }
   | Stats

@@ -11,12 +11,14 @@ type config = {
   low_watermark : int;
   out_queue : int;
   write_timeout_s : float;
+  max_line_bytes : int;
   broker : Broker.config;
 }
 
 let default_config socket_path =
   { socket_path; high_watermark = 64; low_watermark = 16; out_queue = 1024;
-    write_timeout_s = 5.0; broker = Broker.default_config }
+    write_timeout_s = 5.0; max_line_bytes = 8 * 1024 * 1024;
+    broker = Broker.default_config }
 
 type client = {
   cid : int;
@@ -212,8 +214,8 @@ let report t =
 
 let rec handle_request t c req =
   match req with
-  | Protocol.Subscribe { name; query } -> (
-    match Broker.subscribe t.brk ~name ~query with
+  | Protocol.Subscribe { name; query; earliest } -> (
+    match Broker.subscribe ~earliest t.brk ~name ~query with
     | Ok () ->
       with_lock t (fun () -> Hashtbl.replace t.owners name c);
       send t c (Protocol.ok ~op:"subscribe" [ ("name", Json.String name) ])
@@ -346,6 +348,34 @@ and reader_loop t c () =
     in
     go 0
   in
+  (* A partial line may legitimately span many reads (a client is free
+     to write one byte at a time), but it may not grow without bound:
+     past [max_line_bytes] the connection fails closed — a typed event,
+     an error response, then teardown — rather than buffer a rogue
+     frame until the process dies, and rather than "recover" by parsing
+     a truncated prefix as if it were the whole request. *)
+  let overflow () =
+    Eventlog.record ~level:Eventlog.Warn ~kind:"frame"
+      ~reason:Eventlog.Line_too_long
+      ~detail:[ ("bytes", Json.Int (Buffer.length acc)) ]
+      ("client-" ^ string_of_int c.cid);
+    send t c
+      (Protocol.error ~op:"parse"
+         (Printf.sprintf "line exceeds %d bytes" t.config.max_line_bytes));
+    (* best effort: give the writer a moment to flush the refusal
+       before [close_client] wakes it with [out_closed] *)
+    let deadline = Unix.gettimeofday () +. 1.0 in
+    let rec drain () =
+      Mutex.lock c.out_mu;
+      let empty = Queue.is_empty c.out || c.out_closed in
+      Mutex.unlock c.out_mu;
+      if (not empty) && Unix.gettimeofday () < deadline then begin
+        Thread.delay 0.01;
+        drain ()
+      end
+    in
+    drain ()
+  in
   let rec loop () =
     match Unix.read c.fd chunk 0 (Bytes.length chunk) with
     | 0 -> ()
@@ -353,7 +383,8 @@ and reader_loop t c () =
       Buffer.add_subbytes acc chunk 0 n;
       if Bytes.index_opt (Bytes.sub chunk 0 n) '\n' <> None then
         process_lines ();
-      loop ()
+      if Buffer.length acc > t.config.max_line_bytes then overflow ()
+      else loop ()
     | exception Unix.Unix_error _ -> ()
   in
   loop ();
@@ -366,7 +397,25 @@ and process_pending t p =
   if p.p_enqueued_at > 0. then
     Histogram.record_seconds hist_ingress_wait
       (Telemetry.now () -. p.p_enqueued_at);
-  let o = Broker.publish t.brk ~doc_id:p.p_doc_id p.p_doc in
+  (* mid-document result push for earliest-mode subscriptions: the
+     broker calls this from the evaluation thread the moment an element
+     is decided, so the owning connection sees each result while the
+     document is still streaming.  Looking up the owner takes [t.mu]
+     while the broker holds its own lock; that nesting is one-way (no
+     path acquires the broker lock while holding [t.mu] — [close_client]
+     releases it before unsubscribing), so it cannot deadlock. *)
+  let on_item ~name (item : Xaos_core.Item.t) =
+    match with_lock t (fun () -> Hashtbl.find_opt t.owners name) with
+    | Some oc ->
+      send t oc
+        (Protocol.event ~kind:"item"
+           [ ("id", Json.String p.p_doc_id); ("name", Json.String name);
+             ("item_id", Json.Int item.id);
+             ("tag", Json.String (Xaos_core.Item.tag item));
+             ("level", Json.Int item.level) ])
+    | None -> ()
+  in
+  let o = Broker.publish ~on_item t.brk ~doc_id:p.p_doc_id p.p_doc in
   send t p.p_client
     (Protocol.event ~kind:"processed"
        [ ("id", Json.String o.doc_id); ("tick", Json.Int o.tick);

@@ -29,12 +29,18 @@ type config = {
   low_watermark : int;  (** overload clears below this *)
   out_queue : int;  (** per-client pending responses before drops *)
   write_timeout_s : float;  (** socket send timeout per client *)
+  max_line_bytes : int;
+      (** frame cap: a connection whose unterminated request line grows
+          past this many bytes fails closed — a typed
+          {!Xaos_obs.Eventlog.Line_too_long} event, one [parse] error
+          response, then disconnect.  A request split across many tiny
+          writes below the cap is reassembled normally. *)
   broker : Broker.config;
 }
 
 val default_config : string -> config
 (** [default_config socket_path]: watermarks 64/16, out-queue 1024,
-    write timeout 5 s, {!Broker.default_config}. *)
+    write timeout 5 s, 8 MiB frame cap, {!Broker.default_config}. *)
 
 type t
 

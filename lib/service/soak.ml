@@ -28,6 +28,11 @@ type summary = {
   displaced : int;
   client_aborts : int;
   match_events : int;
+  item_events : int;  (** mid-document pushes from earliest subscriptions *)
+  item_checked : int;
+      (** (checked doc, earliest sub) pairs differentially verified *)
+  item_mismatches : int;
+      (** pairs whose streamed item count ≠ the final match count *)
   quarantine_events : int;
   readmit_events : int;
   sax_faults : int;
@@ -151,6 +156,8 @@ type tally = {
   mutable displaced : int;
   mutable processed : int;
   mutable match_events : int;
+  mutable item_events : int;
+  item_counts : (string, int) Hashtbl.t;  (* "<doc>/<sub>" -> items pushed *)
   mutable quarantine_events : int;
   mutable readmit_events : int;
   mutable sax_faults : int;
@@ -165,6 +172,7 @@ type tally = {
 let new_tally () =
   { mu = Mutex.create (); sub_acks = 0; sub_errors = []; accepted = 0;
     shed = 0; displaced = 0; processed = 0; match_events = 0;
+    item_events = 0; item_counts = Hashtbl.create 4096;
     quarantine_events = 0; readmit_events = 0; sax_faults = 0;
     limit_ends = 0; deadline_ends = 0; outcomes = Hashtbl.create 4096;
     terminal = Hashtbl.create 4096; stats_json = None; report_json = None }
@@ -201,6 +209,15 @@ let on_json ty j =
     Hashtbl.replace ty.outcomes id matches;
     Hashtbl.replace ty.terminal id ()
   | Some "match" -> ty.match_events <- ty.match_events + 1
+  | Some "item" ->
+    ty.item_events <- ty.item_events + 1;
+    let key =
+      Option.value ~default:"?" (str "id")
+      ^ "/"
+      ^ Option.value ~default:"?" (str "name")
+    in
+    Hashtbl.replace ty.item_counts key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt ty.item_counts key))
   | Some "quarantine" -> ty.quarantine_events <- ty.quarantine_events + 1
   | Some "readmit" -> ty.readmit_events <- ty.readmit_events + 1
   | Some _ -> ()
@@ -326,7 +343,7 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
           limits = { Sax.default_limits with max_text_bytes = 16384 };
           quarantine =
             { Quarantine.threshold = 3; base_penalty = 12; max_penalty = 192 };
-          reset_symbols_every = 128 } }
+          reset_symbols_every = 128; earliest = false } }
   in
   let server = Server.start server_cfg in
   let ty = new_tally () in
@@ -340,12 +357,20 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
     List.map (spawn_reader ty)
       (pub :: poison_conn :: Array.to_list sub_conns)
   in
+  (* every other healthy subscription opts into earliest-decision
+     emission, so the soak exercises both modes side by side on the same
+     chaos stream and can check them against each other *)
+  let earliest_sub i = i mod 2 = 0 in
+  let earliest_names : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   List.iteri
     (fun i (name, query) ->
-      send sub_conns.(i mod 4) (Protocol.Subscribe { name; query }))
+      if earliest_sub i then Hashtbl.replace earliest_names name ();
+      send sub_conns.(i mod 4)
+        (Protocol.Subscribe { name; query; earliest = earliest_sub i }))
     healthy_subs;
   send poison_conn
-    (Protocol.Subscribe { name = poison_name; query = poison_query });
+    (Protocol.Subscribe
+       { name = poison_name; query = poison_query; earliest = false });
   let want_acks = List.length healthy_subs + 1 in
   if not (wait_for ty ~timeout:30.0 (fun () -> ty.sub_acks >= want_acks))
   then failwith "soak: subscriptions not acknowledged";
@@ -428,10 +453,24 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
   let all = !expected_terminal in
   ignore
     (wait_for ty ~timeout:120.0 (fun () -> Hashtbl.length ty.terminal >= all));
-  (* 7. differential check: unfaulted documents, healthy subscriptions *)
+  (* the mid-document item pushes travel on the subscriber connections,
+     not the publisher's, so "all documents terminal" does not imply
+     their writers have drained — wait until the count stops moving *)
+  let rec settle last tries =
+    Thread.delay 0.05;
+    let now = locked ty (fun () -> ty.item_events) in
+    if now <> last && tries > 0 then settle now (tries - 1)
+  in
+  settle (locked ty (fun () -> ty.item_events)) 200;
+  (* 7. differential check: unfaulted documents, healthy subscriptions.
+     For earliest-mode subscriptions additionally check that the items
+     streamed mid-document add up to exactly the final match count — the
+     two delivery paths must agree result for result. *)
   progress "verify: differential against the clean oracle";
   let checked = ref 0 in
   let mismatches = ref 0 in
+  let item_checked = ref 0 in
+  let item_mismatches = ref 0 in
   let examples = ref [] in
   locked ty (fun () ->
       for i = 0 to cfg.docs - 1 do
@@ -453,7 +492,25 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
                   (String.concat ","
                      (List.map (fun (n, k) -> Printf.sprintf "%s=%d" n k) got))
                 :: !examples
-          end
+          end;
+          List.iter
+            (fun (n, k) ->
+              if Hashtbl.mem earliest_names n then begin
+                incr item_checked;
+                let streamed =
+                  Option.value ~default:0
+                    (Hashtbl.find_opt ty.item_counts (doc_id i ^ "/" ^ n))
+                in
+                if streamed <> k then begin
+                  incr item_mismatches;
+                  if List.length !examples < 5 then
+                    examples :=
+                      Printf.sprintf "%s/%s: %d items streamed, %d matched"
+                        (doc_id i) n streamed k
+                      :: !examples
+                end
+              end)
+            got
         | _ -> ()
       done);
   (* 8. final stats + report over the wire *)
@@ -512,6 +569,8 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
           processed = ty.processed; shed = ty.shed;
           displaced = ty.displaced; client_aborts = !client_aborts;
           match_events = ty.match_events;
+          item_events = ty.item_events; item_checked = !item_checked;
+          item_mismatches = !item_mismatches;
           quarantine_events = ty.quarantine_events;
           readmit_events = ty.readmit_events; sax_faults = ty.sax_faults;
           limit_ends = ty.limit_ends; deadline_ends = ty.deadline_ends;
@@ -547,6 +606,13 @@ let healthy s =
       (Printf.sprintf "only %d/%d documents accounted for" s.completed
          s.published)
   else if s.checked = 0 then Error "no differential checks performed"
+  else if s.item_checked = 0 then
+    Error "no earliest-mode item deliveries verified"
+  else if s.item_mismatches > 0 then
+    Error
+      (Printf.sprintf "%d earliest-mode item/match mismatches (e.g. %s)"
+         s.item_mismatches
+         (match s.mismatch_examples with e :: _ -> e | [] -> "?"))
   else if not s.overload_seen then
     Error "no overload responses observed (shed + displaced)"
   else if s.quarantined_total = 0 then Error "quarantine never triggered"

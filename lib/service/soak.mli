@@ -56,6 +56,13 @@ type summary = {
   displaced : int;  (** overload: evicted from the queue *)
   client_aborts : int;  (** connections killed mid-publish *)
   match_events : int;
+  item_events : int;
+      (** mid-document ["item"] pushes received from earliest-mode
+          subscriptions (every other healthy subscription opts in) *)
+  item_checked : int;
+      (** (checked document, earliest subscription) pairs whose streamed
+          item count was compared to the final match count *)
+  item_mismatches : int;  (** pairs where the two delivery paths disagreed *)
   quarantine_events : int;  (** quarantine notifications delivered *)
   readmit_events : int;
   sax_faults : int;
@@ -85,7 +92,9 @@ val run : ?progress:(string -> unit) -> config -> summary
 
 val healthy : summary -> (unit, string) result
 (** The acceptance gate in one place: [Ok] when no crashes, no
-    differential mismatches, every published document accounted for,
+    differential mismatches (including the earliest-mode item-vs-match
+    comparison, which must have run at least once and agreed
+    everywhere), every published document accounted for,
     quarantine + re-admission + overload all observed, the report
     schema-valid, the event log holding at least one typed quarantine,
     shed and readmit record, and the per-stage + emission latency

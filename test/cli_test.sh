@@ -74,6 +74,14 @@ code 4 "$XAOS" eval --max-bytes 4 '/a' "$WORK/small.xml"
 code 2 "$XAOS" filter "$WORK/no_such_subs.txt" "$WORK/small.xml"
 code 3 "$XAOS" filter <(echo '//b') "$WORK/bad.xml"
 
+# --- earliest-decision emission ---------------------------------------------
+# differential: the streamed item lines must equal the deferred result set,
+# on the paper example (backward axes) and on a generated XMark document
+OUT_DEF=$("$XAOS" eval '/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]' "$WORK/fig2.xml")
+OUT_EARLY=$("$XAOS" eval --earliest '/descendant::Y[child::U]/descendant::W[ancestor::Z/child::V]' "$WORK/fig2.xml")
+expect "earliest equals deferred on the paper example" "$OUT_DEF" "$OUT_EARLY"
+code 1 "$XAOS" eval --eager --earliest '//b' "$WORK/small.xml"
+
 # --- lenient recovery --------------------------------------------------------
 OUT=$("$XAOS" eval --lenient --count '//b' "$WORK/bad.xml")
 expect "lenient repairs and matches" "1" "$OUT"
@@ -92,6 +100,12 @@ test -s "$WORK/xm.xml" || fail "xmark output missing"
 printf '//person[@id]\n# comment\n//no_such_thing\n' > "$WORK/subs.txt"
 OUT=$("$XAOS" filter "$WORK/subs.txt" "$WORK/xm.xml" | awk '{print $2}' | tr '\n' ' ')
 expect "filter verdicts" "MATCH - " "$OUT"
+
+# earliest differential on the XMark document: same items, same order
+"$XAOS" eval '//listitem/ancestor::category//name' "$WORK/xm.xml" > "$WORK/xm_def.out"
+"$XAOS" eval --earliest '//listitem/ancestor::category//name' "$WORK/xm.xml" > "$WORK/xm_early.out"
+cmp -s "$WORK/xm_def.out" "$WORK/xm_early.out" \
+  || fail "earliest and deferred differ on the xmark document"
 
 # truncated XMark: --partial-ok reports a subset of the full result, exit 0
 FULL=$("$XAOS" eval --count '//listitem/ancestor::category//name' "$WORK/xm.xml")

@@ -127,7 +127,7 @@ let test_duplicate_and_missing_keys () =
 
 let test_eager_with_attrs () =
   (* attribute tests are pure filters: they do not break eager mode *)
-  let config = { Engine.default_config with eager_emission = true } in
+  let config = { Engine.default_config with emission = Engine.Eager } in
   Alcotest.check (Alcotest.list item) "eager attr filter"
     [ it 2 "item" 2 ]
     (run ~config "//item[@cat='tools']")

@@ -246,7 +246,7 @@ let configs =
     ("default", Engine.default_config);
     ("no boolean", { Engine.default_config with boolean_subtrees = false });
     ("no filter", { Engine.default_config with relevance_filter = false });
-    ("eager", { Engine.default_config with eager_emission = true });
+    ("eager", { Engine.default_config with emission = Engine.Eager });
     ( "no filter, no boolean",
       { Engine.default_config with relevance_filter = false; boolean_subtrees = false } );
   ]
@@ -270,7 +270,7 @@ let test_configs_agree () =
 
 let test_eager_mode_activates () =
   let check_eager query expected =
-    let config = { Engine.default_config with eager_emission = true } in
+    let config = { Engine.default_config with emission = Engine.Eager } in
     let dag =
       Xdag.of_xtree (Xtree.of_path (Parser.parse query))
     in
@@ -287,7 +287,7 @@ let test_eager_mode_activates () =
   check_eager "/$a/$b" false
 
 let test_eager_streams_matches () =
-  let config = { Engine.default_config with eager_emission = true } in
+  let config = { Engine.default_config with emission = Engine.Eager } in
   let seen = ref [] in
   let q = Query.compile_exn ~config "//b" in
   let run = Query.start ~on_match:(fun i -> seen := i :: !seen) q in
@@ -309,6 +309,121 @@ let test_eager_streams_matches () =
 let test_multiple_matches_same_element_dedup () =
   (* b(id 3) is reachable both via a/b and via //b: still reported once *)
   check_result "dedup" [ it 2 "b" 2; it 3 "b" 3 ] "//b" "<a><b><b/></b></a>"
+
+(* ------------------------------------------------------------------ *)
+(* Earliest-decision emission (PR 8)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let earliest_config = { Engine.default_config with emission = Engine.Earliest }
+
+(* Run [query] in earliest mode, returning (streamed items in callback
+   order, final result-set items). The two must always agree. *)
+let run_earliest ?budget query doc =
+  let q = Query.compile_exn ~config:earliest_config query in
+  let streamed = ref [] in
+  let run =
+    Query.start ?budget ~on_match:(fun i -> streamed := i :: !streamed) q
+  in
+  List.iter (Query.feed run) (Sax.events_of_string doc);
+  let r = Query.finish run in
+  (List.rev !streamed, r.Result_set.items)
+
+let test_earliest_matches_deferred () =
+  (* the tentpole differential: earliest mode works for every expression
+     — backward axes, predicates, disjunctions — and both its streamed
+     sequence and its final result set are byte-identical to deferred *)
+  List.iter
+    (fun (query, doc) ->
+      let deferred = items_of_run query doc in
+      let streamed, final = run_earliest query doc in
+      Alcotest.check (Alcotest.list item) (query ^ ": final") deferred final;
+      Alcotest.check (Alcotest.list item)
+        (query ^ ": streamed") deferred streamed)
+    [ (fig3, fig2); ("//W[ancestor::Z]", fig2);
+      ("//W[ancestor::Z/child::V]", fig2); ("//c", doc1);
+      ("/a/b//c[ancestor::b]", doc1); ("//b/ancestor::a", doc1);
+      ("//a[b]", "<a><a><b/></a></a>");
+      ("//x[a or b]", "<r><x><a/></x><x><b/></x><x><c/></x></r>") ]
+
+let test_earliest_streams_mid_document () =
+  (* decision-point delivery: //a//b's first match is certain at its own
+     end event — it must come through on_match with most of the document
+     still unread, not at the end-of-run flush *)
+  let seen = ref [] in
+  let q = Query.compile_exn ~config:earliest_config "//a//b" in
+  let run = Query.start ~on_match:(fun i -> seen := i :: !seen) q in
+  let events = Sax.events_of_string "<r><a><b/><c/><b/></a><d/><d/></r>" in
+  let rec feed_until_first = function
+    | [] -> Alcotest.fail "no match reported mid-stream"
+    | ev :: rest ->
+      Query.feed run ev;
+      if !seen = [] then feed_until_first rest else rest
+  in
+  let remaining = feed_until_first events in
+  Alcotest.(check bool)
+    "reported well before the end" true
+    (List.length remaining > List.length events / 2);
+  List.iter (Query.feed run) remaining;
+  let r = Query.finish run in
+  Alcotest.(check int) "both matches" 2 (List.length r.Result_set.items);
+  Alcotest.(check int) "both streamed" 2 (List.length !seen)
+
+let test_earliest_dedup_across_disjuncts () =
+  (* 'or' expands to one x-dag per disjunct; an element satisfying both
+     must reach the callback exactly once — the same dedup the deferred
+     union applies at finish *)
+  let streamed, final = run_earliest "//x[a or b]" "<r><x><a/><b/></x></r>" in
+  Alcotest.(check int) "one result" 1 (List.length final);
+  Alcotest.check (Alcotest.list item) "streamed exactly once" final streamed
+
+let test_earliest_finish_partial () =
+  (* truncated stream: whatever was certain at the cut arrives through
+     on_match exactly once, and agrees with the partial result set *)
+  let q = Query.compile_exn ~config:earliest_config "//a//b" in
+  let events =
+    Sax.events_of_string "<r><a><b/><b/><a><b/></a></a><b/></r>"
+  in
+  let n = List.length events in
+  List.iter
+    (fun k ->
+      let streamed = ref [] in
+      let run =
+        Query.start ~on_match:(fun i -> streamed := i :: !streamed) q
+      in
+      List.iteri (fun i ev -> if i < k then Query.feed run ev) events;
+      let partial = Query.finish_partial run in
+      let ids l = List.map (fun (i : Item.t) -> i.Item.id) l in
+      Alcotest.(check (list int))
+        (Printf.sprintf "cut at %d" k)
+        (ids partial.Result_set.items)
+        (ids (List.rev !streamed)))
+    [ n / 4; n / 2; 3 * n / 4; n ]
+
+let test_emission_histogram_counts_undo_heavy () =
+  (* regression (stale sat_byte): a refutation must clear the structure's
+     satisfaction stamp, or the undo-heavy paper run records latencies
+     for superseded satisfactions and the emission histogram's count
+     drifts away from the number of items actually emitted *)
+  let was = Xaos_obs.Telemetry.enabled () in
+  Xaos_obs.Telemetry.enable ();
+  Fun.protect ~finally:(fun () ->
+      if not was then Xaos_obs.Telemetry.disable ())
+  @@ fun () ->
+  let hist =
+    match Xaos_obs.Histogram.find "engine/emission" with
+    | Some h -> h
+    | None -> Alcotest.fail "emission histogram unregistered"
+  in
+  List.iter
+    (fun (name, config) ->
+      Xaos_obs.Histogram.reset hist;
+      let q = Query.compile_exn ~config fig3 in
+      let r = Query.run_string q fig2 in
+      Alcotest.(check int)
+        (name ^ ": histogram count = emitted items")
+        (List.length r.Result_set.items)
+        (Xaos_obs.Histogram.count hist))
+    [ ("deferred", Engine.default_config); ("earliest", earliest_config) ]
 
 (* ------------------------------------------------------------------ *)
 (* Multiple outputs                                                    *)
@@ -412,6 +527,14 @@ let suite =
     ("eager mode activates", `Quick, test_eager_mode_activates);
     ("eager streams matches", `Quick, test_eager_streams_matches);
     ("same element dedup", `Quick, test_multiple_matches_same_element_dedup);
+    ("earliest matches deferred", `Quick, test_earliest_matches_deferred);
+    ("earliest streams mid-document", `Quick,
+     test_earliest_streams_mid_document);
+    ("earliest dedup across disjuncts", `Quick,
+     test_earliest_dedup_across_disjuncts);
+    ("earliest finish_partial", `Quick, test_earliest_finish_partial);
+    ("emission histogram accounting", `Quick,
+     test_emission_histogram_counts_undo_heavy);
     ("tuples", `Quick, test_tuples);
     ("tuples join", `Quick, test_tuples_join);
     ("tuple items", `Quick, test_tuple_items_are_first_output);

@@ -178,7 +178,7 @@ let differential =
           [ Engine.default_config;
             { Engine.default_config with boolean_subtrees = false };
             { Engine.default_config with relevance_filter = false };
-            { Engine.default_config with eager_emission = true } ]
+            { Engine.default_config with emission = Engine.Eager } ]
         in
         List.for_all
           (fun config ->

@@ -88,7 +88,7 @@ let test_retained_structures () =
   Alcotest.(check int) "two b structures retained" 2
     (Query.retained_structures run);
   (* eager retains nothing *)
-  let config = { Engine.default_config with eager_emission = true } in
+  let config = { Engine.default_config with emission = Engine.Eager } in
   let qe = Query.compile_exn ~config "//b" in
   let rune = Query.start qe in
   List.iter (Query.feed rune) (Xaos_xml.Sax.events_of_string "<a><b/><b/></a>");

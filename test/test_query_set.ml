@@ -124,6 +124,45 @@ let test_compile_errors_accumulate () =
 
 let events_of s = Sax.events_of_string s
 
+(* The PR 8 extension of the oracle: the same (name, expression) pairs
+   compiled in earliest-decision mode must produce outcomes identical to
+   the deferred reference, and every run's mid-document [on_item] stream
+   must be exactly its outcome's item list (same ids, same order, no
+   duplicates, nothing missing) — including aborted/partial runs, whose
+   certain items are flushed through the callback at the cut. *)
+let check_earliest ?budget ~partial msg pairs events reference =
+  let earliest_set =
+    match
+      Query_set.compile
+        ~config:{ Engine.default_config with emission = Engine.Earliest }
+        pairs
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "earliest compile: %s" e
+  in
+  let streamed : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  let on_item ~name (i : Item.t) =
+    let sofar = Option.value ~default:[] (Hashtbl.find_opt streamed name) in
+    Hashtbl.replace streamed name (i.Item.id :: sofar)
+  in
+  let s = Query_set.start ?budget ~on_item earliest_set in
+  List.iter (Query_set.feed s) events;
+  let outcomes =
+    if partial then Query_set.finish_partial s else Query_set.finish s
+  in
+  check_outcomes (msg ^ ": earliest = deferred") reference outcomes;
+  List.iter
+    (fun (o : Query_set.outcome) ->
+      let got =
+        List.rev
+          (Option.value ~default:[] (Hashtbl.find_opt streamed o.query_name))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: %s streamed = outcome" msg o.query_name)
+        (List.map (fun (i : Item.t) -> i.Item.id) o.items)
+        got)
+    outcomes
+
 let run_both ?budget t events =
   let shared = Query_set.run_events ?budget ~dispatch:Shared t events in
   let naive = Query_set.run_events ?budget ~dispatch:Naive t events in
@@ -457,7 +496,11 @@ let test_fixed_differential_cases () =
       ];
     ]
   in
-  List.iter (fun pairs -> ignore (run_both (compile_exn pairs) events)) sets
+  List.iter
+    (fun pairs ->
+      let reference = run_both (compile_exn pairs) events in
+      check_earliest ~partial:false "fixed" pairs events reference)
+    sets
 
 let test_partial_differential () =
   (* truncated streams: feed a prefix, finish_partial, compare modes *)
@@ -465,10 +508,8 @@ let test_partial_differential () =
     "<site><a><b><c/></b><b/></a><a><b><d/><c/></b></a><e><b/></e></site>"
   in
   let events = events_of doc in
-  let t =
-    compile_exn
-      [ ("q1", "//a//c"); ("q2", "//b/ancestor::a"); ("q3", "//e") ]
-  in
+  let pairs = [ ("q1", "//a//c"); ("q2", "//b/ancestor::a"); ("q3", "//e") ] in
+  let t = compile_exn pairs in
   let n = List.length events in
   List.iter
     (fun k ->
@@ -478,9 +519,15 @@ let test_partial_differential () =
         List.iter (Query_set.feed s) prefix;
         Query_set.finish_partial s
       in
+      let reference = run Query_set.Naive in
       check_outcomes
         (Printf.sprintf "partial at %d" k)
-        (run Query_set.Naive) (run Query_set.Shared))
+        reference (run Query_set.Shared);
+      (* earliest + finish_partial: items certain at the truncation point
+         come through on_item and agree with the partial outcomes *)
+      check_earliest ~partial:true
+        (Printf.sprintf "partial at %d" k)
+        pairs prefix reference)
     [ n / 4; n / 2; (3 * n) / 4; n ]
 
 let test_randomized_differential () =
@@ -504,13 +551,58 @@ let test_randomized_differential () =
     let doc =
       Randgen.document_string (List.hd specs) ~seed:(seed * 31) ~elements:150
     in
-    ignore (run_both t (events_of doc));
+    let reference = run_both t (events_of doc) in
+    check_earliest ~partial:false
+      (Printf.sprintf "clean seed %d" seed)
+      pairs (events_of doc) reference;
     (* mutated + lenient-recovered variant *)
     let mutated = Test_fuzz.mutate rng doc in
     match Sax.events_of_string ~mode:Sax.Lenient mutated with
-    | events -> ignore (run_both t events)
+    | events ->
+      let reference = run_both t events in
+      check_earliest ~partial:false
+        (Printf.sprintf "mutated seed %d" seed)
+        pairs events reference
     | exception Sax.Limit_exceeded _ -> ()
   done
+
+(* qcheck: earliest-vs-deferred over random query sets × chaos-faulted
+   documents. Each seed draws three Randgen queries (backward axes and
+   predicates included), builds a document, pushes it through a
+   byte-level chaos fault and a lenient re-parse, and requires the
+   earliest-mode outcomes — and every run's on_item stream — to agree
+   with the deferred oracle. *)
+let qcheck_earliest_chaos =
+  QCheck.Test.make ~name:"qcheck: earliest = deferred under chaos faults"
+    ~count:40
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let specs =
+        List.init 3 (fun i ->
+            Randgen.generate_spec ~size:4 ~seed:(seed + (i * 7919)) ())
+      in
+      let pairs =
+        ("wild", "//*")
+        :: List.mapi
+             (fun i spec ->
+               (Printf.sprintf "q%d" i, Ast.to_string spec.Randgen.query))
+             specs
+      in
+      let t = compile_exn pairs in
+      let doc =
+        Randgen.document_string (List.hd specs) ~seed:(seed * 31)
+          ~elements:120
+      in
+      let p = Xaos_xml.Chaos.plan ~seed ~rate:0.8 0 in
+      let corrupted = Xaos_xml.Chaos.corrupt p doc in
+      (match Sax.events_of_string ~mode:Sax.Lenient corrupted with
+      | exception Sax.Limit_exceeded _ -> ()
+      | events ->
+        let reference = run_both t events in
+        check_earliest ~partial:false
+          (Printf.sprintf "chaos seed %d" seed)
+          pairs events reference);
+      true)
 
 let suite =
   [
@@ -545,4 +637,5 @@ let suite =
     Alcotest.test_case "partial differential" `Quick test_partial_differential;
     Alcotest.test_case "randomized differential" `Slow
       test_randomized_differential;
+    QCheck_alcotest.to_alcotest qcheck_earliest_chaos;
   ]

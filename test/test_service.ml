@@ -121,7 +121,8 @@ let test_ingress_close_drains () =
 
 let test_protocol_roundtrip () =
   let reqs =
-    [ Protocol.Subscribe { name = "q1"; query = "//a//b" };
+    [ Protocol.Subscribe { name = "q1"; query = "//a//b"; earliest = false };
+      Protocol.Subscribe { name = "q2"; query = "//a"; earliest = true };
       Protocol.Unsubscribe { name = "q1" };
       Protocol.Publish { doc_id = "d-1"; priority = 3; doc = "<a>\"x\"</a>" };
       Protocol.Stats; Protocol.Report; Protocol.Shutdown ]
@@ -157,7 +158,7 @@ let broker_config =
   { Broker.budget = Some 40; deadline_s = None;
     limits = { Sax.default_limits with max_text_bytes = 4096 };
     quarantine = { Quarantine.threshold = 2; base_penalty = 3; max_penalty = 24 };
-    reset_symbols_every = 5 }
+    reset_symbols_every = 5; earliest = false }
 
 let heavy_doc =
   (* enough nesting that //*[*]//* exceeds the 40-structure budget while
@@ -243,12 +244,209 @@ let test_broker_report_schema () =
   | Error e -> Alcotest.failf "broker report invalid: %s" e
 
 (* ------------------------------------------------------------------ *)
-(* The soak: the acceptance test                                       *)
+(* Server over a real socket: framing and earliest-mode item pushes    *)
 (* ------------------------------------------------------------------ *)
 
 let soak_socket name =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "xaos-test-%s-%d.sock" name (Unix.getpid ()))
+
+let with_server ~name ~config_f f =
+  let socket_path = soak_socket name in
+  let config = config_f (Server.default_config socket_path) in
+  let server = Server.start config in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f socket_path)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path) with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  (* a wedged test fails in seconds instead of hanging the suite *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  fd
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+let send_req fd req = write_all fd (Protocol.to_line (Protocol.request_to_json req))
+
+(* Read response lines (reassembled across reads) until [enough] holds on
+   everything parsed so far, EOF, or the receive timeout. Returns the
+   parsed responses in arrival order and whether EOF was reached. *)
+let read_until fd enough =
+  let chunk = Bytes.create 4096 in
+  let acc = Buffer.create 256 in
+  let seen = ref [] in
+  let eof = ref false in
+  let split () =
+    let s = Buffer.contents acc in
+    let len = String.length s in
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | None ->
+        Buffer.clear acc;
+        Buffer.add_substring acc s start (len - start)
+      | Some nl ->
+        (match Json.parse (String.sub s start (nl - start)) with
+        | Ok j -> seen := j :: !seen
+        | Error _ -> ());
+        go (nl + 1)
+    in
+    go 0
+  in
+  let rec loop () =
+    if not (enough (List.rev !seen)) then
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> eof := true
+      | n ->
+        Buffer.add_subbytes acc chunk 0 n;
+        split ();
+        loop ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error _ -> eof := true
+  in
+  loop ();
+  (List.rev !seen, !eof)
+
+let jstr name j = Option.bind (Json.member name j) Json.to_str
+
+let is_event kind j = jstr "event" j = Some kind
+
+(* a complete request split into 1-byte writes must be reassembled into
+   exactly one request — the frame cap must not misfire on small frames
+   that merely arrive slowly *)
+let test_server_split_frame_one_byte_writes () =
+  with_server ~name:"split"
+    ~config_f:(fun c -> { c with max_line_bytes = 4096 })
+  @@ fun path ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  send_req fd (Protocol.Subscribe { name = "q"; query = "//a"; earliest = false });
+  let acks, _ =
+    read_until fd (fun seen ->
+        List.exists (fun j -> jstr "op" j = Some "subscribe") seen)
+  in
+  Alcotest.(check bool) "subscribe acked" true
+    (List.exists (fun j -> Json.member "ok" j = Some (Json.Bool true)) acks);
+  let line =
+    Protocol.to_line
+      (Protocol.request_to_json
+         (Protocol.Publish { doc_id = "d1"; priority = 0; doc = "<r><a/></r>" }))
+  in
+  String.iter (fun ch -> write_all fd (String.make 1 ch)) line;
+  let seen, eof =
+    read_until fd (fun seen -> List.exists (is_event "processed") seen)
+  in
+  Alcotest.(check bool) "connection survived" false eof;
+  let processed = List.find (is_event "processed") seen in
+  Alcotest.(check (option string)) "the one request parsed" (Some "d1")
+    (jstr "id" processed);
+  match Option.bind (Json.member "matches" processed) Json.to_obj with
+  | Some [ ("q", Json.Int 1) ] -> ()
+  | _ -> Alcotest.fail "expected exactly q=1 in matches"
+
+(* an unterminated line past the frame cap fails closed: a typed event
+   log record, one parse error response, then disconnect — never a
+   truncated parse, never unbounded buffering *)
+let test_server_oversized_line_fails_closed () =
+  let log_was = Xaos_obs.Eventlog.enabled () in
+  Xaos_obs.Eventlog.enable ();
+  Xaos_obs.Eventlog.clear ();
+  Fun.protect
+    ~finally:(fun () -> if not log_was then Xaos_obs.Eventlog.disable ())
+  @@ fun () ->
+  with_server ~name:"oversize"
+    ~config_f:(fun c -> { c with max_line_bytes = 256 })
+  @@ fun path ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* dribble 600 bytes with no newline, in small writes so the frame
+     must accumulate across reads before tripping the cap *)
+  for _ = 1 to 60 do
+    write_all fd (String.make 10 'x')
+  done;
+  let seen, eof =
+    read_until fd (fun seen ->
+        List.exists (fun j -> jstr "op" j = Some "parse") seen)
+  in
+  (match List.find_opt (fun j -> jstr "op" j = Some "parse") seen with
+  | Some err ->
+    Alcotest.(check bool) "refusal is an error" true
+      (Json.member "ok" err = Some (Json.Bool false));
+    let msg = Option.value ~default:"" (jstr "error" err) in
+    Alcotest.(check bool) "typed message" true
+      (String.length msg >= 12 && String.sub msg 0 12 = "line exceeds")
+  | None -> Alcotest.fail "no parse error response before close");
+  (* the server must now hang up on us *)
+  let _, eof =
+    if eof then ([], true) else read_until fd (fun _ -> false)
+  in
+  Alcotest.(check bool) "connection closed" true eof;
+  let typed =
+    List.exists
+      (fun (e : Xaos_obs.Eventlog.event) ->
+        e.reason = Some Xaos_obs.Eventlog.Line_too_long)
+      (Xaos_obs.Eventlog.events ())
+  in
+  Alcotest.(check bool) "Line_too_long in the event log" true typed
+
+(* earliest-mode subscription over the wire: one [item] event per result,
+   pushed before the document's [processed] summary, ids in document
+   order, and the final match count agreeing with the pushes *)
+let test_server_earliest_item_events () =
+  with_server ~name:"earliest" ~config_f:(fun c -> c)
+  @@ fun path ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  send_req fd (Protocol.Subscribe { name = "e"; query = "//a//b"; earliest = true });
+  let _ =
+    read_until fd (fun seen ->
+        List.exists (fun j -> jstr "op" j = Some "subscribe") seen)
+  in
+  send_req fd
+    (Protocol.Publish
+       { doc_id = "d"; priority = 0; doc = "<r><a><b/><c/><b/></a></r>" });
+  let seen, _ =
+    read_until fd (fun seen -> List.exists (is_event "processed") seen)
+  in
+  let items = List.filter (is_event "item") seen in
+  Alcotest.(check int) "one item event per result" 2 (List.length items);
+  let ids =
+    List.filter_map (fun j -> Option.bind (Json.member "item_id" j) Json.to_int)
+      items
+  in
+  Alcotest.(check bool) "document order" true (List.sort compare ids = ids);
+  List.iter
+    (fun j ->
+      Alcotest.(check (option string)) "tag" (Some "b") (jstr "tag" j);
+      Alcotest.(check (option string)) "owner name" (Some "e") (jstr "name" j))
+    items;
+  (* every item event precedes the processed summary *)
+  let rec before l =
+    match l with
+    | [] -> true
+    | j :: tl -> if is_event "processed" j then not (List.exists (is_event "item") tl)
+      else before tl
+  in
+  Alcotest.(check bool) "items pushed before processed" true (before seen);
+  let processed = List.find (is_event "processed") seen in
+  match Option.bind (Json.member "matches" processed) Json.to_obj with
+  | Some [ ("e", Json.Int 2) ] -> ()
+  | _ -> Alcotest.fail "summary must agree with the item pushes"
+
+(* ------------------------------------------------------------------ *)
+(* The soak: the acceptance test                                       *)
+(* ------------------------------------------------------------------ *)
 
 let check_soak name cfg =
   let s = Soak.run cfg in
@@ -296,6 +494,12 @@ let suite =
     Alcotest.test_case "broker malformed and limits" `Quick
       test_broker_malformed_and_limits;
     Alcotest.test_case "broker report schema" `Quick test_broker_report_schema;
+    Alcotest.test_case "server reassembles 1-byte-write frames" `Quick
+      test_server_split_frame_one_byte_writes;
+    Alcotest.test_case "server fails closed on oversized lines" `Quick
+      test_server_oversized_line_fails_closed;
+    Alcotest.test_case "server pushes earliest item events" `Quick
+      test_server_earliest_item_events;
     Alcotest.test_case "soak smoke" `Quick test_soak_smoke;
     Alcotest.test_case "soak acceptance (2000 docs, 100 subs)" `Slow
       test_soak_acceptance;

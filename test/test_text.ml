@@ -93,7 +93,7 @@ let test_refutes_optimism () =
 
 let test_eager_not_used_for_chain_text () =
   (* a text test on a chain ancestor forbids eager emission... *)
-  let config = { Engine.default_config with eager_emission = true } in
+  let config = { Engine.default_config with emission = Engine.Eager } in
   let dag q =
     Xaos_xpath.Xdag.of_xtree (Xaos_xpath.Xtree.of_path (Parser.parse q))
   in
