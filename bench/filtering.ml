@@ -232,12 +232,20 @@ module Broker = Xaos_service.Broker
 let byte_fault_kinds =
   [ Chaos.Truncate; Chaos.Corrupt_tag; Chaos.Text_burst; Chaos.Depth_burst ]
 
-let sustained ?(earliest = false) ~subs ~docs ~fault_rate () =
+let sustained ?(earliest = false) ?(attrib = false) ~subs ~docs ~fault_rate
+    () =
   Util.print_header
     (if earliest then
        "Sustained service load: broker throughput under chaos faults \
         (earliest-decision emission)"
      else "Sustained service load: broker throughput under chaos faults");
+  (* cost attribution for the whole experiment: accounts accumulate over
+     both streams and land in the report's attribution section (the
+     registry is left enabled so Util.write_report sees it) *)
+  if attrib then begin
+    Xaos_obs.Attrib.reset ();
+    Xaos_obs.Attrib.enable ()
+  end;
   let sub_rng = Prng.create 911 in
   let queries =
     List.init subs (fun i -> (Printf.sprintf "s%d" i, subscription sub_rng))
@@ -326,4 +334,43 @@ let sustained ?(earliest = false) ~subs ~docs ~fault_rate () =
       "supervision overhead: the faulted stream runs at %.2fx the clean \
        stream's cost"
       (clean /. faulted)
-  | _ -> ())
+  | _ -> ());
+  (* the cost-skew table: where the match time actually went, per
+     subscription — the headline for EXPERIMENTS.md and the data behind
+     the committed attribution baseline *)
+  if attrib then begin
+    let totals = Xaos_obs.Attrib.totals () in
+    let top = Xaos_obs.Attrib.top ~by:Xaos_obs.Attrib.By_match_s 10 in
+    Util.print_header "Cost attribution: most expensive subscriptions";
+    Printf.printf
+      "%d accounts, %s match-time seconds total across both streams\n"
+      totals.Xaos_obs.Attrib.t_subscriptions
+      (Util.fsec totals.Xaos_obs.Attrib.t_match_s);
+    let share s =
+      if totals.Xaos_obs.Attrib.t_match_s > 0. then
+        100. *. s /. totals.Xaos_obs.Attrib.t_match_s
+      else 0.
+    in
+    Util.print_table
+      ~columns:
+        [ "subscription"; "docs"; "events"; "match ms"; "share %";
+          "emitted"; "faults" ]
+      (List.map
+         (fun (sn : Xaos_obs.Attrib.snapshot) ->
+           [ sn.sn_key; string_of_int sn.sn_docs;
+             string_of_int sn.sn_events;
+             Printf.sprintf "%.3f" (sn.sn_match_s *. 1e3);
+             Printf.sprintf "%.1f" (share sn.sn_match_s);
+             string_of_int sn.sn_emissions; string_of_int sn.sn_faults ])
+         top);
+    let top_share =
+      share
+        (List.fold_left (fun acc sn -> acc +. sn.Xaos_obs.Attrib.sn_match_s)
+           0. top)
+    in
+    Util.record
+      (Printf.sprintf "sustained/%d/attrib_top10_match_share_pct" subs)
+      top_share;
+    Util.note "the top %d accounts hold %.1f%% of all match time"
+      (List.length top) top_share
+  end

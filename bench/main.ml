@@ -56,9 +56,9 @@ let run_filtering report full counts_opt =
         ~subscription_counts:(filtering_counts ~full counts_opt)
         ~docs:(if full then 12 else 8) ())
 
-let run_sustained report subs docs rate earliest =
+let run_sustained report subs docs rate earliest attrib =
   reporting report (fun () ->
-      Filtering.sustained ~earliest ~subs ~docs ~fault_rate:rate ())
+      Filtering.sustained ~earliest ~attrib ~subs ~docs ~fault_rate:rate ())
 
 let run_micro report = reporting report (fun () -> Micro.run ())
 
@@ -201,12 +201,19 @@ let sustained_cmd =
      decision-to-end-of-document."
   in
   let earliest_t = Arg.(value & flag & info [ "earliest" ] ~doc:earliest_doc) in
+  let attrib_doc =
+    "Enable per-subscription cost attribution for the run; the report \
+     gains the schema-v4 attribution section (totals plus the most \
+     expensive accounts)."
+  in
+  let attrib_t = Arg.(value & flag & info [ "attrib" ] ~doc:attrib_doc) in
   Cmd.v
     (Cmd.info "sustained"
        ~doc:"Sustained service load: supervised broker docs/s against a \
              large live subscription set, clean vs a fixed chaos fault \
              rate")
-    Term.(const run_sustained $ report_t $ subs_t $ docs_t $ rate_t $ earliest_t)
+    Term.(const run_sustained $ report_t $ subs_t $ docs_t $ rate_t
+          $ earliest_t $ attrib_t)
 
 let micro_cmd =
   Cmd.v

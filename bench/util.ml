@@ -69,9 +69,17 @@ let write_report () =
       ("ocaml_version", Json.String Sys.ocaml_version);
     ]
   in
+  (* benches that ran with cost attribution on (sustained --attrib)
+     leave it enabled so the report carries the v4 attribution section *)
+  let attribution =
+    if Xaos_obs.Attrib.enabled () then
+      Some (Xaos_obs.Attrib.report_section ())
+    else None
+  in
   let report =
-    Report.make ~kind:"bench" ~config ~stats:(List.rev !scalars)
-      ~tables:(List.rev !tables) ~gc:(Report.gc_now ())
+    Report.make ?attribution ~kind:"bench" ~config
+      ~stats:(List.rev !scalars) ~tables:(List.rev !tables)
+      ~gc:(Report.gc_now ())
       ~service_latency:(Xaos_obs.Histogram.summaries ()) ()
   in
   Report.write !report_path report;

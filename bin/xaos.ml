@@ -887,6 +887,56 @@ let report_diff_cmd old_path new_path threshold_pct =
               ("p99", os.Xaos_obs.Histogram.s_p99, ns.Xaos_obs.Histogram.s_p99)
             ])
       old_lat;
+  (* optional sections may legitimately be absent on one side — e.g. a
+     v3 baseline against a v4 report, or attribution recorded in only
+     one run. Skip with a note; only both-sided sections gate. *)
+  let skip_note section side =
+    Format.printf "note: skipping %s (absent in %s)@." section side
+  in
+  if old_lat = [] && new_lat <> [] then skip_note "service_latency" "baseline"
+  else if old_lat <> [] && new_lat = [] then skip_note "service_latency" "new";
+  (match
+     ( old_r.Xaos_obs.Report.attribution,
+       new_r.Xaos_obs.Report.attribution )
+   with
+  | None, None -> ()
+  | None, Some _ -> skip_note "attribution" "baseline"
+  | Some _, None -> skip_note "attribution" "new"
+  | Some oa, Some na ->
+    let open Xaos_obs.Report in
+    List.iter
+      (fun (name, ov, nv) ->
+        let pct =
+          if ov <> 0. then Some ((nv -. ov) /. Float.abs ov *. 100.)
+          else None
+        in
+        let regressed =
+          worse_when_larger name
+          &&
+          match pct with
+          | Some pct -> pct > threshold_pct
+          | None -> nv > 0.
+        in
+        if regressed then regressions := name :: !regressions;
+        Format.printf "%-28s %14g %14g %9s%%%s@." name ov nv
+          (match pct with
+          | Some pct -> Printf.sprintf "%+.1f" pct
+          | None -> "n/a")
+          (if regressed then "  !" else ""))
+      [ ("attribution/subscriptions",
+         float_of_int oa.at_subscriptions,
+         float_of_int na.at_subscriptions);
+        ("attribution/docs", float_of_int oa.at_docs,
+         float_of_int na.at_docs);
+        ("attribution/events", float_of_int oa.at_events,
+         float_of_int na.at_events);
+        ("attribution/match_s", oa.at_match_s, na.at_match_s);
+        ("attribution/structures", float_of_int oa.at_structures,
+         float_of_int na.at_structures);
+        ("attribution/emissions", float_of_int oa.at_emissions,
+         float_of_int na.at_emissions);
+        ("attribution/faults", float_of_int oa.at_faults,
+         float_of_int na.at_faults) ]);
   match !regressions with
   | [] -> Format.printf "no regressions above %g%%@." threshold_pct
   | names ->
@@ -1290,16 +1340,27 @@ let open_metrics_sink = function
     try Some (open_out path, true)
     with Sys_error msg -> die exit_io_error msg)
 
-let serve_cmd socket budget deadline high low subs_file earliest metrics
-    snapshot_interval_s =
+let serve_cmd socket budget deadline high low subs_file earliest attrib
+    slow_ms flight_sample flight_dir metrics snapshot_interval_s =
   if low < 0 || low >= high then
     die exit_query_error "--low-watermark must satisfy 0 <= low < high";
   if snapshot_interval_s <= 0. then
     die exit_query_error "--snapshot-interval must be positive";
   let broker =
     { Service.Broker.default_config with budget; deadline_s = deadline;
-      earliest }
+      earliest; slow_ms }
   in
+  if attrib then begin
+    Xaos_obs.Attrib.reset ();
+    Xaos_obs.Attrib.enable ()
+  end;
+  (match (flight_sample, flight_dir) with
+  | Some n, _ when n > 0 ->
+    Xaos_obs.Flight.configure ~sample_every:n ?dir:flight_dir ()
+  | None, Some _ ->
+    (* a directory alone implies the default sampling grid *)
+    Xaos_obs.Flight.configure ~sample_every:25 ?dir:flight_dir ()
+  | _ -> ());
   let config =
     { (Service.Server.default_config socket) with
       high_watermark = high; low_watermark = low; broker }
@@ -1482,6 +1543,111 @@ let metrics_cmd socket =
                    (json_str "error" json))));
           `Stop))
 
+(* {2 xaos profile / slowlog: cost attribution over the wire} *)
+
+let jnum field j =
+  match Option.bind (Json.member field j) Json.to_float with
+  | Some v -> v
+  | None -> 0.
+
+let render_profile json =
+  let enabled = Json.member "enabled" json = Some (Json.Bool true) in
+  let by = Option.value ~default:"match_s" (json_str "by" json) in
+  let totals = Option.value ~default:Json.Null (Json.member "totals" json) in
+  if not enabled then
+    Format.printf
+      "attribution disabled — start the service with --attrib@.";
+  Format.printf
+    "accounts %.0f   docs %.0f   events %.0f   match %.3f ms   emissions \
+     %.0f   faults %.0f@."
+    (jnum "subscriptions" totals)
+    (jnum "docs" totals) (jnum "events" totals)
+    (jnum "match_s" totals *. 1e3)
+    (jnum "emissions" totals) (jnum "faults" totals);
+  let top =
+    Option.value ~default:[]
+      (Option.bind (Json.member "top" json) Json.to_list)
+  in
+  if top <> [] then begin
+    Format.printf "top by %s:@." by;
+    Format.printf "  %-20s %8s %12s %12s %9s %8s@." "subscription" "docs"
+      "events" "match ms" "emitted" "faults";
+    List.iter
+      (fun e ->
+        Format.printf "  %-20s %8.0f %12.0f %12.3f %9.0f %8.0f@."
+          (Option.value ~default:"?" (json_str "key" e))
+          (jnum "docs" e) (jnum "events" e)
+          (jnum "match_s" e *. 1e3)
+          (jnum "emissions" e) (jnum "faults" e))
+      top
+  end
+
+let profile_cmd socket top_n by =
+  if top_n <= 0 then die exit_query_error "--top must be positive";
+  (match Xaos_obs.Attrib.order_of_string by with
+  | Some _ -> ()
+  | None -> die exit_query_error ("unknown --by order: " ^ by));
+  with_connection socket (fun fd ->
+      send_request fd (Service.Protocol.Profile { top_n; by });
+      iter_response_lines fd (fun line ->
+          (match Json.parse line with
+          | Error e -> die exit_ill_formed ("bad profile response: " ^ e)
+          | Ok json -> (
+            match Json.member "ok" json with
+            | Some (Json.Bool true) -> render_profile json
+            | _ ->
+              die exit_io_error
+                (Option.value ~default:"profile refused"
+                   (json_str "error" json))));
+          `Stop))
+
+let slowlog_cmd socket max json_out =
+  if max <= 0 then die exit_query_error "--max must be positive";
+  with_connection socket (fun fd ->
+      send_request fd (Service.Protocol.Slowlog { max });
+      iter_response_lines fd (fun line ->
+          (match Json.parse line with
+          | Error e -> die exit_ill_formed ("bad slowlog response: " ^ e)
+          | Ok json -> (
+            match Json.member "ok" json with
+            | Some (Json.Bool true) ->
+              let slow =
+                Option.value ~default:[]
+                  (Option.bind (Json.member "slow" json) Json.to_list)
+              in
+              if json_out then
+                List.iter
+                  (fun sd ->
+                    print_endline (Json.to_string ~indent:false sd))
+                  slow
+              else if slow = [] then
+                Format.printf "slow-document log empty@."
+              else begin
+                Format.printf "%-12s %8s %12s %8s %7s  %s@." "doc" "tick"
+                  "total ms" "events" "faults" "top subscriptions";
+                List.iter
+                  (fun sd ->
+                    let top =
+                      Option.value ~default:[]
+                        (Option.bind (Json.member "top" sd) Json.to_list)
+                      |> List.map (fun e ->
+                             Printf.sprintf "%s=%.3fms"
+                               (Option.value ~default:"?" (json_str "sub" e))
+                               (jnum "match_s" e *. 1e3))
+                      |> String.concat " "
+                    in
+                    Format.printf "%-12s %8.0f %12.3f %8.0f %7.0f  %s@."
+                      (Option.value ~default:"?" (json_str "doc_id" sd))
+                      (jnum "tick" sd) (jnum "total_ms" sd)
+                      (jnum "events" sd) (jnum "faults" sd) top)
+                  slow
+              end
+            | _ ->
+              die exit_io_error
+                (Option.value ~default:"slowlog refused"
+                   (json_str "error" json))));
+          `Stop))
+
 (* {2 xaos top: live terminal dashboard over stats-stream} *)
 
 let top_stat stats name =
@@ -1567,6 +1733,22 @@ let render_top ~socket ~clear ~prev json =
       in
       line "  %-12s %s (release @ tick %d)" (f "name") (f "reason") release)
     quarantined;
+  let top_costs =
+    Option.value ~default:[]
+      (Option.bind (Json.member "top_costs" json) Json.to_list)
+  in
+  if top_costs <> [] then begin
+    line "cost (top by match time):";
+    List.iter
+      (fun e ->
+        line "  %-12s docs %6.0f   events %9.0f   match %9.3f ms   \
+              emitted %6.0f   faults %4.0f"
+          (Option.value ~default:"?" (json_str "key" e))
+          (jnum "docs" e) (jnum "events" e)
+          (jnum "match_s" e *. 1e3)
+          (jnum "emissions" e) (jnum "faults" e))
+      top_costs
+  end;
   if clear then print_string "\027[2J\027[H";
   print_string (Buffer.contents b);
   flush stdout
@@ -1676,8 +1858,8 @@ let spawn_soak_sampler ~socket_path ~interval_s oc =
     stop := true;
     Thread.join th
 
-let soak_cmd docs subs rate seed socket report event_log metrics
-    snapshot_interval_s quiet =
+let soak_cmd docs subs rate seed socket report event_log slow_ms
+    flight_sample flight_dir metrics snapshot_interval_s quiet =
   if snapshot_interval_s <= 0. then
     die exit_query_error "--snapshot-interval must be positive";
   let socket_path =
@@ -1685,7 +1867,8 @@ let soak_cmd docs subs rate seed socket report event_log metrics
   in
   let cfg =
     { Service.Soak.docs; subs; fault_rate = rate; seed;
-      report_path = report; event_log_path = event_log; socket_path }
+      report_path = report; event_log_path = event_log; socket_path;
+      slow_ms = Some slow_ms; flight_sample; flight_dir }
   in
   let progress =
     if quiet then ignore else fun m -> Format.eprintf "%s@." m
@@ -1719,6 +1902,19 @@ let soak_cmd docs subs rate seed socket report event_log metrics
   Format.printf "quarantined %d  readmitted %d  differential %d checked, \
                  %d mismatches  crashes %d@."
     s.quarantined_total s.readmitted_total s.checked s.mismatches s.crashes;
+  let stage_names =
+    [ "ingress"; "parse"; "dispatch"; "match"; "emission"; "writer" ]
+  in
+  Format.printf "attribution: %d accounts (%s)  slow docs %d (typed log \
+                 %d)  flight stages %s (%d files)@."
+    s.attrib_subs
+    (match s.attrib_errors with
+    | [] -> "conserved"
+    | errs -> "NOT conserved: " ^ String.concat "; " errs)
+    s.slow_docs s.log_slow
+    (String.concat ","
+       (List.filter (fun n -> List.mem n stage_names) s.flight_stages))
+    s.flight_written;
   List.iter (Format.printf "mismatch: %s@.") s.mismatch_examples;
   (match report with
   | Some path when s.report_valid -> Format.printf "report: %s@." path
@@ -1781,12 +1977,41 @@ let serve_command =
        earliest-decision emission mode: owners receive one 'item' event \
        per result the moment it is decided, mid-document."
   in
+  let attrib =
+    flag [ "attrib" ]
+      "Enable per-subscription cost attribution: every run outcome is \
+       charged to the owning subscription's account (query it with \
+       $(b,xaos profile); 'xaos top' shows the top accounts)."
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Slow-document threshold: a document whose pipeline \
+                   time reaches $(docv) milliseconds lands in the slow \
+                   log ($(b,xaos slowlog)) with its per-subscription \
+                   breakdown; 0 flags every document.")
+  in
+  let flight_sample =
+    Arg.(value & opt (some int) None
+         & info [ "flight-sample" ] ~docv:"N"
+             ~doc:"Flight recorder: record a causal span tree across \
+                   the pipeline for every $(docv)th document (slow and \
+                   faulted documents always keep); 0 disables.")
+  in
+  let flight_dir =
+    Arg.(value & opt (some string) None
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:"Write kept flight recordings to $(docv) as Chrome \
+                   trace-event JSON (loads in Perfetto); implies \
+                   --flight-sample 25 when that flag is absent.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent subscription service on a Unix-domain \
              socket (line-delimited JSON; see xaos subscribe/publish)")
     Term.(const serve_cmd $ socket_arg $ budget $ deadline $ high $ low
-          $ subs_file $ earliest $ metrics $ snapshot_interval)
+          $ subs_file $ earliest $ attrib $ slow_ms $ flight_sample
+          $ flight_dir $ metrics $ snapshot_interval)
 
 let publish_command =
   let priority =
@@ -1835,6 +2060,44 @@ let metrics_command =
        ~doc:"Scrape a running service: print its Prometheus-style text \
              exposition (counters, gauges, latency histograms)")
     Term.(const metrics_cmd $ socket_arg)
+
+let profile_command =
+  let top_n =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Show the $(docv) most expensive accounts (default \
+                   10).")
+  in
+  let by =
+    Arg.(value & opt string "match_s"
+         & info [ "by" ] ~docv:"ORDER"
+             ~doc:"Ranking measure: match_s (default), events, \
+                   emissions, structures or faults.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Query a running service's per-subscription cost accounts: \
+             registry totals plus the most expensive subscriptions \
+             (requires the service to run with --attrib)")
+    Term.(const profile_cmd $ socket_arg $ top_n $ by)
+
+let slowlog_command =
+  let max =
+    Arg.(value & opt int 20
+         & info [ "max" ] ~docv:"N"
+             ~doc:"Show at most $(docv) records, newest first (default \
+                   20).")
+  in
+  let json_out =
+    flag [ "json" ] "Print one JSON object per record instead of the \
+                     table."
+  in
+  Cmd.v
+    (Cmd.info "slowlog"
+       ~doc:"Print a running service's slow-document log: documents \
+             whose pipeline time crossed --slow-ms, with their \
+             per-subscription cost breakdown")
+    Term.(const slowlog_cmd $ socket_arg $ max $ json_out)
 
 let top_command =
   let interval =
@@ -1905,13 +2168,35 @@ let soak_command =
              ~doc:"Seconds between --metrics stats snapshots (default \
                    1).")
   in
+  let slow_ms =
+    Arg.(value & opt float 0.
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Slow-document threshold in milliseconds (default 0: \
+                   every document lands in the slow log, making the \
+                   slow-log gate deterministic).")
+  in
+  let flight_sample =
+    Arg.(value & opt int Service.Soak.default_config.flight_sample
+         & info [ "flight-sample" ] ~docv:"N"
+             ~doc:"Flight-recorder sampling grid: every $(docv)th \
+                   document keeps its recording (slow and faulted \
+                   documents always keep); 0 disables the recorder and \
+                   its gate.")
+  in
+  let flight_dir =
+    Arg.(value & opt (some string) None
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:"Write kept flight recordings to $(docv) as Chrome \
+                   trace-event JSON (loads in Perfetto).")
+  in
   let quiet = flag [ "quiet" ] "Suppress progress messages." in
   Cmd.v
     (Cmd.info "soak"
        ~doc:"Run the chaos soak: an in-process service under fault \
              injection, differentially checked; exit 1 unless healthy")
     Term.(const soak_cmd $ docs $ subs $ rate $ seed $ socket $ report
-          $ event_log $ metrics $ snapshot_interval $ quiet)
+          $ event_log $ slow_ms $ flight_sample $ flight_dir $ metrics
+          $ snapshot_interval $ quiet)
 
 let () =
   let info =
@@ -1924,5 +2209,5 @@ let () =
           [ eval_command; explain_command; trace_command; why_command;
             filter_command; generate_command; report_command;
             serve_command; publish_command; subscribe_command;
-            service_stats_command; metrics_command; top_command;
-            soak_command ]))
+            service_stats_command; metrics_command; profile_command;
+            slowlog_command; top_command; soak_command ]))

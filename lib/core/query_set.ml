@@ -93,6 +93,11 @@ type outcome = {
   spent_s : float;
       (* wall-clock seconds this run spent matching (feed + finish);
          0. while telemetry is disabled — the clock is never read then *)
+  delivered : int;
+      (* events this run was fed (dispatch deliveries + replays) *)
+  stats : Stats.t;
+      (* the run's engine counters: structures created, live peak,
+         retained bytes — the cost-attribution source *)
 }
 
 type dispatch =
@@ -119,6 +124,9 @@ type run_state = {
   mutable rs_spent : float;
       (** wall-clock seconds spent in this run's engine (feed + finish);
           accumulated only while telemetry is enabled *)
+  mutable rs_delivered : int;
+      (** events fed to this run — one int increment per delivery, so it
+          is counted even while telemetry is off *)
 }
 
 type session = {
@@ -209,6 +217,7 @@ let abort_run s rs =
    service from a resource trip. *)
 let feed_run s rs ev =
   if not rs.rs_aborted then begin
+    rs.rs_delivered <- rs.rs_delivered + 1;
     if s.current_byte >= 0 then Query.set_stream_byte rs.rs_run s.current_byte;
     if Xaos_obs.Telemetry.enabled () then begin
       (* per-subscription match time; the clock is only read (and the
@@ -271,6 +280,7 @@ let attach s name q =
       rs_error = None;
       rs_stamp = -1;
       rs_spent = 0.;
+      rs_delivered = 0;
     }
   in
   rs_cell := Some rs;
@@ -443,6 +453,8 @@ let outcome_of ~aborted rs result =
     aborted;
     failed = rs.rs_error;
     spent_s = rs.rs_spent;
+    delivered = rs.rs_delivered;
+    stats = (try Query.run_stats rs.rs_run with _ -> Stats.create ());
   }
 
 (* End-of-document resolution counts toward the run's match time too:

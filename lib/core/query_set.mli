@@ -69,6 +69,14 @@ type outcome = {
           plus end-of-document resolution) — the per-subscription match
           time the service observes. Always [0.] while telemetry is
           disabled: the clock is never read on the disabled path. *)
+  delivered : int;
+      (** events this run was fed: dispatch deliveries plus ancestor
+          replays for mid-stream registration. Counted unconditionally
+          (one int increment), so it is valid with telemetry off. *)
+  stats : Stats.t;
+      (** the run's engine counters ({!Query.run_stats}) at outcome
+          time: structures created, live peak, retained bytes — what
+          cost attribution charges to the owning subscription. *)
 }
 
 type dispatch =

@@ -1,0 +1,243 @@
+(* Per-subscription cost accounts.
+
+   The registry is process-global and keyed by subscription id, so an
+   account survives quarantine, unsubscribe/resubscribe, and broker
+   restarts within the process — cost attribution is about the tenant,
+   not the connection. Accounts follow Telemetry's discipline: when
+   disabled, [charge] is a single flag test and the hot path allocates
+   nothing.
+
+   Thread-safety: the registry mutex guards find-or-create and listing.
+   Charging mutates account fields directly without the lock — all
+   charges come from the broker's single evaluator thread, and readers
+   (the `profile` wire op, report writers) tolerate a snapshot that is
+   one document stale. OCaml mutable int and float record fields are
+   word-sized in-place stores, so a torn read cannot produce a garbage
+   value, only a slightly old one. *)
+
+type account = {
+  key : string;
+  mutable a_docs : int;
+  mutable a_events : int;
+  mutable a_match_s : float;
+  mutable a_structures : int;
+  mutable a_live_peak : int;
+  mutable a_retained_peak_bytes : int;
+  mutable a_emissions : int;
+  mutable a_faults : int;
+}
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+let mu = Mutex.create ()
+let registry : (string, account) Hashtbl.t = Hashtbl.create 64
+
+(* Insertion order, so listings are stable when costs tie. *)
+let order : string list ref = ref []
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset registry;
+      order := [])
+
+let account key =
+  locked (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some a -> a
+      | None ->
+        let a =
+          {
+            key;
+            a_docs = 0;
+            a_events = 0;
+            a_match_s = 0.;
+            a_structures = 0;
+            a_live_peak = 0;
+            a_retained_peak_bytes = 0;
+            a_emissions = 0;
+            a_faults = 0;
+          }
+        in
+        Hashtbl.replace registry key a;
+        order := key :: !order;
+        a)
+
+let key a = a.key
+
+let charge a ~events ~match_s ~structures ~live_peak ~retained_peak_bytes
+    ~emissions ~fault =
+  if !on then begin
+    a.a_docs <- a.a_docs + 1;
+    a.a_events <- a.a_events + events;
+    a.a_match_s <- a.a_match_s +. match_s;
+    a.a_structures <- a.a_structures + structures;
+    if live_peak > a.a_live_peak then a.a_live_peak <- live_peak;
+    if retained_peak_bytes > a.a_retained_peak_bytes then
+      a.a_retained_peak_bytes <- retained_peak_bytes;
+    a.a_emissions <- a.a_emissions + emissions;
+    if fault then a.a_faults <- a.a_faults + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Read side                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  sn_key : string;
+  sn_docs : int;
+  sn_events : int;
+  sn_match_s : float;
+  sn_structures : int;
+  sn_live_peak : int;
+  sn_retained_peak_bytes : int;
+  sn_emissions : int;
+  sn_faults : int;
+}
+
+let snapshot_of a =
+  {
+    sn_key = a.key;
+    sn_docs = a.a_docs;
+    sn_events = a.a_events;
+    sn_match_s = a.a_match_s;
+    sn_structures = a.a_structures;
+    sn_live_peak = a.a_live_peak;
+    sn_retained_peak_bytes = a.a_retained_peak_bytes;
+    sn_emissions = a.a_emissions;
+    sn_faults = a.a_faults;
+  }
+
+let accounts () =
+  locked (fun () ->
+      List.rev_map
+        (fun key -> snapshot_of (Hashtbl.find registry key))
+        !order)
+
+type order_by =
+  | By_match_s
+  | By_events
+  | By_emissions
+  | By_structures
+  | By_faults
+
+let order_name = function
+  | By_match_s -> "match_s"
+  | By_events -> "events"
+  | By_emissions -> "emissions"
+  | By_structures -> "structures"
+  | By_faults -> "faults"
+
+let order_of_string = function
+  | "match_s" | "match" | "time" -> Some By_match_s
+  | "events" -> Some By_events
+  | "emissions" | "items" -> Some By_emissions
+  | "structures" -> Some By_structures
+  | "faults" -> Some By_faults
+  | _ -> None
+
+let measure by s =
+  match by with
+  | By_match_s -> s.sn_match_s
+  | By_events -> float_of_int s.sn_events
+  | By_emissions -> float_of_int s.sn_emissions
+  | By_structures -> float_of_int s.sn_structures
+  | By_faults -> float_of_int s.sn_faults
+
+let top ?(by = By_match_s) n =
+  let all = accounts () in
+  let sorted =
+    List.stable_sort (fun a b -> compare (measure by b) (measure by a)) all
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+type totals = {
+  t_subscriptions : int;
+  t_docs : int;
+  t_events : int;
+  t_match_s : float;
+  t_structures : int;
+  t_emissions : int;
+  t_faults : int;
+}
+
+let totals () =
+  List.fold_left
+    (fun t s ->
+      {
+        t_subscriptions = t.t_subscriptions + 1;
+        t_docs = t.t_docs + s.sn_docs;
+        t_events = t.t_events + s.sn_events;
+        t_match_s = t.t_match_s +. s.sn_match_s;
+        t_structures = t.t_structures + s.sn_structures;
+        t_emissions = t.t_emissions + s.sn_emissions;
+        t_faults = t.t_faults + s.sn_faults;
+      })
+    {
+      t_subscriptions = 0;
+      t_docs = 0;
+      t_events = 0;
+      t_match_s = 0.;
+      t_structures = 0;
+      t_emissions = 0;
+      t_faults = 0;
+    }
+    (accounts ())
+
+let snapshot_to_json s =
+  Json.Obj
+    [
+      ("key", Json.String s.sn_key);
+      ("docs", Json.Int s.sn_docs);
+      ("events", Json.Int s.sn_events);
+      ("match_s", Json.Float s.sn_match_s);
+      ("structures", Json.Int s.sn_structures);
+      ("live_peak", Json.Int s.sn_live_peak);
+      ("retained_peak_bytes", Json.Int s.sn_retained_peak_bytes);
+      ("emissions", Json.Int s.sn_emissions);
+      ("faults", Json.Int s.sn_faults);
+    ]
+
+let totals_to_json t =
+  Json.Obj
+    [
+      ("subscriptions", Json.Int t.t_subscriptions);
+      ("docs", Json.Int t.t_docs);
+      ("events", Json.Int t.t_events);
+      ("match_s", Json.Float t.t_match_s);
+      ("structures", Json.Int t.t_structures);
+      ("emissions", Json.Int t.t_emissions);
+      ("faults", Json.Int t.t_faults);
+    ]
+
+let entry_of_snapshot s =
+  {
+    Report.ae_key = s.sn_key;
+    ae_docs = s.sn_docs;
+    ae_events = s.sn_events;
+    ae_match_s = s.sn_match_s;
+    ae_structures = s.sn_structures;
+    ae_live_peak = s.sn_live_peak;
+    ae_retained_peak_bytes = s.sn_retained_peak_bytes;
+    ae_emissions = s.sn_emissions;
+    ae_faults = s.sn_faults;
+  }
+
+let report_section ?(top_n = 20) () =
+  let t = totals () in
+  {
+    Report.at_subscriptions = t.t_subscriptions;
+    at_docs = t.t_docs;
+    at_events = t.t_events;
+    at_match_s = t.t_match_s;
+    at_structures = t.t_structures;
+    at_emissions = t.t_emissions;
+    at_faults = t.t_faults;
+    at_top = List.map entry_of_snapshot (top ~by:By_match_s top_n);
+  }

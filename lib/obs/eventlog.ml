@@ -36,6 +36,9 @@ type reason =
   | Line_too_long
       (** a protocol line exceeded the frame cap; the connection fails
           closed rather than deliver a truncated parse *)
+  | Slow_document
+      (** a document's total pipeline time crossed the broker's
+          slow-document threshold *)
   | Sax_limit of string  (** document ended by a parser resource limit *)
 
 let reason_code = function
@@ -48,6 +51,7 @@ let reason_code = function
   | Thread_crash -> "thread-crash"
   | Doc_deadline -> "doc-deadline"
   | Line_too_long -> "line-too-long"
+  | Slow_document -> "slow-document"
   | Sax_limit kind -> "sax-limit:" ^ kind
 
 type event = {

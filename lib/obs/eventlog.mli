@@ -37,6 +37,9 @@ type reason =
   | Line_too_long
       (** a protocol line exceeded the frame cap; the connection fails
           closed rather than deliver a truncated parse *)
+  | Slow_document
+      (** a document's total pipeline time crossed the broker's
+          slow-document threshold *)
   | Sax_limit of string  (** document ended by a parser resource limit *)
 
 val reason_code : reason -> string

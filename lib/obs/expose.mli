@@ -10,17 +10,34 @@
     are mapped to legal Prometheus names here: ['/'] becomes ['_'], an
     [xaos_] prefix is added and the reported unit is appended in long
     form — [stage/parse] (unit ["s"]) renders as
-    [xaos_stage_parse_seconds]. *)
+    [xaos_stage_parse_seconds].
+
+    When {!Attrib} is enabled the rendering also carries one labeled
+    sample per cost account ([xaos_attrib_match_seconds_total{sub="…"}]
+    and friends). Subscription ids are arbitrary user strings, so they
+    are escaped at this boundary — see {!escape_label_value} and
+    {!sanitize_name}. *)
 
 val render : unit -> string
 
 val metric_name : Histogram.t -> string
 (** The exposition name a histogram renders under. *)
 
+val sanitize_name : string -> string
+(** Map every character outside the Prometheus metric-name alphabet
+    ([[a-zA-Z0-9_:]]) to ['_'], prefixing ['_'] when the result would
+    start with a digit. [""] becomes ["_"]. *)
+
+val escape_label_value : string -> string
+(** Escape a string for use inside a quoted label value: backslash,
+    double quote and newline become backslash-escaped two-character
+    sequences. *)
+
 val check : string -> (unit, string) result
 (** Structural validation of exposition text: every line is a
     [# HELP]/[# TYPE] comment or a [name{labels} value] sample, metric
-    names are legal, values parse as numbers (or [+Inf]/[-Inf]/[NaN]),
-    [TYPE] kinds are known, and every family declared [histogram] has a
-    [_count] sample. Not a full Prometheus parser — a smoke gate for
-    tests and CI. *)
+    names are legal, label values are quoted with only legal escapes
+    (label values may contain spaces), values parse as numbers (or
+    [+Inf]/[-Inf]/[NaN]), [TYPE] kinds are known, and every family
+    declared [histogram] has a [_count] sample. Not a full Prometheus
+    parser — a smoke gate for tests and CI. *)

@@ -1,4 +1,4 @@
-let schema_version = 3
+let schema_version = 4
 
 let min_schema_version = 1
 
@@ -55,6 +55,30 @@ let relevance_of ~bytes_seen ~retained_bytes ~retained_peak_bytes
        else 0.);
   }
 
+(* One subscription's cost account in the v4 attribution section. *)
+type attrib_entry = {
+  ae_key : string;
+  ae_docs : int;
+  ae_events : int;
+  ae_match_s : float;
+  ae_structures : int;
+  ae_live_peak : int;
+  ae_retained_peak_bytes : int;
+  ae_emissions : int;
+  ae_faults : int;
+}
+
+type attribution = {
+  at_subscriptions : int;  (* accounts in the registry, not just top-N *)
+  at_docs : int;
+  at_events : int;
+  at_match_s : float;
+  at_structures : int;
+  at_emissions : int;
+  at_faults : int;
+  at_top : attrib_entry list;  (* descending by match_s *)
+}
+
 type t = {
   version : int;
   kind : string;
@@ -68,10 +92,12 @@ type t = {
   relevance : relevance option;
   service_latency : Histogram.summary list;
       (* schema v3; empty = section absent *)
+  attribution : attribution option;  (* schema v4 *)
 }
 
 let make ?(config = []) ?(stats = []) ?(spans = []) ?(snapshots = [])
-    ?(tables = []) ?gc ?relevance ?(service_latency = []) ~kind () =
+    ?(tables = []) ?gc ?relevance ?(service_latency = []) ?attribution ~kind
+    () =
   {
     version = schema_version;
     kind;
@@ -84,6 +110,7 @@ let make ?(config = []) ?(stats = []) ?(spans = []) ?(snapshots = [])
     gc;
     relevance;
     service_latency;
+    attribution;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -177,6 +204,33 @@ let gc_to_json g =
       ("top_heap_words", Json.Int g.top_heap_words);
     ]
 
+let attrib_entry_to_json e =
+  Json.Obj
+    [
+      ("key", Json.String e.ae_key);
+      ("docs", Json.Int e.ae_docs);
+      ("events", Json.Int e.ae_events);
+      ("match_s", Json.Float e.ae_match_s);
+      ("structures", Json.Int e.ae_structures);
+      ("live_peak", Json.Int e.ae_live_peak);
+      ("retained_peak_bytes", Json.Int e.ae_retained_peak_bytes);
+      ("emissions", Json.Int e.ae_emissions);
+      ("faults", Json.Int e.ae_faults);
+    ]
+
+let attribution_to_json a =
+  Json.Obj
+    [
+      ("subscriptions", Json.Int a.at_subscriptions);
+      ("docs", Json.Int a.at_docs);
+      ("events", Json.Int a.at_events);
+      ("match_s", Json.Float a.at_match_s);
+      ("structures", Json.Int a.at_structures);
+      ("emissions", Json.Int a.at_emissions);
+      ("faults", Json.Int a.at_faults);
+      ("top", Json.List (List.map attrib_entry_to_json a.at_top));
+    ]
+
 let to_json r =
   Json.Obj
     ([
@@ -194,11 +248,15 @@ let to_json r =
     @ (match r.relevance with
       | None -> []
       | Some rel -> [ ("relevance", relevance_to_json rel) ])
+    @ (match r.service_latency with
+      | [] -> []
+      | latencies ->
+        [ ("service_latency", Json.List (List.map latency_to_json latencies))
+        ])
     @
-    match r.service_latency with
-    | [] -> []
-    | latencies ->
-      [ ("service_latency", Json.List (List.map latency_to_json latencies)) ])
+    match r.attribution with
+    | None -> []
+    | Some a -> [ ("attribution", attribution_to_json a) ])
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -382,6 +440,55 @@ let gc_of_json path json =
       top_heap_words;
     }
 
+let attrib_entry_of_json path json =
+  let* ae_key = req path "key" Json.to_str json in
+  let* ae_docs = req path "docs" Json.to_int json in
+  let* ae_events = req path "events" Json.to_int json in
+  let* ae_match_s = req path "match_s" Json.to_float json in
+  let* ae_structures = req path "structures" Json.to_int json in
+  let* ae_live_peak = req path "live_peak" Json.to_int json in
+  let* ae_retained_peak_bytes =
+    req path "retained_peak_bytes" Json.to_int json
+  in
+  let* ae_emissions = req path "emissions" Json.to_int json in
+  let* ae_faults = req path "faults" Json.to_int json in
+  Ok
+    {
+      ae_key;
+      ae_docs;
+      ae_events;
+      ae_match_s;
+      ae_structures;
+      ae_live_peak;
+      ae_retained_peak_bytes;
+      ae_emissions;
+      ae_faults;
+    }
+
+let attribution_of_json path json =
+  let* at_subscriptions = req path "subscriptions" Json.to_int json in
+  let* at_docs = req path "docs" Json.to_int json in
+  let* at_events = req path "events" Json.to_int json in
+  let* at_match_s = req path "match_s" Json.to_float json in
+  let* at_structures = req path "structures" Json.to_int json in
+  let* at_emissions = req path "emissions" Json.to_int json in
+  let* at_faults = req path "faults" Json.to_int json in
+  let* top_values = req path "top" Json.to_list json in
+  let* at_top =
+    decode_list (path ^ ".top") attrib_entry_of_json top_values
+  in
+  Ok
+    {
+      at_subscriptions;
+      at_docs;
+      at_events;
+      at_match_s;
+      at_structures;
+      at_emissions;
+      at_faults;
+      at_top;
+    }
+
 let of_json json =
   let path = "report" in
   let* version = req path "schema_version" Json.to_int json in
@@ -430,6 +537,13 @@ let of_json json =
         decode_list (path ^ ".service_latency") latency_of_json values
       | Some _ -> Error (path ^ ": field \"service_latency\" must be an array")
     in
+    (* added in schema v4; absent in earlier documents *)
+    let* attribution =
+      match Json.member "attribution" json with
+      | None | Some Json.Null -> Ok None
+      | Some a ->
+        Result.map Option.some (attribution_of_json (path ^ ".attribution") a)
+    in
     Ok
       {
         version;
@@ -443,6 +557,7 @@ let of_json json =
         gc;
         relevance;
         service_latency;
+        attribution;
       }
 
 let validate json =
@@ -517,20 +632,59 @@ let validate json =
     in
     all_ok r.service_latency
   in
-  match r.relevance with
+  let* () =
+    match r.relevance with
+    | None -> Ok ()
+    | Some rel ->
+      if
+        rel.rel_bytes_seen < 0 || rel.rel_retained_bytes < 0
+        || rel.rel_retained_peak_bytes < 0 || rel.rel_elements_total < 0
+        || rel.rel_elements_stored < 0
+      then Error "report.relevance: negative quantity"
+      else if rel.rel_retained_bytes > rel.rel_retained_peak_bytes then
+        Error "report.relevance: retained_bytes above its recorded peak"
+      else if rel.rel_elements_stored > rel.rel_elements_total then
+        Error "report.relevance: more elements stored than seen"
+      else if rel.rel_ratio < 0. then Error "report.relevance: negative ratio"
+      else Ok ()
+  in
+  match r.attribution with
   | None -> Ok ()
-  | Some rel ->
+  | Some a ->
     if
-      rel.rel_bytes_seen < 0 || rel.rel_retained_bytes < 0
-      || rel.rel_retained_peak_bytes < 0 || rel.rel_elements_total < 0
-      || rel.rel_elements_stored < 0
-    then Error "report.relevance: negative quantity"
-    else if rel.rel_retained_bytes > rel.rel_retained_peak_bytes then
-      Error "report.relevance: retained_bytes above its recorded peak"
-    else if rel.rel_elements_stored > rel.rel_elements_total then
-      Error "report.relevance: more elements stored than seen"
-    else if rel.rel_ratio < 0. then Error "report.relevance: negative ratio"
-    else Ok ()
+      a.at_subscriptions < 0 || a.at_docs < 0 || a.at_events < 0
+      || a.at_match_s < 0. || a.at_structures < 0 || a.at_emissions < 0
+      || a.at_faults < 0
+    then Error "report.attribution: negative total"
+    else if List.length a.at_top > a.at_subscriptions then
+      Error "report.attribution: more top entries than subscriptions"
+    else begin
+      let entry_ok e =
+        if
+          e.ae_docs < 0 || e.ae_events < 0 || e.ae_match_s < 0.
+          || e.ae_structures < 0 || e.ae_live_peak < 0
+          || e.ae_retained_peak_bytes < 0 || e.ae_emissions < 0
+          || e.ae_faults < 0
+        then
+          Error
+            (Printf.sprintf "report.attribution: entry %S negative quantity"
+               e.ae_key)
+        else Ok ()
+      in
+      let rec entries_ok last = function
+        | [] -> Ok ()
+        | e :: rest ->
+          let* () = entry_ok e in
+          if e.ae_match_s > last then
+            Error
+              (Printf.sprintf
+                 "report.attribution: top entries not sorted by match_s \
+                  (entry %S)"
+                 e.ae_key)
+          else entries_ok e.ae_match_s rest
+      in
+      entries_ok infinity a.at_top
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)

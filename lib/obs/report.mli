@@ -9,13 +9,14 @@
     change); adding optional fields is compatible and does not bump it.
     v2 added the [relevance] section and [retained_bytes] on snapshot
     points; v3 added the [service_latency] section (histogram summaries
-    of the live service's per-stage and emission latencies) — all
+    of the live service's per-stage and emission latencies); v4 added the
+    [attribution] section (per-subscription cost accounts) — all
     optional on read, so {!of_json} and {!validate} accept every version
     from {!min_schema_version} up to the current one; {!make} always
     stamps the current version. *)
 
 val schema_version : int
-(** Currently [3]. *)
+(** Currently [4]. *)
 
 val min_schema_version : int
 (** Oldest version this build still reads ([1]). *)
@@ -62,6 +63,34 @@ val relevance_of :
   elements_total:int -> elements_stored:int -> relevance
 (** Build a section, deriving [rel_ratio] ([0.] when [bytes_seen = 0]). *)
 
+type attrib_entry = {
+  ae_key : string;  (** subscription id the costs are charged to *)
+  ae_docs : int;  (** run outcomes charged (one per document routed) *)
+  ae_events : int;  (** parse events delivered to this subscription *)
+  ae_match_s : float;  (** match time spent, seconds *)
+  ae_structures : int;  (** matching structures created, summed *)
+  ae_live_peak : int;  (** max live structures over any one document *)
+  ae_retained_peak_bytes : int;
+      (** max retained bytes over any one document *)
+  ae_emissions : int;  (** result items emitted *)
+  ae_faults : int;  (** budget/deadline/engine faults charged *)
+}
+(** One subscription's cost account (schema v4). *)
+
+type attribution = {
+  at_subscriptions : int;
+      (** accounts in the registry — may exceed [List.length at_top] *)
+  at_docs : int;
+  at_events : int;
+  at_match_s : float;
+  at_structures : int;
+  at_emissions : int;
+  at_faults : int;
+  at_top : attrib_entry list;  (** descending by [ae_match_s] *)
+}
+(** Per-subscription cost attribution (schema v4): registry-wide totals
+    plus the top accounts by match time. *)
+
 type t = {
   version : int;
   kind : string;  (** producer: ["eval"], ["bench"], … *)
@@ -76,6 +105,8 @@ type t = {
   service_latency : Histogram.summary list;
       (** schema v3: histogram summaries of the service's per-stage and
           emission latencies; empty list = section absent *)
+  attribution : attribution option;
+      (** schema v4: per-subscription cost accounts *)
 }
 
 val make :
@@ -87,6 +118,7 @@ val make :
   ?gc:gc_summary ->
   ?relevance:relevance ->
   ?service_latency:Histogram.summary list ->
+  ?attribution:attribution ->
   kind:string ->
   unit ->
   t
@@ -105,10 +137,11 @@ val of_json : Json.t -> (t, string) result
 
 val validate : Json.t -> (unit, string) result
 (** {!of_json} plus semantic checks: snapshot series monotone in bytes,
-    span counts positive, relevance quantities consistent, and
+    span counts positive, relevance quantities consistent,
     service-latency histograms well-formed (monotone cumulative buckets
-    summing to the count, monotone quantiles). What the CI smoke-bench
-    job runs. *)
+    summing to the count, monotone quantiles), and attribution accounts
+    non-negative with top entries sorted by match time. What the CI
+    smoke-bench job runs. *)
 
 val to_string : t -> string
 

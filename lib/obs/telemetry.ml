@@ -309,18 +309,40 @@ let fnum x =
     string_of_int (int_of_float x)
   else Printf.sprintf "%.9g" x
 
+(* Cell names are free-form stat-convention strings (the GC gauges are
+   [gc/minor_collections] and so on); the text format only allows
+   [[a-zA-Z0-9_:]], so names are mapped at this emit boundary. Mirrors
+   {!Expose.sanitize_name} — which lives downstream of this module and
+   cannot be called from here. *)
+let prom_name name =
+  if name = "" then "_"
+  else begin
+    let mapped =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+          | _ -> '_')
+        name
+    in
+    match mapped.[0] with '0' .. '9' -> "_" ^ mapped | _ -> mapped
+  end
+
 let expose buf =
   List.iter
     (function
       | Counter c ->
-        preamble buf c.c_name c.c_help "counter";
-        sample buf c.c_name (string_of_int c.c_value)
+        let n = prom_name c.c_name in
+        preamble buf n c.c_help "counter";
+        sample buf n (string_of_int c.c_value)
       | Gauge g ->
-        preamble buf g.g_name g.g_help "gauge";
-        sample buf g.g_name (string_of_int g.g_value);
-        sample buf (g.g_name ^ "_max") (string_of_int g.g_max)
+        let n = prom_name g.g_name in
+        preamble buf n g.g_help "gauge";
+        sample buf n (string_of_int g.g_value);
+        sample buf (n ^ "_max") (string_of_int g.g_max)
       | Histogram h ->
-        preamble buf h.h_name h.h_help "histogram";
+        let n = prom_name h.h_name in
+        preamble buf n h.h_help "histogram";
         let s = histogram_summary h in
         List.iter
           (fun (bound, cumulative) ->
@@ -328,20 +350,49 @@ let expose buf =
               if bound = infinity then "+Inf" else fnum bound
             in
             sample buf
-              (Printf.sprintf "%s_bucket{le=\"%s\"}" h.h_name le)
+              (Printf.sprintf "%s_bucket{le=\"%s\"}" n le)
               (string_of_int cumulative))
           s.h_buckets;
-        sample buf (h.h_name ^ "_sum") (fnum s.h_sum);
-        sample buf (h.h_name ^ "_count") (string_of_int s.h_count)
+        sample buf (n ^ "_sum") (fnum s.h_sum);
+        sample buf (n ^ "_count") (string_of_int s.h_count)
       | Span s ->
-        preamble buf s.sp_name s.sp_help "summary";
-        sample buf (s.sp_name ^ "_count") (string_of_int s.sp_count);
-        sample buf (s.sp_name ^ "_sum") (fnum s.sp_total))
+        let n = prom_name s.sp_name in
+        preamble buf n s.sp_help "summary";
+        sample buf (n ^ "_count") (string_of_int s.sp_count);
+        sample buf (n ^ "_sum") (fnum s.sp_total))
     (in_order ())
 
 (* ------------------------------------------------------------------ *)
 (* GC probes                                                           *)
 (* ------------------------------------------------------------------ *)
+
+(* GC gauges, sampled by the broker once per document: the direct
+   measure for the arena-pooling roadmap item. Registered eagerly so
+   they appear in the exposition (at zero) even before the first
+   sample. *)
+let gc_minor_collections =
+  gauge ~help:"OCaml GC minor collections (Gc.quick_stat)"
+    "xaos_gc_minor_collections"
+
+let gc_major_collections =
+  gauge ~help:"OCaml GC major collections (Gc.quick_stat)"
+    "xaos_gc_major_collections"
+
+let gc_promoted_words =
+  gauge ~help:"Words promoted from the minor heap (Gc.quick_stat)"
+    "xaos_gc_promoted_words"
+
+let gc_heap_words =
+  gauge ~help:"Major heap size in words (Gc.quick_stat)" "xaos_gc_heap_words"
+
+let sample_gc () =
+  if !on then begin
+    let s = Gc.quick_stat () in
+    set_gauge gc_minor_collections s.Gc.minor_collections;
+    set_gauge gc_major_collections s.Gc.major_collections;
+    set_gauge gc_promoted_words (int_of_float s.Gc.promoted_words);
+    set_gauge gc_heap_words s.Gc.heap_words
+  end
 
 let with_peak_heap f =
   Gc.compact ();

@@ -137,6 +137,12 @@ val expose : Buffer.t -> unit
 
 (** {1 GC probes} *)
 
+val sample_gc : unit -> unit
+(** Refresh the [gc/*] gauges — minor/major collections, promoted words,
+    major-heap words — from {!Gc.quick_stat}. The broker calls this once
+    per document; no-op while disabled. The gauges' [_max] high-water
+    marks make the per-run peaks visible in the exposition. *)
+
 val with_peak_heap : (unit -> 'a) -> 'a * int
 (** Run the thunk while sampling the major-heap size at the end of every
     major collection; returns (result, peak heap {e words} seen). This is

@@ -12,12 +12,17 @@ type config = {
   quarantine : Quarantine.config;
   reset_symbols_every : int;
   earliest : bool;
+  slow_ms : float option;
+      (** a document whose total pipeline time reaches this many
+          milliseconds lands in the slow-document log with its
+          per-subscription breakdown ([Some 0.] flags every document —
+          deterministic for tests); [None] disables the log *)
 }
 
 let default_config =
   { budget = Some 50_000; deadline_s = Some 2.0;
     limits = Sax.default_limits; quarantine = Quarantine.default_config;
-    reset_symbols_every = 256; earliest = false }
+    reset_symbols_every = 256; earliest = false; slow_ms = None }
 
 type status =
   | Live
@@ -26,6 +31,23 @@ type status =
 type sub = {
   sub_query : Query.t;  (** survives Symbol.reset: re-resolves at start *)
 }
+
+(* One slow-document record: what crossed the threshold and who paid
+   for it. [sd_top] is the per-subscription breakdown, descending by
+   match time. *)
+type slow_doc = {
+  sd_doc_id : string;
+  sd_tick : int;
+  sd_total_ms : float;
+  sd_events : int;
+  sd_faults : int;
+  sd_deadline : bool;
+  sd_limit : string option;
+  sd_top : (string * float) list;
+}
+
+let slow_log_cap = 64
+let slow_top_n = 5
 
 type t = {
   mu : Mutex.t;
@@ -42,6 +64,14 @@ type t = {
   mutable n_limit : int;
   mutable n_aborted : int;
   mutable n_failed : int;
+  (* pipeline totals accumulated independently of Attrib, so the
+     conservation test compares two different accumulation paths *)
+  mutable n_outcomes : int;
+  mutable n_delivered : int;
+  mutable n_emitted : int;
+  mutable n_match_s : float;
+  mutable n_slow : int;
+  mutable slow_log : slow_doc list;  (* newest first, <= slow_log_cap *)
 }
 
 let counter_docs = Telemetry.counter "xaos_service_docs_total"
@@ -60,6 +90,8 @@ let span_publish =
    time once per (document, run) pair from the outcome's [spent_s]. *)
 module Histogram = Xaos_obs.Histogram
 module Eventlog = Xaos_obs.Eventlog
+module Attrib = Xaos_obs.Attrib
+module Flight = Xaos_obs.Flight
 
 let hist_parse =
   Histogram.create ~unit_:"s" ~scale:1e-6
@@ -79,7 +111,9 @@ let create ?(config = default_config) () =
     subs = Hashtbl.create 64;
     quarantine = Quarantine.create ~config:config.quarantine ();
     tick = 0; n_events = 0; n_faults = 0; n_matches = 0; n_deadline = 0;
-    n_limit = 0; n_aborted = 0; n_failed = 0 }
+    n_limit = 0; n_aborted = 0; n_failed = 0; n_outcomes = 0;
+    n_delivered = 0; n_emitted = 0; n_match_s = 0.; n_slow = 0;
+    slow_log = [] }
 
 let with_lock t f =
   Mutex.lock t.mu;
@@ -206,7 +240,7 @@ let account_outcomes t ~doc_died outcomes =
           Some (name, reason)))
     outcomes
 
-let publish ?on_item t ~doc_id doc =
+let publish ?on_item ?flight t ~doc_id doc =
   with_lock t @@ fun () ->
   Telemetry.enter span_publish;
   if Tracer.enabled () then Tracer.phase_begin "service.publish";
@@ -215,6 +249,7 @@ let publish ?on_item t ~doc_id doc =
       Telemetry.leave span_publish)
   @@ fun () ->
   t.tick <- t.tick + 1;
+  (match flight with Some fl -> Flight.set_tick fl t.tick | None -> ());
   Telemetry.incr counter_docs;
   if
     t.config.reset_symbols_every > 0
@@ -293,10 +328,12 @@ let publish ?on_item t ~doc_id doc =
       ~detail:[ ("tick", Json.Int t.tick); ("events", Json.Int !events) ]
       doc_id
   | None -> ());
+  let fin_t0 = match flight with Some _ -> Telemetry.now () | None -> 0. in
   let outcomes =
     if doc_died then Query_set.finish_partial session
     else Query_set.finish session
   in
+  let fin_t1 = match flight with Some _ -> Telemetry.now () | None -> 0. in
   if Telemetry.enabled () then begin
     Histogram.record_seconds hist_parse !parse_s;
     Histogram.record_seconds hist_dispatch !dispatch_s;
@@ -306,6 +343,107 @@ let publish ?on_item t ~doc_id doc =
       outcomes
   end;
   let quarantined_now = account_outcomes t ~doc_died outcomes in
+  (* pipeline totals and per-subscription cost charges from the same
+     outcomes, accumulated through two separate paths on purpose: the
+     conservation test asserts they agree *)
+  let attrib_on = Attrib.enabled () in
+  let run_faulted (o : Query_set.outcome) =
+    o.failed <> None || (o.aborted && not doc_died)
+  in
+  List.iter
+    (fun (o : Query_set.outcome) ->
+      let emitted = List.length o.items in
+      t.n_outcomes <- t.n_outcomes + 1;
+      t.n_delivered <- t.n_delivered + o.delivered;
+      t.n_emitted <- t.n_emitted + emitted;
+      t.n_match_s <- t.n_match_s +. o.spent_s;
+      if attrib_on then
+        Attrib.charge
+          (Attrib.account o.query_name)
+          ~events:o.delivered ~match_s:o.spent_s
+          ~structures:o.stats.Stats.structures_created
+          ~live_peak:o.stats.Stats.live_peak
+          ~retained_peak_bytes:o.stats.Stats.retained_peak_bytes
+          ~emissions:emitted ~fault:(run_faulted o))
+    outcomes;
+  let total_s = Unix.gettimeofday () -. started in
+  let any_run_fault = List.exists run_faulted outcomes in
+  (* slow-document log: threshold-triggered, bounded ring plus a typed
+     event-log record carrying the per-subscription breakdown *)
+  let slow =
+    match t.config.slow_ms with
+    | Some ms when total_s *. 1000. >= ms -> true
+    | _ -> false
+  in
+  if slow then begin
+    let top =
+      List.stable_sort
+        (fun (a : Query_set.outcome) b -> compare b.spent_s a.spent_s)
+        outcomes
+      |> List.filteri (fun i _ -> i < slow_top_n)
+      |> List.map (fun (o : Query_set.outcome) -> (o.query_name, o.spent_s))
+    in
+    let sd =
+      { sd_doc_id = doc_id; sd_tick = t.tick;
+        sd_total_ms = total_s *. 1000.; sd_events = !events;
+        sd_faults = !faults; sd_deadline = !deadline_hit;
+        sd_limit = !limit_hit; sd_top = top }
+    in
+    t.n_slow <- t.n_slow + 1;
+    t.slow_log <-
+      sd :: List.filteri (fun i _ -> i < slow_log_cap - 1) t.slow_log;
+    Eventlog.record ~level:Eventlog.Warn ~kind:"slow-doc"
+      ~reason:Eventlog.Slow_document
+      ~detail:
+        [ ("tick", Json.Int t.tick);
+          ("total_ms", Json.Float sd.sd_total_ms);
+          ("events", Json.Int !events);
+          ( "top",
+            Json.List
+              (List.map
+                 (fun (name, s) ->
+                   Json.Obj
+                     [ ("sub", Json.String name); ("match_s", Json.Float s) ])
+                 top) ) ]
+      doc_id
+  end;
+  (* flight spans: track 0 carries the sequential pipeline stages (parse
+     and dispatch are disjoint measured subsets of the wall interval, so
+     they sit before the real finish window), track 1 carries the match
+     aggregate with per-subscription children laid sequentially inside
+     it *)
+  (match flight with
+  | None -> ()
+  | Some fl ->
+    if slow then Flight.mark_slow fl;
+    if doc_died || !faults > 0 || any_run_fault then Flight.mark_faulted fl;
+    let p_end = started +. !parse_s in
+    let d_end = p_end +. !dispatch_s in
+    Flight.span fl ~name:"parse" ~start:started ~stop:p_end
+      ~args:[ ("events", Json.Int !events) ]
+      ();
+    Flight.span fl ~name:"dispatch" ~start:p_end ~stop:d_end ();
+    Flight.span fl ~name:"emission" ~start:fin_t0 ~stop:fin_t1
+      ~args:[ ("outcomes", Json.Int (List.length outcomes)) ]
+      ();
+    Flight.span fl ~cat:"match" ~track:1 ~name:"match" ~start:p_end
+      ~stop:fin_t1 ();
+    let cursor = ref p_end in
+    let shown = ref 0 in
+    List.iter
+      (fun (o : Query_set.outcome) ->
+        if o.spent_s > 0. && !shown < 40 then begin
+          incr shown;
+          Flight.span fl ~cat:"match" ~track:1 ~name:o.query_name
+            ~start:!cursor
+            ~stop:(!cursor +. o.spent_s)
+            ~args:
+              [ ("events", Json.Int o.delivered);
+                ("items", Json.Int (List.length o.items)) ]
+            ();
+          cursor := !cursor +. o.spent_s
+        end)
+      outcomes);
   let matches =
     List.filter_map
       (fun (o : Query_set.outcome) ->
@@ -326,6 +464,7 @@ let publish ?on_item t ~doc_id doc =
     t.n_limit <- t.n_limit + 1;
     Telemetry.incr counter_limit
   end;
+  Telemetry.sample_gc ();
   { doc_id; tick = t.tick; matches; events = !events; faults = !faults;
     deadline_hit = !deadline_hit; limit_hit = !limit_hit;
     aborted =
@@ -358,10 +497,40 @@ let stats t =
     ("service/readmitted", f (Quarantine.times_readmitted t.quarantine));
     ("service/live_subscriptions", f (Query_set.size t.set));
     ("service/quarantined_now",
-     f (List.length (Quarantine.quarantined t.quarantine))) ]
+     f (List.length (Quarantine.quarantined t.quarantine)));
+    ("service/run_outcomes", f t.n_outcomes);
+    ("service/deliveries", f t.n_delivered);
+    ("service/emitted_items", f t.n_emitted);
+    ("service/match_seconds", t.n_match_s);
+    ("service/slow_docs", f t.n_slow) ]
   @ Histogram.stats ()
 
 let quarantined t = with_lock t @@ fun () -> Quarantine.quarantined t.quarantine
+
+let slow_docs t = with_lock t @@ fun () -> t.slow_log
+
+let slow_doc_to_json sd =
+  Json.Obj
+    ([
+       ("doc_id", Json.String sd.sd_doc_id);
+       ("tick", Json.Int sd.sd_tick);
+       ("total_ms", Json.Float sd.sd_total_ms);
+       ("events", Json.Int sd.sd_events);
+       ("faults", Json.Int sd.sd_faults);
+       ("deadline", Json.Bool sd.sd_deadline);
+     ]
+    @ (match sd.sd_limit with
+      | None -> []
+      | Some kind -> [ ("limit", Json.String kind) ])
+    @ [
+        ( "top",
+          Json.List
+            (List.map
+               (fun (name, s) ->
+                 Json.Obj
+                   [ ("sub", Json.String name); ("match_s", Json.Float s) ])
+               sd.sd_top) );
+      ])
 
 let report ?(extra_stats = []) t =
   let stats = stats t @ extra_stats in
@@ -380,4 +549,6 @@ let report ?(extra_stats = []) t =
   Report.make ~kind:"service" ~config ~stats
     ~spans:(Telemetry.span_summaries ())
     ~service_latency:(Histogram.summaries ())
+    ?attribution:
+      (if Attrib.enabled () then Some (Attrib.report_section ()) else None)
     ~gc:(Report.gc_now ()) ()

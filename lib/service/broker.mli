@@ -40,12 +40,18 @@ type config = {
           mode ({!Xaos_core.Engine.Earliest}), regardless of what the
           individual {!subscribe} calls asked for — the [serve
           --earliest] switch *)
+  slow_ms : float option;
+      (** slow-document threshold in milliseconds: a document whose
+          total pipeline time reaches it lands in {!slow_docs} and the
+          event log with its per-subscription breakdown ([Some 0.]
+          flags every document — deterministic for tests); [None]
+          disables the log *)
 }
 
 val default_config : config
 (** budget 50k structures, deadline 2 s, {!Xaos_xml.Sax.default_limits},
     default quarantine, symbol reset every 256 documents, deferred
-    emission. *)
+    emission, no slow-document log. *)
 
 type t
 
@@ -91,6 +97,7 @@ type doc_outcome = {
 
 val publish :
   ?on_item:(name:string -> Xaos_core.Item.t -> unit) ->
+  ?flight:Xaos_obs.Flight.t ->
   t -> doc_id:string -> string -> doc_outcome
 (** Evaluate one document against every live subscription. Never raises
     on document content: malformed bytes, limit trips, budget trips and
@@ -109,7 +116,19 @@ val publish :
     histograms, result emission latency (in document bytes) into
     [engine/emission], and every supervision decision — quarantine,
     re-admission, document-level end — into the {!Xaos_obs.Eventlog}
-    with a typed reason code. *)
+    with a typed reason code.
+
+    While {!Xaos_obs.Attrib} is enabled, every run outcome is charged
+    to the owning subscription's cost account (events delivered, match
+    time, structures, peaks, emissions, faults), and the broker keeps
+    independent pipeline totals for the conservation check. The [tick]
+    in the outcome is the document's monotone id.
+
+    [flight] attaches an in-progress flight recording: the broker adds
+    the parse/dispatch/emission stage spans plus the per-subscription
+    match spans and marks the recording slow/faulted as appropriate.
+    The caller finishes the recording (the server does it from the
+    writer thread so the [writer] span is included). *)
 
 (** {1 Observability} *)
 
@@ -125,6 +144,25 @@ val stats : t -> (string * float) list
 val quarantined : t -> (string * string * int) list
 (** Currently quarantined subscriptions: (name, reason, release tick) —
     what [xaos top] shows. *)
+
+type slow_doc = {
+  sd_doc_id : string;
+  sd_tick : int;
+  sd_total_ms : float;
+  sd_events : int;
+  sd_faults : int;
+  sd_deadline : bool;
+  sd_limit : string option;
+  sd_top : (string * float) list;
+      (** per-subscription breakdown: (name, match seconds), descending *)
+}
+(** One slow-document record. *)
+
+val slow_docs : t -> slow_doc list
+(** The slow-document log, newest first, bounded (64 records) — what
+    the [slowlog] wire op serves. *)
+
+val slow_doc_to_json : slow_doc -> Xaos_obs.Json.t
 
 val report : ?extra_stats:(string * float) list -> t -> Xaos_obs.Report.t
 (** Schema-current run report of kind ["service"]; [extra_stats] lets

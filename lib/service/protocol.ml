@@ -7,6 +7,8 @@ type request =
   | Stats
   | Stats_stream of { interval_s : float; count : int option }
   | Metrics
+  | Profile of { top_n : int; by : string }
+  | Slowlog of { max : int }
   | Report
   | Shutdown
 
@@ -17,6 +19,8 @@ let op_name = function
   | Stats -> "stats"
   | Stats_stream _ -> "stats-stream"
   | Metrics -> "metrics"
+  | Profile _ -> "profile"
+  | Slowlog _ -> "slowlog"
   | Report -> "report"
   | Shutdown -> "shutdown"
 
@@ -33,6 +37,9 @@ let request_to_json r =
     | Stats_stream { interval_s; count } ->
       ("interval_s", Json.Float interval_s)
       :: (match count with Some n -> [ ("count", Json.Int n) ] | None -> [])
+    | Profile { top_n; by } ->
+      [ ("n", Json.Int top_n); ("by", Json.String by) ]
+    | Slowlog { max } -> [ ("max", Json.Int max) ]
     | Stats | Metrics | Report | Shutdown -> []
   in
   Json.Obj (("op", Json.String (op_name r)) :: fields)
@@ -84,6 +91,27 @@ let request_of_json j =
       if interval_s <= 0. then Error "field \"interval_s\" must be positive"
       else Ok (Stats_stream { interval_s; count })
     | Some "metrics" -> Ok Metrics
+    | Some "profile" ->
+      let top_n =
+        match Json.member "n" j with
+        | Some v -> Option.value ~default:10 (Json.to_int v)
+        | None -> 10
+      in
+      let by =
+        match Option.bind (Json.member "by" j) Json.to_str with
+        | Some s -> s
+        | None -> "match_s"
+      in
+      if top_n <= 0 then Error "field \"n\" must be positive"
+      else Ok (Profile { top_n; by })
+    | Some "slowlog" ->
+      let max =
+        match Json.member "max" j with
+        | Some v -> Option.value ~default:20 (Json.to_int v)
+        | None -> 20
+      in
+      if max <= 0 then Error "field \"max\" must be positive"
+      else Ok (Slowlog { max })
     | Some "report" -> Ok Report
     | Some "shutdown" -> Ok Shutdown
     | Some other -> Error (Printf.sprintf "unknown op %S" other))

@@ -10,6 +10,8 @@
     {"op":"stats"} {"op":"report"} {"op":"shutdown"}
     {"op":"stats-stream","interval_s":1.0,"count":10}
     {"op":"metrics"}
+    {"op":"profile","n":10,"by":"match_s"}
+    {"op":"slowlog","max":20}
     v}
 
     Responses and asynchronous events (server → client) carry either an
@@ -45,6 +47,17 @@ type request =
       (** one-shot Prometheus-style text exposition of every telemetry
           cell and latency histogram ({!Xaos_obs.Expose.render}),
           returned in the ["metrics"] field of the reply *)
+  | Profile of { top_n : int; by : string }
+      (** the per-subscription cost table ({!Xaos_obs.Attrib}): registry
+          totals plus the [top_n] most expensive accounts ordered by
+          [by] (an {!Xaos_obs.Attrib.order_of_string} spelling; defaults
+          on the wire: [n] 10, [by] ["match_s"]). Answered even while
+          attribution is disabled — the reply carries an ["enabled"]
+          flag so the client can say so. *)
+  | Slowlog of { max : int }
+      (** the newest [max] (wire default 20) slow-document records from
+          the broker's threshold-triggered log
+          ({!Broker.slow_docs}). *)
   | Report
   | Shutdown
 

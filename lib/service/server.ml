@@ -4,6 +4,8 @@ module Report = Xaos_obs.Report
 module Histogram = Xaos_obs.Histogram
 module Eventlog = Xaos_obs.Eventlog
 module Expose = Xaos_obs.Expose
+module Attrib = Xaos_obs.Attrib
+module Flight = Xaos_obs.Flight
 
 type config = {
   socket_path : string;
@@ -20,14 +22,24 @@ let default_config socket_path =
     write_timeout_s = 5.0; max_line_bytes = 8 * 1024 * 1024;
     broker = Broker.default_config }
 
+type out_entry = {
+  ol_line : string;
+  ol_stamp : float;
+      (** enqueue stamp; 0. while telemetry is off, otherwise feeds the
+          writer-queue-wait histogram *)
+  ol_notify : (unit -> unit) option;
+      (** fired exactly once when the entry leaves the queue — after the
+          write, on a full-queue drop, or during teardown drain; the
+          evaluator hangs the flight-recording finish on it so the
+          [writer] span covers the real write *)
+}
+
 type client = {
   cid : int;
   fd : Unix.file_descr;
   out_mu : Mutex.t;
   out_cond : Condition.t;
-  out : (string * float) Queue.t;
-      (** (line, enqueue stamp); the stamp is 0. while telemetry is off
-          and feeds the writer-queue-wait histogram otherwise *)
+  out : out_entry Queue.t;
   mutable out_closed : bool;
 }
 
@@ -96,28 +108,43 @@ let guarded t f () =
 
 (* {1 Per-client output: bounded queue + writer thread} *)
 
-let enqueue t c line =
+let fire_notify = function Some f -> (try f () with _ -> ()) | None -> ()
+
+let enqueue ?notify t c line =
   let stamp = if Telemetry.enabled () then Telemetry.now () else 0. in
   Mutex.lock c.out_mu;
   let dropped =
-    if c.out_closed then false
+    if c.out_closed then true
     else if Queue.length c.out >= t.config.out_queue then true
     else begin
-      Queue.push (line, stamp) c.out;
+      Queue.push { ol_line = line; ol_stamp = stamp; ol_notify = notify } c.out;
       Condition.signal c.out_cond;
       false
     end
   in
+  let was_closed = c.out_closed in
   Mutex.unlock c.out_mu;
   if dropped then begin
-    with_lock t (fun () -> t.dropped <- t.dropped + 1);
-    Telemetry.incr counter_dropped;
-    Eventlog.record ~level:Eventlog.Warn ~kind:"drop"
-      ~reason:Eventlog.Out_queue_full
-      ("client-" ^ string_of_int c.cid)
+    fire_notify notify;
+    if not was_closed then begin
+      with_lock t (fun () -> t.dropped <- t.dropped + 1);
+      Telemetry.incr counter_dropped;
+      Eventlog.record ~level:Eventlog.Warn ~kind:"drop"
+        ~reason:Eventlog.Out_queue_full
+        ("client-" ^ string_of_int c.cid)
+    end
   end
 
-let send t c json = enqueue t c (Protocol.to_line json)
+let send ?notify t c json = enqueue ?notify t c (Protocol.to_line json)
+
+(* empty the out-queue and fire the orphaned notifies: queue entries
+   must not hold a flight recording open past the connection's death *)
+let drain_notifies c =
+  Mutex.lock c.out_mu;
+  let entries = Queue.fold (fun acc e -> e :: acc) [] c.out in
+  Queue.clear c.out;
+  Mutex.unlock c.out_mu;
+  List.iter (fun e -> fire_notify e.ol_notify) entries
 
 (* Invoked concurrently from the reader (EOF), the writer (write error)
    and [stop]; removal from [t.clients] elects the single caller that
@@ -152,7 +179,8 @@ let close_client t c =
     (* shutdown wakes the connection's blocked reader thread; close alone
        would leave it parked in [Unix.read] forever *)
     (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    drain_notifies c
 
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
@@ -176,17 +204,22 @@ let writer_loop t c () =
       end
       else Some (Queue.pop c.out)
     in
-    let line = next () in
+    let entry = next () in
     Mutex.unlock c.out_mu;
-    match line with
+    match entry with
     | None -> ()
-    | Some (line, stamp) ->
-      if stamp > 0. then
-        Histogram.record_seconds hist_writer_wait (Telemetry.now () -. stamp);
+    | Some e ->
+      if e.ol_stamp > 0. then
+        Histogram.record_seconds hist_writer_wait
+          (Telemetry.now () -. e.ol_stamp);
       (* SO_SNDTIMEO turns a stalled consumer into EAGAIN here *)
-      (match write_all c.fd line with
-      | () -> loop ()
-      | exception Unix.Unix_error _ -> close_client t c)
+      (match write_all c.fd e.ol_line with
+      | () ->
+        fire_notify e.ol_notify;
+        loop ()
+      | exception Unix.Unix_error _ ->
+        fire_notify e.ol_notify;
+        close_client t c)
   in
   loop ()
 
@@ -231,7 +264,8 @@ let rec handle_request t c req =
       Ingress.offer t.ingress ~priority
         { p_doc_id = doc_id; p_doc = doc; p_client = c;
           p_enqueued_at =
-            (if Telemetry.enabled () then Telemetry.now () else 0.) }
+            (if Telemetry.enabled () || Flight.active () then Telemetry.now ()
+             else 0.) }
     in
     Telemetry.set_gauge gauge_queue (Ingress.length t.ingress);
     match verdict with
@@ -264,6 +298,27 @@ let rec handle_request t c req =
     send t c
       (Protocol.ok ~op:"metrics"
          [ ("metrics", Json.String (Expose.render ())) ])
+  | Protocol.Profile { top_n; by } -> (
+    match Attrib.order_of_string by with
+    | None -> send t c (Protocol.error ~op:"profile" ("unknown order: " ^ by))
+    | Some order ->
+      send t c
+        (Protocol.ok ~op:"profile"
+           [ ("enabled", Json.Bool (Attrib.enabled ()));
+             ("by", Json.String (Attrib.order_name order));
+             ("totals", Attrib.totals_to_json (Attrib.totals ()));
+             ("top",
+              Json.List
+                (List.map Attrib.snapshot_to_json
+                   (Attrib.top ~by:order top_n))) ]))
+  | Protocol.Slowlog { max } ->
+    let slow =
+      Broker.slow_docs t.brk |> List.filteri (fun i _ -> i < max)
+    in
+    send t c
+      (Protocol.ok ~op:"slowlog"
+         [ ("count", Json.Int (List.length slow));
+           ("slow", Json.List (List.map Broker.slow_doc_to_json slow)) ])
   | Protocol.Stats_stream { interval_s; count } ->
     send t c
       (Protocol.ok ~op:"stats-stream"
@@ -307,12 +362,21 @@ and stats_stream_loop t c ~interval_s ~count () =
                 ("release_tick", Json.Int release) ])
           (Broker.quarantined t.brk)
       in
+      let top_costs =
+        if Attrib.enabled () then
+          [ ( "top_costs",
+              Json.List
+                (List.map Attrib.snapshot_to_json
+                   (Attrib.top ~by:Attrib.By_match_s 5)) ) ]
+        else []
+      in
       send t c
         (Protocol.event ~kind:"stats"
-           [ ("seq", Json.Int seq);
-             ("elapsed_s", Json.Float (Unix.gettimeofday () -. started));
-             ("stats", Json.Obj fields);
-             ("quarantined", Json.List quarantined) ]);
+           ([ ("seq", Json.Int seq);
+              ("elapsed_s", Json.Float (Unix.gettimeofday () -. started));
+              ("stats", Json.Obj fields);
+              ("quarantined", Json.List quarantined) ]
+           @ top_costs));
       let more =
         match count with Some n -> seq + 1 < n | None -> true
       in
@@ -394,9 +458,18 @@ and reader_loop t c () =
 
 and process_pending t p =
   Telemetry.set_gauge gauge_queue (Ingress.length t.ingress);
+  let pickup = Telemetry.now () in
   if p.p_enqueued_at > 0. then
-    Histogram.record_seconds hist_ingress_wait
-      (Telemetry.now () -. p.p_enqueued_at);
+    Histogram.record_seconds hist_ingress_wait (pickup -. p.p_enqueued_at);
+  (* flight recording: started for every document while the recorder is
+     active; the keep/discard decision is Flight's at finish time *)
+  let fl =
+    if Flight.active () then Some (Flight.start ~doc_id:p.p_doc_id) else None
+  in
+  (match fl with
+  | Some fl when p.p_enqueued_at > 0. ->
+    Flight.span fl ~name:"ingress" ~start:p.p_enqueued_at ~stop:pickup ()
+  | _ -> ());
   (* mid-document result push for earliest-mode subscriptions: the
      broker calls this from the evaluation thread the moment an element
      is decided, so the owning connection sees each result while the
@@ -415,8 +488,23 @@ and process_pending t p =
              ("level", Json.Int item.level) ])
     | None -> ()
   in
-  let o = Broker.publish ~on_item t.brk ~doc_id:p.p_doc_id p.p_doc in
-  send t p.p_client
+  let o = Broker.publish ~on_item ?flight:fl t.brk ~doc_id:p.p_doc_id p.p_doc in
+  (* the recording closes from the writer thread, after the processed
+     event reaches the wire, so the [writer] span covers the real
+     write-back; the notify also fires on drop/teardown, so the
+     recording can never leak *)
+  let notify =
+    match fl with
+    | None -> None
+    | Some fl ->
+      let wstart = Telemetry.now () in
+      Some
+        (fun () ->
+          Flight.span fl ~name:"writer" ~start:wstart
+            ~stop:(Telemetry.now ()) ();
+          ignore (Flight.finish fl))
+  in
+  send ?notify t p.p_client
     (Protocol.event ~kind:"processed"
        [ ("id", Json.String o.doc_id); ("tick", Json.Int o.tick);
          ("events", Json.Int o.events); ("faults", Json.Int o.faults);

@@ -13,12 +13,16 @@ type config = {
   socket_path : string;
   report_path : string option;
   event_log_path : string option;
+  slow_ms : float option;
+  flight_sample : int;
+  flight_dir : string option;
 }
 
 let default_config =
   { docs = 2000; subs = 100; fault_rate = 0.15; seed = 42;
     socket_path = Filename.concat (Filename.get_temp_dir_name ()) "xaos-soak.sock";
-    report_path = None; event_log_path = None }
+    report_path = None; event_log_path = None;
+    slow_ms = Some 0.; flight_sample = 25; flight_dir = None }
 
 type summary = {
   published : int;
@@ -49,6 +53,14 @@ type summary = {
   log_quarantines : int;
   log_sheds : int;
   log_readmits : int;
+  log_slow : int;
+  slow_docs : int;
+  slow_gate : bool;
+  attrib_subs : int;
+  attrib_errors : string list;
+  flight_written : int;
+  flight_gate : bool;
+  flight_stages : string list;
   latency_sections : string list;
   report : Report.t;
 }
@@ -313,10 +325,23 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
      is restored on the way out. *)
   let tel_was = Xaos_obs.Telemetry.enabled () in
   let log_was = Xaos_obs.Eventlog.enabled () in
+  let attrib_was = Xaos_obs.Attrib.enabled () in
   Xaos_obs.Telemetry.enable ();
   Xaos_obs.Histogram.reset_all ();
   Xaos_obs.Eventlog.enable ();
   Xaos_obs.Eventlog.set_capacity 8192;
+  (* cost attribution is always on under soak: the conservation check
+     (accounts sum to pipeline totals) is part of the acceptance gate *)
+  Xaos_obs.Attrib.reset ();
+  Xaos_obs.Attrib.enable ();
+  (* flight recorder: with the slow threshold at 0 every document keeps,
+     so [Flight.last] is guaranteed to hold a full recording *)
+  if cfg.flight_sample > 0 then begin
+    Xaos_obs.Flight.disable ();
+    Xaos_obs.Flight.reset ();
+    Xaos_obs.Flight.configure ~sample_every:cfg.flight_sample
+      ?dir:cfg.flight_dir ()
+  end;
   let sink_ch =
     match cfg.event_log_path with
     | None -> None
@@ -330,6 +355,8 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
   Fun.protect ~finally:(fun () ->
       Xaos_obs.Eventlog.set_sink None;
       (match sink_ch with Some oc -> close_out_noerr oc | None -> ());
+      Xaos_obs.Flight.disable ();
+      if not attrib_was then Xaos_obs.Attrib.disable ();
       if not log_was then Xaos_obs.Eventlog.disable ();
       if not tel_was then Xaos_obs.Telemetry.disable ())
   @@ fun () ->
@@ -343,7 +370,8 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
           limits = { Sax.default_limits with max_text_bytes = 16384 };
           quarantine =
             { Quarantine.threshold = 3; base_penalty = 12; max_penalty = 192 };
-          reset_symbols_every = 128; earliest = false } }
+          reset_symbols_every = 128; earliest = false;
+          slow_ms = cfg.slow_ms } }
   in
   let server = Server.start server_cfg in
   let ty = new_tally () in
@@ -538,6 +566,38 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
     | Some v -> int_of_float v
     | None -> 0
   in
+  let fstat name =
+    Option.value ~default:0. (List.assoc_opt name broker_stats)
+  in
+  (* conservation: the Attrib registry and the broker accumulated the
+     same run outcomes through two independent code paths — every count
+     must agree exactly (match time up to float summation order) *)
+  let totals = Xaos_obs.Attrib.totals () in
+  let attrib_errors =
+    let errs = ref [] in
+    let check name got want =
+      if got <> want then
+        errs :=
+          Printf.sprintf "%s: attrib %d <> pipeline %d" name got want :: !errs
+    in
+    check "docs" totals.Xaos_obs.Attrib.t_docs (stat "service/run_outcomes");
+    check "events" totals.t_events (stat "service/deliveries");
+    check "emissions" totals.t_emissions (stat "service/emitted_items");
+    check "faults" totals.t_faults
+      (stat "service/runs_aborted" + stat "service/runs_failed");
+    let want = fstat "service/match_seconds" in
+    if abs_float (totals.t_match_s -. want) > 1e-6 *. Float.max 1. want then
+      errs :=
+        Printf.sprintf "match_s: attrib %.9f <> pipeline %.9f"
+          totals.t_match_s want
+        :: !errs;
+    List.rev !errs
+  in
+  let flight_stages =
+    match Xaos_obs.Flight.last () with
+    | Some fl -> Xaos_obs.Flight.span_names fl
+    | None -> []
+  in
   let completed =
     locked ty (fun () ->
         let n = ref 0 in
@@ -581,7 +641,14 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
           log_quarantines = count_kind "quarantine";
           log_sheds = count_kind "shed";
           log_readmits = count_kind "readmit";
-          latency_sections; report })
+          log_slow = count_kind "slow-doc";
+          slow_docs = stat "service/slow_docs";
+          slow_gate = (cfg.slow_ms = Some 0.);
+          attrib_subs = totals.Xaos_obs.Attrib.t_subscriptions;
+          attrib_errors;
+          flight_written = Xaos_obs.Flight.written ();
+          flight_gate = cfg.flight_sample > 0;
+          flight_stages; latency_sections; report })
   in
   progress "done";
   (* shutdown, not just close: it wakes the reader threads blocked in
@@ -623,6 +690,27 @@ let healthy s =
   else if s.log_sheds = 0 then Error "no typed shed record in the event log"
   else if s.log_readmits = 0 then
     Error "no typed readmit record in the event log"
+  else if s.attrib_errors <> [] then
+    Error
+      ("cost attribution not conserved: "
+      ^ String.concat "; " s.attrib_errors)
+  else if s.attrib_subs = 0 then Error "no cost accounts registered"
+  else if s.slow_gate && (s.slow_docs = 0 || s.log_slow = 0) then
+    Error
+      (Printf.sprintf
+         "slow-document log never triggered (%d broker records, %d typed \
+          log records)"
+         s.slow_docs s.log_slow)
+  else if
+    s.flight_gate
+    && not
+         (List.for_all
+            (fun n -> List.mem n s.flight_stages)
+            [ "ingress"; "parse"; "dispatch"; "match"; "emission"; "writer" ])
+  then
+    Error
+      (Printf.sprintf "flight recording incomplete (stages: %s)"
+         (String.concat ", " s.flight_stages))
   else if
     not
       (List.for_all

@@ -37,16 +37,28 @@ type config = {
   event_log_path : string option;
       (** stream every {!Xaos_obs.Eventlog} record to this NDJSON file
           as it happens — the artifact CI uploads *)
+  slow_ms : float option;
+      (** broker slow-document threshold; [Some 0.] (the default) flags
+          every document, making the slow-log acceptance gate
+          deterministic *)
+  flight_sample : int;
+      (** flight-recorder sampling grid (every Nth document keeps);
+          0 disables the recorder and its gate *)
+  flight_dir : string option;
+      (** write kept flight recordings here (bounded by the recorder's
+          file cap); [None] keeps them in memory only *)
 }
 
 val default_config : config
 (** 2000 docs, 100 subs, fault rate 0.15, seed 42, socket in the temp
-    directory, no report or event-log file.
+    directory, no report or event-log file, slow threshold 0 ms, flight
+    sampling every 25th document with no output directory.
 
-    The harness enables {!Xaos_obs.Telemetry} and the
-    {!Xaos_obs.Eventlog} for the duration of {!run} (restoring the
+    The harness enables {!Xaos_obs.Telemetry}, the {!Xaos_obs.Eventlog}
+    and {!Xaos_obs.Attrib} for the duration of {!run} (restoring the
     prior state on exit), so the summary's report carries populated
-    per-stage and emission-latency histograms. *)
+    per-stage and emission-latency histograms plus the attribution
+    section, and the conservation check always runs. *)
 
 type summary = {
   published : int;  (** main-stream documents offered *)
@@ -80,6 +92,21 @@ type summary = {
       (** typed (reason-coded) quarantine records in the event log *)
   log_sheds : int;
   log_readmits : int;
+  log_slow : int;  (** typed slow-document records in the event log *)
+  slow_docs : int;  (** broker slow-log entries recorded *)
+  slow_gate : bool;
+      (** the configured threshold makes slow records deterministic
+          ([slow_ms = Some 0.]), so {!healthy} may require them *)
+  attrib_subs : int;  (** cost accounts registered during the run *)
+  attrib_errors : string list;
+      (** conservation failures: any disagreement between the
+          {!Xaos_obs.Attrib} registry totals and the broker's
+          independently accumulated pipeline totals — must be empty *)
+  flight_written : int;  (** flight-recording files written *)
+  flight_gate : bool;  (** the recorder was active ([flight_sample > 0]) *)
+  flight_stages : string list;
+      (** span names of the last kept flight recording — {!healthy}
+          requires all six pipeline stages when [flight_gate] *)
   latency_sections : string list;
       (** names of the non-empty latency histograms in the final report *)
   report : Xaos_obs.Report.t;
@@ -97,5 +124,8 @@ val healthy : summary -> (unit, string) result
     everywhere), every published document accounted for,
     quarantine + re-admission + overload all observed, the report
     schema-valid, the event log holding at least one typed quarantine,
-    shed and readmit record, and the per-stage + emission latency
-    histograms all non-empty; [Error reason] otherwise. *)
+    shed and readmit record, the per-stage + emission latency
+    histograms all non-empty, cost attribution conserved against the
+    pipeline totals, and — when the respective feature gates are set —
+    slow-document records present and the last flight recording
+    covering all six pipeline stages; [Error reason] otherwise. *)

@@ -119,7 +119,7 @@ PART=$("$XAOS" eval --partial-ok --count '//listitem/ancestor::category//name' "
 "$XAOS" eval --count --report "$WORK/run.json" \
   '//listitem/ancestor::category//name' "$WORK/xm.xml" > /dev/null
 test -s "$WORK/run.json" || fail "--report wrote nothing"
-OUT=$(grep -c '"schema_version": 3' "$WORK/run.json")
+OUT=$(grep -c '"schema_version": 4' "$WORK/run.json")
 expect "report carries schema version" "1" "$OUT"
 OUT=$(grep -c '"relevance"' "$WORK/run.json")
 expect "report carries relevance section" "1" "$OUT"
@@ -190,6 +190,7 @@ SOCK="$WORK/service.sock"
 printf '//b\n# comment\n//c\n' > "$WORK/service_subs.txt"
 "$XAOS" serve --socket "$SOCK" --subscriptions "$WORK/service_subs.txt" \
   --metrics "$WORK/serve_metrics.ndjson" --snapshot-interval 0.2 \
+  --attrib --slow-ms 0 --flight-sample 1 --flight-dir "$WORK/flights" \
   2> "$WORK/serve.log" &
 SERVE_PID=$!
 for _ in $(seq 1 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
@@ -201,6 +202,30 @@ sleep 0.3
 OUT=$("$XAOS" publish --socket "$SOCK" "$WORK/small.xml")
 echo "$OUT" | grep -q '"event":"processed"' || fail "publish saw no processed event"
 echo "$OUT" | grep -q '"mine":1' || fail "publish outcome misses the live subscription"
+# --- cost attribution over the wire: profile, slowlog, flight files ---------
+OUT=$("$XAOS" profile --socket "$SOCK")
+echo "$OUT" | grep -q 'top by match_s:' || fail "profile misses the cost table"
+echo "$OUT" | grep -q 'mine' || fail "profile misses the live subscription"
+echo "$OUT" | grep -q 'attribution disabled' \
+  && fail "profile claims attribution is disabled on an --attrib server"
+OUT=$("$XAOS" slowlog --socket "$SOCK" --json)
+echo "$OUT" | grep -q '"doc_id"' || fail "slowlog recorded no document at --slow-ms 0"
+echo "$OUT" | grep -q '"top"' || fail "slowlog record misses the per-subscription breakdown"
+code 1 "$XAOS" profile --socket "$SOCK" --by nonsense
+# every document samples at --flight-sample 1: a trace file with all six
+# pipeline stages appears once the writer thread finishes the recording
+FLIGHT=""
+for _ in $(seq 1 50); do
+  FLIGHT=$(ls "$WORK/flights"/flight-*.json 2>/dev/null | head -1 || true)
+  [ -n "$FLIGHT" ] && break
+  sleep 0.1
+done
+[ -n "$FLIGHT" ] || fail "no flight recording written"
+grep -q '"traceEvents"' "$FLIGHT" || fail "flight file is not a chrome trace"
+for stage in ingress parse dispatch match emission writer; do
+  grep -q "\"$stage\"" "$FLIGHT" || fail "flight trace misses the $stage stage"
+done
+
 OUT=$("$XAOS" service-stats --socket "$SOCK")
 echo "$OUT" | grep -q '"service/docs":1' || fail "service stats missed the document"
 echo "$OUT" | grep -q '"service/live_subscriptions":3' \
@@ -271,6 +296,23 @@ grep -q '"reason":"backoff-elapsed"' "$WORK/soak_events.ndjson" \
   || fail "event log misses a typed readmit record"
 grep -q '"reason":"queue-full"' "$WORK/soak_events.ndjson" \
   || fail "event log misses a typed shed record"
+grep -q '"reason":"slow-document"' "$WORK/soak_events.ndjson" \
+  || fail "event log misses a typed slow-document record"
+# cost attribution ran, conserved, and landed in the v4 report
+grep -q 'accounts (conserved)' "$WORK/soak.out" \
+  || fail "soak summary misses the conserved attribution line"
+grep -q 'flight stages' "$WORK/soak.out" \
+  || fail "soak summary misses the flight stage list"
+grep -q '"attribution"' "$WORK/soak.json" \
+  || fail "soak report misses the attribution section"
+
+# --- report diff tolerates optional sections absent on one side --------------
+# run.json (eval, no attribution) as baseline against the soak's
+# attribution-bearing report: skip with a note, exit 0
+OUT=$("$XAOS" report diff "$WORK/run.json" "$WORK/soak.json" --threshold-pct 100000) \
+  || fail "diff against a baseline without attribution exited nonzero"
+echo "$OUT" | grep -q 'note: skipping attribution (absent in baseline)' \
+  || fail "diff misses the attribution skip note"
 
 # --- generate random is deterministic ---------------------------------------
 "$XAOS" generate random --seed 5 --elements 500 -o "$WORK/r1.xml" --query-out "$WORK/q1" 2>/dev/null

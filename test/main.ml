@@ -30,4 +30,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("chaos", Test_chaos.suite);
       ("service", Test_service.suite);
+      ("attrib", Test_attrib.suite);
     ]

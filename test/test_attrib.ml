@@ -1,0 +1,527 @@
+(* Cost attribution and the flight recorder (PR 9): the per-key account
+   registry, conservation of the broker's per-run charges against its
+   independently accumulated pipeline totals (across chaos faults,
+   quarantine and unsubscribe), the threshold-triggered slow-document
+   log, and the sampled flight recorder's keep rules and Perfetto
+   (Chrome trace-event) export. *)
+
+module Json = Xaos_obs.Json
+module Attrib = Xaos_obs.Attrib
+module Flight = Xaos_obs.Flight
+module Tel = Xaos_obs.Telemetry
+module Eventlog = Xaos_obs.Eventlog
+module Sax = Xaos_xml.Sax
+open Xaos_service
+
+(* Every test leaves the process-global registries the way the rest of
+   the suite expects them: attribution and the recorder off and empty. *)
+let fresh () =
+  Attrib.disable ();
+  Attrib.reset ();
+  Flight.disable ();
+  Flight.reset ();
+  Eventlog.disable ();
+  Eventlog.clear ()
+
+let jget path j =
+  match Json.member path j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing JSON field %s" path
+
+let jnum path j =
+  match Json.to_float (jget path j) with
+  | Some f -> f
+  | None -> Alcotest.failf "field %s is not a number" path
+
+(* ------------------------------------------------------------------ *)
+(* Account registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_charge_is_noop () =
+  fresh ();
+  let a = Attrib.account "s1" in
+  Attrib.charge a ~events:10 ~match_s:0.5 ~structures:3 ~live_peak:7
+    ~retained_peak_bytes:1024 ~emissions:2 ~fault:true;
+  (match Attrib.accounts () with
+  | [ sn ] ->
+    Alcotest.(check int) "no docs" 0 sn.Attrib.sn_docs;
+    Alcotest.(check int) "no events" 0 sn.Attrib.sn_events;
+    Alcotest.(check int) "no faults" 0 sn.Attrib.sn_faults
+  | l -> Alcotest.failf "expected one account, got %d" (List.length l));
+  let t = Attrib.totals () in
+  Alcotest.(check int) "totals docs" 0 t.Attrib.t_docs;
+  Alcotest.(check int) "totals events" 0 t.Attrib.t_events
+
+let test_charging_accumulates_and_peaks () =
+  fresh ();
+  Attrib.enable ();
+  let a = Attrib.account "s1" in
+  Alcotest.(check string) "key" "s1" (Attrib.key a);
+  Attrib.charge a ~events:5 ~match_s:0.25 ~structures:2 ~live_peak:10
+    ~retained_peak_bytes:100 ~emissions:1 ~fault:false;
+  Attrib.charge a ~events:3 ~match_s:0.5 ~structures:4 ~live_peak:6
+    ~retained_peak_bytes:400 ~emissions:2 ~fault:true;
+  (* same key resolves to the same account: attribution follows the
+     tenant across resubscribes *)
+  Attrib.charge (Attrib.account "s1") ~events:2 ~match_s:0.25 ~structures:0
+    ~live_peak:1 ~retained_peak_bytes:1 ~emissions:0 ~fault:false;
+  let b = Attrib.account "s2" in
+  Attrib.charge b ~events:1 ~match_s:0.125 ~structures:1 ~live_peak:2
+    ~retained_peak_bytes:8 ~emissions:0 ~fault:false;
+  (match Attrib.accounts () with
+  | [ s1; s2 ] ->
+    Alcotest.(check string) "order" "s1" s1.Attrib.sn_key;
+    Alcotest.(check int) "docs sum" 3 s1.Attrib.sn_docs;
+    Alcotest.(check int) "events sum" 10 s1.Attrib.sn_events;
+    Alcotest.(check (float 1e-9)) "match sum" 1.0 s1.Attrib.sn_match_s;
+    Alcotest.(check int) "structures sum" 6 s1.Attrib.sn_structures;
+    Alcotest.(check int) "live peak is max" 10 s1.Attrib.sn_live_peak;
+    Alcotest.(check int) "retained peak is max" 400
+      s1.Attrib.sn_retained_peak_bytes;
+    Alcotest.(check int) "emissions sum" 3 s1.Attrib.sn_emissions;
+    Alcotest.(check int) "faults counted" 1 s1.Attrib.sn_faults;
+    Alcotest.(check string) "second key" "s2" s2.Attrib.sn_key
+  | l -> Alcotest.failf "expected two accounts, got %d" (List.length l));
+  let t = Attrib.totals () in
+  Alcotest.(check int) "total subscriptions" 2 t.Attrib.t_subscriptions;
+  Alcotest.(check int) "total docs" 4 t.Attrib.t_docs;
+  Alcotest.(check int) "total events" 11 t.Attrib.t_events;
+  Alcotest.(check (float 1e-9)) "total match" 1.125 t.Attrib.t_match_s;
+  Alcotest.(check int) "total faults" 1 t.Attrib.t_faults;
+  Attrib.reset ();
+  Alcotest.(check int) "reset drops accounts" 0
+    (List.length (Attrib.accounts ()))
+
+let test_top_ordering_and_order_names () =
+  fresh ();
+  Attrib.enable ();
+  let charge key ~events ~match_s ~emissions ~fault =
+    Attrib.charge (Attrib.account key) ~events ~match_s ~structures:0
+      ~live_peak:0 ~retained_peak_bytes:0 ~emissions ~fault
+  in
+  charge "cheap" ~events:1 ~match_s:0.01 ~emissions:9 ~fault:false;
+  charge "hot" ~events:50 ~match_s:0.9 ~emissions:0 ~fault:false;
+  charge "chatty" ~events:100 ~match_s:0.1 ~emissions:3 ~fault:true;
+  let keys by n = List.map (fun s -> s.Attrib.sn_key) (Attrib.top ~by n) in
+  Alcotest.(check (list string))
+    "by match time" [ "hot"; "chatty" ]
+    (keys Attrib.By_match_s 2);
+  Alcotest.(check (list string))
+    "by events" [ "chatty"; "hot"; "cheap" ]
+    (keys Attrib.By_events 3);
+  Alcotest.(check (list string))
+    "by emissions" [ "cheap"; "chatty" ]
+    (keys Attrib.By_emissions 2);
+  Alcotest.(check (list string))
+    "by faults" [ "chatty" ] (keys Attrib.By_faults 1);
+  Alcotest.(check int) "top clamps to registry size" 3
+    (List.length (Attrib.top ~by:Attrib.By_match_s 99));
+  (* wire spellings round-trip, plus the documented aliases *)
+  List.iter
+    (fun by ->
+      match Attrib.order_of_string (Attrib.order_name by) with
+      | Some by' when by' = by -> ()
+      | _ -> Alcotest.failf "order %s does not round-trip" (Attrib.order_name by))
+    [ Attrib.By_match_s; Attrib.By_events; Attrib.By_emissions;
+      Attrib.By_structures; Attrib.By_faults ];
+  Alcotest.(check bool) "alias match" true
+    (Attrib.order_of_string "match" = Some Attrib.By_match_s);
+  Alcotest.(check bool) "alias time" true
+    (Attrib.order_of_string "time" = Some Attrib.By_match_s);
+  Alcotest.(check bool) "alias items" true
+    (Attrib.order_of_string "items" = Some Attrib.By_emissions);
+  Alcotest.(check bool) "unknown rejected" true
+    (Attrib.order_of_string "bogus" = None)
+
+let test_snapshot_json_fields () =
+  fresh ();
+  Attrib.enable ();
+  Attrib.charge (Attrib.account "s") ~events:4 ~match_s:0.5 ~structures:2
+    ~live_peak:3 ~retained_peak_bytes:64 ~emissions:1 ~fault:true;
+  (match Attrib.accounts () with
+  | [ sn ] ->
+    let j = Attrib.snapshot_to_json sn in
+    Alcotest.(check (option string)) "key" (Some "s")
+      (Json.to_str (jget "key" j));
+    Alcotest.(check (float 0.)) "docs" 1. (jnum "docs" j);
+    Alcotest.(check (float 0.)) "events" 4. (jnum "events" j);
+    Alcotest.(check (float 1e-9)) "match_s" 0.5 (jnum "match_s" j);
+    Alcotest.(check (float 0.)) "structures" 2. (jnum "structures" j);
+    Alcotest.(check (float 0.)) "live_peak" 3. (jnum "live_peak" j);
+    Alcotest.(check (float 0.)) "retained" 64.
+      (jnum "retained_peak_bytes" j);
+    Alcotest.(check (float 0.)) "emissions" 1. (jnum "emissions" j);
+    Alcotest.(check (float 0.)) "faults" 1. (jnum "faults" j)
+  | _ -> Alcotest.fail "expected one account");
+  let tj = Attrib.totals_to_json (Attrib.totals ()) in
+  Alcotest.(check (float 0.)) "totals subscriptions" 1.
+    (jnum "subscriptions" tj);
+  Alcotest.(check (float 0.)) "totals docs" 1. (jnum "docs" tj);
+  Alcotest.(check (float 1e-9)) "totals match_s" 0.5 (jnum "match_s" tj)
+
+(* ------------------------------------------------------------------ *)
+(* Conservation against the broker's pipeline totals                   *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_config =
+  { Broker.budget = Some 40; deadline_s = None;
+    limits = { Sax.default_limits with max_text_bytes = 4096 };
+    quarantine = { Quarantine.threshold = 2; base_penalty = 3; max_penalty = 24 };
+    reset_symbols_every = 4; earliest = false; slow_ms = Some 0. }
+
+let heavy_doc =
+  "<r>" ^ String.concat "" (List.init 12 (fun i ->
+      Printf.sprintf "<a><b><c>x%d</c></b></a>" i)) ^ "</r>"
+
+(* A chaotic broker run — budget aborts, quarantine + re-admission, a
+   malformed document, an unsubscribe midway — after which the account
+   registry's totals must equal the broker's independently accumulated
+   pipeline counters exactly. This is the in-process twin of the soak's
+   conservation gate. *)
+let test_conservation_under_chaos () =
+  fresh ();
+  Attrib.enable ();
+  Eventlog.enable ();
+  let b = Broker.create ~config:chaos_config () in
+  List.iter
+    (fun (name, query) ->
+      match Broker.subscribe b ~name ~query with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "subscribe %s: %s" name e)
+    [ ("c", "//b/c"); ("a", "//a"); ("leaf", "//c"); ("none", "//zzz");
+      ("poison", "//*[*]//*") ];
+  for i = 1 to 6 do
+    ignore (Broker.publish b ~doc_id:(Printf.sprintf "h%d" i) heavy_doc)
+  done;
+  (* malformed bytes: the parser faults, the document still completes *)
+  ignore (Broker.publish b ~doc_id:"bad" "<r><a><<<>junk</r>");
+  (* churn: a departing tenant keeps its account *)
+  Alcotest.(check bool) "unsubscribe" true (Broker.unsubscribe b ~name:"a");
+  for i = 7 to 10 do
+    ignore (Broker.publish b ~doc_id:(Printf.sprintf "h%d" i) heavy_doc)
+  done;
+  let stats = Broker.stats b in
+  let stat name =
+    match List.assoc_opt name stats with
+    | Some v -> v
+    | None -> Alcotest.failf "missing broker stat %s" name
+  in
+  (* the chaos actually happened *)
+  Alcotest.(check bool) "poison aborted" true
+    (stat "service/runs_aborted" >= 1.);
+  Alcotest.(check bool) "quarantine fired" true
+    (stat "service/quarantined" >= 1.);
+  Alcotest.(check bool) "parser faulted" true
+    (stat "service/sax_faults" >= 1.);
+  (* conservation: every run outcome was charged exactly once *)
+  let t = Attrib.totals () in
+  Alcotest.(check int) "accounts cover every subscription" 5
+    t.Attrib.t_subscriptions;
+  Alcotest.(check (float 0.)) "docs vs run outcomes"
+    (stat "service/run_outcomes")
+    (float_of_int t.Attrib.t_docs);
+  Alcotest.(check (float 0.)) "events vs deliveries"
+    (stat "service/deliveries")
+    (float_of_int t.Attrib.t_events);
+  Alcotest.(check (float 0.)) "emissions vs emitted items"
+    (stat "service/emitted_items")
+    (float_of_int t.Attrib.t_emissions);
+  Alcotest.(check (float 0.)) "faults vs aborted+failed"
+    (stat "service/runs_aborted" +. stat "service/runs_failed")
+    (float_of_int t.Attrib.t_faults);
+  let want = stat "service/match_seconds" in
+  let tol = 1e-6 *. Float.max 1. want in
+  Alcotest.(check bool) "match seconds agree" true
+    (Float.abs (want -. t.Attrib.t_match_s) <= tol);
+  Alcotest.(check bool) "faults were charged" true (t.Attrib.t_faults > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Slow-document log                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_slow_log_triggering () =
+  fresh ();
+  Eventlog.enable ();
+  (* threshold 0 ms: every document is deterministically slow *)
+  let b = Broker.create ~config:chaos_config () in
+  (match Broker.subscribe b ~name:"c" ~query:"//b/c" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "subscribe: %s" e);
+  for i = 1 to 3 do
+    ignore (Broker.publish b ~doc_id:(Printf.sprintf "d%d" i) heavy_doc)
+  done;
+  let slow = Broker.slow_docs b in
+  Alcotest.(check int) "every document flagged" 3 (List.length slow);
+  (match slow with
+  | newest :: _ ->
+    Alcotest.(check string) "newest first" "d3" newest.Broker.sd_doc_id;
+    Alcotest.(check bool) "total time recorded" true
+      (newest.Broker.sd_total_ms >= 0.);
+    Alcotest.(check bool) "events counted" true (newest.Broker.sd_events > 0);
+    (* the per-subscription breakdown is sorted by cost, descending *)
+    let rec descending = function
+      | (_, a) :: ((_, b) :: _ as rest) -> a >= b && descending rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "breakdown descending" true
+      (descending newest.Broker.sd_top);
+    let j = Broker.slow_doc_to_json newest in
+    Alcotest.(check (option string)) "json doc id" (Some "d3")
+      (Json.to_str (jget "doc_id" j));
+    Alcotest.(check bool) "json top is a list" true
+      (Json.to_list (jget "top" j) <> None)
+  | [] -> Alcotest.fail "no slow records");
+  Alcotest.(check (float 0.)) "stats counter" 3.
+    (List.assoc "service/slow_docs" (Broker.stats b));
+  (* the typed event-log record rides along *)
+  let slow_events =
+    List.filter
+      (fun (e : Eventlog.event) ->
+        e.kind = "slow-doc" && e.reason = Some Eventlog.Slow_document)
+      (Eventlog.events ())
+  in
+  Alcotest.(check int) "typed slow records" 3 (List.length slow_events);
+  (* no threshold, no log *)
+  let b2 = Broker.create ~config:{ chaos_config with slow_ms = None } () in
+  ignore (Broker.subscribe b2 ~name:"c" ~query:"//b/c");
+  ignore (Broker.publish b2 ~doc_id:"d" heavy_doc);
+  Alcotest.(check int) "disabled log stays empty" 0
+    (List.length (Broker.slow_docs b2))
+
+let test_slow_log_ring_is_bounded () =
+  fresh ();
+  let b = Broker.create ~config:chaos_config () in
+  ignore (Broker.subscribe b ~name:"c" ~query:"//b/c");
+  for i = 1 to 70 do
+    ignore (Broker.publish b ~doc_id:(Printf.sprintf "d%d" i) "<r><b><c>x</c></b></r>")
+  done;
+  let slow = Broker.slow_docs b in
+  Alcotest.(check int) "ring capped at 64" 64 (List.length slow);
+  (match slow with
+  | newest :: _ ->
+    Alcotest.(check string) "newest survives" "d70" newest.Broker.sd_doc_id
+  | [] -> Alcotest.fail "empty ring");
+  Alcotest.(check (float 0.)) "counter keeps the true total" 70.
+    (List.assoc "service/slow_docs" (Broker.stats b))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_fake_clock now f =
+  Tel.set_clock (fun () -> !now);
+  Fun.protect ~finally:(fun () -> Tel.set_clock Unix.gettimeofday) f
+
+let test_flight_keep_rules () =
+  fresh ();
+  Flight.configure ~sample_every:3 ();
+  Alcotest.(check bool) "active" true (Flight.active ());
+  let on_grid = Flight.start ~doc_id:"g" in
+  Flight.set_tick on_grid 6;
+  Alcotest.(check bool) "tick on grid keeps" true (Flight.keep on_grid);
+  let off_grid = Flight.start ~doc_id:"o" in
+  Flight.set_tick off_grid 7;
+  Alcotest.(check bool) "tick off grid drops" false (Flight.keep off_grid);
+  Flight.mark_slow off_grid;
+  Alcotest.(check bool) "slow always keeps" true (Flight.keep off_grid);
+  let faulted = Flight.start ~doc_id:"f" in
+  Flight.set_tick faulted 8;
+  Flight.mark_faulted faulted;
+  Alcotest.(check bool) "faulted always keeps" true (Flight.keep faulted);
+  (* a kept recording with no directory is remembered but not written *)
+  Alcotest.(check bool) "finish keeps in memory" true
+    (Flight.finish on_grid = None);
+  Alcotest.(check int) "nothing written" 0 (Flight.written ());
+  (match Flight.last () with
+  | Some fl -> Alcotest.(check string) "last kept" "g" (Flight.doc_id fl)
+  | None -> Alcotest.fail "no last recording");
+  Flight.disable ();
+  Alcotest.(check bool) "disabled" false (Flight.active ())
+
+let test_flight_chrome_roundtrip () =
+  fresh ();
+  let now = ref 100.0 in
+  with_fake_clock now (fun () ->
+      let fl = Flight.start ~doc_id:"doc-1" in
+      Flight.set_tick fl 42;
+      (* the six pipeline stages, with per-subscription children laid
+         inside the match aggregate on track 1 *)
+      Flight.span fl ~name:"ingress" ~start:99.9 ~stop:100.0 ();
+      Flight.span fl ~name:"parse" ~start:100.0 ~stop:100.3
+        ~args:[ ("events", Json.Int 17) ] ();
+      Flight.span fl ~name:"dispatch" ~start:100.3 ~stop:100.4 ();
+      Flight.span fl ~cat:"match" ~track:1 ~name:"match" ~start:100.4
+        ~stop:100.8 ();
+      Flight.span fl ~cat:"match" ~track:1 ~name:"s1" ~start:100.4
+        ~stop:100.6 ();
+      Flight.span fl ~cat:"match" ~track:1 ~name:"s2" ~start:100.6
+        ~stop:100.8 ();
+      Flight.span fl ~name:"emission" ~start:100.8 ~stop:100.9 ();
+      Flight.span fl ~name:"writer" ~start:100.9 ~stop:101.0 ();
+      Alcotest.(check (list string)) "span names in order"
+        [ "ingress"; "parse"; "dispatch"; "match"; "s1"; "s2"; "emission";
+          "writer" ]
+        (Flight.span_names fl);
+      (* negative durations clamp instead of corrupting the trace *)
+      Flight.span fl ~name:"clamped" ~start:101.0 ~stop:100.0 ();
+      let j =
+        match Json.parse (Json.to_string (Flight.to_chrome fl)) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "chrome export does not parse: %s" e
+      in
+      Alcotest.(check (option string)) "time unit" (Some "ms")
+        (Json.to_str (jget "displayTimeUnit" j));
+      let events =
+        match Json.to_list (jget "traceEvents" j) with
+        | Some l -> l
+        | None -> Alcotest.fail "traceEvents is not a list"
+      in
+      (* root + 9 spans *)
+      Alcotest.(check int) "event count" 10 (List.length events);
+      let by_name name =
+        match
+          List.find_opt (fun e -> Json.to_str (jget "name" e) = Some name)
+            events
+        with
+        | Some e -> e
+        | None -> Alcotest.failf "no event named %s" name
+      in
+      List.iter
+        (fun e ->
+          Alcotest.(check (option string)) "complete events" (Some "X")
+            (Json.to_str (jget "ph" e));
+          Alcotest.(check (option int)) "pid is the tick" (Some 42)
+            (Json.to_int (jget "pid" e));
+          Alcotest.(check bool) "timestamps shifted non-negative" true
+            (jnum "ts" e >= 0.))
+        events;
+      (* earliest span (ingress) lands at ts 0 after the shift *)
+      Alcotest.(check (float 1e-6)) "ingress at origin" 0.
+        (jnum "ts" (by_name "ingress"));
+      (* microsecond scale: the 0.3 s parse is 300000 us *)
+      Alcotest.(check (float 1.)) "parse duration in us" 300000.
+        (jnum "dur" (by_name "parse"));
+      Alcotest.(check (option int)) "match on track 1" (Some 1)
+        (Json.to_int (jget "tid" (by_name "match")));
+      (* children nest inside the match aggregate *)
+      let m = by_name "match" in
+      let m0 = jnum "ts" m and m1 = jnum "ts" m +. jnum "dur" m in
+      List.iter
+        (fun name ->
+          let c = by_name name in
+          let c0 = jnum "ts" c and c1 = jnum "ts" c +. jnum "dur" c in
+          Alcotest.(check bool)
+            (name ^ " nested in match window") true
+            (c0 >= m0 -. 1. && c1 <= m1 +. 1.))
+        [ "s1"; "s2" ];
+      Alcotest.(check (float 1e-6)) "clamped duration" 0.
+        (jnum "dur" (by_name "clamped"));
+      (* root span covers the whole recording *)
+      let root = by_name "doc doc-1" in
+      Alcotest.(check (float 1.)) "root spans the recording" (1.1 *. 1e6)
+        (jnum "dur" root))
+
+let temp_dir () =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xaos-flight-test-%d-%d" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1000.) mod 1000000))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let test_flight_finish_writes_and_caps () =
+  fresh ();
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> fresh (); rm_rf dir)
+    (fun () ->
+      Flight.configure ~sample_every:1 ~dir ~max_files:2 ();
+      let record tick =
+        let fl = Flight.start ~doc_id:(Printf.sprintf "d%d" tick) in
+        Flight.set_tick fl tick;
+        Flight.span fl ~name:"parse" ~start:0. ~stop:0.001 ();
+        fl
+      in
+      let f1 = record 1 in
+      (match Flight.finish f1 with
+      | Some path ->
+        Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+        let ic = open_in_bin path in
+        let body = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (match Json.parse body with
+        | Ok j ->
+          Alcotest.(check bool) "file is a chrome trace" true
+            (Json.member "traceEvents" j <> None)
+        | Error e -> Alcotest.failf "flight file does not parse: %s" e)
+      | None -> Alcotest.fail "first recording not written");
+      Alcotest.(check bool) "finish is idempotent" true
+        (Flight.finish f1 = None);
+      Alcotest.(check int) "one file written" 1 (Flight.written ());
+      ignore (Flight.finish (record 2));
+      Alcotest.(check int) "two files written" 2 (Flight.written ());
+      (* the cap stops disk writes but the recording is still kept *)
+      let f3 = record 3 in
+      Alcotest.(check bool) "cap refuses the third file" true
+        (Flight.finish f3 = None);
+      Alcotest.(check int) "cap held" 2 (Flight.written ());
+      (match Flight.last () with
+      | Some fl -> Alcotest.(check string) "still remembered" "d3"
+                     (Flight.doc_id fl)
+      | None -> Alcotest.fail "capped recording forgotten"))
+
+(* The broker fills a recording with real pipeline spans: parse,
+   dispatch, emission on track 0 and the match aggregate on track 1,
+   and marks it slow under the zero threshold so the keep rule fires
+   regardless of the sampling grid. *)
+let test_broker_fills_flight_spans () =
+  fresh ();
+  let b = Broker.create ~config:chaos_config () in
+  ignore (Broker.subscribe b ~name:"c" ~query:"//b/c");
+  ignore (Broker.subscribe b ~name:"a" ~query:"//a");
+  let fl = Flight.start ~doc_id:"d1" in
+  let o = Broker.publish ~flight:fl b ~doc_id:"d1" heavy_doc in
+  Flight.set_tick fl o.Broker.tick;
+  let names = Flight.span_names fl in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) (stage ^ " span present") true
+        (List.mem stage names))
+    [ "parse"; "dispatch"; "emission"; "match" ];
+  Alcotest.(check bool) "slow threshold marks the recording" true
+    (Flight.keep fl);
+  (* finishing with no grid configured still keeps it (marked slow) *)
+  Alcotest.(check bool) "kept without disk" true (Flight.finish fl = None);
+  match Flight.last () with
+  | Some kept -> Alcotest.(check string) "remembered" "d1" (Flight.doc_id kept)
+  | None -> Alcotest.fail "slow recording dropped"
+
+let suite =
+  [
+    Alcotest.test_case "disabled charge is a no-op" `Quick
+      test_disabled_charge_is_noop;
+    Alcotest.test_case "charging accumulates, peaks max" `Quick
+      test_charging_accumulates_and_peaks;
+    Alcotest.test_case "top ordering and order names" `Quick
+      test_top_ordering_and_order_names;
+    Alcotest.test_case "snapshot and totals JSON" `Quick
+      test_snapshot_json_fields;
+    Alcotest.test_case "conservation under chaos" `Quick
+      test_conservation_under_chaos;
+    Alcotest.test_case "slow log triggering" `Quick test_slow_log_triggering;
+    Alcotest.test_case "slow log ring bounded" `Quick
+      test_slow_log_ring_is_bounded;
+    Alcotest.test_case "flight keep rules" `Quick test_flight_keep_rules;
+    Alcotest.test_case "flight chrome round-trip" `Quick
+      test_flight_chrome_roundtrip;
+    Alcotest.test_case "flight files and cap" `Quick
+      test_flight_finish_writes_and_caps;
+    Alcotest.test_case "broker fills flight spans" `Quick
+      test_broker_fills_flight_spans;
+  ]

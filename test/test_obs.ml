@@ -6,6 +6,8 @@ module Tel = Xaos_obs.Telemetry
 module Json = Xaos_obs.Json
 module Report = Xaos_obs.Report
 module Snapshot = Xaos_obs.Snapshot
+module Expose = Xaos_obs.Expose
+module Attrib = Xaos_obs.Attrib
 
 (* Each test starts from a clean slate; cells persist (process-global
    registry) but their values reset. *)
@@ -113,6 +115,65 @@ let test_expose_mentions_metrics () =
     (contains "# HELP test_expose_total a test counter");
   Alcotest.(check bool) "type line" true
     (contains "# TYPE test_expose_total counter")
+
+(* Sanitization at the exposition boundary: metric names from arbitrary
+   strings, label values from arbitrary subscription ids. *)
+let test_expose_sanitization () =
+  Alcotest.(check string) "illegal chars become underscores"
+    "stage_parse_total" (Expose.sanitize_name "stage/parse total");
+  Alcotest.(check string) "digit start prefixed" "_9lives"
+    (Expose.sanitize_name "9lives");
+  Alcotest.(check string) "empty becomes underscore" "_"
+    (Expose.sanitize_name "");
+  Alcotest.(check string) "legal name untouched" "xaos_ok:name_1"
+    (Expose.sanitize_name "xaos_ok:name_1");
+  Alcotest.(check string) "quote escaped" {|say \"hi\"|}
+    (Expose.escape_label_value {|say "hi"|});
+  Alcotest.(check string) "backslash escaped" {|a\\b|}
+    (Expose.escape_label_value {|a\b|});
+  Alcotest.(check string) "newline escaped" {|a\nb|}
+    (Expose.escape_label_value "a\nb")
+
+(* Hostile subscription ids must not corrupt the exposition: the
+   attribution samples label-escape them, and the structural checker
+   accepts the result. *)
+let test_expose_survives_hostile_names () =
+  fresh ();
+  Tel.enable ();
+  let attrib_was = Attrib.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      if not attrib_was then Attrib.disable ();
+      Attrib.reset ();
+      fresh ())
+    (fun () ->
+      Attrib.reset ();
+      Attrib.enable ();
+      List.iter
+        (fun name ->
+          Attrib.charge (Attrib.account name) ~events:3 ~match_s:0.01
+            ~structures:1 ~live_peak:1 ~retained_peak_bytes:8 ~emissions:1
+            ~fault:false)
+        [ {|quo"te|}; {|back\slash|}; "new\nline"; "with space"; "//a[@b]" ];
+      let text = Expose.render () in
+      (match Expose.check text with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "hostile names broke the exposition: %s" e);
+      (* the accounts actually made it out as labeled samples *)
+      let contains needle =
+        let n = String.length needle and len = String.length text in
+        let rec at i =
+          i + n <= len && (String.sub text i n = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool) "labeled attribution sample" true
+        (contains {|sub="with space"|});
+      Alcotest.(check bool) "quote sample escaped" true
+        (contains {|sub="quo\"te"|});
+      (* a raw newline inside a label would split the sample line *)
+      Alcotest.(check bool) "newline sample escaped" true
+        (contains {|sub="new\nline"|}))
 
 (* ---------------- json ---------------- *)
 
@@ -274,6 +335,20 @@ let test_eventlog_sink_and_json () =
 
 (* ---------------- report ---------------- *)
 
+(* A hand-built v4 attribution section: two accounts, top sorted
+   descending by match time, totals covering a third account that did
+   not make the cut. *)
+let sample_attribution () =
+  let entry key docs events match_s emissions faults =
+    { Report.ae_key = key; ae_docs = docs; ae_events = events;
+      ae_match_s = match_s; ae_structures = 2 * docs; ae_live_peak = 5;
+      ae_retained_peak_bytes = 128; ae_emissions = emissions;
+      ae_faults = faults }
+  in
+  { Report.at_subscriptions = 3; at_docs = 9; at_events = 48;
+    at_match_s = 0.8; at_structures = 18; at_emissions = 6; at_faults = 1;
+    at_top = [ entry "hot" 3 25 0.5 3 1; entry "warm" 3 15 0.25 2 0 ] }
+
 let sample_report () =
   fresh ();
   Tel.enable ();
@@ -307,6 +382,7 @@ let sample_report () =
       (Report.relevance_of ~bytes_seen:1000 ~retained_bytes:25
          ~retained_peak_bytes:80 ~elements_total:12 ~elements_stored:3)
     ~service_latency:[ Xaos_obs.Histogram.summary hist ]
+    ~attribution:(sample_attribution ())
     ()
 
 let test_report_round_trip () =
@@ -329,6 +405,9 @@ let test_report_round_trip () =
       Alcotest.(check bool) "gc" true (r.Report.gc = r'.Report.gc);
       Alcotest.(check bool) "relevance" true
         (r.Report.relevance = r'.Report.relevance);
+      (* v4 section survives exactly *)
+      Alcotest.(check bool) "attribution" true
+        (r.Report.attribution = r'.Report.attribution);
       (* v3 section survives exactly, +inf bucket bound included *)
       Alcotest.(check bool) "service_latency" true
         (r.Report.service_latency = r'.Report.service_latency);
@@ -413,6 +492,85 @@ let test_report_reads_v2 () =
       (r'.Report.service_latency = []);
     Alcotest.(check bool) "relevance still present" true
       (r'.Report.relevance <> None)
+
+(* A v3 report (everything but attribution) must still decode with the
+   v4 section absent — this is what `xaos report diff` relies on when
+   comparing a fresh v4 report against an older committed baseline. *)
+let test_report_reads_v3 () =
+  let r = sample_report () in
+  let strip_v4 = function
+    | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (function
+             | "schema_version", _ -> Some ("schema_version", Json.Int 3)
+             | "attribution", _ -> None
+             | kv -> Some kv)
+           fields)
+    | j -> j
+  in
+  let v3 = strip_v4 (Report.to_json r) in
+  (match Report.validate v3 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "v3 report rejected: %s" e);
+  match Report.of_json v3 with
+  | Error e -> Alcotest.fail e
+  | Ok r' ->
+    Alcotest.(check int) "version preserved" 3 r'.Report.version;
+    Alcotest.(check bool) "no attribution section" true
+      (r'.Report.attribution = None);
+    Alcotest.(check bool) "latency still present" true
+      (r'.Report.service_latency <> [])
+
+(* The attribution section's structural invariants: non-negative
+   quantities, top bounded by the registry size, top sorted descending
+   by match time. *)
+let test_attribution_validation () =
+  let r = sample_report () in
+  let map_attribution f = function
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "attribution", Json.Obj af -> ("attribution", Json.Obj (f af))
+             | kv -> kv)
+           fields)
+    | j -> j
+  in
+  let set key v fields =
+    List.map (function k, _ when k = key -> (k, v) | kv -> kv) fields
+  in
+  let reject what j =
+    match Report.validate j with
+    | Ok () -> Alcotest.failf "%s accepted" what
+    | Error _ -> ()
+  in
+  let base = Report.to_json r in
+  reject "negative total"
+    (map_attribution (set "faults" (Json.Int (-1))) base);
+  reject "top larger than the registry"
+    (map_attribution (set "subscriptions" (Json.Int 1)) base);
+  (* reverse the top list: ascending match_s *)
+  reject "unsorted top"
+    (map_attribution
+       (fun af ->
+         List.map
+           (function
+             | "top", Json.List l -> ("top", Json.List (List.rev l))
+             | kv -> kv)
+           af)
+       base);
+  (* a negative per-entry quantity *)
+  reject "negative entry"
+    (map_attribution
+       (fun af ->
+         List.map
+           (function
+             | "top", Json.List (Json.Obj e :: rest) ->
+               ("top", Json.List (Json.Obj (set "events" (Json.Int (-5)) e) :: rest))
+             | kv -> kv)
+           af)
+       base)
 
 let test_relevance_validation () =
   let r = sample_report () in
@@ -510,6 +668,13 @@ let suite =
     Alcotest.test_case "report validation" `Quick test_report_validate;
     Alcotest.test_case "report reads v1" `Quick test_report_reads_v1;
     Alcotest.test_case "report reads v2" `Quick test_report_reads_v2;
+    Alcotest.test_case "report reads v3" `Quick test_report_reads_v3;
+    Alcotest.test_case "attribution validation" `Quick
+      test_attribution_validation;
+    Alcotest.test_case "exposition sanitization" `Quick
+      test_expose_sanitization;
+    Alcotest.test_case "exposition survives hostile names" `Quick
+      test_expose_survives_hostile_names;
     Alcotest.test_case "eventlog ring drop" `Quick test_eventlog_ring_drop;
     Alcotest.test_case "eventlog level filter" `Quick
       test_eventlog_level_filter;
