@@ -87,7 +87,7 @@ let outcome_key (o : Query_set.outcome) =
 (* Run the whole document list through one dispatch mode; returns the
    per-document outcome keys (the differential oracle input), the total
    match count, the dispatch stats and the wall-clock time. *)
-let run_mode set dispatch docs_events =
+let run_mode ?compact ?gate set dispatch docs_events =
   let keys = ref [] in
   let matches = ref 0 in
   let dispatched = ref 0 in
@@ -96,7 +96,7 @@ let run_mode set dispatch docs_events =
     Util.time (fun () ->
         List.iter
           (fun events ->
-            let s = Query_set.start ~dispatch set in
+            let s = Query_set.start ~dispatch ?compact ?gate set in
             List.iter (Query_set.feed s) events;
             let outcomes = Query_set.finish s in
             let d, sup = Query_set.dispatch_stats s in
@@ -217,6 +217,93 @@ let run ~subscription_counts ~docs () =
     yfilter_ok xaos_ok;
   Util.note "the shared index routes events instead of sharing states, so";
   Util.note "it keeps the full language the automaton class excludes."
+
+(* Whole-query-set compaction (PR 10): duplicate-heavy subscription
+   sets, the shape large pub/sub deployments actually have — thousands
+   of subscribers over a few hundred distinct queries. The equivalence
+   classing folds duplicates into one engine with fan-out emission; the
+   shared-prefix gate additionally keeps classes dormant until the
+   document touches one of their prefixes. The PR 9 baseline is the
+   uncompacted shared index (one engine per subscription); naive is the
+   reference oracle for all modes. *)
+let compaction ~subs ~distinct ~docs () =
+  Util.print_header
+    "Whole-query-set compaction: duplicate-heavy subscription sets";
+  let doc_rng = Prng.create 501 in
+  let documents = List.init docs (fun _ -> document doc_rng) in
+  let docs_events =
+    List.map (fun d -> Xaos_xml.Sax.events_of_string d) documents
+  in
+  let pool_rng = Prng.create 47 in
+  let pool = Array.init distinct (fun _ -> subscription pool_rng) in
+  let pick_rng = Prng.create 53 in
+  let sub_list =
+    List.init subs (fun _ -> pool.(Prng.int pick_rng distinct))
+  in
+  let set =
+    match
+      Query_set.compile (List.mapi (fun i q -> (string_of_int i, q)) sub_list)
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let classes = Query_set.class_count set in
+  let ratio = float_of_int subs /. float_of_int (max 1 classes) in
+  Printf.printf
+    "%d documents; %d subscriptions drawn from %d distinct queries -> %d \
+     engine classes (%.1fx compaction)\n"
+    docs subs distinct classes ratio;
+  let naive_keys, naive_matches, _, _, naive_time =
+    run_mode ~compact:false set Query_set.Naive docs_events
+  in
+  (* PR 9 baseline: shared dispatch index, one engine per subscription *)
+  let unc_keys, unc_matches, _, _, unc_time =
+    run_mode ~compact:false set Query_set.Shared docs_events
+  in
+  let com_keys, com_matches, _, _, com_time =
+    run_mode ~compact:true set Query_set.Shared docs_events
+  in
+  let gate_keys, gate_matches, _, _, gate_time =
+    run_mode ~compact:true ~gate:true set Query_set.Shared docs_events
+  in
+  (* the differential oracle: byte-identical outcomes across every mode *)
+  if unc_keys <> naive_keys then
+    failwith "compaction bench: uncompacted shared diverged from naive";
+  if com_keys <> naive_keys then
+    failwith "compaction bench: compacted diverged from naive";
+  if gate_keys <> naive_keys then
+    failwith "compaction bench: gated diverged from naive";
+  if
+    naive_matches <> unc_matches
+    || unc_matches <> com_matches
+    || com_matches <> gate_matches
+  then failwith "compaction bench: modes disagree on match count";
+  let prefix = Printf.sprintf "compaction/%d" subs in
+  let compacted_speedup = unc_time /. com_time in
+  let gated_speedup = unc_time /. gate_time in
+  Util.record (prefix ^ "/classes") (float_of_int classes);
+  Util.record (prefix ^ "/ratio") ratio;
+  Util.record (prefix ^ "/naive_s") naive_time;
+  Util.record (prefix ^ "/uncompacted_s") unc_time;
+  Util.record (prefix ^ "/compacted_s") com_time;
+  Util.record (prefix ^ "/gated_s") gate_time;
+  Util.record (prefix ^ "/compacted_speedup") compacted_speedup;
+  Util.record (prefix ^ "/gated_speedup") gated_speedup;
+  Util.print_table
+    ~columns:[ "mode"; "engines"; "time s"; "vs PR9 shared"; "matches" ]
+    [ [ "naive"; string_of_int subs; Util.fsec naive_time; "-";
+        string_of_int naive_matches ];
+      [ "shared (PR9)"; string_of_int subs; Util.fsec unc_time; "1.0x";
+        string_of_int unc_matches ];
+      [ "shared+compact"; string_of_int classes; Util.fsec com_time;
+        Printf.sprintf "%.1fx" compacted_speedup; string_of_int com_matches ];
+      [ "compact+gate"; string_of_int classes; Util.fsec gate_time;
+        Printf.sprintf "%.1fx" gated_speedup; string_of_int gate_matches ] ];
+  Util.note
+    "one engine per equivalence class: %d subscriptions collapse to %d \
+     engines (%.1fx), %.1fx faster than the per-subscription shared index"
+    subs classes ratio compacted_speedup;
+  compacted_speedup
 
 (* Sustained service load (PR 6): the supervised broker — the evaluation
    core of `xaos serve` — digesting a long document stream against a

@@ -81,6 +81,23 @@ let run_pr5 report full =
       Filtering.run ~subscription_counts:[ 1000 ]
         ~docs:(if full then 12 else 8) ())
 
+(* The PR 10 compaction gate: duplicate-heavy subscription sets at two
+   scales, recording the compacted/uncompacted speedup and the class
+   counts for `xaos report diff` against the committed baseline. The
+   acceptance bar is >= 2x over the per-subscription shared index at
+   1000 subscriptions. *)
+let run_pr10 report full subs distinct docs =
+  reporting report (fun () ->
+      ignore (Filtering.compaction ~subs:100 ~distinct:25 ~docs ());
+      let speedup = Filtering.compaction ~subs ~distinct ~docs () in
+      ignore full;
+      if speedup < 2.0 then
+        failwith
+          (Printf.sprintf
+             "pr10 gate: compacted speedup %.2fx is below the 2x acceptance \
+              bar"
+             speedup))
+
 let run_all report full =
   reporting report (fun () ->
       ignore (Fig5.run ~scales:(scales_of ~full None) ~budget_mb:48 ());
@@ -153,6 +170,31 @@ let pr5_cmd =
              1000-subscriber filtering point, for `xaos report diff` \
              against the committed baselines")
     Term.(const run_pr5 $ pr5_report_t $ full_t)
+
+let pr10_report_t =
+  let doc = "Write results as a versioned JSON run report to $(docv)." in
+  Arg.(
+    value
+    & opt string "BENCH_PR10.json"
+    & info [ "report" ] ~docv:"FILE" ~doc)
+
+let pr10_cmd =
+  let subs_doc = "Subscriptions drawn (with duplicates) from the pool." in
+  let subs_t = Arg.(value & opt int 1000 & info [ "subs" ] ~doc:subs_doc) in
+  let distinct_doc = "Distinct queries in the subscription pool." in
+  let distinct_t =
+    Arg.(value & opt int 50 & info [ "distinct" ] ~doc:distinct_doc)
+  in
+  let docs_doc = "Documents in the stream." in
+  let docs_t = Arg.(value & opt int 8 & info [ "docs" ] ~doc:docs_doc) in
+  Cmd.v
+    (Cmd.info "pr10"
+       ~doc:"Query-set compaction gate: duplicate-heavy subscription sets \
+             through the naive loop, the per-subscription shared index, \
+             engine-class compaction, and compaction plus the prefix gate, \
+             with a differential oracle; fails below the 2x speedup bar")
+    Term.(const run_pr10 $ pr10_report_t $ full_t $ subs_t $ distinct_t
+          $ docs_t)
 
 let fig5_cmd =
   Cmd.v
@@ -244,4 +286,4 @@ let () =
        (Cmd.group ~default:default_t info
           [ fig5_cmd; table3_cmd; fig6_cmd; fig7_cmd; ablation_cmd;
             filtering_cmd; sustained_cmd; relevance_cmd; micro_cmd; pr5_cmd;
-            all_cmd ]))
+            pr10_cmd; all_cmd ]))

@@ -1685,6 +1685,11 @@ let render_top ~socket ~clear ~prev json =
     (s "service/events")
     (s "service/subscription_matches")
     (s "service/live_subscriptions");
+  if List.mem_assoc "service/queryset_classes" stats then
+    line "compaction: %.0f subs -> %.0f engine classes (%.2fx)"
+      (s "service/queryset_members")
+      (s "service/queryset_classes")
+      (s "service/compaction_ratio");
   line
     "queue %.0f   connections %.0f   shed %.0f   displaced %.0f   dropped \
      %.0f   crashes %.0f"

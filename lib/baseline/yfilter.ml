@@ -1,5 +1,5 @@
 module Ast = Xaos_xpath.Ast
-module Symbol = Xaos_xml.Symbol
+module Prefix_gate = Xaos_core.Prefix_gate
 
 type query_id = int
 
@@ -15,65 +15,15 @@ let supported_step (s : Ast.step) =
 let supported (p : Ast.path) =
   p.Ast.absolute && List.for_all supported_step p.Ast.steps
 
-(* The automaton is a prefix-sharing trie whose edges carry the step's
-   (axis, test); subscriptions accepting at a node are recorded there.
-   Each edge also precomputes its name test's interned symbol
-   ([Symbol.none] for the wildcard), so the per-event transition compares
-   integers — the automaton must be built and run within one symbol-table
-   generation, like every engine. *)
-type edge = {
-  e_axis : Ast.axis;
-  e_test : Ast.node_test;
-  e_sym : Symbol.t;  (* [Symbol.none] iff [e_test] is the wildcard *)
-  e_target : node;
-}
-
-and node = {
-  id : int;
-  mutable edges : edge list;
-  mutable accepts : query_id list;
-}
-
+(* The automaton is {!Xaos_core.Prefix_gate}'s prefix-sharing trie —
+   originally written here, generalized into core for whole-query-set
+   compaction — with query ids as payloads. *)
 type t = {
-  root : node;
+  gate : query_id Prefix_gate.t;
   queries : int;
-  states : int;
 }
 
 let build paths =
-  let counter = ref 0 in
-  let fresh () =
-    let node = { id = !counter; edges = []; accepts = [] } in
-    incr counter;
-    node
-  in
-  let root = fresh () in
-  let rec insert node qid = function
-    | [] ->
-      node.accepts <- qid :: node.accepts;
-      ()
-    | (step : Ast.step) :: rest ->
-      let axis = step.Ast.axis and test = step.Ast.test in
-      let child =
-        match
-          List.find_opt
-            (fun e -> e.e_axis = axis && e.e_test = test)
-            node.edges
-        with
-        | Some e -> e.e_target
-        | None ->
-          let child = fresh () in
-          let e_sym =
-            match test with
-            | Ast.Name n -> Symbol.intern n
-            | Ast.Wildcard -> Symbol.none
-          in
-          node.edges <-
-            node.edges @ [ { e_axis = axis; e_test = test; e_sym; e_target = child } ];
-          child
-      in
-      insert child qid rest
-  in
   let rec check qid = function
     | [] -> Ok ()
     | p :: rest ->
@@ -88,101 +38,35 @@ let build paths =
   match check 0 paths with
   | Error _ as e -> e
   | Ok () ->
-    List.iteri (fun qid p -> insert root qid p.Ast.steps) paths;
-    Ok { root; queries = List.length paths; states = !counter }
+    let gate = Prefix_gate.create () in
+    List.iteri
+      (fun qid (p : Ast.path) ->
+        Prefix_gate.add gate
+          (List.map (fun (s : Ast.step) -> (s.Ast.axis, s.Ast.test)) p.Ast.steps)
+          qid)
+      paths;
+    Ok { gate; queries = List.length paths }
 
 let query_count t = t.queries
 
-let state_count t = t.states
-
-(* Runtime: YFilter's stack of active-state sets. An activation is
-   {e fresh} when its node was reached by an edge at exactly this level —
-   its child edges fire on the element's children, its descendant edges on
-   any proper descendant. An activation {e carried} down from a shallower
-   level may only fire its descendant edges: the child edges belonged to
-   the level where it was fresh. A query accepts when its node is freshly
-   activated (the element completes the path). *)
-type activation = {
-  a_node : node;
-  a_carried : bool;
-}
+let state_count t = Prefix_gate.state_count t.gate
 
 type run = {
-  automaton : t;
-  mutable stack : activation list list;
+  walk : query_id Prefix_gate.run;
   counts : int array;
 }
 
-let has_descendant_edges node =
-  List.exists (fun e -> e.e_axis = Ast.Descendant) node.edges
-
 let start automaton =
   {
-    automaton;
-    stack = [ [ { a_node = automaton.root; a_carried = false } ] ];
+    walk = Prefix_gate.start automaton.gate;
     counts = Array.make automaton.queries 0;
   }
 
-let accept run node =
-  List.iter (fun qid -> run.counts.(qid) <- run.counts.(qid) + 1) node.accepts
-
-let step_set run current sym =
-  let next = ref [] in
-  let fresh = Hashtbl.create 8 in
-  let activate node =
-    if not (Hashtbl.mem fresh node.id) then begin
-      Hashtbl.add fresh node.id ();
-      accept run node;
-      next := { a_node = node; a_carried = false } :: !next
-    end
-  in
-  (* integer comparison only: the edge's name test was interned at build
-     time, and wildcard matchability is a precomputed per-symbol bit *)
-  let edge_matches e =
-    if Symbol.equal e.e_sym Symbol.none then Symbol.matches_wildcard sym
-    else Symbol.equal e.e_sym sym
-  in
-  let fire (activation : activation) =
-    List.iter
-      (fun e ->
-        match e.e_axis with
-        | Ast.Child ->
-          if (not activation.a_carried) && edge_matches e then
-            activate e.e_target
-        | Ast.Descendant -> if edge_matches e then activate e.e_target
-        | Ast.Parent | Ast.Ancestor | Ast.Self | Ast.Descendant_or_self
-        | Ast.Ancestor_or_self ->
-          assert false)
-      activation.a_node.edges
-  in
-  List.iter fire current;
-  (* nodes with pending descendant edges survive into the deeper set;
-     a fresh copy already in [next] subsumes the carried one *)
-  List.iter
-    (fun a ->
-      if has_descendant_edges a.a_node && not (Hashtbl.mem fresh a.a_node.id)
-      then begin
-        Hashtbl.add fresh a.a_node.id ();
-        next := { a_node = a.a_node; a_carried = true } :: !next
-      end)
-    current;
-  !next
-
 let feed run event =
-  match event with
-  | Xaos_xml.Event.Start_element { sym; _ } -> (
-    match run.stack with
-    | current :: _ ->
-      let next = step_set run current sym in
-      run.stack <- next :: run.stack
-    | [] -> invalid_arg "Yfilter.feed: unbalanced events")
-  | Xaos_xml.Event.End_element _ -> (
-    match run.stack with
-    | _ :: (_ :: _ as rest) -> run.stack <- rest
-    | [ _ ] | [] -> invalid_arg "Yfilter.feed: unbalanced events")
-  | Xaos_xml.Event.Text _ | Xaos_xml.Event.Comment _
-  | Xaos_xml.Event.Processing_instruction _ ->
-    ()
+  match Prefix_gate.feed run.walk event with
+  | [] -> ()
+  | accepted ->
+    List.iter (fun qid -> run.counts.(qid) <- run.counts.(qid) + 1) accepted
 
 let matches run =
   let result = ref [] in

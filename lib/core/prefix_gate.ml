@@ -1,0 +1,169 @@
+module Ast = Xaos_xpath.Ast
+module Symbol = Xaos_xml.Symbol
+
+(* Prefix-sharing trie over (axis, test) steps, generalized from the
+   YFilter baseline (lib/baseline/yfilter.ml) so any payload can ride on
+   an accept node: the baseline hangs query ids here, Query_set hangs
+   equivalence-class keys. Edges precompute their name test's interned
+   symbol ([Symbol.none] for the wildcard) so the per-event transition
+   compares integers — build and run within one symbol-table generation,
+   like every engine. *)
+type 'a edge = {
+  e_axis : Ast.axis;
+  e_test : Ast.node_test;
+  e_sym : Symbol.t;  (* [Symbol.none] iff [e_test] is the wildcard *)
+  e_target : 'a node;
+}
+
+and 'a node = {
+  id : int;
+  mutable edges : 'a edge list;
+  mutable accepts : 'a list;
+  mutable has_descendant : bool;
+}
+
+type 'a t = {
+  root : 'a node;
+  mutable states : int;
+  mutable payloads : int;
+  generation : int;
+}
+
+let create () =
+  {
+    root = { id = 0; edges = []; accepts = []; has_descendant = false };
+    states = 1;
+    payloads = 0;
+    generation = Symbol.generation ();
+  }
+
+let generation t = t.generation
+
+let state_count t = t.states
+
+let payload_count t = t.payloads
+
+let add t prefix payload =
+  if prefix = [] then invalid_arg "Prefix_gate.add: empty prefix";
+  let rec insert node = function
+    | [] -> node.accepts <- node.accepts @ [ payload ]
+    | (axis, test) :: rest ->
+      (match axis with
+       | Ast.Child | Ast.Descendant -> ()
+       | Ast.Parent | Ast.Ancestor | Ast.Self | Ast.Descendant_or_self
+       | Ast.Ancestor_or_self ->
+         invalid_arg "Prefix_gate.add: prefix steps must be child/descendant");
+      let child =
+        match
+          List.find_opt
+            (fun e -> e.e_axis = axis && e.e_test = test)
+            node.edges
+        with
+        | Some e -> e.e_target
+        | None ->
+          let child =
+            { id = t.states; edges = []; accepts = []; has_descendant = false }
+          in
+          t.states <- t.states + 1;
+          let e_sym =
+            match test with
+            | Ast.Name n -> Symbol.intern n
+            | Ast.Wildcard -> Symbol.none
+          in
+          node.edges <-
+            node.edges
+            @ [ { e_axis = axis; e_test = test; e_sym; e_target = child } ];
+          if axis = Ast.Descendant then node.has_descendant <- true;
+          child
+      in
+      insert child rest
+  in
+  insert t.root prefix;
+  t.payloads <- t.payloads + 1
+
+(* Runtime: YFilter's stack of active-state sets. An activation is
+   {e fresh} when its node was reached by an edge at exactly this level —
+   its child edges fire on the element's children, its descendant edges
+   on any proper descendant. An activation {e carried} down from a
+   shallower level may only fire its descendant edges. A payload is
+   reported when its node is freshly activated (the element completes
+   the prefix). *)
+type 'a activation = {
+  a_node : 'a node;
+  a_carried : bool;
+}
+
+type 'a run = {
+  automaton : 'a t;
+  mutable stack : 'a activation list list;
+}
+
+let start automaton =
+  {
+    automaton;
+    stack = [ [ { a_node = automaton.root; a_carried = false } ] ];
+  }
+
+let step_set current sym accepted =
+  let next = ref [] in
+  let fresh = Hashtbl.create 8 in
+  let activate node =
+    if not (Hashtbl.mem fresh node.id) then begin
+      Hashtbl.add fresh node.id ();
+      List.iter (fun p -> accepted := p :: !accepted) node.accepts;
+      next := { a_node = node; a_carried = false } :: !next
+    end
+  in
+  (* integer comparison only: the edge's name test was interned at build
+     time, and wildcard matchability is a precomputed per-symbol bit *)
+  let edge_matches e =
+    if Symbol.equal e.e_sym Symbol.none then Symbol.matches_wildcard sym
+    else Symbol.equal e.e_sym sym
+  in
+  let fire (activation : 'a activation) =
+    List.iter
+      (fun e ->
+        match e.e_axis with
+        | Ast.Child ->
+          if (not activation.a_carried) && edge_matches e then
+            activate e.e_target
+        | Ast.Descendant -> if edge_matches e then activate e.e_target
+        | Ast.Parent | Ast.Ancestor | Ast.Self | Ast.Descendant_or_self
+        | Ast.Ancestor_or_self ->
+          assert false)
+      activation.a_node.edges
+  in
+  List.iter fire current;
+  (* nodes with pending descendant edges survive into the deeper set;
+     a fresh copy already in [next] subsumes the carried one *)
+  List.iter
+    (fun a ->
+      if a.a_node.has_descendant && not (Hashtbl.mem fresh a.a_node.id)
+      then begin
+        Hashtbl.add fresh a.a_node.id ();
+        next := { a_node = a.a_node; a_carried = true } :: !next
+      end)
+    current;
+  !next
+
+let start_element run sym =
+  match run.stack with
+  | current :: _ ->
+    let accepted = ref [] in
+    let next = step_set current sym accepted in
+    run.stack <- next :: run.stack;
+    !accepted
+  | [] -> invalid_arg "Prefix_gate.start_element: unbalanced events"
+
+let end_element run =
+  match run.stack with
+  | _ :: (_ :: _ as rest) -> run.stack <- rest
+  | [ _ ] | [] -> invalid_arg "Prefix_gate.end_element: unbalanced events"
+
+let feed run event =
+  match event with
+  | Xaos_xml.Event.Start_element { sym; _ } -> start_element run sym
+  | Xaos_xml.Event.End_element _ -> end_element run; []
+  | Xaos_xml.Event.Text _ | Xaos_xml.Event.Comment _
+  | Xaos_xml.Event.Processing_instruction _ ->
+    []

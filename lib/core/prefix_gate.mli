@@ -1,0 +1,59 @@
+(** Shared-prefix automaton front-end: a payload-polymorphic
+    generalization of the YFilter baseline's prefix-sharing trie
+    (see {!Xaos_baseline.Yfilter}, Diao et al., which now delegates its
+    matching to this module).
+
+    Prefixes are linear runs of [child]/[descendant] steps with name or
+    wildcard tests, evaluated from the document root. All registered
+    prefixes share one trie; a document is walked with a stack of active
+    state sets, and each element reports the payloads whose prefix it
+    completes. Shared prefixes cost one state-set entry no matter how
+    many payloads hang off them — the YFilter scalability property.
+
+    {!Query_set} uses this as the dispatch front-end for whole-query-set
+    compaction: payloads are equivalence-class keys (see
+    {!Query.class_key}), class engines stay dormant until the gate
+    accepts one of their {!Query.gate_prefixes}, and are then attached
+    mid-document through the open-chain replay machinery. *)
+
+type 'a t
+(** The shared trie. Grows by {!add}; never shrinks. *)
+
+val create : unit -> 'a t
+
+val generation : 'a t -> int
+(** The symbol-table generation the trie was built in. Edge symbols are
+    interned at {!add} time, so the trie is only valid while
+    [Xaos_xml.Symbol.generation () = generation t] — rebuild after a
+    reset. *)
+
+val add : 'a t -> (Xaos_xpath.Ast.axis * Xaos_xpath.Ast.node_test) list -> 'a -> unit
+(** Register a prefix; the payload is reported by every run whenever an
+    element completes the prefix.
+    @raise Invalid_argument on an empty prefix or a step whose axis is
+    not [child]/[descendant]. *)
+
+val state_count : 'a t -> int
+(** Number of trie nodes — with shared prefixes, typically far fewer
+    than the total number of steps. *)
+
+val payload_count : 'a t -> int
+(** Number of {!add}ed prefixes. *)
+
+(** {1 Running} *)
+
+type 'a run
+(** A walk over one document. Cheap to start; one per document. *)
+
+val start : 'a t -> 'a run
+
+val start_element : 'a run -> Xaos_xml.Symbol.t -> 'a list
+(** Advance on an element-start and return the payloads newly accepted
+    at this element (a payload is reported once per accepting element,
+    in {!add} order per trie node). Almost always []. *)
+
+val end_element : 'a run -> unit
+
+val feed : 'a run -> Xaos_xml.Event.t -> 'a list
+(** Event-driven convenience over {!start_element}/{!end_element}; text,
+    comment and PI events return []. *)

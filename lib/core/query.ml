@@ -15,21 +15,121 @@ type t = {
   path : Ast.path;
   config : Engine.config;
   dags : Xaos_xpath.Xdag.t list;
+  class_key : string;
+  gate_prefixes : (Ast.axis * Ast.node_test) list list option;
 }
+
+(* --- Equivalence-class key ---------------------------------------------- *)
+
+(* Two queries are evaluation-equivalent iff they compile to the same
+   multiset of x-dags under the same engine configuration: the engine's
+   behaviour (and hence results, emission timing, budget consumption) is
+   a pure function of (config, dags). Disjunct keys are sorted so
+   [a or b] and [b or a] share a class. *)
+let config_fingerprint (c : Engine.config) =
+  Printf.sprintf "b=%b;r=%b;e=%s" c.Engine.boolean_subtrees
+    c.Engine.relevance_filter
+    (match c.Engine.emission with
+     | Engine.Deferred -> "d"
+     | Engine.Eager -> "g"
+     | Engine.Earliest -> "e")
+
+let class_key_of ~config dags =
+  let keys = List.sort compare (List.map Xaos_xpath.Xdag.key dags) in
+  Digest.to_hex
+    (Digest.string (String.concat "," (config_fingerprint config :: keys)))
+
+(* --- Safe shared-prefix extraction -------------------------------------- *)
+
+(* The gate front-end (see {!Query_set}) keeps a class engine dormant
+   until a shared-prefix automaton accepts one of its disjuncts'
+   prefixes, then attaches the engine mid-document via the open-chain
+   replay used for runtime registration. Replay re-delivers the start
+   events of the currently-open ancestor chain (with attributes), and
+   nothing else. A prefix is only safe if every match the full query
+   could produce is still produced by an engine attached at the first
+   prefix acceptance.
+
+   The maximal candidate prefix is the leading run of predicate-free
+   child/descendant steps. The remainder is checked by zone: walking the
+   remaining steps from the prefix node, each step's matches live either
+   in the subtree of the prefix match ([`Subtree]) or on/above it
+   ([`Up], reached through a backward axis). Subtree elements open after
+   acceptance, so every event that concerns them is seen live. Up-zone
+   elements are on the open ancestor chain at acceptance, so their start
+   events (and attributes) are covered by replay — but a forward axis
+   *out of* the up zone may land on elements that closed before
+   acceptance (e.g. [//c/ancestor::d//e] with [<e>] closing before [<c>]
+   opens), and a text test on an up-zone element needs string value
+   accumulated before acceptance; both make the prefix unsafe. Absolute
+   predicate paths restart from the root (up zone) and are likewise
+   unsafe. *)
+let rec steps_safe zone (steps : Ast.step list) =
+  match steps with
+  | [] -> true
+  | step :: rest ->
+    let zone' =
+      match zone, step.Ast.axis with
+      | `Subtree, (Ast.Child | Ast.Descendant | Ast.Self
+                  | Ast.Descendant_or_self) -> Some `Subtree
+      | `Subtree, (Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self) ->
+        Some `Up
+      | `Up, (Ast.Self | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self) ->
+        Some `Up
+      | `Up, (Ast.Child | Ast.Descendant | Ast.Descendant_or_self) -> None
+    in
+    (match zone' with
+     | None -> false
+     | Some zone' ->
+       List.for_all (pred_safe zone') step.Ast.predicates
+       && steps_safe zone' rest)
+
+and pred_safe zone = function
+  | Ast.Attr _ -> true
+  | Ast.Text _ -> zone = `Subtree
+  | Ast.Path p -> (not p.Ast.absolute) && steps_safe zone p.Ast.steps
+  | Ast.And (a, b) -> pred_safe zone a && pred_safe zone b
+  | Ast.Or (a, b) -> pred_safe zone a && pred_safe zone b
+
+let gate_prefix_of_path (p : Ast.path) =
+  let rec take acc = function
+    | ({ Ast.axis = Ast.Child | Ast.Descendant; predicates = []; _ } as s)
+      :: rest ->
+      take ((s.Ast.axis, s.Ast.test) :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let prefix, rest = take [] p.Ast.steps in
+  if prefix = [] then None
+  else if steps_safe `Subtree rest then Some prefix
+  else None
 
 let compile_path ?(config = Engine.default_config) ?(or_limit = 64) path =
   Tel.time span_compile (fun () ->
       match Xaos_xpath.Dnf.expand_bounded ~limit:or_limit path with
       | Error msg -> Error msg
       | Ok disjuncts ->
-        let dags =
+        let compiled =
           List.filter_map
             (fun disjunct ->
               let xtree = Xaos_xpath.Xtree.of_path disjunct in
               match Xaos_xpath.Xdag.of_xtree xtree with
-              | dag -> Some dag
+              | dag -> Some (disjunct, Xaos_xpath.Xdag.intern dag)
               | exception Xaos_xpath.Xdag.Unsatisfiable -> None)
             disjuncts
+        in
+        let dags = List.map snd compiled in
+        (* A class is gateable only if every satisfiable disjunct has a
+           safe nonempty prefix; the gate attaches the whole class at
+           the first acceptance of any of them. With no satisfiable
+           disjuncts the query matches nothing: [Some []] keeps it
+           dormant forever. *)
+        let gate_prefixes =
+          let prefixes =
+            List.map (fun (d, _) -> gate_prefix_of_path d) compiled
+          in
+          if List.for_all Option.is_some prefixes then
+            Some (List.filter_map Fun.id prefixes)
+          else None
         in
         (* Warm the symbol table with every name test so runs start with
            the names already interned. Engines re-resolve their label
@@ -48,7 +148,10 @@ let compile_path ?(config = Engine.default_config) ?(or_limit = 64) path =
               dag.xtree.nodes)
           dags;
         Tel.incr counter_compiled;
-        Ok { path; config; dags })
+        Ok
+          { path; config; dags;
+            class_key = class_key_of ~config dags;
+            gate_prefixes })
 
 let compile ?config ?or_limit input =
   match Xaos_xpath.Parser.parse_result input with
@@ -65,6 +168,10 @@ let path q = q.path
 let emission q = q.config.Engine.emission
 
 let disjuncts q = q.dags
+
+let class_key q = q.class_key
+
+let gate_prefixes q = q.gate_prefixes
 
 let uses_backward_axes q = Ast.uses_backward_axis q.path
 

@@ -39,6 +39,29 @@ val emission : t -> Engine.emission
 val disjuncts : t -> Xaos_xpath.Xdag.t list
 (** The compiled representations (satisfiable disjuncts only). *)
 
+val class_key : t -> string
+(** Canonical equivalence-class key: a digest of the engine
+    configuration and the sorted {!Xaos_xpath.Xdag.key}s of the
+    satisfiable disjuncts. Two queries with the same key compile to
+    structurally identical engines and are evaluation-equivalent —
+    {!Query_set} runs one engine per distinct key and fans results out
+    to every subscriber in the class. Stable across documents and
+    {!Xaos_xml.Symbol.reset}. *)
+
+val gate_prefixes :
+  t -> (Xaos_xpath.Ast.axis * Xaos_xpath.Ast.node_test) list list option
+(** Safe shared-prefix of each satisfiable disjunct, when the whole
+    query is gateable: [Some prefixes] means the class engine may stay
+    dormant until a shared-prefix automaton (see {!Prefix_gate}) accepts
+    one of the prefixes, then attach mid-document via open-chain replay
+    without losing any match. Each prefix is the query's leading run of
+    predicate-free child/descendant steps; the analysis rejects (returns
+    [None] for) remainders whose matches could require events from
+    before the attach point — a forward axis out of the ancestor zone, a
+    text test on an ancestor-zone element, or an absolute predicate
+    path. [Some []] (no satisfiable disjuncts) means the query matches
+    nothing and never needs an engine. *)
+
 val uses_backward_axes : t -> bool
 
 (** {1 Running} *)

@@ -21,11 +21,13 @@ let enabled () = !on
 
 type counter = { c_name : string; c_help : string; mutable c_value : int }
 
+(* Float-backed so ratio gauges (e.g. queryset compaction) expose real
+   values; the int API truncates on read. *)
 type gauge = {
   g_name : string;
   g_help : string;
-  mutable g_value : int;
-  mutable g_max : int;
+  mutable g_value : float;
+  mutable g_max : float;
 }
 
 let bucket_count = 22 (* upper bounds 2^0 .. 2^20, then +inf *)
@@ -98,18 +100,22 @@ let counter_value c = c.c_value
 
 let gauge ?(help = "") name =
   find_or_register name
-    (fun () -> Gauge { g_name = name; g_help = help; g_value = 0; g_max = 0 })
+    (fun () -> Gauge { g_name = name; g_help = help; g_value = 0.; g_max = 0. })
     (function Gauge g -> Some g | _ -> None)
 
-let set_gauge g v =
+let set_gauge_float g v =
   if !on then begin
     g.g_value <- v;
     if v > g.g_max then g.g_max <- v
   end
 
-let gauge_value g = g.g_value
+let set_gauge g v = set_gauge_float g (float_of_int v)
 
-let gauge_max g = g.g_max
+let gauge_value g = int_of_float g.g_value
+
+let gauge_max g = int_of_float g.g_max
+
+let gauge_value_float g = g.g_value
 
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                          *)
@@ -240,8 +246,8 @@ let reset () =
     (function
       | Counter c -> c.c_value <- 0
       | Gauge g ->
-        g.g_value <- 0;
-        g.g_max <- 0
+        g.g_value <- 0.;
+        g.g_max <- 0.
       | Histogram h ->
         h.hc_count <- 0;
         h.hc_sum <- 0.;
@@ -268,8 +274,8 @@ let counters () =
 let gauges () =
   List.filter_map
     (function
-      | Gauge g when g.g_value <> 0 || g.g_max <> 0 ->
-        Some (g.g_name, g.g_value)
+      | Gauge g when g.g_value <> 0. || g.g_max <> 0. ->
+        Some (g.g_name, int_of_float g.g_value)
       | _ -> None)
     (in_order ())
 
@@ -338,8 +344,8 @@ let expose buf =
       | Gauge g ->
         let n = prom_name g.g_name in
         preamble buf n g.g_help "gauge";
-        sample buf n (string_of_int g.g_value);
-        sample buf (n ^ "_max") (string_of_int g.g_max)
+        sample buf n (fnum g.g_value);
+        sample buf (n ^ "_max") (fnum g.g_max)
       | Histogram h ->
         let n = prom_name h.h_name in
         preamble buf n h.h_help "histogram";

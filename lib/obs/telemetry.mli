@@ -63,9 +63,17 @@ val gauge : ?help:string -> string -> gauge
 val set_gauge : gauge -> int -> unit
 (** Also tracks the high-water mark, exposed as [<name>_max]. *)
 
+val set_gauge_float : gauge -> float -> unit
+(** Gauges are float-backed (ratio gauges need it); {!set_gauge} is
+    [set_gauge_float] of the int. Exposition prints integral values
+    without a decimal point. *)
+
 val gauge_value : gauge -> int
+(** Truncates; see {!gauge_value_float} for the exact value. *)
 
 val gauge_max : gauge -> int
+
+val gauge_value_float : gauge -> float
 
 (** {1 Histograms} *)
 

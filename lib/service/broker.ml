@@ -12,6 +12,10 @@ type config = {
   quarantine : Quarantine.config;
   reset_symbols_every : int;
   earliest : bool;
+  prefix_gate : bool;
+      (** route gateable equivalence classes through the shared-prefix
+          trie so their engines stay dormant until a document touches
+          one of their prefixes (see {!Xaos_core.Query_set.start}) *)
   slow_ms : float option;
       (** a document whose total pipeline time reaches this many
           milliseconds lands in the slow-document log with its
@@ -22,7 +26,8 @@ type config = {
 let default_config =
   { budget = Some 50_000; deadline_s = Some 2.0;
     limits = Sax.default_limits; quarantine = Quarantine.default_config;
-    reset_symbols_every = 256; earliest = false; slow_ms = None }
+    reset_symbols_every = 256; earliest = false; prefix_gate = true;
+    slow_ms = None }
 
 type status =
   | Live
@@ -71,6 +76,8 @@ type t = {
   mutable n_emitted : int;
   mutable n_match_s : float;
   mutable n_slow : int;
+  mutable n_classes : int;  (* engine classes in the last session *)
+  mutable n_members : int;  (* subscriptions fanning into them *)
   mutable slow_log : slow_doc list;  (* newest first, <= slow_log_cap *)
 }
 
@@ -113,7 +120,7 @@ let create ?(config = default_config) () =
     tick = 0; n_events = 0; n_faults = 0; n_matches = 0; n_deadline = 0;
     n_limit = 0; n_aborted = 0; n_failed = 0; n_outcomes = 0;
     n_delivered = 0; n_emitted = 0; n_match_s = 0.; n_slow = 0;
-    slow_log = [] }
+    n_classes = 0; n_members = 0; slow_log = [] }
 
 let with_lock t f =
   Mutex.lock t.mu;
@@ -256,7 +263,13 @@ let publish ?on_item ?flight t ~doc_id doc =
     && t.tick mod t.config.reset_symbols_every = 0
   then Xaos_xml.Symbol.reset ();
   let readmitted = readmit_due t in
-  let session = Query_set.start ?budget:t.config.budget ?on_item t.set in
+  let session =
+    Query_set.start ?budget:t.config.budget ~gate:t.config.prefix_gate
+      ?on_item t.set
+  in
+  let classes, members, _ = Query_set.session_stats session in
+  t.n_classes <- classes;
+  t.n_members <- members;
   let faults = ref 0 in
   let deadline_hit = ref false in
   let limit_hit = ref None in
@@ -502,7 +515,11 @@ let stats t =
     ("service/deliveries", f t.n_delivered);
     ("service/emitted_items", f t.n_emitted);
     ("service/match_seconds", t.n_match_s);
-    ("service/slow_docs", f t.n_slow) ]
+    ("service/slow_docs", f t.n_slow);
+    ("service/queryset_classes", f t.n_classes);
+    ("service/queryset_members", f t.n_members);
+    ("service/compaction_ratio",
+     if t.n_classes = 0 then 1. else f t.n_members /. f t.n_classes) ]
   @ Histogram.stats ()
 
 let quarantined t = with_lock t @@ fun () -> Quarantine.quarantined t.quarantine

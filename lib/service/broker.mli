@@ -40,6 +40,13 @@ type config = {
           mode ({!Xaos_core.Engine.Earliest}), regardless of what the
           individual {!subscribe} calls asked for — the [serve
           --earliest] switch *)
+  prefix_gate : bool;
+      (** route gateable equivalence classes through the shared-prefix
+          trie ({!Xaos_core.Prefix_gate}): their engines stay dormant —
+          zero cost — until the document touches one of their forward
+          prefixes, then attach mid-document via open-chain replay.
+          Results are unchanged (the prefix analysis is conservative);
+          on by default *)
   slow_ms : float option;
       (** slow-document threshold in milliseconds: a document whose
           total pipeline time reaches it lands in {!slow_docs} and the
@@ -51,7 +58,7 @@ type config = {
 val default_config : config
 (** budget 50k structures, deadline 2 s, {!Xaos_xml.Sax.default_limits},
     default quarantine, symbol reset every 256 documents, deferred
-    emission, no slow-document log. *)
+    emission, prefix gate on, no slow-document log. *)
 
 type t
 

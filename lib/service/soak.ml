@@ -370,7 +370,7 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
           limits = { Sax.default_limits with max_text_bytes = 16384 };
           quarantine =
             { Quarantine.threshold = 3; base_penalty = 12; max_penalty = 192 };
-          reset_symbols_every = 128; earliest = false;
+          reset_symbols_every = 128; earliest = false; prefix_gate = true;
           slow_ms = cfg.slow_ms } }
   in
   let server = Server.start server_cfg in

@@ -14,6 +14,7 @@ type t = {
   tree_order : int array;
   by_tag : (string, int list) Hashtbl.t;
   wildcard_nodes : int list;
+  mutable key_cache : string option;
 }
 
 let kind_of_axis = function
@@ -98,7 +99,92 @@ let of_xtree (xtree : Xtree.t) =
     | Xtree.Test Ast.Wildcard -> wildcard_nodes := i :: !wildcard_nodes
   done;
   { xtree; parents; children; topo; tree_order; by_tag;
-    wildcard_nodes = !wildcard_nodes }
+    wildcard_nodes = !wildcard_nodes; key_cache = None }
+
+(* --- Structural fingerprinting and hash-consing ------------------------- *)
+
+(* The x-dag is a pure function of its x-tree (edge reversal and the
+   orphan rule are deterministic), and the x-tree is built from the AST
+   with dense ids assigned parents-before-children in a deterministic
+   order. Serializing the x-nodes in id order therefore yields a
+   canonical string: two x-dags are structurally identical iff their
+   serializations are equal. Symbols are deliberately NOT part of the
+   fingerprint — the symbol table is reset between documents, and class
+   keys must survive resets. *)
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  let str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let axis_char = function
+    | Ast.Child -> 'c'
+    | Ast.Descendant -> 'd'
+    | Ast.Parent -> 'p'
+    | Ast.Ancestor -> 'a'
+    | Ast.Self -> 's'
+    | Ast.Descendant_or_self -> 'D'
+    | Ast.Ancestor_or_self -> 'A'
+  in
+  Array.iter
+    (fun (node : Xtree.xnode) ->
+      Buffer.add_char buf '|';
+      (match node.label with
+       | Xtree.Root -> Buffer.add_char buf 'R'
+       | Xtree.Test Ast.Wildcard -> Buffer.add_char buf 'W'
+       | Xtree.Test (Ast.Name tag) -> Buffer.add_char buf 'N'; str tag);
+      (match node.parent_edge with
+       | None -> Buffer.add_char buf '^'
+       | Some (axis, parent) ->
+         Buffer.add_char buf (axis_char axis);
+         Buffer.add_string buf (string_of_int parent.id));
+      if node.output then Buffer.add_char buf '$';
+      List.iter
+        (fun (a : Ast.attr_test) ->
+          Buffer.add_char buf '@';
+          str a.attr_key;
+          match a.attr_value with
+          | None -> Buffer.add_char buf '?'
+          | Some v -> Buffer.add_char buf '='; str v)
+        node.attrs;
+      List.iter
+        (fun (tt : Ast.text_test) ->
+          Buffer.add_char buf
+            (match tt.text_op with
+             | Ast.Text_equals -> 'T'
+             | Ast.Text_contains -> 't');
+          str tt.text_value)
+        node.texts)
+    t.xtree.nodes;
+  Buffer.contents buf
+
+let key t =
+  match t.key_cache with
+  | Some k -> k
+  | None ->
+    let k = Digest.to_hex (Digest.string (fingerprint t)) in
+    t.key_cache <- Some k;
+    k
+
+(* Hash-cons table: one canonical x-dag per structural key, so duplicate
+   subscriptions share compiled artifacts. Bounded so an adversarial
+   churn of distinct queries cannot grow it without limit — beyond the
+   cap, dags are simply not shared (keys remain valid either way). *)
+let intern_cap = 4096
+let intern_table : (string, t) Hashtbl.t = Hashtbl.create 64
+let intern_hits = ref 0
+
+let intern t =
+  let k = key t in
+  match Hashtbl.find_opt intern_table k with
+  | Some canonical -> incr intern_hits; canonical
+  | None ->
+    if Hashtbl.length intern_table < intern_cap then
+      Hashtbl.add intern_table k t;
+    t
+
+let intern_stats () = (Hashtbl.length intern_table, !intern_hits)
 
 let tag_of t v =
   match t.xtree.nodes.(v).label with

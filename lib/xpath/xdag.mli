@@ -43,6 +43,7 @@ type t = {
   by_tag : (string, int list) Hashtbl.t;
       (** tag -> x-node ids whose label is exactly that name *)
   wildcard_nodes : int list;  (** x-node ids with a wildcard label *)
+  mutable key_cache : string option;  (** memoized {!key}; do not touch *)
 }
 
 val kind_of_axis : Ast.axis -> kind
@@ -51,6 +52,28 @@ val kind_of_axis : Ast.axis -> kind
 
 val of_xtree : Xtree.t -> t
 (** @raise Unsatisfiable — see above. *)
+
+val fingerprint : t -> string
+(** Canonical structural serialization of the underlying x-tree (x-nodes
+    in id order: label, incoming axis and parent id, output flag,
+    attribute and text tests). The x-tree builder assigns dense ids
+    deterministically, so two x-dags are structurally identical iff
+    their fingerprints are equal. Interned symbols are {e not} part of
+    the fingerprint: it survives {!Xaos_xml.Symbol.reset}. *)
+
+val key : t -> string
+(** Memoized digest of {!fingerprint} — the canonical equivalence-class
+    key of a compiled disjunct, stable across documents and symbol-table
+    generations. *)
+
+val intern : t -> t
+(** Hash-cons: return the canonical x-dag for this structure, so
+    duplicate subscriptions share one compiled artifact. The table is
+    bounded; past the cap the argument is returned unshared (keys stay
+    valid regardless). *)
+
+val intern_stats : unit -> int * int
+(** [(table_size, hits)] of the hash-cons table, for observability. *)
 
 val tag_of : t -> int -> string option
 (** The element name an x-node looks for: [Some tag] for a named node

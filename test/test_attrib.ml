@@ -167,7 +167,7 @@ let chaos_config =
   { Broker.budget = Some 40; deadline_s = None;
     limits = { Sax.default_limits with max_text_bytes = 4096 };
     quarantine = { Quarantine.threshold = 2; base_penalty = 3; max_penalty = 24 };
-    reset_symbols_every = 4; earliest = false; slow_ms = Some 0. }
+    reset_symbols_every = 4; earliest = false; prefix_gate = true; slow_ms = Some 0. }
 
 let heavy_doc =
   "<r>" ^ String.concat "" (List.init 12 (fun i ->
@@ -234,6 +234,85 @@ let test_conservation_under_chaos () =
   Alcotest.(check bool) "match seconds agree" true
     (Float.abs (want -. t.Attrib.t_match_s) <= tol);
   Alcotest.(check bool) "faults were charged" true (t.Attrib.t_faults > 0)
+
+(* The PR 10 variant: a duplicate-heavy subscription set, so the broker
+   runs shared class engines with fan-out emission and splits each
+   class's match seconds across its sharers. Conservation must still
+   hold exactly: the split shares re-sum to the pipeline totals, and
+   per-subscription charges (events, emissions, faults) stay whole. *)
+let test_conservation_shared_engines () =
+  fresh ();
+  Attrib.enable ();
+  Eventlog.enable ();
+  let b = Broker.create ~config:chaos_config () in
+  List.iter
+    (fun (name, query) ->
+      match Broker.subscribe b ~name ~query with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "subscribe %s: %s" name e)
+    [ ("c1", "//b/c"); ("c2", "//b/c"); ("c3", "//b/c"); ("a1", "//a");
+      ("a2", "//a"); ("none", "//zzz"); ("poison1", "//*[*]//*");
+      ("poison2", "//*[*]//*") ]; (* poison duplicated: shared abort *)
+  for i = 1 to 6 do
+    ignore (Broker.publish b ~doc_id:(Printf.sprintf "h%d" i) heavy_doc)
+  done;
+  ignore (Broker.publish b ~doc_id:"bad" "<r><a><<<>junk</r>");
+  (* churn one member of a shared class: the siblings keep their engine *)
+  Alcotest.(check bool) "unsubscribe" true (Broker.unsubscribe b ~name:"c2");
+  for i = 7 to 10 do
+    ignore (Broker.publish b ~doc_id:(Printf.sprintf "h%d" i) heavy_doc)
+  done;
+  let stats = Broker.stats b in
+  let stat name =
+    match List.assoc_opt name stats with
+    | Some v -> v
+    | None -> Alcotest.failf "missing broker stat %s" name
+  in
+  (* compaction was actually in effect *)
+  Alcotest.(check bool) "fewer classes than members" true
+    (stat "service/queryset_classes" < stat "service/queryset_members");
+  Alcotest.(check bool) "ratio above 1" true
+    (stat "service/compaction_ratio" > 1.);
+  Alcotest.(check bool) "poison aborted" true
+    (stat "service/runs_aborted" >= 1.);
+  Alcotest.(check bool) "parser faulted" true
+    (stat "service/sax_faults" >= 1.);
+  let t = Attrib.totals () in
+  Alcotest.(check int) "accounts cover every subscription" 8
+    t.Attrib.t_subscriptions;
+  Alcotest.(check (float 0.)) "docs vs run outcomes"
+    (stat "service/run_outcomes")
+    (float_of_int t.Attrib.t_docs);
+  Alcotest.(check (float 0.)) "events vs deliveries"
+    (stat "service/deliveries")
+    (float_of_int t.Attrib.t_events);
+  Alcotest.(check (float 0.)) "emissions vs emitted items"
+    (stat "service/emitted_items")
+    (float_of_int t.Attrib.t_emissions);
+  Alcotest.(check (float 0.)) "faults vs aborted+failed"
+    (stat "service/runs_aborted" +. stat "service/runs_failed")
+    (float_of_int t.Attrib.t_faults);
+  (* the load-bearing check: per-member split shares of shared engine
+     time re-sum to the broker's independent pipeline total *)
+  let want = stat "service/match_seconds" in
+  let tol = 1e-6 *. Float.max 1. want in
+  Alcotest.(check bool) "split match seconds re-sum exactly" true
+    (Float.abs (want -. t.Attrib.t_match_s) <= tol);
+  (* duplicates of the same query must be charged identical event and
+     emission counts: they fan out of one engine *)
+  let acct key =
+    match
+      List.find_opt (fun (s : Attrib.snapshot) -> s.Attrib.sn_key = key)
+        (Attrib.accounts ())
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "missing account %s" key
+  in
+  let c1 = acct "c1" and c3 = acct "c3" in
+  Alcotest.(check int) "duplicate events equal" c1.Attrib.sn_events
+    c3.Attrib.sn_events;
+  Alcotest.(check int) "duplicate emissions equal" c1.Attrib.sn_emissions
+    c3.Attrib.sn_emissions
 
 (* ------------------------------------------------------------------ *)
 (* Slow-document log                                                   *)
@@ -514,6 +593,8 @@ let suite =
       test_snapshot_json_fields;
     Alcotest.test_case "conservation under chaos" `Quick
       test_conservation_under_chaos;
+    Alcotest.test_case "conservation under shared engines" `Quick
+      test_conservation_shared_engines;
     Alcotest.test_case "slow log triggering" `Quick test_slow_log_triggering;
     Alcotest.test_case "slow log ring bounded" `Quick
       test_slow_log_ring_is_bounded;

@@ -130,7 +130,7 @@ let events_of s = Sax.events_of_string s
    must be exactly its outcome's item list (same ids, same order, no
    duplicates, nothing missing) — including aborted/partial runs, whose
    certain items are flushed through the callback at the cut. *)
-let check_earliest ?budget ~partial msg pairs events reference =
+let check_earliest ?budget ?gate ~partial msg pairs events reference =
   let earliest_set =
     match
       Query_set.compile
@@ -145,7 +145,7 @@ let check_earliest ?budget ~partial msg pairs events reference =
     let sofar = Option.value ~default:[] (Hashtbl.find_opt streamed name) in
     Hashtbl.replace streamed name (i.Item.id :: sofar)
   in
-  let s = Query_set.start ?budget ~on_item earliest_set in
+  let s = Query_set.start ?budget ?gate ~on_item earliest_set in
   List.iter (Query_set.feed s) events;
   let outcomes =
     if partial then Query_set.finish_partial s else Query_set.finish s
@@ -566,6 +566,195 @@ let test_randomized_differential () =
     | exception Sax.Limit_exceeded _ -> ()
   done
 
+(* ------------------------------------------------------------------ *)
+(* Query-set compaction (PR 10)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_class_key_equivalence () =
+  let key s = Query.class_key (Query.compile_exn s) in
+  Alcotest.(check string) "same text same class" (key "//a/b") (key "//a/b");
+  Alcotest.(check string)
+    "disjunct order irrelevant"
+    (key "//a[b or c]")
+    (key "//a[c or b]");
+  Alcotest.(check bool) "different query" true (key "//a" <> key "//b");
+  (* the key is structural, not symbol-id based: it must survive an
+     interning reset (the broker resets every N documents) *)
+  let before = key "//person/name" in
+  Xaos_xml.Symbol.reset ();
+  ignore (Xaos_xml.Symbol.intern "shift1");
+  ignore (Xaos_xml.Symbol.intern "shift2");
+  Alcotest.(check string) "survives Symbol.reset" before (key "//person/name");
+  (* engine configuration is part of the class: an earliest-mode copy
+     of a query must not share an engine with a deferred one *)
+  let earliest =
+    match
+      Query.compile
+        ~config:{ Engine.default_config with emission = Engine.Earliest }
+        "//a/b"
+    with
+    | Ok q -> Query.class_key q
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  Alcotest.(check bool) "emission mode splits classes" true
+    (earliest <> key "//a/b")
+
+let test_gate_prefix_analysis () =
+  let prefixes s = Query.gate_prefixes (Query.compile_exn s) in
+  let gateable s = prefixes s <> None in
+  (* predicate-free forward prefixes are gateable *)
+  Alcotest.(check bool) "//a/b" true (gateable "//a/b");
+  Alcotest.(check bool) "/site//item" true (gateable "/site//item");
+  (match prefixes "//a/b" with
+  | Some [ p ] -> Alcotest.(check int) "full path is the prefix" 2 (List.length p)
+  | _ -> Alcotest.fail "//a/b: one disjunct prefix expected");
+  (* a predicate on the first step empties the prefix *)
+  Alcotest.(check bool) "//a[b] not gateable" false (gateable "//a[b]");
+  (* subtree-zone remainders are safe behind the prefix *)
+  Alcotest.(check bool) "//a/b[text()='x']" true (gateable "//a/b[text()='x']");
+  Alcotest.(check bool) "//a/b[@id]" true (gateable "//a/b[@id]");
+  (* a pure backward remainder stays on the open ancestor chain, which
+     replay re-delivers *)
+  Alcotest.(check bool) "//a/ancestor::b" true (gateable "//a/ancestor::b");
+  (* ...but a forward axis OUT of the up zone may target elements that
+     closed before the prefix fired: unsafe, must stay ungated *)
+  Alcotest.(check bool)
+    "//c/ancestor::d//e not gateable" false
+    (gateable "//c/ancestor::d//e");
+  (* text tests on up-zone elements need string value accumulated
+     before activation: unsafe *)
+  Alcotest.(check bool)
+    "//a/ancestor::b[text()='x'] not gateable" false
+    (gateable "//a/ancestor::b[text()='x']");
+  (* disjuncts gate independently behind the shared predicate-free
+     prefix... *)
+  (match prefixes "//p/a[b or c]" with
+  | Some [ p1; p2 ] ->
+    Alcotest.(check int) "disjunct 1 prefix" 1 (List.length p1);
+    Alcotest.(check int) "disjunct 2 prefix" 1 (List.length p2)
+  | _ -> Alcotest.fail "//p/a[b or c]: two disjunct prefixes expected");
+  (* ...but one unsafe disjunct poisons the whole query *)
+  Alcotest.(check bool)
+    "safe-or-unsafe not gateable" false
+    (gateable "//p/a[b or ancestor::d//e]")
+
+let test_compaction_duplicates_differential () =
+  (* duplicate-heavy registry: 6 subscriptions, 3 equivalence classes *)
+  let pairs =
+    [
+      ("a1", "//a"); ("a2", "//a"); ("b", "//b"); ("a3", "//a");
+      ("or1", "//a[x or b]"); ("or2", "//a[b or x]");
+    ]
+  in
+  let t = compile_exn pairs in
+  Alcotest.(check int) "class count" 3 (Query_set.class_count t);
+  let events = events_of "<r><a><b/><x/></a><b/><a/></r>" in
+  let naive = Query_set.run_events ~dispatch:Naive t events in
+  let uncompacted = Query_set.run_events ~compact:false t events in
+  let compacted = Query_set.run_events ~compact:true t events in
+  check_outcomes "uncompacted = naive" naive uncompacted;
+  check_outcomes "compacted = naive" naive compacted;
+  (* fan-out bookkeeping: every duplicate reports its class's sharing
+     degree, singletons report 1 *)
+  List.iter
+    (fun (o : Query_set.outcome) ->
+      let want =
+        match o.query_name with
+        | "a1" | "a2" | "a3" -> 3
+        | "or1" | "or2" -> 2
+        | _ -> 1
+      in
+      Alcotest.(check int) (o.query_name ^ " fanout") want o.fanout)
+    compacted;
+  (* session_stats exposes the compaction ratio's numerator/denominator *)
+  let s = Query_set.start t in
+  List.iter (Query_set.feed s) events;
+  let classes, members, dormant = Query_set.session_stats s in
+  Alcotest.(check int) "session classes" 3 classes;
+  Alcotest.(check int) "session members" 6 members;
+  Alcotest.(check int) "no gate, no dormant" 0 dormant;
+  ignore (Query_set.finish s);
+  (* earliest mode fans out through the same shared engines *)
+  check_earliest ~partial:false "compaction" pairs events naive
+
+let test_shared_class_remove_run_mid_document () =
+  (* the satellite-2 regression: two subscribers share one class engine;
+     removing one mid-document must not tear the engine down under the
+     survivor *)
+  let doc = "<r><a/><a/><a/></r>" in
+  let events = events_of doc in
+  let t = compile_exn [ ("keep", "//a"); ("drop", "//a") ] in
+  Alcotest.(check int) "one shared class" 1 (Query_set.class_count t);
+  let solo =
+    match Query_set.run_events (compile_exn [ ("keep", "//a") ]) events with
+    | [ o ] -> o.items
+    | _ -> assert false
+  in
+  let s = Query_set.start t in
+  let prefix, rest =
+    (List.filteri (fun i _ -> i < 3) events,
+     List.filteri (fun i _ -> i >= 3) events)
+  in
+  List.iter (Query_set.feed s) prefix;
+  Alcotest.(check bool) "removed" true (Query_set.remove_run s "drop");
+  List.iter (Query_set.feed s) rest;
+  (match Query_set.finish s with
+  | [ keep ] ->
+    Alcotest.(check string) "survivor" "keep" keep.query_name;
+    Alcotest.(check (list item)) "survivor sees the whole document" solo
+      keep.items;
+    Alcotest.(check int) "fanout back to 1" 1 keep.fanout
+  | _ -> Alcotest.fail "exactly the survivor expected");
+  (* removing the LAST member must still abort the engine (dispatch
+     buckets drained), and a same-document re-add starts fresh *)
+  let s2 = Query_set.start t in
+  List.iter (Query_set.feed s2) prefix;
+  Alcotest.(check bool) "first out" true (Query_set.remove_run s2 "keep");
+  Alcotest.(check bool) "last out" true (Query_set.remove_run s2 "drop");
+  List.iter (Query_set.feed s2) rest;
+  Alcotest.(check (list string)) "all detached" []
+    (List.map (fun (o : Query_set.outcome) -> o.query_name)
+       (Query_set.finish s2))
+
+let test_gate_differential () =
+  (* the prefix gate must be invisible in results on every pattern mix,
+     including the unsafe shapes it refuses to gate *)
+  let docs =
+    [
+      "<r><b/><a><b/></a><b/></r>";
+      (* e closes before c opens: the //c/ancestor::d//e trap document *)
+      "<d><e/><f><c/></f></d>";
+      "<site><people><person><name>x</name></person></people></site>";
+      "<r><x><y><a><b/></a></y></x><a/></r>";
+    ]
+  in
+  let pairs =
+    [
+      ("fwd", "//a/b"); ("deep", "//x//b"); ("trap", "//c/ancestor::d//e");
+      ("anc", "//b/ancestor::a"); ("text", "//person/name[text()='x']");
+      ("wild", "//*"); ("dup", "//a/b");
+    ]
+  in
+  let t = compile_exn pairs in
+  List.iter
+    (fun doc ->
+      let events = events_of doc in
+      let naive = Query_set.run_events ~dispatch:Naive t events in
+      check_outcomes ("gated = naive: " ^ doc) naive
+        (Query_set.run_events ~gate:true t events);
+      check_earliest ~gate:true ~partial:false ("gated earliest: " ^ doc)
+        pairs events naive)
+    docs;
+  (* the trap query must genuinely match on the trap document — proving
+     the gate would lose results if it gated it *)
+  let trap_outcomes =
+    Query_set.run_events ~dispatch:Naive t (events_of (List.nth docs 1))
+  in
+  let trap = List.find (fun (o : Query_set.outcome) -> o.query_name = "trap")
+      trap_outcomes in
+  Alcotest.(check bool) "trap query matches its document" true
+    (trap.items <> [])
+
 (* qcheck: earliest-vs-deferred over random query sets × chaos-faulted
    documents. Each seed draws three Randgen queries (backward axes and
    predicates included), builds a document, pushes it through a
@@ -604,6 +793,71 @@ let qcheck_earliest_chaos =
           pairs events reference);
       true)
 
+(* qcheck: compacted (and gated) engines vs independent ones. Each seed
+   draws a few Randgen queries, then deliberately builds a duplicate- and
+   shared-prefix-heavy subscription set from them (literal duplicates,
+   reordered disjunctions, //-prefixed variants of the same steps), pushes
+   a chaos-faulted document through, and requires the compacted session —
+   with and without the prefix gate, in deferred and earliest modes — to
+   agree with the uncompacted naive oracle outcome for outcome. *)
+let qcheck_compaction_chaos =
+  QCheck.Test.make
+    ~name:"qcheck: compacted+gated = independent engines under chaos"
+    ~count:30
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let specs =
+        List.init 3 (fun i ->
+            Randgen.generate_spec ~size:4 ~seed:(seed + (i * 104729)) ())
+      in
+      let base =
+        List.map (fun spec -> Ast.to_string spec.Randgen.query) specs
+      in
+      let pairs =
+        List.concat
+          (List.mapi
+             (fun i q ->
+               [
+                 (Printf.sprintf "q%d" i, q);
+                 (* literal duplicate: same class, distinct subscriber *)
+                 (Printf.sprintf "q%d-dup" i, q);
+                 (* reordered disjunction: same class by sorted keys *)
+                 (Printf.sprintf "q%d-or" i,
+                  Printf.sprintf "%s[@k1 or @k2]" q);
+                 (Printf.sprintf "q%d-ro" i,
+                  Printf.sprintf "%s[@k2 or @k1]" q);
+               ])
+             base)
+        @ [ ("wild", "//*"); ("wild-dup", "//*") ]
+      in
+      let t = compile_exn pairs in
+      (* the construction guarantees sharing: at most one class per base
+         query + one for the or-variants + one for //* *)
+      Alcotest.(check bool)
+        "sets actually compact" true
+        (Query_set.class_count t < List.length pairs);
+      let doc =
+        Randgen.document_string (List.hd specs) ~seed:(seed * 37)
+          ~elements:100
+      in
+      let p = Xaos_xml.Chaos.plan ~seed ~rate:0.7 0 in
+      (match Sax.events_of_string ~mode:Sax.Lenient
+               (Xaos_xml.Chaos.corrupt p doc) with
+      | exception Sax.Limit_exceeded _ -> ()
+      | events ->
+        let naive = Query_set.run_events ~dispatch:Naive t events in
+        check_outcomes "compacted = naive" naive
+          (Query_set.run_events ~compact:true t events);
+        check_outcomes "gated = naive" naive
+          (Query_set.run_events ~gate:true t events);
+        check_earliest ~partial:false
+          (Printf.sprintf "compacted earliest seed %d" seed)
+          pairs events naive;
+        check_earliest ~gate:true ~partial:false
+          (Printf.sprintf "gated earliest seed %d" seed)
+          pairs events naive);
+      true)
+
 let suite =
   [
     Alcotest.test_case "item equal is id-based" `Quick
@@ -632,10 +886,19 @@ let suite =
       test_symbol_reset_between_documents;
     Alcotest.test_case "budget partial results reported" `Quick
       test_budget_partial_results_reported;
+    Alcotest.test_case "class key equivalence" `Quick
+      test_class_key_equivalence;
+    Alcotest.test_case "gate prefix analysis" `Quick test_gate_prefix_analysis;
+    Alcotest.test_case "compaction duplicates differential" `Quick
+      test_compaction_duplicates_differential;
+    Alcotest.test_case "shared class remove_run mid-document" `Quick
+      test_shared_class_remove_run_mid_document;
+    Alcotest.test_case "gate differential" `Quick test_gate_differential;
     Alcotest.test_case "fixed differential cases" `Quick
       test_fixed_differential_cases;
     Alcotest.test_case "partial differential" `Quick test_partial_differential;
     Alcotest.test_case "randomized differential" `Slow
       test_randomized_differential;
     QCheck_alcotest.to_alcotest qcheck_earliest_chaos;
+    QCheck_alcotest.to_alcotest qcheck_compaction_chaos;
   ]

@@ -158,7 +158,7 @@ let broker_config =
   { Broker.budget = Some 40; deadline_s = None;
     limits = { Sax.default_limits with max_text_bytes = 4096 };
     quarantine = { Quarantine.threshold = 2; base_penalty = 3; max_penalty = 24 };
-    reset_symbols_every = 5; earliest = false; slow_ms = None }
+    reset_symbols_every = 5; earliest = false; prefix_gate = true; slow_ms = None }
 
 let heavy_doc =
   (* enough nesting that //*[*]//* exceeds the 40-structure budget while
